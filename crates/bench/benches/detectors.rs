@@ -1,0 +1,49 @@
+//! Criterion benchmarks: per-detector throughput on the standard dirty
+//! NASA and Beers datasets, plus repair throughput. Characterises the
+//! cost side of the (detector, repairer) search space that iterative
+//! cleaning explores — the runtime trade-off §4 discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use datalens_datasets::registry;
+use datalens_detect::{detector_by_name, DetectionContext};
+use datalens_repair::{repairer_by_name, RepairContext};
+
+fn bench_detectors(c: &mut Criterion) {
+    let nasa = registry::dirty("nasa", 0).unwrap();
+    let beers = registry::dirty("beers", 0).unwrap();
+    let ctx = DetectionContext::default();
+    let mut group = c.benchmark_group("detect");
+    group.sample_size(10);
+    // RAHA is excluded here: it is interactive (benched via fig3).
+    for tool in ["sd", "iqr", "mv_detector", "fahes", "katara", "holoclean", "min_k", "isolation_forest"] {
+        group.bench_with_input(BenchmarkId::new(tool, "nasa"), &nasa.dirty, |b, t| {
+            let det = detector_by_name(tool).unwrap();
+            b.iter(|| black_box(det.detect(t, &ctx)))
+        });
+        group.bench_with_input(BenchmarkId::new(tool, "beers"), &beers.dirty, |b, t| {
+            let det = detector_by_name(tool).unwrap();
+            b.iter(|| black_box(det.detect(t, &ctx)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_repairers(c: &mut Criterion) {
+    let nasa = registry::dirty("nasa", 0).unwrap();
+    let errors = nasa.error_cells();
+    let ctx = RepairContext::default();
+    let mut group = c.benchmark_group("repair");
+    group.sample_size(10);
+    for tool in ["standard_imputer", "ml_imputer", "holoclean_repairer"] {
+        group.bench_with_input(BenchmarkId::new(tool, "nasa"), &nasa.dirty, |b, t| {
+            let rep = repairer_by_name(tool).unwrap();
+            b.iter(|| black_box(rep.repair(t, &errors, &ctx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_repairers);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion wrappers around the paper-figure harnesses, so
+//! `cargo bench --workspace` exercises every evaluation artifact:
+//! Figure 3 (RAHA labeling), Figure 4 (detection distribution), and
+//! Figure 5 (iterative cleaning), at reduced sweep sizes — the full
+//! sweeps live in the fig3/fig4/fig5 binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use datalens_bench::{fig3, fig4, fig5};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_raha_labeling");
+    group.sample_size(10);
+    group.bench_function("nasa_budget10", |b| {
+        b.iter(|| black_box(fig3::run("nasa", &[10], 1)))
+    });
+    group.bench_function("beers_budget10", |b| {
+        b.iter(|| black_box(fig3::run("beers", &[10], 1)))
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_distribution");
+    group.sample_size(10);
+    group.bench_function("nasa", |b| b.iter(|| black_box(fig4::run("nasa", 0))));
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_iterative_cleaning");
+    group.sample_size(10);
+    group.bench_function("nasa_5iters", |b| {
+        b.iter(|| black_box(fig5::run("nasa", &[5], 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_fig4, bench_fig5);
+criterion_main!(benches);

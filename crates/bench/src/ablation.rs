@@ -1,0 +1,197 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Min-K sweep** — ensemble agreement threshold vs precision/recall
+//!    (the paper's claim: consolidation across tools improves precision);
+//! 2. **TPE vs Random vs Grid** — the value of Bayesian search (§4's
+//!    choice of Optuna) at equal trial budgets;
+//! 3. **RAHA label quality** — detection F1 as the simulated user gets
+//!    noisier (the realistic-evaluation argument of §1, contribution 5).
+
+use datalens::iterative::{
+    run_iterative_cleaning, IterativeCleaningConfig, SamplerKind,
+};
+use datalens::user::SimulatedUser;
+use datalens::{DashboardConfig, DashboardController};
+use datalens_datasets::{registry, DetectionScore, Task};
+use datalens_detect::{
+    DetectionContext, Detector, FahesDetector, IqrDetector, MinKDetector, MvDetector,
+    RahaConfig, SdDetector,
+};
+use datalens_fd::RuleSet;
+
+/// Min-K sweep result: one row per K.
+#[derive(Debug, Clone)]
+pub struct MinKPoint {
+    pub k: usize,
+    pub score: DetectionScore,
+}
+
+/// Sweep the ensemble threshold K on a preloaded dataset.
+pub fn min_k_sweep(dataset: &str, seed: u64) -> Vec<MinKPoint> {
+    let dd = registry::dirty(dataset, seed).expect("known dataset");
+    let ctx = DetectionContext {
+        seed,
+        ..Default::default()
+    };
+    let base: Vec<datalens_detect::Detection> = vec![
+        SdDetector::default().detect(&dd.dirty, &ctx),
+        IqrDetector::default().detect(&dd.dirty, &ctx),
+        MvDetector::default().detect(&dd.dirty, &ctx),
+        FahesDetector::default().detect(&dd.dirty, &ctx),
+    ];
+    (1..=base.len())
+        .map(|k| {
+            let vote = MinKDetector::vote(&base, k);
+            MinKPoint {
+                k,
+                score: dd.score_detections(&vote.cells),
+            }
+        })
+        .collect()
+}
+
+/// Sampler-comparison result.
+#[derive(Debug, Clone)]
+pub struct SamplerPoint {
+    pub sampler: SamplerKind,
+    pub best_score: f64,
+}
+
+/// Compare samplers at an equal trial budget on a preloaded dataset
+/// (averaged over seeds to damp noise).
+pub fn sampler_comparison(dataset: &str, iterations: usize, seeds: u64) -> Vec<SamplerPoint> {
+    let meta = registry::catalog()
+        .into_iter()
+        .find(|d| d.name == dataset)
+        .expect("known dataset");
+    [
+        SamplerKind::Tpe,
+        SamplerKind::Random,
+        SamplerKind::Grid,
+        SamplerKind::Ucb,
+    ]
+    .into_iter()
+        .map(|sampler| {
+            let mut total = 0.0;
+            for seed in 0..seeds {
+                let dd = registry::dirty(dataset, seed).expect("known dataset");
+                let config = IterativeCleaningConfig {
+                    iterations,
+                    sampler,
+                    seed,
+                    // Cheap tool set keeps the ablation tractable.
+                    detectors: vec![
+                        "sd".into(),
+                        "iqr".into(),
+                        "mv_detector".into(),
+                        "fahes".into(),
+                    ],
+                    ..IterativeCleaningConfig::new(meta.target, meta.task)
+                };
+                let report =
+                    run_iterative_cleaning(&dd.dirty, &RuleSet::new(), &config, None)
+                        .expect("search runs");
+                total += report.best.score;
+            }
+            SamplerPoint {
+                sampler,
+                best_score: total / seeds as f64,
+            }
+        })
+        .collect()
+}
+
+/// RAHA user-noise sweep result.
+#[derive(Debug, Clone)]
+pub struct NoisePoint {
+    pub miss_rate: f64,
+    pub f1: f64,
+}
+
+/// Degrade the simulated user and measure RAHA's F1.
+pub fn raha_noise_sweep(dataset: &str, miss_rates: &[f64], seed: u64) -> Vec<NoisePoint> {
+    miss_rates
+        .iter()
+        .map(|&miss_rate| {
+            let dd = registry::dirty(dataset, seed).expect("known dataset");
+            let mut dash = DashboardController::new(DashboardConfig {
+                workspace_dir: None,
+                seed,
+            })
+            .expect("controller");
+            dash.ingest_dirty_dataset(&dd, dataset).expect("ingest");
+            let mut user = SimulatedUser::noisy(&dd, miss_rate, 0.0, seed);
+            let outcome = dash
+                .run_raha_with_user(
+                    RahaConfig {
+                        labeling_budget: 20,
+                        seed,
+                        ..Default::default()
+                    },
+                    &mut user,
+                )
+                .expect("raha");
+            NoisePoint {
+                miss_rate,
+                f1: dd.score_detections(&outcome.detection.cells).f1,
+            }
+        })
+        .collect()
+}
+
+/// Render all three ablations.
+pub fn render(dataset: &str, seed: u64) -> String {
+    let mut out = format!("=== Ablations on {dataset} ===\n\n");
+
+    out.push_str("Min-K ensemble threshold (SD+IQR+MV+FAHES):\n");
+    out.push_str("  K  precision  recall   F1\n");
+    for p in min_k_sweep(dataset, seed) {
+        out.push_str(&format!(
+            "  {}  {:>9.3}  {:>6.3}  {:>5.3}\n",
+            p.k, p.score.precision, p.score.recall, p.score.f1
+        ));
+    }
+
+    out.push_str("\nSampler comparison (8 iterations, 3 seeds):\n");
+    let meta = registry::catalog()
+        .into_iter()
+        .find(|d| d.name == dataset)
+        .expect("known dataset");
+    let metric = match meta.task {
+        Task::Regression => "MSE",
+        Task::Classification => "F1",
+    };
+    for p in sampler_comparison(dataset, 8, 3) {
+        out.push_str(&format!("  {:?}: best {metric} {:.4}\n", p.sampler, p.best_score));
+    }
+
+    out.push_str("\nRAHA with a noisy user (budget 20):\n");
+    out.push_str("  miss_rate  F1\n");
+    for p in raha_noise_sweep(dataset, &[0.0, 0.25, 0.5], seed) {
+        out.push_str(&format!("  {:>9.2}  {:.3}\n", p.miss_rate, p.f1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_k_trades_recall_for_precision() {
+        let points = min_k_sweep("nasa", 0);
+        assert_eq!(points.len(), 4);
+        // Recall is monotone non-increasing in K; precision at K=2 should
+        // be at least K=1's (agreement filters noise).
+        for w in points.windows(2) {
+            assert!(w[1].score.recall <= w[0].score.recall + 1e-9);
+        }
+        assert!(points[1].score.precision >= points[0].score.precision - 0.05);
+    }
+
+    #[test]
+    fn noisier_users_hurt_raha() {
+        let points = raha_noise_sweep("nasa", &[0.0, 0.9], 0);
+        assert!(points[0].f1 >= points[1].f1);
+    }
+}

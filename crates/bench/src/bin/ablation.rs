@@ -1,0 +1,22 @@
+//! Run the ablation studies (Min-K sweep, sampler comparison, noisy-user
+//! RAHA).
+//!
+//! Usage: `cargo run --release -p datalens-bench --bin ablation [-- --dataset nasa] [--seed N]`
+
+use datalens_bench::ablation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = arg_value(&args, "--dataset").unwrap_or_else(|| "nasa".to_string());
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    println!("{}", ablation::render(&dataset, seed));
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

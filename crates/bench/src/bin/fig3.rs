@@ -1,0 +1,38 @@
+//! Regenerate Figure 3: RAHA labeling evaluation.
+//!
+//! Usage: `cargo run --release -p datalens-bench --bin fig3 [-- --dataset nasa|beers] [--seeds N]`
+
+use datalens_bench::fig3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = arg_value(&args, "--dataset");
+    let seeds: u64 = arg_value(&args, "--seeds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let budgets = [5usize, 10, 15, 20];
+    let known: Vec<String> = datalens_datasets::catalog()
+        .iter()
+        .map(|d| d.name.to_string())
+        .collect();
+    let datasets: Vec<String> = match dataset {
+        Some(d) if known.contains(&d) => vec![d],
+        Some(other) => {
+            eprintln!("unknown dataset {other:?}; expected one of {known:?}");
+            std::process::exit(2);
+        }
+        // The paper's Figure 3 covers NASA and Beers.
+        None => vec!["nasa".into(), "beers".into()],
+    };
+    for d in &datasets {
+        let points = fig3::run(d, &budgets, seeds);
+        println!("{}", fig3::render(d, &points));
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

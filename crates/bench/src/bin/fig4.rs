@@ -1,0 +1,22 @@
+//! Regenerate Figure 4: distribution of detections across attributes.
+//!
+//! Usage: `cargo run --release -p datalens-bench --bin fig4 [-- --dataset nasa] [--seed N]`
+
+use datalens_bench::fig4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = arg_value(&args, "--dataset").unwrap_or_else(|| "nasa".to_string());
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let result = fig4::run(&dataset, seed);
+    println!("{}", fig4::render(&dataset, &result));
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

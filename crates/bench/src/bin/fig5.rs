@@ -1,0 +1,38 @@
+//! Regenerate Figure 5: iterative cleaning score vs search iterations.
+//!
+//! Usage: `cargo run --release -p datalens-bench --bin fig5 [-- --task regression|classification] [--seed N]`
+
+use datalens_bench::fig5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let task = arg_value(&args, "--task");
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let iterations = [5usize, 10, 15, 20];
+    let datasets: Vec<String> = if let Some(d) = arg_value(&args, "--dataset") {
+        vec![d]
+    } else {
+        match task.as_deref() {
+            Some("regression") => vec!["nasa".into()],
+            Some("classification") => vec!["beers".into()],
+            None => vec!["nasa".into(), "beers".into()],
+            Some(other) => {
+                eprintln!("unknown task {other:?}; expected regression or classification");
+                std::process::exit(2);
+            }
+        }
+    };
+    for d in &datasets {
+        let result = fig5::run(d, &iterations, seed);
+        println!("{}", fig5::render(&result));
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

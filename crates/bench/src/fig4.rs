@@ -1,0 +1,148 @@
+//! Figure 4 harness: distribution of detections across the attributes of
+//! the NASA dataset, by tool (IQR, SD, FAHES, RAHA) plus user tags.
+
+use std::collections::BTreeMap;
+
+use datalens::user::SimulatedUser;
+use datalens::{DashboardConfig, DashboardController};
+use datalens_datasets::registry;
+use datalens_detect::{detector_by_name, Detection, DetectionContext, RahaConfig};
+
+/// The figure's data: tool → per-attribute detection counts.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    pub attributes: Vec<String>,
+    pub counts: BTreeMap<String, Vec<usize>>,
+    pub ground_truth_counts: Vec<usize>,
+}
+
+/// Run the Figure 4 pipeline on a preloaded dataset.
+pub fn run(dataset: &str, seed: u64) -> Fig4Result {
+    let dd = registry::dirty(dataset, seed).expect("known dataset");
+    let mut dash = DashboardController::new(DashboardConfig {
+        workspace_dir: None,
+        seed,
+    })
+    .expect("controller");
+    dash.ingest_dirty_dataset(&dd, dataset).expect("ingest");
+
+    // User tags the classic sentinels (§3's example values).
+    dash.tag_value("-1").expect("tag");
+    dash.tag_value("99999").expect("tag");
+
+    // Interactive RAHA first (the paper: it starts with the others but
+    // resolves after labeling).
+    let mut user = SimulatedUser::perfect(&dd);
+    let raha = dash
+        .run_raha_with_user(
+            RahaConfig {
+                labeling_budget: 20,
+                seed,
+                ..Default::default()
+            },
+            &mut user,
+        )
+        .expect("raha");
+
+    // The automated tools of the figure.
+    let ctx = DetectionContext {
+        rules: dash.rules().expect("rules").clone(),
+        tagged_values: vec!["-1".into(), "99999".into()],
+        seed,
+    };
+    let table = dash.table().expect("table").clone();
+    let mut detections: Vec<Detection> = ["iqr", "sd", "fahes", "user_tags"]
+        .iter()
+        .map(|name| {
+            detector_by_name(name)
+                .expect("registered")
+                .detect(&table, &ctx)
+        })
+        .collect();
+    detections.push(raha.detection);
+
+    dash.finish_detection(&["iqr", "sd", "fahes", "user_tags", "raha"], detections)
+        .expect("consolidate");
+
+    let merged = dash.detections().expect("detections");
+    let attributes: Vec<String> = table
+        .column_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let counts = merged.per_attribute_counts(&table);
+
+    // Ground truth per attribute, for EXPERIMENTS.md's shape check.
+    let mut gt = vec![0usize; table.n_cols()];
+    for cell in dd.errors.keys() {
+        gt[cell.col] += 1;
+    }
+
+    Fig4Result {
+        attributes,
+        counts,
+        ground_truth_counts: gt,
+    }
+}
+
+/// Render the figure as an aligned text matrix.
+pub fn render(dataset: &str, result: &Fig4Result) -> String {
+    let mut out = format!("Figure 4 ({dataset}): detections per attribute by tool\n");
+    let name_w = result
+        .counts
+        .keys()
+        .map(String::len)
+        .chain(std::iter::once("ground_truth".len()))
+        .max()
+        .unwrap_or(8);
+    out.push_str(&format!("{:<name_w$}", "tool"));
+    for a in &result.attributes {
+        out.push_str(&format!("  {a:>22}"));
+    }
+    out.push('\n');
+    for (tool, row) in &result.counts {
+        out.push_str(&format!("{tool:<name_w$}"));
+        for c in row {
+            out.push_str(&format!("  {c:>22}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<name_w$}", "ground_truth"));
+    for c in &result.ground_truth_counts {
+        out.push_str(&format!("  {c:>22}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_varies_by_tool_and_attribute() {
+        let r = run("nasa", 0);
+        assert_eq!(r.attributes.len(), 6);
+        assert!(r.counts.contains_key("sd"));
+        assert!(r.counts.contains_key("fahes"));
+        assert!(r.counts.contains_key("raha"));
+        // Some tool found something somewhere.
+        let total: usize = r.counts.values().flatten().sum();
+        assert!(total > 0);
+        // The protected target column has zero ground-truth errors.
+        let target_idx = r
+            .attributes
+            .iter()
+            .position(|a| a == datalens_datasets::nasa::TARGET)
+            .unwrap();
+        assert_eq!(r.ground_truth_counts[target_idx], 0);
+    }
+
+    #[test]
+    fn render_is_a_matrix() {
+        let r = run("nasa", 1);
+        let text = render("nasa", &r);
+        assert!(text.contains("frequency"));
+        assert!(text.contains("ground_truth"));
+    }
+}

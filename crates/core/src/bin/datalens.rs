@@ -1,0 +1,208 @@
+//! The DataLens command-line interface: the dashboard's pipeline as
+//! terminal subcommands over CSV files.
+//!
+//! ```text
+//! datalens datasets                               list preloaded datasets
+//! datalens profile  <file.csv>                    Data Profile tab
+//! datalens rules    <file.csv> [--approx G3]      FD discovery (TANE)
+//! datalens detect   <file.csv> --tools sd,iqr     run detectors (+ --tag V, --rule "a -> b")
+//! datalens repair   <file.csv> --tools sd,iqr --repairer ml_imputer [-o out.csv]
+//! datalens dashboard <file.csv> [--tools ...]     render all four tabs
+//! datalens serve    [--seed N]                    REST tool service (Ctrl-C to stop)
+//! ```
+
+use std::process::ExitCode;
+
+use datalens::controller::{DashboardConfig, DashboardController, RuleMiner};
+use datalens::dashboard::{render_dashboard, render_tab, Tab};
+use datalens::service::tool_service_router;
+use datalens_rest::Server;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd {
+        "datasets" => cmd_datasets(),
+        "profile" => cmd_profile(&args[1..]),
+        "rules" => cmd_rules(&args[1..]),
+        "detect" => cmd_detect(&args[1..], false),
+        "repair" => cmd_detect(&args[1..], true),
+        "dashboard" => cmd_dashboard(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: datalens <datasets|profile|rules|detect|repair|dashboard|serve> [args]
+  datalens profile data.csv
+  datalens rules data.csv --approx 0.1
+  datalens detect data.csv --tools sd,iqr,mv_detector --tag -1 --rule 'zip -> city'
+  datalens repair data.csv --tools sd,mv_detector --repairer ml_imputer -o repaired.csv
+  datalens dashboard data.csv --tools sd,mv_detector
+  datalens serve --seed 0";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn flag_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_values(args: &[String], key: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == key {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn positional(args: &[String]) -> Option<&String> {
+    // First argument that is not a flag or a flag's value.
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") || a.starts_with('-') && a.len() > 1 && !a.ends_with(".csv") {
+            skip_next = true;
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+/// Build a controller with the file (or preloaded dataset name) loaded.
+fn load(args: &[String]) -> Result<DashboardController, Box<dyn std::error::Error>> {
+    let input = positional(args).ok_or("missing input file or dataset name")?;
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut dash = DashboardController::new(DashboardConfig {
+        workspace_dir: None,
+        seed,
+    })?;
+    if input.ends_with(".csv") {
+        let text = std::fs::read_to_string(input)?;
+        let file_name = std::path::Path::new(input)
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_else(|| input.clone());
+        dash.ingest_csv_text(&file_name, &text)?;
+    } else {
+        dash.ingest_preloaded(input)?;
+    }
+    Ok(dash)
+}
+
+fn cmd_datasets() -> CliResult {
+    println!("preloaded datasets:");
+    for d in datalens_datasets::catalog() {
+        println!("  {:<6} target={:<16} {:?}  — {}", d.name, d.target, d.task, d.description);
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> CliResult {
+    let mut dash = load(args)?;
+    print!("{}", render_tab(&mut dash, Tab::DataProfile)?);
+    Ok(())
+}
+
+fn cmd_rules(args: &[String]) -> CliResult {
+    let mut dash = load(args)?;
+    let added = match flag_value(args, "--approx").and_then(|v| v.parse::<f64>().ok()) {
+        Some(g3) => dash.discover_rules_approx(g3)?,
+        None => dash.discover_rules(RuleMiner::Tane)?,
+    };
+    println!("discovered {added} rules:");
+    for r in dash.rules()?.rules() {
+        println!("  {}  (g3 {:.4}, {:?})", r.fd, r.g3_error, r.provenance);
+    }
+    Ok(())
+}
+
+fn setup_detection(
+    dash: &mut DashboardController,
+    args: &[String],
+) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    for tag in flag_values(args, "--tag") {
+        dash.tag_value(tag)?;
+    }
+    for rule in flag_values(args, "--rule") {
+        dash.add_rule_from_text(&rule)?;
+    }
+    let tools: Vec<String> = flag_value(args, "--tools")
+        .unwrap_or_else(|| "sd,iqr,mv_detector,fahes".to_string())
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let tool_refs: Vec<&str> = tools.iter().map(String::as_str).collect();
+    dash.run_detection(&tool_refs)?;
+    Ok(tools)
+}
+
+fn cmd_detect(args: &[String], and_repair: bool) -> CliResult {
+    let mut dash = load(args)?;
+    setup_detection(&mut dash, args)?;
+    print!("{}", render_tab(&mut dash, Tab::DetectionResults)?);
+    if and_repair {
+        let repairer = flag_value(args, "--repairer").unwrap_or_else(|| "ml_imputer".into());
+        let n = dash.repair(&repairer)?;
+        println!("\nrepaired {n} cells with {repairer}");
+        if let Some(out) = flag_value(args, "-o").or_else(|| flag_value(args, "--output")) {
+            datalens_table::csv::write_csv_path(dash.repaired_table()?, &out)?;
+            println!("wrote {out}");
+        } else {
+            print!("{}", dash.repaired_table()?.head(10));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dashboard(args: &[String]) -> CliResult {
+    let mut dash = load(args)?;
+    if flag_value(args, "--tools").is_some() {
+        setup_detection(&mut dash, args)?;
+    }
+    print!("{}", render_dashboard(&mut dash)?);
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let server = Server::start(tool_service_router(seed))?;
+    println!("DataLens tool service on http://{}", server.addr());
+    println!("endpoints: GET /tools  POST /detect  POST /repair  POST /profile  PUT /context");
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,189 @@
+//! Text renderer for the dashboard's main window (Figure 2): the four
+//! central tabs — Data Overview, Data Profile, Error Detection Results,
+//! DataSheets — plus the right-hand Data Quality panel.
+//!
+//! Substitution note: the original is a browser UI; the *information
+//! architecture* is reproduced as terminal output (the evaluation never
+//! measures the UI itself).
+
+use crate::controller::DashboardController;
+use crate::error::DataLensError;
+
+/// The dashboard's tabs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tab {
+    DataOverview,
+    DataProfile,
+    DetectionResults,
+    DataSheets,
+}
+
+impl Tab {
+    pub const ALL: [Tab; 4] = [
+        Tab::DataOverview,
+        Tab::DataProfile,
+        Tab::DetectionResults,
+        Tab::DataSheets,
+    ];
+
+    pub fn title(self) -> &'static str {
+        match self {
+            Tab::DataOverview => "Data Overview",
+            Tab::DataProfile => "Data Profile",
+            Tab::DetectionResults => "Error Detection Results",
+            Tab::DataSheets => "DataSheets",
+        }
+    }
+}
+
+/// Render one tab.
+pub fn render_tab(controller: &mut DashboardController, tab: Tab) -> Result<String, DataLensError> {
+    let mut out = format!("━━━ {} ━━━\n", tab.title());
+    match tab {
+        Tab::DataOverview => {
+            let state = controller.state()?;
+            out.push_str(&format!(
+                "dataset: {}   shape: {} rows × {} columns\n\n",
+                state.table.name(),
+                state.table.n_rows(),
+                state.table.n_cols()
+            ));
+            out.push_str(&state.table.head(8).to_string());
+            match &state.detections {
+                Some(d) => out.push_str(&format!(
+                    "\ndetected errors: {} cells across {} tools\n",
+                    d.total(),
+                    d.per_tool.len()
+                )),
+                None => out.push_str("\ndetected errors: (detection has not run)\n"),
+            }
+            if !state.tags.is_empty() {
+                out.push_str(&format!("tagged values: {:?}\n", state.tags.values()));
+            }
+            out.push_str(
+                "labeling: mark samples as true (dirty) / false (clean) in the labeling section\n",
+            );
+        }
+        Tab::DataProfile => {
+            let profile = controller.profile()?.clone();
+            out.push_str(&profile.render_text());
+            let rules = controller.rules()?;
+            if !rules.is_empty() {
+                out.push_str("\nFD rules (validate, modify, or reject):\n");
+                for r in rules.rules() {
+                    out.push_str(&format!(
+                        "  [{:?}] {} (source: {:?}, g3 {:.3})\n",
+                        r.status, r.fd, r.provenance, r.g3_error
+                    ));
+                }
+            }
+            let recs = controller.recommend_detection_tools()?;
+            out.push_str("\nRecommended detection tools:\n");
+            for r in recs {
+                out.push_str(&format!("  {:<18} {}\n", r.tool, r.reason));
+            }
+        }
+        Tab::DetectionResults => {
+            let state = controller.state()?;
+            match &state.detections {
+                None => out.push_str("(run error detection first)\n"),
+                Some(d) => {
+                    out.push_str(&format!("total distinct error cells: {}\n\n", d.total()));
+                    out.push_str("Distribution of detections across attributes:\n");
+                    out.push_str(&d.render_distribution(&state.table));
+                    // Explainability (paper future-work 2): why the first
+                    // few cells were flagged.
+                    let explanations =
+                        datalens_detect::explain_all(&state.table, d, 5);
+                    if !explanations.is_empty() {
+                        out.push_str("\nWhy were these cells flagged?\n");
+                        for e in explanations {
+                            out.push_str(&e.render());
+                        }
+                    }
+                }
+            }
+        }
+        Tab::DataSheets => {
+            let sheet = controller.generate_datasheet()?;
+            out.push_str(&sheet.to_json()?);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Render the whole main window: all tabs plus the quality panel.
+pub fn render_dashboard(controller: &mut DashboardController) -> Result<String, DataLensError> {
+    let mut out = String::from("══════════ DataLens ══════════\n\n");
+    for tab in Tab::ALL {
+        out.push_str(&render_tab(controller, tab)?);
+        out.push('\n');
+    }
+    out.push_str(&controller.quality()?.render_text());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{DashboardConfig, DashboardController};
+
+    fn loaded_controller() -> DashboardController {
+        let mut c = DashboardController::new(DashboardConfig::default()).unwrap();
+        c.ingest_csv_text(
+            "demo.csv",
+            "zip,city,pop\n1,ulm,120\n1,ulm,120\n2,bonn,99999\n2,bonn,330\n",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn overview_tab_shows_table_and_status() {
+        let mut c = loaded_controller();
+        let text = render_tab(&mut c, Tab::DataOverview).unwrap();
+        assert!(text.contains("Data Overview"));
+        assert!(text.contains("4 rows × 3 columns"));
+        assert!(text.contains("detection has not run"));
+        c.run_detection(&["sd"]).unwrap();
+        let text = render_tab(&mut c, Tab::DataOverview).unwrap();
+        assert!(text.contains("detected errors"));
+    }
+
+    #[test]
+    fn profile_tab_includes_rules_after_discovery() {
+        let mut c = loaded_controller();
+        c.discover_rules(crate::controller::RuleMiner::Tane).unwrap();
+        let text = render_tab(&mut c, Tab::DataProfile).unwrap();
+        assert!(text.contains("Data Profile"));
+        assert!(text.contains("FD rules"));
+    }
+
+    #[test]
+    fn detection_tab_renders_distribution() {
+        let mut c = loaded_controller();
+        c.run_detection(&["sd", "mv_detector"]).unwrap();
+        let text = render_tab(&mut c, Tab::DetectionResults).unwrap();
+        assert!(text.contains("Distribution of detections"));
+        assert!(text.contains("sd"));
+    }
+
+    #[test]
+    fn datasheet_tab_is_json() {
+        let mut c = loaded_controller();
+        let text = render_tab(&mut c, Tab::DataSheets).unwrap();
+        assert!(text.contains("\"dataset_name\""));
+    }
+
+    #[test]
+    fn full_dashboard_renders_all_tabs() {
+        let mut c = loaded_controller();
+        c.run_detection(&["sd"]).unwrap();
+        let text = render_dashboard(&mut c).unwrap();
+        for tab in Tab::ALL {
+            assert!(text.contains(tab.title()), "missing {:?}", tab);
+        }
+        assert!(text.contains("Data Quality"));
+    }
+}

@@ -1,0 +1,141 @@
+//! DataSheets (§5): JSON documents that "compile an array of details about
+//! the dataset, including the dataset's name, locations for both the input
+//! dirty dataset and the repaired dataset, the shape of the dataset, the
+//! detection tools applied, the number of erroneous cells identified, the
+//! repair tools executed, and the configurations of such tools" — plus the
+//! Delta version numbers before and after repair, so a DataSheet can be
+//! re-uploaded to reproduce the same preparation steps.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataLensError;
+use crate::ingest::DataSource;
+
+/// The serialisable DataSheet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataSheet {
+    /// Format version of the sheet itself.
+    pub datasheet_version: u32,
+    pub dataset_name: String,
+    pub source: DataSource,
+    /// Where the dirty input lives on disk (if persisted).
+    pub dirty_path: Option<String>,
+    /// Where the repaired output lives on disk (if persisted).
+    pub repaired_path: Option<String>,
+    /// (rows, columns).
+    pub shape: (usize, usize),
+    /// Detection tools applied, in execution order.
+    pub detection_tools: Vec<String>,
+    /// Distinct erroneous cells found after consolidation.
+    pub n_erroneous_cells: usize,
+    /// Repair tools executed, in order.
+    pub repair_tools: Vec<String>,
+    /// Tool configurations (name → rendered config).
+    pub tool_configurations: BTreeMap<String, String>,
+    /// Active FD rules at detection time (rendered `lhs -> rhs`).
+    pub rules: Vec<String>,
+    /// User-tagged dirty values.
+    pub tagged_values: Vec<String>,
+    /// Delta version the detection ran against.
+    pub detect_version: Option<u64>,
+    /// Delta version the repaired table was committed as.
+    pub repaired_version: Option<u64>,
+    /// Data-quality metrics snapshot (name → value).
+    pub quality_metrics: BTreeMap<String, f64>,
+    /// Seed used for stochastic tools.
+    pub seed: u64,
+}
+
+impl DataSheet {
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> Result<String, DataLensError> {
+        serde_json::to_string_pretty(self).map_err(|e| DataLensError::DataSheet(e.to_string()))
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<DataSheet, DataLensError> {
+        serde_json::from_str(text).map_err(|e| DataLensError::DataSheet(e.to_string()))
+    }
+
+    /// Write to a file (the dashboard's "download" button).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DataLensError> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Read back from a file (the "upload to reproduce" path).
+    pub fn load(path: impl AsRef<Path>) -> Result<DataSheet, DataLensError> {
+        let text = std::fs::read_to_string(path)?;
+        DataSheet::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sheet() -> DataSheet {
+        let mut configs = BTreeMap::new();
+        configs.insert("sd".into(), "k=3.0".into());
+        let mut metrics = BTreeMap::new();
+        metrics.insert("completeness".into(), 0.97);
+        DataSheet {
+            datasheet_version: 1,
+            dataset_name: "nasa".into(),
+            source: DataSource::Preloaded { name: "nasa".into() },
+            dirty_path: Some("datasets/nasa/dirty.csv".into()),
+            repaired_path: Some("datasets/nasa/repaired.csv".into()),
+            shape: (1200, 6),
+            detection_tools: vec!["sd".into(), "fahes".into()],
+            n_erroneous_cells: 321,
+            repair_tools: vec!["ml_imputer".into()],
+            tool_configurations: configs,
+            rules: vec!["[zip] -> city".into()],
+            tagged_values: vec!["-1".into()],
+            detect_version: Some(0),
+            repaired_version: Some(1),
+            quality_metrics: metrics,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sheet();
+        let json = s.to_json().unwrap();
+        assert!(json.contains("\"dataset_name\": \"nasa\""));
+        let back = DataSheet::from_json(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join(format!(
+            "datalens_sheet_{}.json",
+            std::process::id()
+        ));
+        let s = sheet();
+        s.save(&path).unwrap();
+        let back = DataSheet::load(&path).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            DataSheet::from_json("{oops"),
+            Err(DataLensError::DataSheet(_))
+        ));
+        assert!(matches!(
+            DataSheet::from_json("{}"),
+            Err(DataLensError::DataSheet(_))
+        ));
+    }
+}

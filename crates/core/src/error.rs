@@ -1,0 +1,69 @@
+//! The unified error type of the dashboard layer.
+
+use std::fmt;
+
+/// Anything that can go wrong inside the dashboard.
+#[derive(Debug)]
+pub enum DataLensError {
+    Table(datalens_table::TableError),
+    Delta(datalens_delta::DeltaError),
+    Tracking(datalens_tracking::TrackingError),
+    /// The controller was asked to act before the prerequisite step ran
+    /// (e.g. repair before detection).
+    State(String),
+    /// Unknown tool / dataset / version names.
+    Unknown(String),
+    /// DataSheet (de)serialisation problems.
+    DataSheet(String),
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DataLensError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataLensError::Table(e) => write!(f, "table error: {e}"),
+            DataLensError::Delta(e) => write!(f, "versioning error: {e}"),
+            DataLensError::Tracking(e) => write!(f, "tracking error: {e}"),
+            DataLensError::State(m) => write!(f, "invalid state: {m}"),
+            DataLensError::Unknown(m) => write!(f, "unknown: {m}"),
+            DataLensError::DataSheet(m) => write!(f, "datasheet error: {m}"),
+            DataLensError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataLensError {}
+
+impl From<datalens_table::TableError> for DataLensError {
+    fn from(e: datalens_table::TableError) -> Self {
+        DataLensError::Table(e)
+    }
+}
+impl From<datalens_delta::DeltaError> for DataLensError {
+    fn from(e: datalens_delta::DeltaError) -> Self {
+        DataLensError::Delta(e)
+    }
+}
+impl From<datalens_tracking::TrackingError> for DataLensError {
+    fn from(e: datalens_tracking::TrackingError) -> Self {
+        DataLensError::Tracking(e)
+    }
+}
+impl From<std::io::Error> for DataLensError {
+    fn from(e: std::io::Error) -> Self {
+        DataLensError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DataLensError::State("repair before detect".into());
+        assert!(e.to_string().contains("invalid state"));
+        let e = DataLensError::Unknown("tool 'x'".into());
+        assert!(e.to_string().contains("unknown"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Data ingestion (§2): "data can be ingested into DataLens via one of
+//! three methods: (1) using one of the preloaded datasets …; (2) uploading
+//! CSV or Excel files; or (3) establishing a SQL database connection."
+//!
+//! The SQL path is simulated by the [`SqlSource`] trait plus an in-memory
+//! implementation — the controller treats loaded tables identically to
+//! uploads, exactly as the paper describes.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use datalens_table::csv::{read_csv_path, read_csv_str, CsvOptions};
+use datalens_table::Table;
+
+use crate::error::DataLensError;
+
+/// Where a dataset came from (recorded in DataSheets).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DataSource {
+    Preloaded { name: String },
+    CsvUpload { file_name: String },
+    Sql { connection: String, table: String },
+    InMemory,
+}
+
+/// Ingest a preloaded dataset by name (clean + injected dirt; the dirty
+/// table is what the dashboard sees).
+pub fn preloaded(name: &str, seed: u64) -> Result<(Table, DataSource), DataLensError> {
+    let dd = datalens_datasets::registry::dirty(name, seed)
+        .ok_or_else(|| DataLensError::Unknown(format!("preloaded dataset {name:?}")))?;
+    Ok((
+        dd.dirty,
+        DataSource::Preloaded {
+            name: name.to_string(),
+        },
+    ))
+}
+
+/// Ingest CSV text as an upload.
+pub fn csv_upload(file_name: &str, text: &str) -> Result<(Table, DataSource), DataLensError> {
+    let stem = file_name.trim_end_matches(".csv");
+    let table = read_csv_str(stem, text, &CsvOptions::default())?;
+    Ok((
+        table,
+        DataSource::CsvUpload {
+            file_name: file_name.to_string(),
+        },
+    ))
+}
+
+/// Ingest a CSV file from disk.
+pub fn csv_file(path: impl AsRef<Path>) -> Result<(Table, DataSource), DataLensError> {
+    let path = path.as_ref();
+    let table = read_csv_path(path, &CsvOptions::default())?;
+    Ok((
+        table,
+        DataSource::CsvUpload {
+            file_name: path
+                .file_name()
+                .map(|n| n.to_string_lossy().to_string())
+                .unwrap_or_default(),
+        },
+    ))
+}
+
+/// A connectable tabular source — the shape of the paper's MySQL /
+/// PostgreSQL / SQL Server connectors.
+pub trait SqlSource {
+    /// Human-readable connection string (for DataSheets).
+    fn connection_string(&self) -> String;
+    /// Table names available on this connection.
+    fn list_tables(&self) -> Vec<String>;
+    /// Load one table.
+    fn load_table(&self, name: &str) -> Result<Table, DataLensError>;
+}
+
+/// An in-memory "database": named tables behind the [`SqlSource`] trait.
+#[derive(Debug, Default)]
+pub struct InMemorySqlSource {
+    name: String,
+    tables: BTreeMap<String, Table>,
+}
+
+impl InMemorySqlSource {
+    pub fn new(name: impl Into<String>) -> InMemorySqlSource {
+        InMemorySqlSource {
+            name: name.into(),
+            tables: BTreeMap::new(),
+        }
+    }
+
+    pub fn with_table(mut self, table: Table) -> InMemorySqlSource {
+        self.tables.insert(table.name().to_string(), table);
+        self
+    }
+}
+
+impl SqlSource for InMemorySqlSource {
+    fn connection_string(&self) -> String {
+        format!("memory://{}", self.name)
+    }
+
+    fn list_tables(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    fn load_table(&self, name: &str) -> Result<Table, DataLensError> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DataLensError::Unknown(format!("table {name:?} on {}", self.name)))
+    }
+}
+
+/// Ingest from a SQL source.
+pub fn sql(
+    source: &dyn SqlSource,
+    table_name: &str,
+) -> Result<(Table, DataSource), DataLensError> {
+    let table = source.load_table(table_name)?;
+    Ok((
+        table,
+        DataSource::Sql {
+            connection: source.connection_string(),
+            table: table_name.to_string(),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    #[test]
+    fn preloaded_ingestion() {
+        let (t, src) = preloaded("nasa", 0).unwrap();
+        assert!(t.n_rows() > 100);
+        assert_eq!(src, DataSource::Preloaded { name: "nasa".into() });
+        assert!(preloaded("bogus", 0).is_err());
+    }
+
+    #[test]
+    fn csv_upload_ingestion() {
+        let (t, src) = csv_upload("cities.csv", "a,b\n1,x\n").unwrap();
+        assert_eq!(t.name(), "cities");
+        assert_eq!(t.shape(), (1, 2));
+        assert_eq!(
+            src,
+            DataSource::CsvUpload {
+                file_name: "cities.csv".into()
+            }
+        );
+        assert!(csv_upload("broken.csv", "a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn sql_ingestion() {
+        let db = InMemorySqlSource::new("prod").with_table(
+            Table::new("users", vec![Column::from_i64("id", [Some(1)])]).unwrap(),
+        );
+        assert_eq!(db.list_tables(), vec!["users"]);
+        let (t, src) = sql(&db, "users").unwrap();
+        assert_eq!(t.name(), "users");
+        assert_eq!(
+            src,
+            DataSource::Sql {
+                connection: "memory://prod".into(),
+                table: "users".into()
+            }
+        );
+        assert!(sql(&db, "ghosts").is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! The Data Quality panel (right segment of Figure 2): table-level quality
+//! metrics computed from the profile, the rule set, and the consolidated
+//! detections.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use datalens_detect::{DetectionContext, Detector, NadeefDetector};
+use datalens_fd::RuleSet;
+use datalens_table::Table;
+
+/// The metric panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityMetrics {
+    /// 1 − fraction of null cells.
+    pub completeness: f64,
+    /// 1 − fraction of cells flagged by the detection run.
+    pub validity: f64,
+    /// 1 − fraction of cells violating active FD rules.
+    pub consistency: f64,
+    /// 1 − fraction of duplicate rows.
+    pub uniqueness: f64,
+    /// Unweighted mean of the four.
+    pub overall: f64,
+}
+
+impl QualityMetrics {
+    /// Compute the panel. `flagged_cells` is the consolidated detection
+    /// count (0 when detection has not run yet).
+    pub fn compute(table: &Table, rules: &RuleSet, flagged_cells: usize) -> QualityMetrics {
+        let total_cells = (table.n_rows() * table.n_cols()).max(1);
+        let completeness = 1.0 - table.null_count() as f64 / total_cells as f64;
+        let validity = 1.0 - (flagged_cells.min(total_cells)) as f64 / total_cells as f64;
+
+        let ctx = DetectionContext::with_rules(rules.clone());
+        let violations = NadeefDetector::default().detect(table, &ctx).len();
+        let consistency = 1.0 - (violations.min(total_cells)) as f64 / total_cells as f64;
+
+        let dups = table.duplicate_rows().len();
+        let uniqueness = 1.0 - dups as f64 / table.n_rows().max(1) as f64;
+
+        let overall = (completeness + validity + consistency + uniqueness) / 4.0;
+        QualityMetrics {
+            completeness,
+            validity,
+            consistency,
+            uniqueness,
+            overall,
+        }
+    }
+
+    /// As a name → value map (DataSheet embedding). Values are rounded to
+    /// six decimals so DataSheets compare bit-exactly after a JSON round
+    /// trip.
+    pub fn as_map(&self) -> BTreeMap<String, f64> {
+        fn round6(v: f64) -> f64 {
+            (v * 1e6).round() / 1e6
+        }
+        let mut m = BTreeMap::new();
+        m.insert("completeness".into(), round6(self.completeness));
+        m.insert("validity".into(), round6(self.validity));
+        m.insert("consistency".into(), round6(self.consistency));
+        m.insert("uniqueness".into(), round6(self.uniqueness));
+        m.insert("overall".into(), round6(self.overall));
+        m
+    }
+
+    /// Render as the dashboard's right-hand panel.
+    pub fn render_text(&self) -> String {
+        fn bar(v: f64) -> String {
+            let filled = (v.clamp(0.0, 1.0) * 20.0).round() as usize;
+            format!("[{}{}]", "█".repeat(filled), "░".repeat(20 - filled))
+        }
+        format!(
+            "Data Quality\n  completeness {} {:.1}%\n  validity     {} {:.1}%\n  consistency  {} {:.1}%\n  uniqueness   {} {:.1}%\n  overall      {} {:.1}%\n",
+            bar(self.completeness),
+            self.completeness * 100.0,
+            bar(self.validity),
+            self.validity * 100.0,
+            bar(self.consistency),
+            self.consistency * 100.0,
+            bar(self.uniqueness),
+            self.uniqueness * 100.0,
+            bar(self.overall),
+            self.overall * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_fd::{Fd, FdRule};
+    use datalens_table::Column;
+
+    #[test]
+    fn clean_table_scores_one() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("x", [Some(1), Some(2), Some(3)])],
+        )
+        .unwrap();
+        let q = QualityMetrics::compute(&t, &RuleSet::new(), 0);
+        assert_eq!(q.completeness, 1.0);
+        assert_eq!(q.validity, 1.0);
+        assert_eq!(q.consistency, 1.0);
+        assert_eq!(q.uniqueness, 1.0);
+        assert_eq!(q.overall, 1.0);
+    }
+
+    #[test]
+    fn nulls_reduce_completeness() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("x", [Some(1), None, Some(3), None])],
+        )
+        .unwrap();
+        let q = QualityMetrics::compute(&t, &RuleSet::new(), 0);
+        assert!((q.completeness - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fd_violations_reduce_consistency() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_i64("zip", [Some(1), Some(1), Some(1)]),
+                Column::from_str_vals("city", [Some("a"), Some("a"), Some("b")]),
+            ],
+        )
+        .unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(FdRule::user_defined(
+            Fd::new(vec!["zip".into()], "city".into()).unwrap(),
+        ));
+        let q = QualityMetrics::compute(&t, &rules, 0);
+        assert!(q.consistency < 1.0);
+    }
+
+    #[test]
+    fn duplicates_reduce_uniqueness() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("x", [Some(1), Some(1), Some(2), Some(2)])],
+        )
+        .unwrap();
+        let q = QualityMetrics::compute(&t, &RuleSet::new(), 0);
+        assert!((q.uniqueness - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_and_map() {
+        let t = Table::new("t", vec![Column::from_i64("x", [Some(1)])]).unwrap();
+        let q = QualityMetrics::compute(&t, &RuleSet::new(), 0);
+        let text = q.render_text();
+        assert!(text.contains("completeness"));
+        assert!(text.contains("100.0%"));
+        assert_eq!(q.as_map().len(), 5);
+    }
+}

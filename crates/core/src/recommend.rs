@@ -1,0 +1,241 @@
+//! Tool recommendation — addressing the paper's opening challenge:
+//! "Knowing which tool to use, when to use it, and how to best use it
+//! requires a deep understanding of both the tools themselves and the
+//! specific data quality issues at hand."
+//!
+//! Given the data profile and the rule set, [`recommend_tools`] proposes
+//! the detector subset (with reasons) a domain expert would start from —
+//! shown in the dashboard before the user picks tools manually, and
+//! usable as the initial search space of iterative cleaning.
+
+use datalens_fd::RuleSet;
+use datalens_profile::{AlertKind, ProfileReport};
+use datalens_table::DataType;
+
+/// One recommendation with its justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recommendation {
+    /// Detector machine name (resolvable via
+    /// `datalens_detect::detector_by_name`).
+    pub tool: &'static str,
+    /// Why this tool fits this dataset.
+    pub reason: String,
+}
+
+/// Propose detectors for the profiled dataset. Deterministic, ordered by
+/// decreasing relevance; always non-empty (min_k is the universal
+/// fallback).
+pub fn recommend_tools(profile: &ProfileReport, rules: &RuleSet) -> Vec<Recommendation> {
+    let mut out: Vec<Recommendation> = Vec::new();
+
+    let n_numeric = profile
+        .columns
+        .iter()
+        .filter(|c| c.dtype.is_numeric())
+        .count();
+    let n_string = profile
+        .columns
+        .iter()
+        .filter(|c| c.dtype == DataType::Str)
+        .count();
+
+    if profile.table.missing_cells > 0 {
+        out.push(Recommendation {
+            tool: "mv_detector",
+            reason: format!(
+                "{} cells ({:.1}%) are explicitly missing",
+                profile.table.missing_cells,
+                profile.table.missing_fraction * 100.0
+            ),
+        });
+    }
+
+    if n_numeric > 0 {
+        // Skewed columns break the z-score assumption: prefer IQR there.
+        let skewed = profile
+            .alerts
+            .iter()
+            .filter(|a| a.kind == AlertKind::Skewed)
+            .count();
+        if skewed > 0 {
+            out.push(Recommendation {
+                tool: "iqr",
+                reason: format!(
+                    "{skewed} skewed numeric column(s): quartile fences are \
+                     robust where z-scores are not"
+                ),
+            });
+            out.push(Recommendation {
+                tool: "sd",
+                reason: format!("{n_numeric} numeric column(s) for z-score screening"),
+            });
+        } else {
+            out.push(Recommendation {
+                tool: "sd",
+                reason: format!(
+                    "{n_numeric} numeric column(s) with no skew alerts: \
+                     z-scores apply cleanly"
+                ),
+            });
+            out.push(Recommendation {
+                tool: "iqr",
+                reason: "quartile fences as a second statistical opinion".into(),
+            });
+        }
+        if n_numeric >= 3 && profile.table.n_rows >= 100 {
+            out.push(Recommendation {
+                tool: "isolation_forest",
+                reason: format!(
+                    "{n_numeric} numeric dimensions and {} rows: enough for \
+                     multivariate row-level anomaly detection",
+                    profile.table.n_rows
+                ),
+            });
+        }
+    }
+
+    let dominant = profile
+        .alerts
+        .iter()
+        .filter(|a| a.kind == AlertKind::DominantValue)
+        .count();
+    if dominant > 0 {
+        out.push(Recommendation {
+            tool: "fahes",
+            reason: format!(
+                "{dominant} column(s) show a dominant repeated value — the \
+                 disguised-missing-value signature"
+            ),
+        });
+    } else if n_string > 0 || n_numeric > 0 {
+        out.push(Recommendation {
+            tool: "fahes",
+            reason: "screen for disguised missing values (sentinels, placeholders)".into(),
+        });
+    }
+
+    if rules.active().count() > 0 {
+        out.push(Recommendation {
+            tool: "nadeef",
+            reason: format!(
+                "{} active FD rule(s) available for violation detection",
+                rules.active().count()
+            ),
+        });
+        out.push(Recommendation {
+            tool: "holoclean",
+            reason: "rules plus statistics: probabilistic signal combination applies".into(),
+        });
+    }
+
+    if n_string > 0 {
+        out.push(Recommendation {
+            tool: "katara",
+            reason: format!(
+                "{n_string} string column(s) to align against the knowledge base"
+            ),
+        });
+    }
+
+    out.push(Recommendation {
+        tool: "min_k",
+        reason: "ensemble vote over the statistical tools for a high-precision pass".into(),
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_fd::{Fd, FdRule};
+    use datalens_profile::ProfileConfig;
+    use datalens_table::{Column, Table};
+
+    fn profile_of(t: &Table) -> ProfileReport {
+        ProfileReport::build(t, &ProfileConfig::default())
+    }
+
+    fn tools(recs: &[Recommendation]) -> Vec<&'static str> {
+        recs.iter().map(|r| r.tool).collect()
+    }
+
+    #[test]
+    fn numeric_table_gets_statistical_tools() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64(
+                "x",
+                (0..50).map(|i| Some(i as f64)).collect::<Vec<_>>(),
+            )],
+        )
+        .unwrap();
+        let recs = recommend_tools(&profile_of(&t), &RuleSet::new());
+        let names = tools(&recs);
+        assert!(names.contains(&"sd"));
+        assert!(names.contains(&"iqr"));
+        assert!(!names.contains(&"nadeef"), "no rules, no nadeef");
+        assert!(!names.contains(&"katara"), "no strings, no katara");
+    }
+
+    #[test]
+    fn missing_values_trigger_mv_detector_first() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64("x", [Some(1.0), None, Some(3.0)])],
+        )
+        .unwrap();
+        let recs = recommend_tools(&profile_of(&t), &RuleSet::new());
+        assert_eq!(recs[0].tool, "mv_detector");
+        assert!(recs[0].reason.contains("missing"));
+    }
+
+    #[test]
+    fn rules_bring_in_rule_based_tools() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_i64("zip", [Some(1), Some(2)]),
+                Column::from_str_vals("city", [Some("a"), Some("b")]),
+            ],
+        )
+        .unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(FdRule::user_defined(
+            Fd::new(vec!["zip".into()], "city".into()).unwrap(),
+        ));
+        let names = tools(&recommend_tools(&profile_of(&t), &rules));
+        assert!(names.contains(&"nadeef"));
+        assert!(names.contains(&"holoclean"));
+        assert!(names.contains(&"katara"));
+    }
+
+    #[test]
+    fn skew_prefers_iqr_over_sd() {
+        let mut vals: Vec<Option<f64>> = vec![Some(1.0); 40];
+        vals.extend([Some(500.0), Some(900.0), Some(1500.0)]);
+        let t = Table::new("t", vec![Column::from_f64("x", vals)]).unwrap();
+        let recs = recommend_tools(&profile_of(&t), &RuleSet::new());
+        let names = tools(&recs);
+        let iqr_pos = names.iter().position(|&n| n == "iqr").unwrap();
+        let sd_pos = names.iter().position(|&n| n == "sd").unwrap();
+        assert!(iqr_pos < sd_pos, "{names:?}");
+    }
+
+    #[test]
+    fn every_recommended_tool_resolves() {
+        let dd = datalens_datasets::registry::dirty("hospital", 0).unwrap();
+        let recs = recommend_tools(&profile_of(&dd.dirty), &RuleSet::new());
+        assert!(!recs.is_empty());
+        for r in &recs {
+            assert!(
+                datalens_detect::detector_by_name(r.tool).is_some(),
+                "{} unknown",
+                r.tool
+            );
+            assert!(!r.reason.is_empty());
+        }
+        // min_k is always the closing recommendation.
+        assert_eq!(recs.last().unwrap().tool, "min_k");
+    }
+}

@@ -1,0 +1,331 @@
+//! The REST tool service: exposes the detection and repair tools over the
+//! HTTP bus (§3's FastAPI layer). "The POST method forwards tasks …, the
+//! GET method retrieves results …, and the PUT method updates information
+//! related to specific requests."
+//!
+//! Endpoints:
+//! - `GET  /tools`            — list detector and repairer names;
+//! - `POST /detect`           — run one detector on a CSV payload;
+//! - `POST /repair`           — repair given error cells on a CSV payload;
+//! - `POST /profile`          — profile a CSV payload;
+//! - `PUT  /context`          — update the server-side detection context
+//!   (tagged values, FD rules) applied to subsequent requests.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use datalens_detect::{detector_by_name, DetectionContext, DETECTOR_NAMES};
+use datalens_fd::{Fd, FdRule, RuleSet};
+use datalens_profile::{ProfileConfig, ProfileReport};
+use datalens_repair::{repairer_by_name, RepairContext, REPAIRER_NAMES};
+use datalens_rest::http::Method;
+use datalens_rest::{Response, Router};
+use datalens_table::csv::{read_csv_str, write_csv_str, CsvOptions};
+use datalens_table::CellRef;
+
+/// Wire form of a cell reference.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WireCell {
+    pub row: usize,
+    pub col: usize,
+}
+
+impl From<CellRef> for WireCell {
+    fn from(c: CellRef) -> Self {
+        WireCell {
+            row: c.row,
+            col: c.col,
+        }
+    }
+}
+
+impl From<WireCell> for CellRef {
+    fn from(c: WireCell) -> Self {
+        CellRef::new(c.row, c.col)
+    }
+}
+
+/// `POST /detect` request.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct DetectRequest {
+    pub tool: String,
+    pub csv: String,
+}
+
+/// `POST /detect` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct DetectResponse {
+    pub tool: String,
+    pub cells: Vec<WireCell>,
+}
+
+/// `POST /repair` request.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RepairRequest {
+    pub tool: String,
+    pub csv: String,
+    pub error_cells: Vec<WireCell>,
+}
+
+/// `POST /repair` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RepairResponse {
+    pub tool: String,
+    pub csv: String,
+    pub n_repaired: usize,
+}
+
+/// `PUT /context` request: replaces the shared detection context.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct ContextUpdate {
+    #[serde(default)]
+    pub tagged_values: Vec<String>,
+    /// FD rules as `(lhs columns, rhs column)` pairs.
+    #[serde(default)]
+    pub rules: Vec<(Vec<String>, String)>,
+}
+
+/// `GET /tools` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ToolList {
+    pub detectors: Vec<String>,
+    pub repairers: Vec<String>,
+}
+
+#[derive(Default)]
+struct ServiceState {
+    tagged_values: Vec<String>,
+    rules: RuleSet,
+}
+
+/// Build the tool-service router (mount it on a
+/// [`datalens_rest::Server`]).
+pub fn tool_service_router(seed: u64) -> Router {
+    let state = Arc::new(Mutex::new(ServiceState::default()));
+
+    let st = Arc::clone(&state);
+    let router = Router::new()
+        .route(Method::Get, "/tools", |_| {
+            Response::json(&ToolList {
+                detectors: DETECTOR_NAMES.iter().map(|s| s.to_string()).collect(),
+                repairers: REPAIRER_NAMES.iter().map(|s| s.to_string()).collect(),
+            })
+        })
+        .route(Method::Put, "/context", move |req| {
+            let update: ContextUpdate = match req.json() {
+                Ok(u) => u,
+                Err(e) => return Response::error(400, &e.to_string()),
+            };
+            let mut rules = RuleSet::new();
+            for (lhs, rhs) in update.rules {
+                match Fd::new(lhs, rhs) {
+                    Some(fd) => {
+                        rules.add(FdRule::user_defined(fd));
+                    }
+                    None => return Response::error(400, "degenerate FD rule"),
+                }
+            }
+            let mut s = st.lock();
+            s.tagged_values = update.tagged_values;
+            s.rules = rules;
+            Response::json(&serde_json::json!({"ok": true}))
+        });
+
+    let st = Arc::clone(&state);
+    let router = router.route(Method::Post, "/detect", move |req| {
+        let body: DetectRequest = match req.json() {
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let Some(det) = detector_by_name(&body.tool) else {
+            return Response::error(404, &format!("unknown detector {:?}", body.tool));
+        };
+        let table = match read_csv_str("payload", &body.csv, &CsvOptions::default()) {
+            Ok(t) => t,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let ctx = {
+            let s = st.lock();
+            DetectionContext {
+                rules: s.rules.clone(),
+                tagged_values: s.tagged_values.clone(),
+                seed,
+            }
+        };
+        let detection = det.detect(&table, &ctx);
+        Response::json(&DetectResponse {
+            tool: detection.tool.clone(),
+            cells: detection.cells.iter().map(|&c| c.into()).collect(),
+        })
+    });
+
+    let st = Arc::clone(&state);
+    let router = router.route(Method::Post, "/repair", move |req| {
+        let body: RepairRequest = match req.json() {
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let Some(rep) = repairer_by_name(&body.tool) else {
+            return Response::error(404, &format!("unknown repairer {:?}", body.tool));
+        };
+        let table = match read_csv_str("payload", &body.csv, &CsvOptions::default()) {
+            Ok(t) => t,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let errors: Vec<CellRef> = body.error_cells.iter().map(|&c| c.into()).collect();
+        let ctx = {
+            let s = st.lock();
+            RepairContext {
+                rules: s.rules.clone(),
+                seed,
+            }
+        };
+        let result = rep.repair(&table, &errors, &ctx);
+        Response::json(&RepairResponse {
+            tool: result.tool.clone(),
+            csv: write_csv_str(&result.table),
+            n_repaired: result.n_repaired(),
+        })
+    });
+
+    router.route(Method::Post, "/profile", |req| {
+        #[derive(Deserialize)]
+        struct ProfileRequest {
+            csv: String,
+        }
+        let body: ProfileRequest = match req.json() {
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let table = match read_csv_str("payload", &body.csv, &CsvOptions::default()) {
+            Ok(t) => t,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let report = ProfileReport::build(&table, &ProfileConfig::default());
+        Response::json(&report)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_rest::{Client, Server};
+
+    fn start() -> (Server, Client) {
+        let server = Server::start(tool_service_router(0)).unwrap();
+        let client = Client::new(server.addr());
+        (server, client)
+    }
+
+    #[test]
+    fn tools_lists_everything() {
+        let (_server, client) = start();
+        let tools: ToolList = client.get_json("/tools").unwrap();
+        assert!(tools.detectors.contains(&"raha".to_string()));
+        assert!(tools.repairers.contains(&"ml_imputer".to_string()));
+    }
+
+    #[test]
+    fn detect_over_the_wire() {
+        let (_server, client) = start();
+        let mut csv = String::from("x\n");
+        for i in 0..30 {
+            csv.push_str(&format!("{}\n", 10 + i % 3));
+        }
+        csv.push_str("5000\n");
+        let resp: DetectResponse = client
+            .post_json(
+                "/detect",
+                &DetectRequest {
+                    tool: "sd".into(),
+                    csv,
+                },
+            )
+            .unwrap();
+        assert_eq!(resp.tool, "sd");
+        assert_eq!(resp.cells.len(), 1);
+        assert_eq!(resp.cells[0].row, 30);
+    }
+
+    #[test]
+    fn repair_over_the_wire() {
+        let (_server, client) = start();
+        let resp: RepairResponse = client
+            .post_json(
+                "/repair",
+                &RepairRequest {
+                    tool: "standard_imputer".into(),
+                    csv: "x\n1\n2\n999\n".into(),
+                    error_cells: vec![WireCell { row: 2, col: 0 }],
+                },
+            )
+            .unwrap();
+        assert_eq!(resp.n_repaired, 1);
+        assert!(resp.csv.contains("1.5") || resp.csv.contains("2")); // mean of 1,2
+    }
+
+    #[test]
+    fn context_update_affects_detection() {
+        let (_server, client) = start();
+        let ok: serde_json::Value = {
+            let body = serde_json::to_vec(&ContextUpdate {
+                tagged_values: vec!["-1".into()],
+                rules: vec![],
+            })
+            .unwrap();
+            let resp = client.put("/context", body).unwrap();
+            assert!(resp.is_success());
+            resp.json_body().unwrap()
+        };
+        assert_eq!(ok["ok"], true);
+        let resp: DetectResponse = client
+            .post_json(
+                "/detect",
+                &DetectRequest {
+                    tool: "user_tags".into(),
+                    csv: "x\n-1\n5\n".into(),
+                },
+            )
+            .unwrap();
+        assert_eq!(resp.cells.len(), 1);
+    }
+
+    #[test]
+    fn unknown_tool_is_404_bad_body_is_400() {
+        let (_server, client) = start();
+        let resp = client
+            .post(
+                "/detect",
+                serde_json::to_vec(&DetectRequest {
+                    tool: "nope".into(),
+                    csv: "x\n1\n".into(),
+                })
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 404);
+        let resp = client.post("/detect", b"not json".to_vec()).unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn profile_over_the_wire() {
+        let (_server, client) = start();
+        #[derive(Serialize)]
+        struct Req {
+            csv: String,
+        }
+        let report: serde_json::Value = client
+            .post_json(
+                "/profile",
+                &Req {
+                    csv: "a,b\n1,x\n2,\n".into(),
+                },
+            )
+            .unwrap();
+        assert_eq!(report["table"]["n_rows"], 2);
+        assert_eq!(report["table"]["missing_cells"], 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! The user-in-the-loop module (§2/§3): tuple labeling, value tagging,
+//! and rule validation — with a ground-truth-driven simulated user for
+//! reproducible evaluation (the substitution for the paper's human
+//! participants; Figure 3 measures exactly this loop).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use datalens_datasets::DirtyDataset;
+use datalens_table::Table;
+
+/// Something that can review a tuple and mark its dirty columns.
+pub trait UserOracle {
+    /// Review `row` of `table`; return the column indices the user marks
+    /// dirty (empty = tuple looks clean, i.e. "skip").
+    fn review_tuple(&mut self, table: &Table, row: usize) -> Vec<usize>;
+}
+
+/// A simulated user backed by ground truth, with optional imperfection:
+/// `miss_rate` = chance of overlooking a dirty cell, `false_flag_rate` =
+/// chance of wrongly flagging a clean cell.
+pub struct SimulatedUser<'a> {
+    truth: &'a DirtyDataset,
+    miss_rate: f64,
+    false_flag_rate: f64,
+    rng: StdRng,
+}
+
+impl<'a> SimulatedUser<'a> {
+    /// A perfect oracle.
+    pub fn perfect(truth: &'a DirtyDataset) -> SimulatedUser<'a> {
+        SimulatedUser {
+            truth,
+            miss_rate: 0.0,
+            false_flag_rate: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// A noisy human: misses some errors, occasionally flags clean cells.
+    pub fn noisy(
+        truth: &'a DirtyDataset,
+        miss_rate: f64,
+        false_flag_rate: f64,
+        seed: u64,
+    ) -> SimulatedUser<'a> {
+        SimulatedUser {
+            truth,
+            miss_rate: miss_rate.clamp(0.0, 1.0),
+            false_flag_rate: false_flag_rate.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl UserOracle for SimulatedUser<'_> {
+    fn review_tuple(&mut self, table: &Table, row: usize) -> Vec<usize> {
+        let mut dirty = Vec::new();
+        for c in 0..table.n_cols() {
+            let cell = datalens_table::CellRef::new(row, c);
+            let is_error = self.truth.is_error(cell);
+            let flagged = if is_error {
+                self.miss_rate == 0.0 || !self.rng.random_bool(self.miss_rate)
+            } else {
+                self.false_flag_rate > 0.0 && self.rng.random_bool(self.false_flag_rate)
+            };
+            if flagged {
+                dirty.push(c);
+            }
+        }
+        dirty
+    }
+}
+
+/// A decision the user can make about a discovered rule (the "review,
+/// confirm, modify, or reject" flow of §3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleDecision {
+    Confirm,
+    Reject,
+    Modify(datalens_fd::Fd),
+}
+
+/// The user's tagged known-dirty values (§3 "data tagging").
+#[derive(Debug, Clone, Default)]
+pub struct TagList {
+    values: Vec<String>,
+}
+
+impl TagList {
+    pub fn new() -> TagList {
+        TagList::default()
+    }
+
+    /// Add a tag; duplicates are ignored. Returns true if added.
+    pub fn add(&mut self, value: impl Into<String>) -> bool {
+        let value = value.into();
+        if self.values.contains(&value) {
+            return false;
+        }
+        self.values.push(value);
+        true
+    }
+
+    pub fn remove(&mut self, value: &str) -> bool {
+        let before = self.values.len();
+        self.values.retain(|v| v != value);
+        before != self.values.len()
+    }
+
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_datasets::{inject, InjectionConfig};
+    use datalens_table::{CellRef, Column};
+
+    fn truth() -> DirtyDataset {
+        let clean = Table::new(
+            "t",
+            vec![Column::from_f64(
+                "x",
+                (0..100).map(|i| Some(i as f64)).collect::<Vec<_>>(),
+            )],
+        )
+        .unwrap();
+        inject(&clean, &InjectionConfig::uniform(0.1, 4))
+    }
+
+    #[test]
+    fn perfect_user_matches_ground_truth() {
+        let dd = truth();
+        let mut user = SimulatedUser::perfect(&dd);
+        for row in 0..dd.dirty.n_rows() {
+            let flags = user.review_tuple(&dd.dirty, row);
+            let expected: Vec<usize> = (0..dd.dirty.n_cols())
+                .filter(|&c| dd.is_error(CellRef::new(row, c)))
+                .collect();
+            assert_eq!(flags, expected, "row {row}");
+        }
+    }
+
+    #[test]
+    fn fully_blind_user_sees_nothing() {
+        let dd = truth();
+        let mut user = SimulatedUser::noisy(&dd, 1.0, 0.0, 1);
+        let total: usize = (0..dd.dirty.n_rows())
+            .map(|r| user.review_tuple(&dd.dirty, r).len())
+            .sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn noisy_user_misses_some() {
+        let dd = truth();
+        let mut perfect = SimulatedUser::perfect(&dd);
+        let mut noisy = SimulatedUser::noisy(&dd, 0.5, 0.0, 2);
+        let perfect_total: usize = (0..dd.dirty.n_rows())
+            .map(|r| perfect.review_tuple(&dd.dirty, r).len())
+            .sum();
+        let noisy_total: usize = (0..dd.dirty.n_rows())
+            .map(|r| noisy.review_tuple(&dd.dirty, r).len())
+            .sum();
+        assert!(noisy_total < perfect_total);
+        assert!(noisy_total > 0);
+    }
+
+    #[test]
+    fn tag_list_dedupes() {
+        let mut tags = TagList::new();
+        assert!(tags.add("-1"));
+        assert!(!tags.add("-1"));
+        assert!(tags.add("99999"));
+        assert_eq!(tags.values(), ["-1", "99999"]);
+        assert!(tags.remove("-1"));
+        assert!(!tags.remove("-1"));
+        assert_eq!(tags.values(), ["99999"]);
+    }
+}

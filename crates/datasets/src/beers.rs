@@ -1,0 +1,222 @@
+//! Beers-like dataset generator.
+//!
+//! The paper's second evaluation dataset is the craft-beers dataset
+//! (Figures 3b, 5b): mixed numeric/categorical attributes, a multi-class
+//! target (`style`), and natural functional dependencies
+//! (`brewery → city`, `brewery → state`). This synthetic equivalent
+//! preserves all three properties: style determines the abv/ibu/ounces
+//! distributions (so the classification task is learnable), breweries have
+//! fixed locations (so FD mining and NADEEF have real rules to find), and
+//! beer names are high-cardinality strings (so typo injection has targets).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Normal};
+
+use datalens_table::{Column, Table};
+
+/// Options for [`generate`].
+#[derive(Debug, Clone)]
+pub struct BeersConfig {
+    pub rows: usize,
+    pub n_breweries: usize,
+    pub seed: u64,
+}
+
+impl Default for BeersConfig {
+    fn default() -> Self {
+        BeersConfig {
+            rows: 1000,
+            n_breweries: 25,
+            seed: 0,
+        }
+    }
+}
+
+/// The classification target column.
+pub const TARGET: &str = "style";
+
+/// `(style, mean abv %, mean ibu, weight)` for the style mixture.
+const STYLES: [(&str, f64, f64, f64); 6] = [
+    ("American IPA", 6.8, 65.0, 0.28),
+    ("American Pale Ale", 5.5, 40.0, 0.22),
+    ("American Lager", 4.6, 18.0, 0.18),
+    ("Imperial Stout", 9.5, 55.0, 0.10),
+    ("Hefeweizen", 5.2, 14.0, 0.12),
+    ("Fruit Sour", 4.2, 8.0, 0.10),
+];
+
+const CITIES: [(&str, &str); 12] = [
+    ("Portland", "OR"),
+    ("San Diego", "CA"),
+    ("Denver", "CO"),
+    ("Austin", "TX"),
+    ("Chicago", "IL"),
+    ("Seattle", "WA"),
+    ("Asheville", "NC"),
+    ("Grand Rapids", "MI"),
+    ("Boston", "MA"),
+    ("Minneapolis", "MN"),
+    ("Tampa", "FL"),
+    ("Burlington", "VT"),
+];
+
+const NAME_HEADS: [&str; 10] = [
+    "Hop", "Golden", "Midnight", "River", "Cascade", "Iron", "Lazy", "Wild", "Copper", "Fog",
+];
+const NAME_TAILS: [&str; 10] = [
+    "Trail", "Haze", "Anthem", "Crown", "Letter", "Harvest", "Echo", "Patrol", "Current", "Ritual",
+];
+
+/// Generate the clean Beers-like table. Columns: `id`, `name`, `style`
+/// (target), `abv`, `ibu`, `ounces`, `brewery`, `city`, `state`.
+pub fn generate(config: &BeersConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Fixed brewery → (city, state) assignment: the dataset's FDs.
+    let breweries: Vec<(String, &str, &str)> = (0..config.n_breweries.max(1))
+        .map(|i| {
+            let (city, state) = CITIES[i % CITIES.len()];
+            (format!("Brewery {:02}", i), city, state)
+        })
+        .collect();
+
+    let mut id = Vec::with_capacity(config.rows);
+    let mut name = Vec::with_capacity(config.rows);
+    let mut style = Vec::with_capacity(config.rows);
+    let mut abv = Vec::with_capacity(config.rows);
+    let mut ibu = Vec::with_capacity(config.rows);
+    let mut ounces = Vec::with_capacity(config.rows);
+    let mut brewery = Vec::with_capacity(config.rows);
+    let mut city = Vec::with_capacity(config.rows);
+    let mut state = Vec::with_capacity(config.rows);
+
+    let total_weight: f64 = STYLES.iter().map(|s| s.3).sum();
+    let abv_noise = Normal::new(0.0, 0.45).expect("valid");
+    let ibu_noise = Normal::new(0.0, 6.0).expect("valid");
+
+    for i in 0..config.rows {
+        // Sample a style by weight.
+        let mut pick = rng.random_range(0.0..total_weight);
+        let mut chosen = &STYLES[0];
+        for s in &STYLES {
+            if pick < s.3 {
+                chosen = s;
+                break;
+            }
+            pick -= s.3;
+        }
+        let (style_name, mean_abv, mean_ibu, _) = *chosen;
+
+        let a = (mean_abv + abv_noise.sample(&mut rng)).clamp(3.0, 14.0);
+        let b = (mean_ibu + ibu_noise.sample(&mut rng)).clamp(4.0, 120.0);
+        let oz = *[12.0, 16.0, 19.2].choose(&mut rng).expect("nonempty");
+        let (brew, brew_city, brew_state) =
+            breweries.choose(&mut rng).expect("nonempty").clone();
+
+        id.push(Some(i as i64 + 1));
+        name.push(Some(format!(
+            "{} {} #{i}",
+            NAME_HEADS.choose(&mut rng).expect("nonempty"),
+            NAME_TAILS.choose(&mut rng).expect("nonempty"),
+        )));
+        style.push(Some(style_name.to_string()));
+        abv.push(Some((a * 100.0).round() / 100.0));
+        ibu.push(Some(b.round()));
+        ounces.push(Some(oz));
+        brewery.push(Some(brew));
+        city.push(Some(brew_city.to_string()));
+        state.push(Some(brew_state.to_string()));
+    }
+
+    Table::new(
+        "beers",
+        vec![
+            Column::from_i64("id", id),
+            Column::from_str_vals("name", name),
+            Column::from_str_vals(TARGET, style),
+            Column::from_f64("abv", abv),
+            Column::from_f64("ibu", ibu),
+            Column::from_f64("ounces", ounces),
+            Column::from_str_vals("brewery", brewery),
+            Column::from_str_vals("city", city),
+            Column::from_str_vals("state", state),
+        ],
+    )
+    .expect("schema is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_schema() {
+        let t = generate(&BeersConfig::default());
+        assert_eq!(t.shape(), (1000, 9));
+        assert_eq!(t.null_count(), 0);
+        assert!(t.column_by_name(TARGET).is_some());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(&BeersConfig::default()), generate(&BeersConfig::default()));
+    }
+
+    #[test]
+    fn brewery_determines_city_and_state() {
+        let t = generate(&BeersConfig::default());
+        use std::collections::HashMap;
+        let mut seen: HashMap<String, (String, String)> = HashMap::new();
+        for r in 0..t.n_rows() {
+            let b = t.get_at(r, "brewery").unwrap().render();
+            let c = t.get_at(r, "city").unwrap().render();
+            let s = t.get_at(r, "state").unwrap().render();
+            match seen.get(&b) {
+                Some((pc, ps)) => {
+                    assert_eq!((pc, ps), (&c, &s), "FD broken for {b}");
+                }
+                None => {
+                    seen.insert(b, (c, s));
+                }
+            }
+        }
+        assert!(seen.len() > 5);
+    }
+
+    #[test]
+    fn all_styles_present_with_sane_shares() {
+        let t = generate(&BeersConfig::default());
+        let counts = t.column_by_name(TARGET).unwrap().value_counts();
+        assert_eq!(counts.len(), STYLES.len());
+        // Largest class below 50%: the task is genuinely multi-class.
+        assert!((counts[0].1 as f64) < 0.5 * t.n_rows() as f64);
+    }
+
+    #[test]
+    fn styles_are_separable_by_abv_ibu() {
+        // Mean IBU of IPAs must exceed mean IBU of lagers by a wide margin.
+        let t = generate(&BeersConfig::default());
+        let mut ipa = Vec::new();
+        let mut lager = Vec::new();
+        for r in 0..t.n_rows() {
+            let style = t.get_at(r, TARGET).unwrap().render();
+            let ibu = t.get_at(r, "ibu").unwrap().as_f64().unwrap();
+            if style == "American IPA" {
+                ipa.push(ibu);
+            } else if style == "American Lager" {
+                lager.push(ibu);
+            }
+        }
+        let m_ipa = ipa.iter().sum::<f64>() / ipa.len() as f64;
+        let m_lager = lager.iter().sum::<f64>() / lager.len() as f64;
+        assert!(m_ipa > m_lager + 25.0, "ipa {m_ipa} lager {m_lager}");
+    }
+
+    #[test]
+    fn names_are_high_cardinality() {
+        let t = generate(&BeersConfig::default());
+        let distinct = t.column_by_name("name").unwrap().value_counts().len();
+        assert!(distinct as f64 > 0.9 * t.n_rows() as f64);
+    }
+}

@@ -1,0 +1,231 @@
+//! Ground truth for injected errors, and detection scoring against it.
+//!
+//! The paper's datasets (NASA, Beers) come as dirty/clean pairs with known
+//! error cells; our synthetic equivalents record the same information at
+//! injection time, which is what lets Figure 3's F1 curves be computed.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use datalens_table::{CellRef, Table};
+
+/// The kind of corruption applied to a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ErrorType {
+    /// Value replaced with an explicit null.
+    MissingValue,
+    /// Value replaced with a sentinel that *looks* valid (−1, 0, 99999, "?").
+    DisguisedMissing,
+    /// Numeric value scaled/shifted far outside its distribution.
+    Outlier,
+    /// String value mutated by a character-level typo.
+    Typo,
+    /// Categorical value swapped for a different legal category.
+    CategorySwap,
+    /// Dependent attribute changed so a functional dependency breaks.
+    FdViolation,
+}
+
+impl ErrorType {
+    pub const ALL: [ErrorType; 6] = [
+        ErrorType::MissingValue,
+        ErrorType::DisguisedMissing,
+        ErrorType::Outlier,
+        ErrorType::Typo,
+        ErrorType::CategorySwap,
+        ErrorType::FdViolation,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorType::MissingValue => "missing_value",
+            ErrorType::DisguisedMissing => "disguised_missing",
+            ErrorType::Outlier => "outlier",
+            ErrorType::Typo => "typo",
+            ErrorType::CategorySwap => "category_swap",
+            ErrorType::FdViolation => "fd_violation",
+        }
+    }
+}
+
+/// Precision/recall/F1 of a detection run against the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionScore {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// A dirty table paired with its clean original and the exact error mask.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DirtyDataset {
+    pub clean: Table,
+    pub dirty: Table,
+    /// Every corrupted cell and how it was corrupted.
+    pub errors: BTreeMap<CellRef, ErrorType>,
+}
+
+impl DirtyDataset {
+    /// All corrupted cells.
+    pub fn error_cells(&self) -> Vec<CellRef> {
+        self.errors.keys().copied().collect()
+    }
+
+    /// Is `cell` corrupted?
+    pub fn is_error(&self, cell: CellRef) -> bool {
+        self.errors.contains_key(&cell)
+    }
+
+    /// Does row `row` contain at least one corrupted cell?
+    pub fn row_is_dirty(&self, row: usize) -> bool {
+        self.errors.keys().any(|c| c.row == row)
+    }
+
+    /// Number of corrupted cells of the given type.
+    pub fn count_of(&self, kind: ErrorType) -> usize {
+        self.errors.values().filter(|&&k| k == kind).count()
+    }
+
+    /// Score a set of detected cells against the ground truth.
+    pub fn score_detections(&self, detected: &[CellRef]) -> DetectionScore {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut seen = std::collections::BTreeSet::new();
+        for &cell in detected {
+            if !seen.insert(cell) {
+                continue; // count duplicates once
+            }
+            if self.is_error(cell) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        let fn_ = self.errors.len() - tp;
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        DetectionScore {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+            precision,
+            recall,
+            f1,
+        }
+    }
+
+    /// Fraction of repaired cells that exactly match the clean original,
+    /// over all corrupted cells (repair accuracy).
+    pub fn repair_accuracy(&self, repaired: &Table) -> f64 {
+        if self.errors.is_empty() {
+            return 1.0;
+        }
+        let mut hits = 0usize;
+        for &cell in self.errors.keys() {
+            let clean = self.clean.get(cell).expect("cell in range");
+            let fixed = repaired.get(cell).expect("cell in range");
+            if clean == fixed {
+                hits += 1;
+            }
+        }
+        hits as f64 / self.errors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::{Column, Value};
+
+    fn dataset() -> DirtyDataset {
+        let clean = Table::new(
+            "t",
+            vec![Column::from_i64("x", [Some(1), Some(2), Some(3), Some(4)])],
+        )
+        .unwrap();
+        let mut dirty = clean.clone();
+        dirty.set(CellRef::new(1, 0), Value::Null).unwrap();
+        dirty.set(CellRef::new(3, 0), Value::Int(9999)).unwrap();
+        let mut errors = BTreeMap::new();
+        errors.insert(CellRef::new(1, 0), ErrorType::MissingValue);
+        errors.insert(CellRef::new(3, 0), ErrorType::Outlier);
+        DirtyDataset { clean, dirty, errors }
+    }
+
+    #[test]
+    fn error_accounting() {
+        let d = dataset();
+        assert_eq!(d.error_cells().len(), 2);
+        assert!(d.is_error(CellRef::new(1, 0)));
+        assert!(!d.is_error(CellRef::new(0, 0)));
+        assert!(d.row_is_dirty(3));
+        assert!(!d.row_is_dirty(2));
+        assert_eq!(d.count_of(ErrorType::Outlier), 1);
+        assert_eq!(d.count_of(ErrorType::Typo), 0);
+    }
+
+    #[test]
+    fn perfect_detection_scores_one() {
+        let d = dataset();
+        let s = d.score_detections(&d.error_cells());
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn partial_detection() {
+        let d = dataset();
+        let s = d.score_detections(&[CellRef::new(1, 0), CellRef::new(0, 0)]);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.false_negatives, 1);
+        assert_eq!(s.precision, 0.5);
+        assert_eq!(s.recall, 0.5);
+        assert_eq!(s.f1, 0.5);
+    }
+
+    #[test]
+    fn duplicate_detections_counted_once() {
+        let d = dataset();
+        let cell = CellRef::new(1, 0);
+        let s = d.score_detections(&[cell, cell, cell]);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 0);
+    }
+
+    #[test]
+    fn empty_detection_zero_f1() {
+        let d = dataset();
+        let s = d.score_detections(&[]);
+        assert_eq!(s.f1, 0.0);
+        assert_eq!(s.false_negatives, 2);
+    }
+
+    #[test]
+    fn repair_accuracy_counts_exact_restores() {
+        let d = dataset();
+        // Repair one of the two cells correctly.
+        let mut repaired = d.dirty.clone();
+        repaired.set(CellRef::new(1, 0), Value::Int(2)).unwrap();
+        assert_eq!(d.repair_accuracy(&repaired), 0.5);
+        assert_eq!(d.repair_accuracy(&d.clean), 1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Hospital-like dataset generator.
+//!
+//! The Hospital dataset is the classic FD-heavy benchmark of the data-
+//! cleaning literature (HoloClean, NADEEF, RAHA, and the authors' own
+//! REIN benchmark all evaluate on it). It is almost entirely categorical
+//! with a dense web of functional dependencies — the regime where
+//! rule-based and knowledge-based detection shine and statistical
+//! outlier detectors are nearly blind. This synthetic equivalent
+//! preserves that character:
+//!
+//! - `provider_id` is a key;
+//! - `hospital_name → city, state, zip, county, phone` (hospital facts);
+//! - `zip → city, state` (geography);
+//! - `measure_code → measure_name, condition` (the measure catalogue);
+//! - `state` values come from the US-state domain (KATARA-alignable);
+//! - downstream task: multi-class classification of `condition` from the
+//!   measure/hospital attributes.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use datalens_table::{Column, Table};
+
+/// Options for [`generate`].
+#[derive(Debug, Clone)]
+pub struct HospitalConfig {
+    pub rows: usize,
+    pub n_hospitals: usize,
+    pub seed: u64,
+}
+
+impl Default for HospitalConfig {
+    fn default() -> Self {
+        HospitalConfig {
+            rows: 1000,
+            n_hospitals: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// The classification target column.
+pub const TARGET: &str = "condition";
+
+/// `(measure code, measure name, condition)` — the measure catalogue.
+const MEASURES: [(&str, &str, &str); 12] = [
+    ("AMI-1", "aspirin at arrival", "heart attack"),
+    ("AMI-2", "aspirin at discharge", "heart attack"),
+    ("AMI-8a", "primary pci within 90 minutes", "heart attack"),
+    ("HF-1", "discharge instructions", "heart failure"),
+    ("HF-2", "evaluation of lvs function", "heart failure"),
+    ("HF-3", "ace inhibitor for lvsd", "heart failure"),
+    ("PN-2", "pneumococcal vaccination", "pneumonia"),
+    ("PN-3b", "blood culture before antibiotic", "pneumonia"),
+    ("PN-6", "initial antibiotic selection", "pneumonia"),
+    ("SCIP-1", "prophylactic antibiotic within 1 hour", "surgical infection prevention"),
+    ("SCIP-2", "prophylactic antibiotic selection", "surgical infection prevention"),
+    ("SCIP-3", "antibiotic discontinued within 24 hours", "surgical infection prevention"),
+];
+
+const LOCATIONS: [(&str, &str, &str, &str); 10] = [
+    ("birmingham", "AL", "35233", "jefferson"),
+    ("dothan", "AL", "36301", "houston"),
+    ("mobile", "AL", "36608", "mobile"),
+    ("huntsville", "AL", "35801", "madison"),
+    ("atlanta", "GA", "30303", "fulton"),
+    ("savannah", "GA", "31401", "chatham"),
+    ("nashville", "TN", "37203", "davidson"),
+    ("memphis", "TN", "38103", "shelby"),
+    ("jackson", "MS", "39216", "hinds"),
+    ("gulfport", "MS", "39501", "harrison"),
+];
+
+const NAME_PARTS: [&str; 10] = [
+    "general", "regional", "memorial", "baptist", "methodist", "university", "community",
+    "sacred heart", "st mary", "providence",
+];
+
+/// Generate the clean hospital-like table. Columns: `provider_id`,
+/// `hospital_name`, `city`, `state`, `zip`, `county`, `phone`,
+/// `measure_code`, `measure_name`, `condition` (target), `score`.
+pub fn generate(config: &HospitalConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Fixed hospital facts (the FD sources).
+    struct Hospital {
+        name: String,
+        city: &'static str,
+        state: &'static str,
+        zip: &'static str,
+        county: &'static str,
+        phone: String,
+        /// Per-hospital quality bias feeding `score`.
+        bias: f64,
+    }
+    let hospitals: Vec<Hospital> = (0..config.n_hospitals.max(1))
+        .map(|i| {
+            let (city, state, zip, county) = LOCATIONS[i % LOCATIONS.len()];
+            // Latin-square pairing keeps (city, name-part) combinations —
+            // and therefore hospital names — unique for up to 100
+            // hospitals, preserving the hospital_name → * FDs.
+            let part = NAME_PARTS[(i + i / LOCATIONS.len()) % NAME_PARTS.len()];
+            Hospital {
+                name: format!("{city} {part} hospital"),
+                city,
+                state,
+                zip,
+                county,
+                phone: format!("205{:07}", 1000000 + i as u64 * 13579 % 8999999),
+                bias: rng.random_range(-8.0..8.0),
+            }
+        })
+        .collect();
+
+    let mut provider_id = Vec::with_capacity(config.rows);
+    let mut name = Vec::with_capacity(config.rows);
+    let mut city = Vec::with_capacity(config.rows);
+    let mut state = Vec::with_capacity(config.rows);
+    let mut zip = Vec::with_capacity(config.rows);
+    let mut county = Vec::with_capacity(config.rows);
+    let mut phone = Vec::with_capacity(config.rows);
+    let mut measure_code = Vec::with_capacity(config.rows);
+    let mut measure_name = Vec::with_capacity(config.rows);
+    let mut condition = Vec::with_capacity(config.rows);
+    let mut score = Vec::with_capacity(config.rows);
+
+    for i in 0..config.rows {
+        let h = hospitals.choose(&mut rng).expect("nonempty");
+        let (code, mname, cond) = *MEASURES.choose(&mut rng).expect("nonempty");
+        // Scores are condition-dependent (so `condition` is learnable from
+        // score + measure attributes) plus a hospital bias.
+        let base = match cond {
+            "heart attack" => 88.0,
+            "heart failure" => 79.0,
+            "pneumonia" => 71.0,
+            _ => 62.0,
+        };
+        let s = (base + h.bias + rng.random_range(-4.0..4.0)).clamp(0.0, 100.0);
+
+        provider_id.push(Some(10_000 + i as i64));
+        name.push(Some(h.name.clone()));
+        city.push(Some(h.city.to_string()));
+        state.push(Some(h.state.to_string()));
+        zip.push(Some(h.zip.to_string()));
+        county.push(Some(h.county.to_string()));
+        phone.push(Some(h.phone.clone()));
+        measure_code.push(Some(code.to_string()));
+        measure_name.push(Some(mname.to_string()));
+        condition.push(Some(cond.to_string()));
+        score.push(Some((s * 10.0).round() / 10.0));
+    }
+
+    Table::new(
+        "hospital",
+        vec![
+            Column::from_i64("provider_id", provider_id),
+            Column::from_str_vals("hospital_name", name),
+            Column::from_str_vals("city", city),
+            Column::from_str_vals("state", state),
+            Column::from_str_vals("zip", zip),
+            Column::from_str_vals("county", county),
+            Column::from_str_vals("phone", phone),
+            Column::from_str_vals("measure_code", measure_code),
+            Column::from_str_vals("measure_name", measure_name),
+            Column::from_str_vals(TARGET, condition),
+            Column::from_f64("score", score),
+        ],
+    )
+    .expect("schema is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn fd_holds(t: &Table, det: &str, dep: &str) -> bool {
+        let mut seen: HashMap<String, String> = HashMap::new();
+        for r in 0..t.n_rows() {
+            let k = t.get_at(r, det).unwrap().render();
+            let v = t.get_at(r, dep).unwrap().render();
+            match seen.get(&k) {
+                Some(prev) if prev != &v => return false,
+                Some(_) => {}
+                None => {
+                    seen.insert(k, v);
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let t = generate(&HospitalConfig::default());
+        assert_eq!(t.shape(), (1000, 11));
+        assert_eq!(t.null_count(), 0);
+        assert_eq!(t, generate(&HospitalConfig::default()));
+    }
+
+    #[test]
+    fn dense_fd_web_holds() {
+        let t = generate(&HospitalConfig::default());
+        for (det, dep) in [
+            ("hospital_name", "city"),
+            ("hospital_name", "state"),
+            ("hospital_name", "zip"),
+            ("hospital_name", "phone"),
+            ("zip", "city"),
+            ("zip", "state"),
+            ("measure_code", "measure_name"),
+            ("measure_code", "condition"),
+        ] {
+            assert!(fd_holds(&t, det, dep), "{det} → {dep} broken");
+        }
+        // And a non-FD to prove the checker discriminates.
+        assert!(!fd_holds(&t, "state", "city"));
+    }
+
+    #[test]
+    fn state_column_is_katara_alignable() {
+        use std::collections::HashSet;
+        let t = generate(&HospitalConfig::default());
+        let states: HashSet<String> = (0..t.n_rows())
+            .map(|r| t.get_at(r, "state").unwrap().render())
+            .collect();
+        for s in &states {
+            assert!(["AL", "GA", "TN", "MS"].contains(&s.as_str()), "{s}");
+        }
+    }
+
+    #[test]
+    fn condition_is_learnable_from_score() {
+        // Condition-conditional score means differ by construction.
+        let t = generate(&HospitalConfig::default());
+        let mut sums: HashMap<String, (f64, usize)> = HashMap::new();
+        for r in 0..t.n_rows() {
+            let c = t.get_at(r, TARGET).unwrap().render();
+            let s = t.get_at(r, "score").unwrap().as_f64().unwrap();
+            let e = sums.entry(c).or_insert((0.0, 0));
+            e.0 += s;
+            e.1 += 1;
+        }
+        let means: Vec<f64> = sums.values().map(|(s, n)| s / *n as f64).collect();
+        let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - means.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 15.0, "condition means too close: {means:?}");
+    }
+
+    #[test]
+    fn four_conditions_present() {
+        let t = generate(&HospitalConfig::default());
+        let distinct = t.column_by_name(TARGET).unwrap().value_counts().len();
+        assert_eq!(distinct, 4);
+    }
+}

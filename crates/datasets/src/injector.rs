@@ -1,0 +1,429 @@
+//! The error injector: corrupts a clean table cell-by-cell while recording
+//! exact ground truth.
+//!
+//! Rates are per error type, applied over eligible cells (numeric-only
+//! error types skip string columns and vice versa). Injection is
+//! deterministic per seed so every benchmark run is reproducible.
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use datalens_table::{CellRef, DataType, Table, Value};
+
+use crate::ground_truth::{DirtyDataset, ErrorType};
+
+/// Per-type injection rates (fraction of eligible cells corrupted).
+#[derive(Debug, Clone)]
+pub struct InjectionConfig {
+    pub missing_rate: f64,
+    pub disguised_rate: f64,
+    pub outlier_rate: f64,
+    pub typo_rate: f64,
+    pub swap_rate: f64,
+    /// Rate of FD violations, applied to the configured dependent columns.
+    pub fd_violation_rate: f64,
+    /// `(determinant column, dependent column)` pairs whose dependency the
+    /// injector may break.
+    pub fd_pairs: Vec<(String, String)>,
+    /// Columns never corrupted (e.g. the downstream ML target).
+    pub protected: Vec<String>,
+    /// Numeric sentinels used for disguised missing values.
+    pub sentinels: Vec<i64>,
+    pub seed: u64,
+}
+
+impl Default for InjectionConfig {
+    fn default() -> Self {
+        InjectionConfig {
+            missing_rate: 0.02,
+            disguised_rate: 0.02,
+            outlier_rate: 0.02,
+            typo_rate: 0.02,
+            swap_rate: 0.02,
+            fd_violation_rate: 0.02,
+            fd_pairs: Vec::new(),
+            protected: Vec::new(),
+            sentinels: vec![-1, 0, 99999],
+            seed: 0,
+        }
+    }
+}
+
+impl InjectionConfig {
+    /// A configuration with every rate set to `rate`.
+    pub fn uniform(rate: f64, seed: u64) -> InjectionConfig {
+        InjectionConfig {
+            missing_rate: rate,
+            disguised_rate: rate,
+            outlier_rate: rate,
+            typo_rate: rate,
+            swap_rate: rate,
+            fd_violation_rate: rate,
+            seed,
+            ..InjectionConfig::default()
+        }
+    }
+}
+
+/// Corrupt `clean` per `config`, returning the dirty table and ground truth.
+pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dirty = clean.clone();
+    let mut errors: BTreeMap<CellRef, ErrorType> = BTreeMap::new();
+
+    let protected: Vec<usize> = config
+        .protected
+        .iter()
+        .filter_map(|n| clean.column_index(n))
+        .collect();
+
+    // Column metadata gathered once.
+    let col_stats: Vec<ColumnInfo> = clean
+        .columns()
+        .iter()
+        .map(ColumnInfo::gather)
+        .collect();
+
+    for cell in clean.cell_refs().collect::<Vec<_>>() {
+        if protected.contains(&cell.col) {
+            continue;
+        }
+        if errors.contains_key(&cell) || clean.get(cell).expect("in range").is_null() {
+            continue;
+        }
+        let info = &col_stats[cell.col];
+        let dtype = clean.column(cell.col).expect("in range").dtype();
+
+        // One corruption at most per cell; try types in a fixed order with
+        // independent coin flips.
+        let corruption = pick_corruption(&mut rng, config, dtype, info);
+        let Some(kind) = corruption else { continue };
+        let new_value = match kind {
+            ErrorType::MissingValue => Value::Null,
+            ErrorType::DisguisedMissing => match dtype {
+                DataType::Str => Value::Str(
+                    ["?", "unknown", "-", "missing"]
+                        .choose(&mut rng)
+                        .expect("nonempty")
+                        .to_string(),
+                ),
+                _ => {
+                    let s = *config.sentinels.choose(&mut rng).expect("sentinels nonempty");
+                    match dtype {
+                        DataType::Float => Value::Float(s as f64),
+                        _ => Value::Int(s),
+                    }
+                }
+            },
+            ErrorType::Outlier => {
+                let v = clean.get(cell).expect("in range").as_f64().expect("numeric");
+                let spread = info.std.max(info.mean.abs() * 0.1).max(1.0);
+                let direction = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+                let shifted = v + direction * spread * rng.random_range(5.0..12.0);
+                match dtype {
+                    DataType::Int => Value::Int(shifted.round() as i64),
+                    _ => Value::Float(shifted),
+                }
+            }
+            ErrorType::Typo => {
+                let s = clean
+                    .get(cell)
+                    .expect("in range")
+                    .as_str()
+                    .expect("string")
+                    .to_string();
+                Value::Str(apply_typo(&s, &mut rng))
+            }
+            ErrorType::CategorySwap | ErrorType::FdViolation => {
+                let current = clean.get(cell).expect("in range").render();
+                let alternatives: Vec<&String> = info
+                    .categories
+                    .iter()
+                    .filter(|c| **c != current)
+                    .collect();
+                match alternatives.choose(&mut rng) {
+                    Some(alt) => Value::Str((*alt).clone()),
+                    None => continue,
+                }
+            }
+        };
+        // A sentinel or rounded outlier can coincide with the genuine
+        // value; recording that as an error would corrupt the ground truth.
+        if new_value == clean.get(cell).expect("in range") {
+            continue;
+        }
+        dirty.set(cell, new_value).expect("in range");
+        errors.insert(cell, kind);
+    }
+
+    // FD violations on the configured dependent columns (overrides any
+    // earlier corruption on the chosen cells for labelling clarity).
+    for (det, dep) in &config.fd_pairs {
+        let (Some(_det_idx), Some(dep_idx)) =
+            (clean.column_index(det), clean.column_index(dep))
+        else {
+            continue;
+        };
+        if protected.contains(&dep_idx) {
+            continue;
+        }
+        let info = &col_stats[dep_idx];
+        for row in 0..clean.n_rows() {
+            if !rng.random_bool(config.fd_violation_rate.clamp(0.0, 1.0)) {
+                continue;
+            }
+            let cell = CellRef::new(row, dep_idx);
+            if errors.contains_key(&cell) {
+                continue;
+            }
+            let current = clean.get(cell).expect("in range").render();
+            let alternatives: Vec<&String> = info
+                .categories
+                .iter()
+                .filter(|c| **c != current)
+                .collect();
+            if let Some(alt) = alternatives.choose(&mut rng) {
+                dirty
+                    .set(cell, Value::Str((*alt).clone()))
+                    .expect("in range");
+                errors.insert(cell, ErrorType::FdViolation);
+            }
+        }
+    }
+
+    DirtyDataset {
+        clean: clean.clone(),
+        dirty,
+        errors,
+    }
+}
+
+/// Per-column info the corruption kinds need.
+struct ColumnInfo {
+    mean: f64,
+    std: f64,
+    categories: Vec<String>,
+}
+
+impl ColumnInfo {
+    fn gather(col: &datalens_table::Column) -> ColumnInfo {
+        let vals = col.numeric_values();
+        let (mean, std) = if vals.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            let v = vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / vals.len() as f64;
+            (m, v.sqrt())
+        };
+        let categories: Vec<String> = col
+            .value_counts()
+            .into_iter()
+            .map(|(v, _)| v.render())
+            .collect();
+        ColumnInfo { mean, std, categories }
+    }
+}
+
+fn pick_corruption(
+    rng: &mut StdRng,
+    config: &InjectionConfig,
+    dtype: DataType,
+    info: &ColumnInfo,
+) -> Option<ErrorType> {
+    let numeric = dtype.is_numeric();
+    let stringy = dtype == DataType::Str;
+    let candidates: [(ErrorType, f64, bool); 5] = [
+        (ErrorType::MissingValue, config.missing_rate, true),
+        (ErrorType::DisguisedMissing, config.disguised_rate, true),
+        (ErrorType::Outlier, config.outlier_rate, numeric),
+        (ErrorType::Typo, config.typo_rate, stringy),
+        (
+            ErrorType::CategorySwap,
+            config.swap_rate,
+            stringy && info.categories.len() >= 2 && info.categories.len() <= 50,
+        ),
+    ];
+    for (kind, rate, eligible) in candidates {
+        if eligible && rate > 0.0 && rng.random_bool(rate.clamp(0.0, 1.0)) {
+            return Some(kind);
+        }
+    }
+    None
+}
+
+/// Mutate one character of `s` (replace, delete, duplicate, or transpose).
+fn apply_typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return "x".to_string();
+    }
+    let pos = rng.random_range(0..chars.len());
+    let mut out = chars.clone();
+    match rng.random_range(0..4u8) {
+        0 => {
+            // Replace with a neighbouring letter.
+            let c = out[pos];
+            out[pos] = char::from_u32((c as u32).wrapping_add(1)).unwrap_or('x');
+        }
+        1 => {
+            out.remove(pos);
+            if out.is_empty() {
+                out.push('x');
+            }
+        }
+        2 => out.insert(pos, out[pos]),
+        _ => {
+            if chars.len() >= 2 {
+                let p = pos.min(chars.len() - 2);
+                out.swap(p, p + 1);
+            } else {
+                out.push('x');
+            }
+        }
+    }
+    let result: String = out.into_iter().collect();
+    if result == s {
+        format!("{s}x")
+    } else {
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    fn clean_table(rows: usize) -> Table {
+        Table::new(
+            "clean",
+            vec![
+                Column::from_f64("num", (0..rows).map(|i| Some(i as f64)).collect::<Vec<_>>()),
+                Column::from_str_vals(
+                    "cat",
+                    (0..rows)
+                        .map(|i| Some(["alpha", "beta", "gamma"][i % 3]))
+                        .collect::<Vec<_>>(),
+                ),
+                Column::from_f64("target", (0..rows).map(|i| Some(i as f64 * 2.0)).collect::<Vec<_>>()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let clean = clean_table(200);
+        let cfg = InjectionConfig::uniform(0.05, 42);
+        let a = inject(&clean, &cfg);
+        let b = inject(&clean, &cfg);
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(a.dirty, b.dirty);
+    }
+
+    #[test]
+    fn every_recorded_error_actually_differs() {
+        let clean = clean_table(300);
+        let d = inject(&clean, &InjectionConfig::uniform(0.05, 7));
+        assert!(!d.errors.is_empty());
+        for &cell in d.errors.keys() {
+            assert_ne!(
+                d.clean.get(cell).unwrap(),
+                d.dirty.get(cell).unwrap(),
+                "cell {cell} recorded but unchanged"
+            );
+        }
+    }
+
+    #[test]
+    fn unrecorded_cells_are_untouched() {
+        let clean = clean_table(300);
+        let d = inject(&clean, &InjectionConfig::uniform(0.05, 7));
+        let diff = d.clean.diff_cells(&d.dirty).unwrap();
+        assert_eq!(diff.len(), d.errors.len());
+        for cell in diff {
+            assert!(d.errors.contains_key(&cell));
+        }
+    }
+
+    #[test]
+    fn protected_columns_stay_clean() {
+        let clean = clean_table(300);
+        let cfg = InjectionConfig {
+            protected: vec!["target".into()],
+            ..InjectionConfig::uniform(0.2, 3)
+        };
+        let d = inject(&clean, &cfg);
+        let target_idx = clean.column_index("target").unwrap();
+        assert!(d.errors.keys().all(|c| c.col != target_idx));
+    }
+
+    #[test]
+    fn rates_scale_error_volume() {
+        let clean = clean_table(500);
+        let low = inject(&clean, &InjectionConfig::uniform(0.01, 9));
+        let high = inject(&clean, &InjectionConfig::uniform(0.15, 9));
+        assert!(high.errors.len() > low.errors.len() * 3);
+    }
+
+    #[test]
+    fn zero_rates_yield_identical_table() {
+        let clean = clean_table(100);
+        let d = inject(&clean, &InjectionConfig::uniform(0.0, 1));
+        assert!(d.errors.is_empty());
+        assert_eq!(d.clean, d.dirty);
+    }
+
+    #[test]
+    fn outliers_are_far_from_distribution() {
+        let clean = clean_table(500);
+        let cfg = InjectionConfig {
+            outlier_rate: 0.1,
+            missing_rate: 0.0,
+            disguised_rate: 0.0,
+            typo_rate: 0.0,
+            swap_rate: 0.0,
+            fd_violation_rate: 0.0,
+            ..InjectionConfig::default()
+        };
+        let d = inject(&clean, &cfg);
+        assert!(d.count_of(ErrorType::Outlier) > 10);
+        for (&cell, &kind) in &d.errors {
+            if kind == ErrorType::Outlier {
+                let clean_v = d.clean.get(cell).unwrap().as_f64().unwrap();
+                let dirty_v = d.dirty.get(cell).unwrap().as_f64().unwrap();
+                assert!((dirty_v - clean_v).abs() > 100.0, "weak outlier at {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn typos_only_hit_string_columns() {
+        let clean = clean_table(300);
+        let cfg = InjectionConfig {
+            typo_rate: 0.2,
+            missing_rate: 0.0,
+            disguised_rate: 0.0,
+            outlier_rate: 0.0,
+            swap_rate: 0.0,
+            fd_violation_rate: 0.0,
+            ..InjectionConfig::default()
+        };
+        let d = inject(&clean, &cfg);
+        let cat_idx = clean.column_index("cat").unwrap();
+        assert!(d.errors.keys().all(|c| c.col == cat_idx));
+        assert!(d.count_of(ErrorType::Typo) > 0);
+    }
+
+    #[test]
+    fn apply_typo_always_changes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for s in ["a", "ab", "hello", "x"] {
+            for _ in 0..20 {
+                assert_ne!(apply_typo(s, &mut rng), s);
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Preloaded datasets.
+//!
+//! The paper: "using one of the preloaded datasets that come with the
+//! dashboard, allowing users to explore its functionalities without
+//! needing their data." The registry maps names to ready-made dirty
+//! datasets (clean table + injected errors + ground truth) with the same
+//! defaults the benchmark harness uses, so examples, tests, and benches
+//! all see identical data.
+
+use datalens_table::Table;
+
+use crate::beers::{self, BeersConfig};
+use crate::ground_truth::DirtyDataset;
+use crate::hospital::{self, HospitalConfig};
+use crate::injector::{inject, InjectionConfig};
+use crate::nasa::{self, NasaConfig};
+
+/// Description of one preloaded dataset.
+#[derive(Debug, Clone)]
+pub struct PreloadedDataset {
+    pub name: &'static str,
+    /// The downstream ML target column.
+    pub target: &'static str,
+    /// Whether the downstream task is regression or classification.
+    pub task: Task,
+    pub description: &'static str,
+}
+
+/// Downstream ML task type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    Regression,
+    Classification,
+}
+
+/// Names and metadata of all preloaded datasets.
+pub fn catalog() -> Vec<PreloadedDataset> {
+    vec![
+        PreloadedDataset {
+            name: "nasa",
+            target: nasa::TARGET,
+            task: Task::Regression,
+            description: "Synthetic NASA airfoil-style numeric telemetry; \
+                          regression on sound pressure level",
+        },
+        PreloadedDataset {
+            name: "beers",
+            target: beers::TARGET,
+            task: Task::Classification,
+            description: "Synthetic craft-beers catalogue with brewery→city \
+                          FDs; multi-class style classification",
+        },
+        PreloadedDataset {
+            name: "hospital",
+            target: hospital::TARGET,
+            task: Task::Classification,
+            description: "Synthetic hospital quality measures; FD-dense \
+                          categorical data in the style of the classic \
+                          cleaning benchmark; condition classification",
+        },
+    ]
+}
+
+/// Generate the *clean* table for a preloaded dataset.
+pub fn clean(name: &str, seed: u64) -> Option<Table> {
+    match name {
+        "nasa" => Some(nasa::generate(&NasaConfig {
+            seed,
+            ..NasaConfig::default()
+        })),
+        "beers" => Some(beers::generate(&BeersConfig {
+            seed,
+            ..BeersConfig::default()
+        })),
+        "hospital" => Some(hospital::generate(&HospitalConfig {
+            seed,
+            ..HospitalConfig::default()
+        })),
+        _ => None,
+    }
+}
+
+/// Generate the standard *dirty* version of a preloaded dataset: clean
+/// table plus the default error mix with the target column protected.
+pub fn dirty(name: &str, seed: u64) -> Option<DirtyDataset> {
+    let meta = catalog().into_iter().find(|d| d.name == name)?;
+    let clean_table = clean(name, seed)?;
+    // Rates are tuned so that a *minority* of rows carry an error (each
+    // error type rolls its own coin per cell, so the effective cell rate
+    // is ~3× the per-type rate). This matters for Figure 3: RAHA's
+    // tuple-selection must regularly surface clean tuples, which is what
+    // makes reviewed-tuples exceed the labeling budget.
+    let mut cfg = InjectionConfig::uniform(0.01, seed.wrapping_add(1));
+    cfg.fd_violation_rate = 0.02;
+    cfg.protected = vec![meta.target.to_string()];
+    if name == "beers" {
+        cfg.fd_pairs = vec![
+            ("brewery".to_string(), "city".to_string()),
+            ("brewery".to_string(), "state".to_string()),
+        ];
+    }
+    if name == "hospital" {
+        cfg.fd_pairs = vec![
+            ("hospital_name".to_string(), "city".to_string()),
+            ("hospital_name".to_string(), "phone".to_string()),
+            ("measure_code".to_string(), "measure_name".to_string()),
+        ];
+    }
+    Some(inject(&clean_table, &cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_lists_both_paper_datasets() {
+        let names: Vec<&str> = catalog().iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["nasa", "beers", "hospital"]);
+    }
+
+    #[test]
+    fn clean_and_dirty_resolve() {
+        for d in catalog() {
+            let c = clean(d.name, 0).unwrap();
+            assert!(c.n_rows() > 100);
+            let dd = dirty(d.name, 0).unwrap();
+            assert!(!dd.errors.is_empty());
+            assert_eq!(dd.clean.shape(), dd.dirty.shape());
+        }
+        assert!(clean("nope", 0).is_none());
+        assert!(dirty("nope", 0).is_none());
+    }
+
+    #[test]
+    fn target_column_is_never_corrupted() {
+        for d in catalog() {
+            let dd = dirty(d.name, 3).unwrap();
+            let target_idx = dd.clean.column_index(d.target).unwrap();
+            assert!(
+                dd.errors.keys().all(|c| c.col != target_idx),
+                "{} target corrupted",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn beers_dirty_contains_fd_violations() {
+        let dd = dirty("beers", 0).unwrap();
+        assert!(dd.count_of(crate::ground_truth::ErrorType::FdViolation) > 0);
+    }
+}

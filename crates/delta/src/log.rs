@@ -1,0 +1,276 @@
+//! The transaction log: JSON-lines action files, one per version, in
+//! `_delta_log/` — the delta-rs on-disk protocol shape (with CSV data
+//! files instead of parquet; see DESIGN.md for the substitution note).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Subdirectory holding the commit log.
+pub const LOG_DIR: &str = "_delta_log";
+
+/// Errors from the versioned store.
+#[derive(Debug)]
+pub enum DeltaError {
+    Io(io::Error),
+    /// The log is malformed (bad JSON, missing actions…).
+    Corrupt(String),
+    /// A requested version does not exist.
+    UnknownVersion(u64),
+    /// The underlying table failed to parse.
+    Table(datalens_table::TableError),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Io(e) => write!(f, "I/O error: {e}"),
+            DeltaError::Corrupt(m) => write!(f, "corrupt delta log: {m}"),
+            DeltaError::UnknownVersion(v) => write!(f, "version {v} does not exist"),
+            DeltaError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<io::Error> for DeltaError {
+    fn from(e: io::Error) -> Self {
+        DeltaError::Io(e)
+    }
+}
+
+impl From<datalens_table::TableError> for DeltaError {
+    fn from(e: datalens_table::TableError) -> Self {
+        DeltaError::Table(e)
+    }
+}
+
+/// Table metadata recorded at creation (version 0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct MetaData {
+    pub id: String,
+    pub name: String,
+    pub schema_string: String,
+    pub created_time: u64,
+}
+
+/// Commit provenance (every version).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct CommitInfo {
+    pub timestamp: u64,
+    pub operation: String,
+    #[serde(default)]
+    pub operation_parameters: std::collections::BTreeMap<String, String>,
+}
+
+/// A file added to the snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct AddFile {
+    pub path: String,
+    pub size: u64,
+    pub data_change: bool,
+}
+
+/// A file removed from the snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct RemoveFile {
+    pub path: String,
+    pub data_change: bool,
+}
+
+/// One action line in a commit file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub enum Action {
+    Protocol {
+        min_reader_version: u32,
+        min_writer_version: u32,
+    },
+    MetaData(MetaData),
+    CommitInfo(CommitInfo),
+    Add(AddFile),
+    Remove(RemoveFile),
+}
+
+/// Path of the commit file for `version` under `root`.
+pub fn commit_path(root: &Path, version: u64) -> PathBuf {
+    root.join(LOG_DIR).join(format!("{version:020}.json"))
+}
+
+/// Write a commit: one JSON action per line. The commit file is claimed
+/// with `create_new`, so two writers racing for the same version number
+/// cannot silently overwrite each other — the loser gets a conflict
+/// (delta-rs's optimistic-concurrency semantics).
+pub fn write_commit(root: &Path, version: u64, actions: &[Action]) -> Result<(), DeltaError> {
+    use std::io::Write;
+    let path = commit_path(root, version);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    for a in actions {
+        out.push_str(
+            &serde_json::to_string(a)
+                .map_err(|e| DeltaError::Corrupt(format!("serialise action: {e}")))?,
+        );
+        out.push('\n');
+    }
+    let mut file = fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&path)
+        .map_err(|e| {
+            if e.kind() == io::ErrorKind::AlreadyExists {
+                DeltaError::Corrupt(format!(
+                    "concurrent commit detected: version {version} already exists"
+                ))
+            } else {
+                DeltaError::Io(e)
+            }
+        })?;
+    file.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+/// Read the actions of one commit.
+pub fn read_commit(root: &Path, version: u64) -> Result<Vec<Action>, DeltaError> {
+    let path = commit_path(root, version);
+    if !path.is_file() {
+        return Err(DeltaError::UnknownVersion(version));
+    }
+    let text = fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            serde_json::from_str(l)
+                .map_err(|e| DeltaError::Corrupt(format!("version {version}: {e}")))
+        })
+        .collect()
+}
+
+/// Latest contiguous version in the log, or `None` for an empty log.
+pub fn latest_version(root: &Path) -> Result<Option<u64>, DeltaError> {
+    let dir = root.join(LOG_DIR);
+    if !dir.is_dir() {
+        return Ok(None);
+    }
+    let mut versions: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(&dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(stem) = name.strip_suffix(".json") {
+            if let Ok(v) = stem.parse::<u64>() {
+                versions.push(v);
+            }
+        }
+    }
+    if versions.is_empty() {
+        return Ok(None);
+    }
+    versions.sort_unstable();
+    // Contiguity check: versions must be 0..=max.
+    for (i, v) in versions.iter().enumerate() {
+        if *v != i as u64 {
+            return Err(DeltaError::Corrupt(format!(
+                "log gap: expected version {i}, found {v}"
+            )));
+        }
+    }
+    Ok(versions.last().copied())
+}
+
+/// Milliseconds since the epoch (commit timestamps).
+pub fn now_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "datalens_delta_log_{}_{name}",
+            std::process::id()
+        ));
+        fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    #[test]
+    fn commit_round_trip() {
+        let root = tmp("rt");
+        let actions = vec![
+            Action::Protocol {
+                min_reader_version: 1,
+                min_writer_version: 2,
+            },
+            Action::CommitInfo(CommitInfo {
+                timestamp: 123,
+                operation: "WRITE".into(),
+                operation_parameters: Default::default(),
+            }),
+            Action::Add(AddFile {
+                path: "part-0.csv".into(),
+                size: 42,
+                data_change: true,
+            }),
+        ];
+        write_commit(&root, 0, &actions).unwrap();
+        let back = read_commit(&root, 0).unwrap();
+        assert_eq!(back, actions);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_version_errors() {
+        let root = tmp("missing");
+        assert!(matches!(
+            read_commit(&root, 7),
+            Err(DeltaError::UnknownVersion(7))
+        ));
+    }
+
+    #[test]
+    fn latest_version_checks_contiguity() {
+        let root = tmp("contig");
+        write_commit(&root, 0, &[]).unwrap();
+        write_commit(&root, 1, &[]).unwrap();
+        assert_eq!(latest_version(&root).unwrap(), Some(1));
+        // Introduce a gap.
+        write_commit(&root, 3, &[]).unwrap();
+        assert!(matches!(
+            latest_version(&root),
+            Err(DeltaError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn empty_log_is_none() {
+        let root = tmp("empty");
+        assert_eq!(latest_version(&root).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_json_surfaces() {
+        let root = tmp("corrupt");
+        let path = commit_path(&root, 0);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, "{not json\n").unwrap();
+        assert!(matches!(read_commit(&root, 0), Err(DeltaError::Corrupt(_))));
+        fs::remove_dir_all(&root).ok();
+    }
+}

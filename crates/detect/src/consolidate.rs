@@ -1,0 +1,180 @@
+//! Consolidation of multi-tool detections (§1 contribution 6): "enabling
+//! the execution of multiple error detection tools, with DataLens
+//! autonomously integrating and deduplicating results."
+//!
+//! Also produces the per-attribute, per-tool breakdown behind Figure 4
+//! ("Distribution of detections across various attributes").
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use datalens_table::{CellRef, Table};
+
+use crate::detector::Detection;
+
+/// The merged result of running several detection tools.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsolidatedDetections {
+    /// Each tool's own detection, in execution order.
+    pub per_tool: Vec<Detection>,
+    /// Union of all flagged cells, deduplicated and sorted.
+    pub union: Vec<CellRef>,
+    /// For every flagged cell, which tools flagged it (tool names sorted).
+    pub provenance: BTreeMap<CellRef, Vec<String>>,
+}
+
+impl ConsolidatedDetections {
+    /// Merge tool outputs.
+    pub fn merge(detections: Vec<Detection>) -> ConsolidatedDetections {
+        let mut provenance: BTreeMap<CellRef, Vec<String>> = BTreeMap::new();
+        for det in &detections {
+            for &cell in &det.cells {
+                let tools = provenance.entry(cell).or_default();
+                if !tools.contains(&det.tool) {
+                    tools.push(det.tool.clone());
+                }
+            }
+        }
+        for tools in provenance.values_mut() {
+            tools.sort();
+        }
+        let union: Vec<CellRef> = provenance.keys().copied().collect();
+        ConsolidatedDetections {
+            per_tool: detections,
+            union,
+            provenance,
+        }
+    }
+
+    /// Total distinct flagged cells.
+    pub fn total(&self) -> usize {
+        self.union.len()
+    }
+
+    /// Cells flagged by at least `k` tools (Min-K view of the merge).
+    pub fn flagged_by_at_least(&self, k: usize) -> Vec<CellRef> {
+        self.provenance
+            .iter()
+            .filter(|(_, tools)| tools.len() >= k)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// The Figure 4 matrix: `counts[tool][column index]` = number of
+    /// detections by that tool in that attribute.
+    pub fn per_attribute_counts(&self, table: &Table) -> BTreeMap<String, Vec<usize>> {
+        let n_cols = table.n_cols();
+        let mut out = BTreeMap::new();
+        for det in &self.per_tool {
+            out.insert(det.tool.clone(), det.counts_per_column(n_cols));
+        }
+        out
+    }
+
+    /// Render the Figure 4 view as an aligned text table (tools × attrs).
+    pub fn render_distribution(&self, table: &Table) -> String {
+        let names = table.column_names();
+        let counts = self.per_attribute_counts(table);
+        let mut out = String::new();
+        let tool_w = counts
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        out.push_str(&format!("{:<tool_w$}", "tool", tool_w = tool_w));
+        for n in &names {
+            out.push_str(&format!("  {n:>12}"));
+        }
+        out.push('\n');
+        for (tool, row) in &counts {
+            out.push_str(&format!("{tool:<tool_w$}", tool_w = tool_w));
+            for c in row {
+                out.push_str(&format!("  {c:>12}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    fn det(tool: &str, cells: &[(usize, usize)]) -> Detection {
+        Detection::new(
+            tool,
+            cells.iter().map(|&(r, c)| CellRef::new(r, c)).collect(),
+        )
+    }
+
+    #[test]
+    fn union_dedupes_across_tools() {
+        let merged = ConsolidatedDetections::merge(vec![
+            det("sd", &[(0, 0), (1, 0)]),
+            det("iqr", &[(1, 0), (2, 1)]),
+        ]);
+        assert_eq!(merged.total(), 3);
+        assert_eq!(
+            merged.union,
+            vec![CellRef::new(0, 0), CellRef::new(1, 0), CellRef::new(2, 1)]
+        );
+    }
+
+    #[test]
+    fn provenance_tracks_agreeing_tools() {
+        let merged = ConsolidatedDetections::merge(vec![
+            det("sd", &[(1, 0)]),
+            det("iqr", &[(1, 0)]),
+            det("mv", &[(2, 0)]),
+        ]);
+        assert_eq!(
+            merged.provenance[&CellRef::new(1, 0)],
+            vec!["iqr".to_string(), "sd".to_string()]
+        );
+        assert_eq!(merged.flagged_by_at_least(2), vec![CellRef::new(1, 0)]);
+        assert_eq!(merged.flagged_by_at_least(1).len(), 2);
+        assert!(merged.flagged_by_at_least(3).is_empty());
+    }
+
+    #[test]
+    fn per_attribute_counts_matrix() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_i64("a", [Some(1), Some(2), Some(3)]),
+                Column::from_i64("b", [Some(1), Some(2), Some(3)]),
+            ],
+        )
+        .unwrap();
+        let merged = ConsolidatedDetections::merge(vec![
+            det("sd", &[(0, 0), (1, 0), (2, 1)]),
+            det("mv", &[(0, 1)]),
+        ]);
+        let counts = merged.per_attribute_counts(&t);
+        assert_eq!(counts["sd"], vec![2, 1]);
+        assert_eq!(counts["mv"], vec![0, 1]);
+        let text = merged.render_distribution(&t);
+        assert!(text.contains("sd"));
+        assert!(text.contains("tool"));
+    }
+
+    #[test]
+    fn merging_nothing_is_empty() {
+        let merged = ConsolidatedDetections::merge(vec![]);
+        assert_eq!(merged.total(), 0);
+        assert!(merged.flagged_by_at_least(1).is_empty());
+    }
+
+    #[test]
+    fn duplicate_tool_name_not_double_counted() {
+        let merged = ConsolidatedDetections::merge(vec![
+            det("sd", &[(0, 0)]),
+            det("sd", &[(0, 0)]),
+        ]);
+        assert_eq!(merged.provenance[&CellRef::new(0, 0)], vec!["sd".to_string()]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Min-K ensemble detection: a cell is an error when at least K base
+//! tools flag it (the ensemble method the paper lists alongside the
+//! individual detectors).
+
+use std::collections::HashMap;
+
+use datalens_table::{CellRef, Table};
+
+use crate::detector::{Detection, DetectionContext, Detector};
+use crate::fahes::FahesDetector;
+use crate::mv::MvDetector;
+use crate::stat::{IqrDetector, SdDetector};
+
+/// The Min-K ensemble over an owned set of base detectors.
+pub struct MinKDetector {
+    /// Minimum number of agreeing tools.
+    pub k: usize,
+    /// The base detectors voting in the ensemble.
+    pub base: Vec<Box<dyn Detector>>,
+}
+
+impl MinKDetector {
+    /// The default ensemble the dashboard ships: SD, IQR, MV, FAHES.
+    pub fn with_default_base(k: usize) -> MinKDetector {
+        MinKDetector {
+            k,
+            base: vec![
+                Box::new(SdDetector::default()),
+                Box::new(IqrDetector::default()),
+                Box::new(MvDetector::default()),
+                Box::new(FahesDetector::default()),
+            ],
+        }
+    }
+
+    /// Vote over pre-computed detections (used by the ablation bench so
+    /// base tools run once per K sweep).
+    pub fn vote(detections: &[Detection], k: usize) -> Detection {
+        let mut counts: HashMap<CellRef, usize> = HashMap::new();
+        for det in detections {
+            for &cell in &det.cells {
+                *counts.entry(cell).or_insert(0) += 1;
+            }
+        }
+        let cells: Vec<CellRef> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= k.max(1))
+            .map(|(cell, _)| cell)
+            .collect();
+        Detection::new("min_k", cells)
+    }
+}
+
+impl Detector for MinKDetector {
+    fn name(&self) -> &'static str {
+        "min_k"
+    }
+
+    fn detect(&self, table: &Table, ctx: &DetectionContext) -> Detection {
+        let detections: Vec<Detection> =
+            self.base.iter().map(|d| d.detect(table, ctx)).collect();
+        Self::vote(&detections, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    fn table() -> Table {
+        // Outlier at row 3 (caught by SD and IQR), null at row 8 (caught
+        // by MV only).
+        let mut vals: Vec<Option<f64>> = (0..30).map(|i| Some(5.0 + (i % 3) as f64)).collect();
+        vals[3] = Some(500.0);
+        vals[8] = None;
+        Table::new("t", vec![Column::from_f64("x", vals)]).unwrap()
+    }
+
+    #[test]
+    fn k1_is_union() {
+        let d = MinKDetector::with_default_base(1).detect(&table(), &DetectionContext::default());
+        assert!(d.cells.contains(&CellRef::new(3, 0)));
+        assert!(d.cells.contains(&CellRef::new(8, 0)));
+    }
+
+    #[test]
+    fn k2_requires_agreement() {
+        let d = MinKDetector::with_default_base(2).detect(&table(), &DetectionContext::default());
+        assert!(d.cells.contains(&CellRef::new(3, 0))); // SD + IQR agree
+        assert!(!d.cells.contains(&CellRef::new(8, 0))); // only MV
+    }
+
+    #[test]
+    fn large_k_empties_output() {
+        let d = MinKDetector::with_default_base(9).detect(&table(), &DetectionContext::default());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn vote_over_precomputed_detections() {
+        let a = Detection::new("a", vec![CellRef::new(0, 0), CellRef::new(1, 0)]);
+        let b = Detection::new("b", vec![CellRef::new(1, 0)]);
+        let v = MinKDetector::vote(&[a, b], 2);
+        assert_eq!(v.cells, vec![CellRef::new(1, 0)]);
+    }
+
+    #[test]
+    fn k_zero_behaves_as_k_one() {
+        let a = Detection::new("a", vec![CellRef::new(0, 0)]);
+        let v = MinKDetector::vote(&[a], 0);
+        assert_eq!(v.len(), 1);
+    }
+}

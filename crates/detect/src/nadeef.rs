@@ -1,0 +1,263 @@
+//! NADEEF-style rule-based error detection (Dallachiesa et al., 2013).
+//!
+//! DataLens uses NADEEF as "rule-based error detection": violations of the
+//! validated FD rules, plus user-supplied denial constraints (single-row
+//! predicates such as `age < 0`). For each FD `X → A`, rows that agree on
+//! X but disagree on A form a violation group; the minority A-values in
+//! the group are flagged (majority voting — the standard NADEEF repair
+//! context heuristic).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use datalens_table::{CellRef, Table, Value};
+
+use crate::detector::{Detection, DetectionContext, Detector};
+
+/// Comparison operator of a denial-constraint predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredicateOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A single-row denial constraint: rows where `column op value` holds are
+/// in violation, and the offending cell is flagged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenialConstraint {
+    pub column: String,
+    pub op: PredicateOp,
+    pub value: Value,
+}
+
+impl DenialConstraint {
+    /// Does this constraint fire for `v` (i.e. is `v` erroneous)?
+    pub fn violates(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return false; // nulls are the MV detector's business
+        }
+        match self.op {
+            PredicateOp::Eq => v == &self.value,
+            PredicateOp::Ne => v != &self.value,
+            PredicateOp::Lt | PredicateOp::Le | PredicateOp::Gt | PredicateOp::Ge => {
+                let (Some(a), Some(b)) = (v.as_f64(), self.value.as_f64()) else {
+                    return false;
+                };
+                match self.op {
+                    PredicateOp::Lt => a < b,
+                    PredicateOp::Le => a <= b,
+                    PredicateOp::Gt => a > b,
+                    PredicateOp::Ge => a >= b,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// The NADEEF detector: FD violations (from the context's rule set) plus
+/// configured denial constraints.
+#[derive(Debug, Clone, Default)]
+pub struct NadeefDetector {
+    pub denial_constraints: Vec<DenialConstraint>,
+}
+
+impl Detector for NadeefDetector {
+    fn name(&self) -> &'static str {
+        "nadeef"
+    }
+
+    fn detect(&self, table: &Table, ctx: &DetectionContext) -> Detection {
+        let mut cells = Vec::new();
+
+        // --- FD violations ---
+        for rule in ctx.rules.active() {
+            let Some(rhs_idx) = table.column_index(&rule.fd.rhs) else {
+                continue;
+            };
+            let lhs_idx: Option<Vec<usize>> = rule
+                .fd
+                .lhs
+                .iter()
+                .map(|n| table.column_index(n))
+                .collect();
+            let Some(lhs_idx) = lhs_idx else { continue };
+
+            // Group rows by lhs key.
+            let mut groups: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+            for r in 0..table.n_rows() {
+                let key: Vec<String> = lhs_idx
+                    .iter()
+                    .map(|&c| render_key(table, r, c))
+                    .collect();
+                groups.entry(key).or_default().push(r);
+            }
+            for rows in groups.values() {
+                if rows.len() < 2 {
+                    continue;
+                }
+                // Majority rhs value wins; the rest are flagged.
+                let mut counts: HashMap<String, usize> = HashMap::new();
+                for &r in rows {
+                    *counts.entry(render_key(table, r, rhs_idx)).or_insert(0) += 1;
+                }
+                if counts.len() < 2 {
+                    continue;
+                }
+                let majority = counts
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                    .map(|(k, _)| k.clone())
+                    .expect("nonempty");
+                for &r in rows {
+                    if render_key(table, r, rhs_idx) != majority {
+                        cells.push(CellRef::new(r, rhs_idx));
+                    }
+                }
+            }
+        }
+
+        // --- denial constraints ---
+        for dc in &self.denial_constraints {
+            let Some(col_idx) = table.column_index(&dc.column) else {
+                continue;
+            };
+            let col = table.column(col_idx).expect("in range");
+            for r in 0..table.n_rows() {
+                if dc.violates(&col.get(r)) {
+                    cells.push(CellRef::new(r, col_idx));
+                }
+            }
+        }
+
+        Detection::new(self.name(), cells)
+    }
+}
+
+fn render_key(table: &Table, row: usize, col: usize) -> String {
+    let c = table.column(col).expect("in range");
+    if c.is_null(row) {
+        "\u{0}null".to_string()
+    } else {
+        c.get(row).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_fd::{Fd, FdRule, RuleSet};
+    use datalens_table::Column;
+
+    fn rules(lhs: &str, rhs: &str) -> RuleSet {
+        let mut rs = RuleSet::new();
+        rs.add(FdRule::user_defined(
+            Fd::new(vec![lhs.to_string()], rhs.to_string()).unwrap(),
+        ));
+        rs
+    }
+
+    fn fd_table() -> Table {
+        // zip 1 maps to ulm twice and augsburg once → augsburg flagged.
+        Table::new(
+            "t",
+            vec![
+                Column::from_i64("zip", [Some(1), Some(1), Some(1), Some(2)]),
+                Column::from_str_vals(
+                    "city",
+                    [Some("ulm"), Some("augsburg"), Some("ulm"), Some("bonn")],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flags_minority_fd_violations() {
+        let ctx = DetectionContext::with_rules(rules("zip", "city"));
+        let d = NadeefDetector::default().detect(&fd_table(), &ctx);
+        assert_eq!(d.cells, vec![CellRef::new(1, 1)]);
+    }
+
+    #[test]
+    fn no_rules_no_fd_detections() {
+        let d = NadeefDetector::default().detect(&fd_table(), &DetectionContext::default());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn rejected_rules_are_ignored() {
+        let mut rs = rules("zip", "city");
+        let fd = Fd::new(vec!["zip".to_string()], "city".to_string()).unwrap();
+        rs.reject(&fd);
+        let ctx = DetectionContext::with_rules(rs);
+        let d = NadeefDetector::default().detect(&fd_table(), &ctx);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn rules_for_missing_columns_are_skipped() {
+        let ctx = DetectionContext::with_rules(rules("nope", "city"));
+        let d = NadeefDetector::default().detect(&fd_table(), &ctx);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn denial_constraint_flags_offending_cells() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("age", [Some(30), Some(-1), Some(45), None])],
+        )
+        .unwrap();
+        let det = NadeefDetector {
+            denial_constraints: vec![DenialConstraint {
+                column: "age".into(),
+                op: PredicateOp::Lt,
+                value: Value::Int(0),
+            }],
+        };
+        let d = det.detect(&t, &DetectionContext::default());
+        // Null at row 3 is not a DC violation.
+        assert_eq!(d.cells, vec![CellRef::new(1, 0)]);
+    }
+
+    #[test]
+    fn equality_constraint_on_strings() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_str_vals("s", [Some("bad"), Some("ok")])],
+        )
+        .unwrap();
+        let det = NadeefDetector {
+            denial_constraints: vec![DenialConstraint {
+                column: "s".into(),
+                op: PredicateOp::Eq,
+                value: Value::Str("bad".into()),
+            }],
+        };
+        let d = det.detect(&t, &DetectionContext::default());
+        assert_eq!(d.cells, vec![CellRef::new(0, 0)]);
+    }
+
+    #[test]
+    fn two_way_tie_flags_deterministically() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_i64("zip", [Some(1), Some(1)]),
+                Column::from_str_vals("city", [Some("a"), Some("b")]),
+            ],
+        )
+        .unwrap();
+        let ctx = DetectionContext::with_rules(rules("zip", "city"));
+        let d1 = NadeefDetector::default().detect(&t, &ctx);
+        let d2 = NadeefDetector::default().detect(&t, &ctx);
+        assert_eq!(d1, d2);
+        assert_eq!(d1.len(), 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Statistical outlier detectors: SD (z-score), IQR, and Isolation Forest
+//! — the three statistical methods the paper lists for outlier detection.
+
+use datalens_ml::isolation_forest::{IsolationForest, IsolationForestConfig};
+use datalens_table::{CellRef, Table};
+
+use crate::detector::{Detection, DetectionContext, Detector};
+
+/// Standard-deviation detector: flags numeric cells with |value − mean| >
+/// k·σ, per column.
+#[derive(Debug, Clone)]
+pub struct SdDetector {
+    /// Sigma multiplier (default 3.0).
+    pub k: f64,
+}
+
+impl Default for SdDetector {
+    fn default() -> Self {
+        SdDetector { k: 3.0 }
+    }
+}
+
+impl Detector for SdDetector {
+    fn name(&self) -> &'static str {
+        "sd"
+    }
+
+    fn detect(&self, table: &Table, _ctx: &DetectionContext) -> Detection {
+        let mut cells = Vec::new();
+        for (col_idx, col) in table.columns().iter().enumerate() {
+            let entries = col.numeric_entries();
+            if entries.len() < 3 {
+                continue;
+            }
+            let n = entries.len() as f64;
+            let mean = entries.iter().map(|(_, v)| v).sum::<f64>() / n;
+            let std = (entries
+                .iter()
+                .map(|(_, v)| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / n)
+                .sqrt();
+            if std == 0.0 {
+                continue;
+            }
+            for (row, v) in entries {
+                if (v - mean).abs() > self.k * std {
+                    cells.push(CellRef::new(row, col_idx));
+                }
+            }
+        }
+        Detection::new(self.name(), cells)
+    }
+}
+
+/// Interquartile-range detector: flags numeric cells outside
+/// [Q1 − f·IQR, Q3 + f·IQR], per column.
+#[derive(Debug, Clone)]
+pub struct IqrDetector {
+    /// IQR multiplier (default 1.5, Tukey's fences).
+    pub factor: f64,
+}
+
+impl Default for IqrDetector {
+    fn default() -> Self {
+        IqrDetector { factor: 1.5 }
+    }
+}
+
+impl Detector for IqrDetector {
+    fn name(&self) -> &'static str {
+        "iqr"
+    }
+
+    fn detect(&self, table: &Table, _ctx: &DetectionContext) -> Detection {
+        let mut cells = Vec::new();
+        for (col_idx, col) in table.columns().iter().enumerate() {
+            let entries = col.numeric_entries();
+            if entries.len() < 4 {
+                continue;
+            }
+            let mut sorted: Vec<f64> = entries.iter().map(|(_, v)| *v).collect();
+            sorted.sort_by(f64::total_cmp);
+            let q1 = datalens_profile::stats::quantile_sorted(&sorted, 0.25);
+            let q3 = datalens_profile::stats::quantile_sorted(&sorted, 0.75);
+            let iqr = q3 - q1;
+            if iqr == 0.0 {
+                continue;
+            }
+            let lo = q1 - self.factor * iqr;
+            let hi = q3 + self.factor * iqr;
+            for (row, v) in entries {
+                if v < lo || v > hi {
+                    cells.push(CellRef::new(row, col_idx));
+                }
+            }
+        }
+        Detection::new(self.name(), cells)
+    }
+}
+
+/// Isolation-forest detector: scores whole rows over the numeric columns,
+/// flags rows above the score threshold, and attributes the anomaly to the
+/// numeric cells that are individually extreme (|z| > 1) — falling back to
+/// the single most extreme cell so every flagged row yields evidence.
+#[derive(Debug, Clone)]
+pub struct IsolationForestDetector {
+    pub score_threshold: f64,
+    pub config: IsolationForestConfig,
+}
+
+impl Default for IsolationForestDetector {
+    fn default() -> Self {
+        IsolationForestDetector {
+            score_threshold: 0.62,
+            config: IsolationForestConfig::default(),
+        }
+    }
+}
+
+impl Detector for IsolationForestDetector {
+    fn name(&self) -> &'static str {
+        "isolation_forest"
+    }
+
+    fn detect(&self, table: &Table, ctx: &DetectionContext) -> Detection {
+        let numeric_cols: Vec<usize> = table
+            .schema()
+            .numeric_indices();
+        if numeric_cols.is_empty() || table.n_rows() < 8 {
+            return Detection::new(self.name(), Vec::new());
+        }
+        // Column means/stds for null-filling and attribution.
+        let mut stats = Vec::new();
+        for &c in &numeric_cols {
+            let vals = table.column(c).expect("in range").numeric_values();
+            let (mean, std) = if vals.is_empty() {
+                (0.0, 0.0)
+            } else {
+                let m = vals.iter().sum::<f64>() / vals.len() as f64;
+                let s = (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+                    / vals.len() as f64)
+                    .sqrt();
+                (m, s)
+            };
+            stats.push((mean, std));
+        }
+        let rows: Vec<Vec<f64>> = (0..table.n_rows())
+            .map(|r| {
+                numeric_cols
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        table
+                            .column(c)
+                            .expect("in range")
+                            .get(r)
+                            .as_f64()
+                            .unwrap_or(stats[i].0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut config = self.config.clone();
+        config.seed = ctx.seed;
+        let forest = IsolationForest::fit(&rows, &config);
+        let scores = forest.score_all(&rows);
+
+        let mut cells = Vec::new();
+        for (r, &score) in scores.iter().enumerate() {
+            if score < self.score_threshold {
+                continue;
+            }
+            // Attribute to extreme cells within the row.
+            let mut flagged_any = false;
+            let mut best: Option<(usize, f64)> = None;
+            for (i, &c) in numeric_cols.iter().enumerate() {
+                let (mean, std) = stats[i];
+                if std == 0.0 {
+                    continue;
+                }
+                let z = ((rows[r][i] - mean) / std).abs();
+                if best.as_ref().is_none_or(|(_, bz)| z > *bz) {
+                    best = Some((c, z));
+                }
+                if z > 1.0 {
+                    cells.push(CellRef::new(r, c));
+                    flagged_any = true;
+                }
+            }
+            if !flagged_any {
+                if let Some((c, _)) = best {
+                    cells.push(CellRef::new(r, c));
+                }
+            }
+        }
+        Detection::new(self.name(), cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    fn table_with_outlier() -> Table {
+        let mut vals: Vec<Option<f64>> = (0..50).map(|i| Some(10.0 + (i % 5) as f64)).collect();
+        vals[13] = Some(500.0);
+        Table::new(
+            "t",
+            vec![
+                Column::from_f64("x", vals),
+                Column::from_str_vals("s", (0..50).map(|_| Some("a")).collect::<Vec<_>>()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sd_flags_the_planted_outlier() {
+        let t = table_with_outlier();
+        let d = SdDetector::default().detect(&t, &DetectionContext::default());
+        assert_eq!(d.cells, vec![CellRef::new(13, 0)]);
+    }
+
+    #[test]
+    fn sd_ignores_clean_and_constant_columns() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64("c", vec![Some(5.0); 20])],
+        )
+        .unwrap();
+        let d = SdDetector::default().detect(&t, &DetectionContext::default());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn iqr_flags_the_planted_outlier() {
+        let t = table_with_outlier();
+        let d = IqrDetector::default().detect(&t, &DetectionContext::default());
+        assert!(d.cells.contains(&CellRef::new(13, 0)));
+        // IQR must not flag the bulk.
+        assert!(d.len() < 5);
+    }
+
+    #[test]
+    fn iqr_tighter_factor_flags_more() {
+        let t = table_with_outlier();
+        let strict = IqrDetector { factor: 0.5 }.detect(&t, &DetectionContext::default());
+        let loose = IqrDetector { factor: 3.0 }.detect(&t, &DetectionContext::default());
+        assert!(strict.len() >= loose.len());
+    }
+
+    #[test]
+    fn isolation_forest_flags_outlier_row() {
+        let t = table_with_outlier();
+        let d = IsolationForestDetector::default().detect(&t, &DetectionContext::default());
+        assert!(
+            d.cells.contains(&CellRef::new(13, 0)),
+            "cells: {:?}",
+            d.cells
+        );
+    }
+
+    #[test]
+    fn detectors_skip_tiny_tables() {
+        let t = Table::new("t", vec![Column::from_f64("x", [Some(1.0), Some(2.0)])]).unwrap();
+        let ctx = DetectionContext::default();
+        assert!(SdDetector::default().detect(&t, &ctx).is_empty());
+        assert!(IqrDetector::default().detect(&t, &ctx).is_empty());
+        assert!(IsolationForestDetector::default().detect(&t, &ctx).is_empty());
+    }
+
+    #[test]
+    fn nulls_are_not_outliers_for_stat_detectors() {
+        let mut vals: Vec<Option<f64>> = (0..30).map(|i| Some(i as f64)).collect();
+        vals[5] = None;
+        let t = Table::new("t", vec![Column::from_f64("x", vals)]).unwrap();
+        let d = SdDetector::default().detect(&t, &DetectionContext::default());
+        assert!(!d.cells.contains(&CellRef::new(5, 0)));
+    }
+}

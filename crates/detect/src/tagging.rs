@@ -1,0 +1,107 @@
+//! User data tagging (§3): "Users can flag known erroneous values (e.g.
+//! −1, 0, 99999) within the dataset … DataLens performs a comprehensive
+//! search for these tagged values within the dataset, appending their
+//! indices to the detection list."
+
+use datalens_table::{CellRef, Table};
+
+use crate::detector::{Detection, DetectionContext, Detector};
+
+/// Flags every cell whose rendered content equals one of the user-tagged
+/// values (exact match after trimming; numeric tags match numerically, so
+/// a tag of `-1` hits both `-1` and `-1.0`).
+#[derive(Debug, Clone, Default)]
+pub struct TaggedValueDetector;
+
+impl Detector for TaggedValueDetector {
+    fn name(&self) -> &'static str {
+        "user_tags"
+    }
+
+    fn detect(&self, table: &Table, ctx: &DetectionContext) -> Detection {
+        if ctx.tagged_values.is_empty() {
+            return Detection::new(self.name(), Vec::new());
+        }
+        // Precompute numeric forms of the tags for cross-type matching.
+        let tags: Vec<(String, Option<f64>)> = ctx
+            .tagged_values
+            .iter()
+            .map(|t| {
+                let trimmed = t.trim().to_string();
+                let as_num = trimmed.parse::<f64>().ok();
+                (trimmed, as_num)
+            })
+            .collect();
+        let mut cells = Vec::new();
+        for (c, col) in table.columns().iter().enumerate() {
+            for r in 0..table.n_rows() {
+                let v = col.get(r);
+                if v.is_null() {
+                    continue;
+                }
+                let rendered = v.render();
+                let numeric = v.as_f64();
+                let hit = tags.iter().any(|(text, num)| {
+                    rendered == *text
+                        || matches!((num, numeric), (Some(a), Some(b)) if a == &b)
+                });
+                if hit {
+                    cells.push(CellRef::new(r, c));
+                }
+            }
+        }
+        Detection::new(self.name(), cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    #[test]
+    fn finds_tagged_values_across_types() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_i64("a", [Some(-1), Some(5), Some(99999)]),
+                Column::from_f64("b", [Some(-1.0), Some(2.0), Some(3.0)]),
+                Column::from_str_vals("c", [Some("-1"), Some("x"), Some("?")]),
+            ],
+        )
+        .unwrap();
+        let ctx = DetectionContext {
+            tagged_values: vec!["-1".into(), "?".into()],
+            ..Default::default()
+        };
+        let d = TaggedValueDetector.detect(&t, &ctx);
+        assert_eq!(
+            d.cells,
+            vec![
+                CellRef::new(0, 0),
+                CellRef::new(0, 1),
+                CellRef::new(0, 2),
+                CellRef::new(2, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn no_tags_no_detections() {
+        let t = Table::new("t", vec![Column::from_i64("a", [Some(-1)])]).unwrap();
+        let d = TaggedValueDetector.detect(&t, &DetectionContext::default());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn nulls_never_match_tags() {
+        let t = Table::new("t", vec![Column::from_str_vals("a", [None, Some("")])]).unwrap();
+        let ctx = DetectionContext {
+            tagged_values: vec!["".into()],
+            ..Default::default()
+        };
+        let d = TaggedValueDetector.detect(&t, &ctx);
+        // Row 0 is null → skipped; row 1 renders "" → matched.
+        assert_eq!(d.cells.len(), 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! HyFD-style hybrid FD discovery (Papenbrock & Naumann, 2016).
+//!
+//! The original HyFD alternates between a row-pair *sampling* phase that
+//! cheaply collects violated FDs (the negative cover) and a focused
+//! *validation* phase that checks the candidate FDs induced from that
+//! cover, feeding each validation failure back as new negative evidence.
+//! This module implements that loop:
+//!
+//! 1. sample row pairs → agree sets → negative cover;
+//! 2. induce the positive cover (minimal candidate FDs consistent with all
+//!    evidence) by iterative specialisation;
+//! 3. validate candidates on the full relation; failures produce new agree
+//!    sets and the loop continues until everything validates.
+//!
+//! The result provably equals exact TANE's output (up to the lhs-size cap),
+//! which the crate's proptests pin down.
+
+use std::collections::HashSet;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use datalens_table::Table;
+
+use crate::rule::{Fd, FdRule, RuleProvenance};
+
+/// Options for [`hyfd`].
+#[derive(Debug, Clone)]
+pub struct HyFdConfig {
+    /// Maximum determinant size.
+    pub max_lhs: usize,
+    /// Number of random row pairs sampled up front.
+    pub sample_pairs: usize,
+    pub seed: u64,
+}
+
+impl Default for HyFdConfig {
+    fn default() -> Self {
+        HyFdConfig {
+            max_lhs: 4,
+            sample_pairs: 512,
+            seed: 0,
+        }
+    }
+}
+
+type AttrSet = u64;
+
+fn bits(set: AttrSet, n: usize) -> impl Iterator<Item = usize> {
+    (0..n).filter(move |i| set & (1 << i) != 0)
+}
+
+/// Rendered comparison key (nulls equal each other, as in TANE).
+fn key(table: &Table, row: usize, col: usize) -> String {
+    let c = table.column(col).expect("col in range");
+    if c.is_null(row) {
+        "\u{0}null".to_string()
+    } else {
+        c.get(row).render()
+    }
+}
+
+/// Attribute-agreement bitmask for a row pair.
+fn agree_set(table: &Table, a: usize, b: usize) -> AttrSet {
+    let mut s: AttrSet = 0;
+    for c in 0..table.n_cols() {
+        if key(table, a, c) == key(table, b, c) {
+            s |= 1 << c;
+        }
+    }
+    s
+}
+
+/// Per-rhs candidate lhs sets (the evolving positive cover).
+struct PositiveCover {
+    n_attrs: usize,
+    max_lhs: usize,
+    /// `candidates[a]` = minimal lhs bitmasks currently believed to
+    /// determine attribute `a`.
+    candidates: Vec<Vec<AttrSet>>,
+}
+
+impl PositiveCover {
+    fn new(n_attrs: usize, max_lhs: usize) -> PositiveCover {
+        PositiveCover {
+            n_attrs,
+            max_lhs,
+            candidates: vec![vec![0]; n_attrs], // start from ∅ → A
+        }
+    }
+
+    /// Apply one piece of negative evidence: rows agreeing exactly on
+    /// `agree` differ on every attribute outside it, so for every rhs
+    /// outside `agree`, no lhs ⊆ agree can determine rhs.
+    fn apply(&mut self, agree: AttrSet) {
+        let n = self.n_attrs;
+        let max_lhs = self.max_lhs;
+        for rhs in 0..n {
+            if agree & (1 << rhs) != 0 {
+                continue;
+            }
+            let cands = &mut self.candidates[rhs];
+            let (violated, mut kept): (Vec<AttrSet>, Vec<AttrSet>) =
+                cands.iter().partition(|&&lhs| lhs & !agree == 0);
+            if violated.is_empty() {
+                continue;
+            }
+            for lhs in violated {
+                // Specialise: extend with one attribute outside the agree
+                // set (so the new lhs distinguishes the offending pair).
+                for b in 0..n {
+                    if b == rhs || agree & (1 << b) != 0 || lhs & (1 << b) != 0 {
+                        continue;
+                    }
+                    let ext = lhs | (1 << b);
+                    if (ext.count_ones() as usize) > max_lhs {
+                        continue;
+                    }
+                    // Keep only if not a superset of an existing candidate.
+                    if kept.iter().any(|&k| k & !ext == 0) {
+                        continue;
+                    }
+                    kept.retain(|&k| ext & !k != 0); // drop supersets of ext
+                    kept.push(ext);
+                }
+            }
+            kept.sort_unstable();
+            kept.dedup();
+            *cands = kept;
+        }
+    }
+}
+
+/// Find one violating row pair for `lhs → rhs`, or `None` if the FD holds.
+fn find_violation(table: &Table, lhs: AttrSet, rhs: usize) -> Option<(usize, usize)> {
+    use std::collections::HashMap;
+    let n = table.n_cols();
+    let lhs_cols: Vec<usize> = bits(lhs, n).collect();
+    let mut seen: HashMap<Vec<String>, (usize, String)> = HashMap::new();
+    for r in 0..table.n_rows() {
+        let k: Vec<String> = lhs_cols.iter().map(|&c| key(table, r, c)).collect();
+        let v = key(table, r, rhs);
+        match seen.get(&k) {
+            Some((prev_row, prev_val)) if *prev_val != v => return Some((*prev_row, r)),
+            Some(_) => {}
+            None => {
+                seen.insert(k, (r, v));
+            }
+        }
+    }
+    None
+}
+
+/// Run the hybrid miner, returning minimal exact FDs (provenance
+/// [`RuleProvenance::HyFd`]).
+pub fn hyfd(table: &Table, config: &HyFdConfig) -> Vec<FdRule> {
+    let n = table.n_cols();
+    assert!(n <= 64, "HyFD implementation caps at 64 columns");
+    if n < 2 || table.n_rows() < 2 {
+        return Vec::new();
+    }
+
+    let mut cover = PositiveCover::new(n, config.max_lhs);
+    let mut seen_agree: HashSet<AttrSet> = HashSet::new();
+
+    // --- Phase 1: sampling ---
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let rows = table.n_rows();
+    // Neighbouring pairs under the original order catch clustered data;
+    // random pairs catch the rest.
+    for r in 1..rows {
+        let s = agree_set(table, r - 1, r);
+        if seen_agree.insert(s) {
+            cover.apply(s);
+        }
+    }
+    for _ in 0..config.sample_pairs {
+        let a = rng.random_range(0..rows);
+        let b = rng.random_range(0..rows);
+        if a == b {
+            continue;
+        }
+        let s = agree_set(table, a, b);
+        if seen_agree.insert(s) {
+            cover.apply(s);
+        }
+    }
+
+    // --- Phases 2+3: induce candidates, validate, refine ---
+    loop {
+        let mut new_evidence: Vec<AttrSet> = Vec::new();
+        for rhs in 0..n {
+            for &lhs in &cover.candidates[rhs] {
+                if lhs == 0 {
+                    // ∅ → rhs: rhs constant? Validate via a scan.
+                    if let Some((a, b)) = find_violation(table, 0, rhs) {
+                        let s = agree_set(table, a, b);
+                        if seen_agree.insert(s) {
+                            new_evidence.push(s);
+                        }
+                    }
+                    continue;
+                }
+                if let Some((a, b)) = find_violation(table, lhs, rhs) {
+                    let s = agree_set(table, a, b);
+                    if seen_agree.insert(s) {
+                        new_evidence.push(s);
+                    }
+                }
+            }
+        }
+        if new_evidence.is_empty() {
+            break;
+        }
+        for s in new_evidence {
+            cover.apply(s);
+        }
+    }
+
+    // --- Emit validated, minimal, non-empty-lhs FDs ---
+    let names: Vec<String> = table
+        .column_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    for rhs in 0..n {
+        for &lhs in &cover.candidates[rhs] {
+            if lhs == 0 {
+                continue; // constant column; not expressed as an FD rule
+            }
+            let lhs_names: Vec<String> = bits(lhs, n).map(|i| names[i].clone()).collect();
+            if let Some(fd) = Fd::new(lhs_names, names[rhs].clone()) {
+                out.push(FdRule::discovered(fd, RuleProvenance::HyFd, 0.0));
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.fd.lhs.len(), &a.fd.lhs, &a.fd.rhs).cmp(&(b.fd.lhs.len(), &b.fd.lhs, &b.fd.rhs))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tane::{brute_force_fds, tane, TaneConfig};
+    use datalens_table::Column;
+
+    fn zip_city_table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_i64("zip", [Some(1), Some(1), Some(2), Some(3)]),
+                Column::from_str_vals(
+                    "city",
+                    [Some("ulm"), Some("ulm"), Some("bonn"), Some("ulm")],
+                ),
+                Column::from_i64("pop", [Some(10), Some(10), Some(20), Some(30)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn agrees_with_tane_on_example() {
+        let t = zip_city_table();
+        let mut h: Vec<String> = hyfd(&t, &HyFdConfig::default())
+            .iter()
+            .map(|r| r.fd.to_string())
+            .collect();
+        let mut ta: Vec<String> = tane(&t, &TaneConfig { max_lhs: 4, max_g3_error: 0.0 })
+            .iter()
+            .map(|r| r.fd.to_string())
+            .collect();
+        h.sort();
+        ta.sort();
+        assert_eq!(h, ta);
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        let t = zip_city_table();
+        let mut h: Vec<String> = hyfd(&t, &HyFdConfig { max_lhs: 3, ..Default::default() })
+            .iter()
+            .map(|r| r.fd.to_string())
+            .collect();
+        let mut b: Vec<String> = brute_force_fds(&t, 3).iter().map(Fd::to_string).collect();
+        h.sort();
+        b.sort();
+        assert_eq!(h, b);
+    }
+
+    #[test]
+    fn no_fds_on_independent_columns() {
+        // Two columns enumerating a full cross product: no FD either way.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                a.push(Some(i));
+                b.push(Some(j));
+            }
+        }
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("a", a), Column::from_i64("b", b)],
+        )
+        .unwrap();
+        assert!(hyfd(&t, &HyFdConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn key_column_determines_everything() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_i64("id", [Some(1), Some(2), Some(3)]),
+                Column::from_str_vals("x", [Some("p"), Some("p"), Some("q")]),
+            ],
+        )
+        .unwrap();
+        let fds: Vec<String> = hyfd(&t, &HyFdConfig::default())
+            .iter()
+            .map(|r| r.fd.to_string())
+            .collect();
+        assert!(fds.contains(&"[id] -> x".to_string()), "{fds:?}");
+        assert!(!fds.contains(&"[x] -> id".to_string()));
+    }
+
+    #[test]
+    fn respects_max_lhs() {
+        let t = zip_city_table();
+        let rules = hyfd(&t, &HyFdConfig { max_lhs: 1, ..Default::default() });
+        assert!(rules.iter().all(|r| r.fd.lhs.len() <= 1));
+    }
+
+    #[test]
+    fn trivial_tables_yield_nothing() {
+        let t = Table::new("t", vec![Column::from_i64("a", [Some(1)])]).unwrap();
+        assert!(hyfd(&t, &HyFdConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! # datalens-fd
+//!
+//! Functional-dependency discovery — the reproduction's stand-in for the
+//! Metanome tool suite (HyFD, TANE) the paper calls through a CLI (§3
+//! "Automated Data Profiling"). Two independent miners are provided:
+//!
+//! - [`tane::tane`]: level-wise lattice search over stripped partitions,
+//!   supporting exact and approximate (g3-bounded) FDs;
+//! - [`hyfd::hyfd`]: a sampling + focused-validation hybrid in the spirit
+//!   of HyFD, exact FDs only.
+//!
+//! Discovered FDs become [`rule::FdRule`]s carrying provenance and the
+//! user-in-the-loop validation lifecycle (confirm / reject / modify /
+//! custom rules) described in the paper.
+//!
+//! ```
+//! use datalens_fd::{tane, TaneConfig};
+//! use datalens_table::{Column, Table};
+//!
+//! let t = Table::new("t", vec![
+//!     Column::from_i64("zip", [Some(1), Some(1), Some(2)]),
+//!     Column::from_str_vals("city", [Some("ulm"), Some("ulm"), Some("bonn")]),
+//! ]).unwrap();
+//! let rules = tane(&t, &TaneConfig::default());
+//! assert!(rules.iter().any(|r| r.fd.to_string() == "[zip] -> city"));
+//! ```
+
+pub mod hyfd;
+pub mod partition;
+pub mod rule;
+pub mod tane;
+
+pub use hyfd::{hyfd, HyFdConfig};
+pub use partition::StrippedPartition;
+pub use rule::{Fd, FdRule, RuleProvenance, RuleSet, RuleStatus};
+pub use tane::{brute_force_fds, fd_holds, tane, TaneConfig};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use datalens_table::{Column, Table};
+
+    use crate::hyfd::{hyfd, HyFdConfig};
+    use crate::rule::Fd;
+    use crate::tane::{brute_force_fds, tane, TaneConfig};
+
+    /// Small random tables with low-cardinality columns (so FDs actually
+    /// occur) — the classic stress input for FD miners.
+    fn table_strategy() -> impl Strategy<Value = Table> {
+        (2usize..5, 2usize..12).prop_flat_map(|(cols, rows)| {
+            proptest::collection::vec(
+                proptest::collection::vec(0i64..3, rows),
+                cols,
+            )
+            .prop_map(|data| {
+                let columns: Vec<Column> = data
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, vals)| {
+                        Column::from_i64(format!("c{i}"), vals.into_iter().map(Some))
+                    })
+                    .collect();
+                Table::new("prop", columns).unwrap()
+            })
+        })
+    }
+
+    fn sorted_fds(fds: Vec<Fd>) -> Vec<String> {
+        let mut v: Vec<String> = fds.into_iter().map(|f| f.to_string()).collect();
+        v.sort();
+        v
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Exact TANE finds exactly the brute-force minimal FDs.
+        #[test]
+        fn tane_matches_brute_force(t in table_strategy()) {
+            let max_lhs = t.n_cols() - 1;
+            let mined = tane(&t, &TaneConfig { max_lhs, max_g3_error: 0.0 });
+            let mined = sorted_fds(mined.into_iter().map(|r| r.fd).collect());
+            let brute = sorted_fds(brute_force_fds(&t, max_lhs));
+            prop_assert_eq!(mined, brute);
+        }
+
+        /// HyFD agrees with TANE on every input.
+        #[test]
+        fn hyfd_matches_tane(t in table_strategy(), seed in any::<u64>()) {
+            let max_lhs = t.n_cols() - 1;
+            let a = sorted_fds(
+                hyfd(&t, &HyFdConfig { max_lhs, sample_pairs: 32, seed })
+                    .into_iter().map(|r| r.fd).collect(),
+            );
+            let b = sorted_fds(
+                tane(&t, &TaneConfig { max_lhs, max_g3_error: 0.0 })
+                    .into_iter().map(|r| r.fd).collect(),
+            );
+            prop_assert_eq!(a, b);
+        }
+
+        /// g3 is a true removal fraction: bounded by [0, 1], zero exactly
+        /// when the FD holds, and achievable (removing ⌈g3·n⌉ rows can
+        /// always restore the FD).
+        #[test]
+        fn g3_is_a_valid_removal_fraction(t in table_strategy()) {
+            use crate::partition::StrippedPartition;
+            let pa = StrippedPartition::for_column(&t, 0);
+            let pb = StrippedPartition::for_column(&t, 1);
+            let pab = pa.product(&pb);
+            let g3 = pa.g3_error(&pab);
+            prop_assert!((0.0..=1.0).contains(&g3), "g3 = {g3}");
+            let holds = crate::tane::fd_holds(&t, &[0], 1);
+            prop_assert_eq!(g3 == 0.0, holds, "g3 {} vs holds {}", g3, holds);
+        }
+
+        /// Every reported FD actually holds, and is minimal.
+        #[test]
+        fn reported_fds_hold_and_are_minimal(t in table_strategy()) {
+            let rules = tane(&t, &TaneConfig { max_lhs: 3, max_g3_error: 0.0 });
+            let names: Vec<&str> = t.column_names();
+            for r in &rules {
+                let lhs: Vec<usize> = r.fd.lhs.iter()
+                    .map(|n| names.iter().position(|m| m == n).unwrap())
+                    .collect();
+                let rhs = names.iter().position(|m| *m == r.fd.rhs).unwrap();
+                prop_assert!(crate::tane::fd_holds(&t, &lhs, rhs), "{} does not hold", r.fd);
+                // Minimality: removing any lhs attribute breaks the FD.
+                if lhs.len() > 1 {
+                    for drop in 0..lhs.len() {
+                        let sub: Vec<usize> = lhs.iter().enumerate()
+                            .filter(|(i, _)| *i != drop)
+                            .map(|(_, &c)| c)
+                            .collect();
+                        prop_assert!(
+                            !crate::tane::fd_holds(&t, &sub, rhs),
+                            "{} is not minimal", r.fd
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Stripped partitions — the core data structure of TANE.
+//!
+//! A partition of the rows by an attribute set X groups rows that agree on
+//! all attributes of X. "Stripped" means singleton groups are dropped: they
+//! can never witness an FD violation. TANE's key facts, both used here:
+//!
+//! - X → A holds iff the partition of X has the same *error* as X ∪ {A}
+//!   (equivalently, refining by A does not split any group);
+//! - the partition of X ∪ Y is the product of the partitions of X and Y,
+//!   computable in O(n).
+
+use std::collections::HashMap;
+
+use datalens_table::Table;
+
+/// A stripped partition: equivalence classes (row-index groups) of size ≥ 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrippedPartition {
+    /// Number of rows in the underlying relation.
+    pub n_rows: usize,
+    /// Groups of size ≥ 2, each sorted ascending.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl StrippedPartition {
+    /// Partition of the rows by a single column (nulls compare equal to
+    /// each other, the pandas groupby convention used by FD miners).
+    pub fn for_column(table: &Table, col: usize) -> StrippedPartition {
+        let column = table.column(col).expect("column in range");
+        let mut map: HashMap<String, Vec<usize>> = HashMap::new();
+        for r in 0..table.n_rows() {
+            // Render keys: equal values render equally; null renders "".
+            let key = column.get(r).render();
+            let key = if column.is_null(r) {
+                "\u{0}null".to_string()
+            } else {
+                key
+            };
+            map.entry(key).or_default().push(r);
+        }
+        let mut groups: Vec<Vec<usize>> = map
+            .into_values()
+            .filter(|g| g.len() >= 2)
+            .collect();
+        groups.sort();
+        StrippedPartition {
+            n_rows: table.n_rows(),
+            groups,
+        }
+    }
+
+    /// The single-group partition (empty attribute set): all rows agree.
+    pub fn unit(n_rows: usize) -> StrippedPartition {
+        let groups = if n_rows >= 2 {
+            vec![(0..n_rows).collect()]
+        } else {
+            Vec::new()
+        };
+        StrippedPartition { n_rows, groups }
+    }
+
+    /// Number of equivalence classes **including** the stripped singletons.
+    pub fn n_classes(&self) -> usize {
+        let grouped_rows: usize = self.groups.iter().map(Vec::len).sum();
+        self.groups.len() + (self.n_rows - grouped_rows)
+    }
+
+    /// TANE's error measure e(X): the minimum number of rows to remove so
+    /// the grouped rows become unique, i.e. Σ(|group| − 1).
+    pub fn error(&self) -> usize {
+        self.groups.iter().map(|g| g.len() - 1).sum()
+    }
+
+    /// Product partition Π_X · Π_Y = Π_{X∪Y}, linear-time via the probe
+    /// table technique from the TANE paper.
+    pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        assert_eq!(self.n_rows, other.n_rows, "row count mismatch");
+        // probe[r] = group id of r in self, or NONE.
+        const NONE: usize = usize::MAX;
+        let mut probe = vec![NONE; self.n_rows];
+        for (gid, group) in self.groups.iter().enumerate() {
+            for &r in group {
+                probe[r] = gid;
+            }
+        }
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        let mut bucket: HashMap<usize, Vec<usize>> = HashMap::new();
+        for group in &other.groups {
+            bucket.clear();
+            for &r in group {
+                if probe[r] != NONE {
+                    bucket.entry(probe[r]).or_default().push(r);
+                }
+            }
+            for (_, rows) in bucket.drain() {
+                if rows.len() >= 2 {
+                    out.push(rows);
+                }
+            }
+        }
+        out.sort();
+        StrippedPartition {
+            n_rows: self.n_rows,
+            groups: out,
+        }
+    }
+
+    /// Does the FD (attributes of `self`) → (attributes refined in
+    /// `refined`) hold exactly? True iff refining does not increase error.
+    pub fn implies(&self, refined: &StrippedPartition) -> bool {
+        self.error() == refined.error()
+    }
+
+    /// g3 approximation error of the FD X → A, where `self` = Π_X and
+    /// `refined` = Π_{X∪A}: the minimum fraction of rows that must be
+    /// removed for the FD to hold exactly (Kivinen & Mannila's g3; 0 =
+    /// exact FD).
+    ///
+    /// Within each X-group, every row outside the *largest* agreeing
+    /// X∪A-subgroup must go. Note the naive `(e(X) − e(X∪A))/n` is **not**
+    /// g3 — it stays small for independent low-cardinality attributes and
+    /// would admit nonsense "approximate FDs".
+    pub fn g3_error(&self, refined: &StrippedPartition) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        // probe[r] = refined group id of row r; usize::MAX = singleton.
+        const NONE: usize = usize::MAX;
+        let mut probe = vec![NONE; self.n_rows];
+        for (gid, group) in refined.groups.iter().enumerate() {
+            for &r in group {
+                probe[r] = gid;
+            }
+        }
+        let mut removed = 0usize;
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for group in &self.groups {
+            counts.clear();
+            let mut singles = 0usize;
+            for &r in group {
+                if probe[r] == NONE {
+                    singles += 1; // its own refined subgroup of size 1
+                } else {
+                    *counts.entry(probe[r]).or_insert(0) += 1;
+                }
+            }
+            let max_keep = counts
+                .values()
+                .copied()
+                .max()
+                .unwrap_or(0)
+                .max(usize::from(singles > 0));
+            removed += group.len() - max_keep;
+        }
+        // Rows stripped from Π_X are singleton X-classes: trivially kept.
+        removed as f64 / self.n_rows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    fn table() -> Table {
+        // zip → city holds; city → zip does not (ulm has two zips).
+        Table::new(
+            "t",
+            vec![
+                Column::from_str_vals(
+                    "city",
+                    [Some("ulm"), Some("ulm"), Some("bonn"), Some("ulm")],
+                ),
+                Column::from_i64("zip", [Some(1), Some(1), Some(2), Some(3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn column_partition_groups_equal_values() {
+        let p = StrippedPartition::for_column(&table(), 0);
+        assert_eq!(p.groups, vec![vec![0, 1, 3]]); // bonn singleton stripped
+        assert_eq!(p.error(), 2);
+        assert_eq!(p.n_classes(), 2);
+    }
+
+    #[test]
+    fn nulls_group_together() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("x", [None, None, Some(1)])],
+        )
+        .unwrap();
+        let p = StrippedPartition::for_column(&t, 0);
+        assert_eq!(p.groups, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn unit_partition_single_group() {
+        let p = StrippedPartition::unit(4);
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(p.error(), 3);
+        assert_eq!(p.n_classes(), 1);
+    }
+
+    #[test]
+    fn product_refines() {
+        let t = table();
+        let city = StrippedPartition::for_column(&t, 0);
+        let zip = StrippedPartition::for_column(&t, 1);
+        let both = city.product(&zip);
+        // {0,1,3} ∩ {0,1} = {0,1}; row 3 becomes a singleton and is stripped.
+        assert_eq!(both.groups, vec![vec![0, 1]]);
+        assert_eq!(both.error(), 1);
+        // Product is commutative in content.
+        assert_eq!(both, zip.product(&city));
+    }
+
+    #[test]
+    fn fd_check_via_error_equality() {
+        let t = table();
+        let city = StrippedPartition::for_column(&t, 0);
+        let zip = StrippedPartition::for_column(&t, 1);
+        let both = city.product(&zip);
+        // zip → city: e(zip) == e(zip ∪ city)?
+        assert!(zip.implies(&both));
+        // city → zip: e(city)=2, e(both)=1 → violated.
+        assert!(!city.implies(&both));
+    }
+
+    #[test]
+    fn g3_error_quantifies_violation() {
+        let t = table();
+        let city = StrippedPartition::for_column(&t, 0);
+        let zip = StrippedPartition::for_column(&t, 1);
+        let both = city.product(&zip);
+        assert_eq!(zip.g3_error(&both), 0.0);
+        assert!((city.g3_error(&both) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn g3_is_removal_fraction_not_group_delta() {
+        // Two independent low-cardinality columns: a (2 values) and
+        // b (3 values), uniform 6×k rows. a → b is *badly* violated:
+        // within each a-group only the majority b survives (one third),
+        // so g3 = 2/3 — while the naive group-count delta would report a
+        // deceptively small value.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..30 {
+            a.push(Some((i % 2) as i64));
+            b.push(Some((i % 3) as i64));
+        }
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("a", a), Column::from_i64("b", b)],
+        )
+        .unwrap();
+        let pa = StrippedPartition::for_column(&t, 0);
+        let pb = StrippedPartition::for_column(&t, 1);
+        let pab = pa.product(&pb);
+        let g3 = pa.g3_error(&pab);
+        assert!((g3 - 2.0 / 3.0).abs() < 1e-9, "g3 = {g3}");
+    }
+
+    #[test]
+    fn product_with_unit_is_identity_on_error() {
+        let t = table();
+        let city = StrippedPartition::for_column(&t, 0);
+        let unit = StrippedPartition::unit(t.n_rows());
+        let prod = unit.product(&city);
+        assert_eq!(prod.error(), city.error());
+    }
+}

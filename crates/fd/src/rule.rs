@@ -1,0 +1,349 @@
+//! The FD rule model: discovered and user-defined rules, plus the
+//! validation lifecycle driven by the user-in-the-loop module.
+//!
+//! The paper: "DataLens empowers users to validate automatically generated
+//! FD rules and engineer custom rules … users can review, confirm, modify,
+//! or reject these automatically generated rules."
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Where a rule came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleProvenance {
+    /// Discovered by TANE.
+    Tane,
+    /// Discovered by the HyFD-style hybrid miner.
+    HyFd,
+    /// Entered by a user.
+    User,
+}
+
+/// User-in-the-loop validation state of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleStatus {
+    /// Awaiting review (initial state of discovered rules).
+    Pending,
+    /// Confirmed by a user (initial state of user rules).
+    Confirmed,
+    /// Rejected by a user; excluded from rule-based detection.
+    Rejected,
+    /// Replaced by a modified rule (the replacement is a separate rule).
+    Superseded,
+}
+
+/// A functional dependency `lhs → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fd {
+    /// Determinant columns (sorted, non-empty, no duplicates).
+    pub lhs: Vec<String>,
+    /// Dependent column (not in `lhs`).
+    pub rhs: String,
+}
+
+impl Fd {
+    /// Build a canonicalised FD. Returns `None` when `lhs` is empty,
+    /// contains duplicates, or contains `rhs`.
+    pub fn new(mut lhs: Vec<String>, rhs: String) -> Option<Fd> {
+        if lhs.is_empty() {
+            return None;
+        }
+        lhs.sort();
+        let before = lhs.len();
+        lhs.dedup();
+        if lhs.len() != before || lhs.contains(&rhs) {
+            return None;
+        }
+        Some(Fd { lhs, rhs })
+    }
+
+    /// Is `self` at least as general as `other` (same rhs, lhs ⊆ other.lhs)?
+    pub fn generalises(&self, other: &Fd) -> bool {
+        self.rhs == other.rhs && self.lhs.iter().all(|a| other.lhs.contains(a))
+    }
+}
+
+impl Fd {
+    /// Parse a rule from text — the paper's future-work item (1),
+    /// "natural language processing for rule definition". Accepted forms
+    /// (case-insensitive keywords, column names taken verbatim):
+    ///
+    /// - arrow syntax: `zip -> city`, `[zip, street] -> city`;
+    /// - "determines": `zip determines city`,
+    ///   `zip and street determine city`;
+    /// - "depends on": `city depends on zip`,
+    ///   `city depends on zip and street`.
+    pub fn parse(text: &str) -> Option<Fd> {
+        let text = text.trim();
+        // Arrow form.
+        if let Some((lhs, rhs)) = text.split_once("->") {
+            let lhs = lhs.trim().trim_start_matches('[').trim_end_matches(']');
+            return Fd::new(split_columns(lhs), rhs.trim().to_string());
+        }
+        // "X determines Y" / "X and Z determine Y".
+        let lower = text.to_ascii_lowercase();
+        for kw in ["determines", "determine"] {
+            if let Some(pos) = lower.find(kw) {
+                let (lhs, rhs) = (&text[..pos], &text[pos + kw.len()..]);
+                return Fd::new(split_columns(lhs), rhs.trim().to_string());
+            }
+        }
+        // "Y depends on X".
+        if let Some(pos) = lower.find("depends on") {
+            let (rhs, lhs) = (&text[..pos], &text[pos + "depends on".len()..]);
+            return Fd::new(split_columns(lhs), rhs.trim().to_string());
+        }
+        None
+    }
+}
+
+/// Split a determinant list on commas and the word "and".
+fn split_columns(text: &str) -> Vec<String> {
+    text.split(',')
+        .flat_map(|part| {
+            // Split on standalone "and" words.
+            let mut pieces = Vec::new();
+            let mut current = Vec::new();
+            for word in part.split_whitespace() {
+                if word.eq_ignore_ascii_case("and") {
+                    if !current.is_empty() {
+                        pieces.push(current.join(" "));
+                        current = Vec::new();
+                    }
+                } else {
+                    current.push(word);
+                }
+            }
+            if !current.is_empty() {
+                pieces.push(current.join(" "));
+            }
+            pieces
+        })
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] -> {}", self.lhs.join(", "), self.rhs)
+    }
+}
+
+/// A rule: an FD plus its provenance, lifecycle state, and quality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FdRule {
+    pub fd: Fd,
+    pub provenance: RuleProvenance,
+    pub status: RuleStatus,
+    /// g3 approximation error measured at discovery (0 = exact FD).
+    pub g3_error: f64,
+}
+
+impl FdRule {
+    pub fn discovered(fd: Fd, provenance: RuleProvenance, g3_error: f64) -> FdRule {
+        FdRule {
+            fd,
+            provenance,
+            status: RuleStatus::Pending,
+            g3_error,
+        }
+    }
+
+    pub fn user_defined(fd: Fd) -> FdRule {
+        FdRule {
+            fd,
+            provenance: RuleProvenance::User,
+            status: RuleStatus::Confirmed,
+            g3_error: 0.0,
+        }
+    }
+
+    /// Is this rule usable by rule-based error detection? Pending rules
+    /// count (the dashboard runs them until the user rejects them).
+    pub fn is_active(&self) -> bool {
+        matches!(self.status, RuleStatus::Pending | RuleStatus::Confirmed)
+    }
+}
+
+/// The mutable set of rules attached to a dataset, with the user-facing
+/// validation operations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<FdRule>,
+}
+
+impl RuleSet {
+    pub fn new() -> RuleSet {
+        RuleSet::default()
+    }
+
+    /// Add a rule, skipping exact duplicates of the same FD. Returns true
+    /// if the rule was added.
+    pub fn add(&mut self, rule: FdRule) -> bool {
+        if self.rules.iter().any(|r| r.fd == rule.fd) {
+            return false;
+        }
+        self.rules.push(rule);
+        true
+    }
+
+    pub fn rules(&self) -> &[FdRule] {
+        &self.rules
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rules currently usable by detection.
+    pub fn active(&self) -> impl Iterator<Item = &FdRule> {
+        self.rules.iter().filter(|r| r.is_active())
+    }
+
+    fn position(&self, fd: &Fd) -> Option<usize> {
+        self.rules.iter().position(|r| &r.fd == fd)
+    }
+
+    /// User confirms a rule. Returns false when the FD is unknown.
+    pub fn confirm(&mut self, fd: &Fd) -> bool {
+        if let Some(i) = self.position(fd) {
+            self.rules[i].status = RuleStatus::Confirmed;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// User rejects a rule.
+    pub fn reject(&mut self, fd: &Fd) -> bool {
+        if let Some(i) = self.position(fd) {
+            self.rules[i].status = RuleStatus::Rejected;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// User modifies a rule: the original becomes Superseded and the
+    /// replacement is added as a confirmed user rule. Returns false when
+    /// the original is unknown or the replacement is a duplicate.
+    pub fn modify(&mut self, original: &Fd, replacement: Fd) -> bool {
+        let Some(i) = self.position(original) else {
+            return false;
+        };
+        if self.rules.iter().any(|r| r.fd == replacement) {
+            return false;
+        }
+        self.rules[i].status = RuleStatus::Superseded;
+        self.rules.push(FdRule::user_defined(replacement));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(lhs: &[&str], rhs: &str) -> Fd {
+        Fd::new(lhs.iter().map(|s| s.to_string()).collect(), rhs.to_string()).unwrap()
+    }
+
+    #[test]
+    fn fd_canonicalises_lhs() {
+        let a = fd(&["b", "a"], "c");
+        let b = fd(&["a", "b"], "c");
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "[a, b] -> c");
+    }
+
+    #[test]
+    fn fd_rejects_degenerate_forms() {
+        assert!(Fd::new(vec![], "c".into()).is_none());
+        assert!(Fd::new(vec!["a".into(), "a".into()], "c".into()).is_none());
+        assert!(Fd::new(vec!["c".into()], "c".into()).is_none());
+    }
+
+    #[test]
+    fn generalisation_ordering() {
+        assert!(fd(&["a"], "c").generalises(&fd(&["a", "b"], "c")));
+        assert!(!fd(&["a", "b"], "c").generalises(&fd(&["a"], "c")));
+        assert!(!fd(&["a"], "c").generalises(&fd(&["a", "b"], "d")));
+        assert!(fd(&["a"], "c").generalises(&fd(&["a"], "c")));
+    }
+
+    #[test]
+    fn ruleset_dedupes() {
+        let mut rs = RuleSet::new();
+        assert!(rs.add(FdRule::discovered(fd(&["a"], "b"), RuleProvenance::Tane, 0.0)));
+        assert!(!rs.add(FdRule::user_defined(fd(&["a"], "b"))));
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn validation_lifecycle() {
+        let mut rs = RuleSet::new();
+        rs.add(FdRule::discovered(fd(&["a"], "b"), RuleProvenance::Tane, 0.0));
+        assert_eq!(rs.rules()[0].status, RuleStatus::Pending);
+        assert!(rs.rules()[0].is_active());
+
+        assert!(rs.confirm(&fd(&["a"], "b")));
+        assert_eq!(rs.rules()[0].status, RuleStatus::Confirmed);
+
+        assert!(rs.reject(&fd(&["a"], "b")));
+        assert!(!rs.rules()[0].is_active());
+        assert_eq!(rs.active().count(), 0);
+
+        assert!(!rs.confirm(&fd(&["zz"], "b")));
+    }
+
+    #[test]
+    fn parse_arrow_forms() {
+        assert_eq!(Fd::parse("zip -> city"), Some(fd(&["zip"], "city")));
+        assert_eq!(
+            Fd::parse("[zip, street] -> city"),
+            Some(fd(&["street", "zip"], "city"))
+        );
+        assert_eq!(Fd::parse(" a ->b "), Some(fd(&["a"], "b")));
+    }
+
+    #[test]
+    fn parse_natural_language_forms() {
+        assert_eq!(Fd::parse("zip determines city"), Some(fd(&["zip"], "city")));
+        assert_eq!(
+            Fd::parse("zip and street determine city"),
+            Some(fd(&["street", "zip"], "city"))
+        );
+        assert_eq!(Fd::parse("city depends on zip"), Some(fd(&["zip"], "city")));
+        assert_eq!(
+            Fd::parse("city depends on zip and street"),
+            Some(fd(&["street", "zip"], "city"))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert_eq!(Fd::parse("just some words"), None);
+        assert_eq!(Fd::parse("-> city"), None);
+        assert_eq!(Fd::parse("zip determines zip"), None);
+        assert_eq!(Fd::parse(""), None);
+    }
+
+    #[test]
+    fn modify_supersedes_and_adds() {
+        let mut rs = RuleSet::new();
+        rs.add(FdRule::discovered(fd(&["zip"], "inhabitants"), RuleProvenance::HyFd, 0.01));
+        assert!(rs.modify(&fd(&["zip"], "inhabitants"), fd(&["zip"], "city")));
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rules()[0].status, RuleStatus::Superseded);
+        assert_eq!(rs.rules()[1].provenance, RuleProvenance::User);
+        assert_eq!(rs.active().count(), 1);
+        // Modifying to an existing FD fails.
+        rs.add(FdRule::user_defined(fd(&["a"], "b")));
+        assert!(!rs.modify(&fd(&["a"], "b"), fd(&["zip"], "city")));
+    }
+}

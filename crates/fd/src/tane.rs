@@ -1,0 +1,398 @@
+//! TANE: level-wise discovery of minimal functional dependencies
+//! (Huhtala, Kärkkäinen, Porkka & Toivonen, 1999) — one of the two FD
+//! miners DataLens drives through Metanome.
+//!
+//! Attribute sets are `u64` bitmasks (≤ 64 columns). The lattice is
+//! traversed level by level; candidate-rhs sets C⁺(X) and key pruning keep
+//! the search space small, and partitions for level k are built as products
+//! of level-(k−1) partitions.
+
+// Index-based loops here mirror the published algorithms' notation;
+// iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use std::collections::HashMap;
+
+use datalens_table::Table;
+
+use crate::partition::StrippedPartition;
+use crate::rule::{Fd, FdRule, RuleProvenance};
+
+/// Options for [`tane`].
+#[derive(Debug, Clone)]
+pub struct TaneConfig {
+    /// Maximum determinant (lhs) size.
+    pub max_lhs: usize,
+    /// Maximum g3 error for an FD to be reported. `0.0` = exact FDs only;
+    /// larger values admit approximate FDs (TANE/approx).
+    pub max_g3_error: f64,
+}
+
+impl Default for TaneConfig {
+    fn default() -> Self {
+        TaneConfig {
+            max_lhs: 4,
+            max_g3_error: 0.0,
+        }
+    }
+}
+
+type AttrSet = u64;
+
+fn bits(set: AttrSet) -> impl Iterator<Item = usize> {
+    (0..64).filter(move |i| set & (1 << i) != 0)
+}
+
+fn set_of(attrs: &[usize]) -> AttrSet {
+    attrs.iter().fold(0, |acc, &a| acc | (1 << a))
+}
+
+/// Run TANE over all columns of `table`, returning minimal FDs as rules
+/// (provenance [`RuleProvenance::Tane`]).
+pub fn tane(table: &Table, config: &TaneConfig) -> Vec<FdRule> {
+    let n_attrs = table.n_cols();
+    assert!(n_attrs <= 64, "TANE implementation caps at 64 columns");
+    if n_attrs < 2 || table.n_rows() == 0 {
+        return Vec::new();
+    }
+    let names: Vec<String> = table
+        .column_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let all: AttrSet = (0..n_attrs).fold(0, |acc, a| acc | (1 << a));
+
+    // Level 1: single-attribute partitions and C+.
+    let mut partitions: HashMap<AttrSet, StrippedPartition> = HashMap::new();
+    let unit = StrippedPartition::unit(table.n_rows());
+    for a in 0..n_attrs {
+        partitions.insert(1 << a, StrippedPartition::for_column(table, a));
+    }
+
+    let mut cplus: HashMap<AttrSet, AttrSet> = HashMap::new();
+    cplus.insert(0, all);
+    let mut level: Vec<AttrSet> = (0..n_attrs).map(|a| 1 << a).collect();
+    for &x in &level {
+        cplus.insert(x, all);
+    }
+
+    let mut results: Vec<FdRule> = Vec::new();
+
+    let mut depth = 1usize;
+    while !level.is_empty() && depth <= config.max_lhs + 1 {
+        // --- compute dependencies at this level ---
+        for &x in &level {
+            let candidates = cplus[&x] & x;
+            for a in bits(candidates) {
+                let lhs_set = x & !(1 << a);
+                let lhs_part = if lhs_set == 0 {
+                    // ∅ → A: holds iff column A is constant.
+                    &unit
+                } else {
+                    &partitions[&lhs_set]
+                };
+                let xa = &partitions[&x];
+                // Exactness via the cheap error-equality test; the true
+                // (costlier) g3 only when approximate FDs are requested.
+                let exact = lhs_part.implies(xa);
+                let g3 = if exact {
+                    0.0
+                } else if config.max_g3_error > 0.0 {
+                    lhs_part.g3_error(xa)
+                } else {
+                    1.0
+                };
+                let valid = g3 <= config.max_g3_error + 1e-12;
+                if valid && lhs_set != 0 {
+                    let lhs_names: Vec<String> =
+                        bits(lhs_set).map(|i| names[i].clone()).collect();
+                    if let Some(fd) = Fd::new(lhs_names, names[a].clone()) {
+                        results.push(FdRule::discovered(fd, RuleProvenance::Tane, g3));
+                    }
+                }
+                if exact {
+                    // Prune: A proven dependent; remove A and all of R\X.
+                    // Only *exact* FDs may prune — approximate validity
+                    // does not license TANE's C+ implication rules.
+                    let entry = cplus.get_mut(&x).expect("cplus exists");
+                    *entry &= !(1 << a);
+                    *entry &= !(all & !x);
+                }
+            }
+        }
+
+        // --- prune the level ---
+        // C+-based pruning only. TANE's additional key pruning requires a
+        // companion output rule to avoid losing FDs whose lhs is a key; we
+        // keep keys in the lattice instead — the C+ sets still collapse
+        // their supersets quickly.
+        level.retain(|x| cplus[x] != 0);
+
+        // --- generate the next level via prefix blocks ---
+        if depth > config.max_lhs {
+            break;
+        }
+        let mut next: Vec<AttrSet> = Vec::new();
+        let mut sorted_level = level.clone();
+        sorted_level.sort();
+        for i in 0..sorted_level.len() {
+            for j in (i + 1)..sorted_level.len() {
+                let a = sorted_level[i];
+                let b = sorted_level[j];
+                // Same prefix block: differ only in the highest bit.
+                let union = a | b;
+                if (union.count_ones() as usize) != depth + 1 {
+                    continue;
+                }
+                // All subsets of size `depth` must be present in the level.
+                let all_subsets_present = bits(union).all(|k| {
+                    let sub = union & !(1 << k);
+                    sorted_level.binary_search(&sub).is_ok()
+                });
+                if !all_subsets_present || next.contains(&union) {
+                    continue;
+                }
+                // Partition and C+ for the union.
+                let p = partitions[&a].product(&partitions[&b]);
+                partitions.insert(union, p);
+                let mut c = all;
+                for k in bits(union) {
+                    let sub = union & !(1 << k);
+                    c &= cplus.get(&sub).copied().unwrap_or(0);
+                }
+                cplus.insert(union, c);
+                next.push(union);
+            }
+        }
+        next.sort();
+        next.dedup();
+        level = next;
+        depth += 1;
+    }
+
+    minimise(results)
+}
+
+/// Keep only minimal FDs: drop any rule whose lhs is a strict superset of
+/// another rule's lhs with the same rhs.
+fn minimise(rules: Vec<FdRule>) -> Vec<FdRule> {
+    let mut out: Vec<FdRule> = Vec::new();
+    for r in &rules {
+        let minimal = !rules.iter().any(|s| {
+            s.fd != r.fd && s.fd.generalises(&r.fd)
+        });
+        if minimal {
+            out.push(r.clone());
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.fd.lhs.len(), &a.fd.lhs, &a.fd.rhs).cmp(&(b.fd.lhs.len(), &b.fd.lhs, &b.fd.rhs))
+    });
+    out
+}
+
+/// Reference implementation for tests and HyFD validation: check whether
+/// `lhs → rhs` (column indices) holds exactly on `table`.
+pub fn fd_holds(table: &Table, lhs: &[usize], rhs: usize) -> bool {
+    let lhs_set = set_of(lhs);
+    debug_assert_eq!(lhs_set & (1 << rhs), 0, "rhs must not be in lhs");
+    let mut seen: HashMap<Vec<String>, String> = HashMap::new();
+    for r in 0..table.n_rows() {
+        let key: Vec<String> = lhs
+            .iter()
+            .map(|&c| render_key(table, r, c))
+            .collect();
+        let val = render_key(table, r, rhs);
+        match seen.get(&key) {
+            Some(existing) if existing != &val => return false,
+            Some(_) => {}
+            None => {
+                seen.insert(key, val);
+            }
+        }
+    }
+    true
+}
+
+fn render_key(table: &Table, row: usize, col: usize) -> String {
+    let c = table.column(col).expect("col in range");
+    if c.is_null(row) {
+        "\u{0}null".to_string()
+    } else {
+        c.get(row).render()
+    }
+}
+
+/// Brute-force minimal-FD miner for small tables (test oracle).
+pub fn brute_force_fds(table: &Table, max_lhs: usize) -> Vec<Fd> {
+    let n = table.n_cols();
+    let names: Vec<String> = table
+        .column_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut found: Vec<(Vec<usize>, usize)> = Vec::new();
+    let mut all_subsets: Vec<Vec<usize>> = vec![vec![]];
+    for a in 0..n {
+        let mut extended: Vec<Vec<usize>> = Vec::new();
+        for s in &all_subsets {
+            if s.len() < max_lhs {
+                let mut t = s.clone();
+                t.push(a);
+                extended.push(t);
+            }
+        }
+        all_subsets.extend(extended);
+    }
+    // Constant columns are determined by the empty set; TANE therefore
+    // reports no non-empty-lhs FD for them, and neither does this oracle.
+    let constant: Vec<bool> = (0..n).map(|c| fd_holds(table, &[], c)).collect();
+    for lhs in all_subsets.iter().filter(|s| !s.is_empty()) {
+        for rhs in 0..n {
+            if lhs.contains(&rhs) || constant[rhs] {
+                continue;
+            }
+            // Minimality: no strict subset of lhs already determines rhs.
+            let has_smaller = found
+                .iter()
+                .any(|(l, r)| *r == rhs && l.iter().all(|a| lhs.contains(a)) && l.len() < lhs.len());
+            if has_smaller {
+                continue;
+            }
+            if fd_holds(table, lhs, rhs) {
+                found.push((lhs.clone(), rhs));
+            }
+        }
+    }
+    found
+        .into_iter()
+        .filter_map(|(lhs, rhs)| {
+            Fd::new(
+                lhs.iter().map(|&i| names[i].clone()).collect(),
+                names[rhs].clone(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    fn zip_city_table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_i64("zip", [Some(1), Some(1), Some(2), Some(3)]),
+                Column::from_str_vals(
+                    "city",
+                    [Some("ulm"), Some("ulm"), Some("bonn"), Some("ulm")],
+                ),
+                Column::from_i64("pop", [Some(10), Some(10), Some(20), Some(30)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn fds_of(rules: &[FdRule]) -> Vec<String> {
+        rules.iter().map(|r| r.fd.to_string()).collect()
+    }
+
+    #[test]
+    fn finds_zip_determines_city() {
+        let rules = tane(&zip_city_table(), &TaneConfig::default());
+        let fds = fds_of(&rules);
+        assert!(fds.contains(&"[zip] -> city".to_string()), "{fds:?}");
+        assert!(fds.contains(&"[zip] -> pop".to_string()), "{fds:?}");
+        assert!(fds.contains(&"[pop] -> zip".to_string()), "{fds:?}");
+        // city → zip must NOT be found (ulm has zips 1 and 3).
+        assert!(!fds.contains(&"[city] -> zip".to_string()), "{fds:?}");
+    }
+
+    #[test]
+    fn results_are_minimal() {
+        let rules = tane(&zip_city_table(), &TaneConfig::default());
+        // [zip] -> city exists, so [zip, pop] -> city must not be reported.
+        assert!(rules
+            .iter()
+            .all(|r| !(r.fd.rhs == "city" && r.fd.lhs.len() > 1 && r.fd.lhs.contains(&"zip".to_string()))));
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_table() {
+        let t = zip_city_table();
+        let mut tane_fds: Vec<String> = tane(&t, &TaneConfig { max_lhs: 3, max_g3_error: 0.0 })
+            .iter()
+            .map(|r| r.fd.to_string())
+            .collect();
+        let mut brute: Vec<String> = brute_force_fds(&t, 3).iter().map(Fd::to_string).collect();
+        tane_fds.sort();
+        brute.sort();
+        assert_eq!(tane_fds, brute);
+    }
+
+    #[test]
+    fn approximate_mode_admits_near_fds() {
+        // city → zip is violated by exactly 1 of 4 rows (g3 = 0.25).
+        let t = zip_city_table();
+        let exact = tane(&t, &TaneConfig::default());
+        assert!(!fds_of(&exact).contains(&"[city] -> zip".to_string()));
+        let approx = tane(
+            &t,
+            &TaneConfig {
+                max_lhs: 2,
+                max_g3_error: 0.3,
+            },
+        );
+        assert!(fds_of(&approx).contains(&"[city] -> zip".to_string()));
+        let rule = approx
+            .iter()
+            .find(|r| r.fd.to_string() == "[city] -> zip")
+            .unwrap();
+        assert!((rule.g3_error - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_lhs_caps_determinant_size() {
+        let t = zip_city_table();
+        let rules = tane(
+            &t,
+            &TaneConfig {
+                max_lhs: 1,
+                max_g3_error: 0.0,
+            },
+        );
+        assert!(rules.iter().all(|r| r.fd.lhs.len() <= 1));
+    }
+
+    #[test]
+    fn empty_and_single_column_tables() {
+        let t = Table::new("t", vec![Column::from_i64("only", [Some(1), Some(2)])]).unwrap();
+        assert!(tane(&t, &TaneConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn fd_holds_reference() {
+        let t = zip_city_table();
+        assert!(fd_holds(&t, &[0], 1));
+        assert!(!fd_holds(&t, &[1], 0));
+        assert!(fd_holds(&t, &[0, 1], 2));
+    }
+
+    #[test]
+    fn nulls_treated_as_equal_values() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_i64("a", [None, None, Some(1)]),
+                Column::from_i64("b", [Some(5), Some(5), Some(9)]),
+            ],
+        )
+        .unwrap();
+        // null→5, null→5, 1→9: a → b holds.
+        assert!(fd_holds(&t, &[0], 1));
+        let fds = fds_of(&tane(&t, &TaneConfig::default()));
+        assert!(fds.contains(&"[a] -> b".to_string()));
+    }
+}

@@ -1,0 +1,180 @@
+//! Agglomerative (hierarchical) clustering with average linkage.
+//!
+//! RAHA's tuple-sampling strategy clusters each column's cells by their
+//! detector-signature vectors and asks the user to label one representative
+//! per cluster. Signature vectors are highly duplicated, so [`cluster`]
+//! first dedupes identical vectors and clusters the unique ones — the
+//! distance matrix stays tiny even for large columns.
+
+use std::collections::HashMap;
+
+use crate::distance::euclidean_sq;
+
+/// Result of an agglomerative run: one cluster id per input row.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    pub assignments: Vec<usize>,
+    pub n_clusters: usize,
+}
+
+/// Cluster `data` into (at most) `k` clusters using average-linkage
+/// agglomeration over deduplicated vectors.
+///
+/// If there are fewer than `k` distinct vectors, each distinct vector is
+/// its own cluster.
+///
+/// # Panics
+/// On empty input or ragged rows.
+pub fn cluster(data: &[Vec<f64>], k: usize) -> ClusterResult {
+    assert!(!data.is_empty(), "cannot cluster empty data");
+    let width = data[0].len();
+    assert!(data.iter().all(|r| r.len() == width), "ragged rows");
+    let k = k.max(1);
+
+    // Dedupe identical vectors through a text key (vectors come from
+    // detector signatures and are exactly reproducible).
+    let mut unique: Vec<Vec<f64>> = Vec::new();
+    let mut key_to_unique: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut row_to_unique: Vec<usize> = Vec::with_capacity(data.len());
+    for row in data {
+        let key: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+        let id = *key_to_unique.entry(key).or_insert_with(|| {
+            unique.push(row.clone());
+            unique.len() - 1
+        });
+        row_to_unique.push(id);
+    }
+
+    let u = unique.len();
+    if u <= k {
+        return ClusterResult {
+            assignments: row_to_unique,
+            n_clusters: u,
+        };
+    }
+
+    // Average-linkage agglomeration over the unique vectors. `members`
+    // tracks which unique ids belong to each active cluster.
+    let mut members: Vec<Vec<usize>> = (0..u).map(|i| vec![i]).collect();
+    let mut active: Vec<bool> = vec![true; u];
+    let mut dist = vec![vec![0.0f64; u]; u];
+    for i in 0..u {
+        for j in (i + 1)..u {
+            let d = euclidean_sq(&unique[i], &unique[j]).sqrt();
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+
+    let mut n_active = u;
+    while n_active > k {
+        // Find the closest active pair (average linkage distance).
+        let mut best = (0usize, 0usize, f64::INFINITY);
+        for i in 0..u {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..u {
+                if !active[j] {
+                    continue;
+                }
+                if dist[i][j] < best.2 {
+                    best = (i, j, dist[i][j]);
+                }
+            }
+        }
+        let (a, b, _) = best;
+        // Merge b into a; update average-linkage distances per
+        // Lance–Williams: d(a∪b, x) = (|a| d(a,x) + |b| d(b,x)) / (|a|+|b|).
+        let na = members[a].len() as f64;
+        let nb = members[b].len() as f64;
+        for x in 0..u {
+            if x == a || x == b || !active[x] {
+                continue;
+            }
+            let d = (na * dist[a][x] + nb * dist[b][x]) / (na + nb);
+            dist[a][x] = d;
+            dist[x][a] = d;
+        }
+        let moved = std::mem::take(&mut members[b]);
+        members[a].extend(moved);
+        active[b] = false;
+        n_active -= 1;
+    }
+
+    // Compact cluster ids and map rows through their unique vector.
+    let mut unique_to_cluster = vec![usize::MAX; u];
+    let mut next = 0usize;
+    for (c, m) in members.iter().enumerate() {
+        if active[c] {
+            for &uid in m {
+                unique_to_cluster[uid] = next;
+            }
+            next += 1;
+        }
+    }
+    let assignments: Vec<usize> = row_to_unique
+        .into_iter()
+        .map(|uid| unique_to_cluster[uid])
+        .collect();
+    ClusterResult {
+        assignments,
+        n_clusters: next,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_share_clusters() {
+        let data = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![9.0, 9.0],
+            vec![0.0, 0.0],
+        ];
+        let res = cluster(&data, 2);
+        assert_eq!(res.n_clusters, 2);
+        assert_eq!(res.assignments[0], res.assignments[1]);
+        assert_eq!(res.assignments[0], res.assignments[3]);
+        assert_ne!(res.assignments[0], res.assignments[2]);
+    }
+
+    #[test]
+    fn fewer_unique_than_k() {
+        let data = vec![vec![1.0], vec![1.0], vec![2.0]];
+        let res = cluster(&data, 10);
+        assert_eq!(res.n_clusters, 2);
+    }
+
+    #[test]
+    fn merges_nearest_first() {
+        let data = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1], vec![100.0]];
+        let res = cluster(&data, 3);
+        assert_eq!(res.n_clusters, 3);
+        assert_eq!(res.assignments[0], res.assignments[1]);
+        assert_eq!(res.assignments[2], res.assignments[3]);
+        assert_ne!(res.assignments[0], res.assignments[4]);
+        assert_ne!(res.assignments[2], res.assignments[4]);
+    }
+
+    #[test]
+    fn k_one_puts_everything_together() {
+        let data = vec![vec![0.0], vec![50.0], vec![100.0]];
+        let res = cluster(&data, 1);
+        assert_eq!(res.n_clusters, 1);
+        assert!(res.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn cluster_ids_are_dense() {
+        let data: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 * 10.0]).collect();
+        let res = cluster(&data, 4);
+        let mut ids: Vec<usize> = res.assignments.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

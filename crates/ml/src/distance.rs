@@ -1,0 +1,121 @@
+//! Distance functions over feature vectors.
+
+/// Squared Euclidean distance (cheaper when only ordering matters).
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Cosine distance (1 − cosine similarity); 0 for identical directions.
+/// Zero vectors have distance 1 from everything (including each other).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot / (na * nb)
+}
+
+/// Hamming distance as a fraction of differing coordinates, useful for
+/// binary feature vectors such as RAHA's detector-signature vectors.
+pub fn hamming_frac(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let diff = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    diff as f64 / a.len() as f64
+}
+
+/// Gower-style mixed distance: per-coordinate, numeric dims contribute a
+/// range-normalised absolute difference, categorical dims (flagged in
+/// `is_categorical`) contribute 0/1 mismatch. `ranges[i]` is the observed
+/// max−min of numeric dim `i` (0 ⇒ the dim is constant and contributes 0).
+pub fn gower(a: &[f64], b: &[f64], is_categorical: &[bool], ranges: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), is_categorical.len());
+    debug_assert_eq!(a.len(), ranges.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..a.len() {
+        total += if is_categorical[i] {
+            if a[i] == b[i] {
+                0.0
+            } else {
+                1.0
+            }
+        } else if ranges[i] > 0.0 {
+            ((a[i] - b[i]).abs() / ranges[i]).min(1.0)
+        } else {
+            0.0
+        };
+    }
+    total / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn manhattan_basics() {
+        assert_eq!(manhattan(&[0.0, 0.0], &[3.0, -4.0]), 7.0);
+    }
+
+    #[test]
+    fn cosine_identical_and_orthogonal() {
+        assert!(cosine(&[1.0, 0.0], &[2.0, 0.0]).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn hamming_fraction() {
+        assert_eq!(hamming_frac(&[1.0, 0.0, 1.0, 0.0], &[1.0, 1.0, 1.0, 1.0]), 0.5);
+        assert_eq!(hamming_frac(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn gower_mixes_numeric_and_categorical() {
+        // dim0 numeric with range 10, dim1 categorical.
+        let d = gower(
+            &[0.0, 1.0],
+            &[5.0, 2.0],
+            &[false, true],
+            &[10.0, 0.0],
+        );
+        // (0.5 + 1.0) / 2
+        assert!((d - 0.75).abs() < 1e-12);
+        // Constant numeric dim contributes zero.
+        let d = gower(&[3.0], &[9.0], &[false], &[0.0]);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn gower_clamps_out_of_range_diffs() {
+        let d = gower(&[0.0], &[100.0], &[false], &[10.0]);
+        assert_eq!(d, 1.0);
+    }
+}

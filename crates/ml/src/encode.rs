@@ -1,0 +1,379 @@
+//! Encoders: turning tables with nulls into finite feature matrices.
+//!
+//! Every model in this crate requires finite `f64` features. The encoders
+//! here own the messy part: ordinal/one-hot encoding of categoricals
+//! (missing values become their own category), mean-filling of numeric
+//! nulls, and standard scaling.
+
+use std::collections::HashMap;
+
+use datalens_table::{Column, DataType, Table};
+
+/// Ordinal encoder for one categorical column: category → dense id.
+///
+/// Ids are assigned in sorted category order so encodings are independent
+/// of row order. Unknown categories at transform time map to `-1.0`;
+/// nulls map to the reserved id `n_categories as f64` ("missing" bucket).
+#[derive(Debug, Clone, Default)]
+pub struct OrdinalEncoder {
+    mapping: HashMap<String, usize>,
+}
+
+impl OrdinalEncoder {
+    /// Learn the category set from rendered (non-null) values.
+    pub fn fit(values: &[Option<String>]) -> OrdinalEncoder {
+        let mut cats: Vec<&String> = values.iter().flatten().collect();
+        cats.sort();
+        cats.dedup();
+        let mapping = cats
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i))
+            .collect();
+        OrdinalEncoder { mapping }
+    }
+
+    pub fn n_categories(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// Encode one value. Null → missing bucket, unseen → −1.
+    pub fn encode(&self, value: Option<&str>) -> f64 {
+        match value {
+            None => self.mapping.len() as f64,
+            Some(v) => self
+                .mapping
+                .get(v)
+                .map_or(-1.0, |&id| id as f64),
+        }
+    }
+
+    /// Inverse lookup of a dense id back to its category.
+    pub fn decode(&self, id: f64) -> Option<&str> {
+        let id = id as usize;
+        self.mapping
+            .iter()
+            .find(|(_, &v)| v == id)
+            .map(|(k, _)| k.as_str())
+    }
+}
+
+/// One-hot encoder for one categorical column.
+///
+/// Produces `n_categories` indicator dims; nulls and unseen categories
+/// encode as the all-zero vector.
+#[derive(Debug, Clone, Default)]
+pub struct OneHotEncoder {
+    categories: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl OneHotEncoder {
+    pub fn fit(values: &[Option<String>]) -> OneHotEncoder {
+        let mut cats: Vec<String> = values.iter().flatten().cloned().collect();
+        cats.sort();
+        cats.dedup();
+        let index = cats
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i))
+            .collect();
+        OneHotEncoder {
+            categories: cats,
+            index,
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.categories.len()
+    }
+
+    pub fn encode(&self, value: Option<&str>) -> Vec<f64> {
+        let mut out = vec![0.0; self.categories.len()];
+        if let Some(v) = value {
+            if let Some(&i) = self.index.get(v) {
+                out[i] = 1.0;
+            }
+        }
+        out
+    }
+
+    pub fn categories(&self) -> &[String] {
+        &self.categories
+    }
+}
+
+/// Standard scaler: per-dim zero mean, unit variance (constant dims are
+/// left centred but unscaled).
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    pub fn fit(data: &[Vec<f64>]) -> StandardScaler {
+        assert!(!data.is_empty(), "cannot fit scaler on empty data");
+        let width = data[0].len();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; width];
+        for row in data {
+            for (d, v) in row.iter().enumerate() {
+                means[d] += v;
+            }
+        }
+        means.iter_mut().for_each(|m| *m /= n);
+        let mut stds = vec![0.0; width];
+        for row in data {
+            for (d, v) in row.iter().enumerate() {
+                stds[d] += (v - means[d]) * (v - means[d]);
+            }
+        }
+        stds.iter_mut().for_each(|s| *s = (*s / n).sqrt());
+        StandardScaler { means, stds }
+    }
+
+    pub fn transform(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(d, v)| {
+                        if self.stds[d] > 0.0 {
+                            (v - self.means[d]) / self.stds[d]
+                        } else {
+                            v - self.means[d]
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    pub fn fit_transform(data: &[Vec<f64>]) -> (StandardScaler, Vec<Vec<f64>>) {
+        let s = StandardScaler::fit(data);
+        let t = s.transform(data);
+        (s, t)
+    }
+}
+
+/// How a [`TableEncoder`] treats categorical columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CategoricalEncoding {
+    Ordinal,
+    OneHot,
+}
+
+/// Fitted per-column encoding state for a whole table.
+#[derive(Debug, Clone)]
+enum ColumnEncoding {
+    /// Numeric column: nulls fill with the fitted mean.
+    Numeric { fill: f64 },
+    Ordinal(OrdinalEncoder),
+    OneHot(OneHotEncoder),
+}
+
+/// Encodes a [`Table`] (minus excluded columns) into a finite feature
+/// matrix: numeric columns mean-fill nulls, categoricals encode per the
+/// chosen strategy with missing as its own signal.
+#[derive(Debug, Clone)]
+pub struct TableEncoder {
+    encodings: Vec<(usize, ColumnEncoding)>,
+}
+
+impl TableEncoder {
+    /// Fit on `table`, skipping the columns named in `exclude` (typically
+    /// the target column).
+    pub fn fit(table: &Table, exclude: &[&str], strategy: CategoricalEncoding) -> TableEncoder {
+        let mut encodings = Vec::new();
+        for (idx, col) in table.columns().iter().enumerate() {
+            if exclude.contains(&col.name()) {
+                continue;
+            }
+            let enc = match col.dtype() {
+                DataType::Int | DataType::Float | DataType::Bool => {
+                    let vals = col.numeric_values();
+                    let fill = if vals.is_empty() {
+                        0.0
+                    } else {
+                        vals.iter().sum::<f64>() / vals.len() as f64
+                    };
+                    ColumnEncoding::Numeric { fill }
+                }
+                DataType::Str => {
+                    let rendered: Vec<Option<String>> = col
+                        .iter()
+                        .map(|v| v.as_str().map(str::to_string))
+                        .collect();
+                    match strategy {
+                        CategoricalEncoding::Ordinal => {
+                            ColumnEncoding::Ordinal(OrdinalEncoder::fit(&rendered))
+                        }
+                        CategoricalEncoding::OneHot => {
+                            ColumnEncoding::OneHot(OneHotEncoder::fit(&rendered))
+                        }
+                    }
+                }
+            };
+            encodings.push((idx, enc));
+        }
+        TableEncoder { encodings }
+    }
+
+    /// Encode all rows of `table` (same schema as the fitted table).
+    pub fn transform(&self, table: &Table) -> Vec<Vec<f64>> {
+        (0..table.n_rows())
+            .map(|r| self.encode_row(table, r))
+            .collect()
+    }
+
+    /// Encode a single row.
+    pub fn encode_row(&self, table: &Table, row: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (idx, enc) in &self.encodings {
+            let col = table.column(*idx).expect("fitted column exists");
+            match enc {
+                ColumnEncoding::Numeric { fill } => {
+                    out.push(col.get(row).as_f64().unwrap_or(*fill));
+                }
+                ColumnEncoding::Ordinal(e) => {
+                    let v = col.get(row);
+                    out.push(e.encode(v.as_str()));
+                }
+                ColumnEncoding::OneHot(e) => {
+                    let v = col.get(row);
+                    out.extend(e.encode(v.as_str()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total encoded width.
+    pub fn width(&self) -> usize {
+        self.encodings
+            .iter()
+            .map(|(_, e)| match e {
+                ColumnEncoding::Numeric { .. } | ColumnEncoding::Ordinal(_) => 1,
+                ColumnEncoding::OneHot(e) => e.width(),
+            })
+            .sum()
+    }
+}
+
+/// Extract a regression target: non-null numeric rows of `column`.
+/// Returns `(row_indices, targets)`.
+pub fn regression_target(column: &Column) -> (Vec<usize>, Vec<f64>) {
+    let entries = column.numeric_entries();
+    let rows = entries.iter().map(|(r, _)| *r).collect();
+    let vals = entries.iter().map(|(_, v)| *v).collect();
+    (rows, vals)
+}
+
+/// Extract a classification target: non-null rows of `column`, labels as
+/// rendered strings. Returns `(row_indices, labels)`.
+pub fn classification_target(column: &Column) -> (Vec<usize>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for (r, v) in column.iter().enumerate() {
+        if !v.is_null() {
+            rows.push(r);
+            labels.push(v.render());
+        }
+    }
+    (rows, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_f64("num", [Some(1.0), None, Some(3.0)]),
+                Column::from_str_vals("cat", [Some("x"), Some("y"), None]),
+                Column::from_i64("target", [Some(10), Some(20), Some(30)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ordinal_encoder_sorted_stable() {
+        let e = OrdinalEncoder::fit(&[Some("b".into()), Some("a".into()), Some("b".into()), None]);
+        assert_eq!(e.n_categories(), 2);
+        assert_eq!(e.encode(Some("a")), 0.0);
+        assert_eq!(e.encode(Some("b")), 1.0);
+        assert_eq!(e.encode(None), 2.0); // missing bucket
+        assert_eq!(e.encode(Some("zz")), -1.0); // unseen
+        assert_eq!(e.decode(1.0), Some("b"));
+    }
+
+    #[test]
+    fn onehot_encoder_width_and_zero_vector() {
+        let e = OneHotEncoder::fit(&[Some("p".into()), Some("q".into())]);
+        assert_eq!(e.width(), 2);
+        assert_eq!(e.encode(Some("q")), vec![0.0, 1.0]);
+        assert_eq!(e.encode(None), vec![0.0, 0.0]);
+        assert_eq!(e.encode(Some("zz")), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scaler_zero_mean_unit_variance() {
+        let data = vec![vec![1.0, 5.0], vec![3.0, 5.0]];
+        let (_, t) = StandardScaler::fit_transform(&data);
+        assert!((t[0][0] + 1.0).abs() < 1e-12);
+        assert!((t[1][0] - 1.0).abs() < 1e-12);
+        // Constant dim: centred, not scaled.
+        assert_eq!(t[0][1], 0.0);
+        assert_eq!(t[1][1], 0.0);
+    }
+
+    #[test]
+    fn table_encoder_fills_and_excludes() {
+        let t = table();
+        let enc = TableEncoder::fit(&t, &["target"], CategoricalEncoding::Ordinal);
+        let m = enc.transform(&t);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].len(), 2);
+        assert_eq!(enc.width(), 2);
+        // Null numeric filled with mean of (1, 3) = 2.
+        assert_eq!(m[1][0], 2.0);
+        // Null categorical gets the missing bucket id (= 2 categories).
+        assert_eq!(m[2][1], 2.0);
+        // All finite.
+        assert!(m.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn table_encoder_onehot_widens() {
+        let t = table();
+        let enc = TableEncoder::fit(&t, &["target"], CategoricalEncoding::OneHot);
+        assert_eq!(enc.width(), 3); // 1 numeric + 2 one-hot dims
+        let m = enc.transform(&t);
+        assert_eq!(m[0], vec![1.0, 1.0, 0.0]);
+        assert_eq!(m[2], vec![3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn target_extractors_skip_nulls() {
+        let c = Column::from_f64("y", [Some(1.0), None, Some(2.0)]);
+        let (rows, vals) = regression_target(&c);
+        assert_eq!(rows, vec![0, 2]);
+        assert_eq!(vals, vec![1.0, 2.0]);
+        let c = Column::from_str_vals("y", [Some("a"), None, Some("b")]);
+        let (rows, labels) = classification_target(&c);
+        assert_eq!(rows, vec![0, 2]);
+        assert_eq!(labels, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn classification_target_renders_numerics() {
+        let c = Column::from_i64("y", [Some(1), Some(2)]);
+        let (_, labels) = classification_target(&c);
+        assert_eq!(labels, vec!["1".to_string(), "2".to_string()]);
+    }
+}

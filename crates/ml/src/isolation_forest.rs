@@ -1,0 +1,209 @@
+//! Isolation Forest anomaly detection (Liu, Ting & Zhou, 2008).
+//!
+//! One of the three statistical outlier detectors the paper lists ("IF").
+//! Each tree isolates points by random axis-aligned splits; anomalous
+//! points isolate in short paths. The anomaly score is
+//! `2^(−E[h(x)] / c(n))` with the standard average-path normaliser `c`.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for [`IsolationForest`].
+#[derive(Debug, Clone)]
+pub struct IsolationForestConfig {
+    pub n_trees: usize,
+    /// Sub-sample size per tree (clamped to the data size).
+    pub sample_size: usize,
+    pub seed: u64,
+}
+
+impl Default for IsolationForestConfig {
+    fn default() -> Self {
+        IsolationForestConfig {
+            n_trees: 100,
+            sample_size: 256,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ITree {
+    Leaf { size: usize },
+    Split { feature: usize, value: f64, left: Box<ITree>, right: Box<ITree> },
+}
+
+impl ITree {
+    fn build(data: &[Vec<f64>], rows: &[usize], depth: usize, max_depth: usize, rng: &mut StdRng) -> ITree {
+        if rows.len() <= 1 || depth >= max_depth {
+            return ITree::Leaf { size: rows.len() };
+        }
+        let width = data[0].len();
+        // Try a few random features to find one with spread.
+        for _ in 0..width.max(4) {
+            let f = rng.random_range(0..width);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &r in rows {
+                lo = lo.min(data[r][f]);
+                hi = hi.max(data[r][f]);
+            }
+            if lo < hi {
+                let value = rng.random_range(lo..hi);
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| data[r][f] < value);
+                if left_rows.is_empty() || right_rows.is_empty() {
+                    continue;
+                }
+                return ITree::Split {
+                    feature: f,
+                    value,
+                    left: Box::new(ITree::build(data, &left_rows, depth + 1, max_depth, rng)),
+                    right: Box::new(ITree::build(data, &right_rows, depth + 1, max_depth, rng)),
+                };
+            }
+        }
+        ITree::Leaf { size: rows.len() }
+    }
+
+    /// Path length for `x`, with the leaf-size correction `c(size)`.
+    fn path_length(&self, x: &[f64], depth: f64) -> f64 {
+        match self {
+            ITree::Leaf { size } => depth + average_path_length(*size),
+            ITree::Split { feature, value, left, right } => {
+                if x[*feature] < *value {
+                    left.path_length(x, depth + 1.0)
+                } else {
+                    right.path_length(x, depth + 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// `c(n)`: average unsuccessful-search path length of a BST of `n` nodes.
+fn average_path_length(n: usize) -> f64 {
+    match n {
+        0 | 1 => 0.0,
+        2 => 1.0,
+        n => {
+            let n = n as f64;
+            2.0 * ((n - 1.0).ln() + 0.577_215_664_901_532_9) - 2.0 * (n - 1.0) / n
+        }
+    }
+}
+
+/// A fitted isolation forest.
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    trees: Vec<ITree>,
+    sample_size: usize,
+}
+
+impl IsolationForest {
+    /// Fit on finite feature rows.
+    ///
+    /// # Panics
+    /// On empty or ragged input.
+    pub fn fit(data: &[Vec<f64>], config: &IsolationForestConfig) -> IsolationForest {
+        assert!(!data.is_empty(), "cannot fit on empty data");
+        let width = data[0].len();
+        assert!(data.iter().all(|r| r.len() == width), "ragged rows");
+        let sample_size = config.sample_size.min(data.len()).max(2);
+        let max_depth = (sample_size as f64).log2().ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let trees = (0..config.n_trees.max(1))
+            .map(|_| {
+                let rows: Vec<usize> = (0..sample_size)
+                    .map(|_| rng.random_range(0..data.len()))
+                    .collect();
+                ITree::build(data, &rows, 0, max_depth, &mut rng)
+            })
+            .collect();
+        IsolationForest { trees, sample_size }
+    }
+
+    /// Anomaly score in (0, 1); higher = more anomalous. Scores near 0.5
+    /// are unremarkable; scores well above 0.5 indicate isolation.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        let mean_path: f64 = self
+            .trees
+            .iter()
+            .map(|t| t.path_length(x, 0.0))
+            .sum::<f64>()
+            / self.trees.len() as f64;
+        let c = average_path_length(self.sample_size);
+        if c == 0.0 {
+            return 0.5;
+        }
+        2f64.powf(-mean_path / c)
+    }
+
+    /// Score every row.
+    pub fn score_all(&self, data: &[Vec<f64>]) -> Vec<f64> {
+        data.iter().map(|r| self.score(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_with_outlier() -> Vec<Vec<f64>> {
+        let mut data: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1])
+            .collect();
+        data.push(vec![50.0, 50.0]);
+        data
+    }
+
+    #[test]
+    fn outlier_scores_higher_than_inliers() {
+        let data = cluster_with_outlier();
+        let forest = IsolationForest::fit(&data, &IsolationForestConfig::default());
+        let scores = forest.score_all(&data);
+        let outlier = scores[200];
+        let max_inlier = scores[..200].iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            outlier > max_inlier,
+            "outlier {outlier} vs max inlier {max_inlier}"
+        );
+        assert!(outlier > 0.6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = cluster_with_outlier();
+        let cfg = IsolationForestConfig { seed: 9, ..Default::default() };
+        let a = IsolationForest::fit(&data, &cfg).score_all(&data);
+        let b = IsolationForest::fit(&data, &cfg).score_all(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let data = cluster_with_outlier();
+        let forest = IsolationForest::fit(&data, &IsolationForestConfig::default());
+        for s in forest.score_all(&data) {
+            assert!(s > 0.0 && s < 1.0, "score {s}");
+        }
+    }
+
+    #[test]
+    fn constant_data_scores_uniform() {
+        let data = vec![vec![1.0, 1.0]; 50];
+        let forest = IsolationForest::fit(&data, &IsolationForestConfig::default());
+        let scores = forest.score_all(&data);
+        let first = scores[0];
+        assert!(scores.iter().all(|&s| (s - first).abs() < 1e-9));
+    }
+
+    #[test]
+    fn average_path_length_known_values() {
+        assert_eq!(average_path_length(0), 0.0);
+        assert_eq!(average_path_length(1), 0.0);
+        assert_eq!(average_path_length(2), 1.0);
+        // c(256) ≈ 10.24 per the paper's tables.
+        let c = average_path_length(256);
+        assert!((c - 10.24).abs() < 0.1, "c(256) = {c}");
+    }
+}

@@ -1,0 +1,247 @@
+//! k-means clustering with k-means++ initialisation.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::distance::euclidean_sq;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids (k rows).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    pub k: usize,
+    pub max_iterations: usize,
+    /// Convergence threshold on centroid movement (squared distance).
+    pub tolerance: f64,
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iterations: 100,
+            tolerance: 1e-8,
+            seed: 0,
+        }
+    }
+}
+
+/// Lloyd's algorithm with k-means++ seeding. `k` is clamped to the number
+/// of rows. Empty clusters are re-seeded with the point farthest from its
+/// centroid.
+///
+/// # Panics
+/// On empty input or ragged rows.
+pub fn kmeans(data: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
+    assert!(!data.is_empty(), "cannot cluster empty data");
+    let width = data[0].len();
+    assert!(data.iter().all(|r| r.len() == width), "ragged rows");
+    let k = config.k.max(1).min(data.len());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut centroids = plus_plus_init(data, k, &mut rng);
+    let mut assignments = vec![0usize; data.len()];
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        // Assign.
+        for (i, row) in data.iter().enumerate() {
+            assignments[i] = nearest_centroid(row, &centroids).0;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; width]; k];
+        let mut counts = vec![0usize; k];
+        for (i, row) in data.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (d, v) in row.iter().enumerate() {
+                sums[assignments[i]][d] += v;
+            }
+        }
+        let mut movement: f64 = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed the empty cluster at the point farthest from its
+                // current centroid to avoid dead clusters.
+                let (far, _) = data
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = euclidean_sq(a, &centroids[assignments_of(a, &centroids)]);
+                        let db = euclidean_sq(b, &centroids[assignments_of(b, &centroids)]);
+                        da.total_cmp(&db)
+                    })
+                    .expect("nonempty data");
+                movement += euclidean_sq(&centroids[c], &data[far]);
+                centroids[c] = data[far].clone();
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += euclidean_sq(&centroids[c], &new);
+            centroids[c] = new;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment + inertia.
+    let mut inertia = 0.0;
+    for (i, row) in data.iter().enumerate() {
+        let (c, d) = nearest_centroid(row, &centroids);
+        assignments[i] = c;
+        inertia += d;
+    }
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+fn assignments_of(row: &[f64], centroids: &[Vec<f64>]) -> usize {
+    nearest_centroid(row, centroids).0
+}
+
+fn nearest_centroid(row: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, cen) in centroids.iter().enumerate() {
+        let d = euclidean_sq(row, cen);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, the rest sampled with
+/// probability proportional to squared distance from the nearest chosen
+/// centroid.
+fn plus_plus_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data[rng.random_range(0..data.len())].clone());
+    let mut dists: Vec<f64> = data
+        .iter()
+        .map(|row| euclidean_sq(row, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; pick arbitrary.
+            rng.random_range(0..data.len())
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = data.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(data[next].clone());
+        for (i, row) in data.iter().enumerate() {
+            let d = euclidean_sq(row, centroids.last().expect("just pushed"));
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: f64, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![center + (i as f64) * 0.01, center - (i as f64) * 0.01])
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut data = blob(0.0, 20);
+        data.extend(blob(100.0, 20));
+        let res = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 2,
+                seed: 42,
+                ..KMeansConfig::default()
+            },
+        );
+        let first = res.assignments[0];
+        assert!(res.assignments[..20].iter().all(|&a| a == first));
+        assert!(res.assignments[20..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn k_clamped_to_data_len() {
+        let data = vec![vec![1.0], vec![2.0]];
+        let res = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 10,
+                ..KMeansConfig::default()
+            },
+        );
+        assert_eq!(res.centroids.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut data = blob(0.0, 10);
+        data.extend(blob(5.0, 10));
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 7,
+            ..KMeansConfig::default()
+        };
+        let a = kmeans(&data, &cfg);
+        let b = kmeans(&data, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn identical_points_zero_inertia() {
+        let data = vec![vec![3.0, 3.0]; 8];
+        let res = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                ..KMeansConfig::default()
+            },
+        );
+        assert_eq!(res.inertia, 0.0);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let mut data = Vec::new();
+        for c in 0..4 {
+            data.extend(blob(c as f64 * 50.0, 10));
+        }
+        let i1 = kmeans(&data, &KMeansConfig { k: 1, seed: 1, ..KMeansConfig::default() }).inertia;
+        let i4 = kmeans(&data, &KMeansConfig { k: 4, seed: 1, ..KMeansConfig::default() }).inertia;
+        assert!(i4 < i1);
+    }
+}

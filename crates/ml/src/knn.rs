@@ -1,0 +1,173 @@
+//! k-nearest-neighbour classifier and regressor.
+//!
+//! The paper's ML imputer uses k-NN for categorical columns; the classifier
+//! below votes among the `k` nearest training rows (ties broken by the
+//! closer neighbour), the regressor averages them.
+
+use crate::distance::euclidean_sq;
+
+/// Shared neighbour search: indices of the `k` nearest training rows.
+fn nearest(train: &[Vec<f64>], query: &[f64], k: usize) -> Vec<usize> {
+    let mut dists: Vec<(usize, f64)> = train
+        .iter()
+        .enumerate()
+        .map(|(i, row)| (i, euclidean_sq(row, query)))
+        .collect();
+    dists.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    dists.truncate(k.max(1).min(train.len()));
+    dists.into_iter().map(|(i, _)| i).collect()
+}
+
+/// k-NN classifier over string labels.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<String>,
+}
+
+impl KnnClassifier {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        KnnClassifier {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Memorise the training set.
+    ///
+    /// # Panics
+    /// On empty or ragged input.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[String]) {
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        let width = x[0].len();
+        assert!(x.iter().all(|r| r.len() == width), "ragged feature rows");
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+    }
+
+    /// Majority vote among the k nearest neighbours; ties resolve to the
+    /// label of the nearest tied neighbour (deterministic).
+    pub fn predict(&self, queries: &[Vec<f64>]) -> Vec<String> {
+        assert!(!self.x.is_empty(), "classifier not fitted");
+        queries
+            .iter()
+            .map(|q| {
+                let nn = nearest(&self.x, q, self.k);
+                let mut counts: Vec<(&String, usize, usize)> = Vec::new(); // (label, votes, first_rank)
+                for (rank, &i) in nn.iter().enumerate() {
+                    let label = &self.y[i];
+                    match counts.iter_mut().find(|(l, _, _)| *l == label) {
+                        Some(entry) => entry.1 += 1,
+                        None => counts.push((label, 1, rank)),
+                    }
+                }
+                counts
+                    .into_iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
+                    .map(|(l, _, _)| l.clone())
+                    .expect("at least one neighbour")
+            })
+            .collect()
+    }
+}
+
+/// k-NN regressor (mean of the k nearest targets).
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+impl KnnRegressor {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        KnnRegressor {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+    }
+
+    pub fn predict(&self, queries: &[Vec<f64>]) -> Vec<f64> {
+        assert!(!self.x.is_empty(), "regressor not fitted");
+        queries
+            .iter()
+            .map(|q| {
+                let nn = nearest(&self.x, q, self.k);
+                nn.iter().map(|&i| self.y[i]).sum::<f64>() / nn.len() as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn classifier_votes_among_neighbours() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.2], vec![10.0], vec![10.1]];
+        let y = labels(&["a", "a", "a", "b", "b"]);
+        let mut m = KnnClassifier::new(3);
+        m.fit(&x, &y);
+        assert_eq!(m.predict(&[vec![0.05], vec![10.05]]), labels(&["a", "b"]));
+    }
+
+    #[test]
+    fn classifier_tie_goes_to_nearest() {
+        let x = vec![vec![0.0], vec![2.0]];
+        let y = labels(&["near", "far"]);
+        let mut m = KnnClassifier::new(2);
+        m.fit(&x, &y);
+        // Query at 0.5: both neighbours vote once; "near" is closer.
+        assert_eq!(m.predict(&[vec![0.5]]), labels(&["near"]));
+    }
+
+    #[test]
+    fn k_larger_than_train_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = labels(&["a", "a"]);
+        let mut m = KnnClassifier::new(99);
+        m.fit(&x, &y);
+        assert_eq!(m.predict(&[vec![0.4]]), labels(&["a"]));
+    }
+
+    #[test]
+    fn regressor_averages_neighbours() {
+        let x = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let mut m = KnnRegressor::new(2);
+        m.fit(&x, &[2.0, 4.0, 100.0]);
+        let p = m.predict(&[vec![0.5]]);
+        assert_eq!(p, vec![3.0]);
+    }
+
+    #[test]
+    fn exact_match_dominates_with_k1() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let mut m = KnnRegressor::new(1);
+        m.fit(&x, &[10.0, 20.0, 30.0]);
+        assert_eq!(m.predict(&[vec![2.0]]), vec![20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        KnnClassifier::new(0);
+    }
+}

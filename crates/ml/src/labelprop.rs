@@ -1,0 +1,170 @@
+//! Label propagation over cluster structures.
+//!
+//! RAHA's key trick: a user label on one cell propagates to every cell in
+//! the same (homogeneous) cluster, multiplying the effective training set.
+//! This module implements that cluster-level propagation plus a graph-based
+//! variant over k-NN similarity for the extension benches.
+
+use std::collections::HashMap;
+
+/// A (possibly missing) binary label: `Some(true)` = dirty, `Some(false)` =
+/// clean, `None` = unlabeled.
+pub type PartialLabels = Vec<Option<bool>>;
+
+/// Propagate labels within clusters: every unlabeled member of a cluster
+/// receives the cluster's majority label (ties → stays unlabeled). Items in
+/// clusters with no labeled member remain unlabeled.
+///
+/// Returns the propagated labels plus the count of newly labeled items.
+pub fn propagate_in_clusters(
+    assignments: &[usize],
+    labels: &PartialLabels,
+) -> (PartialLabels, usize) {
+    assert_eq!(assignments.len(), labels.len(), "length mismatch");
+    let mut tally: HashMap<usize, (usize, usize)> = HashMap::new(); // cluster -> (dirty, clean)
+    for (i, lab) in labels.iter().enumerate() {
+        if let Some(l) = lab {
+            let e = tally.entry(assignments[i]).or_insert((0, 0));
+            if *l {
+                e.0 += 1;
+            } else {
+                e.1 += 1;
+            }
+        }
+    }
+    let mut out = labels.clone();
+    let mut newly = 0usize;
+    for (i, lab) in labels.iter().enumerate() {
+        if lab.is_some() {
+            continue;
+        }
+        if let Some(&(dirty, clean)) = tally.get(&assignments[i]) {
+            if dirty != clean {
+                out[i] = Some(dirty > clean);
+                newly += 1;
+            }
+        }
+    }
+    (out, newly)
+}
+
+/// Graph label propagation: iteratively assign each unlabeled node the
+/// weighted majority label of its neighbours until a fixed point (or
+/// `max_rounds`). `edges[i]` lists `(neighbour, weight)` pairs.
+pub fn propagate_on_graph(
+    edges: &[Vec<(usize, f64)>],
+    labels: &PartialLabels,
+    max_rounds: usize,
+) -> PartialLabels {
+    assert_eq!(edges.len(), labels.len(), "length mismatch");
+    let mut current = labels.clone();
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        let mut next = current.clone();
+        for i in 0..edges.len() {
+            if labels[i].is_some() {
+                continue; // seed labels are clamped
+            }
+            let mut dirty_w = 0.0;
+            let mut clean_w = 0.0;
+            for &(j, w) in &edges[i] {
+                match current[j] {
+                    Some(true) => dirty_w += w,
+                    Some(false) => clean_w += w,
+                    None => {}
+                }
+            }
+            let new = if dirty_w > clean_w {
+                Some(true)
+            } else if clean_w > dirty_w {
+                Some(false)
+            } else {
+                current[i]
+            };
+            if new != current[i] {
+                next[i] = new;
+                changed = true;
+            }
+        }
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_propagation_fills_majority() {
+        let assignments = vec![0, 0, 0, 1, 1];
+        let labels = vec![Some(true), None, None, Some(false), None];
+        let (out, newly) = propagate_in_clusters(&assignments, &labels);
+        assert_eq!(out, vec![Some(true), Some(true), Some(true), Some(false), Some(false)]);
+        assert_eq!(newly, 3);
+    }
+
+    #[test]
+    fn tie_leaves_unlabeled() {
+        let assignments = vec![0, 0, 0];
+        let labels = vec![Some(true), Some(false), None];
+        let (out, newly) = propagate_in_clusters(&assignments, &labels);
+        assert_eq!(out[2], None);
+        assert_eq!(newly, 0);
+    }
+
+    #[test]
+    fn unlabeled_cluster_untouched() {
+        let assignments = vec![0, 1];
+        let labels = vec![Some(true), None];
+        let (out, _) = propagate_in_clusters(&assignments, &labels);
+        assert_eq!(out[1], None);
+    }
+
+    #[test]
+    fn existing_labels_never_overwritten() {
+        let assignments = vec![0, 0, 0];
+        let labels = vec![Some(true), Some(true), Some(false)];
+        let (out, newly) = propagate_in_clusters(&assignments, &labels);
+        assert_eq!(out, labels);
+        assert_eq!(newly, 0);
+    }
+
+    #[test]
+    fn graph_propagation_reaches_chain_end() {
+        // 0 -- 1 -- 2 -- 3, seed label at node 0.
+        let edges = vec![
+            vec![(1, 1.0)],
+            vec![(0, 1.0), (2, 1.0)],
+            vec![(1, 1.0), (3, 1.0)],
+            vec![(2, 1.0)],
+        ];
+        let labels = vec![Some(true), None, None, None];
+        let out = propagate_on_graph(&edges, &labels, 10);
+        assert_eq!(out, vec![Some(true); 4]);
+    }
+
+    #[test]
+    fn graph_propagation_respects_weights() {
+        // Node 2 is pulled by a strong clean neighbour and a weak dirty one.
+        let edges = vec![
+            vec![],
+            vec![],
+            vec![(0, 0.2), (1, 5.0)],
+        ];
+        let labels = vec![Some(true), Some(false), None];
+        let out = propagate_on_graph(&edges, &labels, 5);
+        assert_eq!(out[2], Some(false));
+    }
+
+    #[test]
+    fn graph_seed_labels_clamped() {
+        let edges = vec![vec![(1, 10.0)], vec![(0, 10.0)]];
+        let labels = vec![Some(true), Some(false)];
+        let out = propagate_on_graph(&edges, &labels, 5);
+        assert_eq!(out, labels);
+    }
+}

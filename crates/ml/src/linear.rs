@@ -1,0 +1,221 @@
+//! Logistic regression via mini-batch SGD (one-vs-rest for multi-class).
+//!
+//! Not strictly required by the paper's evaluation (the downstream models
+//! are trees), but the iterative-cleaning module treats the model family as
+//! a hyperparameter, so a second model type exercises that search space.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration for [`LogisticRegression`].
+#[derive(Debug, Clone)]
+pub struct LogisticConfig {
+    pub learning_rate: f64,
+    pub epochs: usize,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    pub seed: u64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig {
+            learning_rate: 0.1,
+            epochs: 100,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// One binary logistic model: weights + bias.
+#[derive(Debug, Clone)]
+struct BinaryModel {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl BinaryModel {
+    fn train(x: &[Vec<f64>], y: &[f64], config: &LogisticConfig, rng: &mut StdRng) -> BinaryModel {
+        let width = x[0].len();
+        let mut w = vec![0.0; width];
+        let mut b = 0.0;
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                let z = x[i].iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + b;
+                let err = sigmoid(z) - y[i];
+                for (d, v) in x[i].iter().enumerate() {
+                    w[d] -= config.learning_rate * (err * v + config.l2 * w[d]);
+                }
+                b -= config.learning_rate * err;
+            }
+        }
+        BinaryModel { weights: w, bias: b }
+    }
+
+    fn score(&self, x: &[f64]) -> f64 {
+        sigmoid(
+            x.iter()
+                .zip(&self.weights)
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                + self.bias,
+        )
+    }
+}
+
+/// Multi-class logistic regression classifier (one-vs-rest).
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    config: LogisticConfig,
+    classes: Vec<String>,
+    models: Vec<BinaryModel>,
+}
+
+impl LogisticRegression {
+    pub fn new(config: LogisticConfig) -> Self {
+        LogisticRegression {
+            config,
+            classes: Vec::new(),
+            models: Vec::new(),
+        }
+    }
+
+    /// Fit on finite features; callers should standardise features first
+    /// (see [`crate::encode::StandardScaler`]) for sane convergence.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[String]) {
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        let mut classes: Vec<String> = y.to_vec();
+        classes.sort();
+        classes.dedup();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.models = classes
+            .iter()
+            .map(|c| {
+                let targets: Vec<f64> = y.iter().map(|l| f64::from(u8::from(l == c))).collect();
+                BinaryModel::train(x, &targets, &self.config, &mut rng)
+            })
+            .collect();
+        self.classes = classes;
+    }
+
+    /// Predict the argmax class per row.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<String> {
+        assert!(!self.models.is_empty(), "classifier not fitted");
+        x.iter()
+            .map(|row| {
+                let best = self
+                    .models
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| a.score(row).total_cmp(&b.score(row)))
+                    .expect("at least one class");
+                self.classes[best.0].clone()
+            })
+            .collect()
+    }
+
+    /// Per-class probabilities (one-vs-rest scores, normalised).
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<(String, f64)> {
+        assert!(!self.models.is_empty(), "classifier not fitted");
+        let raw: Vec<f64> = self.models.iter().map(|m| m.score(x)).collect();
+        let total: f64 = raw.iter().sum();
+        self.classes
+            .iter()
+            .zip(&raw)
+            .map(|(c, &s)| (c.clone(), if total > 0.0 { s / total } else { 0.0 }))
+            .collect()
+    }
+
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn labels(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn separates_linearly_separable_classes() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            x.push(vec![-1.0 - (i as f64) * 0.01, 0.0]);
+            y.push("neg".to_string());
+            x.push(vec![1.0 + (i as f64) * 0.01, 0.0]);
+            y.push("pos".to_string());
+        }
+        let mut m = LogisticRegression::new(LogisticConfig::default());
+        m.fit(&x, &y);
+        assert_eq!(accuracy(&y, &m.predict(&x)), 1.0);
+    }
+
+    #[test]
+    fn three_class_one_vs_rest() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let jitter = (i as f64) * 0.001;
+            x.push(vec![0.0 + jitter, 5.0]);
+            y.push("top".to_string());
+            x.push(vec![-5.0 + jitter, -5.0]);
+            y.push("left".to_string());
+            x.push(vec![5.0 + jitter, -5.0]);
+            y.push("right".to_string());
+        }
+        let mut m = LogisticRegression::new(LogisticConfig::default());
+        m.fit(&x, &y);
+        let acc = accuracy(&y, &m.predict(&x));
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert_eq!(m.classes().len(), 3);
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = labels(&["a", "b"]);
+        let mut m = LogisticRegression::new(LogisticConfig::default());
+        m.fit(&x, &y);
+        let p = m.predict_proba(&[0.5]);
+        let total: f64 = p.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 10.0 - 1.0]).collect();
+        let y: Vec<String> = (0..20)
+            .map(|i| if i < 10 { "a".into() } else { "b".into() })
+            .collect();
+        let mut m1 = LogisticRegression::new(LogisticConfig::default());
+        let mut m2 = LogisticRegression::new(LogisticConfig::default());
+        m1.fit(&x, &y);
+        m2.fit(&x, &y);
+        assert_eq!(m1.predict(&x), m2.predict(&x));
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0).abs() < 1e-12);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+}

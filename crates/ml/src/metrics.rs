@@ -1,0 +1,272 @@
+//! Evaluation metrics for classification and regression.
+//!
+//! These implement the scoring functions §4 of the paper uses for the
+//! iterative-cleaning objective: MSE for regression and F1 for
+//! classification, plus the precision/recall machinery the error-detection
+//! evaluation (Figure 3) reports.
+
+use std::collections::BTreeMap;
+
+/// Mean squared error. Returns `NaN` on empty input.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return f64::NAN;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    mse(y_true, y_pred).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return f64::NAN;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Coefficient of determination R². A constant-true-vector edge case
+/// returns 0.0 when predictions are imperfect, 1.0 when perfect.
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return f64::NAN;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Fraction of exact label matches.
+pub fn accuracy<L: PartialEq>(y_true: &[L], y_pred: &[L]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return f64::NAN;
+    }
+    let hits = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    hits as f64 / y_true.len() as f64
+}
+
+/// Binary confusion counts for a designated positive label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BinaryConfusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    /// Count TP/FP/TN/FN treating `positive` as the positive class.
+    pub fn from_labels<L: PartialEq>(y_true: &[L], y_pred: &[L], positive: &L) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+        let mut c = BinaryConfusion::default();
+        for (t, p) in y_true.iter().zip(y_pred) {
+            match (t == positive, p == positive) {
+                (true, true) => c.tp += 1,
+                (false, true) => c.fp += 1,
+                (true, false) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Build from raw counts (used by detection evaluation where the
+    /// "labels" are cell sets, not vectors).
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        BinaryConfusion {
+            tp,
+            fp,
+            fn_,
+            tn: 0,
+        }
+    }
+
+    /// Precision = TP / (TP + FP); 0 when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 0 when no positives exist.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Per-class F1 averaged with equal class weight ("macro"), over the union
+/// of classes present in either vector. Labels are strings to keep the API
+/// type-agnostic at the dashboard boundary.
+pub fn f1_macro(y_true: &[String], y_pred: &[String]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return f64::NAN;
+    }
+    let mut classes: Vec<&String> = y_true.iter().chain(y_pred.iter()).collect();
+    classes.sort();
+    classes.dedup();
+    let sum: f64 = classes
+        .iter()
+        .map(|c| BinaryConfusion::from_labels(y_true, y_pred, c).f1())
+        .sum();
+    sum / classes.len() as f64
+}
+
+/// Micro-averaged F1: global TP/FP/FN pooled over classes. For single-label
+/// multi-class problems this equals accuracy.
+pub fn f1_micro(y_true: &[String], y_pred: &[String]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    if y_true.is_empty() {
+        return f64::NAN;
+    }
+    let mut classes: Vec<&String> = y_true.iter().chain(y_pred.iter()).collect();
+    classes.sort();
+    classes.dedup();
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fn_ = 0;
+    for c in classes {
+        let conf = BinaryConfusion::from_labels(y_true, y_pred, c);
+        tp += conf.tp;
+        fp += conf.fp;
+        fn_ += conf.fn_;
+    }
+    BinaryConfusion::from_counts(tp, fp, fn_).f1()
+}
+
+/// Full confusion matrix keyed by `(true label, predicted label)`.
+pub fn confusion_matrix(y_true: &[String], y_pred: &[String]) -> BTreeMap<(String, String), usize> {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let mut m = BTreeMap::new();
+    for (t, p) in y_true.iter().zip(y_pred) {
+        *m.entry((t.clone(), p.clone())).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn mse_rmse_mae() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 5.0];
+        assert!((mse(&t, &p) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&t, &p) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(mse(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn r2_perfect_and_baseline() {
+        let t = [1.0, 2.0, 3.0];
+        assert!((r2(&t, &t) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&t, &mean_pred).abs() < 1e-12);
+        // Constant target edge case.
+        assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r2(&[5.0, 5.0], &[4.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 9, 3]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn binary_confusion_and_f1() {
+        let t = s(&["p", "p", "n", "n", "p"]);
+        let p = s(&["p", "n", "p", "n", "p"]);
+        let c = BinaryConfusion::from_labels(&t, &p, &"p".to_string());
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (2, 1, 1, 1));
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_zero_when_nothing_predicted() {
+        let c = BinaryConfusion::from_counts(0, 0, 5);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_weights_classes_equally() {
+        let t = s(&["a", "a", "a", "b"]);
+        let p = s(&["a", "a", "a", "a"]);
+        // class a: P=3/4, R=1, F1=6/7; class b: F1=0 → macro=3/7
+        assert!((f1_macro(&t, &p) - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_f1_equals_accuracy_for_single_label() {
+        let t = s(&["a", "b", "c", "a"]);
+        let p = s(&["a", "b", "a", "a"]);
+        assert!((f1_micro(&t, &p) - accuracy(&t, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let t = s(&["x", "x", "y"]);
+        let p = s(&["x", "y", "y"]);
+        let m = confusion_matrix(&t, &p);
+        assert_eq!(m[&("x".to_string(), "x".to_string())], 1);
+        assert_eq!(m[&("x".to_string(), "y".to_string())], 1);
+        assert_eq!(m[&("y".to_string(), "y".to_string())], 1);
+    }
+
+    #[test]
+    fn perfect_macro_f1_is_one() {
+        let t = s(&["a", "b", "c"]);
+        assert!((f1_macro(&t, &t) - 1.0).abs() < 1e-12);
+    }
+}

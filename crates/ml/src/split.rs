@@ -1,0 +1,123 @@
+//! Train/test splitting and k-fold cross-validation index generation.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Row indices for a train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    pub train: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+/// Shuffle `n` row indices with `seed` and split off `test_fraction` of them
+/// (at least one test row when `n >= 2`, and never all rows).
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Split {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut n_test = (n as f64 * test_fraction).round() as usize;
+    if n >= 2 {
+        n_test = n_test.clamp(1, n - 1);
+    } else {
+        n_test = 0;
+    }
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    Split { train, test }
+}
+
+/// `k` cross-validation folds over `n` rows; fold `i` is the test set of
+/// split `i`, the remaining rows its training set. Folds differ in size by
+/// at most one element.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<Split> {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(n >= k, "need at least k rows");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let test: Vec<usize> = idx[start..start + size].to_vec();
+        let train: Vec<usize> = idx[..start]
+            .iter()
+            .chain(&idx[start + size..])
+            .copied()
+            .collect();
+        folds.push(Split { train, test });
+        start += size;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let s = train_test_split(100, 0.25, 7);
+        assert_eq!(s.test.len(), 25);
+        assert_eq!(s.train.len(), 75);
+        let all: HashSet<usize> = s.train.iter().chain(&s.test).copied().collect();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.2, 3), train_test_split(50, 0.2, 3));
+        assert_ne!(
+            train_test_split(50, 0.2, 3).test,
+            train_test_split(50, 0.2, 4).test
+        );
+    }
+
+    #[test]
+    fn split_never_empties_either_side() {
+        let s = train_test_split(2, 0.01, 0);
+        assert_eq!(s.test.len(), 1);
+        assert_eq!(s.train.len(), 1);
+        let s = train_test_split(3, 0.99, 0);
+        assert_eq!(s.train.len(), 1);
+        let s = train_test_split(1, 0.5, 0);
+        assert_eq!(s.test.len(), 0);
+        assert_eq!(s.train.len(), 1);
+    }
+
+    #[test]
+    fn k_fold_covers_each_row_exactly_once_as_test() {
+        let folds = k_fold(10, 3, 11);
+        assert_eq!(folds.len(), 3);
+        let mut test_rows: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        test_rows.sort_unstable();
+        assert_eq!(test_rows, (0..10).collect::<Vec<_>>());
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 10);
+            let train: HashSet<usize> = f.train.iter().copied().collect();
+            assert!(f.test.iter().all(|t| !train.contains(t)));
+        }
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let folds = k_fold(11, 4, 0);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 11);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn k_fold_rejects_k1() {
+        k_fold(10, 1, 0);
+    }
+}

@@ -1,0 +1,606 @@
+//! CART decision trees (classification and regression).
+//!
+//! Used three ways in the reproduction, matching the paper: as the ML
+//! imputer for numerical columns (§3 "Automated Data Repair"), as the
+//! per-column error classifier inside RAHA, and as the downstream model
+//! whose MSE/F1 drives iterative cleaning (Figure 5).
+//!
+//! Features must be finite (`f64`, no NaN); the [`crate::encode`] module is
+//! responsible for turning tables with nulls into finite matrices.
+
+// Index-based loops here mirror the published algorithms' notation;
+// iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters shared by classifier and regressor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in each leaf a split may produce.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+        }
+    }
+}
+
+/// A fitted tree node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Class id (classifier) — unused by the regressor.
+        class: usize,
+        /// Mean target (regressor) — also the class probability proxy.
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, x: &[f64]) -> (usize, f64) {
+        match self {
+            Node::Leaf { class, value } => (*class, *value),
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if x[*feature] <= *threshold {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    fn n_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.n_leaves() + right.n_leaves(),
+        }
+    }
+}
+
+/// The criterion a node minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Criterion {
+    /// Gini impurity (classification).
+    Gini,
+    /// Shannon entropy (classification).
+    Entropy,
+    /// Within-node variance (regression).
+    Variance,
+}
+
+/// Best split found for a node, if any.
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    score: f64,
+}
+
+fn class_counts(rows: &[usize], y: &[usize], n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; n_classes];
+    for &r in rows {
+        counts[y[r]] += 1;
+    }
+    counts
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn entropy(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    -counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p.log2()
+        })
+        .sum::<f64>()
+}
+
+/// Classification splitter: finds the (feature, threshold) minimising the
+/// weighted Gini/entropy of the children. Incremental left/right class
+/// counts make each feature an O(n log n) sorted sweep.
+fn find_best_split_classification(
+    x: &[Vec<f64>],
+    rows: &[usize],
+    config: &TreeConfig,
+    y: &[usize],
+    n_classes: usize,
+    criterion: Criterion,
+) -> Option<BestSplit> {
+    let n_features = x.first().map_or(0, Vec::len);
+    let n = rows.len();
+    let total_counts = class_counts(rows, y, n_classes);
+    let impurity = |counts: &[usize], total: usize| match criterion {
+        Criterion::Gini => gini(counts, total),
+        Criterion::Entropy => entropy(counts, total),
+        Criterion::Variance => unreachable!("classification splitter"),
+    };
+    let mut best: Option<BestSplit> = None;
+    let mut order: Vec<usize> = rows.to_vec();
+    let mut left_counts = vec![0usize; n_classes];
+    for f in 0..n_features {
+        order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
+        left_counts.iter_mut().for_each(|c| *c = 0);
+        let mut right_counts = total_counts.clone();
+        for i in 1..n {
+            let r = order[i - 1];
+            left_counts[y[r]] += 1;
+            right_counts[y[r]] -= 1;
+            if i < config.min_samples_leaf || n - i < config.min_samples_leaf {
+                continue;
+            }
+            let lo = x[order[i - 1]][f];
+            let hi = x[order[i]][f];
+            if lo == hi {
+                continue;
+            }
+            let score = (i as f64 / n as f64) * impurity(&left_counts, i)
+                + ((n - i) as f64 / n as f64) * impurity(&right_counts, n - i);
+            if best.as_ref().is_none_or(|b| score < b.score) {
+                best = Some(BestSplit {
+                    feature: f,
+                    threshold: lo + (hi - lo) / 2.0,
+                    score,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Regression splitter: minimises weighted child variance via running
+/// sums/sum-of-squares — O(n log n) per feature.
+fn find_best_split_regression(
+    x: &[Vec<f64>],
+    rows: &[usize],
+    config: &TreeConfig,
+    y: &[f64],
+) -> Option<BestSplit> {
+    let n_features = x.first().map_or(0, Vec::len);
+    let n = rows.len();
+    let total_sum: f64 = rows.iter().map(|&r| y[r]).sum();
+    let total_sq: f64 = rows.iter().map(|&r| y[r] * y[r]).sum();
+    let mut best: Option<BestSplit> = None;
+    let mut order: Vec<usize> = rows.to_vec();
+    for f in 0..n_features {
+        order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for i in 1..n {
+            let v = y[order[i - 1]];
+            left_sum += v;
+            left_sq += v * v;
+            if i < config.min_samples_leaf || n - i < config.min_samples_leaf {
+                continue;
+            }
+            let lo = x[order[i - 1]][f];
+            let hi = x[order[i]][f];
+            if lo == hi {
+                continue;
+            }
+            let nl = i as f64;
+            let nr = (n - i) as f64;
+            // var = E[y²] − E[y]²; clamp tiny negatives from rounding.
+            let var_l = (left_sq / nl - (left_sum / nl).powi(2)).max(0.0);
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let var_r = (right_sq / nr - (right_sum / nr).powi(2)).max(0.0);
+            let score = (nl / n as f64) * var_l + (nr / n as f64) * var_r;
+            if best.as_ref().is_none_or(|b| score < b.score) {
+                best = Some(BestSplit {
+                    feature: f,
+                    threshold: lo + (hi - lo) / 2.0,
+                    score,
+                });
+            }
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+/// Decision-tree classifier over string labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTreeClassifier {
+    config: TreeConfig,
+    criterion: Criterion,
+    root: Option<Node>,
+    classes: Vec<String>,
+}
+
+impl DecisionTreeClassifier {
+    pub fn new(config: TreeConfig, criterion: Criterion) -> Self {
+        assert!(
+            matches!(criterion, Criterion::Gini | Criterion::Entropy),
+            "classification requires Gini or Entropy"
+        );
+        DecisionTreeClassifier {
+            config,
+            criterion,
+            root: None,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Distinct labels seen during fitting, in id order.
+    pub fn classes(&self) -> &[String] {
+        &self.classes
+    }
+
+    /// Fit on rows `x` (finite features) and labels `y`.
+    ///
+    /// # Panics
+    /// On empty input, ragged feature rows, or non-finite features.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[String]) {
+        validate_features(x, y.len());
+        // Map labels to dense ids.
+        let mut classes: Vec<String> = y.to_vec();
+        classes.sort();
+        classes.dedup();
+        let class_id = |label: &String| classes.binary_search(label).expect("label in classes");
+        let y_ids: Vec<usize> = y.iter().map(class_id).collect();
+        self.classes = classes;
+
+        let rows: Vec<usize> = (0..y.len()).collect();
+        let root = self.build(x, &y_ids, &rows, 0);
+        self.root = Some(root);
+    }
+
+    fn node_impurity(&self, counts: &[usize], total: usize) -> f64 {
+        match self.criterion {
+            Criterion::Gini => gini(counts, total),
+            Criterion::Entropy => entropy(counts, total),
+            Criterion::Variance => unreachable!("validated in constructor"),
+        }
+    }
+
+    fn leaf(&self, y: &[usize], rows: &[usize]) -> Node {
+        let counts = class_counts(rows, y, self.classes.len());
+        let class = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let value = counts[class] as f64 / rows.len().max(1) as f64;
+        Node::Leaf { class, value }
+    }
+
+    fn build(&self, x: &[Vec<f64>], y: &[usize], rows: &[usize], depth: usize) -> Node {
+        let counts = class_counts(rows, y, self.classes.len());
+        let impure = self.node_impurity(&counts, rows.len());
+        if depth >= self.config.max_depth
+            || rows.len() < self.config.min_samples_split
+            || impure == 0.0
+        {
+            return self.leaf(y, rows);
+        }
+        let split = find_best_split_classification(
+            x,
+            rows,
+            &self.config,
+            y,
+            self.classes.len(),
+            self.criterion,
+        );
+        let Some(split) = split else {
+            return self.leaf(y, rows);
+        };
+        if split.score > impure {
+            // Weighted child impurity can only tie the parent, never beat
+            // it upward; a worse score means numerical trouble — stop.
+            // Zero-gain splits are allowed deliberately: XOR-style targets
+            // need them (the first split pays off a level deeper).
+            return self.leaf(y, rows);
+        }
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .iter()
+            .partition(|&&r| x[r][split.feature] <= split.threshold);
+        Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left: Box::new(self.build(x, y, &left_rows, depth + 1)),
+            right: Box::new(self.build(x, y, &right_rows, depth + 1)),
+        }
+    }
+
+    /// Predict a label for each feature row.
+    ///
+    /// # Panics
+    /// If called before `fit`.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<String> {
+        let root = self.root.as_ref().expect("classifier not fitted");
+        x.iter()
+            .map(|row| self.classes[root.predict(row).0].clone())
+            .collect()
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::depth)
+    }
+
+    /// Leaf count of the fitted tree.
+    pub fn n_leaves(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::n_leaves)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regressor
+// ---------------------------------------------------------------------------
+
+/// Decision-tree regressor (variance-reduction CART).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTreeRegressor {
+    config: TreeConfig,
+    root: Option<Node>,
+}
+
+impl DecisionTreeRegressor {
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTreeRegressor { config, root: None }
+    }
+
+    /// Fit on rows `x` (finite features) and continuous targets `y`.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        validate_features(x, y.len());
+        let rows: Vec<usize> = (0..y.len()).collect();
+        self.root = Some(self.build(x, y, &rows, 0));
+    }
+
+    fn build(&self, x: &[Vec<f64>], y: &[f64], rows: &[usize], depth: usize) -> Node {
+        let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64;
+        let var = variance_of(rows, y);
+        if depth >= self.config.max_depth
+            || rows.len() < self.config.min_samples_split
+            || var == 0.0
+        {
+            return Node::Leaf { class: 0, value: mean };
+        }
+        let split = find_best_split_regression(x, rows, &self.config, y);
+        let Some(split) = split else {
+            return Node::Leaf { class: 0, value: mean };
+        };
+        if split.score > var {
+            return Node::Leaf { class: 0, value: mean };
+        }
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .iter()
+            .partition(|&&r| x[r][split.feature] <= split.threshold);
+        Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left: Box::new(self.build(x, y, &left_rows, depth + 1)),
+            right: Box::new(self.build(x, y, &right_rows, depth + 1)),
+        }
+    }
+
+    /// Predict a value for each feature row.
+    ///
+    /// # Panics
+    /// If called before `fit`.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        let root = self.root.as_ref().expect("regressor not fitted");
+        x.iter().map(|row| root.predict(row).1).collect()
+    }
+
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::depth)
+    }
+
+    pub fn n_leaves(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::n_leaves)
+    }
+}
+
+fn variance_of(rows: &[usize], y: &[f64]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let n = rows.len() as f64;
+    let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / n;
+    rows.iter().map(|&r| (y[r] - mean) * (y[r] - mean)).sum::<f64>() / n
+}
+
+fn validate_features(x: &[Vec<f64>], n_targets: usize) {
+    assert!(!x.is_empty(), "cannot fit on empty data");
+    assert_eq!(x.len(), n_targets, "feature/target length mismatch");
+    let width = x[0].len();
+    for (i, row) in x.iter().enumerate() {
+        assert_eq!(row.len(), width, "ragged feature row {i}");
+        assert!(
+            row.iter().all(|v| v.is_finite()),
+            "non-finite feature in row {i}; impute or encode missing values first"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, mse};
+
+    fn labels(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn classifier_learns_threshold_rule() {
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let y: Vec<String> = (0..40)
+            .map(|i| if i < 20 { "lo".into() } else { "hi".into() })
+            .collect();
+        let mut t = DecisionTreeClassifier::new(TreeConfig::default(), Criterion::Gini);
+        t.fit(&x, &y);
+        let preds = t.predict(&x);
+        assert_eq!(accuracy(&y, &preds), 1.0);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.n_leaves(), 2);
+    }
+
+    #[test]
+    fn classifier_xor_needs_depth_two() {
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let y = labels(&["a", "b", "b", "a"]);
+        let mut t = DecisionTreeClassifier::new(TreeConfig::default(), Criterion::Entropy);
+        t.fit(&x, &y);
+        assert_eq!(accuracy(&y, &t.predict(&x)), 1.0);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn classifier_respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<String> = (0..64).map(|i| format!("c{}", i % 8)).collect();
+        let mut t = DecisionTreeClassifier::new(
+            TreeConfig {
+                max_depth: 2,
+                ..TreeConfig::default()
+            },
+            Criterion::Gini,
+        );
+        t.fit(&x, &y);
+        assert!(t.depth() <= 2);
+        assert!(t.n_leaves() <= 4);
+    }
+
+    #[test]
+    fn classifier_single_class_is_single_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = labels(&["only", "only", "only"]);
+        let mut t = DecisionTreeClassifier::new(TreeConfig::default(), Criterion::Gini);
+        t.fit(&x, &y);
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.predict(&[vec![99.0]]), labels(&["only"]));
+    }
+
+    #[test]
+    fn min_samples_leaf_prevents_tiny_leaves() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<String> = (0..10)
+            .map(|i| if i == 0 { "odd".into() } else { "even".into() })
+            .collect();
+        let mut t = DecisionTreeClassifier::new(
+            TreeConfig {
+                min_samples_leaf: 3,
+                ..TreeConfig::default()
+            },
+            Criterion::Gini,
+        );
+        t.fit(&x, &y);
+        // The lone "odd" sample cannot be isolated with min leaf 3.
+        assert!(t.n_leaves() <= 2);
+    }
+
+    #[test]
+    fn regressor_fits_piecewise_constant() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| if i < 15 { 1.0 } else { 5.0 }).collect();
+        let mut t = DecisionTreeRegressor::new(TreeConfig::default());
+        t.fit(&x, &y);
+        let preds = t.predict(&x);
+        assert!(mse(&y, &preds) < 1e-12);
+    }
+
+    #[test]
+    fn regressor_approximates_linear_fn() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        let mut t = DecisionTreeRegressor::new(TreeConfig::default());
+        t.fit(&x, &y);
+        let test: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let truth: Vec<f64> = test.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        let preds = t.predict(&test);
+        assert!(mse(&truth, &preds) < 1.0, "mse = {}", mse(&truth, &preds));
+    }
+
+    #[test]
+    fn regressor_constant_target_single_leaf() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let mut t = DecisionTreeRegressor::new(TreeConfig::default());
+        t.fit(&x, &[4.0, 4.0]);
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.predict(&[vec![0.0]]), vec![4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite feature")]
+    fn rejects_nan_features() {
+        let mut t = DecisionTreeRegressor::new(TreeConfig::default());
+        t.fit(&[vec![f64::NAN]], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not fitted")]
+    fn predict_before_fit_panics() {
+        DecisionTreeRegressor::new(TreeConfig::default()).predict(&[vec![1.0]]);
+    }
+
+    #[test]
+    fn multiclass_classification() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..90 {
+            x.push(vec![(i / 30) as f64 * 10.0 + (i % 30) as f64 * 0.1]);
+            y.push(format!("class{}", i / 30));
+        }
+        let mut t = DecisionTreeClassifier::new(TreeConfig::default(), Criterion::Gini);
+        t.fit(&x, &y);
+        assert_eq!(accuracy(&y, &t.predict(&x)), 1.0);
+        assert_eq!(t.classes().len(), 3);
+    }
+}

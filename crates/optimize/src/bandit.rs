@@ -1,0 +1,213 @@
+//! UCB1 bandit sampler — the paper's future-work item (3): "exploring the
+//! use of reinforcement learning for dynamic tool selection."
+//!
+//! For fully-discrete spaces, every grid point is an arm; the sampler
+//! plays each arm once, then picks the arm maximising the UCB1 index
+//! `mean_reward + c·sqrt(ln t / n_i)`. Rewards are normalised objective
+//! values (min-max over history, flipped for minimisation), so the bandit
+//! works under either direction.
+
+use crate::sampler::{GridSampler, Sampler};
+use crate::space::{ParamValue, Params, SearchSpace};
+use crate::study::{Direction, Trial};
+
+/// UCB1 over the discrete grid of a search space.
+pub struct UcbSampler {
+    /// Exploration coefficient (√2 is the classic choice).
+    pub exploration: f64,
+}
+
+impl UcbSampler {
+    pub fn new() -> UcbSampler {
+        UcbSampler {
+            exploration: std::f64::consts::SQRT_2,
+        }
+    }
+
+    /// Enumerate all grid points of a discrete space.
+    fn arms(space: &SearchSpace) -> Vec<Params> {
+        let card = space
+            .cardinality()
+            .expect("UcbSampler requires a fully discrete space");
+        let mut grid = GridSampler::new();
+        (0..card).map(|_| grid.sample(space, &[], Direction::Minimize)).collect()
+    }
+}
+
+impl Default for UcbSampler {
+    fn default() -> Self {
+        UcbSampler::new()
+    }
+}
+
+impl Sampler for UcbSampler {
+    fn sample(&mut self, space: &SearchSpace, history: &[Trial], direction: Direction) -> Params {
+        let arms = Self::arms(space);
+        // Completed trials with finite values.
+        let done: Vec<&Trial> = history
+            .iter()
+            .filter(|t| t.value.is_some_and(|v| v.is_finite()))
+            .collect();
+
+        // Per-arm statistics.
+        let mut counts = vec![0usize; arms.len()];
+        let mut sums = vec![0.0f64; arms.len()];
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for t in &done {
+            let v = t.value.expect("filtered");
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let span = (hi - lo).max(1e-12);
+        for t in &done {
+            if let Some(arm) = arms.iter().position(|a| a == &t.params) {
+                let v = t.value.expect("filtered");
+                // Normalised reward in [0, 1]; higher = better.
+                let reward = match direction {
+                    Direction::Maximize => (v - lo) / span,
+                    Direction::Minimize => (hi - v) / span,
+                };
+                counts[arm] += 1;
+                sums[arm] += reward;
+            }
+        }
+
+        // Unplayed arm? Play the first one (round-robin initialisation).
+        if let Some(arm) = counts.iter().position(|&c| c == 0) {
+            return arms[arm].clone();
+        }
+
+        // UCB1 index.
+        let t_total: usize = counts.iter().sum();
+        let log_t = (t_total.max(1) as f64).ln();
+        let best = (0..arms.len())
+            .max_by(|&a, &b| {
+                let ua = sums[a] / counts[a] as f64
+                    + self.exploration * (log_t / counts[a] as f64).sqrt();
+                let ub = sums[b] / counts[b] as f64
+                    + self.exploration * (log_t / counts[b] as f64).sqrt();
+                ua.total_cmp(&ub)
+            })
+            .expect("at least one arm");
+        arms[best].clone()
+    }
+}
+
+/// Convenience: the `(detector, repairer)` arm a set of params denotes
+/// (used by the ablation bench's reporting).
+pub fn arm_label(params: &Params) -> String {
+    params
+        .values()
+        .map(|v| match v {
+            ParamValue::Str(s) => s.clone(),
+            ParamValue::Int(i) => i.to_string(),
+            ParamValue::Float(f) => format!("{f:.3}"),
+        })
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::Study;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new().categorical("tool", ["bad1", "good", "bad2"])
+    }
+
+    #[test]
+    fn plays_every_arm_once_first() {
+        let mut study = Study::new(
+            Direction::Minimize,
+            space(),
+            Box::new(UcbSampler::new()),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let t = study.ask();
+            seen.insert(t.params["tool"].as_str().unwrap().to_string());
+            study.tell(t.id, 1.0);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn converges_to_best_arm_minimise() {
+        let mut study = Study::new(
+            Direction::Minimize,
+            space(),
+            Box::new(UcbSampler::new()),
+        );
+        study.optimize(40, |p| {
+            if p["tool"].as_str() == Some("good") {
+                1.0
+            } else {
+                5.0
+            }
+        });
+        let good_plays = study.trials()[10..]
+            .iter()
+            .filter(|t| t.params["tool"].as_str() == Some("good"))
+            .count();
+        assert!(good_plays > 15, "good played {good_plays}/30 in tail");
+        assert_eq!(
+            study.best_trial().unwrap().params["tool"].as_str(),
+            Some("good")
+        );
+    }
+
+    #[test]
+    fn converges_under_maximise_too() {
+        let mut study = Study::new(
+            Direction::Maximize,
+            space(),
+            Box::new(UcbSampler::new()),
+        );
+        study.optimize(40, |p| {
+            if p["tool"].as_str() == Some("good") {
+                0.9
+            } else {
+                0.1
+            }
+        });
+        assert_eq!(
+            study.best_trial().unwrap().params["tool"].as_str(),
+            Some("good")
+        );
+    }
+
+    #[test]
+    fn still_explores_under_ties() {
+        // All arms equal: UCB keeps rotating rather than fixating.
+        let mut study = Study::new(
+            Direction::Minimize,
+            space(),
+            Box::new(UcbSampler::new()),
+        );
+        study.optimize(30, |_| 1.0);
+        let mut plays = std::collections::HashMap::new();
+        for t in study.trials() {
+            *plays
+                .entry(t.params["tool"].as_str().unwrap().to_string())
+                .or_insert(0usize) += 1;
+        }
+        assert!(plays.values().all(|&c| c >= 5), "{plays:?}");
+    }
+
+    #[test]
+    fn arm_label_renders() {
+        let mut p = Params::new();
+        p.insert("detector".into(), ParamValue::Str("sd".into()));
+        p.insert("repairer".into(), ParamValue::Str("ml".into()));
+        assert_eq!(arm_label(&p), "sd+ml");
+    }
+
+    #[test]
+    #[should_panic(expected = "discrete")]
+    fn rejects_continuous_spaces() {
+        let mut s = UcbSampler::new();
+        let space = SearchSpace::new().float("x", 0.0, 1.0);
+        s.sample(&space, &[], Direction::Minimize);
+    }
+}

@@ -1,0 +1,79 @@
+//! # datalens-optimize
+//!
+//! Sequential model-based hyperparameter optimisation — the reproduction's
+//! stand-in for Optuna (§4 "Iterative Cleaning"). The paper formulates
+//! cleaning-tool selection as hyperparameter tuning and lets Optuna's TPE
+//! sampler navigate the (detector × repair tool) space; this crate
+//! provides that sampler ([`TpeSampler`]) plus [`RandomSampler`] and
+//! [`GridSampler`] baselines behind an Optuna-style ask/tell [`Study`].
+//!
+//! ```
+//! use datalens_optimize::{Direction, SearchSpace, Study, TpeSampler};
+//!
+//! let space = SearchSpace::new()
+//!     .categorical("detector", ["sd", "iqr", "raha"])
+//!     .categorical("repair", ["standard_imputer", "ml_imputer"]);
+//! let mut study = Study::new(Direction::Minimize, space, Box::new(TpeSampler::new(0)));
+//! study.optimize(10, |params| {
+//!     // score the tool combination (here: a toy objective)
+//!     if params["detector"].as_str() == Some("raha") { 1.0 } else { 2.0 }
+//! });
+//! assert_eq!(study.best_trial().unwrap().params["detector"].as_str(), Some("raha"));
+//! ```
+
+pub mod bandit;
+pub mod sampler;
+pub mod space;
+pub mod study;
+
+pub use bandit::UcbSampler;
+pub use sampler::{GridSampler, RandomSampler, Sampler, TpeSampler};
+pub use space::{ParamDomain, ParamValue, Params, SearchSpace};
+pub use study::{Direction, Study, Trial};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::sampler::{RandomSampler, TpeSampler};
+    use crate::space::SearchSpace;
+    use crate::study::{Direction, Study};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every sampler keeps every trial inside the declared space, and
+        /// the best-value curve is monotone under both directions.
+        #[test]
+        fn samplers_respect_space_and_curves_are_monotone(
+            seed in any::<u64>(),
+            maximize in any::<bool>(),
+        ) {
+            let direction = if maximize { Direction::Maximize } else { Direction::Minimize };
+            let space = SearchSpace::new()
+                .categorical("tool", ["a", "b", "c", "d"])
+                .int("k", 1, 6)
+                .float("rate", 0.0, 1.0);
+            for sampler in [
+                Box::new(RandomSampler::new(seed)) as Box<dyn crate::sampler::Sampler>,
+                Box::new(TpeSampler::new(seed)),
+            ] {
+                let mut study = Study::new(direction, space.clone(), sampler);
+                study.optimize(25, |p| {
+                    p["rate"].as_f64().unwrap() + p["k"].as_i64().unwrap() as f64
+                });
+                for t in study.trials() {
+                    prop_assert!(space.validate(&t.params), "{:?}", t.params);
+                }
+                let curve = study.best_value_curve();
+                for w in curve.windows(2) {
+                    if maximize {
+                        prop_assert!(w[1] >= w[0]);
+                    } else {
+                        prop_assert!(w[1] <= w[0]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Samplers: random, grid, and TPE (the Optuna default the paper uses).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::space::{ParamDomain, ParamValue, Params, SearchSpace};
+use crate::study::{Direction, Trial};
+
+/// Strategy that proposes the next parameter assignment.
+pub trait Sampler: Send {
+    fn sample(&mut self, space: &SearchSpace, history: &[Trial], direction: Direction) -> Params;
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+/// Uniform random sampling (Optuna's `RandomSampler`); also the baseline
+/// the TPE ablation bench compares against.
+pub struct RandomSampler {
+    rng: StdRng,
+}
+
+impl RandomSampler {
+    pub fn new(seed: u64) -> RandomSampler {
+        RandomSampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn sample_uniform(rng: &mut StdRng, domain: &ParamDomain) -> ParamValue {
+        match domain {
+            ParamDomain::Categorical(choices) => {
+                ParamValue::Str(choices[rng.random_range(0..choices.len())].clone())
+            }
+            ParamDomain::Int { lo, hi } => ParamValue::Int(rng.random_range(*lo..=*hi)),
+            ParamDomain::Float { lo, hi, log } => {
+                if *log {
+                    ParamValue::Float(rng.random_range(lo.ln()..hi.ln()).exp())
+                } else {
+                    ParamValue::Float(rng.random_range(*lo..*hi))
+                }
+            }
+        }
+    }
+}
+
+impl Sampler for RandomSampler {
+    fn sample(&mut self, space: &SearchSpace, _history: &[Trial], _dir: Direction) -> Params {
+        space
+            .params()
+            .iter()
+            .map(|(name, domain)| {
+                (name.clone(), Self::sample_uniform(&mut self.rng, domain))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grid
+// ---------------------------------------------------------------------------
+
+/// Exhaustive grid enumeration for fully-discrete spaces; wraps around
+/// after the grid is exhausted.
+pub struct GridSampler {
+    cursor: usize,
+}
+
+impl GridSampler {
+    pub fn new() -> GridSampler {
+        GridSampler { cursor: 0 }
+    }
+}
+
+impl Default for GridSampler {
+    fn default() -> Self {
+        GridSampler::new()
+    }
+}
+
+impl Sampler for GridSampler {
+    fn sample(&mut self, space: &SearchSpace, _history: &[Trial], _dir: Direction) -> Params {
+        let card = space
+            .cardinality()
+            .expect("GridSampler requires a fully discrete space");
+        let mut index = self.cursor % card.max(1);
+        self.cursor += 1;
+        let mut out = Params::new();
+        for (name, domain) in space.params() {
+            let v = match domain {
+                ParamDomain::Categorical(choices) => {
+                    let pick = index % choices.len();
+                    index /= choices.len();
+                    ParamValue::Str(choices[pick].clone())
+                }
+                ParamDomain::Int { lo, hi } => {
+                    let span = usize::try_from(hi - lo + 1).expect("validated discrete");
+                    let pick = index % span;
+                    index /= span;
+                    ParamValue::Int(lo + pick as i64)
+                }
+                ParamDomain::Float { .. } => unreachable!("cardinality() returned Some"),
+            };
+            out.insert(name.clone(), v);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TPE
+// ---------------------------------------------------------------------------
+
+/// Tree-structured Parzen Estimator (Bergstra et al., 2011) — the
+/// sequential model-based sampler behind Optuna, which §4 of the paper
+/// relies on to navigate the cleaning-tool space.
+///
+/// Completed trials split into a *good* set (the top `gamma` fraction
+/// under the study direction) and a *bad* set. For each parameter,
+/// densities l(x) (good) and g(x) (bad) are estimated — smoothed
+/// categorical frequencies, or Parzen windows for numeric domains — and
+/// `n_candidates` draws from l are scored by l(x)/g(x); the best ratio
+/// wins.
+pub struct TpeSampler {
+    rng: StdRng,
+    /// Trials sampled uniformly before the model kicks in.
+    pub n_startup: usize,
+    /// Fraction of history considered "good".
+    pub gamma: f64,
+    /// Candidate draws per parameter.
+    pub n_candidates: usize,
+}
+
+impl TpeSampler {
+    pub fn new(seed: u64) -> TpeSampler {
+        TpeSampler {
+            rng: StdRng::seed_from_u64(seed),
+            n_startup: 5,
+            gamma: 0.25,
+            n_candidates: 24,
+        }
+    }
+
+    /// Split history into (good, bad) by objective.
+    fn split<'a>(&self, history: &'a [Trial], direction: Direction) -> (Vec<&'a Trial>, Vec<&'a Trial>) {
+        let mut done: Vec<&Trial> = history
+            .iter()
+            .filter(|t| t.value.is_some_and(|v| v.is_finite()))
+            .collect();
+        done.sort_by(|a, b| {
+            let (va, vb) = (a.value.expect("filtered"), b.value.expect("filtered"));
+            if direction.better(va, vb) {
+                std::cmp::Ordering::Less
+            } else if direction.better(vb, va) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        let n_good = ((done.len() as f64 * self.gamma).ceil() as usize)
+            .clamp(1, done.len().max(1));
+        let good = done[..n_good.min(done.len())].to_vec();
+        let bad = done[n_good.min(done.len())..].to_vec();
+        (good, bad)
+    }
+
+    /// Smoothed categorical probability of `choice` among `trials`.
+    fn cat_prob(trials: &[&Trial], name: &str, choice: &str, n_choices: usize) -> f64 {
+        let count = trials
+            .iter()
+            .filter(|t| t.params.get(name).and_then(ParamValue::as_str) == Some(choice))
+            .count();
+        // Laplace smoothing keeps ratios finite.
+        (count as f64 + 1.0) / (trials.len() as f64 + n_choices as f64)
+    }
+
+    /// Parzen-window density of `x` among numeric observations.
+    fn parzen_density(obs: &[f64], x: f64, lo: f64, hi: f64) -> f64 {
+        let span = (hi - lo).max(1e-12);
+        // Fixed-fraction bandwidth with sample-size shrinkage.
+        let bw = (span / (1.0 + obs.len() as f64).sqrt()).max(span * 0.05);
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * bw);
+        // Mixture of kernels + a uniform floor (the "prior" kernel).
+        let uniform = 1.0 / span;
+        if obs.is_empty() {
+            return uniform;
+        }
+        let kernels: f64 = obs
+            .iter()
+            .map(|&o| norm * (-0.5 * ((x - o) / bw).powi(2)).exp())
+            .sum::<f64>()
+            / obs.len() as f64;
+        0.9 * kernels + 0.1 * uniform
+    }
+
+    fn numeric_obs(trials: &[&Trial], name: &str, log: bool) -> Vec<f64> {
+        trials
+            .iter()
+            .filter_map(|t| t.params.get(name).and_then(ParamValue::as_f64))
+            .map(|v| if log { v.ln() } else { v })
+            .collect()
+    }
+}
+
+impl Sampler for TpeSampler {
+    fn sample(&mut self, space: &SearchSpace, history: &[Trial], direction: Direction) -> Params {
+        let n_done = history
+            .iter()
+            .filter(|t| t.value.is_some_and(|v| v.is_finite()))
+            .count();
+        if n_done < self.n_startup {
+            let mut r = RandomSampler {
+                rng: StdRng::seed_from_u64(self.rng.random()),
+            };
+            return r.sample(space, history, direction);
+        }
+        let (good, bad) = self.split(history, direction);
+
+        let mut out = Params::new();
+        for (name, domain) in space.params() {
+            let value = match domain {
+                ParamDomain::Categorical(choices) => {
+                    // Sample candidates from l's categorical distribution,
+                    // score by l/g.
+                    let l_probs: Vec<f64> = choices
+                        .iter()
+                        .map(|c| Self::cat_prob(&good, name, c, choices.len()))
+                        .collect();
+                    let total: f64 = l_probs.iter().sum();
+                    let mut best: Option<(usize, f64)> = None;
+                    for _ in 0..self.n_candidates {
+                        // Roulette draw from l.
+                        let mut target = self.rng.random_range(0.0..total);
+                        let mut pick = choices.len() - 1;
+                        for (i, p) in l_probs.iter().enumerate() {
+                            if target < *p {
+                                pick = i;
+                                break;
+                            }
+                            target -= p;
+                        }
+                        let g = Self::cat_prob(&bad, name, &choices[pick], choices.len());
+                        let ratio = l_probs[pick] / g;
+                        if best.as_ref().is_none_or(|(_, r)| ratio > *r) {
+                            best = Some((pick, ratio));
+                        }
+                    }
+                    ParamValue::Str(choices[best.expect("candidates > 0").0].clone())
+                }
+                ParamDomain::Int { lo, hi } => {
+                    let obs_good = Self::numeric_obs(&good, name, false);
+                    let obs_bad = Self::numeric_obs(&bad, name, false);
+                    let (flo, fhi) = (*lo as f64, *hi as f64);
+                    let mut best: Option<(f64, f64)> = None;
+                    for _ in 0..self.n_candidates {
+                        let x = if obs_good.is_empty() || self.rng.random_bool(0.2) {
+                            self.rng.random_range(flo..=fhi)
+                        } else {
+                            let center = obs_good[self.rng.random_range(0..obs_good.len())];
+                            let bw = ((fhi - flo) / (1.0 + obs_good.len() as f64).sqrt())
+                                .max((fhi - flo) * 0.05);
+                            (center + bw * sample_standard_normal(&mut self.rng))
+                                .clamp(flo, fhi)
+                        };
+                        let l = Self::parzen_density(&obs_good, x, flo, fhi);
+                        let g = Self::parzen_density(&obs_bad, x, flo, fhi);
+                        let ratio = l / g.max(1e-12);
+                        if best.as_ref().is_none_or(|(_, r)| ratio > *r) {
+                            best = Some((x, ratio));
+                        }
+                    }
+                    ParamValue::Int((best.expect("candidates > 0").0.round() as i64).clamp(*lo, *hi))
+                }
+                ParamDomain::Float { lo, hi, log } => {
+                    let (tlo, thi) = if *log { (lo.ln(), hi.ln()) } else { (*lo, *hi) };
+                    let obs_good = Self::numeric_obs(&good, name, *log);
+                    let obs_bad = Self::numeric_obs(&bad, name, *log);
+                    let mut best: Option<(f64, f64)> = None;
+                    for _ in 0..self.n_candidates {
+                        let x = if obs_good.is_empty() || self.rng.random_bool(0.2) {
+                            self.rng.random_range(tlo..thi)
+                        } else {
+                            let center = obs_good[self.rng.random_range(0..obs_good.len())];
+                            let bw = ((thi - tlo) / (1.0 + obs_good.len() as f64).sqrt())
+                                .max((thi - tlo) * 0.05);
+                            (center + bw * sample_standard_normal(&mut self.rng))
+                                .clamp(tlo, thi)
+                        };
+                        let l = Self::parzen_density(&obs_good, x, tlo, thi);
+                        let g = Self::parzen_density(&obs_bad, x, tlo, thi);
+                        let ratio = l / g.max(1e-12);
+                        if best.as_ref().is_none_or(|(_, r)| ratio > *r) {
+                            best = Some((x, ratio));
+                        }
+                    }
+                    let x = best.expect("candidates > 0").0;
+                    ParamValue::Float(if *log { x.exp() } else { x }.clamp(*lo, *hi))
+                }
+            };
+            out.insert(name.clone(), value);
+        }
+        out
+    }
+}
+
+/// Box–Muller standard normal draw.
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(1e-12..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::Study;
+
+    fn quadratic_space() -> SearchSpace {
+        SearchSpace::new().float("x", -10.0, 10.0)
+    }
+
+    #[test]
+    fn random_sampler_stays_in_domain() {
+        let space = SearchSpace::new()
+            .categorical("c", ["p", "q"])
+            .int("i", -5, 5)
+            .log_float("f", 0.001, 10.0);
+        let mut s = RandomSampler::new(1);
+        for _ in 0..100 {
+            let p = s.sample(&space, &[], Direction::Minimize);
+            assert!(space.validate(&p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn grid_sampler_enumerates_all_points() {
+        let space = SearchSpace::new()
+            .categorical("c", ["p", "q"])
+            .int("i", 0, 2);
+        let mut s = GridSampler::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..6 {
+            let p = s.sample(&space, &[], Direction::Minimize);
+            seen.insert(format!("{p:?}"));
+        }
+        assert_eq!(seen.len(), 6);
+        // Wraps around afterwards.
+        let again = s.sample(&space, &[], Direction::Minimize);
+        assert!(seen.contains(&format!("{again:?}")));
+    }
+
+    #[test]
+    fn tpe_beats_random_on_quadratic() {
+        // Average best value after 40 trials over several seeds.
+        let objective = |p: &Params| {
+            let x = p["x"].as_f64().unwrap();
+            (x - 3.0) * (x - 3.0)
+        };
+        let mut tpe_total = 0.0;
+        let mut rnd_total = 0.0;
+        for seed in 0..8 {
+            let mut tpe = Study::new(
+                Direction::Minimize,
+                quadratic_space(),
+                Box::new(TpeSampler::new(seed)),
+            );
+            tpe.optimize(40, objective);
+            tpe_total += tpe.best_trial().unwrap().value.unwrap();
+            let mut rnd = Study::new(
+                Direction::Minimize,
+                quadratic_space(),
+                Box::new(RandomSampler::new(seed)),
+            );
+            rnd.optimize(40, objective);
+            rnd_total += rnd.best_trial().unwrap().value.unwrap();
+        }
+        assert!(
+            tpe_total < rnd_total,
+            "TPE {tpe_total:.4} should beat random {rnd_total:.4}"
+        );
+    }
+
+    #[test]
+    fn tpe_concentrates_categorical_choices() {
+        // Objective: "good" choice scores 0, others 1. After warmup, TPE
+        // should pick "good" most of the time.
+        let space = SearchSpace::new().categorical("c", ["bad1", "good", "bad2", "bad3"]);
+        let mut study = Study::new(
+            Direction::Minimize,
+            space,
+            Box::new(TpeSampler::new(3)),
+        );
+        study.optimize(60, |p| {
+            if p["c"].as_str() == Some("good") {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        let late_good = study.trials()[30..]
+            .iter()
+            .filter(|t| t.params["c"].as_str() == Some("good"))
+            .count();
+        assert!(late_good > 15, "TPE picked good only {late_good}/30 times");
+    }
+
+    #[test]
+    fn tpe_stays_in_domain() {
+        let space = SearchSpace::new()
+            .categorical("c", ["p", "q"])
+            .int("i", 0, 3)
+            .float("f", 0.0, 1.0);
+        let mut study = Study::new(
+            Direction::Maximize,
+            space.clone(),
+            Box::new(TpeSampler::new(9)),
+        );
+        study.optimize(30, |p| p["f"].as_f64().unwrap());
+        for t in study.trials() {
+            assert!(space.validate(&t.params), "{:?}", t.params);
+        }
+    }
+
+    #[test]
+    fn tpe_handles_maximize_direction() {
+        let space = SearchSpace::new().float("x", 0.0, 1.0);
+        let mut study = Study::new(
+            Direction::Maximize,
+            space,
+            Box::new(TpeSampler::new(5)),
+        );
+        study.optimize(40, |p| p["x"].as_f64().unwrap());
+        assert!(study.best_trial().unwrap().value.unwrap() > 0.8);
+    }
+}

@@ -1,0 +1,205 @@
+//! Search-space definition: named parameters with categorical, integer,
+//! or float domains. The iterative-cleaning module's space is categorical
+//! (detector × repair tool), but the optimizer is general, matching what
+//! Optuna offers the paper.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A single sampled parameter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+}
+
+impl ParamValue {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(f) => Some(*f),
+            ParamValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+}
+
+/// A full parameter assignment.
+pub type Params = BTreeMap<String, ParamValue>;
+
+/// The domain of one parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamDomain {
+    /// One of a fixed set of choices.
+    Categorical(Vec<String>),
+    /// Integer in `[lo, hi]` inclusive.
+    Int { lo: i64, hi: i64 },
+    /// Float in `[lo, hi]`; `log` samples uniformly in log-space.
+    Float { lo: f64, hi: f64, log: bool },
+}
+
+impl ParamDomain {
+    /// Is `v` inside this domain?
+    pub fn contains(&self, v: &ParamValue) -> bool {
+        match (self, v) {
+            (ParamDomain::Categorical(choices), ParamValue::Str(s)) => {
+                choices.iter().any(|c| c == s)
+            }
+            (ParamDomain::Int { lo, hi }, ParamValue::Int(i)) => (lo..=hi).contains(&i),
+            (ParamDomain::Float { lo, hi, .. }, ParamValue::Float(f)) => {
+                *f >= *lo && *f <= *hi
+            }
+            _ => false,
+        }
+    }
+}
+
+/// An ordered collection of named parameter domains.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchSpace {
+    params: Vec<(String, ParamDomain)>,
+}
+
+impl SearchSpace {
+    pub fn new() -> SearchSpace {
+        SearchSpace::default()
+    }
+
+    /// Add a categorical parameter (builder style).
+    pub fn categorical(
+        mut self,
+        name: impl Into<String>,
+        choices: impl IntoIterator<Item = impl Into<String>>,
+    ) -> SearchSpace {
+        let choices: Vec<String> = choices.into_iter().map(Into::into).collect();
+        assert!(!choices.is_empty(), "categorical domain must be nonempty");
+        self.params
+            .push((name.into(), ParamDomain::Categorical(choices)));
+        self
+    }
+
+    /// Add an integer parameter.
+    pub fn int(mut self, name: impl Into<String>, lo: i64, hi: i64) -> SearchSpace {
+        assert!(lo <= hi, "empty int domain");
+        self.params.push((name.into(), ParamDomain::Int { lo, hi }));
+        self
+    }
+
+    /// Add a float parameter.
+    pub fn float(mut self, name: impl Into<String>, lo: f64, hi: f64) -> SearchSpace {
+        assert!(lo < hi, "empty float domain");
+        self.params
+            .push((name.into(), ParamDomain::Float { lo, hi, log: false }));
+        self
+    }
+
+    /// Add a log-scaled float parameter.
+    pub fn log_float(mut self, name: impl Into<String>, lo: f64, hi: f64) -> SearchSpace {
+        assert!(lo > 0.0 && lo < hi, "log domain requires 0 < lo < hi");
+        self.params
+            .push((name.into(), ParamDomain::Float { lo, hi, log: true }));
+        self
+    }
+
+    pub fn params(&self) -> &[(String, ParamDomain)] {
+        &self.params
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Validate a full assignment against the space.
+    pub fn validate(&self, params: &Params) -> bool {
+        self.params.len() == params.len()
+            && self.params.iter().all(|(name, domain)| {
+                params.get(name).is_some_and(|v| domain.contains(v))
+            })
+    }
+
+    /// Total number of grid points for fully-discrete spaces; `None` when
+    /// a float parameter makes the space continuous.
+    pub fn cardinality(&self) -> Option<usize> {
+        let mut total = 1usize;
+        for (_, d) in &self.params {
+            total = total.checked_mul(match d {
+                ParamDomain::Categorical(c) => c.len(),
+                ParamDomain::Int { lo, hi } => usize::try_from(hi - lo + 1).ok()?,
+                ParamDomain::Float { .. } => return None,
+            })?;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SearchSpace {
+        SearchSpace::new()
+            .categorical("tool", ["a", "b", "c"])
+            .int("k", 1, 4)
+    }
+
+    #[test]
+    fn builder_and_cardinality() {
+        let s = space();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.cardinality(), Some(12));
+        let with_float = space().float("lr", 0.0, 1.0);
+        assert_eq!(with_float.cardinality(), None);
+    }
+
+    #[test]
+    fn validation() {
+        let s = space();
+        let mut p = Params::new();
+        p.insert("tool".into(), ParamValue::Str("b".into()));
+        p.insert("k".into(), ParamValue::Int(2));
+        assert!(s.validate(&p));
+        p.insert("k".into(), ParamValue::Int(9));
+        assert!(!s.validate(&p));
+        p.insert("k".into(), ParamValue::Str("2".into()));
+        assert!(!s.validate(&p));
+        p.remove("k");
+        assert!(!s.validate(&p));
+    }
+
+    #[test]
+    fn domain_contains() {
+        let d = ParamDomain::Float {
+            lo: 0.1,
+            hi: 1.0,
+            log: true,
+        };
+        assert!(d.contains(&ParamValue::Float(0.5)));
+        assert!(!d.contains(&ParamValue::Float(0.01)));
+        assert!(!d.contains(&ParamValue::Int(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_categorical_rejected() {
+        SearchSpace::new().categorical("x", Vec::<String>::new());
+    }
+}

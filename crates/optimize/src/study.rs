@@ -1,0 +1,222 @@
+//! Studies and trials — the Optuna-style optimisation loop.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sampler::Sampler;
+use crate::space::{Params, SearchSpace};
+
+/// Whether the objective is minimised (MSE) or maximised (F1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    Minimize,
+    Maximize,
+}
+
+impl Direction {
+    /// Is `a` better than `b` under this direction?
+    pub fn better(self, a: f64, b: f64) -> bool {
+        match self {
+            Direction::Minimize => a < b,
+            Direction::Maximize => a > b,
+        }
+    }
+}
+
+/// One evaluated (or pending) parameter assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    pub id: usize,
+    pub params: Params,
+    /// Objective value; `None` while pending or failed.
+    pub value: Option<f64>,
+}
+
+/// A sequential optimisation study.
+pub struct Study {
+    direction: Direction,
+    space: SearchSpace,
+    sampler: Box<dyn Sampler>,
+    trials: Vec<Trial>,
+}
+
+impl Study {
+    pub fn new(direction: Direction, space: SearchSpace, sampler: Box<dyn Sampler>) -> Study {
+        Study {
+            direction,
+            space,
+            sampler,
+            trials: Vec::new(),
+        }
+    }
+
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    pub fn trials(&self) -> &[Trial] {
+        &self.trials
+    }
+
+    /// Ask the sampler for the next parameters (ask/tell interface).
+    pub fn ask(&mut self) -> Trial {
+        let params = self
+            .sampler
+            .sample(&self.space, &self.trials, self.direction);
+        debug_assert!(self.space.validate(&params), "sampler left the space");
+        let trial = Trial {
+            id: self.trials.len(),
+            params,
+            value: None,
+        };
+        self.trials.push(trial.clone());
+        trial
+    }
+
+    /// Report a trial's objective value.
+    pub fn tell(&mut self, id: usize, value: f64) {
+        let t = self
+            .trials
+            .get_mut(id)
+            .unwrap_or_else(|| panic!("unknown trial {id}"));
+        t.value = Some(value);
+    }
+
+    /// Run `n_trials` evaluations of `objective`.
+    pub fn optimize(&mut self, n_trials: usize, mut objective: impl FnMut(&Params) -> f64) {
+        for _ in 0..n_trials {
+            let trial = self.ask();
+            let value = objective(&trial.params);
+            self.tell(trial.id, value);
+        }
+    }
+
+    /// The best completed trial so far.
+    pub fn best_trial(&self) -> Option<&Trial> {
+        self.trials
+            .iter()
+            .filter(|t| t.value.is_some_and(|v| v.is_finite()))
+            .max_by(|a, b| {
+                let (va, vb) = (a.value.expect("filtered"), b.value.expect("filtered"));
+                if self.direction.better(va, vb) {
+                    std::cmp::Ordering::Greater
+                } else if self.direction.better(vb, va) {
+                    std::cmp::Ordering::Less
+                } else {
+                    // Tie: prefer the earlier trial (stable).
+                    b.id.cmp(&a.id)
+                }
+            })
+    }
+
+    /// Best value per trial index — the convergence curve Figure 5 plots.
+    pub fn best_value_curve(&self) -> Vec<f64> {
+        let mut best = match self.direction {
+            Direction::Minimize => f64::INFINITY,
+            Direction::Maximize => f64::NEG_INFINITY,
+        };
+        let mut out = Vec::new();
+        for t in &self.trials {
+            if let Some(v) = t.value {
+                if v.is_finite() && self.direction.better(v, best) {
+                    best = v;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::RandomSampler;
+    use crate::space::ParamValue;
+
+    fn study(direction: Direction) -> Study {
+        Study::new(
+            direction,
+            SearchSpace::new().int("x", 0, 100),
+            Box::new(RandomSampler::new(7)),
+        )
+    }
+
+    #[test]
+    fn optimize_tracks_best_minimize() {
+        let mut s = study(Direction::Minimize);
+        s.optimize(50, |p| {
+            let x = p["x"].as_i64().unwrap() as f64;
+            (x - 40.0).abs()
+        });
+        let best = s.best_trial().unwrap();
+        let bx = best.params["x"].as_i64().unwrap();
+        assert!((bx - 40).abs() <= 10, "best x = {bx}");
+        assert_eq!(s.trials().len(), 50);
+    }
+
+    #[test]
+    fn optimize_tracks_best_maximize() {
+        let mut s = study(Direction::Maximize);
+        s.optimize(50, |p| p["x"].as_i64().unwrap() as f64);
+        let best = s.best_trial().unwrap();
+        assert!(best.params["x"].as_i64().unwrap() > 60);
+    }
+
+    #[test]
+    fn ask_tell_round_trip() {
+        let mut s = study(Direction::Minimize);
+        let t = s.ask();
+        assert_eq!(t.id, 0);
+        s.tell(0, 5.0);
+        assert_eq!(s.best_trial().unwrap().value, Some(5.0));
+    }
+
+    #[test]
+    fn best_value_curve_is_monotone() {
+        let mut s = study(Direction::Minimize);
+        s.optimize(30, |p| p["x"].as_i64().unwrap() as f64);
+        let curve = s.best_value_curve();
+        assert_eq!(curve.len(), 30);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored_for_best() {
+        let mut s = study(Direction::Minimize);
+        let t = s.ask();
+        s.tell(t.id, f64::NAN);
+        assert!(s.best_trial().is_none());
+        let t = s.ask();
+        s.tell(t.id, 3.0);
+        assert_eq!(s.best_trial().unwrap().value, Some(3.0));
+    }
+
+    #[test]
+    fn ties_prefer_earlier_trial() {
+        let mut s = study(Direction::Minimize);
+        let a = s.ask();
+        s.tell(a.id, 1.0);
+        let b = s.ask();
+        s.tell(b.id, 1.0);
+        assert_eq!(s.best_trial().unwrap().id, 0);
+    }
+
+    #[test]
+    fn sampled_params_satisfy_space() {
+        let mut s = study(Direction::Minimize);
+        for _ in 0..20 {
+            let t = s.ask();
+            assert!(s.space().validate(&t.params));
+            s.tell(t.id, 0.0);
+        }
+        // ParamValue accessor sanity.
+        let t = &s.trials()[0];
+        assert!(matches!(t.params["x"], ParamValue::Int(_)));
+    }
+}

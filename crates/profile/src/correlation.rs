@@ -1,0 +1,328 @@
+//! Correlation measures between columns: Pearson, Spearman, and Cramér's V
+//! — the three families ydata-profiling reports and the Data Profile tab
+//! surfaces.
+
+use serde::{Deserialize, Serialize};
+
+use datalens_table::{DataType, Table};
+
+/// Pearson correlation over pairwise-complete numeric pairs; `None` when
+/// fewer than two complete pairs exist or either side is constant.
+pub fn pearson(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
+        .collect();
+    pearson_complete(&pairs)
+}
+
+fn pearson_complete(pairs: &[(f64, f64)]) -> Option<f64> {
+    if pairs.len() < 2 {
+        return None;
+    }
+    let n = pairs.len() as f64;
+    let mx = pairs.iter().map(|(a, _)| a).sum::<f64>() / n;
+    let my = pairs.iter().map(|(_, b)| b).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (a, b) in pairs {
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+        sxy += (a - mx) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+/// Spearman rank correlation (Pearson over average ranks, handling ties).
+pub fn spearman(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
+        .collect();
+    if pairs.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = pairs.iter().map(|(a, _)| *a).collect();
+    let ys: Vec<f64> = pairs.iter().map(|(_, b)| *b).collect();
+    let rx = ranks(&xs);
+    let ry = ranks(&ys);
+    let ranked: Vec<(f64, f64)> = rx.into_iter().zip(ry).collect();
+    pearson_complete(&ranked)
+}
+
+/// Average (fractional) ranks with tie handling.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Cramér's V between two categorical variables (bias-corrected per
+/// Bergsma 2013, as ydata-profiling uses). `None` when either variable has
+/// a single level or there are no complete pairs.
+pub fn cramers_v(x: &[Option<String>], y: &[Option<String>]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let pairs: Vec<(&String, &String)> = x
+        .iter()
+        .zip(y)
+        .filter_map(|(a, b)| Some((a.as_ref()?, b.as_ref()?)))
+        .collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    let mut xs: Vec<&String> = pairs.iter().map(|(a, _)| *a).collect();
+    xs.sort();
+    xs.dedup();
+    let mut ys: Vec<&String> = pairs.iter().map(|(_, b)| *b).collect();
+    ys.sort();
+    ys.dedup();
+    let r = xs.len();
+    let k = ys.len();
+    if r < 2 || k < 2 {
+        return None;
+    }
+    let n = pairs.len() as f64;
+    let mut observed = vec![vec![0.0f64; k]; r];
+    for (a, b) in &pairs {
+        let i = xs.binary_search(a).expect("level present");
+        let j = ys.binary_search(b).expect("level present");
+        observed[i][j] += 1.0;
+    }
+    let row_sums: Vec<f64> = observed.iter().map(|row| row.iter().sum()).collect();
+    let col_sums: Vec<f64> = (0..k).map(|j| observed.iter().map(|row| row[j]).sum()).collect();
+    let mut chi2 = 0.0;
+    for i in 0..r {
+        for j in 0..k {
+            let expected = row_sums[i] * col_sums[j] / n;
+            if expected > 0.0 {
+                chi2 += (observed[i][j] - expected).powi(2) / expected;
+            }
+        }
+    }
+    // Bias correction.
+    let phi2 = chi2 / n;
+    let phi2_corr = (phi2 - (r as f64 - 1.0) * (k as f64 - 1.0) / (n - 1.0)).max(0.0);
+    let r_corr = r as f64 - (r as f64 - 1.0).powi(2) / (n - 1.0);
+    let k_corr = k as f64 - (k as f64 - 1.0).powi(2) / (n - 1.0);
+    let denom = (r_corr - 1.0).min(k_corr - 1.0);
+    if denom <= 0.0 {
+        return None;
+    }
+    Some((phi2_corr / denom).sqrt().min(1.0))
+}
+
+/// A symmetric correlation matrix with column labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationMatrix {
+    pub columns: Vec<String>,
+    /// `values[i][j]` = correlation between `columns[i]` and `columns[j]`,
+    /// `NaN` where undefined.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl CorrelationMatrix {
+    pub fn get(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.columns.iter().position(|c| c == a)?;
+        let j = self.columns.iter().position(|c| c == b)?;
+        let v = self.values[i][j];
+        if v.is_nan() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+}
+
+/// Which correlation to compute across a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorrelationKind {
+    Pearson,
+    Spearman,
+    CramersV,
+}
+
+/// Compute a correlation matrix across the relevant columns of `table`:
+/// numeric columns for Pearson/Spearman, string columns for Cramér's V.
+pub fn correlation_matrix(table: &Table, kind: CorrelationKind) -> CorrelationMatrix {
+    match kind {
+        CorrelationKind::Pearson | CorrelationKind::Spearman => {
+            let cols: Vec<&datalens_table::Column> = table
+                .columns()
+                .iter()
+                .filter(|c| c.dtype().is_numeric())
+                .collect();
+            let series: Vec<Vec<Option<f64>>> = cols
+                .iter()
+                .map(|c| c.iter().map(|v| v.as_f64()).collect())
+                .collect();
+            let names: Vec<String> = cols.iter().map(|c| c.name().to_string()).collect();
+            let f = match kind {
+                CorrelationKind::Pearson => pearson,
+                _ => spearman,
+            };
+            let mut values = vec![vec![f64::NAN; names.len()]; names.len()];
+            for i in 0..names.len() {
+                values[i][i] = 1.0;
+                for j in (i + 1)..names.len() {
+                    let v = f(&series[i], &series[j]).unwrap_or(f64::NAN);
+                    values[i][j] = v;
+                    values[j][i] = v;
+                }
+            }
+            CorrelationMatrix { columns: names, values }
+        }
+        CorrelationKind::CramersV => {
+            let cols: Vec<&datalens_table::Column> = table
+                .columns()
+                .iter()
+                .filter(|c| c.dtype() == DataType::Str)
+                .collect();
+            let series: Vec<Vec<Option<String>>> = cols
+                .iter()
+                .map(|c| c.iter().map(|v| v.as_str().map(str::to_string)).collect())
+                .collect();
+            let names: Vec<String> = cols.iter().map(|c| c.name().to_string()).collect();
+            let mut values = vec![vec![f64::NAN; names.len()]; names.len()];
+            for i in 0..names.len() {
+                values[i][i] = 1.0;
+                for j in (i + 1)..names.len() {
+                    let v = cramers_v(&series[i], &series[j]).unwrap_or(f64::NAN);
+                    values[i][j] = v;
+                    values[j][i] = v;
+                }
+            }
+            CorrelationMatrix { columns: names, values }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    fn opt(v: &[f64]) -> Vec<Option<f64>> {
+        v.iter().map(|&x| Some(x)).collect()
+    }
+
+    #[test]
+    fn pearson_perfect_positive_negative() {
+        let x = opt(&[1.0, 2.0, 3.0]);
+        let y = opt(&[2.0, 4.0, 6.0]);
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z = opt(&[6.0, 4.0, 2.0]);
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_skips_incomplete_pairs() {
+        let x = vec![Some(1.0), None, Some(3.0), Some(4.0)];
+        let y = vec![Some(1.0), Some(9.0), Some(3.0), Some(4.0)];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_undefined_for_constant() {
+        let x = opt(&[1.0, 1.0, 1.0]);
+        let y = opt(&[1.0, 2.0, 3.0]);
+        assert!(pearson(&x, &y).is_none());
+        assert!(pearson(&opt(&[1.0]), &opt(&[2.0])).is_none());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = opt(&[1.0, 2.0, 3.0, 4.0]);
+        let y = opt(&[1.0, 8.0, 27.0, 64.0]); // x³: nonlinear but monotone
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = opt(&[1.0, 2.0, 2.0, 3.0]);
+        let y = opt(&[1.0, 2.0, 2.0, 3.0]);
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn cramers_v_perfect_association() {
+        let x: Vec<Option<String>> = ["a", "a", "b", "b", "a", "b", "a", "b"]
+            .iter()
+            .map(|s| Some(s.to_string()))
+            .collect();
+        let y: Vec<Option<String>> = ["p", "p", "q", "q", "p", "q", "p", "q"]
+            .iter()
+            .map(|s| Some(s.to_string()))
+            .collect();
+        let v = cramers_v(&x, &y).unwrap();
+        assert!(v > 0.9, "v = {v}");
+    }
+
+    #[test]
+    fn cramers_v_independence_near_zero() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            x.push(Some(if i % 2 == 0 { "a" } else { "b" }.to_string()));
+            y.push(Some(if (i / 2) % 2 == 0 { "p" } else { "q" }.to_string()));
+        }
+        let v = cramers_v(&x, &y).unwrap();
+        assert!(v < 0.2, "v = {v}");
+    }
+
+    #[test]
+    fn cramers_v_single_level_is_none() {
+        let x = vec![Some("a".to_string()); 5];
+        let y: Vec<Option<String>> = ["p", "q", "p", "q", "p"]
+            .iter()
+            .map(|s| Some(s.to_string()))
+            .collect();
+        assert!(cramers_v(&x, &y).is_none());
+    }
+
+    #[test]
+    fn matrix_over_table() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_f64("a", [Some(1.0), Some(2.0), Some(3.0)]),
+                Column::from_f64("b", [Some(2.0), Some(4.0), Some(6.0)]),
+                Column::from_str_vals("s", [Some("x"), Some("y"), Some("x")]),
+            ],
+        )
+        .unwrap();
+        let m = correlation_matrix(&t, CorrelationKind::Pearson);
+        assert_eq!(m.columns, vec!["a", "b"]);
+        assert!((m.get("a", "b").unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(m.get("a", "a"), Some(1.0));
+        assert_eq!(m.get("a", "s"), None);
+        let mv = correlation_matrix(&t, CorrelationKind::CramersV);
+        assert_eq!(mv.columns, vec!["s"]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Histograms for the Data Profile tab's distribution panels.
+
+use serde::{Deserialize, Serialize};
+
+/// An equal-width histogram over numeric values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bin edges, length `bins + 1`, ascending.
+    pub edges: Vec<f64>,
+    /// Counts per bin, length `bins`.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` equal-width bins spanning the data
+    /// range. The final bin is closed on both sides (max lands in it).
+    /// Returns `None` on empty input; constant data yields a single bin.
+    pub fn build(values: &[f64], bins: usize) -> Option<Histogram> {
+        if values.is_empty() || bins == 0 {
+            return None;
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if min == max {
+            return Some(Histogram {
+                edges: vec![min, max],
+                counts: vec![values.len()],
+            });
+        }
+        let width = (max - min) / bins as f64;
+        let edges: Vec<f64> = (0..=bins).map(|i| min + width * i as f64).collect();
+        let mut counts = vec![0usize; bins];
+        for &v in values {
+            let mut bin = ((v - min) / width) as usize;
+            if bin >= bins {
+                bin = bins - 1;
+            }
+            counts[bin] += 1;
+        }
+        Some(Histogram { edges, counts })
+    }
+
+    pub fn n_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Render an ASCII bar chart (one line per bin), for the text dashboard.
+    pub fn render_ascii(&self, max_width: usize) -> String {
+        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c * max_width).div_ceil(max_count).min(max_width));
+            out.push_str(&format!(
+                "[{:>10.3}, {:>10.3}{} {:<w$} {}\n",
+                self.edges[i],
+                self.edges[i + 1],
+                if i + 1 == self.counts.len() { "]" } else { ")" },
+                bar,
+                c,
+                w = max_width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fill() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 10).unwrap();
+        assert_eq!(h.n_bins(), 10);
+        assert_eq!(h.total(), 100);
+        assert!(h.counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let h = Histogram::build(&[0.0, 10.0], 5).unwrap();
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(h.counts[0], 1);
+    }
+
+    #[test]
+    fn constant_data_single_bin() {
+        let h = Histogram::build(&[3.0, 3.0, 3.0], 10).unwrap();
+        assert_eq!(h.n_bins(), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn empty_or_zero_bins_is_none() {
+        assert!(Histogram::build(&[], 10).is_none());
+        assert!(Histogram::build(&[1.0], 0).is_none());
+    }
+
+    #[test]
+    fn ascii_render_contains_bars() {
+        let h = Histogram::build(&[1.0, 1.0, 1.0, 5.0], 2).unwrap();
+        let text = h.render_ascii(20);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains('#'));
+    }
+}

@@ -1,0 +1,82 @@
+//! # datalens-profile
+//!
+//! Automated data profiling — the reproduction's stand-in for the
+//! ydata-profiling library the paper integrates (§3 "Automated Data
+//! Profiling"). Produces the content of the dashboard's "Data Profile"
+//! tab: descriptive statistics, per-column distributions, correlation
+//! matrices (Pearson / Spearman / Cramér's V), missing-data analysis, and
+//! flagged data-quality alerts.
+//!
+//! ```
+//! use datalens_profile::{ProfileConfig, ProfileReport};
+//! use datalens_table::{Column, Table};
+//!
+//! let t = Table::new("demo", vec![
+//!     Column::from_f64("x", [Some(1.0), Some(2.0), None]),
+//! ]).unwrap();
+//! let report = ProfileReport::build(&t, &ProfileConfig::default());
+//! assert_eq!(report.table.missing_cells, 1);
+//! ```
+
+pub mod alerts;
+pub mod correlation;
+pub mod histogram;
+pub mod report;
+pub mod stats;
+
+pub use alerts::{Alert, AlertConfig, AlertKind};
+pub use correlation::{CorrelationKind, CorrelationMatrix};
+pub use histogram::Histogram;
+pub use report::{ColumnProfile, ProfileConfig, ProfileReport, TableStats};
+pub use stats::{CategoricalStats, NumericStats};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::histogram::Histogram;
+    use crate::stats::{numeric_stats_of, quantile_sorted};
+
+    proptest! {
+        /// Histogram counts always sum to the input size and every count
+        /// lands within the data range.
+        #[test]
+        fn histogram_conserves_mass(
+            values in proptest::collection::vec(-1e4f64..1e4, 1..200),
+            bins in 1usize..30,
+        ) {
+            let h = Histogram::build(&values, bins).unwrap();
+            prop_assert_eq!(h.total(), values.len());
+            prop_assert!(h.edges.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        /// Quantiles are monotone in q and bounded by min/max.
+        #[test]
+        fn quantiles_monotone(
+            mut values in proptest::collection::vec(-1e4f64..1e4, 1..100),
+        ) {
+            values.sort_by(f64::total_cmp);
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+            let mut prev = f64::NEG_INFINITY;
+            for &q in &qs {
+                let v = quantile_sorted(&values, q);
+                prop_assert!(v >= prev);
+                prop_assert!(v >= values[0] && v <= *values.last().unwrap());
+                prev = v;
+            }
+        }
+
+        /// Numeric summary invariants: min ≤ q1 ≤ median ≤ q3 ≤ max, the
+        /// mean lies within [min, max], and variance = std².
+        #[test]
+        fn stats_invariants(
+            values in proptest::collection::vec(-1e4f64..1e4, 1..100),
+        ) {
+            let s = numeric_stats_of(&values).unwrap();
+            prop_assert!(s.min <= s.q1 && s.q1 <= s.median);
+            prop_assert!(s.median <= s.q3 && s.q3 <= s.max);
+            prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!((s.variance - s.std * s.std).abs() < 1e-6 * s.variance.max(1.0));
+        }
+    }
+}

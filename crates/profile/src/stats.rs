@@ -1,0 +1,239 @@
+//! Per-column descriptive statistics.
+
+use serde::{Deserialize, Serialize};
+
+use datalens_table::Column;
+
+/// Summary statistics for a numeric column (nulls excluded).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumericStats {
+    pub count: usize,
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    pub variance: f64,
+    pub min: f64,
+    pub max: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub iqr: f64,
+    pub skewness: f64,
+    pub kurtosis: f64,
+    pub zeros: usize,
+    pub negatives: usize,
+    pub sum: f64,
+}
+
+/// Compute [`NumericStats`] over the non-null numeric values of a column.
+/// Returns `None` when the column has no numeric values.
+pub fn numeric_stats(column: &Column) -> Option<NumericStats> {
+    let values = column.numeric_values();
+    numeric_stats_of(&values)
+}
+
+/// Compute [`NumericStats`] over a raw slice.
+pub fn numeric_stats_of(values: &[f64]) -> Option<NumericStats> {
+    if values.is_empty() {
+        return None;
+    }
+    let n = values.len() as f64;
+    let sum: f64 = values.iter().sum();
+    let mean = sum / n;
+    let m2: f64 = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let std = m2.sqrt();
+    let (skewness, kurtosis) = if std > 0.0 {
+        let m3: f64 = values.iter().map(|v| ((v - mean) / std).powi(3)).sum::<f64>() / n;
+        let m4: f64 = values.iter().map(|v| ((v - mean) / std).powi(4)).sum::<f64>() / n;
+        (m3, m4 - 3.0)
+    } else {
+        (0.0, 0.0)
+    };
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q1 = quantile_sorted(&sorted, 0.25);
+    let median = quantile_sorted(&sorted, 0.5);
+    let q3 = quantile_sorted(&sorted, 0.75);
+    Some(NumericStats {
+        count: values.len(),
+        mean,
+        std,
+        variance: m2,
+        min: sorted[0],
+        max: *sorted.last().expect("nonempty"),
+        q1,
+        median,
+        q3,
+        iqr: q3 - q1,
+        skewness,
+        kurtosis,
+        zeros: values.iter().filter(|&&v| v == 0.0).count(),
+        negatives: values.iter().filter(|&&v| v < 0.0).count(),
+        sum,
+    })
+}
+
+/// Linear-interpolation quantile over an ascending-sorted slice
+/// (numpy's default "linear" method).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Summary statistics for a categorical (or any) column based on rendered
+/// distinct values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoricalStats {
+    pub count: usize,
+    pub distinct: usize,
+    /// Most frequent values with counts, descending, capped at `top_k`.
+    pub top: Vec<(String, usize)>,
+    /// Shannon entropy (bits) of the value distribution.
+    pub entropy: f64,
+    /// Length of the shortest / longest rendered value.
+    pub min_length: usize,
+    pub max_length: usize,
+}
+
+/// Compute categorical stats over non-null values, keeping the `top_k`
+/// most frequent.
+pub fn categorical_stats(column: &Column, top_k: usize) -> CategoricalStats {
+    let counts = column.value_counts();
+    let total: usize = counts.iter().map(|(_, c)| c).sum();
+    let entropy = if total == 0 {
+        0.0
+    } else {
+        -counts
+            .iter()
+            .map(|(_, c)| {
+                let p = *c as f64 / total as f64;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    };
+    let lengths: Vec<usize> = counts
+        .iter()
+        .map(|(v, _)| v.render().chars().count())
+        .collect();
+    CategoricalStats {
+        count: total,
+        distinct: counts.len(),
+        top: counts
+            .iter()
+            .take(top_k)
+            .map(|(v, c)| (v.render(), *c))
+            .collect(),
+        entropy,
+        min_length: lengths.iter().copied().min().unwrap_or(0),
+        max_length: lengths.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    #[test]
+    fn numeric_stats_basics() {
+        let c = Column::from_f64("x", [Some(1.0), Some(2.0), Some(3.0), Some(4.0), None]);
+        let s = numeric_stats(&c).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.q1, 1.75);
+        assert_eq!(s.q3, 3.25);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert_eq!(s.sum, 10.0);
+    }
+
+    #[test]
+    fn zeros_negatives_counted() {
+        let c = Column::from_i64("x", [Some(0), Some(-1), Some(-2), Some(5)]);
+        let s = numeric_stats(&c).unwrap();
+        assert_eq!(s.zeros, 1);
+        assert_eq!(s.negatives, 2);
+    }
+
+    #[test]
+    fn constant_column_zero_spread() {
+        let c = Column::from_f64("x", [Some(7.0); 5]);
+        let s = numeric_stats(&c).unwrap();
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.skewness, 0.0);
+        assert_eq!(s.kurtosis, 0.0);
+        assert_eq!(s.iqr, 0.0);
+    }
+
+    #[test]
+    fn skewness_sign_matches_tail() {
+        let right_tail: Vec<Option<f64>> =
+            vec![Some(1.0), Some(1.0), Some(1.0), Some(1.0), Some(100.0)];
+        let s = numeric_stats(&Column::from_f64("x", right_tail)).unwrap();
+        assert!(s.skewness > 0.0);
+    }
+
+    #[test]
+    fn all_null_returns_none() {
+        let c = Column::from_f64("x", [None, None]);
+        assert!(numeric_stats(&c).is_none());
+        let s = Column::from_str_vals("s", [Some("a")]);
+        assert!(numeric_stats(&s).is_none());
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 40.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 25.0);
+        assert!((quantile_sorted(&sorted, 1.0 / 3.0) - 20.0).abs() < 1e-9);
+        assert_eq!(quantile_sorted(&[5.0], 0.75), 5.0);
+    }
+
+    #[test]
+    fn categorical_stats_top_and_entropy() {
+        let c = Column::from_str_vals(
+            "s",
+            [Some("a"), Some("a"), Some("b"), Some("a"), Some("c"), None],
+        );
+        let s = categorical_stats(&c, 2);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.top[0], ("a".to_string(), 3));
+        assert_eq!(s.top.len(), 2);
+        assert!(s.entropy > 0.0);
+        assert_eq!(s.min_length, 1);
+        assert_eq!(s.max_length, 1);
+    }
+
+    #[test]
+    fn uniform_distribution_has_max_entropy() {
+        let uniform = Column::from_str_vals("s", [Some("a"), Some("b"), Some("c"), Some("d")]);
+        let skewed = Column::from_str_vals("s", [Some("a"), Some("a"), Some("a"), Some("b")]);
+        assert!(
+            categorical_stats(&uniform, 5).entropy > categorical_stats(&skewed, 5).entropy
+        );
+        assert!((categorical_stats(&uniform, 5).entropy - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_categorical_zero_entropy() {
+        let c = Column::from_str_vals("s", [Some("only"), Some("only")]);
+        assert_eq!(categorical_stats(&c, 5).entropy, 0.0);
+    }
+}

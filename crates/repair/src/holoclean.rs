@@ -1,0 +1,285 @@
+//! HoloClean-style probabilistic repair (Rekatsinas et al., 2017),
+//! simplified to weighted-feature voting.
+//!
+//! For each erroneous cell, candidate values are gathered from (a) values
+//! co-occurring with the row's FD-determinant context in other rows and
+//! (b) the column's frequent values. Candidates are scored by a weighted
+//! pseudo-likelihood — FD-context support dominates, global frequency
+//! breaks ties — and the argmax wins. Numeric cells without FD context
+//! fall back to the column median (a robust point estimate).
+
+use std::collections::HashMap;
+
+use datalens_table::{CellRef, DataType, Table, Value};
+
+use crate::repairer::{null_out, AppliedRepair, RepairContext, Repairer, RepairResult};
+
+/// Scoring weights for HoloClean repair.
+#[derive(Debug, Clone)]
+pub struct HoloCleanRepairConfig {
+    /// Weight of one supporting row in the same FD context.
+    pub w_fd_support: f64,
+    /// Weight of one supporting row column-wide.
+    pub w_frequency: f64,
+}
+
+impl Default for HoloCleanRepairConfig {
+    fn default() -> Self {
+        HoloCleanRepairConfig {
+            w_fd_support: 10.0,
+            w_frequency: 1.0,
+        }
+    }
+}
+
+/// The HoloClean repairer.
+#[derive(Debug, Clone, Default)]
+pub struct HoloCleanRepairer {
+    pub config: HoloCleanRepairConfig,
+}
+
+impl Repairer for HoloCleanRepairer {
+    fn name(&self) -> &'static str {
+        "holoclean_repairer"
+    }
+
+    fn repair(&self, table: &Table, errors: &[CellRef], ctx: &RepairContext) -> RepairResult {
+        let nulled = null_out(table, errors);
+        let mut repaired = nulled.clone();
+        let mut repairs = Vec::new();
+
+        // FD rules whose rhs is each column (for context voting).
+        let mut rules_by_rhs: HashMap<usize, Vec<Vec<usize>>> = HashMap::new();
+        for rule in ctx.rules.active() {
+            let Some(rhs) = nulled.column_index(&rule.fd.rhs) else {
+                continue;
+            };
+            let lhs: Option<Vec<usize>> = rule
+                .fd
+                .lhs
+                .iter()
+                .map(|n| nulled.column_index(n))
+                .collect();
+            if let Some(lhs) = lhs {
+                rules_by_rhs.entry(rhs).or_default().push(lhs);
+            }
+        }
+
+        for (c, col) in nulled.columns().iter().enumerate() {
+            let holes: Vec<usize> = (0..nulled.n_rows()).filter(|&r| col.is_null(r)).collect();
+            if holes.is_empty() {
+                continue;
+            }
+            // Global frequency table for the column.
+            let freq: Vec<(Value, usize)> = col.value_counts();
+
+            for &r in &holes {
+                let mut scores: HashMap<String, (Value, f64)> = HashMap::new();
+                // (a) FD-context candidates.
+                if let Some(rule_lhss) = rules_by_rhs.get(&c) {
+                    for lhs in rule_lhss {
+                        // Context backoff: when a determinant cell of this
+                        // row was itself flagged (nulled), fall back to its
+                        // *observed* dirty value. Detection often attributes
+                        // an FD violation to the wrong side of the pair;
+                        // real HoloClean resolves this by joint inference —
+                        // this is the one-step approximation.
+                        let key: Option<Vec<String>> = lhs
+                            .iter()
+                            .map(|&lc| {
+                                let v = nulled.column(lc).expect("in range").get(r);
+                                let v = if v.is_null() {
+                                    table.column(lc).expect("in range").get(r)
+                                } else {
+                                    v
+                                };
+                                if v.is_null() {
+                                    None
+                                } else {
+                                    Some(v.render())
+                                }
+                            })
+                            .collect();
+                        let Some(key) = key else { continue };
+                        for other in 0..nulled.n_rows() {
+                            if other == r {
+                                continue;
+                            }
+                            let other_key: Option<Vec<String>> = lhs
+                                .iter()
+                                .map(|&lc| {
+                                    let v = nulled.column(lc).expect("in range").get(other);
+                                    if v.is_null() {
+                                        None
+                                    } else {
+                                        Some(v.render())
+                                    }
+                                })
+                                .collect();
+                            if other_key.as_ref() != Some(&key) {
+                                continue;
+                            }
+                            let candidate = nulled.column(c).expect("in range").get(other);
+                            if candidate.is_null() {
+                                continue;
+                            }
+                            let entry = scores
+                                .entry(candidate.render())
+                                .or_insert((candidate.clone(), 0.0));
+                            entry.1 += self.config.w_fd_support;
+                        }
+                    }
+                }
+                // (b) Global-frequency candidates (categorical only —
+                // frequency voting on continuous data is meaningless).
+                if col.dtype() == DataType::Str {
+                    for (v, count) in freq.iter().take(20) {
+                        let entry = scores.entry(v.render()).or_insert((v.clone(), 0.0));
+                        entry.1 += self.config.w_frequency * *count as f64;
+                    }
+                }
+
+                let chosen = scores
+                    .into_values()
+                    .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.total_cmp(&a.0)))
+                    .map(|(v, _)| v)
+                    .or_else(|| median_value(col));
+
+                if let Some(new) = chosen {
+                    let cell = CellRef::new(r, c);
+                    let old = table.get(cell).expect("in range");
+                    repaired.set(cell, new.clone()).expect("in range");
+                    repairs.push(AppliedRepair { cell, old, new });
+                }
+            }
+        }
+
+        repairs.sort_by_key(|r| r.cell);
+        RepairResult {
+            tool: self.name().to_string(),
+            table: repaired,
+            repairs,
+        }
+    }
+}
+
+/// Column median as a typed value (numeric columns only).
+fn median_value(col: &datalens_table::Column) -> Option<Value> {
+    let mut vals = col.numeric_values();
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_by(f64::total_cmp);
+    let m = vals[vals.len() / 2];
+    Some(match col.dtype() {
+        DataType::Int => Value::Int(m.round() as i64),
+        DataType::Bool => Value::Bool(m >= 0.5),
+        _ => Value::Float(m),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_fd::{Fd, FdRule, RuleSet};
+    use datalens_table::Column;
+
+    fn fd_rules() -> RuleSet {
+        let mut rs = RuleSet::new();
+        rs.add(FdRule::user_defined(
+            Fd::new(vec!["zip".into()], "city".into()).unwrap(),
+        ));
+        rs
+    }
+
+    #[test]
+    fn fd_context_repairs_to_cohort_value() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_i64("zip", [Some(1), Some(1), Some(1), Some(2), Some(2)]),
+                Column::from_str_vals(
+                    "city",
+                    [Some("ulm"), Some("WRONG"), Some("ulm"), Some("bonn"), Some("bonn")],
+                ),
+            ],
+        )
+        .unwrap();
+        let ctx = RepairContext {
+            rules: fd_rules(),
+            seed: 0,
+        };
+        let res = HoloCleanRepairer::default().repair(&t, &[CellRef::new(1, 1)], &ctx);
+        assert_eq!(res.table.get_at(1, "city").unwrap(), Value::Str("ulm".into()));
+    }
+
+    #[test]
+    fn frequency_vote_without_rules() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_str_vals(
+                "s",
+                [Some("a"), Some("a"), Some("a"), Some("b"), None],
+            )],
+        )
+        .unwrap();
+        let res = HoloCleanRepairer::default().repair(&t, &[], &RepairContext::default());
+        assert_eq!(res.table.get_at(4, "s").unwrap(), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn numeric_fallback_is_median() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64(
+                "n",
+                [Some(1.0), Some(2.0), Some(3.0), Some(1000.0), None],
+            )],
+        )
+        .unwrap();
+        let res = HoloCleanRepairer::default().repair(&t, &[], &RepairContext::default());
+        // Median (3.0 at index 2 of sorted [1,2,3,1000]) — robust to the
+        // 1000 outlier, unlike the mean (251.5).
+        let v = res.table.get_at(4, "n").unwrap().as_f64().unwrap();
+        assert!(v <= 3.0, "median fallback gave {v}");
+    }
+
+    #[test]
+    fn fd_support_outweighs_global_frequency() {
+        // Globally "metropolis" dominates, but zip 9's cohort says "village".
+        let mut zips = vec![Some(1); 10];
+        let mut cities: Vec<Option<&str>> = vec![Some("metropolis"); 10];
+        zips.extend([Some(9), Some(9), Some(9)]);
+        cities.extend([Some("village"), Some("village"), None]);
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_i64("zip", zips),
+                Column::from_str_vals("city", cities),
+            ],
+        )
+        .unwrap();
+        let ctx = RepairContext {
+            rules: fd_rules(),
+            seed: 0,
+        };
+        let res = HoloCleanRepairer::default().repair(&t, &[], &ctx);
+        assert_eq!(
+            res.table.get_at(12, "city").unwrap(),
+            Value::Str("village".into())
+        );
+    }
+
+    #[test]
+    fn unrepairable_all_null_string_column_left_null() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_str_vals::<&str>("s", [None, None])],
+        )
+        .unwrap();
+        let res = HoloCleanRepairer::default().repair(&t, &[], &RepairContext::default());
+        // No candidates, no median for strings: stays null (honest output).
+        assert_eq!(res.table.null_count(), 2);
+        assert_eq!(res.n_repaired(), 0);
+    }
+}

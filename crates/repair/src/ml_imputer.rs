@@ -1,0 +1,256 @@
+//! ML imputation (§3): "the system employs Decision Tree algorithms for
+//! numerical columns and k-nearest Neighbors (k-NN) for categorical
+//! columns."
+//!
+//! For each column containing holes (detected errors are nulled first),
+//! a model is trained on the rows where that column is present, using the
+//! *other* columns (ordinal-encoded, nulls mean-filled) as features, and
+//! the holes are predicted. Columns whose training set is empty fall back
+//! to standard imputation.
+
+use datalens_ml::encode::{
+    classification_target, regression_target, CategoricalEncoding, TableEncoder,
+};
+use datalens_ml::knn::KnnClassifier;
+use datalens_ml::tree::{DecisionTreeRegressor, TreeConfig};
+use datalens_table::{CellRef, DataType, Table, Value};
+
+use crate::repairer::{null_out, AppliedRepair, RepairContext, Repairer, RepairResult};
+use crate::standard::StandardImputer;
+
+/// The ML imputer.
+#[derive(Debug, Clone)]
+pub struct MlImputer {
+    /// k for the categorical k-NN models.
+    pub knn_k: usize,
+    /// Decision-tree hyperparameters for numeric models.
+    pub tree: TreeConfig,
+}
+
+impl Default for MlImputer {
+    fn default() -> Self {
+        MlImputer {
+            knn_k: 5,
+            tree: TreeConfig {
+                max_depth: 10,
+                ..TreeConfig::default()
+            },
+        }
+    }
+}
+
+impl Repairer for MlImputer {
+    fn name(&self) -> &'static str {
+        "ml_imputer"
+    }
+
+    fn repair(&self, table: &Table, errors: &[CellRef], _ctx: &RepairContext) -> RepairResult {
+        let nulled = null_out(table, errors);
+        let mut repaired = nulled.clone();
+        let mut repairs = Vec::new();
+
+        for (c, col) in nulled.columns().iter().enumerate() {
+            let holes: Vec<usize> = (0..nulled.n_rows()).filter(|&r| col.is_null(r)).collect();
+            if holes.is_empty() {
+                continue;
+            }
+            let col_name = col.name().to_string();
+            // Features: every other column.
+            let encoder = TableEncoder::fit(&nulled, &[&col_name], CategoricalEncoding::Ordinal);
+            let predictions: Option<Vec<Value>> = match col.dtype() {
+                DataType::Int | DataType::Float => {
+                    let (train_rows, targets) = regression_target(col);
+                    if train_rows.is_empty() {
+                        None
+                    } else {
+                        let train_x: Vec<Vec<f64>> = train_rows
+                            .iter()
+                            .map(|&r| encoder.encode_row(&nulled, r))
+                            .collect();
+                        let mut model = DecisionTreeRegressor::new(self.tree.clone());
+                        model.fit(&train_x, &targets);
+                        let hole_x: Vec<Vec<f64>> = holes
+                            .iter()
+                            .map(|&r| encoder.encode_row(&nulled, r))
+                            .collect();
+                        let preds = model.predict(&hole_x);
+                        Some(
+                            preds
+                                .into_iter()
+                                .map(|p| match col.dtype() {
+                                    DataType::Int => Value::Int(p.round() as i64),
+                                    _ => Value::Float(p),
+                                })
+                                .collect(),
+                        )
+                    }
+                }
+                DataType::Str | DataType::Bool => {
+                    let (train_rows, labels) = classification_target(col);
+                    if train_rows.is_empty() {
+                        None
+                    } else {
+                        let train_x: Vec<Vec<f64>> = train_rows
+                            .iter()
+                            .map(|&r| encoder.encode_row(&nulled, r))
+                            .collect();
+                        let mut model = KnnClassifier::new(self.knn_k);
+                        model.fit(&train_x, &labels);
+                        let hole_x: Vec<Vec<f64>> = holes
+                            .iter()
+                            .map(|&r| encoder.encode_row(&nulled, r))
+                            .collect();
+                        let preds = model.predict(&hole_x);
+                        Some(
+                            preds
+                                .into_iter()
+                                .map(|p| match col.dtype() {
+                                    DataType::Bool => {
+                                        Value::parse_typed(&p, DataType::Bool)
+                                            .unwrap_or(Value::Bool(false))
+                                    }
+                                    _ => Value::Str(p),
+                                })
+                                .collect(),
+                        )
+                    }
+                }
+            };
+            let Some(predictions) = predictions else {
+                continue; // column is entirely null; standard pass handles it
+            };
+            for (&r, p) in holes.iter().zip(predictions) {
+                let cell = CellRef::new(r, c);
+                let old = table.get(cell).expect("in range");
+                repaired.set(cell, p.clone()).expect("in range");
+                repairs.push(AppliedRepair { cell, old, new: p });
+            }
+        }
+
+        // Safety net: any column that was entirely null gets the standard
+        // treatment so the output is hole-free.
+        if repaired.null_count() > 0 {
+            let fallback =
+                StandardImputer::default().repair(&repaired, &[], &RepairContext::default());
+            for rep in fallback.repairs {
+                let old = table.get(rep.cell).expect("in range");
+                repairs.push(AppliedRepair {
+                    cell: rep.cell,
+                    old,
+                    new: rep.new.clone(),
+                });
+            }
+            repaired = fallback.table;
+        }
+
+        repairs.sort_by_key(|r| r.cell);
+        RepairResult {
+            tool: self.name().to_string(),
+            table: repaired,
+            repairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    /// y = 3x; hole at x=5 should impute near 15.
+    #[test]
+    fn numeric_imputation_uses_feature_relation() {
+        let x: Vec<Option<f64>> = (0..40).map(|i| Some(i as f64)).collect();
+        let mut y: Vec<Option<f64>> = (0..40).map(|i| Some(3.0 * i as f64)).collect();
+        y[5] = None;
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64("x", x), Column::from_f64("y", y)],
+        )
+        .unwrap();
+        let res = MlImputer::default().repair(&t, &[], &RepairContext::default());
+        let imputed = res.table.get_at(5, "y").unwrap().as_f64().unwrap();
+        assert!((imputed - 15.0).abs() < 3.5, "imputed {imputed}");
+        assert_eq!(res.table.null_count(), 0);
+    }
+
+    #[test]
+    fn categorical_imputation_uses_neighbours() {
+        // Category mirrors the sign of x.
+        let x: Vec<Option<f64>> = (-20..20).map(|i| Some(i as f64)).collect();
+        let mut cat: Vec<Option<String>> = (-20..20)
+            .map(|i| Some(if i < 0 { "neg" } else { "pos" }.to_string()))
+            .collect();
+        cat[5] = None; // x = -15 → "neg"
+        cat[35] = None; // x = 15 → "pos"
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64("x", x), Column::from_str_vals("cat", cat)],
+        )
+        .unwrap();
+        let res = MlImputer::default().repair(&t, &[], &RepairContext::default());
+        assert_eq!(res.table.get_at(5, "cat").unwrap(), Value::Str("neg".into()));
+        assert_eq!(res.table.get_at(35, "cat").unwrap(), Value::Str("pos".into()));
+    }
+
+    #[test]
+    fn detected_errors_are_replaced_not_trusted() {
+        // Cell (3,1) holds a lie; detection flags it; the imputer must
+        // replace it with something near the true relation.
+        let x: Vec<Option<f64>> = (0..30).map(|i| Some(i as f64)).collect();
+        let mut y: Vec<Option<f64>> = (0..30).map(|i| Some(2.0 * i as f64)).collect();
+        y[3] = Some(9999.0);
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64("x", x), Column::from_f64("y", y)],
+        )
+        .unwrap();
+        let res = MlImputer::default().repair(
+            &t,
+            &[CellRef::new(3, 1)],
+            &RepairContext::default(),
+        );
+        let fixed = res.table.get_at(3, "y").unwrap().as_f64().unwrap();
+        assert!((fixed - 6.0).abs() < 4.0, "fixed {fixed}");
+    }
+
+    #[test]
+    fn int_columns_round() {
+        let x: Vec<Option<f64>> = (0..20).map(|i| Some(i as f64)).collect();
+        let mut y: Vec<Option<i64>> = (0..20).map(|i| Some(i * 2)).collect();
+        y[10] = None;
+        let t = Table::new(
+            "t",
+            vec![Column::from_f64("x", x), Column::from_i64("y", y)],
+        )
+        .unwrap();
+        let res = MlImputer::default().repair(&t, &[], &RepairContext::default());
+        assert!(matches!(res.table.get_at(10, "y").unwrap(), Value::Int(_)));
+    }
+
+    #[test]
+    fn output_is_always_hole_free() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::from_f64("dead", [None, None, None]),
+                Column::from_str_vals("s", [Some("a"), None, Some("b")]),
+            ],
+        )
+        .unwrap();
+        let res = MlImputer::default().repair(&t, &[], &RepairContext::default());
+        assert_eq!(res.table.null_count(), 0);
+    }
+
+    #[test]
+    fn no_holes_no_changes() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("n", [Some(1), Some(2)])],
+        )
+        .unwrap();
+        let res = MlImputer::default().repair(&t, &[], &RepairContext::default());
+        assert_eq!(res.table, t);
+        assert_eq!(res.n_repaired(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The repair abstraction: tools that take a table plus the detected
+//! error cells and produce a repaired table.
+
+use serde::{Deserialize, Serialize};
+
+use datalens_fd::RuleSet;
+use datalens_table::{CellRef, Table, Value};
+
+/// Shared context for repairers (rule set feeds HoloClean's FD voting).
+#[derive(Debug, Clone, Default)]
+pub struct RepairContext {
+    pub rules: RuleSet,
+    pub seed: u64,
+}
+
+/// One applied repair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppliedRepair {
+    pub cell: CellRef,
+    pub old: Value,
+    pub new: Value,
+}
+
+/// Result of a repair run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepairResult {
+    /// Tool name (e.g. "standard_imputer").
+    pub tool: String,
+    /// The repaired table.
+    pub table: Table,
+    /// Every change applied, in cell order.
+    pub repairs: Vec<AppliedRepair>,
+}
+
+impl RepairResult {
+    /// Number of cells actually changed.
+    pub fn n_repaired(&self) -> usize {
+        self.repairs.len()
+    }
+
+    /// Count of repairs per column index.
+    pub fn counts_per_column(&self, n_cols: usize) -> Vec<usize> {
+        let mut out = vec![0usize; n_cols];
+        for r in &self.repairs {
+            if r.cell.col < n_cols {
+                out[r.cell.col] += 1;
+            }
+        }
+        out
+    }
+}
+
+/// An error-repair tool.
+pub trait Repairer: Send + Sync {
+    /// Stable machine name for DataSheets / MLflow.
+    fn name(&self) -> &'static str;
+    /// Repair the given error cells of `table`.
+    fn repair(&self, table: &Table, errors: &[CellRef], ctx: &RepairContext) -> RepairResult;
+}
+
+/// Null out the error cells — the shared first step of every imputer
+/// (detected-but-plausible values must not leak into training data).
+pub fn null_out(table: &Table, errors: &[CellRef]) -> Table {
+    let mut t = table.clone();
+    for &cell in errors {
+        if cell.row < t.n_rows() && cell.col < t.n_cols() {
+            t.set(cell, Value::Null).expect("validated range");
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    #[test]
+    fn null_out_clears_only_error_cells() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("x", [Some(1), Some(2), Some(3)])],
+        )
+        .unwrap();
+        let n = null_out(&t, &[CellRef::new(1, 0)]);
+        assert!(n.get(CellRef::new(1, 0)).unwrap().is_null());
+        assert_eq!(n.get(CellRef::new(0, 0)).unwrap(), Value::Int(1));
+        // Out-of-range refs are ignored rather than panicking.
+        let n2 = null_out(&t, &[CellRef::new(99, 99)]);
+        assert_eq!(n2, t);
+    }
+
+    #[test]
+    fn result_counters() {
+        let t = Table::new("t", vec![Column::from_i64("x", [Some(1)])]).unwrap();
+        let res = RepairResult {
+            tool: "x".into(),
+            table: t,
+            repairs: vec![
+                AppliedRepair {
+                    cell: CellRef::new(0, 0),
+                    old: Value::Null,
+                    new: Value::Int(5),
+                },
+            ],
+        };
+        assert_eq!(res.n_repaired(), 1);
+        assert_eq!(res.counts_per_column(2), vec![1, 0]);
+    }
+}

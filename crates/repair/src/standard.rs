@@ -1,0 +1,159 @@
+//! Standard imputation (§3 "Automated Data Repair"): "the arithmetic mean
+//! for numerical columns and a predefined 'Dummy' value for categorical
+//! columns."
+
+use datalens_table::{CellRef, DataType, Table, Value};
+
+use crate::repairer::{null_out, AppliedRepair, RepairContext, Repairer, RepairResult};
+
+/// The standard imputer.
+#[derive(Debug, Clone)]
+pub struct StandardImputer {
+    /// Replacement for categorical (string) cells.
+    pub dummy: String,
+}
+
+impl Default for StandardImputer {
+    fn default() -> Self {
+        StandardImputer {
+            dummy: "Dummy".to_string(),
+        }
+    }
+}
+
+impl Repairer for StandardImputer {
+    fn name(&self) -> &'static str {
+        "standard_imputer"
+    }
+
+    fn repair(&self, table: &Table, errors: &[CellRef], _ctx: &RepairContext) -> RepairResult {
+        let nulled = null_out(table, errors);
+        let mut repaired = nulled.clone();
+        let mut repairs = Vec::new();
+
+        for (c, col) in nulled.columns().iter().enumerate() {
+            // Repair every null in the column (original nulls are missing
+            // values too — the paper's imputers fill them all).
+            let fill = match col.dtype() {
+                DataType::Str => Value::Str(self.dummy.clone()),
+                DataType::Bool => {
+                    // Majority value, defaulting to false.
+                    let vals = col.numeric_values();
+                    let ones = vals.iter().filter(|&&v| v == 1.0).count();
+                    Value::Bool(ones * 2 > vals.len())
+                }
+                DataType::Int | DataType::Float => {
+                    let vals = col.numeric_values();
+                    if vals.is_empty() {
+                        Value::Int(0)
+                    } else {
+                        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                        match col.dtype() {
+                            DataType::Int => Value::Int(mean.round() as i64),
+                            _ => Value::Float(mean),
+                        }
+                    }
+                }
+            };
+            for r in 0..nulled.n_rows() {
+                if col.is_null(r) {
+                    let cell = CellRef::new(r, c);
+                    let old = table.get(cell).expect("in range");
+                    repaired.set(cell, fill.clone()).expect("in range");
+                    repairs.push(AppliedRepair {
+                        cell,
+                        old,
+                        new: fill.clone(),
+                    });
+                }
+            }
+        }
+
+        RepairResult {
+            tool: self.name().to_string(),
+            table: repaired,
+            repairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_table::Column;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_f64("num", [Some(10.0), Some(20.0), Some(600.0), None]),
+                Column::from_str_vals("cat", [Some("a"), None, Some("b"), Some("c")]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fills_detected_errors_and_preexisting_nulls() {
+        let t = table();
+        // Cell (2,0) detected as an outlier.
+        let res = StandardImputer::default().repair(
+            &t,
+            &[CellRef::new(2, 0)],
+            &RepairContext::default(),
+        );
+        // Mean of the remaining numerics (10, 20) = 15.
+        assert_eq!(res.table.get_at(2, "num").unwrap(), Value::Float(15.0));
+        assert_eq!(res.table.get_at(3, "num").unwrap(), Value::Float(15.0));
+        assert_eq!(res.table.get_at(1, "cat").unwrap(), Value::Str("Dummy".into()));
+        assert_eq!(res.n_repaired(), 3);
+        assert_eq!(res.table.null_count(), 0);
+    }
+
+    #[test]
+    fn int_columns_round_to_int() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("n", [Some(1), Some(2), None])],
+        )
+        .unwrap();
+        let res = StandardImputer::default().repair(&t, &[], &RepairContext::default());
+        assert_eq!(res.table.get_at(2, "n").unwrap(), Value::Int(2)); // 1.5 → 2
+    }
+
+    #[test]
+    fn applied_repairs_record_old_values() {
+        let t = table();
+        let res = StandardImputer::default().repair(
+            &t,
+            &[CellRef::new(0, 1)],
+            &RepairContext::default(),
+        );
+        let rep = res
+            .repairs
+            .iter()
+            .find(|r| r.cell == CellRef::new(0, 1))
+            .unwrap();
+        assert_eq!(rep.old, Value::Str("a".into()));
+        assert_eq!(rep.new, Value::Str("Dummy".into()));
+    }
+
+    #[test]
+    fn clean_table_with_no_errors_unchanged() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_i64("n", [Some(1), Some(2)])],
+        )
+        .unwrap();
+        let res = StandardImputer::default().repair(&t, &[], &RepairContext::default());
+        assert_eq!(res.table, t);
+        assert_eq!(res.n_repaired(), 0);
+    }
+
+    #[test]
+    fn all_null_numeric_column_falls_back_to_zero() {
+        let t = Table::new("t", vec![Column::from_i64("n", [None, None])]).unwrap();
+        let res = StandardImputer::default().repair(&t, &[], &RepairContext::default());
+        assert_eq!(res.table.get_at(0, "n").unwrap(), Value::Int(0));
+    }
+}

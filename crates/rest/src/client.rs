@@ -1,0 +1,84 @@
+//! Blocking HTTP client for the tool bus.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::http::{HttpError, Method, Request, Response};
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the read/write timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    fn send(&self, method: Method, path: &str, body: Vec<u8>) -> Result<Response, HttpError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let req = Request::new(method, path, body);
+        req.write_to(&stream, &self.addr.to_string())?;
+        Response::read_from(&stream)
+    }
+
+    /// GET a path (the paper's "retrieve results" call).
+    pub fn get(&self, path: &str) -> Result<Response, HttpError> {
+        self.send(Method::Get, path, Vec::new())
+    }
+
+    /// POST a body (the paper's "forward tasks" call).
+    pub fn post(&self, path: &str, body: Vec<u8>) -> Result<Response, HttpError> {
+        self.send(Method::Post, path, body)
+    }
+
+    /// PUT a body (the paper's "update request information" call).
+    pub fn put(&self, path: &str, body: Vec<u8>) -> Result<Response, HttpError> {
+        self.send(Method::Put, path, body)
+    }
+
+    /// POST a JSON value and parse a JSON response.
+    pub fn post_json<T: serde::Serialize, R: serde::de::DeserializeOwned>(
+        &self,
+        path: &str,
+        value: &T,
+    ) -> Result<R, HttpError> {
+        let body = serde_json::to_vec(value)
+            .map_err(|e| HttpError::Malformed(format!("serialise request: {e}")))?;
+        let resp = self.post(path, body)?;
+        if !resp.is_success() {
+            return Err(HttpError::Malformed(format!(
+                "server returned {}: {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            )));
+        }
+        resp.json_body()
+    }
+
+    /// GET and parse a JSON response.
+    pub fn get_json<R: serde::de::DeserializeOwned>(&self, path: &str) -> Result<R, HttpError> {
+        let resp = self.get(path)?;
+        if !resp.is_success() {
+            return Err(HttpError::Malformed(format!(
+                "server returned {}: {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            )));
+        }
+        resp.json_body()
+    }
+}

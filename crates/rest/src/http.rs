@@ -1,0 +1,427 @@
+//! Minimal HTTP/1.1 message types and wire parsing.
+//!
+//! Supports what a tool-integration bus needs — GET/POST/PUT, headers,
+//! Content-Length bodies, JSON helpers — and nothing more (no chunked
+//! encoding, no keep-alive pipelining; one request per connection).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Supported methods (the three the paper's integration layer uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    Get,
+    Post,
+    Put,
+}
+
+impl Method {
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// HTTP errors surfaced by parsing or I/O.
+#[derive(Debug)]
+pub enum HttpError {
+    Io(io::Error),
+    /// Malformed request or response on the wire.
+    Malformed(String),
+    /// Body larger than the configured cap.
+    BodyTooLarge(usize),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "I/O error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed HTTP: {m}"),
+            HttpError::BodyTooLarge(n) => write!(f, "body of {n} bytes exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Maximum accepted body size (16 MiB — dashboard-scale CSVs fit easily).
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: Method,
+    /// Path without query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: BTreeMap<String, String>,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Build an outgoing request.
+    pub fn new(method: Method, path_and_query: &str, body: Vec<u8>) -> Request {
+        let (path, query) = split_query(path_and_query);
+        Request {
+            method,
+            path,
+            query,
+            headers: BTreeMap::new(),
+            body,
+        }
+    }
+
+    /// Parse the request body as JSON.
+    pub fn json<T: serde::de::DeserializeOwned>(&self) -> Result<T, HttpError> {
+        serde_json::from_slice(&self.body)
+            .map_err(|e| HttpError::Malformed(format!("JSON body: {e}")))
+    }
+
+    /// Read one request off a stream.
+    pub fn read_from(stream: impl Read) -> Result<Request, HttpError> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .and_then(Method::parse)
+            .ok_or_else(|| HttpError::Malformed(format!("request line {line:?}")))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("missing request target".into()))?
+            .to_string();
+        let headers = read_headers(&mut reader)?;
+        let body = read_body(&mut reader, &headers)?;
+        let (path, query) = split_query(&target);
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+
+    /// Serialise onto a stream (client side).
+    pub fn write_to(&self, mut w: impl Write, host: &str) -> Result<(), HttpError> {
+        let mut target = self.path.clone();
+        if !self.query.is_empty() {
+            let q: Vec<String> = self
+                .query
+                .iter()
+                .map(|(k, v)| format!("{}={}", urlencode(k), urlencode(v)))
+                .collect();
+            target = format!("{target}?{}", q.join("&"));
+        }
+        write!(w, "{} {} HTTP/1.1\r\n", self.method, target)?;
+        write!(w, "host: {host}\r\n")?;
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(w, "connection: close\r\n")?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+}
+
+/// A response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn new(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: BTreeMap::new(),
+            body,
+        }
+    }
+
+    /// 200 with a JSON body.
+    pub fn json<T: serde::Serialize>(value: &T) -> Response {
+        let body = serde_json::to_vec(value).expect("serialisable value");
+        let mut r = Response::new(200, body);
+        r.headers
+            .insert("content-type".into(), "application/json".into());
+        r
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = serde_json::json!({ "error": message });
+        let mut r = Response::new(status, serde_json::to_vec(&body).expect("literal"));
+        r.headers
+            .insert("content-type".into(), "application/json".into());
+        r
+    }
+
+    /// Parse the response body as JSON.
+    pub fn json_body<T: serde::de::DeserializeOwned>(&self) -> Result<T, HttpError> {
+        serde_json::from_slice(&self.body)
+            .map_err(|e| HttpError::Malformed(format!("JSON body: {e}")))
+    }
+
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Read one response off a stream (client side).
+    pub fn read_from(stream: impl Read) -> Result<Response, HttpError> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let mut parts = line.split_whitespace();
+        let version = parts.next().unwrap_or_default();
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!("status line {line:?}")));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Malformed(format!("status in {line:?}")))?;
+        let headers = read_headers(&mut reader)?;
+        let body = read_body(&mut reader, &headers)?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// Serialise onto a stream (server side).
+    pub fn write_to(&self, mut w: impl Write) -> Result<(), HttpError> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(w, "connection: close\r\n")?;
+        for (k, v) in &self.headers {
+            write!(w, "{k}: {v}\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()?;
+        Ok(())
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn read_headers(reader: &mut impl BufRead) -> Result<BTreeMap<String, String>, HttpError> {
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("EOF inside headers".into()));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            return Ok(headers);
+        }
+        let Some((k, v)) = trimmed.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header line {trimmed:?}")));
+        };
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+    }
+}
+
+fn read_body(
+    reader: &mut impl BufRead,
+    headers: &BTreeMap<String, String>,
+) -> Result<Vec<u8>, HttpError> {
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY {
+        return Err(HttpError::BodyTooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+fn split_query(target: &str) -> (String, BTreeMap<String, String>) {
+    match target.split_once('?') {
+        None => (target.to_string(), BTreeMap::new()),
+        Some((path, q)) => {
+            let mut query = BTreeMap::new();
+            for pair in q.split('&').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                query.insert(urldecode(k), urldecode(v));
+            }
+            (path.to_string(), query)
+        }
+    }
+}
+
+/// Percent-encode everything outside the unreserved set.
+pub fn urlencode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decode percent-encoding and `+`-as-space.
+pub fn urldecode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                if let Ok(v) = u8::from_str_radix(hex, 16) {
+                    out.push(v);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_wire_round_trip() {
+        let mut req = Request::new(Method::Post, "/detect?tool=sd&x=a%20b", b"{\"k\":1}".to_vec());
+        req.headers
+            .insert("content-type".into(), "application/json".into());
+        let mut wire = Vec::new();
+        req.write_to(&mut wire, "localhost").unwrap();
+        let parsed = Request::read_from(wire.as_slice()).unwrap();
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.path, "/detect");
+        assert_eq!(parsed.query["tool"], "sd");
+        assert_eq!(parsed.query["x"], "a b");
+        assert_eq!(parsed.body, b"{\"k\":1}");
+        assert_eq!(parsed.headers["content-type"], "application/json");
+    }
+
+    #[test]
+    fn response_wire_round_trip() {
+        let resp = Response::json(&serde_json::json!({"ok": true}));
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let parsed = Response::read_from(wire.as_slice()).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert!(parsed.is_success());
+        let v: serde_json::Value = parsed.json_body().unwrap();
+        assert_eq!(v["ok"], true);
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let r = Response::error(404, "no such tool");
+        assert_eq!(r.status, 404);
+        let v: serde_json::Value = r.json_body().unwrap();
+        assert_eq!(v["error"], "no such tool");
+        assert!(!r.is_success());
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        assert!(Request::read_from("BREW / HTTP/1.1\r\n\r\n".as_bytes()).is_err());
+        assert!(Request::read_from("GET\r\n\r\n".as_bytes()).is_err());
+        assert!(Request::read_from("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let wire = format!("POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(
+            Request::read_from(wire.as_bytes()),
+            Err(HttpError::BodyTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn url_coding_round_trip() {
+        for s in ["hello world", "a/b?c=d&e", "ünïcode", "plain"] {
+            assert_eq!(urldecode(&urlencode(s)), s);
+        }
+        assert_eq!(urldecode("a+b"), "a b");
+        assert_eq!(urldecode("%zz"), "%zz"); // invalid escape passes through
+    }
+
+    #[test]
+    fn missing_content_length_means_empty_body() {
+        let parsed = Request::read_from("GET /x HTTP/1.1\r\n\r\n".as_bytes()).unwrap();
+        assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn json_helpers() {
+        let req = Request::new(Method::Put, "/x", b"{\"n\": 5}".to_vec());
+        let v: serde_json::Value = req.json().unwrap();
+        assert_eq!(v["n"], 5);
+        let bad = Request::new(Method::Put, "/x", b"not json".to_vec());
+        assert!(bad.json::<serde_json::Value>().is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! # datalens-rest
+//!
+//! The tool-integration bus — the reproduction's stand-in for the FastAPI
+//! REST layer of §3: "REST API serves as a standardized interface that
+//! facilitates interaction between DataLens and such external data quality
+//! tools … DataLens includes several API calls … POST forwards tasks, GET
+//! retrieves results, PUT updates information."
+//!
+//! A deliberately small HTTP/1.1 stack over `std::net`: [`http`] message
+//! types with JSON helpers, a threaded [`server::Server`] with a
+//! method+path [`server::Router`], and a blocking [`client::Client`].
+//! The adapter that exposes detectors/repairers as endpoints lives in the
+//! `datalens` core crate (`datalens::service`), keeping this crate free of
+//! domain dependencies.
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::Client;
+pub use http::{Method, Request, Response};
+pub use server::{Router, Server};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::http::{urldecode, urlencode, Method, Request, Response};
+
+    proptest! {
+        /// Any byte body round-trips through the request wire format.
+        #[test]
+        fn request_body_round_trips(body in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let req = Request::new(Method::Post, "/x", body.clone());
+            let mut wire = Vec::new();
+            req.write_to(&mut wire, "h").unwrap();
+            let parsed = Request::read_from(wire.as_slice()).unwrap();
+            prop_assert_eq!(parsed.body, body);
+        }
+
+        /// Any status/body round-trips through the response wire format.
+        #[test]
+        fn response_round_trips(
+            status in 200u16..600,
+            body in proptest::collection::vec(any::<u8>(), 0..2048),
+        ) {
+            let resp = Response::new(status, body.clone());
+            let mut wire = Vec::new();
+            resp.write_to(&mut wire).unwrap();
+            let parsed = Response::read_from(wire.as_slice()).unwrap();
+            prop_assert_eq!(parsed.status, status);
+            prop_assert_eq!(parsed.body, body);
+        }
+
+        /// URL coding is a lossless round trip for arbitrary strings.
+        #[test]
+        fn url_coding_round_trips(s in "\\PC{0,64}") {
+            prop_assert_eq!(urldecode(&urlencode(&s)), s);
+        }
+
+        /// Query strings survive the wire.
+        #[test]
+        fn query_round_trips(
+            k in "[a-z]{1,8}",
+            v in "\\PC{0,24}",
+        ) {
+            let target = format!("/p?{}={}", urlencode(&k), urlencode(&v));
+            let req = Request::new(Method::Get, &target, Vec::new());
+            let mut wire = Vec::new();
+            req.write_to(&mut wire, "h").unwrap();
+            let parsed = Request::read_from(wire.as_slice()).unwrap();
+            prop_assert_eq!(parsed.query.get(&k).cloned(), Some(v));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Threaded HTTP server with a method+path router.
+//!
+//! The reproduction's FastAPI: handlers register under `(method, path)`;
+//! each accepted connection is served on a worker thread; unmatched paths
+//! get 404, unmatched methods 405, panicking handlers 500.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::http::{HttpError, Method, Request, Response};
+
+/// A request handler.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// Route table builder.
+#[derive(Default, Clone)]
+pub struct Router {
+    routes: HashMap<(Method, String), Handler>,
+}
+
+impl Router {
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Register a handler (builder style).
+    pub fn route(
+        mut self,
+        method: Method,
+        path: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.routes
+            .insert((method, path.to_string()), Arc::new(handler));
+        self
+    }
+
+    /// Dispatch one request.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        if let Some(h) = self.routes.get(&(req.method, req.path.clone())) {
+            let handler = Arc::clone(h);
+            let req = req.clone();
+            // Contain handler panics to a 500 for this request.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || handler(&req))) {
+                Ok(resp) => resp,
+                Err(_) => Response::error(500, "handler panicked"),
+            }
+        } else if self
+            .routes
+            .keys()
+            .any(|(_, p)| p == &req.path)
+        {
+            Response::error(405, "method not allowed")
+        } else {
+            Response::error(404, "no such route")
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`]) stops
+/// the accept loop.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind to 127.0.0.1 on an ephemeral port and start serving.
+    pub fn start(router: Router) -> Result<Server, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let router = Arc::new(router);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let router = Arc::clone(&router);
+                std::thread::spawn(move || serve_connection(stream, &router));
+            }
+        });
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (connect clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Kick the accept loop awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, router: &Router) {
+    // A stalled client must not pin a worker thread forever.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+    let Ok(peer_read) = stream.try_clone() else {
+        return;
+    };
+    let response = match Request::read_from(peer_read) {
+        Ok(req) => router.dispatch(&req),
+        Err(HttpError::BodyTooLarge(_)) => Response::error(413, "body too large"),
+        Err(_) => Response::error(400, "malformed request"),
+    };
+    let _ = response.write_to(&stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn demo_router() -> Router {
+        Router::new()
+            .route(Method::Get, "/ping", |_| {
+                Response::json(&serde_json::json!({"pong": true}))
+            })
+            .route(Method::Post, "/echo", |req| {
+                Response::new(200, req.body.clone())
+            })
+            .route(Method::Get, "/boom", |_| panic!("kaboom"))
+            .route(Method::Put, "/query", |req| {
+                Response::json(&serde_json::json!({"q": req.query.get("x")}))
+            })
+    }
+
+    #[test]
+    fn get_and_post_round_trip() {
+        let server = Server::start(demo_router()).unwrap();
+        let client = Client::new(server.addr());
+        let r = client.get("/ping").unwrap();
+        assert_eq!(r.status, 200);
+        let v: serde_json::Value = r.json_body().unwrap();
+        assert_eq!(v["pong"], true);
+
+        let r = client.post("/echo", b"hello".to_vec()).unwrap();
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn unknown_route_is_404_wrong_method_is_405() {
+        let server = Server::start(demo_router()).unwrap();
+        let client = Client::new(server.addr());
+        assert_eq!(client.get("/nope").unwrap().status, 404);
+        assert_eq!(client.post("/ping", Vec::new()).unwrap().status, 405);
+    }
+
+    #[test]
+    fn handler_panic_becomes_500() {
+        let server = Server::start(demo_router()).unwrap();
+        let client = Client::new(server.addr());
+        let r = client.get("/boom").unwrap();
+        assert_eq!(r.status, 500);
+    }
+
+    #[test]
+    fn query_parameters_reach_handlers() {
+        let server = Server::start(demo_router()).unwrap();
+        let client = Client::new(server.addr());
+        let r = client.put("/query?x=a%20b", Vec::new()).unwrap();
+        let v: serde_json::Value = r.json_body().unwrap();
+        assert_eq!(v["q"], "a b");
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = Server::start(demo_router()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let client = Client::new(addr);
+                    let body = format!("msg-{i}").into_bytes();
+                    let r = client.post("/echo", body.clone()).unwrap();
+                    assert_eq!(r.body, body);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut server = Server::start(demo_router()).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // After shutdown, requests fail (connection refused or reset).
+        let client = Client::new(addr);
+        assert!(client.get("/ping").is_err());
+    }
+}

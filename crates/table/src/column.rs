@@ -1,0 +1,357 @@
+//! Typed columnar storage.
+//!
+//! A [`Column`] stores one attribute's values in a type-specialised vector
+//! (`Vec<Option<T>>`), which keeps numeric scans allocation-free while still
+//! exposing a dynamically-typed [`Value`] view for the dashboard layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{DataType, Value};
+
+/// The typed payload of a column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnData {
+    Int(Vec<Option<i64>>),
+    Float(Vec<Option<f64>>),
+    Bool(Vec<Option<bool>>),
+    Str(Vec<Option<String>>),
+}
+
+impl ColumnData {
+    /// An empty payload of the given type.
+    pub fn empty(dtype: DataType) -> ColumnData {
+        match dtype {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+            DataType::Str => ColumnData::Str(Vec::new()),
+        }
+    }
+
+    /// An all-null payload of the given type and length.
+    pub fn nulls(dtype: DataType, len: usize) -> ColumnData {
+        match dtype {
+            DataType::Int => ColumnData::Int(vec![None; len]),
+            DataType::Float => ColumnData::Float(vec![None; len]),
+            DataType::Bool => ColumnData::Bool(vec![None; len]),
+            DataType::Str => ColumnData::Str(vec![None; len]),
+        }
+    }
+
+    pub fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Str(_) => DataType::Str,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A named, typed column of values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+}
+
+impl Column {
+    /// Construct from a pre-typed payload.
+    pub fn new(name: impl Into<String>, data: ColumnData) -> Column {
+        Column {
+            name: name.into(),
+            data,
+        }
+    }
+
+    /// Construct by coercing dynamically-typed values to `dtype`; values
+    /// that do not fit become null (pandas `errors="coerce"` semantics).
+    pub fn from_values(
+        name: impl Into<String>,
+        dtype: DataType,
+        values: impl IntoIterator<Item = Value>,
+    ) -> Column {
+        let mut col = Column::new(name, ColumnData::empty(dtype));
+        for v in values {
+            col.push(v.coerce(dtype));
+        }
+        col
+    }
+
+    /// Typed convenience constructors used heavily in tests and examples.
+    pub fn from_i64(name: impl Into<String>, vals: impl IntoIterator<Item = Option<i64>>) -> Column {
+        Column::new(name, ColumnData::Int(vals.into_iter().collect()))
+    }
+    pub fn from_f64(name: impl Into<String>, vals: impl IntoIterator<Item = Option<f64>>) -> Column {
+        Column::new(name, ColumnData::Float(vals.into_iter().collect()))
+    }
+    pub fn from_bool(name: impl Into<String>, vals: impl IntoIterator<Item = Option<bool>>) -> Column {
+        Column::new(name, ColumnData::Bool(vals.into_iter().collect()))
+    }
+    pub fn from_str_vals<S: Into<String>>(
+        name: impl Into<String>,
+        vals: impl IntoIterator<Item = Option<S>>,
+    ) -> Column {
+        Column::new(
+            name,
+            ColumnData::Str(vals.into_iter().map(|v| v.map(Into::into)).collect()),
+        )
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn rename(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    pub fn dtype(&self) -> DataType {
+        self.data.dtype()
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dynamically-typed view of row `row`; out-of-range reads panic like
+    /// slice indexing (callers validate through `Table`).
+    pub fn get(&self, row: usize) -> Value {
+        match &self.data {
+            ColumnData::Int(v) => v[row].map_or(Value::Null, Value::Int),
+            ColumnData::Float(v) => v[row].map_or(Value::Null, Value::Float),
+            ColumnData::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
+            ColumnData::Str(v) => v[row]
+                .as_ref()
+                .map_or(Value::Null, |s| Value::Str(s.clone())),
+        }
+    }
+
+    /// Set row `row` to `value`, coercing to the column type; lossy
+    /// coercions become null.
+    pub fn set(&mut self, row: usize, value: Value) {
+        let coerced = value.coerce(self.dtype());
+        match (&mut self.data, coerced) {
+            (ColumnData::Int(v), Value::Int(x)) => v[row] = Some(x),
+            (ColumnData::Float(v), Value::Float(x)) => v[row] = Some(x),
+            (ColumnData::Bool(v), Value::Bool(x)) => v[row] = Some(x),
+            (ColumnData::Str(v), Value::Str(x)) => v[row] = Some(x),
+            (ColumnData::Int(v), _) => v[row] = None,
+            (ColumnData::Float(v), _) => v[row] = None,
+            (ColumnData::Bool(v), _) => v[row] = None,
+            (ColumnData::Str(v), _) => v[row] = None,
+        }
+    }
+
+    /// Append a value (coerced to the column type).
+    pub fn push(&mut self, value: Value) {
+        let coerced = value.coerce(self.dtype());
+        match (&mut self.data, coerced) {
+            (ColumnData::Int(v), Value::Int(x)) => v.push(Some(x)),
+            (ColumnData::Float(v), Value::Float(x)) => v.push(Some(x)),
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(Some(x)),
+            (ColumnData::Str(v), Value::Str(x)) => v.push(Some(x)),
+            (ColumnData::Int(v), _) => v.push(None),
+            (ColumnData::Float(v), _) => v.push(None),
+            (ColumnData::Bool(v), _) => v.push(None),
+            (ColumnData::Str(v), _) => v.push(None),
+        }
+    }
+
+    /// Iterator over all values as dynamically-typed [`Value`]s.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Whether row `row` holds a null.
+    pub fn is_null(&self, row: usize) -> bool {
+        match &self.data {
+            ColumnData::Int(v) => v[row].is_none(),
+            ColumnData::Float(v) => v[row].is_none(),
+            ColumnData::Bool(v) => v[row].is_none(),
+            ColumnData::Str(v) => v[row].is_none(),
+        }
+    }
+
+    /// Number of null entries.
+    pub fn null_count(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Numeric view: `(row, value)` for every non-null numeric entry.
+    /// Booleans map to 0/1; string columns yield nothing.
+    pub fn numeric_entries(&self) -> Vec<(usize, f64)> {
+        match &self.data {
+            ColumnData::Int(v) => v
+                .iter()
+                .enumerate()
+                .filter_map(|(i, x)| x.map(|x| (i, x as f64)))
+                .collect(),
+            ColumnData::Float(v) => v
+                .iter()
+                .enumerate()
+                .filter_map(|(i, x)| x.map(|x| (i, x)))
+                .collect(),
+            ColumnData::Bool(v) => v
+                .iter()
+                .enumerate()
+                .filter_map(|(i, x)| x.map(|x| (i, if x { 1.0 } else { 0.0 })))
+                .collect(),
+            ColumnData::Str(_) => Vec::new(),
+        }
+    }
+
+    /// Non-null numeric values, in row order.
+    pub fn numeric_values(&self) -> Vec<f64> {
+        self.numeric_entries().into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Rendered string forms of every value (nulls as empty strings).
+    pub fn rendered(&self) -> Vec<String> {
+        self.iter().map(|v| v.render()).collect()
+    }
+
+    /// A copy containing only the rows at `indices`, in that order.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        fn gather<T: Clone>(v: &[Option<T>], idx: &[usize]) -> Vec<Option<T>> {
+            idx.iter().map(|&i| v[i].clone()).collect()
+        }
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(gather(v, indices)),
+            ColumnData::Float(v) => ColumnData::Float(gather(v, indices)),
+            ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices)),
+            ColumnData::Str(v) => ColumnData::Str(gather(v, indices)),
+        };
+        Column::new(self.name.clone(), data)
+    }
+
+    /// Cast the column to another type; lossy entries become null.
+    pub fn cast(&self, dtype: DataType) -> Column {
+        if dtype == self.dtype() {
+            return self.clone();
+        }
+        Column::from_values(self.name.clone(), dtype, self.iter())
+    }
+
+    /// Distinct non-null values with their occurrence counts, ordered by
+    /// descending count then value order (deterministic).
+    pub fn value_counts(&self) -> Vec<(Value, usize)> {
+        use std::collections::HashMap;
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        for v in self.iter() {
+            if !v.is_null() {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(Value, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_constructors_and_get() {
+        let c = Column::from_i64("a", [Some(1), None, Some(3)]);
+        assert_eq!(c.dtype(), DataType::Int);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert!(c.get(1).is_null());
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn from_values_coerces_misfits_to_null() {
+        let c = Column::from_values(
+            "a",
+            DataType::Int,
+            vec![Value::Int(1), Value::Str("xyz".into()), Value::Float(2.0)],
+        );
+        assert_eq!(c.get(0), Value::Int(1));
+        assert!(c.get(1).is_null());
+        assert_eq!(c.get(2), Value::Int(2));
+    }
+
+    #[test]
+    fn set_coerces_and_nulls_lossy() {
+        let mut c = Column::from_f64("f", [Some(1.0), Some(2.0)]);
+        c.set(0, Value::Int(9));
+        assert_eq!(c.get(0), Value::Float(9.0));
+        c.set(1, Value::Str("not a number".into()));
+        assert!(c.get(1).is_null());
+    }
+
+    #[test]
+    fn numeric_entries_skip_nulls_and_strings() {
+        let c = Column::from_i64("a", [Some(1), None, Some(3)]);
+        assert_eq!(c.numeric_entries(), vec![(0, 1.0), (2, 3.0)]);
+        let s = Column::from_str_vals("s", [Some("x"), Some("y")]);
+        assert!(s.numeric_entries().is_empty());
+        let b = Column::from_bool("b", [Some(true), Some(false), None]);
+        assert_eq!(b.numeric_values(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn take_reorders_and_duplicates() {
+        let c = Column::from_str_vals("s", [Some("a"), Some("b"), None]);
+        let t = c.take(&[2, 0, 0]);
+        assert_eq!(t.len(), 3);
+        assert!(t.get(0).is_null());
+        assert_eq!(t.get(1), Value::Str("a".into()));
+        assert_eq!(t.get(2), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn cast_between_types() {
+        let c = Column::from_str_vals("s", [Some("1"), Some("2.5"), Some("x")]);
+        let f = c.cast(DataType::Float);
+        assert_eq!(f.get(0), Value::Float(1.0));
+        assert_eq!(f.get(1), Value::Float(2.5));
+        assert!(f.get(2).is_null());
+    }
+
+    #[test]
+    fn value_counts_ordered_by_count() {
+        let c = Column::from_str_vals("s", [Some("a"), Some("b"), Some("a"), None]);
+        let vc = c.value_counts();
+        assert_eq!(vc[0], (Value::Str("a".into()), 2));
+        assert_eq!(vc[1], (Value::Str("b".into()), 1));
+        assert_eq!(vc.len(), 2);
+    }
+
+    #[test]
+    fn nulls_constructor() {
+        let d = ColumnData::nulls(DataType::Bool, 4);
+        let c = Column::new("n", d);
+        assert_eq!(c.null_count(), 4);
+    }
+}

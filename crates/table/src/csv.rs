@@ -1,0 +1,408 @@
+//! CSV reading and writing (RFC 4180 quoting, schema inference).
+//!
+//! The reader tokenises quoted fields (including embedded delimiters,
+//! escaped quotes, and embedded newlines), infers a per-column type from a
+//! configurable sample, then materialises a typed [`Table`]. The writer is
+//! the exact inverse: `read(write(t)) == t` for every table this crate can
+//! represent, a property pinned by proptests in the crate root.
+
+use std::fs;
+use std::path::Path;
+
+use crate::column::Column;
+use crate::error::TableError;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record is a header row (default true). When false,
+    /// columns are named `col_0`, `col_1`, ….
+    pub has_header: bool,
+    /// Number of records sampled for type inference; `None` scans all rows.
+    pub infer_rows: Option<usize>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+            infer_rows: None,
+        }
+    }
+}
+
+/// Parse CSV text into a table named `name`.
+pub fn read_csv_str(name: &str, text: &str, opts: &CsvOptions) -> Result<Table, TableError> {
+    let records = tokenize(text, opts.delimiter)?;
+    let mut records = records.into_iter();
+
+    let header: Vec<String> = if opts.has_header {
+        match records.next() {
+            Some(h) => dedupe_header(h),
+            None => Vec::new(),
+        }
+    } else {
+        Vec::new()
+    };
+
+    let rows: Vec<Vec<String>> = records.collect();
+
+    let width = if opts.has_header {
+        header.len()
+    } else {
+        rows.first().map_or(0, Vec::len)
+    };
+    let header = if opts.has_header {
+        header
+    } else {
+        (0..width).map(|i| format!("col_{i}")).collect()
+    };
+
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != width {
+            return Err(TableError::Csv {
+                line: i + 1 + usize::from(opts.has_header),
+                message: format!("expected {width} fields, found {}", r.len()),
+            });
+        }
+    }
+
+    // Infer one type per column from the sample.
+    let sample = opts.infer_rows.unwrap_or(rows.len()).min(rows.len());
+    let mut dtypes = vec![None::<DataType>; width];
+    for row in rows.iter().take(sample) {
+        for (c, raw) in row.iter().enumerate() {
+            if let Some(t) = Value::infer_dtype(raw) {
+                dtypes[c] = Some(match dtypes[c] {
+                    Some(prev) => prev.unify(t),
+                    None => t,
+                });
+            }
+        }
+    }
+
+    let mut columns = Vec::with_capacity(width);
+    for (c, name) in header.iter().enumerate() {
+        let dtype = dtypes[c].unwrap_or(DataType::Str);
+        let values = rows.iter().map(|row| {
+            Value::parse_typed(&row[c], dtype).unwrap_or(Value::Null)
+        });
+        columns.push(Column::from_values(name.clone(), dtype, values));
+    }
+
+    Table::new(name, columns)
+}
+
+/// Read a CSV file; the table is named after the file stem.
+pub fn read_csv_path(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Table, TableError> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset");
+    read_csv_str(name, &text, opts)
+}
+
+/// Serialise a table to CSV text (header included, RFC 4180 quoting).
+pub fn write_csv_str(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .columns()
+        .iter()
+        .map(|c| quote_field(c.name(), ','))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    // In a single-column table a null row would render as a blank line,
+    // which readers (ours and pandas') skip; quote it so the row survives.
+    let quote_empty = table.n_cols() == 1;
+    for r in table.row_indices() {
+        let fields: Vec<String> = table
+            .columns()
+            .iter()
+            .map(|c| {
+                let rendered = c.get(r).render();
+                if rendered.is_empty() && quote_empty {
+                    "\"\"".to_string()
+                } else {
+                    quote_field(&rendered, ',')
+                }
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a table to a CSV file.
+pub fn write_csv_path(table: &Table, path: impl AsRef<Path>) -> Result<(), TableError> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, write_csv_str(table))?;
+    Ok(())
+}
+
+/// Quote a field if it contains the delimiter, a quote, or a newline.
+fn quote_field(raw: &str, delimiter: char) -> String {
+    if raw.contains(delimiter) || raw.contains('"') || raw.contains('\n') || raw.contains('\r') {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_string()
+    }
+}
+
+/// Split CSV text into records of fields, honouring quoting.
+fn tokenize(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, TableError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    // Tracks whether the current record has any content, so a trailing
+    // newline does not produce a phantom empty record.
+    let mut record_started = false;
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(ch);
+                }
+                _ => field.push(ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                in_quotes = true;
+                record_started = true;
+            }
+            c if c == delimiter => {
+                record.push(std::mem::take(&mut field));
+                record_started = true;
+            }
+            '\r' => {
+                // Swallow CR; the LF (if any) terminates the record.
+                if chars.peek() != Some(&'\n') && (record_started || !field.is_empty()) {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                if chars.peek() != Some(&'\n') {
+                    record_started = false;
+                }
+            }
+            '\n' => {
+                line += 1;
+                if record_started || !field.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    record_started = false;
+                }
+            }
+            _ => {
+                field.push(ch);
+                record_started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line,
+            message: "unclosed quoted field".into(),
+        });
+    }
+    if record_started || !field.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Make header names unique by suffixing repeats with `.1`, `.2`, …
+/// (mirrors pandas' mangle_dupe_cols).
+fn dedupe_header(header: Vec<String>) -> Vec<String> {
+    use std::collections::HashMap;
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    header
+        .into_iter()
+        .map(|h| {
+            let n = seen.entry(h.clone()).or_insert(0);
+            let out = if *n == 0 { h.clone() } else { format!("{h}.{n}") };
+            *n += 1;
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn read(text: &str) -> Table {
+        read_csv_str("t", text, &CsvOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn basic_inference() {
+        let t = read("a,b,c,d\n1,1.5,true,x\n2,2.5,false,y\n");
+        let s = t.schema();
+        assert_eq!(s.field_by_name("a").unwrap().dtype, DataType::Int);
+        assert_eq!(s.field_by_name("b").unwrap().dtype, DataType::Float);
+        assert_eq!(s.field_by_name("c").unwrap().dtype, DataType::Bool);
+        assert_eq!(s.field_by_name("d").unwrap().dtype, DataType::Str);
+        assert_eq!(t.shape(), (2, 4));
+    }
+
+    #[test]
+    fn mixed_int_float_widens() {
+        let t = read("x\n1\n2.5\n");
+        assert_eq!(t.schema().field_by_name("x").unwrap().dtype, DataType::Float);
+        assert_eq!(t.get_at(0, "x").unwrap(), Value::Float(1.0));
+    }
+
+    #[test]
+    fn mixed_num_str_degrades_to_str() {
+        let t = read("x\n1\nhello\n");
+        assert_eq!(t.schema().field_by_name("x").unwrap().dtype, DataType::Str);
+    }
+
+    #[test]
+    fn null_tokens_parse_to_null_and_do_not_affect_type() {
+        let t = read("x,y\n1,\n2,NA\n3,7\n");
+        assert_eq!(t.schema().field_by_name("y").unwrap().dtype, DataType::Int);
+        assert!(t.get_at(0, "y").unwrap().is_null());
+        assert!(t.get_at(1, "y").unwrap().is_null());
+        assert_eq!(t.get_at(2, "y").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_quotes_newlines() {
+        let t = read("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n\"line1\nline2\",plain\n");
+        assert_eq!(t.get_at(0, "a").unwrap(), Value::Str("x,y".into()));
+        assert_eq!(
+            t.get_at(0, "b").unwrap(),
+            Value::Str("he said \"hi\"".into())
+        );
+        assert_eq!(
+            t.get_at(1, "a").unwrap(),
+            Value::Str("line1\nline2".into())
+        );
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = read("a,b\r\n1,2\r\n3,4\r\n");
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.get_at(1, "b").unwrap(), Value::Int(4));
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line_number() {
+        let err = read_csv_str("t", "a,b\n1,2\n3\n", &CsvOptions::default());
+        match err {
+            Err(TableError::Csv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unclosed_quote_errors() {
+        let err = read_csv_str("t", "a\n\"oops\n", &CsvOptions::default());
+        assert!(matches!(err, Err(TableError::Csv { .. })));
+    }
+
+    #[test]
+    fn headerless_mode_names_columns() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("t", "1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(t.column_names(), vec!["col_0", "col_1"]);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn duplicate_headers_are_mangled() {
+        let t = read("a,a,a\n1,2,3\n");
+        assert_eq!(t.column_names(), vec!["a", "a.1", "a.2"]);
+    }
+
+    #[test]
+    fn semicolon_delimiter() {
+        let opts = CsvOptions {
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("t", "a;b\n1;x\n", &opts).unwrap();
+        assert_eq!(t.get_at(0, "b").unwrap(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_table() {
+        let t = read("");
+        assert_eq!(t.shape(), (0, 0));
+        let t = read("a,b\n");
+        assert_eq!(t.shape(), (0, 2));
+    }
+
+    #[test]
+    fn infer_rows_limits_sample() {
+        // With only the first row sampled, "x" in row 2 is coerced to null
+        // rather than degrading the column to Str.
+        let opts = CsvOptions {
+            infer_rows: Some(1),
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("t", "a\n1\nx\n", &opts).unwrap();
+        assert_eq!(t.schema().field_by_name("a").unwrap().dtype, DataType::Int);
+        assert!(t.get_at(1, "a").unwrap().is_null());
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let text = "a,b,c\n1,\"x,y\",2.5\n2,\"q\"\"q\",3.5\n";
+        let t = read(text);
+        let back = read(&write_csv_str(&t));
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn unicode_content_survives() {
+        let t = read("städte,n\nköln,1\n北京,2\n");
+        assert_eq!(t.get_at(1, "städte").unwrap(), Value::Str("北京".into()));
+        let back = read(&write_csv_str(&t));
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("datalens_csv_test");
+        let path = dir.join("sample.csv");
+        let t = read("a,b\n1,x\n2,y\n");
+        write_csv_path(&t, &path).unwrap();
+        let back = read_csv_path(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(back.name(), "sample");
+        assert_eq!(back.shape(), (2, 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

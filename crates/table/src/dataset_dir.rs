@@ -1,0 +1,105 @@
+//! On-disk dataset layout.
+//!
+//! The paper's backend creates, per uploaded dataset, a folder named after
+//! the file holding `dirty.csv`, a `repaired.csv` after repair, and a
+//! subfolder for the dataset's Delta table. This module reproduces that
+//! layout so DataSheets can reference stable paths.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::csv::{read_csv_path, write_csv_path, CsvOptions};
+use crate::error::TableError;
+use crate::table::Table;
+
+/// Well-known file names inside a dataset directory.
+pub const DIRTY_FILE: &str = "dirty.csv";
+pub const REPAIRED_FILE: &str = "repaired.csv";
+pub const DELTA_DIR: &str = "delta";
+
+/// A dataset's directory on disk.
+#[derive(Debug, Clone)]
+pub struct DatasetDir {
+    root: PathBuf,
+}
+
+impl DatasetDir {
+    /// Create (or open) the directory `<base>/<dataset_name>`.
+    pub fn create(base: impl AsRef<Path>, dataset_name: &str) -> Result<DatasetDir, TableError> {
+        let root = base.as_ref().join(dataset_name);
+        fs::create_dir_all(root.join(DELTA_DIR))?;
+        Ok(DatasetDir { root })
+    }
+
+    /// Open an existing directory without creating anything.
+    pub fn open(root: impl Into<PathBuf>) -> DatasetDir {
+        DatasetDir { root: root.into() }
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn dirty_path(&self) -> PathBuf {
+        self.root.join(DIRTY_FILE)
+    }
+
+    pub fn repaired_path(&self) -> PathBuf {
+        self.root.join(REPAIRED_FILE)
+    }
+
+    pub fn delta_path(&self) -> PathBuf {
+        self.root.join(DELTA_DIR)
+    }
+
+    /// Persist the uploaded table as `dirty.csv`.
+    pub fn store_dirty(&self, table: &Table) -> Result<(), TableError> {
+        write_csv_path(table, self.dirty_path())
+    }
+
+    /// Persist a repaired table as `repaired.csv`.
+    pub fn store_repaired(&self, table: &Table) -> Result<(), TableError> {
+        write_csv_path(table, self.repaired_path())
+    }
+
+    /// Load `dirty.csv` back.
+    pub fn load_dirty(&self) -> Result<Table, TableError> {
+        read_csv_path(self.dirty_path(), &CsvOptions::default())
+    }
+
+    /// Load `repaired.csv` back.
+    pub fn load_repaired(&self) -> Result<Table, TableError> {
+        read_csv_path(self.repaired_path(), &CsvOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn layout_round_trip() {
+        let base = std::env::temp_dir().join(format!("datalens_dsdir_{}", std::process::id()));
+        let dir = DatasetDir::create(&base, "flights").unwrap();
+        assert!(dir.delta_path().is_dir());
+        let t = Table::new(
+            "flights",
+            vec![Column::from_i64("x", [Some(1), Some(2)])],
+        )
+        .unwrap();
+        dir.store_dirty(&t).unwrap();
+        let back = dir.load_dirty().unwrap();
+        assert_eq!(back.shape(), (2, 1));
+        dir.store_repaired(&t).unwrap();
+        assert!(dir.repaired_path().is_file());
+        assert_eq!(dir.load_repaired().unwrap().shape(), (2, 1));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn missing_files_error() {
+        let dir = DatasetDir::open("/nonexistent/never");
+        assert!(dir.load_dirty().is_err());
+    }
+}

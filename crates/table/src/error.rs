@@ -1,0 +1,91 @@
+//! Error type shared by all table operations.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by table construction, access, and CSV I/O.
+#[derive(Debug)]
+pub enum TableError {
+    /// Two columns share a name.
+    DuplicateColumn(String),
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// A referenced row is out of bounds.
+    RowOutOfBounds { row: usize, rows: usize },
+    /// Columns passed to a table constructor have differing lengths.
+    LengthMismatch { expected: usize, got: usize },
+    /// A value's type does not match its column's type.
+    TypeMismatch {
+        column: String,
+        expected: String,
+        got: String,
+    },
+    /// Malformed CSV input.
+    Csv { line: usize, message: String },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column name {name:?}"),
+            TableError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            TableError::RowOutOfBounds { row, rows } => {
+                write!(f, "row {row} out of bounds for table with {rows} rows")
+            }
+            TableError::LengthMismatch { expected, got } => {
+                write!(f, "column length mismatch: expected {expected}, got {got}")
+            }
+            TableError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch in column {column:?}: expected {expected}, got {got}"
+            ),
+            TableError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            TableError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TableError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TableError {
+    fn from(e: io::Error) -> Self {
+        TableError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TableError::Csv {
+            line: 3,
+            message: "unclosed quote".into(),
+        };
+        assert_eq!(e.to_string(), "CSV error at line 3: unclosed quote");
+        let e = TableError::RowOutOfBounds { row: 9, rows: 5 };
+        assert!(e.to_string().contains("row 9"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: TableError = io_err.into();
+        assert!(matches!(e, TableError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

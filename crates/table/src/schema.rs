@@ -1,0 +1,183 @@
+//! Table schemas: ordered, named, typed fields.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TableError;
+use crate::value::DataType;
+
+/// A single named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s with unique names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Schema, TableError> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(TableError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Convenience constructor from `(name, dtype)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Result<Schema, TableError>
+    where
+        I: IntoIterator<Item = (S, DataType)>,
+        S: Into<String>,
+    {
+        Schema::new(
+            pairs
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        )
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column called `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field at position `idx`.
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Field with the given name.
+    pub fn field_by_name(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Indices of all numeric (int/float) columns.
+    pub fn numeric_indices(&self) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.dtype.is_numeric())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Append a field, rejecting duplicates.
+    pub fn push(&mut self, field: Field) -> Result<(), TableError> {
+        if self.index_of(&field.name).is_some() {
+            return Err(TableError::DuplicateColumn(field.name));
+        }
+        self.fields.push(field);
+        Ok(())
+    }
+
+    /// Project onto the named columns, preserving the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema, TableError> {
+        let mut fields = Vec::with_capacity(names.len());
+        for name in names {
+            let f = self
+                .field_by_name(name)
+                .ok_or_else(|| TableError::UnknownColumn((*name).to_string()))?;
+            fields.push(f.clone());
+        }
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fl| format!("{}: {}", fl.name, fl.dtype))
+            .collect();
+        write!(f, "[{}]", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::from_pairs([
+            ("a", DataType::Int),
+            ("b", DataType::Str),
+            ("c", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::from_pairs([("a", DataType::Int), ("a", DataType::Str)]);
+        assert!(matches!(err, Err(TableError::DuplicateColumn(n)) if n == "a"));
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = abc();
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("zz"), None);
+        assert_eq!(s.field_by_name("c").unwrap().dtype, DataType::Float);
+        assert_eq!(s.names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn numeric_indices_selects_int_and_float() {
+        assert_eq!(abc().numeric_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn project_reorders_and_errors_on_unknown() {
+        let s = abc();
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert!(matches!(
+            s.project(&["nope"]),
+            Err(TableError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn push_guards_duplicates() {
+        let mut s = abc();
+        assert!(s.push(Field::new("d", DataType::Bool)).is_ok());
+        assert!(s.push(Field::new("a", DataType::Bool)).is_err());
+        assert_eq!(s.len(), 4);
+    }
+}

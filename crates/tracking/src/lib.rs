@@ -1,0 +1,22 @@
+//! # datalens-tracking
+//!
+//! Experiment tracking — the reproduction's stand-in for MLflow (§5):
+//! "Each time an error detection or repair operation is executed, the
+//! specific parameters and artifacts are logged and locally stored …
+//! runs are segmented into distinct groups, referred to as 'experiments' …
+//! specifically categorized under 'Detection' and 'Repair'."
+//!
+//! The store mirrors MLflow's filesystem backend: one directory per
+//! experiment, one per run, with `params/<key>` and `tags/<key>`
+//! single-value files, `metrics/<key>` append-only `timestamp value step`
+//! lines, and an `artifacts/` folder.
+
+pub mod store;
+
+pub use store::{
+    Experiment, MetricPoint, Run, RunInfo, RunStatus, TrackingError, TrackingStore,
+};
+
+/// The two experiment groups the dashboard logs into.
+pub const EXPERIMENT_DETECTION: &str = "Detection";
+pub const EXPERIMENT_REPAIR: &str = "Repair";

@@ -1,0 +1,49 @@
+//! Interactive labeling for ML-based detection (§3 / Figure 3): drive a
+//! RAHA session the way the dashboard's labeling UI does.
+//!
+//! The "user" here is the ground-truth-backed simulator the evaluation
+//! uses; swap in any [`datalens::UserOracle`] implementation (e.g. one
+//! that prompts on stdin) for a genuinely interactive session.
+//!
+//! Run with: `cargo run --release --example interactive_labeling`
+
+use datalens::controller::{DashboardConfig, DashboardController};
+use datalens::user::SimulatedUser;
+use datalens_datasets::registry;
+use datalens_detect::RahaConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dd = registry::dirty("beers", 1).expect("preloaded dataset");
+    let mut dash = DashboardController::new(DashboardConfig::default())?;
+    dash.ingest_dirty_dataset(&dd, "beers")?;
+
+    for budget in [5usize, 10, 20] {
+        // A slightly imperfect user: misses 10% of dirty cells.
+        let mut user = SimulatedUser::noisy(&dd, 0.1, 0.0, budget as u64);
+        let outcome = dash.run_raha_with_user(
+            RahaConfig {
+                labeling_budget: budget,
+                seed: 1,
+                ..Default::default()
+            },
+            &mut user,
+        )?;
+        let score = dd.score_detections(&outcome.detection.cells);
+        println!(
+            "budget {budget:>2}: reviewed {:>3} tuples ({:.1}× budget), labeled {:>2} dirty → \
+             precision {:.3}  recall {:.3}  F1 {:.3}",
+            outcome.tuples_reviewed,
+            outcome.tuples_reviewed as f64 / budget as f64,
+            outcome.tuples_labeled,
+            score.precision,
+            score.recall,
+            score.f1,
+        );
+    }
+    println!(
+        "\nNote the paper's Figure 3 finding: the number of reviewed tuples\n\
+         consistently exceeds the nominal budget, because the cluster-coverage\n\
+         sampling strategy regularly surfaces clean tuples for review."
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! The REST tool bus (§3): run the data-quality tools as services and
+//! drive them over HTTP, the way Figure 1's architecture integrates
+//! external tools.
+//!
+//! Run with: `cargo run --example rest_tools`
+
+use datalens::service::{
+    tool_service_router, ContextUpdate, DetectRequest, DetectResponse, RepairRequest,
+    RepairResponse, ToolList,
+};
+use datalens_rest::{Client, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Boot the tool service on an ephemeral local port.
+    let server = Server::start(tool_service_router(0))?;
+    println!("tool service listening on http://{}", server.addr());
+    let client = Client::new(server.addr());
+
+    // Discover the available tools (GET).
+    let tools: ToolList = client.get_json("/tools")?;
+    println!("detectors: {}", tools.detectors.join(", "));
+    println!("repairers: {}", tools.repairers.join(", "));
+
+    // Push shared context: an FD rule and a tagged sentinel (PUT).
+    let update = ContextUpdate {
+        tagged_values: vec!["-1".into()],
+        rules: vec![(vec!["zip".into()], "city".into())],
+    };
+    client.put("/context", serde_json::to_vec(&update)?)?;
+
+    // Forward a detection task (POST).
+    let csv = "zip,city,pop\n\
+               10115,berlin,3700000\n\
+               10115,berlin,3700000\n\
+               10115,münchen,-1\n\
+               50667,köln,1080000\n";
+    let detection: DetectResponse = client.post_json(
+        "/detect",
+        &DetectRequest {
+            tool: "nadeef".into(),
+            csv: csv.into(),
+        },
+    )?;
+    println!(
+        "\nnadeef flagged {} cell(s): {:?}",
+        detection.cells.len(),
+        detection
+            .cells
+            .iter()
+            .map(|c| (c.row, c.col))
+            .collect::<Vec<_>>()
+    );
+
+    let tags: DetectResponse = client.post_json(
+        "/detect",
+        &DetectRequest {
+            tool: "user_tags".into(),
+            csv: csv.into(),
+        },
+    )?;
+    println!("user_tags flagged {} cell(s)", tags.cells.len());
+
+    // Forward the repair task with the combined detections (POST).
+    let mut error_cells = detection.cells;
+    error_cells.extend(tags.cells);
+    let repaired: RepairResponse = client.post_json(
+        "/repair",
+        &RepairRequest {
+            tool: "holoclean_repairer".into(),
+            csv: csv.into(),
+            error_cells,
+        },
+    )?;
+    println!(
+        "\nholoclean repaired {} cell(s); result:\n{}",
+        repaired.n_repaired, repaired.csv
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Workspace umbrella crate; see individual datalens-* crates.

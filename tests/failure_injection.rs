@@ -1,0 +1,151 @@
+//! Failure-injection integration tests: corrupt inputs must surface as
+//! typed errors, never as panics or silent misbehaviour.
+
+use datalens::controller::{DashboardConfig, DashboardController};
+use datalens::{DataLensError, DataSheet};
+use datalens_delta::{DeltaError, DeltaTable};
+use datalens_table::csv::{read_csv_str, CsvOptions};
+use datalens_table::{Column, Table, TableError};
+
+#[test]
+fn corrupt_csv_inputs_error_cleanly() {
+    // Ragged row.
+    assert!(matches!(
+        read_csv_str("t", "a,b\n1,2\n3\n", &CsvOptions::default()),
+        Err(TableError::Csv { line: 3, .. })
+    ));
+    // Unclosed quote.
+    assert!(matches!(
+        read_csv_str("t", "a\n\"broken\n", &CsvOptions::default()),
+        Err(TableError::Csv { .. })
+    ));
+    // Via the controller, too.
+    let mut dash = DashboardController::new(DashboardConfig::default()).unwrap();
+    assert!(matches!(
+        dash.ingest_csv_text("bad.csv", "a,b\n1\n"),
+        Err(DataLensError::Table(_))
+    ));
+}
+
+#[test]
+fn truncated_delta_log_detected() {
+    let root = std::env::temp_dir().join(format!("datalens_fi_delta_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let t = Table::new("t", vec![Column::from_i64("x", [Some(1)])]).unwrap();
+    let dt = DeltaTable::create(&root, &t, "CREATE").unwrap();
+    dt.commit(&t, "W").unwrap();
+    dt.commit(&t, "W").unwrap();
+
+    // Remove the middle commit: the log now has a gap.
+    std::fs::remove_file(root.join("_delta_log").join(format!("{:020}.json", 1))).unwrap();
+    assert!(matches!(DeltaTable::open(&root), Err(DeltaError::Corrupt(_))));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn garbage_in_delta_log_detected() {
+    let root = std::env::temp_dir().join(format!("datalens_fi_garbage_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let t = Table::new("t", vec![Column::from_i64("x", [Some(1)])]).unwrap();
+    let dt = DeltaTable::create(&root, &t, "CREATE").unwrap();
+    std::fs::write(
+        root.join("_delta_log").join(format!("{:020}.json", 0)),
+        "{\"not\": \"an action\"}\n",
+    )
+    .unwrap();
+    assert!(dt.load_version(0).is_err());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn invalid_datasheets_rejected() {
+    assert!(matches!(
+        DataSheet::from_json("not json at all"),
+        Err(DataLensError::DataSheet(_))
+    ));
+    assert!(matches!(
+        DataSheet::from_json("{\"datasheet_version\": 1}"),
+        Err(DataLensError::DataSheet(_))
+    ));
+    // Missing file.
+    assert!(matches!(
+        DataSheet::load("/nonexistent/sheet.json"),
+        Err(DataLensError::Io(_))
+    ));
+}
+
+#[test]
+fn replaying_a_sheet_with_unknown_tools_errors() {
+    let mut dash = DashboardController::new(DashboardConfig::default()).unwrap();
+    dash.ingest_csv_text("d.csv", "a\n1\n2\n").unwrap();
+    let mut sheet = dash.generate_datasheet().unwrap();
+    sheet.detection_tools = vec!["imaginary_tool".into()];
+    assert!(matches!(
+        dash.replay_datasheet(&sheet),
+        Err(DataLensError::Unknown(_))
+    ));
+}
+
+#[test]
+fn conflicting_user_labels_resolve_by_propagation_tie_rules() {
+    // Two users disagree on cells in the same RAHA cluster: ties leave
+    // cells unlabeled rather than guessing (documented in labelprop).
+    use datalens_ml::labelprop::propagate_in_clusters;
+    let assignments = vec![0, 0, 0, 0];
+    let labels = vec![Some(true), Some(false), None, None];
+    let (out, newly) = propagate_in_clusters(&assignments, &labels);
+    assert_eq!(newly, 0);
+    assert_eq!(out[2], None);
+    assert_eq!(out[3], None);
+}
+
+#[test]
+fn detectors_tolerate_degenerate_tables() {
+    use datalens_detect::{detector_by_name, DetectionContext, DETECTOR_NAMES};
+    let ctx = DetectionContext::default();
+    // Single row, all-null column, constant column, empty-but-typed table.
+    let tables = vec![
+        Table::new("one", vec![Column::from_i64("x", [Some(1)])]).unwrap(),
+        Table::new("nulls", vec![Column::from_f64("x", [None, None, None])]).unwrap(),
+        Table::new(
+            "constant",
+            vec![Column::from_str_vals("s", vec![Some("k"); 20])],
+        )
+        .unwrap(),
+        Table::empty(
+            "empty",
+            &datalens_table::Schema::from_pairs([("a", datalens_table::DataType::Int)]).unwrap(),
+        ),
+    ];
+    for table in &tables {
+        for name in DETECTOR_NAMES {
+            if name == "raha" {
+                continue; // interactive driver has its own budget loop
+            }
+            let det = detector_by_name(name).unwrap();
+            let d = det.detect(table, &ctx); // must not panic
+            for c in &d.cells {
+                assert!(c.row < table.n_rows());
+            }
+        }
+    }
+}
+
+#[test]
+fn repairers_tolerate_degenerate_tables() {
+    use datalens_repair::{repairer_by_name, RepairContext, REPAIRER_NAMES};
+    let ctx = RepairContext::default();
+    let t = Table::new(
+        "degenerate",
+        vec![
+            Column::from_f64("all_null", [None, None]),
+            Column::from_str_vals("s", [Some("a"), None]),
+        ],
+    )
+    .unwrap();
+    for name in REPAIRER_NAMES {
+        let rep = repairer_by_name(name).unwrap();
+        let result = rep.repair(&t, &[], &ctx); // must not panic
+        assert_eq!(result.table.shape(), t.shape());
+    }
+}

@@ -1,0 +1,218 @@
+//! End-to-end integration test: the complete paper pipeline on a
+//! persisted workspace — ingest → profile → rules → detect → repair →
+//! version → track → DataSheet → replay.
+
+use std::path::PathBuf;
+
+use datalens::controller::{DashboardConfig, DashboardController};
+use datalens::DataSheet;
+use datalens_datasets::registry;
+use datalens_delta::DeltaTable;
+
+fn workspace(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("datalens_it_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+#[test]
+fn full_pipeline_with_persistence_and_reproduction() {
+    let ws = workspace("full");
+    let mut dash = DashboardController::new(DashboardConfig {
+        workspace_dir: Some(ws.clone()),
+        seed: 42,
+    })
+    .unwrap();
+
+    // 1. Ingest the preloaded dirty NASA dataset.
+    let dd = registry::dirty("nasa", 42).unwrap();
+    dash.ingest_dirty_dataset(&dd, "nasa").unwrap();
+
+    // 2. Profile: the injected nulls must be visible.
+    let profile = dash.profile().unwrap();
+    assert!(profile.table.missing_cells > 0);
+    assert_eq!(profile.columns.len(), 6);
+
+    // 3. Detection across several tools, plus a user tag.
+    dash.tag_value("99999").unwrap();
+    let n = dash
+        .run_detection(&["sd", "iqr", "mv_detector", "fahes"])
+        .unwrap();
+    assert!(n > 0);
+
+    // Detection quality against ground truth: union recall must beat any
+    // single tool's.
+    let merged = dash.detections().unwrap();
+    let union_score = dd.score_detections(&merged.union);
+    for det in &merged.per_tool {
+        let s = dd.score_detections(&det.cells);
+        assert!(
+            union_score.recall >= s.recall - 1e-9,
+            "union recall {} below {} ({})",
+            union_score.recall,
+            s.recall,
+            det.tool
+        );
+    }
+    assert!(union_score.recall > 0.3, "recall {:.3}", union_score.recall);
+
+    // 4. Repair with the ML imputer.
+    let repaired_cells = dash.repair("ml_imputer").unwrap();
+    assert!(repaired_cells > 0);
+    assert_eq!(dash.repaired_table().unwrap().null_count(), 0);
+
+    // 5. Versioning: v0 = dirty, v1 = repaired, both loadable.
+    let sheet = dash.generate_datasheet().unwrap();
+    assert_eq!(sheet.detect_version, Some(0));
+    assert_eq!(sheet.repaired_version, Some(1));
+    let delta_root = ws.join("datasets").join("nasa").join("delta");
+    let delta = DeltaTable::open(&delta_root).unwrap();
+    let v0 = delta.load_version(0).unwrap();
+    assert_eq!(v0.shape(), dd.dirty.shape());
+    assert!(v0.null_count() > 0);
+    let v1 = delta.load_version(1).unwrap();
+    assert_eq!(v1.null_count(), 0);
+
+    // 6. Tracking: Detection and Repair experiments exist with runs.
+    let store = dash.tracking().unwrap();
+    let exps = store.list_experiments().unwrap();
+    let names: Vec<&str> = exps.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"Detection"));
+    assert!(names.contains(&"Repair"));
+
+    // 7. DataSheet: save, reload, replay on a fresh controller.
+    let sheet_path = ws.join("nasa_datasheet.json");
+    sheet.save(&sheet_path).unwrap();
+    let reloaded = DataSheet::load(&sheet_path).unwrap();
+    assert_eq!(reloaded, sheet);
+
+    let mut dash2 = DashboardController::new(DashboardConfig {
+        workspace_dir: None,
+        seed: 42,
+    })
+    .unwrap();
+    dash2.ingest_dirty_dataset(&dd, "nasa").unwrap();
+    dash2.replay_datasheet(&reloaded).unwrap();
+    assert_eq!(
+        dash2.detections().unwrap().total(),
+        dash.detections().unwrap().total()
+    );
+    assert_eq!(dash2.repaired_table().unwrap(), dash.repaired_table().unwrap());
+
+    std::fs::remove_dir_all(&ws).ok();
+}
+
+#[test]
+fn repair_improves_downstream_model() {
+    use datalens::iterative::train_and_score;
+    use datalens_datasets::Task;
+
+    let dd = registry::dirty("nasa", 7).unwrap();
+    let mut dash = DashboardController::new(DashboardConfig::default()).unwrap();
+    dash.ingest_dirty_dataset(&dd, "nasa").unwrap();
+    dash.run_detection(&["sd", "iqr", "mv_detector", "fahes"]).unwrap();
+    dash.repair("ml_imputer").unwrap();
+
+    let target = datalens_datasets::nasa::TARGET;
+    let dirty_mse = train_and_score(&dd.dirty, target, Task::Regression, 0.25, 7).unwrap();
+    let repaired_mse =
+        train_and_score(dash.repaired_table().unwrap(), target, Task::Regression, 0.25, 7)
+            .unwrap();
+    let clean_mse = train_and_score(&dd.clean, target, Task::Regression, 0.25, 7).unwrap();
+    assert!(
+        repaired_mse < dirty_mse,
+        "repaired {repaired_mse:.2} vs dirty {dirty_mse:.2}"
+    );
+    assert!(clean_mse <= dirty_mse);
+}
+
+#[test]
+fn hospital_pipeline_rule_and_knowledge_based() {
+    // The FD-dense categorical dataset: rule-based (NADEEF) and
+    // knowledge-based (KATARA) detection carry the load; statistical
+    // outlier detectors are nearly blind here.
+    let dd = registry::dirty("hospital", 5).unwrap();
+    let mut dash = DashboardController::new(DashboardConfig::default()).unwrap();
+    dash.ingest_dirty_dataset(&dd, "hospital").unwrap();
+
+    dash.discover_rules_approx(0.15).unwrap();
+    let rules: Vec<String> = dash
+        .rules()
+        .unwrap()
+        .rules()
+        .iter()
+        .map(|r| r.fd.to_string())
+        .collect();
+    assert!(
+        rules.iter().any(|r| r == "[measure_code] -> measure_name"),
+        "rules: {rules:?}"
+    );
+
+    dash.run_detection(&["nadeef", "katara", "mv_detector", "fahes"])
+        .unwrap();
+    let det = dash.detections().unwrap();
+    let score = dd.score_detections(&det.union);
+    assert!(score.true_positives > 0, "nothing found");
+    // NADEEF specifically must contribute on this dataset.
+    let nadeef = det.per_tool.iter().find(|d| d.tool == "nadeef").unwrap();
+    assert!(!nadeef.is_empty());
+
+    // HoloClean repair: where FD context exists (measure_name is the
+    // dependent of measure_code), detected corruptions are restored to the
+    // *exact* clean value by cohort voting.
+    let detected: std::collections::BTreeSet<_> = det.union.iter().copied().collect();
+    dash.repair("holoclean_repairer").unwrap();
+    let repaired = dash.repaired_table().unwrap();
+    let mn_col = dd.clean.column_index("measure_name").unwrap();
+    let mut fixable = 0usize;
+    let mut fixed = 0usize;
+    for &cell in dd.errors.keys() {
+        if cell.col == mn_col && detected.contains(&cell) {
+            fixable += 1;
+            if repaired.get(cell).unwrap() == dd.clean.get(cell).unwrap() {
+                fixed += 1;
+            }
+        }
+    }
+    assert!(fixable > 0, "no detected measure_name corruptions to test");
+    assert!(
+        fixed * 10 >= fixable * 7,
+        "only {fixed}/{fixable} measure_name cells restored exactly"
+    );
+}
+
+#[test]
+fn beers_pipeline_with_fd_rules() {
+    let dd = registry::dirty("beers", 3).unwrap();
+    let mut dash = DashboardController::new(DashboardConfig::default()).unwrap();
+    dash.ingest_dirty_dataset(&dd, "beers").unwrap();
+
+    // The generator builds brewery → city/state FDs; approximate mining
+    // must surface them through the injected violations (~15% of city
+    // cells are corrupted across the five injection channels, so the g3
+    // tolerance must sit above that).
+    dash.discover_rules_approx(0.25).unwrap();
+    let rules: Vec<String> = dash
+        .rules()
+        .unwrap()
+        .rules()
+        .iter()
+        .map(|r| r.fd.to_string())
+        .collect();
+    assert!(
+        rules.iter().any(|r| r == "[brewery] -> city"),
+        "rules: {rules:?}"
+    );
+
+    // NADEEF must catch some injected FD violations.
+    dash.run_detection(&["nadeef"]).unwrap();
+    let det = dash.detections().unwrap();
+    let score = dd.score_detections(&det.union);
+    assert!(score.true_positives > 0);
+
+    // HoloClean repair fixes FD violations using cohort voting.
+    dash.repair("holoclean_repairer").unwrap();
+    let repaired = dash.repaired_table().unwrap();
+    let fixed = dd.repair_accuracy(repaired);
+    assert!(fixed > 0.0);
+}

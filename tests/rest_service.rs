@@ -1,0 +1,114 @@
+//! Integration test: the REST tool bus — a dashboard-style client driving
+//! detection and repair on a live in-process server, the way Figure 1's
+//! architecture wires external tools.
+
+use datalens::service::{
+    tool_service_router, ContextUpdate, DetectRequest, DetectResponse, RepairRequest,
+    RepairResponse, ToolList, WireCell,
+};
+use datalens_rest::{Client, Server};
+use datalens_table::csv::{read_csv_str, write_csv_str, CsvOptions};
+use datalens_table::CellRef;
+
+#[test]
+fn remote_detect_matches_local_execution() {
+    let server = Server::start(tool_service_router(0)).unwrap();
+    let client = Client::new(server.addr());
+
+    let dd = datalens_datasets::registry::dirty("nasa", 0).unwrap();
+    let csv = write_csv_str(&dd.dirty);
+
+    // Remote run.
+    let remote: DetectResponse = client
+        .post_json(
+            "/detect",
+            &DetectRequest {
+                tool: "sd".into(),
+                csv: csv.clone(),
+            },
+        )
+        .unwrap();
+
+    // Local run on the same payload (through the same CSV round trip the
+    // server performs).
+    let table = read_csv_str("payload", &csv, &CsvOptions::default()).unwrap();
+    let local = datalens_detect::detector_by_name("sd")
+        .unwrap()
+        .detect(&table, &datalens_detect::DetectionContext::default());
+
+    let remote_cells: Vec<CellRef> = remote.cells.iter().map(|&c| c.into()).collect();
+    assert_eq!(remote_cells, local.cells);
+    assert!(!remote_cells.is_empty());
+}
+
+#[test]
+fn detect_then_repair_round_trip_over_http() {
+    let server = Server::start(tool_service_router(0)).unwrap();
+    let client = Client::new(server.addr());
+
+    let csv = "x,y\n1,10\n2,20\n3,30\n4,40\n5,50\n6,60\n7,70\n8,80\n9,90\n10,9999\n";
+    let detected: DetectResponse = client
+        .post_json(
+            "/detect",
+            &DetectRequest {
+                tool: "iqr".into(),
+                csv: csv.into(),
+            },
+        )
+        .unwrap();
+    assert!(!detected.cells.is_empty());
+
+    let repaired: RepairResponse = client
+        .post_json(
+            "/repair",
+            &RepairRequest {
+                tool: "ml_imputer".into(),
+                csv: csv.into(),
+                error_cells: detected.cells,
+            },
+        )
+        .unwrap();
+    assert!(repaired.n_repaired > 0);
+    let table = read_csv_str("t", &repaired.csv, &CsvOptions::default()).unwrap();
+    assert_eq!(table.null_count(), 0);
+    // The lie is gone.
+    let fixed = table.get_at(9, "y").unwrap().as_f64().unwrap();
+    assert!(fixed < 1000.0, "repaired value {fixed}");
+}
+
+#[test]
+fn put_context_flows_into_rule_based_detection() {
+    let server = Server::start(tool_service_router(0)).unwrap();
+    let client = Client::new(server.addr());
+
+    let update = ContextUpdate {
+        tagged_values: vec![],
+        rules: vec![(vec!["zip".into()], "city".into())],
+    };
+    let resp = client
+        .put("/context", serde_json::to_vec(&update).unwrap())
+        .unwrap();
+    assert!(resp.is_success());
+
+    let detected: DetectResponse = client
+        .post_json(
+            "/detect",
+            &DetectRequest {
+                tool: "nadeef".into(),
+                csv: "zip,city\n1,ulm\n1,ulm\n1,oops\n".into(),
+            },
+        )
+        .unwrap();
+    let cells: Vec<WireCell> = detected.cells;
+    assert_eq!(cells.len(), 1);
+    assert_eq!((cells[0].row, cells[0].col), (2, 1));
+}
+
+#[test]
+fn tool_discovery_covers_both_registries() {
+    let server = Server::start(tool_service_router(0)).unwrap();
+    let client = Client::new(server.addr());
+    let tools: ToolList = client.get_json("/tools").unwrap();
+    assert_eq!(tools.detectors.len(), datalens_detect::DETECTOR_NAMES.len());
+    assert_eq!(tools.repairers.len(), datalens_repair::REPAIRER_NAMES.len());
+}
