@@ -17,7 +17,16 @@ fn bench_detectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("detect");
     group.sample_size(10);
     // RAHA is excluded here: it is interactive (benched via fig3).
-    for tool in ["sd", "iqr", "mv_detector", "fahes", "katara", "holoclean", "min_k", "isolation_forest"] {
+    for tool in [
+        "sd",
+        "iqr",
+        "mv_detector",
+        "fahes",
+        "katara",
+        "holoclean",
+        "min_k",
+        "isolation_forest",
+    ] {
         group.bench_with_input(BenchmarkId::new(tool, "nasa"), &nasa.dirty, |b, t| {
             let det = detector_by_name(tool).unwrap();
             b.iter(|| black_box(det.detect(t, &ctx)))

@@ -1,0 +1,124 @@
+//! Sequential vs. parallel multi-tool detection through the pipeline
+//! engine, on the largest bundled dataset. Besides the usual bench
+//! printout, emits the timings as `BENCH_engine.json` at the repo root.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalens::engine::{Engine, EngineConfig};
+use datalens_datasets::registry;
+use datalens_detect::{detector_by_name, DetectionContext, Detector};
+use datalens_table::Table;
+
+const SEED: u64 = 7;
+const SAMPLES: usize = 7;
+const TOOLS: [&str; 7] = [
+    "sd",
+    "iqr",
+    "mv_detector",
+    "fahes",
+    "nadeef",
+    "katara",
+    "isolation_forest",
+];
+
+/// The bundled dataset with the most cells.
+fn largest_dataset() -> (String, Table) {
+    registry::catalog()
+        .iter()
+        .map(|d| {
+            let dd = registry::dirty(d.name, SEED).expect("bundled dataset");
+            (d.name.to_string(), dd.dirty)
+        })
+        .max_by_key(|(_, t)| t.n_rows() * t.n_cols())
+        .expect("catalog is non-empty")
+}
+
+fn detectors() -> Vec<Box<dyn Detector>> {
+    TOOLS
+        .iter()
+        .map(|n| detector_by_name(n).expect("known detector"))
+        .collect()
+}
+
+/// Median wall-clock milliseconds of `detect_all` over [`SAMPLES`] runs.
+fn median_detect_ms(engine: &Engine, table: &Table, ctx: &DetectionContext) -> f64 {
+    let dets = detectors();
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            let (detections, _) = engine.detect_all(table, ctx, &dets);
+            std::hint::black_box(detections);
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let (name, table) = largest_dataset();
+    let ctx = DetectionContext {
+        seed: SEED,
+        ..DetectionContext::default()
+    };
+
+    let sequential = Engine::new(EngineConfig {
+        threads: 1,
+        seed: SEED,
+    });
+    let parallel = Engine::new(EngineConfig {
+        threads: 0,
+        seed: SEED,
+    });
+
+    let seq_ms = median_detect_ms(&sequential, &table, &ctx);
+    let par_ms = median_detect_ms(&parallel, &table, &ctx);
+    let speedup = seq_ms / par_ms;
+    println!(
+        "engine detect {}×{} ({name}, {} tools): sequential {seq_ms:.2} ms, \
+         parallel {par_ms:.2} ms ({} threads) → {speedup:.2}×",
+        table.n_rows(),
+        table.n_cols(),
+        TOOLS.len(),
+        parallel.effective_threads(),
+    );
+
+    let json = serde_json::json!({
+        "benchmark": "engine_multi_tool_detection",
+        "dataset": name,
+        "rows": table.n_rows(),
+        "cols": table.n_cols(),
+        "tools": TOOLS.to_vec(),
+        "samples": SAMPLES,
+        "available_parallelism": std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        "threads_parallel": parallel.effective_threads(),
+        "sequential_ms": seq_ms,
+        "parallel_ms": par_ms,
+        "speedup": speedup,
+    });
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&json).expect("render json"),
+    )
+    .expect("write BENCH_engine.json");
+    println!("wrote {out}");
+
+    // Also register the two variants with the harness for its report.
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(SAMPLES);
+    let dets = detectors();
+    group.bench_function("detect_sequential", |b| {
+        b.iter(|| sequential.detect_all(&table, &ctx, &dets))
+    });
+    group.bench_function("detect_parallel", |b| {
+        b.iter(|| parallel.detect_all(&table, &ctx, &dets))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -7,15 +7,13 @@
 //! 3. **RAHA label quality** — detection F1 as the simulated user gets
 //!    noisier (the realistic-evaluation argument of §1, contribution 5).
 
-use datalens::iterative::{
-    run_iterative_cleaning, IterativeCleaningConfig, SamplerKind,
-};
+use datalens::iterative::{run_iterative_cleaning, IterativeCleaningConfig, SamplerKind};
 use datalens::user::SimulatedUser;
 use datalens::{DashboardConfig, DashboardController};
 use datalens_datasets::{registry, DetectionScore, Task};
 use datalens_detect::{
-    DetectionContext, Detector, FahesDetector, IqrDetector, MinKDetector, MvDetector,
-    RahaConfig, SdDetector,
+    DetectionContext, Detector, FahesDetector, IqrDetector, MinKDetector, MvDetector, RahaConfig,
+    SdDetector,
 };
 use datalens_fd::RuleSet;
 
@@ -71,34 +69,33 @@ pub fn sampler_comparison(dataset: &str, iterations: usize, seeds: u64) -> Vec<S
         SamplerKind::Ucb,
     ]
     .into_iter()
-        .map(|sampler| {
-            let mut total = 0.0;
-            for seed in 0..seeds {
-                let dd = registry::dirty(dataset, seed).expect("known dataset");
-                let config = IterativeCleaningConfig {
-                    iterations,
-                    sampler,
-                    seed,
-                    // Cheap tool set keeps the ablation tractable.
-                    detectors: vec![
-                        "sd".into(),
-                        "iqr".into(),
-                        "mv_detector".into(),
-                        "fahes".into(),
-                    ],
-                    ..IterativeCleaningConfig::new(meta.target, meta.task)
-                };
-                let report =
-                    run_iterative_cleaning(&dd.dirty, &RuleSet::new(), &config, None)
-                        .expect("search runs");
-                total += report.best.score;
-            }
-            SamplerPoint {
+    .map(|sampler| {
+        let mut total = 0.0;
+        for seed in 0..seeds {
+            let dd = registry::dirty(dataset, seed).expect("known dataset");
+            let config = IterativeCleaningConfig {
+                iterations,
                 sampler,
-                best_score: total / seeds as f64,
-            }
-        })
-        .collect()
+                seed,
+                // Cheap tool set keeps the ablation tractable.
+                detectors: vec![
+                    "sd".into(),
+                    "iqr".into(),
+                    "mv_detector".into(),
+                    "fahes".into(),
+                ],
+                ..IterativeCleaningConfig::new(meta.target, meta.task)
+            };
+            let report = run_iterative_cleaning(&dd.dirty, &RuleSet::new(), &config, None)
+                .expect("search runs");
+            total += report.best.score;
+        }
+        SamplerPoint {
+            sampler,
+            best_score: total / seeds as f64,
+        }
+    })
+    .collect()
 }
 
 /// RAHA user-noise sweep result.
@@ -117,6 +114,7 @@ pub fn raha_noise_sweep(dataset: &str, miss_rates: &[f64], seed: u64) -> Vec<Noi
             let mut dash = DashboardController::new(DashboardConfig {
                 workspace_dir: None,
                 seed,
+                ..Default::default()
             })
             .expect("controller");
             dash.ingest_dirty_dataset(&dd, dataset).expect("ingest");
@@ -162,7 +160,10 @@ pub fn render(dataset: &str, seed: u64) -> String {
         Task::Classification => "F1",
     };
     for p in sampler_comparison(dataset, 8, 3) {
-        out.push_str(&format!("  {:?}: best {metric} {:.4}\n", p.sampler, p.best_score));
+        out.push_str(&format!(
+            "  {:?}: best {metric} {:.4}\n",
+            p.sampler, p.best_score
+        ));
     }
 
     out.push_str("\nRAHA with a noisy user (budget 20):\n");

@@ -37,6 +37,7 @@ pub fn run(dataset: &str, budgets: &[usize], seeds: u64) -> Vec<Fig3Point> {
                 let mut dash = DashboardController::new(DashboardConfig {
                     workspace_dir: None,
                     seed,
+                    ..Default::default()
                 })
                 .expect("in-memory controller");
                 dash.ingest_dirty_dataset(&dd, dataset).expect("ingest");

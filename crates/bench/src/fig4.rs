@@ -22,6 +22,7 @@ pub fn run(dataset: &str, seed: u64) -> Fig4Result {
     let mut dash = DashboardController::new(DashboardConfig {
         workspace_dir: None,
         seed,
+        ..Default::default()
     })
     .expect("controller");
     dash.ingest_dirty_dataset(&dd, dataset).expect("ingest");
@@ -65,11 +66,7 @@ pub fn run(dataset: &str, seed: u64) -> Fig4Result {
         .expect("consolidate");
 
     let merged = dash.detections().expect("detections");
-    let attributes: Vec<String> = table
-        .column_names()
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let attributes: Vec<String> = table.column_names().iter().map(|s| s.to_string()).collect();
     let counts = merged.per_attribute_counts(&table);
 
     // Ground truth per attribute, for EXPERIMENTS.md's shape check.

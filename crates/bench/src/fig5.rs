@@ -7,9 +7,7 @@
 //! shape: more iterations → better (lower MSE / higher F1) scores,
 //! approaching the ground-truth baseline and clearly beating dirty.
 
-use datalens::iterative::{
-    run_iterative_cleaning, IterativeCleaningConfig, SamplerKind,
-};
+use datalens::iterative::{run_iterative_cleaning, IterativeCleaningConfig, SamplerKind};
 use datalens_datasets::{registry, Task};
 use datalens_fd::RuleSet;
 

@@ -53,7 +53,9 @@ const USAGE: &str = "usage: datalens <datasets|profile|rules|detect|repair|dashb
   datalens detect data.csv --tools sd,iqr,mv_detector --tag -1 --rule 'zip -> city'
   datalens repair data.csv --tools sd,mv_detector --repairer ml_imputer -o repaired.csv
   datalens dashboard data.csv --tools sd,mv_detector
-  datalens serve --seed 0";
+  datalens serve --seed 0
+common flags: --seed N   seed for stochastic tools
+              --threads N   detect fan-out threads (0 = one per core)";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -103,9 +105,13 @@ fn load(args: &[String]) -> Result<DashboardController, Box<dyn std::error::Erro
     let seed: u64 = flag_value(args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
+    let threads: usize = flag_value(args, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let mut dash = DashboardController::new(DashboardConfig {
         workspace_dir: None,
         seed,
+        threads,
     })?;
     if input.ends_with(".csv") {
         let text = std::fs::read_to_string(input)?;
@@ -123,7 +129,10 @@ fn load(args: &[String]) -> Result<DashboardController, Box<dyn std::error::Erro
 fn cmd_datasets() -> CliResult {
     println!("preloaded datasets:");
     for d in datalens_datasets::catalog() {
-        println!("  {:<6} target={:<16} {:?}  — {}", d.name, d.target, d.task, d.description);
+        println!(
+            "  {:<6} target={:<16} {:?}  — {}",
+            d.name, d.target, d.task, d.description
+        );
     }
     Ok(())
 }
@@ -182,6 +191,10 @@ fn cmd_detect(args: &[String], and_repair: bool) -> CliResult {
             print!("{}", dash.repaired_table()?.head(10));
         }
     }
+    print!(
+        "\n{}",
+        datalens::engine::render_stage_reports(dash.stage_reports()?)
+    );
     Ok(())
 }
 

@@ -8,16 +8,17 @@ use std::path::PathBuf;
 use datalens_datasets::DirtyDataset;
 use datalens_delta::DeltaTable;
 use datalens_detect::{
-    detector_by_name, ConsolidatedDetections, Detection, DetectionContext, RahaConfig,
-    RahaSession, TaggedValueDetector, Detector,
+    detector_by_name, ConsolidatedDetections, Detection, DetectionContext, Detector, RahaConfig,
+    RahaSession, TaggedValueDetector,
 };
-use datalens_fd::{hyfd, tane, Fd, FdRule, HyFdConfig, RuleSet, TaneConfig};
-use datalens_profile::{ProfileConfig, ProfileReport};
+use datalens_fd::{Fd, FdRule, RuleSet};
+use datalens_profile::ProfileReport;
 use datalens_repair::{repairer_by_name, RepairContext};
 use datalens_table::{DatasetDir, Table};
-use datalens_tracking::{RunStatus, TrackingStore, EXPERIMENT_DETECTION, EXPERIMENT_REPAIR};
+use datalens_tracking::{Run, RunStatus, TrackingStore, EXPERIMENT_DETECTION, EXPERIMENT_REPAIR};
 
 use crate::datasheet::DataSheet;
+use crate::engine::{Engine, EngineConfig, MinerSpec, StageReport};
 use crate::error::DataLensError;
 use crate::ingest::{self, DataSource, SqlSource};
 use crate::quality::QualityMetrics;
@@ -31,6 +32,9 @@ pub struct DashboardConfig {
     pub workspace_dir: Option<PathBuf>,
     /// Seed for stochastic tools.
     pub seed: u64,
+    /// Worker threads for the engine's detect fan-out (`0` = one per
+    /// available core, `1` = sequential).
+    pub threads: usize,
 }
 
 /// Which FD miner to run.
@@ -64,11 +68,15 @@ pub struct DatasetState {
     pub tool_configurations: BTreeMap<String, String>,
     pub detect_version: Option<u64>,
     pub repaired_version: Option<u64>,
+    /// Instrumentation for every stage the engine executed, in order.
+    pub stage_reports: Vec<StageReport>,
 }
 
-/// The dashboard controller.
+/// The dashboard controller: a thin façade over the pipeline [`Engine`]
+/// that owns the dataset state, persistence, and tracking.
 pub struct DashboardController {
     config: DashboardConfig,
+    engine: Engine,
     tracking: Option<TrackingStore>,
     state: Option<DatasetState>,
 }
@@ -81,11 +89,21 @@ impl DashboardController {
             Some(dir) => Some(TrackingStore::new(dir.join("mlruns"))?),
             None => None,
         };
+        let engine = Engine::new(EngineConfig {
+            threads: config.threads,
+            seed: config.seed,
+        });
         Ok(DashboardController {
             config,
+            engine,
             tracking,
             state: None,
         })
+    }
+
+    /// The pipeline engine this controller delegates to.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     // --- ingestion -------------------------------------------------------
@@ -157,6 +175,7 @@ impl DashboardController {
             tool_configurations: BTreeMap::new(),
             detect_version: None,
             repaired_version: None,
+            stage_reports: Vec::new(),
         });
         Ok(())
     }
@@ -190,9 +209,12 @@ impl DashboardController {
 
     /// Run (and cache) the data profile.
     pub fn profile(&mut self) -> Result<&ProfileReport, DataLensError> {
+        let engine = self.engine.clone();
         let state = self.state_mut()?;
         if state.profile.is_none() {
-            state.profile = Some(ProfileReport::build(&state.table, &ProfileConfig::default()));
+            let (report, stage) = engine.profile(&state.table);
+            state.profile = Some(report);
+            state.stage_reports.push(stage);
         }
         Ok(state.profile.as_ref().expect("just set"))
     }
@@ -200,39 +222,27 @@ impl DashboardController {
     /// Discover FD rules with the chosen miner; results land in the rule
     /// set as Pending.
     pub fn discover_rules(&mut self, miner: RuleMiner) -> Result<usize, DataLensError> {
-        let seed = self.config.seed;
-        let state = self.state_mut()?;
-        let discovered: Vec<FdRule> = match miner {
-            RuleMiner::Tane => tane(&state.table, &TaneConfig::default()),
-            RuleMiner::HyFd => hyfd(
-                &state.table,
-                &HyFdConfig {
-                    seed,
-                    ..HyFdConfig::default()
-                },
-            ),
+        let spec = match miner {
+            RuleMiner::Tane => MinerSpec::Tane { max_g3_error: 0.0 },
+            RuleMiner::HyFd => MinerSpec::HyFd {
+                seed: self.config.seed,
+            },
         };
-        let mut added = 0;
-        for r in discovered {
-            if state.rules.add(r) {
-                added += 1;
-            }
-        }
-        Ok(added)
+        self.mine_rules(spec)
     }
 
     /// Discover *approximate* FDs (g3 error ≤ `max_g3_error`) with TANE —
     /// the practical mode on dirty data, where the true dependencies are
     /// violated by the very errors we are hunting.
     pub fn discover_rules_approx(&mut self, max_g3_error: f64) -> Result<usize, DataLensError> {
+        self.mine_rules(MinerSpec::Tane { max_g3_error })
+    }
+
+    fn mine_rules(&mut self, spec: MinerSpec) -> Result<usize, DataLensError> {
+        let engine = self.engine.clone();
         let state = self.state_mut()?;
-        let discovered = tane(
-            &state.table,
-            &TaneConfig {
-                max_g3_error,
-                ..TaneConfig::default()
-            },
-        );
+        let (discovered, stage) = engine.mine_rules(&state.table, spec);
+        state.stage_reports.push(stage);
         let mut added = 0;
         for r in discovered {
             if state.rules.add(r) {
@@ -304,23 +314,26 @@ impl DashboardController {
         })
     }
 
-    /// Run the named detectors (plus user tags when any are set),
+    /// Run the named detectors (plus user tags when any are set) through
+    /// the engine — fanning out across threads when configured — then
     /// consolidate, version-stamp, and log to MLflow-style tracking.
     pub fn run_detection(&mut self, tools: &[&str]) -> Result<usize, DataLensError> {
         let ctx = self.detection_context()?;
-        let mut detections = Vec::new();
-        {
-            let state = self.state()?;
-            for name in tools {
-                let det = detector_by_name(name)
-                    .ok_or_else(|| DataLensError::Unknown(format!("detector {name:?}")))?;
-                detections.push(det.detect(&state.table, &ctx));
-            }
-            if !state.tags.is_empty() && !tools.contains(&"user_tags") {
-                detections.push(TaggedValueDetector.detect(&state.table, &ctx));
-            }
+        let mut detectors: Vec<Box<dyn Detector>> = Vec::with_capacity(tools.len() + 1);
+        for name in tools {
+            detectors.push(
+                detector_by_name(name)
+                    .ok_or_else(|| DataLensError::Unknown(format!("detector {name:?}")))?,
+            );
         }
-        self.finish_detection(tools, detections)
+        let (detections, reports) = {
+            let state = self.state()?;
+            if !state.tags.is_empty() && !tools.contains(&"user_tags") {
+                detectors.push(Box::new(TaggedValueDetector));
+            }
+            self.engine.detect_all(&state.table, &ctx, &detectors)
+        };
+        self.record_detection(tools, detections, reports)
     }
 
     /// Record externally-produced detections (e.g. an interactive RAHA
@@ -330,10 +343,26 @@ impl DashboardController {
         tools: &[&str],
         detections: Vec<Detection>,
     ) -> Result<usize, DataLensError> {
-        let merged = ConsolidatedDetections::merge(detections);
+        self.record_detection(tools, detections, Vec::new())
+    }
+
+    /// Consolidate detections (deterministic name-sorted order), stamp
+    /// the Delta version, persist stage metrics, and update state.
+    fn record_detection(
+        &mut self,
+        tools: &[&str],
+        detections: Vec<Detection>,
+        mut reports: Vec<StageReport>,
+    ) -> Result<usize, DataLensError> {
+        let dims = {
+            let t = &self.state()?.table;
+            (t.n_rows(), t.n_rows() * t.n_cols())
+        };
+        let (merged, consolidate_report) = self.engine.consolidate(detections, dims);
+        reports.push(consolidate_report);
         let total = merged.total();
 
-        // Tracking: one run per detection batch.
+        // Tracking: one run per detection batch, with per-stage wall time.
         if let Some(store) = &self.tracking {
             let exp = store.get_or_create_experiment(EXPERIMENT_DETECTION)?;
             let run = store.start_run(&exp, &format!("detect {}", tools.join("+")))?;
@@ -342,6 +371,7 @@ impl DashboardController {
             for det in &merged.per_tool {
                 run.log_metric(&format!("n_{}", det.tool), det.len() as f64, 0)?;
             }
+            log_stage_metrics(&run, &reports)?;
             run.log_artifact(
                 "detections.json",
                 serde_json::to_vec(&merged.union)
@@ -362,6 +392,7 @@ impl DashboardController {
                 state.detection_tools_used.push(t.to_string());
             }
         }
+        state.stage_reports.extend(reports);
         state.detections = Some(merged);
         Ok(total)
     }
@@ -418,20 +449,21 @@ impl DashboardController {
         let repairer = repairer_by_name(tool)
             .ok_or_else(|| DataLensError::Unknown(format!("repair tool {tool:?}")))?;
         let seed = self.config.seed;
-        let (result, errors_len) = {
+        let (result, stage_report, errors_len) = {
             let state = self.state()?;
             let detections = state
                 .detections
                 .as_ref()
                 .ok_or_else(|| DataLensError::State("repair requires detection results".into()))?;
+            // Cheap share: the rule set is copy-on-write behind `Arc`.
             let ctx = RepairContext {
                 rules: state.rules.clone(),
                 seed,
             };
-            (
-                repairer.repair(&state.table, &detections.union, &ctx),
-                state.detections.as_ref().map(|d| d.total()).unwrap_or(0),
-            )
+            let (result, stage_report) =
+                self.engine
+                    .repair(&state.table, &detections.union, &ctx, repairer.as_ref());
+            (result, stage_report, detections.total())
         };
         let n_repaired = result.n_repaired();
 
@@ -441,6 +473,7 @@ impl DashboardController {
             run.log_param("tool", tool)?;
             run.log_param("n_error_cells", &errors_len.to_string())?;
             run.log_metric("n_repaired", n_repaired as f64, 0)?;
+            log_stage_metrics(&run, std::slice::from_ref(&stage_report))?;
             run.end(RunStatus::Finished)?;
         }
 
@@ -456,6 +489,7 @@ impl DashboardController {
         if !state.repair_tools_used.contains(&tool.to_string()) {
             state.repair_tools_used.push(tool.to_string());
         }
+        state.stage_reports.push(stage_report);
         state.repaired = Some(result.table);
         Ok(n_repaired)
     }
@@ -486,15 +520,27 @@ impl DashboardController {
 
     /// The Data Quality panel for the current (dirty) table.
     pub fn quality(&self) -> Result<QualityMetrics, DataLensError> {
+        Ok(self.quality_stage()?.0)
+    }
+
+    /// Run the quality-eval stage, returning metrics plus its report.
+    fn quality_stage(&self) -> Result<(QualityMetrics, StageReport), DataLensError> {
         let state = self.state()?;
         let flagged = state.detections.as_ref().map(|d| d.total()).unwrap_or(0);
-        Ok(QualityMetrics::compute(&state.table, &state.rules, flagged))
+        Ok(self.engine.quality(&state.table, &state.rules, flagged))
+    }
+
+    /// Stage instrumentation for everything the engine ran so far.
+    pub fn stage_reports(&self) -> Result<&[StageReport], DataLensError> {
+        Ok(&self.state()?.stage_reports)
     }
 
     /// Generate the DataSheet for the current pipeline state.
     pub fn generate_datasheet(&self) -> Result<DataSheet, DataLensError> {
         let state = self.state()?;
-        let quality = self.quality()?;
+        let (quality, quality_report) = self.quality_stage()?;
+        let mut stage_reports = state.stage_reports.clone();
+        stage_reports.push(quality_report);
         Ok(DataSheet {
             datasheet_version: 1,
             dataset_name: state.table.name().to_string(),
@@ -513,15 +559,12 @@ impl DashboardController {
             n_erroneous_cells: state.detections.as_ref().map(|d| d.total()).unwrap_or(0),
             repair_tools: state.repair_tools_used.clone(),
             tool_configurations: state.tool_configurations.clone(),
-            rules: state
-                .rules
-                .active()
-                .map(|r| r.fd.to_string())
-                .collect(),
+            rules: state.rules.active().map(|r| r.fd.to_string()).collect(),
             tagged_values: state.tags.values().to_vec(),
             detect_version: state.detect_version,
             repaired_version: state.repaired_version,
             quality_metrics: quality.as_map(),
+            stage_reports,
             seed: self.config.seed,
         })
     }
@@ -553,16 +596,21 @@ impl DashboardController {
     }
 }
 
+/// Persist per-stage wall-time metrics onto a tracking run.
+fn log_stage_metrics(run: &Run, reports: &[StageReport]) -> Result<(), DataLensError> {
+    for r in reports {
+        run.log_metric(&format!("wall_ms_{}", r.label()), r.wall_ms, 0)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use datalens_table::Column;
 
     fn tmp_workspace(name: &str) -> PathBuf {
-        let p = std::env::temp_dir().join(format!(
-            "datalens_ctrl_{}_{name}",
-            std::process::id()
-        ));
+        let p = std::env::temp_dir().join(format!("datalens_ctrl_{}_{name}", std::process::id()));
         std::fs::remove_dir_all(&p).ok();
         p
     }
@@ -597,10 +645,15 @@ mod tests {
             .iter()
             .any(|r| r.fd.to_string() == "[zip] -> city"));
 
-        let n = c.run_detection(&["sd", "iqr", "mv_detector", "nadeef"]).unwrap();
+        let n = c
+            .run_detection(&["sd", "iqr", "mv_detector", "nadeef"])
+            .unwrap();
         assert!(n > 0, "no detections");
         let det = c.detections().unwrap();
-        assert!(det.per_tool.iter().any(|d| d.tool == "nadeef" && !d.is_empty()));
+        assert!(det
+            .per_tool
+            .iter()
+            .any(|d| d.tool == "nadeef" && !d.is_empty()));
 
         let repaired = c.repair("standard_imputer").unwrap();
         assert!(repaired > 0);
@@ -636,6 +689,7 @@ mod tests {
         let mut c = DashboardController::new(DashboardConfig {
             workspace_dir: Some(ws.clone()),
             seed: 0,
+            ..Default::default()
         })
         .unwrap();
         c.ingest_csv_text("demo.csv", dirty_csv()).unwrap();
@@ -731,10 +785,9 @@ mod tests {
         assert!(outcome.tuples_reviewed >= outcome.tuples_labeled);
         assert!(outcome.tuples_labeled <= 10);
         // Feed into consolidation alongside a stat tool.
-        let sd = detector_by_name("sd").unwrap().detect(
-            c.table().unwrap(),
-            &DetectionContext::default(),
-        );
+        let sd = detector_by_name("sd")
+            .unwrap()
+            .detect(c.table().unwrap(), &DetectionContext::default());
         c.finish_detection(&["raha", "sd"], vec![outcome.detection, sd])
             .unwrap();
         assert!(c.detections().unwrap().total() > 0);
@@ -756,10 +809,7 @@ mod tests {
             c2.detections().unwrap().total(),
             c1.detections().unwrap().total()
         );
-        assert_eq!(
-            c2.repaired_table().unwrap(),
-            c1.repaired_table().unwrap()
-        );
+        assert_eq!(c2.repaired_table().unwrap(), c1.repaired_table().unwrap());
     }
 
     #[test]

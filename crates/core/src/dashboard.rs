@@ -93,8 +93,7 @@ pub fn render_tab(controller: &mut DashboardController, tab: Tab) -> Result<Stri
                     out.push_str(&d.render_distribution(&state.table));
                     // Explainability (paper future-work 2): why the first
                     // few cells were flagged.
-                    let explanations =
-                        datalens_detect::explain_all(&state.table, d, 5);
+                    let explanations = datalens_detect::explain_all(&state.table, d, 5);
                     if !explanations.is_empty() {
                         out.push_str("\nWhy were these cells flagged?\n");
                         for e in explanations {
@@ -113,7 +112,8 @@ pub fn render_tab(controller: &mut DashboardController, tab: Tab) -> Result<Stri
     Ok(out)
 }
 
-/// Render the whole main window: all tabs plus the quality panel.
+/// Render the whole main window: all tabs plus the quality panel and the
+/// engine's per-stage timing summary.
 pub fn render_dashboard(controller: &mut DashboardController) -> Result<String, DataLensError> {
     let mut out = String::from("══════════ DataLens ══════════\n\n");
     for tab in Tab::ALL {
@@ -121,6 +121,10 @@ pub fn render_dashboard(controller: &mut DashboardController) -> Result<String, 
         out.push('\n');
     }
     out.push_str(&controller.quality()?.render_text());
+    out.push('\n');
+    out.push_str(&crate::engine::render_stage_reports(
+        controller.stage_reports()?,
+    ));
     Ok(out)
 }
 
@@ -154,7 +158,8 @@ mod tests {
     #[test]
     fn profile_tab_includes_rules_after_discovery() {
         let mut c = loaded_controller();
-        c.discover_rules(crate::controller::RuleMiner::Tane).unwrap();
+        c.discover_rules(crate::controller::RuleMiner::Tane)
+            .unwrap();
         let text = render_tab(&mut c, Tab::DataProfile).unwrap();
         assert!(text.contains("Data Profile"));
         assert!(text.contains("FD rules"));
@@ -185,5 +190,9 @@ mod tests {
             assert!(text.contains(tab.title()), "missing {:?}", tab);
         }
         assert!(text.contains("Data Quality"));
+        // The engine's stage summary lists every executed stage.
+        assert!(text.contains("Pipeline stages"));
+        assert!(text.contains("detect:sd"));
+        assert!(text.contains("consolidate"));
     }
 }

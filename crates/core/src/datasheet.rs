@@ -11,6 +11,7 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
+use crate::engine::StageReport;
 use crate::error::DataLensError;
 use crate::ingest::DataSource;
 
@@ -45,6 +46,10 @@ pub struct DataSheet {
     pub repaired_version: Option<u64>,
     /// Data-quality metrics snapshot (name → value).
     pub quality_metrics: BTreeMap<String, f64>,
+    /// Per-stage engine instrumentation (wall time, volumes, flags).
+    /// Absent in sheets written before the engine existed.
+    #[serde(default)]
+    pub stage_reports: Vec<StageReport>,
     /// Seed used for stochastic tools.
     pub seed: u64,
 }
@@ -88,7 +93,9 @@ mod tests {
         DataSheet {
             datasheet_version: 1,
             dataset_name: "nasa".into(),
-            source: DataSource::Preloaded { name: "nasa".into() },
+            source: DataSource::Preloaded {
+                name: "nasa".into(),
+            },
             dirty_path: Some("datasets/nasa/dirty.csv".into()),
             repaired_path: Some("datasets/nasa/repaired.csv".into()),
             shape: (1200, 6),
@@ -101,6 +108,14 @@ mod tests {
             detect_version: Some(0),
             repaired_version: Some(1),
             quality_metrics: metrics,
+            stage_reports: vec![StageReport {
+                stage: "detect".into(),
+                detail: "sd".into(),
+                wall_ms: 1.5,
+                rows_processed: 1200,
+                cells_processed: 7200,
+                flags_produced: 321,
+            }],
             seed: 7,
         }
     }
@@ -116,10 +131,7 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let path = std::env::temp_dir().join(format!(
-            "datalens_sheet_{}.json",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("datalens_sheet_{}.json", std::process::id()));
         let s = sheet();
         s.save(&path).unwrap();
         let back = DataSheet::load(&path).unwrap();

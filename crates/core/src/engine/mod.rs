@@ -1,0 +1,294 @@
+//! The pipeline execution engine: runs typed [`Stage`]s, times each one
+//! into a [`StageReport`], and fans independent detect stages out across
+//! scoped threads.
+//!
+//! Determinism guarantee: detector results are collected by input index
+//! and the consolidate stage sorts detections by tool name before
+//! merging, so the engine's output is bit-identical whether it runs on
+//! one thread or many.
+
+pub mod report;
+pub mod stages;
+
+use std::time::Instant;
+
+use datalens_detect::{ConsolidatedDetections, Detection, DetectionContext, Detector};
+use datalens_fd::{FdRule, RuleSet};
+use datalens_profile::ProfileReport;
+use datalens_repair::{RepairContext, RepairResult, Repairer};
+use datalens_table::{CellRef, Table};
+
+pub use report::{render_stage_reports, StageKind, StageReport};
+pub use stages::{
+    ConsolidateStage, DetectStage, MineRulesStage, MinerSpec, ProfileStage, QualityStage,
+    RepairStage, Stage,
+};
+
+use crate::quality::QualityMetrics;
+
+/// How the engine schedules work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineConfig {
+    /// Worker threads for the detect fan-out. `0` = one per available
+    /// core, `1` = fully sequential.
+    pub threads: usize,
+    /// Seed handed to stochastic tools.
+    pub seed: u64,
+}
+
+/// The stage executor.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine { config }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The thread count actually used for fan-out.
+    pub fn effective_threads(&self) -> usize {
+        match self.config.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Run one stage, timing it into a [`StageReport`]. `dims` is the
+    /// (rows, cells) volume of the input the stage scans.
+    pub fn run<'a, S: Stage<'a>>(
+        &self,
+        stage: &S,
+        input: S::Input,
+        dims: (usize, usize),
+    ) -> (S::Output, StageReport) {
+        let start = Instant::now();
+        let output = stage.execute(input);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let flags = stage.flags(&output);
+        let report = StageReport {
+            stage: stage.kind().as_str().to_string(),
+            detail: stage.detail().to_string(),
+            wall_ms,
+            rows_processed: dims.0,
+            cells_processed: dims.1,
+            flags_produced: flags,
+        };
+        (output, report)
+    }
+
+    /// Profile the table.
+    pub fn profile(&self, table: &Table) -> (ProfileReport, StageReport) {
+        self.run(&ProfileStage, table, table_dims(table))
+    }
+
+    /// Mine FD rules.
+    pub fn mine_rules(&self, table: &Table, spec: MinerSpec) -> (Vec<FdRule>, StageReport) {
+        self.run(&MineRulesStage { spec }, table, table_dims(table))
+    }
+
+    /// Run every detector over the table, one detect stage per tool.
+    /// With more than one worker thread the tools fan out across scoped
+    /// threads; results always come back in input order.
+    pub fn detect_all(
+        &self,
+        table: &Table,
+        ctx: &DetectionContext,
+        detectors: &[Box<dyn Detector>],
+    ) -> (Vec<Detection>, Vec<StageReport>) {
+        let threads = self.effective_threads().min(detectors.len().max(1));
+        let mut slots: Vec<Option<(Detection, StageReport)>> = Vec::new();
+        slots.resize_with(detectors.len(), || None);
+        if threads <= 1 {
+            for (det, slot) in detectors.iter().zip(slots.iter_mut()) {
+                *slot = Some(self.detect_one(table, ctx, det.as_ref()));
+            }
+        } else {
+            let chunk = detectors.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (dets, out) in detectors.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (det, slot) in dets.iter().zip(out.iter_mut()) {
+                            *slot = Some(self.detect_one(table, ctx, det.as_ref()));
+                        }
+                    });
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every detector slot filled"))
+            .unzip()
+    }
+
+    /// Run a single detect stage.
+    pub fn detect_one(
+        &self,
+        table: &Table,
+        ctx: &DetectionContext,
+        detector: &dyn Detector,
+    ) -> (Detection, StageReport) {
+        self.run(&DetectStage { detector }, (table, ctx), table_dims(table))
+    }
+
+    /// Consolidate per-tool detections in deterministic (name-sorted)
+    /// order. `dims` is the (rows, cells) shape of the detected table.
+    pub fn consolidate(
+        &self,
+        detections: Vec<Detection>,
+        dims: (usize, usize),
+    ) -> (ConsolidatedDetections, StageReport) {
+        self.run(&ConsolidateStage, detections, dims)
+    }
+
+    /// Repair the flagged cells.
+    pub fn repair(
+        &self,
+        table: &Table,
+        errors: &[CellRef],
+        ctx: &RepairContext,
+        repairer: &dyn Repairer,
+    ) -> (RepairResult, StageReport) {
+        self.run(
+            &RepairStage { repairer },
+            (table, errors, ctx),
+            table_dims(table),
+        )
+    }
+
+    /// Compute quality metrics for the table.
+    pub fn quality(
+        &self,
+        table: &Table,
+        rules: &RuleSet,
+        flagged: usize,
+    ) -> (QualityMetrics, StageReport) {
+        self.run(&QualityStage, (table, rules, flagged), table_dims(table))
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+fn table_dims(table: &Table) -> (usize, usize) {
+    (table.n_rows(), table.n_rows() * table.n_cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datalens_detect::detector_by_name;
+    use datalens_repair::repairer_by_name;
+    use datalens_table::Column;
+
+    fn engine(threads: usize) -> Engine {
+        Engine::new(EngineConfig { threads, seed: 7 })
+    }
+
+    fn table() -> Table {
+        let mut xs: Vec<Option<i64>> = (0..40).map(|i| Some(10 + i % 5)).collect();
+        xs.push(Some(100_000));
+        xs.push(None);
+        let ys: Vec<Option<i64>> = (0..xs.len() as i64).map(Some).collect();
+        Table::new(
+            "t",
+            vec![Column::from_i64("x", xs), Column::from_i64("y", ys)],
+        )
+        .unwrap()
+    }
+
+    fn detectors(names: &[&str]) -> Vec<Box<dyn Detector>> {
+        names
+            .iter()
+            .map(|n| detector_by_name(n).expect("known detector"))
+            .collect()
+    }
+
+    #[test]
+    fn profile_stage_is_timed_and_sized() {
+        let t = table();
+        let (report, stage) = engine(1).profile(&t);
+        assert_eq!(report.table.n_rows, t.n_rows());
+        assert_eq!(stage.stage, "profile");
+        assert_eq!(stage.rows_processed, t.n_rows());
+        assert_eq!(stage.cells_processed, t.n_rows() * t.n_cols());
+        assert!(stage.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn detect_all_parallel_matches_sequential() {
+        let t = table();
+        let ctx = DetectionContext::default();
+        let tools = ["sd", "iqr", "mv_detector", "fahes", "isolation_forest"];
+        let (seq, seq_reports) = engine(1).detect_all(&t, &ctx, &detectors(&tools));
+        let (par, par_reports) = engine(8).detect_all(&t, &ctx, &detectors(&tools));
+        assert_eq!(seq, par);
+        // Reports come back in input order regardless of scheduling.
+        let seq_tools: Vec<&str> = seq_reports.iter().map(|r| r.detail.as_str()).collect();
+        let par_tools: Vec<&str> = par_reports.iter().map(|r| r.detail.as_str()).collect();
+        assert_eq!(seq_tools, tools.to_vec());
+        assert_eq!(par_tools, tools.to_vec());
+    }
+
+    #[test]
+    fn consolidate_is_order_insensitive() {
+        let t = table();
+        let ctx = DetectionContext::default();
+        let e = engine(1);
+        let (mut dets, _) = e.detect_all(&t, &ctx, &detectors(&["sd", "mv_detector", "iqr"]));
+        let (a, _) = e.consolidate(dets.clone(), table_dims(&t));
+        dets.reverse();
+        let (b, _) = e.consolidate(dets, table_dims(&t));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repair_stage_counts_flags() {
+        let t = table();
+        let e = engine(1);
+        let (dets, _) = e.detect_all(
+            &t,
+            &DetectionContext::default(),
+            &detectors(&["mv_detector"]),
+        );
+        let (merged, _) = e.consolidate(dets, table_dims(&t));
+        let repairer = repairer_by_name("standard_imputer").unwrap();
+        let (result, report) = e.repair(
+            &t,
+            &merged.union,
+            &RepairContext::default(),
+            repairer.as_ref(),
+        );
+        assert_eq!(report.stage, "repair");
+        assert_eq!(report.detail, "standard_imputer");
+        assert_eq!(report.flags_produced, result.n_repaired());
+        assert!(result.n_repaired() > 0);
+    }
+
+    #[test]
+    fn thread_config_resolves() {
+        assert_eq!(engine(3).effective_threads(), 3);
+        assert!(engine(0).effective_threads() >= 1);
+    }
+
+    #[test]
+    fn more_threads_than_tools_is_fine() {
+        let t = table();
+        let ctx = DetectionContext::default();
+        let (seq, _) = engine(1).detect_all(&t, &ctx, &detectors(&["sd"]));
+        let (par, _) = engine(16).detect_all(&t, &ctx, &detectors(&["sd"]));
+        assert_eq!(seq, par);
+        let (none, reports) = engine(16).detect_all(&t, &ctx, &[]);
+        assert!(none.is_empty() && reports.is_empty());
+    }
+}

@@ -113,10 +113,7 @@ impl SqlSource for InMemorySqlSource {
 }
 
 /// Ingest from a SQL source.
-pub fn sql(
-    source: &dyn SqlSource,
-    table_name: &str,
-) -> Result<(Table, DataSource), DataLensError> {
+pub fn sql(source: &dyn SqlSource, table_name: &str) -> Result<(Table, DataSource), DataLensError> {
     let table = source.load_table(table_name)?;
     Ok((
         table,
@@ -136,7 +133,12 @@ mod tests {
     fn preloaded_ingestion() {
         let (t, src) = preloaded("nasa", 0).unwrap();
         assert!(t.n_rows() > 100);
-        assert_eq!(src, DataSource::Preloaded { name: "nasa".into() });
+        assert_eq!(
+            src,
+            DataSource::Preloaded {
+                name: "nasa".into()
+            }
+        );
         assert!(preloaded("bogus", 0).is_err());
     }
 
@@ -156,9 +158,8 @@ mod tests {
 
     #[test]
     fn sql_ingestion() {
-        let db = InMemorySqlSource::new("prod").with_table(
-            Table::new("users", vec![Column::from_i64("id", [Some(1)])]).unwrap(),
-        );
+        let db = InMemorySqlSource::new("prod")
+            .with_table(Table::new("users", vec![Column::from_i64("id", [Some(1)])]).unwrap());
         assert_eq!(db.list_tables(), vec!["users"]);
         let (t, src) = sql(&db, "users").unwrap();
         assert_eq!(t.name(), "users");

@@ -14,8 +14,8 @@ use datalens_ml::encode::{
     classification_target, regression_target, CategoricalEncoding, TableEncoder,
 };
 use datalens_ml::metrics::{f1_macro, mse};
-use datalens_ml::tree::{Criterion, DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
 use datalens_ml::train_test_split;
+use datalens_ml::tree::{Criterion, DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
 use datalens_optimize::{
     Direction, GridSampler, RandomSampler, Sampler, SearchSpace, Study, TpeSampler,
 };
@@ -127,10 +127,18 @@ fn tree_from_params(params: &datalens_optimize::Params, joint: bool) -> TreeConf
 
 /// Default candidate detectors for the search space.
 pub fn default_search_detectors() -> Vec<String> {
-    ["sd", "iqr", "mv_detector", "fahes", "holoclean", "raha", "min_k"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "sd",
+        "iqr",
+        "mv_detector",
+        "fahes",
+        "holoclean",
+        "raha",
+        "min_k",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 /// Train the downstream model on `table` and score it: the §4 scoring
@@ -351,21 +359,16 @@ pub fn run_iterative_cleaning(
             .expect("categorical")
             .to_string();
         let tree = tree_from_params(&trial.params, config.include_model_params);
-        let score =
-            clean_and_score_with(dirty, rules, &detector, &repairer, config, &tree).unwrap_or(
-                match direction {
-                    Direction::Minimize => f64::INFINITY,
-                    Direction::Maximize => f64::NEG_INFINITY,
-                },
-            );
+        let score = clean_and_score_with(dirty, rules, &detector, &repairer, config, &tree)
+            .unwrap_or(match direction {
+                Direction::Minimize => f64::INFINITY,
+                Direction::Maximize => f64::NEG_INFINITY,
+            });
         study.tell(trial.id, score);
         let mut model_params = std::collections::BTreeMap::new();
         if config.include_model_params {
             model_params.insert("max_depth".to_string(), tree.max_depth as i64);
-            model_params.insert(
-                "min_samples_leaf".to_string(),
-                tree.min_samples_leaf as i64,
-            );
+            model_params.insert("min_samples_leaf".to_string(), tree.min_samples_leaf as i64);
         }
         trials.push(TrialOutcome {
             detector,
@@ -466,8 +469,7 @@ mod tests {
         let dd = registry::dirty("nasa", 3).unwrap();
         let mut cfg = small_config(Task::Regression, datalens_datasets::nasa::TARGET, 6);
         cfg.include_model_params = true;
-        let report =
-            run_iterative_cleaning(&dd.dirty, &RuleSet::new(), &cfg, None).unwrap();
+        let report = run_iterative_cleaning(&dd.dirty, &RuleSet::new(), &cfg, None).unwrap();
         // Every trial records its sampled model hyperparameters, in range.
         for t in &report.trials {
             let d = t.model_params["max_depth"];
@@ -484,8 +486,7 @@ mod tests {
         let dd = registry::dirty("nasa", 3).unwrap();
         let mut cfg = small_config(Task::Regression, datalens_datasets::nasa::TARGET, 10);
         cfg.score_threshold = Some(f64::INFINITY); // any finite score passes
-        let report =
-            run_iterative_cleaning(&dd.dirty, &RuleSet::new(), &cfg, None).unwrap();
+        let report = run_iterative_cleaning(&dd.dirty, &RuleSet::new(), &cfg, None).unwrap();
         assert_eq!(report.iterations_run, 1);
     }
 
@@ -502,10 +503,22 @@ mod tests {
     #[test]
     fn train_and_score_is_deterministic() {
         let dd = registry::dirty("nasa", 1).unwrap();
-        let a = train_and_score(&dd.dirty, datalens_datasets::nasa::TARGET, Task::Regression, 0.25, 7)
-            .unwrap();
-        let b = train_and_score(&dd.dirty, datalens_datasets::nasa::TARGET, Task::Regression, 0.25, 7)
-            .unwrap();
+        let a = train_and_score(
+            &dd.dirty,
+            datalens_datasets::nasa::TARGET,
+            Task::Regression,
+            0.25,
+            7,
+        )
+        .unwrap();
+        let b = train_and_score(
+            &dd.dirty,
+            datalens_datasets::nasa::TARGET,
+            Task::Regression,
+            0.25,
+            7,
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -36,6 +36,7 @@
 pub mod controller;
 pub mod dashboard;
 pub mod datasheet;
+pub mod engine;
 pub mod error;
 pub mod ingest;
 pub mod iterative;
@@ -46,6 +47,7 @@ pub mod user;
 
 pub use controller::{DashboardConfig, DashboardController, RahaOutcome, RuleMiner};
 pub use datasheet::DataSheet;
+pub use engine::{Engine, EngineConfig, MinerSpec, Stage, StageKind, StageReport};
 pub use error::DataLensError;
 pub use ingest::{DataSource, InMemorySqlSource, SqlSource};
 pub use iterative::{

@@ -131,9 +131,7 @@ pub fn recommend_tools(profile: &ProfileReport, rules: &RuleSet) -> Vec<Recommen
     if n_string > 0 {
         out.push(Recommendation {
             tool: "katara",
-            reason: format!(
-                "{n_string} string column(s) to align against the knowledge base"
-            ),
+            reason: format!("{n_string} string column(s) to align against the knowledge base"),
         });
     }
 

@@ -18,12 +18,13 @@ use serde::{Deserialize, Serialize};
 
 use datalens_detect::{detector_by_name, DetectionContext, DETECTOR_NAMES};
 use datalens_fd::{Fd, FdRule, RuleSet};
-use datalens_profile::{ProfileConfig, ProfileReport};
 use datalens_repair::{repairer_by_name, RepairContext, REPAIRER_NAMES};
 use datalens_rest::http::Method;
 use datalens_rest::{Response, Router};
 use datalens_table::csv::{read_csv_str, write_csv_str, CsvOptions};
 use datalens_table::CellRef;
+
+use crate::engine::{Engine, EngineConfig, StageReport};
 
 /// Wire form of a cell reference.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -59,6 +60,8 @@ pub struct DetectRequest {
 pub struct DetectResponse {
     pub tool: String,
     pub cells: Vec<WireCell>,
+    /// Engine instrumentation for the detect stage.
+    pub report: StageReport,
 }
 
 /// `POST /repair` request.
@@ -75,6 +78,8 @@ pub struct RepairResponse {
     pub tool: String,
     pub csv: String,
     pub n_repaired: usize,
+    /// Engine instrumentation for the repair stage.
+    pub report: StageReport,
 }
 
 /// `PUT /context` request: replaces the shared detection context.
@@ -101,9 +106,11 @@ struct ServiceState {
 }
 
 /// Build the tool-service router (mount it on a
-/// [`datalens_rest::Server`]).
+/// [`datalens_rest::Server`]). Each endpoint is a thin façade over the
+/// pipeline [`Engine`], so wire responses carry stage instrumentation.
 pub fn tool_service_router(seed: u64) -> Router {
     let state = Arc::new(Mutex::new(ServiceState::default()));
+    let engine = Arc::new(Engine::new(EngineConfig { threads: 0, seed }));
 
     let st = Arc::clone(&state);
     let router = Router::new()
@@ -134,6 +141,7 @@ pub fn tool_service_router(seed: u64) -> Router {
         });
 
     let st = Arc::clone(&state);
+    let eng = Arc::clone(&engine);
     let router = router.route(Method::Post, "/detect", move |req| {
         let body: DetectRequest = match req.json() {
             Ok(b) => b,
@@ -154,14 +162,16 @@ pub fn tool_service_router(seed: u64) -> Router {
                 seed,
             }
         };
-        let detection = det.detect(&table, &ctx);
+        let (detection, report) = eng.detect_one(&table, &ctx, det.as_ref());
         Response::json(&DetectResponse {
             tool: detection.tool.clone(),
             cells: detection.cells.iter().map(|&c| c.into()).collect(),
+            report,
         })
     });
 
     let st = Arc::clone(&state);
+    let eng = Arc::clone(&engine);
     let router = router.route(Method::Post, "/repair", move |req| {
         let body: RepairRequest = match req.json() {
             Ok(b) => b,
@@ -182,15 +192,17 @@ pub fn tool_service_router(seed: u64) -> Router {
                 seed,
             }
         };
-        let result = rep.repair(&table, &errors, &ctx);
+        let (result, report) = eng.repair(&table, &errors, &ctx, rep.as_ref());
         Response::json(&RepairResponse {
             tool: result.tool.clone(),
             csv: write_csv_str(&result.table),
             n_repaired: result.n_repaired(),
+            report,
         })
     });
 
-    router.route(Method::Post, "/profile", |req| {
+    let eng = Arc::clone(&engine);
+    router.route(Method::Post, "/profile", move |req| {
         #[derive(Deserialize)]
         struct ProfileRequest {
             csv: String,
@@ -203,7 +215,7 @@ pub fn tool_service_router(seed: u64) -> Router {
             Ok(t) => t,
             Err(e) => return Response::error(400, &e.to_string()),
         };
-        let report = ProfileReport::build(&table, &ProfileConfig::default());
+        let (report, _stage) = eng.profile(&table);
         Response::json(&report)
     })
 }
@@ -247,6 +259,10 @@ mod tests {
         assert_eq!(resp.tool, "sd");
         assert_eq!(resp.cells.len(), 1);
         assert_eq!(resp.cells[0].row, 30);
+        assert_eq!(resp.report.stage, "detect");
+        assert_eq!(resp.report.detail, "sd");
+        assert_eq!(resp.report.rows_processed, 31);
+        assert_eq!(resp.report.flags_produced, 1);
     }
 
     #[test]
@@ -264,6 +280,8 @@ mod tests {
             .unwrap();
         assert_eq!(resp.n_repaired, 1);
         assert!(resp.csv.contains("1.5") || resp.csv.contains("2")); // mean of 1,2
+        assert_eq!(resp.report.stage, "repair");
+        assert_eq!(resp.report.flags_produced, 1);
     }
 
     #[test]

@@ -62,7 +62,11 @@ fn detect_with_tags_and_rules() {
         "--rule",
         "zip determines city",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Error Detection Results"));
     assert!(text.contains("Why were these cells flagged?"));
@@ -72,10 +76,8 @@ fn detect_with_tags_and_rules() {
 #[test]
 fn repair_writes_output_file() {
     let csv = demo_csv();
-    let out_path = std::env::temp_dir().join(format!(
-        "datalens_cli_out_{}.csv",
-        std::process::id()
-    ));
+    let out_path =
+        std::env::temp_dir().join(format!("datalens_cli_out_{}.csv", std::process::id()));
     let out = datalens(&[
         "repair",
         csv.to_str().unwrap(),
@@ -86,10 +88,17 @@ fn repair_writes_output_file() {
         "-o",
         out_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let written = std::fs::read_to_string(&out_path).expect("output file exists");
     // The null pop cell was imputed: no empty trailing field remains.
-    assert!(!written.lines().skip(1).any(|l| l.ends_with(',')), "{written}");
+    assert!(
+        !written.lines().skip(1).any(|l| l.ends_with(',')),
+        "{written}"
+    );
     std::fs::remove_file(&out_path).ok();
 }
 

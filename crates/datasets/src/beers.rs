@@ -111,8 +111,7 @@ pub fn generate(config: &BeersConfig) -> Table {
         let a = (mean_abv + abv_noise.sample(&mut rng)).clamp(3.0, 14.0);
         let b = (mean_ibu + ibu_noise.sample(&mut rng)).clamp(4.0, 120.0);
         let oz = *[12.0, 16.0, 19.2].choose(&mut rng).expect("nonempty");
-        let (brew, brew_city, brew_state) =
-            breweries.choose(&mut rng).expect("nonempty").clone();
+        let (brew, brew_city, brew_state) = breweries.choose(&mut rng).expect("nonempty").clone();
 
         id.push(Some(i as i64 + 1));
         name.push(Some(format!(
@@ -160,7 +159,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(generate(&BeersConfig::default()), generate(&BeersConfig::default()));
+        assert_eq!(
+            generate(&BeersConfig::default()),
+            generate(&BeersConfig::default())
+        );
     }
 
     #[test]

@@ -166,7 +166,11 @@ mod tests {
         let mut errors = BTreeMap::new();
         errors.insert(CellRef::new(1, 0), ErrorType::MissingValue);
         errors.insert(CellRef::new(3, 0), ErrorType::Outlier);
-        DirtyDataset { clean, dirty, errors }
+        DirtyDataset {
+            clean,
+            dirty,
+            errors,
+        }
     }
 
     #[test]

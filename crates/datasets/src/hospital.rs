@@ -53,9 +53,21 @@ const MEASURES: [(&str, &str, &str); 12] = [
     ("PN-2", "pneumococcal vaccination", "pneumonia"),
     ("PN-3b", "blood culture before antibiotic", "pneumonia"),
     ("PN-6", "initial antibiotic selection", "pneumonia"),
-    ("SCIP-1", "prophylactic antibiotic within 1 hour", "surgical infection prevention"),
-    ("SCIP-2", "prophylactic antibiotic selection", "surgical infection prevention"),
-    ("SCIP-3", "antibiotic discontinued within 24 hours", "surgical infection prevention"),
+    (
+        "SCIP-1",
+        "prophylactic antibiotic within 1 hour",
+        "surgical infection prevention",
+    ),
+    (
+        "SCIP-2",
+        "prophylactic antibiotic selection",
+        "surgical infection prevention",
+    ),
+    (
+        "SCIP-3",
+        "antibiotic discontinued within 24 hours",
+        "surgical infection prevention",
+    ),
 ];
 
 const LOCATIONS: [(&str, &str, &str, &str); 10] = [
@@ -72,8 +84,16 @@ const LOCATIONS: [(&str, &str, &str, &str); 10] = [
 ];
 
 const NAME_PARTS: [&str; 10] = [
-    "general", "regional", "memorial", "baptist", "methodist", "university", "community",
-    "sacred heart", "st mary", "providence",
+    "general",
+    "regional",
+    "memorial",
+    "baptist",
+    "methodist",
+    "university",
+    "community",
+    "sacred heart",
+    "st mary",
+    "providence",
 ];
 
 /// Generate the clean hospital-like table. Columns: `provider_id`,

@@ -80,11 +80,7 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
         .collect();
 
     // Column metadata gathered once.
-    let col_stats: Vec<ColumnInfo> = clean
-        .columns()
-        .iter()
-        .map(ColumnInfo::gather)
-        .collect();
+    let col_stats: Vec<ColumnInfo> = clean.columns().iter().map(ColumnInfo::gather).collect();
 
     for cell in clean.cell_refs().collect::<Vec<_>>() {
         if protected.contains(&cell.col) {
@@ -110,7 +106,10 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
                         .to_string(),
                 ),
                 _ => {
-                    let s = *config.sentinels.choose(&mut rng).expect("sentinels nonempty");
+                    let s = *config
+                        .sentinels
+                        .choose(&mut rng)
+                        .expect("sentinels nonempty");
                     match dtype {
                         DataType::Float => Value::Float(s as f64),
                         _ => Value::Int(s),
@@ -118,7 +117,11 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
                 }
             },
             ErrorType::Outlier => {
-                let v = clean.get(cell).expect("in range").as_f64().expect("numeric");
+                let v = clean
+                    .get(cell)
+                    .expect("in range")
+                    .as_f64()
+                    .expect("numeric");
                 let spread = info.std.max(info.mean.abs() * 0.1).max(1.0);
                 let direction = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
                 let shifted = v + direction * spread * rng.random_range(5.0..12.0);
@@ -138,11 +141,8 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
             }
             ErrorType::CategorySwap | ErrorType::FdViolation => {
                 let current = clean.get(cell).expect("in range").render();
-                let alternatives: Vec<&String> = info
-                    .categories
-                    .iter()
-                    .filter(|c| **c != current)
-                    .collect();
+                let alternatives: Vec<&String> =
+                    info.categories.iter().filter(|c| **c != current).collect();
                 match alternatives.choose(&mut rng) {
                     Some(alt) => Value::Str((*alt).clone()),
                     None => continue,
@@ -161,8 +161,7 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
     // FD violations on the configured dependent columns (overrides any
     // earlier corruption on the chosen cells for labelling clarity).
     for (det, dep) in &config.fd_pairs {
-        let (Some(_det_idx), Some(dep_idx)) =
-            (clean.column_index(det), clean.column_index(dep))
+        let (Some(_det_idx), Some(dep_idx)) = (clean.column_index(det), clean.column_index(dep))
         else {
             continue;
         };
@@ -179,11 +178,8 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
                 continue;
             }
             let current = clean.get(cell).expect("in range").render();
-            let alternatives: Vec<&String> = info
-                .categories
-                .iter()
-                .filter(|c| **c != current)
-                .collect();
+            let alternatives: Vec<&String> =
+                info.categories.iter().filter(|c| **c != current).collect();
             if let Some(alt) = alternatives.choose(&mut rng) {
                 dirty
                     .set(cell, Value::Str((*alt).clone()))
@@ -222,7 +218,11 @@ impl ColumnInfo {
             .into_iter()
             .map(|(v, _)| v.render())
             .collect();
-        ColumnInfo { mean, std, categories }
+        ColumnInfo {
+            mean,
+            std,
+            categories,
+        }
     }
 }
 
@@ -307,7 +307,10 @@ mod tests {
                         .map(|i| Some(["alpha", "beta", "gamma"][i % 3]))
                         .collect::<Vec<_>>(),
                 ),
-                Column::from_f64("target", (0..rows).map(|i| Some(i as f64 * 2.0)).collect::<Vec<_>>()),
+                Column::from_f64(
+                    "target",
+                    (0..rows).map(|i| Some(i as f64 * 2.0)).collect::<Vec<_>>(),
+                ),
             ],
         )
         .unwrap()

@@ -29,8 +29,8 @@ pub mod nasa;
 pub mod registry;
 
 pub use beers::BeersConfig;
-pub use hospital::HospitalConfig;
 pub use ground_truth::{DetectionScore, DirtyDataset, ErrorType};
+pub use hospital::HospitalConfig;
 pub use injector::{inject, InjectionConfig};
 pub use nasa::NasaConfig;
 pub use registry::{catalog, Task};

@@ -62,14 +62,12 @@ pub fn generate(config: &NasaConfig) -> Table {
         let v = *velocity_options.choose(&mut rng).expect("nonempty");
         // Suction-side displacement thickness grows with angle, shrinks
         // with velocity (loosely physical).
-        let t = 0.001 * (1.0 + a / 5.0).powf(1.5) * (71.3 / v).sqrt()
-            * rng.random_range(0.8..1.2);
+        let t = 0.001 * (1.0 + a / 5.0).powf(1.5) * (71.3 / v).sqrt() * rng.random_range(0.8..1.2);
 
         // Response surface: base level minus frequency & thickness
         // penalties plus velocity gain — roughly the shape of the real
         // airfoil SPL response, values landing in ~[100, 140] dB.
-        let spl = 132.0 - 7.5 * ((f / 1000.0).ln()).powi(2) / 4.0 - 1.2 * a
-            + 9.0 * (v / 71.3).ln()
+        let spl = 132.0 - 7.5 * ((f / 1000.0).ln()).powi(2) / 4.0 - 1.2 * a + 9.0 * (v / 71.3).ln()
             - 800.0 * t
             + 14.0 * (c / 0.3048)
             + noise.sample(&mut rng);

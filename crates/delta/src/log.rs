@@ -201,10 +201,8 @@ mod tests {
     use super::*;
 
     fn tmp(name: &str) -> PathBuf {
-        let p = std::env::temp_dir().join(format!(
-            "datalens_delta_log_{}_{name}",
-            std::process::id()
-        ));
+        let p =
+            std::env::temp_dir().join(format!("datalens_delta_log_{}_{name}", std::process::id()));
         fs::remove_dir_all(&p).ok();
         p
     }
@@ -251,10 +249,7 @@ mod tests {
         assert_eq!(latest_version(&root).unwrap(), Some(1));
         // Introduce a gap.
         write_commit(&root, 3, &[]).unwrap();
-        assert!(matches!(
-            latest_version(&root),
-            Err(DeltaError::Corrupt(_))
-        ));
+        assert!(matches!(latest_version(&root), Err(DeltaError::Corrupt(_))));
         fs::remove_dir_all(&root).ok();
     }
 

@@ -16,8 +16,8 @@ use datalens_table::csv::{read_csv_str, write_csv_str, CsvOptions};
 use datalens_table::Table;
 
 use crate::log::{
-    latest_version, now_millis, read_commit, write_commit, Action, AddFile, CommitInfo,
-    DeltaError, MetaData, RemoveFile,
+    latest_version, now_millis, read_commit, write_commit, Action, AddFile, CommitInfo, DeltaError,
+    MetaData, RemoveFile,
 };
 
 /// A versioned table rooted at a directory.
@@ -88,8 +88,7 @@ impl DeltaTable {
 
     /// Latest committed version.
     pub fn latest_version(&self) -> Result<u64, DeltaError> {
-        latest_version(&self.root)?
-            .ok_or_else(|| DeltaError::Corrupt("log disappeared".into()))
+        latest_version(&self.root)?.ok_or_else(|| DeltaError::Corrupt("log disappeared".into()))
     }
 
     /// Commit `table` as a new version. Returns the new version number.
@@ -170,9 +169,7 @@ impl DeltaTable {
                     Action::CommitInfo(ci) => Some(ci),
                     _ => None,
                 })
-                .ok_or_else(|| {
-                    DeltaError::Corrupt(format!("version {v} lacks commitInfo"))
-                })?;
+                .ok_or_else(|| DeltaError::Corrupt(format!("version {v} lacks commitInfo")))?;
             out.push(HistoryEntry { version: v, info });
         }
         Ok(out)
@@ -270,10 +267,8 @@ mod tests {
     use datalens_table::{CellRef, Column, Value};
 
     fn tmp(name: &str) -> PathBuf {
-        let p = std::env::temp_dir().join(format!(
-            "datalens_delta_tbl_{}_{name}",
-            std::process::id()
-        ));
+        let p =
+            std::env::temp_dir().join(format!("datalens_delta_tbl_{}_{name}", std::process::id()));
         fs::remove_dir_all(&p).ok();
         p
     }

@@ -77,12 +77,7 @@ impl ConsolidatedDetections {
         let names = table.column_names();
         let counts = self.per_attribute_counts(table);
         let mut out = String::new();
-        let tool_w = counts
-            .keys()
-            .map(String::len)
-            .max()
-            .unwrap_or(4)
-            .max(4);
+        let tool_w = counts.keys().map(String::len).max().unwrap_or(4).max(4);
         out.push_str(&format!("{:<tool_w$}", "tool", tool_w = tool_w));
         for n in &names {
             out.push_str(&format!("  {n:>12}"));
@@ -171,10 +166,11 @@ mod tests {
 
     #[test]
     fn duplicate_tool_name_not_double_counted() {
-        let merged = ConsolidatedDetections::merge(vec![
-            det("sd", &[(0, 0)]),
-            det("sd", &[(0, 0)]),
-        ]);
-        assert_eq!(merged.provenance[&CellRef::new(0, 0)], vec!["sd".to_string()]);
+        let merged =
+            ConsolidatedDetections::merge(vec![det("sd", &[(0, 0)]), det("sd", &[(0, 0)])]);
+        assert_eq!(
+            merged.provenance[&CellRef::new(0, 0)],
+            vec!["sd".to_string()]
+        );
     }
 }

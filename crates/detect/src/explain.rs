@@ -127,7 +127,10 @@ fn evidence_for(table: &Table, cell: CellRef, tool: &str) -> String {
             if value.is_null() {
                 "cell is null".into()
             } else {
-                format!("value {:?} is a configured null-equivalent token", value.render())
+                format!(
+                    "value {:?} is a configured null-equivalent token",
+                    value.render()
+                )
             }
         }
         "fahes" => {
@@ -180,7 +183,10 @@ fn evidence_for(table: &Table, cell: CellRef, tool: &str) -> String {
                    cell's detector-signature dirty"
             .into(),
         "min_k" => "at least K base detectors independently flagged this cell".into(),
-        "user_tags" => format!("value {:?} was tagged as known-dirty by the user", value.render()),
+        "user_tags" => format!(
+            "value {:?} was tagged as known-dirty by the user",
+            value.render()
+        ),
         "isolation_forest" => "the cell's row isolates in anomalously short paths across the \
                                random isolation trees, and this cell is its most extreme value"
             .into(),
@@ -209,7 +215,11 @@ mod tests {
         let exp = explain_cell(&t, &merged, CellRef::new(7, 0)).unwrap();
         assert_eq!(exp.column, "x");
         assert_eq!(exp.reasons.len(), 1);
-        assert!(exp.reasons[0].message.contains("σ"), "{}", exp.reasons[0].message);
+        assert!(
+            exp.reasons[0].message.contains("σ"),
+            "{}",
+            exp.reasons[0].message
+        );
         assert!(exp.render().contains("[sd]"));
     }
 
@@ -246,8 +256,7 @@ mod tests {
     fn null_cell_mv_explanation() {
         let t = Table::new("t", vec![Column::from_f64("x", [Some(1.0), None])]).unwrap();
         let cell = CellRef::new(1, 0);
-        let merged =
-            ConsolidatedDetections::merge(vec![Detection::new("mv_detector", vec![cell])]);
+        let merged = ConsolidatedDetections::merge(vec![Detection::new("mv_detector", vec![cell])]);
         let exp = explain_cell(&t, &merged, cell).unwrap();
         assert_eq!(exp.reasons[0].message, "cell is null");
     }

@@ -37,10 +37,12 @@ impl Default for FahesConfig {
     fn default() -> Self {
         FahesConfig {
             numeric_sentinels: vec![-1, -9, -99, -999, -9999, 0, 9999, 99999, 999999],
-            placeholders: ["?", "-", "--", "unknown", "missing", "none", "n/a", "na", "null", "tbd", "xxx"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            placeholders: [
+                "?", "-", "--", "unknown", "missing", "none", "n/a", "na", "null", "tbd", "xxx",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
             spike_fraction: 0.15,
             pattern_coverage: 0.7,
         }
@@ -97,8 +99,8 @@ impl FahesDetector {
         }
 
         for (_, (value, count)) in counts.iter() {
-            let is_known = value.fract() == 0.0
-                && self.config.numeric_sentinels.contains(&(*value as i64));
+            let is_known =
+                value.fract() == 0.0 && self.config.numeric_sentinels.contains(&(*value as i64));
             // Spikes are only meaningful in quasi-continuous columns; in a
             // low-cardinality column every legitimate level is "frequent".
             let is_spike = counts.len() >= 10

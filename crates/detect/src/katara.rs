@@ -67,23 +67,39 @@ pub fn default_knowledge_base() -> Vec<Domain> {
         Domain {
             name: "us_state_code",
             validator: dict(&[
-                "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL",
-                "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT",
-                "NE", "NV", "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI",
-                "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY", "DC",
+                "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN",
+                "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV",
+                "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN",
+                "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY", "DC",
             ]),
         },
         Domain {
             name: "month",
             validator: dict(&[
-                "january", "february", "march", "april", "may", "june", "july", "august",
-                "september", "october", "november", "december",
+                "january",
+                "february",
+                "march",
+                "april",
+                "may",
+                "june",
+                "july",
+                "august",
+                "september",
+                "october",
+                "november",
+                "december",
             ]),
         },
         Domain {
             name: "weekday",
             validator: dict(&[
-                "monday", "tuesday", "wednesday", "thursday", "friday", "saturday", "sunday",
+                "monday",
+                "tuesday",
+                "wednesday",
+                "thursday",
+                "friday",
+                "saturday",
+                "sunday",
             ]),
         },
         Domain {
@@ -132,9 +148,7 @@ impl KataraDetector {
         for domain in &self.knowledge_base {
             let hits = values.iter().filter(|v| domain.contains(v)).count();
             let cover = hits as f64 / values.len() as f64;
-            if cover >= self.alignment_threshold
-                && best.as_ref().is_none_or(|(_, c)| cover > *c)
-            {
+            if cover >= self.alignment_threshold && best.as_ref().is_none_or(|(_, c)| cover > *c) {
                 best = Some((domain, cover));
             }
         }
@@ -199,8 +213,14 @@ mod tests {
 
     #[test]
     fn aligned_column_flags_non_members() {
-        let mut vals: Vec<Option<&str>> =
-            vec![Some("CA"), Some("OR"), Some("TX"), Some("WA"), Some("NY"), Some("CO")];
+        let mut vals: Vec<Option<&str>> = vec![
+            Some("CA"),
+            Some("OR"),
+            Some("TX"),
+            Some("WA"),
+            Some("NY"),
+            Some("CO"),
+        ];
         vals.push(Some("Bavaria")); // not a US state
         let t = Table::new("t", vec![Column::from_str_vals("state", vals)]).unwrap();
         let d = KataraDetector::default().detect(&t, &DetectionContext::default());

@@ -57,8 +57,7 @@ impl Detector for MinKDetector {
     }
 
     fn detect(&self, table: &Table, ctx: &DetectionContext) -> Detection {
-        let detections: Vec<Detection> =
-            self.base.iter().map(|d| d.detect(table, ctx)).collect();
+        let detections: Vec<Detection> = self.base.iter().map(|d| d.detect(table, ctx)).collect();
         Self::vote(&detections, self.k)
     }
 }

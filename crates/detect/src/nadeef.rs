@@ -80,21 +80,14 @@ impl Detector for NadeefDetector {
             let Some(rhs_idx) = table.column_index(&rule.fd.rhs) else {
                 continue;
             };
-            let lhs_idx: Option<Vec<usize>> = rule
-                .fd
-                .lhs
-                .iter()
-                .map(|n| table.column_index(n))
-                .collect();
+            let lhs_idx: Option<Vec<usize>> =
+                rule.fd.lhs.iter().map(|n| table.column_index(n)).collect();
             let Some(lhs_idx) = lhs_idx else { continue };
 
             // Group rows by lhs key.
             let mut groups: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
             for r in 0..table.n_rows() {
-                let key: Vec<String> = lhs_idx
-                    .iter()
-                    .map(|&c| render_key(table, r, c))
-                    .collect();
+                let key: Vec<String> = lhs_idx.iter().map(|&c| render_key(table, r, c)).collect();
                 groups.entry(key).or_default().push(r);
             }
             for rows in groups.values() {
@@ -211,7 +204,10 @@ mod tests {
     fn denial_constraint_flags_offending_cells() {
         let t = Table::new(
             "t",
-            vec![Column::from_i64("age", [Some(30), Some(-1), Some(45), None])],
+            vec![Column::from_i64(
+                "age",
+                [Some(30), Some(-1), Some(45), None],
+            )],
         )
         .unwrap();
         let det = NadeefDetector {

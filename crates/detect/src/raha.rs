@@ -153,8 +153,9 @@ pub fn generate_features(table: &Table, ctx: &DetectionContext) -> Vec<ColumnFea
     detections.push(Detection::new("rarity", rarity_cells));
 
     let width = detections.len();
-    let mut features: Vec<ColumnFeatures> =
-        (0..n_cols).map(|_| vec![vec![0.0; width]; n_rows]).collect();
+    let mut features: Vec<ColumnFeatures> = (0..n_cols)
+        .map(|_| vec![vec![0.0; width]; n_rows])
+        .collect();
     for (f, det) in detections.iter().enumerate() {
         for cell in &det.cells {
             if cell.col < n_cols && cell.row < n_rows {

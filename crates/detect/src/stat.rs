@@ -124,9 +124,7 @@ impl Detector for IsolationForestDetector {
     }
 
     fn detect(&self, table: &Table, ctx: &DetectionContext) -> Detection {
-        let numeric_cols: Vec<usize> = table
-            .schema()
-            .numeric_indices();
+        let numeric_cols: Vec<usize> = table.schema().numeric_indices();
         if numeric_cols.is_empty() || table.n_rows() < 8 {
             return Detection::new(self.name(), Vec::new());
         }
@@ -138,8 +136,7 @@ impl Detector for IsolationForestDetector {
                 (0.0, 0.0)
             } else {
                 let m = vals.iter().sum::<f64>() / vals.len() as f64;
-                let s = (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
-                    / vals.len() as f64)
+                let s = (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64)
                     .sqrt();
                 (m, s)
             };
@@ -225,11 +222,7 @@ mod tests {
 
     #[test]
     fn sd_ignores_clean_and_constant_columns() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_f64("c", vec![Some(5.0); 20])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_f64("c", vec![Some(5.0); 20])]).unwrap();
         let d = SdDetector::default().detect(&t, &DetectionContext::default());
         assert!(d.is_empty());
     }
@@ -268,7 +261,9 @@ mod tests {
         let ctx = DetectionContext::default();
         assert!(SdDetector::default().detect(&t, &ctx).is_empty());
         assert!(IqrDetector::default().detect(&t, &ctx).is_empty());
-        assert!(IsolationForestDetector::default().detect(&t, &ctx).is_empty());
+        assert!(IsolationForestDetector::default()
+            .detect(&t, &ctx)
+            .is_empty());
     }
 
     #[test]

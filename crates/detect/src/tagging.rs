@@ -42,8 +42,7 @@ impl Detector for TaggedValueDetector {
                 let rendered = v.render();
                 let numeric = v.as_f64();
                 let hit = tags.iter().any(|(text, num)| {
-                    rendered == *text
-                        || matches!((num, numeric), (Some(a), Some(b)) if a == &b)
+                    rendered == *text || matches!((num, numeric), (Some(a), Some(b)) if a == &b)
                 });
                 if hit {
                     cells.push(CellRef::new(r, c));

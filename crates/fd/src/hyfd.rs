@@ -218,11 +218,7 @@ pub fn hyfd(table: &Table, config: &HyFdConfig) -> Vec<FdRule> {
     }
 
     // --- Emit validated, minimal, non-empty-lhs FDs ---
-    let names: Vec<String> = table
-        .column_names()
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let names: Vec<String> = table.column_names().iter().map(|s| s.to_string()).collect();
     let mut out = Vec::new();
     for rhs in 0..n {
         for &lhs in &cover.candidates[rhs] {
@@ -269,10 +265,16 @@ mod tests {
             .iter()
             .map(|r| r.fd.to_string())
             .collect();
-        let mut ta: Vec<String> = tane(&t, &TaneConfig { max_lhs: 4, max_g3_error: 0.0 })
-            .iter()
-            .map(|r| r.fd.to_string())
-            .collect();
+        let mut ta: Vec<String> = tane(
+            &t,
+            &TaneConfig {
+                max_lhs: 4,
+                max_g3_error: 0.0,
+            },
+        )
+        .iter()
+        .map(|r| r.fd.to_string())
+        .collect();
         h.sort();
         ta.sort();
         assert_eq!(h, ta);
@@ -281,10 +283,16 @@ mod tests {
     #[test]
     fn agrees_with_brute_force() {
         let t = zip_city_table();
-        let mut h: Vec<String> = hyfd(&t, &HyFdConfig { max_lhs: 3, ..Default::default() })
-            .iter()
-            .map(|r| r.fd.to_string())
-            .collect();
+        let mut h: Vec<String> = hyfd(
+            &t,
+            &HyFdConfig {
+                max_lhs: 3,
+                ..Default::default()
+            },
+        )
+        .iter()
+        .map(|r| r.fd.to_string())
+        .collect();
         let mut b: Vec<String> = brute_force_fds(&t, 3).iter().map(Fd::to_string).collect();
         h.sort();
         b.sort();
@@ -331,7 +339,13 @@ mod tests {
     #[test]
     fn respects_max_lhs() {
         let t = zip_city_table();
-        let rules = hyfd(&t, &HyFdConfig { max_lhs: 1, ..Default::default() });
+        let rules = hyfd(
+            &t,
+            &HyFdConfig {
+                max_lhs: 1,
+                ..Default::default()
+            },
+        );
         assert!(rules.iter().all(|r| r.fd.lhs.len() <= 1));
     }
 

@@ -49,20 +49,18 @@ mod proptests {
     /// occur) — the classic stress input for FD miners.
     fn table_strategy() -> impl Strategy<Value = Table> {
         (2usize..5, 2usize..12).prop_flat_map(|(cols, rows)| {
-            proptest::collection::vec(
-                proptest::collection::vec(0i64..3, rows),
-                cols,
+            proptest::collection::vec(proptest::collection::vec(0i64..3, rows), cols).prop_map(
+                |data| {
+                    let columns: Vec<Column> = data
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, vals)| {
+                            Column::from_i64(format!("c{i}"), vals.into_iter().map(Some))
+                        })
+                        .collect();
+                    Table::new("prop", columns).unwrap()
+                },
             )
-            .prop_map(|data| {
-                let columns: Vec<Column> = data
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, vals)| {
-                        Column::from_i64(format!("c{i}"), vals.into_iter().map(Some))
-                    })
-                    .collect();
-                Table::new("prop", columns).unwrap()
-            })
         })
     }
 

@@ -38,10 +38,7 @@ impl StrippedPartition {
             };
             map.entry(key).or_default().push(r);
         }
-        let mut groups: Vec<Vec<usize>> = map
-            .into_values()
-            .filter(|g| g.len() >= 2)
-            .collect();
+        let mut groups: Vec<Vec<usize>> = map.into_values().filter(|g| g.len() >= 2).collect();
         groups.sort();
         StrippedPartition {
             n_rows: table.n_rows(),
@@ -187,11 +184,7 @@ mod tests {
 
     #[test]
     fn nulls_group_together() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_i64("x", [None, None, Some(1)])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_i64("x", [None, None, Some(1)])]).unwrap();
         let p = StrippedPartition::for_column(&t, 0);
         assert_eq!(p.groups, vec![vec![0, 1]]);
     }

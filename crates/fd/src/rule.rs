@@ -6,6 +6,7 @@
 //! or reject these automatically generated rules."
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -168,9 +169,13 @@ impl FdRule {
 
 /// The mutable set of rules attached to a dataset, with the user-facing
 /// validation operations.
+///
+/// The rule list sits behind an [`Arc`], so cloning a `RuleSet` (which
+/// happens on every detection and repair run, to snapshot the rules into
+/// the tool context) is O(1); the user-facing mutations copy on write.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RuleSet {
-    rules: Vec<FdRule>,
+    rules: Arc<Vec<FdRule>>,
 }
 
 impl RuleSet {
@@ -184,8 +189,13 @@ impl RuleSet {
         if self.rules.iter().any(|r| r.fd == rule.fd) {
             return false;
         }
-        self.rules.push(rule);
+        Arc::make_mut(&mut self.rules).push(rule);
         true
+    }
+
+    /// Whether two rule sets share the same backing allocation.
+    pub fn shares_rules_with(&self, other: &RuleSet) -> bool {
+        Arc::ptr_eq(&self.rules, &other.rules)
     }
 
     pub fn rules(&self) -> &[FdRule] {
@@ -212,7 +222,7 @@ impl RuleSet {
     /// User confirms a rule. Returns false when the FD is unknown.
     pub fn confirm(&mut self, fd: &Fd) -> bool {
         if let Some(i) = self.position(fd) {
-            self.rules[i].status = RuleStatus::Confirmed;
+            Arc::make_mut(&mut self.rules)[i].status = RuleStatus::Confirmed;
             true
         } else {
             false
@@ -222,7 +232,7 @@ impl RuleSet {
     /// User rejects a rule.
     pub fn reject(&mut self, fd: &Fd) -> bool {
         if let Some(i) = self.position(fd) {
-            self.rules[i].status = RuleStatus::Rejected;
+            Arc::make_mut(&mut self.rules)[i].status = RuleStatus::Rejected;
             true
         } else {
             false
@@ -239,8 +249,9 @@ impl RuleSet {
         if self.rules.iter().any(|r| r.fd == replacement) {
             return false;
         }
-        self.rules[i].status = RuleStatus::Superseded;
-        self.rules.push(FdRule::user_defined(replacement));
+        let rules = Arc::make_mut(&mut self.rules);
+        rules[i].status = RuleStatus::Superseded;
+        rules.push(FdRule::user_defined(replacement));
         true
     }
 }
@@ -279,7 +290,11 @@ mod tests {
     #[test]
     fn ruleset_dedupes() {
         let mut rs = RuleSet::new();
-        assert!(rs.add(FdRule::discovered(fd(&["a"], "b"), RuleProvenance::Tane, 0.0)));
+        assert!(rs.add(FdRule::discovered(
+            fd(&["a"], "b"),
+            RuleProvenance::Tane,
+            0.0
+        )));
         assert!(!rs.add(FdRule::user_defined(fd(&["a"], "b"))));
         assert_eq!(rs.len(), 1);
     }
@@ -287,7 +302,11 @@ mod tests {
     #[test]
     fn validation_lifecycle() {
         let mut rs = RuleSet::new();
-        rs.add(FdRule::discovered(fd(&["a"], "b"), RuleProvenance::Tane, 0.0));
+        rs.add(FdRule::discovered(
+            fd(&["a"], "b"),
+            RuleProvenance::Tane,
+            0.0,
+        ));
         assert_eq!(rs.rules()[0].status, RuleStatus::Pending);
         assert!(rs.rules()[0].is_active());
 
@@ -334,9 +353,30 @@ mod tests {
     }
 
     #[test]
+    fn clone_shares_rules_until_mutation() {
+        let mut rs = RuleSet::new();
+        rs.add(FdRule::discovered(
+            fd(&["a"], "b"),
+            RuleProvenance::Tane,
+            0.0,
+        ));
+        let snapshot = rs.clone();
+        assert!(rs.shares_rules_with(&snapshot));
+        // Copy-on-write: the snapshot keeps the old state.
+        rs.reject(&fd(&["a"], "b"));
+        assert!(!rs.shares_rules_with(&snapshot));
+        assert_eq!(snapshot.rules()[0].status, RuleStatus::Pending);
+        assert_eq!(rs.rules()[0].status, RuleStatus::Rejected);
+    }
+
+    #[test]
     fn modify_supersedes_and_adds() {
         let mut rs = RuleSet::new();
-        rs.add(FdRule::discovered(fd(&["zip"], "inhabitants"), RuleProvenance::HyFd, 0.01));
+        rs.add(FdRule::discovered(
+            fd(&["zip"], "inhabitants"),
+            RuleProvenance::HyFd,
+            0.01,
+        ));
         assert!(rs.modify(&fd(&["zip"], "inhabitants"), fd(&["zip"], "city")));
         assert_eq!(rs.len(), 2);
         assert_eq!(rs.rules()[0].status, RuleStatus::Superseded);

@@ -55,11 +55,7 @@ pub fn tane(table: &Table, config: &TaneConfig) -> Vec<FdRule> {
     if n_attrs < 2 || table.n_rows() == 0 {
         return Vec::new();
     }
-    let names: Vec<String> = table
-        .column_names()
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let names: Vec<String> = table.column_names().iter().map(|s| s.to_string()).collect();
     let all: AttrSet = (0..n_attrs).fold(0, |acc, a| acc | (1 << a));
 
     // Level 1: single-attribute partitions and C+.
@@ -104,8 +100,7 @@ pub fn tane(table: &Table, config: &TaneConfig) -> Vec<FdRule> {
                 };
                 let valid = g3 <= config.max_g3_error + 1e-12;
                 if valid && lhs_set != 0 {
-                    let lhs_names: Vec<String> =
-                        bits(lhs_set).map(|i| names[i].clone()).collect();
+                    let lhs_names: Vec<String> = bits(lhs_set).map(|i| names[i].clone()).collect();
                     if let Some(fd) = Fd::new(lhs_names, names[a].clone()) {
                         results.push(FdRule::discovered(fd, RuleProvenance::Tane, g3));
                     }
@@ -178,9 +173,9 @@ pub fn tane(table: &Table, config: &TaneConfig) -> Vec<FdRule> {
 fn minimise(rules: Vec<FdRule>) -> Vec<FdRule> {
     let mut out: Vec<FdRule> = Vec::new();
     for r in &rules {
-        let minimal = !rules.iter().any(|s| {
-            s.fd != r.fd && s.fd.generalises(&r.fd)
-        });
+        let minimal = !rules
+            .iter()
+            .any(|s| s.fd != r.fd && s.fd.generalises(&r.fd));
         if minimal {
             out.push(r.clone());
         }
@@ -198,10 +193,7 @@ pub fn fd_holds(table: &Table, lhs: &[usize], rhs: usize) -> bool {
     debug_assert_eq!(lhs_set & (1 << rhs), 0, "rhs must not be in lhs");
     let mut seen: HashMap<Vec<String>, String> = HashMap::new();
     for r in 0..table.n_rows() {
-        let key: Vec<String> = lhs
-            .iter()
-            .map(|&c| render_key(table, r, c))
-            .collect();
+        let key: Vec<String> = lhs.iter().map(|&c| render_key(table, r, c)).collect();
         let val = render_key(table, r, rhs);
         match seen.get(&key) {
             Some(existing) if existing != &val => return false,
@@ -226,11 +218,7 @@ fn render_key(table: &Table, row: usize, col: usize) -> String {
 /// Brute-force minimal-FD miner for small tables (test oracle).
 pub fn brute_force_fds(table: &Table, max_lhs: usize) -> Vec<Fd> {
     let n = table.n_cols();
-    let names: Vec<String> = table
-        .column_names()
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let names: Vec<String> = table.column_names().iter().map(|s| s.to_string()).collect();
     let mut found: Vec<(Vec<usize>, usize)> = Vec::new();
     let mut all_subsets: Vec<Vec<usize>> = vec![vec![]];
     for a in 0..n {
@@ -253,9 +241,9 @@ pub fn brute_force_fds(table: &Table, max_lhs: usize) -> Vec<Fd> {
                 continue;
             }
             // Minimality: no strict subset of lhs already determines rhs.
-            let has_smaller = found
-                .iter()
-                .any(|(l, r)| *r == rhs && l.iter().all(|a| lhs.contains(a)) && l.len() < lhs.len());
+            let has_smaller = found.iter().any(|(l, r)| {
+                *r == rhs && l.iter().all(|a| lhs.contains(a)) && l.len() < lhs.len()
+            });
             if has_smaller {
                 continue;
             }
@@ -314,18 +302,24 @@ mod tests {
     fn results_are_minimal() {
         let rules = tane(&zip_city_table(), &TaneConfig::default());
         // [zip] -> city exists, so [zip, pop] -> city must not be reported.
-        assert!(rules
-            .iter()
-            .all(|r| !(r.fd.rhs == "city" && r.fd.lhs.len() > 1 && r.fd.lhs.contains(&"zip".to_string()))));
+        assert!(rules.iter().all(|r| !(r.fd.rhs == "city"
+            && r.fd.lhs.len() > 1
+            && r.fd.lhs.contains(&"zip".to_string()))));
     }
 
     #[test]
     fn matches_brute_force_on_small_table() {
         let t = zip_city_table();
-        let mut tane_fds: Vec<String> = tane(&t, &TaneConfig { max_lhs: 3, max_g3_error: 0.0 })
-            .iter()
-            .map(|r| r.fd.to_string())
-            .collect();
+        let mut tane_fds: Vec<String> = tane(
+            &t,
+            &TaneConfig {
+                max_lhs: 3,
+                max_g3_error: 0.0,
+            },
+        )
+        .iter()
+        .map(|r| r.fd.to_string())
+        .collect();
         let mut brute: Vec<String> = brute_force_fds(&t, 3).iter().map(Fd::to_string).collect();
         tane_fds.sort();
         brute.sort();

@@ -93,19 +93,17 @@ mod tests {
 
     #[test]
     fn hamming_fraction() {
-        assert_eq!(hamming_frac(&[1.0, 0.0, 1.0, 0.0], &[1.0, 1.0, 1.0, 1.0]), 0.5);
+        assert_eq!(
+            hamming_frac(&[1.0, 0.0, 1.0, 0.0], &[1.0, 1.0, 1.0, 1.0]),
+            0.5
+        );
         assert_eq!(hamming_frac(&[], &[]), 0.0);
     }
 
     #[test]
     fn gower_mixes_numeric_and_categorical() {
         // dim0 numeric with range 10, dim1 categorical.
-        let d = gower(
-            &[0.0, 1.0],
-            &[5.0, 2.0],
-            &[false, true],
-            &[10.0, 0.0],
-        );
+        let d = gower(&[0.0, 1.0], &[5.0, 2.0], &[false, true], &[10.0, 0.0]);
         // (0.5 + 1.0) / 2
         assert!((d - 0.75).abs() < 1e-12);
         // Constant numeric dim contributes zero.

@@ -41,10 +41,7 @@ impl OrdinalEncoder {
     pub fn encode(&self, value: Option<&str>) -> f64 {
         match value {
             None => self.mapping.len() as f64,
-            Some(v) => self
-                .mapping
-                .get(v)
-                .map_or(-1.0, |&id| id as f64),
+            Some(v) => self.mapping.get(v).map_or(-1.0, |&id| id as f64),
         }
     }
 
@@ -168,7 +165,9 @@ pub enum CategoricalEncoding {
 #[derive(Debug, Clone)]
 enum ColumnEncoding {
     /// Numeric column: nulls fill with the fitted mean.
-    Numeric { fill: f64 },
+    Numeric {
+        fill: f64,
+    },
     Ordinal(OrdinalEncoder),
     OneHot(OneHotEncoder),
 }
@@ -201,10 +200,8 @@ impl TableEncoder {
                     ColumnEncoding::Numeric { fill }
                 }
                 DataType::Str => {
-                    let rendered: Vec<Option<String>> = col
-                        .iter()
-                        .map(|v| v.as_str().map(str::to_string))
-                        .collect();
+                    let rendered: Vec<Option<String>> =
+                        col.iter().map(|v| v.as_str().map(str::to_string)).collect();
                     match strategy {
                         CategoricalEncoding::Ordinal => {
                             ColumnEncoding::Ordinal(OrdinalEncoder::fit(&rendered))

@@ -29,12 +29,25 @@ impl Default for IsolationForestConfig {
 
 #[derive(Debug, Clone)]
 enum ITree {
-    Leaf { size: usize },
-    Split { feature: usize, value: f64, left: Box<ITree>, right: Box<ITree> },
+    Leaf {
+        size: usize,
+    },
+    Split {
+        feature: usize,
+        value: f64,
+        left: Box<ITree>,
+        right: Box<ITree>,
+    },
 }
 
 impl ITree {
-    fn build(data: &[Vec<f64>], rows: &[usize], depth: usize, max_depth: usize, rng: &mut StdRng) -> ITree {
+    fn build(
+        data: &[Vec<f64>],
+        rows: &[usize],
+        depth: usize,
+        max_depth: usize,
+        rng: &mut StdRng,
+    ) -> ITree {
         if rows.len() <= 1 || depth >= max_depth {
             return ITree::Leaf { size: rows.len() };
         }
@@ -69,7 +82,12 @@ impl ITree {
     fn path_length(&self, x: &[f64], depth: f64) -> f64 {
         match self {
             ITree::Leaf { size } => depth + average_path_length(*size),
-            ITree::Split { feature, value, left, right } => {
+            ITree::Split {
+                feature,
+                value,
+                left,
+                right,
+            } => {
                 if x[*feature] < *value {
                     left.path_length(x, depth + 1.0)
                 } else {
@@ -173,7 +191,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let data = cluster_with_outlier();
-        let cfg = IsolationForestConfig { seed: 9, ..Default::default() };
+        let cfg = IsolationForestConfig {
+            seed: 9,
+            ..Default::default()
+        };
         let a = IsolationForest::fit(&data, &cfg).score_all(&data);
         let b = IsolationForest::fit(&data, &cfg).score_all(&data);
         assert_eq!(a, b);

@@ -240,8 +240,24 @@ mod tests {
         for c in 0..4 {
             data.extend(blob(c as f64 * 50.0, 10));
         }
-        let i1 = kmeans(&data, &KMeansConfig { k: 1, seed: 1, ..KMeansConfig::default() }).inertia;
-        let i4 = kmeans(&data, &KMeansConfig { k: 4, seed: 1, ..KMeansConfig::default() }).inertia;
+        let i1 = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 1,
+                seed: 1,
+                ..KMeansConfig::default()
+            },
+        )
+        .inertia;
+        let i4 = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 4,
+                seed: 1,
+                ..KMeansConfig::default()
+            },
+        )
+        .inertia;
         assert!(i4 < i1);
     }
 }

@@ -103,7 +103,10 @@ mod tests {
         let assignments = vec![0, 0, 0, 1, 1];
         let labels = vec![Some(true), None, None, Some(false), None];
         let (out, newly) = propagate_in_clusters(&assignments, &labels);
-        assert_eq!(out, vec![Some(true), Some(true), Some(true), Some(false), Some(false)]);
+        assert_eq!(
+            out,
+            vec![Some(true), Some(true), Some(true), Some(false), Some(false)]
+        );
         assert_eq!(newly, 3);
     }
 
@@ -150,11 +153,7 @@ mod tests {
     #[test]
     fn graph_propagation_respects_weights() {
         // Node 2 is pulled by a strong clean neighbour and a weak dirty one.
-        let edges = vec![
-            vec![],
-            vec![],
-            vec![(0, 0.2), (1, 5.0)],
-        ];
+        let edges = vec![vec![], vec![], vec![(0, 0.2), (1, 5.0)]];
         let labels = vec![Some(true), Some(false), None];
         let out = propagate_on_graph(&edges, &labels, 5);
         assert_eq!(out[2], Some(false));

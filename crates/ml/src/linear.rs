@@ -61,17 +61,14 @@ impl BinaryModel {
                 b -= config.learning_rate * err;
             }
         }
-        BinaryModel { weights: w, bias: b }
+        BinaryModel {
+            weights: w,
+            bias: b,
+        }
     }
 
     fn score(&self, x: &[f64]) -> f64 {
-        sigmoid(
-            x.iter()
-                .zip(&self.weights)
-                .map(|(a, b)| a * b)
-                .sum::<f64>()
-                + self.bias,
-        )
+        sigmoid(x.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>() + self.bias)
     }
 }
 

@@ -98,12 +98,7 @@ impl BinaryConfusion {
     /// Build from raw counts (used by detection evaluation where the
     /// "labels" are cell sets, not vectors).
     pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
-        BinaryConfusion {
-            tp,
-            fp,
-            fn_,
-            tn: 0,
-        }
+        BinaryConfusion { tp, fp, fn_, tn: 0 }
     }
 
     /// Precision = TP / (TP + FP); 0 when no positives were predicted.

@@ -404,14 +404,23 @@ impl DecisionTreeRegressor {
             || rows.len() < self.config.min_samples_split
             || var == 0.0
         {
-            return Node::Leaf { class: 0, value: mean };
+            return Node::Leaf {
+                class: 0,
+                value: mean,
+            };
         }
         let split = find_best_split_regression(x, rows, &self.config, y);
         let Some(split) = split else {
-            return Node::Leaf { class: 0, value: mean };
+            return Node::Leaf {
+                class: 0,
+                value: mean,
+            };
         };
         if split.score > var {
-            return Node::Leaf { class: 0, value: mean };
+            return Node::Leaf {
+                class: 0,
+                value: mean,
+            };
         }
         let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
             .iter()
@@ -448,7 +457,10 @@ fn variance_of(rows: &[usize], y: &[f64]) -> f64 {
     }
     let n = rows.len() as f64;
     let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / n;
-    rows.iter().map(|&r| (y[r] - mean) * (y[r] - mean)).sum::<f64>() / n
+    rows.iter()
+        .map(|&r| (y[r] - mean) * (y[r] - mean))
+        .sum::<f64>()
+        / n
 }
 
 fn validate_features(x: &[Vec<f64>], n_targets: usize) {

@@ -30,7 +30,9 @@ impl UcbSampler {
             .cardinality()
             .expect("UcbSampler requires a fully discrete space");
         let mut grid = GridSampler::new();
-        (0..card).map(|_| grid.sample(space, &[], Direction::Minimize)).collect()
+        (0..card)
+            .map(|_| grid.sample(space, &[], Direction::Minimize))
+            .collect()
     }
 }
 
@@ -118,11 +120,7 @@ mod tests {
 
     #[test]
     fn plays_every_arm_once_first() {
-        let mut study = Study::new(
-            Direction::Minimize,
-            space(),
-            Box::new(UcbSampler::new()),
-        );
+        let mut study = Study::new(Direction::Minimize, space(), Box::new(UcbSampler::new()));
         let mut seen = std::collections::HashSet::new();
         for _ in 0..3 {
             let t = study.ask();
@@ -134,11 +132,7 @@ mod tests {
 
     #[test]
     fn converges_to_best_arm_minimise() {
-        let mut study = Study::new(
-            Direction::Minimize,
-            space(),
-            Box::new(UcbSampler::new()),
-        );
+        let mut study = Study::new(Direction::Minimize, space(), Box::new(UcbSampler::new()));
         study.optimize(40, |p| {
             if p["tool"].as_str() == Some("good") {
                 1.0
@@ -159,11 +153,7 @@ mod tests {
 
     #[test]
     fn converges_under_maximise_too() {
-        let mut study = Study::new(
-            Direction::Maximize,
-            space(),
-            Box::new(UcbSampler::new()),
-        );
+        let mut study = Study::new(Direction::Maximize, space(), Box::new(UcbSampler::new()));
         study.optimize(40, |p| {
             if p["tool"].as_str() == Some("good") {
                 0.9
@@ -180,11 +170,7 @@ mod tests {
     #[test]
     fn still_explores_under_ties() {
         // All arms equal: UCB keeps rotating rather than fixating.
-        let mut study = Study::new(
-            Direction::Minimize,
-            space(),
-            Box::new(UcbSampler::new()),
-        );
+        let mut study = Study::new(Direction::Minimize, space(), Box::new(UcbSampler::new()));
         study.optimize(30, |_| 1.0);
         let mut plays = std::collections::HashMap::new();
         for t in study.trials() {

@@ -50,9 +50,7 @@ impl Sampler for RandomSampler {
         space
             .params()
             .iter()
-            .map(|(name, domain)| {
-                (name.clone(), Self::sample_uniform(&mut self.rng, domain))
-            })
+            .map(|(name, domain)| (name.clone(), Self::sample_uniform(&mut self.rng, domain)))
             .collect()
     }
 }
@@ -143,7 +141,11 @@ impl TpeSampler {
     }
 
     /// Split history into (good, bad) by objective.
-    fn split<'a>(&self, history: &'a [Trial], direction: Direction) -> (Vec<&'a Trial>, Vec<&'a Trial>) {
+    fn split<'a>(
+        &self,
+        history: &'a [Trial],
+        direction: Direction,
+    ) -> (Vec<&'a Trial>, Vec<&'a Trial>) {
         let mut done: Vec<&Trial> = history
             .iter()
             .filter(|t| t.value.is_some_and(|v| v.is_finite()))
@@ -158,8 +160,7 @@ impl TpeSampler {
                 std::cmp::Ordering::Equal
             }
         });
-        let n_good = ((done.len() as f64 * self.gamma).ceil() as usize)
-            .clamp(1, done.len().max(1));
+        let n_good = ((done.len() as f64 * self.gamma).ceil() as usize).clamp(1, done.len().max(1));
         let good = done[..n_good.min(done.len())].to_vec();
         let bad = done[n_good.min(done.len())..].to_vec();
         (good, bad)
@@ -260,8 +261,7 @@ impl Sampler for TpeSampler {
                             let center = obs_good[self.rng.random_range(0..obs_good.len())];
                             let bw = ((fhi - flo) / (1.0 + obs_good.len() as f64).sqrt())
                                 .max((fhi - flo) * 0.05);
-                            (center + bw * sample_standard_normal(&mut self.rng))
-                                .clamp(flo, fhi)
+                            (center + bw * sample_standard_normal(&mut self.rng)).clamp(flo, fhi)
                         };
                         let l = Self::parzen_density(&obs_good, x, flo, fhi);
                         let g = Self::parzen_density(&obs_bad, x, flo, fhi);
@@ -270,7 +270,9 @@ impl Sampler for TpeSampler {
                             best = Some((x, ratio));
                         }
                     }
-                    ParamValue::Int((best.expect("candidates > 0").0.round() as i64).clamp(*lo, *hi))
+                    ParamValue::Int(
+                        (best.expect("candidates > 0").0.round() as i64).clamp(*lo, *hi),
+                    )
                 }
                 ParamDomain::Float { lo, hi, log } => {
                     let (tlo, thi) = if *log { (lo.ln(), hi.ln()) } else { (*lo, *hi) };
@@ -284,8 +286,7 @@ impl Sampler for TpeSampler {
                             let center = obs_good[self.rng.random_range(0..obs_good.len())];
                             let bw = ((thi - tlo) / (1.0 + obs_good.len() as f64).sqrt())
                                 .max((thi - tlo) * 0.05);
-                            (center + bw * sample_standard_normal(&mut self.rng))
-                                .clamp(tlo, thi)
+                            (center + bw * sample_standard_normal(&mut self.rng)).clamp(tlo, thi)
                         };
                         let l = Self::parzen_density(&obs_good, x, tlo, thi);
                         let g = Self::parzen_density(&obs_bad, x, tlo, thi);
@@ -352,14 +353,16 @@ mod tests {
 
     #[test]
     fn tpe_beats_random_on_quadratic() {
-        // Average best value after 40 trials over several seeds.
+        // Average best value after 40 trials over a pool of seeds. The
+        // pool must be wide enough that per-seed noise from the random
+        // baseline cannot mask TPE's advantage.
         let objective = |p: &Params| {
             let x = p["x"].as_f64().unwrap();
             (x - 3.0) * (x - 3.0)
         };
         let mut tpe_total = 0.0;
         let mut rnd_total = 0.0;
-        for seed in 0..8 {
+        for seed in 0..32 {
             let mut tpe = Study::new(
                 Direction::Minimize,
                 quadratic_space(),
@@ -386,11 +389,7 @@ mod tests {
         // Objective: "good" choice scores 0, others 1. After warmup, TPE
         // should pick "good" most of the time.
         let space = SearchSpace::new().categorical("c", ["bad1", "good", "bad2", "bad3"]);
-        let mut study = Study::new(
-            Direction::Minimize,
-            space,
-            Box::new(TpeSampler::new(3)),
-        );
+        let mut study = Study::new(Direction::Minimize, space, Box::new(TpeSampler::new(3)));
         study.optimize(60, |p| {
             if p["c"].as_str() == Some("good") {
                 0.0
@@ -425,11 +424,7 @@ mod tests {
     #[test]
     fn tpe_handles_maximize_direction() {
         let space = SearchSpace::new().float("x", 0.0, 1.0);
-        let mut study = Study::new(
-            Direction::Maximize,
-            space,
-            Box::new(TpeSampler::new(5)),
-        );
+        let mut study = Study::new(Direction::Maximize, space, Box::new(TpeSampler::new(5)));
         study.optimize(40, |p| p["x"].as_f64().unwrap());
         assert!(study.best_trial().unwrap().value.unwrap() > 0.8);
     }

@@ -61,9 +61,7 @@ impl ParamDomain {
                 choices.iter().any(|c| c == s)
             }
             (ParamDomain::Int { lo, hi }, ParamValue::Int(i)) => (lo..=hi).contains(&i),
-            (ParamDomain::Float { lo, hi, .. }, ParamValue::Float(f)) => {
-                *f >= *lo && *f <= *hi
-            }
+            (ParamDomain::Float { lo, hi, .. }, ParamValue::Float(f)) => *f >= *lo && *f <= *hi,
             _ => false,
         }
     }
@@ -131,9 +129,10 @@ impl SearchSpace {
     /// Validate a full assignment against the space.
     pub fn validate(&self, params: &Params) -> bool {
         self.params.len() == params.len()
-            && self.params.iter().all(|(name, domain)| {
-                params.get(name).is_some_and(|v| domain.contains(v))
-            })
+            && self
+                .params
+                .iter()
+                .all(|(name, domain)| params.get(name).is_some_and(|v| domain.contains(v)))
     }
 
     /// Total number of grid points for fully-discrete spaces; `None` when

@@ -168,10 +168,7 @@ pub fn scan(table: &Table, config: &AlertConfig) -> Vec<Alert> {
                 alerts.push(Alert {
                     kind: AlertKind::HighCorrelation,
                     column: Some(m.columns[i].clone()),
-                    message: format!(
-                        "highly correlated with {:?} (r = {v:.3})",
-                        m.columns[j]
-                    ),
+                    message: format!("highly correlated with {:?} (r = {v:.3})", m.columns[j]),
                 });
             }
         }

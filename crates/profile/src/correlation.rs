@@ -110,7 +110,9 @@ pub fn cramers_v(x: &[Option<String>], y: &[Option<String>]) -> Option<f64> {
         observed[i][j] += 1.0;
     }
     let row_sums: Vec<f64> = observed.iter().map(|row| row.iter().sum()).collect();
-    let col_sums: Vec<f64> = (0..k).map(|j| observed.iter().map(|row| row[j]).sum()).collect();
+    let col_sums: Vec<f64> = (0..k)
+        .map(|j| observed.iter().map(|row| row[j]).sum())
+        .collect();
     let mut chi2 = 0.0;
     for i in 0..r {
         for j in 0..k {
@@ -190,7 +192,10 @@ pub fn correlation_matrix(table: &Table, kind: CorrelationKind) -> CorrelationMa
                     values[j][i] = v;
                 }
             }
-            CorrelationMatrix { columns: names, values }
+            CorrelationMatrix {
+                columns: names,
+                values,
+            }
         }
         CorrelationKind::CramersV => {
             let cols: Vec<&datalens_table::Column> = table
@@ -212,7 +217,10 @@ pub fn correlation_matrix(table: &Table, kind: CorrelationKind) -> CorrelationMa
                     values[j][i] = v;
                 }
             }
-            CorrelationMatrix { columns: names, values }
+            CorrelationMatrix {
+                columns: names,
+                values,
+            }
         }
     }
 }

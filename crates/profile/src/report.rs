@@ -248,8 +248,7 @@ mod tests {
 
     #[test]
     fn empty_table_profile() {
-        let schema =
-            datalens_table::Schema::from_pairs([("x", DataType::Int)]).unwrap();
+        let schema = datalens_table::Schema::from_pairs([("x", DataType::Int)]).unwrap();
         let t = Table::empty("empty", &schema);
         let r = ProfileReport::build(&t, &ProfileConfig::default());
         assert_eq!(r.table.n_rows, 0);

@@ -43,8 +43,16 @@ pub fn numeric_stats_of(values: &[f64]) -> Option<NumericStats> {
     let m2: f64 = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
     let std = m2.sqrt();
     let (skewness, kurtosis) = if std > 0.0 {
-        let m3: f64 = values.iter().map(|v| ((v - mean) / std).powi(3)).sum::<f64>() / n;
-        let m4: f64 = values.iter().map(|v| ((v - mean) / std).powi(4)).sum::<f64>() / n;
+        let m3: f64 = values
+            .iter()
+            .map(|v| ((v - mean) / std).powi(3))
+            .sum::<f64>()
+            / n;
+        let m4: f64 = values
+            .iter()
+            .map(|v| ((v - mean) / std).powi(4))
+            .sum::<f64>()
+            / n;
         (m3, m4 - 3.0)
     } else {
         (0.0, 0.0)
@@ -225,9 +233,7 @@ mod tests {
     fn uniform_distribution_has_max_entropy() {
         let uniform = Column::from_str_vals("s", [Some("a"), Some("b"), Some("c"), Some("d")]);
         let skewed = Column::from_str_vals("s", [Some("a"), Some("a"), Some("a"), Some("b")]);
-        assert!(
-            categorical_stats(&uniform, 5).entropy > categorical_stats(&skewed, 5).entropy
-        );
+        assert!(categorical_stats(&uniform, 5).entropy > categorical_stats(&skewed, 5).entropy);
         assert!((categorical_stats(&uniform, 5).entropy - 2.0).abs() < 1e-12);
     }
 

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use datalens_table::{CellRef, DataType, Table, Value};
 
-use crate::repairer::{null_out, AppliedRepair, RepairContext, Repairer, RepairResult};
+use crate::repairer::{null_out, AppliedRepair, RepairContext, RepairResult, Repairer};
 
 /// Scoring weights for HoloClean repair.
 #[derive(Debug, Clone)]
@@ -54,12 +54,8 @@ impl Repairer for HoloCleanRepairer {
             let Some(rhs) = nulled.column_index(&rule.fd.rhs) else {
                 continue;
             };
-            let lhs: Option<Vec<usize>> = rule
-                .fd
-                .lhs
-                .iter()
-                .map(|n| nulled.column_index(n))
-                .collect();
+            let lhs: Option<Vec<usize>> =
+                rule.fd.lhs.iter().map(|n| nulled.column_index(n)).collect();
             if let Some(lhs) = lhs {
                 rules_by_rhs.entry(rhs).or_default().push(lhs);
             }
@@ -200,7 +196,13 @@ mod tests {
                 Column::from_i64("zip", [Some(1), Some(1), Some(1), Some(2), Some(2)]),
                 Column::from_str_vals(
                     "city",
-                    [Some("ulm"), Some("WRONG"), Some("ulm"), Some("bonn"), Some("bonn")],
+                    [
+                        Some("ulm"),
+                        Some("WRONG"),
+                        Some("ulm"),
+                        Some("bonn"),
+                        Some("bonn"),
+                    ],
                 ),
             ],
         )
@@ -210,7 +212,10 @@ mod tests {
             seed: 0,
         };
         let res = HoloCleanRepairer::default().repair(&t, &[CellRef::new(1, 1)], &ctx);
-        assert_eq!(res.table.get_at(1, "city").unwrap(), Value::Str("ulm".into()));
+        assert_eq!(
+            res.table.get_at(1, "city").unwrap(),
+            Value::Str("ulm".into())
+        );
     }
 
     #[test]
@@ -272,11 +277,7 @@ mod tests {
 
     #[test]
     fn unrepairable_all_null_string_column_left_null() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_str_vals::<&str>("s", [None, None])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_str_vals::<&str>("s", [None, None])]).unwrap();
         let res = HoloCleanRepairer::default().repair(&t, &[], &RepairContext::default());
         // No candidates, no median for strings: stays null (honest output).
         assert_eq!(res.table.null_count(), 2);

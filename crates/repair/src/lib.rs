@@ -17,7 +17,7 @@ pub mod standard;
 
 pub use holoclean::{HoloCleanRepairConfig, HoloCleanRepairer};
 pub use ml_imputer::MlImputer;
-pub use repairer::{AppliedRepair, RepairContext, Repairer, RepairResult};
+pub use repairer::{AppliedRepair, RepairContext, RepairResult, Repairer};
 pub use standard::StandardImputer;
 
 /// Build a repairer by its machine name (DataSheet / search-space names).
@@ -42,10 +42,7 @@ mod proptests {
     use crate::repairer::RepairContext;
     use crate::{repairer_by_name, REPAIRER_NAMES};
 
-    fn table_from(
-        nums: &[Option<f64>],
-        cats: &[Option<String>],
-    ) -> Table {
+    fn table_from(nums: &[Option<f64>], cats: &[Option<String>]) -> Table {
         let n = nums.len().min(cats.len());
         Table::new(
             "p",
@@ -125,7 +122,9 @@ mod registry_tests {
         let errors: Vec<CellRef> = dd.error_cells();
         let ctx = RepairContext::default();
         for name in ["standard_imputer", "ml_imputer"] {
-            let res = repairer_by_name(name).unwrap().repair(&dd.dirty, &errors, &ctx);
+            let res = repairer_by_name(name)
+                .unwrap()
+                .repair(&dd.dirty, &errors, &ctx);
             assert_eq!(res.table.null_count(), 0, "{name} left holes");
             assert_eq!(res.table.shape(), dd.dirty.shape());
         }

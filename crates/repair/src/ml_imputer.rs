@@ -15,7 +15,7 @@ use datalens_ml::knn::KnnClassifier;
 use datalens_ml::tree::{DecisionTreeRegressor, TreeConfig};
 use datalens_table::{CellRef, DataType, Table, Value};
 
-use crate::repairer::{null_out, AppliedRepair, RepairContext, Repairer, RepairResult};
+use crate::repairer::{null_out, AppliedRepair, RepairContext, RepairResult, Repairer};
 use crate::standard::StandardImputer;
 
 /// The ML imputer.
@@ -105,10 +105,8 @@ impl Repairer for MlImputer {
                             preds
                                 .into_iter()
                                 .map(|p| match col.dtype() {
-                                    DataType::Bool => {
-                                        Value::parse_typed(&p, DataType::Bool)
-                                            .unwrap_or(Value::Bool(false))
-                                    }
+                                    DataType::Bool => Value::parse_typed(&p, DataType::Bool)
+                                        .unwrap_or(Value::Bool(false)),
                                     _ => Value::Str(p),
                                 })
                                 .collect(),
@@ -189,8 +187,14 @@ mod tests {
         )
         .unwrap();
         let res = MlImputer::default().repair(&t, &[], &RepairContext::default());
-        assert_eq!(res.table.get_at(5, "cat").unwrap(), Value::Str("neg".into()));
-        assert_eq!(res.table.get_at(35, "cat").unwrap(), Value::Str("pos".into()));
+        assert_eq!(
+            res.table.get_at(5, "cat").unwrap(),
+            Value::Str("neg".into())
+        );
+        assert_eq!(
+            res.table.get_at(35, "cat").unwrap(),
+            Value::Str("pos".into())
+        );
     }
 
     #[test]
@@ -205,11 +209,7 @@ mod tests {
             vec![Column::from_f64("x", x), Column::from_f64("y", y)],
         )
         .unwrap();
-        let res = MlImputer::default().repair(
-            &t,
-            &[CellRef::new(3, 1)],
-            &RepairContext::default(),
-        );
+        let res = MlImputer::default().repair(&t, &[CellRef::new(3, 1)], &RepairContext::default());
         let fixed = res.table.get_at(3, "y").unwrap().as_f64().unwrap();
         assert!((fixed - 6.0).abs() < 4.0, "fixed {fixed}");
     }
@@ -244,11 +244,7 @@ mod tests {
 
     #[test]
     fn no_holes_no_changes() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_i64("n", [Some(1), Some(2)])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_i64("n", [Some(1), Some(2)])]).unwrap();
         let res = MlImputer::default().repair(&t, &[], &RepairContext::default());
         assert_eq!(res.table, t);
         assert_eq!(res.n_repaired(), 0);

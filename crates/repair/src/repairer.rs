@@ -96,13 +96,11 @@ mod tests {
         let res = RepairResult {
             tool: "x".into(),
             table: t,
-            repairs: vec![
-                AppliedRepair {
-                    cell: CellRef::new(0, 0),
-                    old: Value::Null,
-                    new: Value::Int(5),
-                },
-            ],
+            repairs: vec![AppliedRepair {
+                cell: CellRef::new(0, 0),
+                old: Value::Null,
+                new: Value::Int(5),
+            }],
         };
         assert_eq!(res.n_repaired(), 1);
         assert_eq!(res.counts_per_column(2), vec![1, 0]);

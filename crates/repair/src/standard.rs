@@ -4,7 +4,7 @@
 
 use datalens_table::{CellRef, DataType, Table, Value};
 
-use crate::repairer::{null_out, AppliedRepair, RepairContext, Repairer, RepairResult};
+use crate::repairer::{null_out, AppliedRepair, RepairContext, RepairResult, Repairer};
 
 /// The standard imputer.
 #[derive(Debug, Clone)]
@@ -97,26 +97,22 @@ mod tests {
     fn fills_detected_errors_and_preexisting_nulls() {
         let t = table();
         // Cell (2,0) detected as an outlier.
-        let res = StandardImputer::default().repair(
-            &t,
-            &[CellRef::new(2, 0)],
-            &RepairContext::default(),
-        );
+        let res =
+            StandardImputer::default().repair(&t, &[CellRef::new(2, 0)], &RepairContext::default());
         // Mean of the remaining numerics (10, 20) = 15.
         assert_eq!(res.table.get_at(2, "num").unwrap(), Value::Float(15.0));
         assert_eq!(res.table.get_at(3, "num").unwrap(), Value::Float(15.0));
-        assert_eq!(res.table.get_at(1, "cat").unwrap(), Value::Str("Dummy".into()));
+        assert_eq!(
+            res.table.get_at(1, "cat").unwrap(),
+            Value::Str("Dummy".into())
+        );
         assert_eq!(res.n_repaired(), 3);
         assert_eq!(res.table.null_count(), 0);
     }
 
     #[test]
     fn int_columns_round_to_int() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_i64("n", [Some(1), Some(2), None])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_i64("n", [Some(1), Some(2), None])]).unwrap();
         let res = StandardImputer::default().repair(&t, &[], &RepairContext::default());
         assert_eq!(res.table.get_at(2, "n").unwrap(), Value::Int(2)); // 1.5 → 2
     }
@@ -124,11 +120,8 @@ mod tests {
     #[test]
     fn applied_repairs_record_old_values() {
         let t = table();
-        let res = StandardImputer::default().repair(
-            &t,
-            &[CellRef::new(0, 1)],
-            &RepairContext::default(),
-        );
+        let res =
+            StandardImputer::default().repair(&t, &[CellRef::new(0, 1)], &RepairContext::default());
         let rep = res
             .repairs
             .iter()
@@ -140,11 +133,7 @@ mod tests {
 
     #[test]
     fn clean_table_with_no_errors_unchanged() {
-        let t = Table::new(
-            "t",
-            vec![Column::from_i64("n", [Some(1), Some(2)])],
-        )
-        .unwrap();
+        let t = Table::new("t", vec![Column::from_i64("n", [Some(1), Some(2)])]).unwrap();
         let res = StandardImputer::default().repair(&t, &[], &RepairContext::default());
         assert_eq!(res.table, t);
         assert_eq!(res.n_repaired(), 0);

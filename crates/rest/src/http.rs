@@ -350,7 +350,11 @@ mod tests {
 
     #[test]
     fn request_wire_round_trip() {
-        let mut req = Request::new(Method::Post, "/detect?tool=sd&x=a%20b", b"{\"k\":1}".to_vec());
+        let mut req = Request::new(
+            Method::Post,
+            "/detect?tool=sd&x=a%20b",
+            b"{\"k\":1}".to_vec(),
+        );
         req.headers
             .insert("content-type".into(), "application/json".into());
         let mut wire = Vec::new();
@@ -394,7 +398,10 @@ mod tests {
 
     #[test]
     fn oversized_body_rejected() {
-        let wire = format!("POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        let wire = format!(
+            "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
         assert!(matches!(
             Request::read_from(wire.as_bytes()),
             Err(HttpError::BodyTooLarge(_))

@@ -48,11 +48,7 @@ impl Router {
                 Ok(resp) => resp,
                 Err(_) => Response::error(500, "handler panicked"),
             }
-        } else if self
-            .routes
-            .keys()
-            .any(|(_, p)| p == &req.path)
-        {
+        } else if self.routes.keys().any(|(_, p)| p == &req.path) {
             Response::error(405, "method not allowed")
         } else {
             Response::error(404, "no such route")

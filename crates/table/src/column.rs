@@ -3,6 +3,13 @@
 //! A [`Column`] stores one attribute's values in a type-specialised vector
 //! (`Vec<Option<T>>`), which keeps numeric scans allocation-free while still
 //! exposing a dynamically-typed [`Value`] view for the dashboard layers.
+//!
+//! The payload sits behind an [`Arc`], so cloning a column (and therefore a
+//! whole [`crate::Table`]) is O(1); mutation goes through
+//! [`Arc::make_mut`], copying a column's data only when it is actually
+//! shared (copy-on-write).
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -61,11 +68,12 @@ impl ColumnData {
     }
 }
 
-/// A named, typed column of values.
+/// A named, typed column of values. Cheap to clone: the payload is
+/// shared until one of the clones mutates it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Column {
     name: String,
-    data: ColumnData,
+    data: Arc<ColumnData>,
 }
 
 impl Column {
@@ -73,8 +81,14 @@ impl Column {
     pub fn new(name: impl Into<String>, data: ColumnData) -> Column {
         Column {
             name: name.into(),
-            data,
+            data: Arc::new(data),
         }
+    }
+
+    /// Whether two columns share the same payload allocation (i.e. no
+    /// deep copy has happened between them).
+    pub fn shares_data_with(&self, other: &Column) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     /// Construct by coercing dynamically-typed values to `dtype`; values
@@ -92,13 +106,22 @@ impl Column {
     }
 
     /// Typed convenience constructors used heavily in tests and examples.
-    pub fn from_i64(name: impl Into<String>, vals: impl IntoIterator<Item = Option<i64>>) -> Column {
+    pub fn from_i64(
+        name: impl Into<String>,
+        vals: impl IntoIterator<Item = Option<i64>>,
+    ) -> Column {
         Column::new(name, ColumnData::Int(vals.into_iter().collect()))
     }
-    pub fn from_f64(name: impl Into<String>, vals: impl IntoIterator<Item = Option<f64>>) -> Column {
+    pub fn from_f64(
+        name: impl Into<String>,
+        vals: impl IntoIterator<Item = Option<f64>>,
+    ) -> Column {
         Column::new(name, ColumnData::Float(vals.into_iter().collect()))
     }
-    pub fn from_bool(name: impl Into<String>, vals: impl IntoIterator<Item = Option<bool>>) -> Column {
+    pub fn from_bool(
+        name: impl Into<String>,
+        vals: impl IntoIterator<Item = Option<bool>>,
+    ) -> Column {
         Column::new(name, ColumnData::Bool(vals.into_iter().collect()))
     }
     pub fn from_str_vals<S: Into<String>>(
@@ -138,7 +161,7 @@ impl Column {
     /// Dynamically-typed view of row `row`; out-of-range reads panic like
     /// slice indexing (callers validate through `Table`).
     pub fn get(&self, row: usize) -> Value {
-        match &self.data {
+        match &*self.data {
             ColumnData::Int(v) => v[row].map_or(Value::Null, Value::Int),
             ColumnData::Float(v) => v[row].map_or(Value::Null, Value::Float),
             ColumnData::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
@@ -152,7 +175,7 @@ impl Column {
     /// coercions become null.
     pub fn set(&mut self, row: usize, value: Value) {
         let coerced = value.coerce(self.dtype());
-        match (&mut self.data, coerced) {
+        match (Arc::make_mut(&mut self.data), coerced) {
             (ColumnData::Int(v), Value::Int(x)) => v[row] = Some(x),
             (ColumnData::Float(v), Value::Float(x)) => v[row] = Some(x),
             (ColumnData::Bool(v), Value::Bool(x)) => v[row] = Some(x),
@@ -167,7 +190,7 @@ impl Column {
     /// Append a value (coerced to the column type).
     pub fn push(&mut self, value: Value) {
         let coerced = value.coerce(self.dtype());
-        match (&mut self.data, coerced) {
+        match (Arc::make_mut(&mut self.data), coerced) {
             (ColumnData::Int(v), Value::Int(x)) => v.push(Some(x)),
             (ColumnData::Float(v), Value::Float(x)) => v.push(Some(x)),
             (ColumnData::Bool(v), Value::Bool(x)) => v.push(Some(x)),
@@ -186,7 +209,7 @@ impl Column {
 
     /// Whether row `row` holds a null.
     pub fn is_null(&self, row: usize) -> bool {
-        match &self.data {
+        match &*self.data {
             ColumnData::Int(v) => v[row].is_none(),
             ColumnData::Float(v) => v[row].is_none(),
             ColumnData::Bool(v) => v[row].is_none(),
@@ -196,7 +219,7 @@ impl Column {
 
     /// Number of null entries.
     pub fn null_count(&self) -> usize {
-        match &self.data {
+        match &*self.data {
             ColumnData::Int(v) => v.iter().filter(|x| x.is_none()).count(),
             ColumnData::Float(v) => v.iter().filter(|x| x.is_none()).count(),
             ColumnData::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
@@ -207,7 +230,7 @@ impl Column {
     /// Numeric view: `(row, value)` for every non-null numeric entry.
     /// Booleans map to 0/1; string columns yield nothing.
     pub fn numeric_entries(&self) -> Vec<(usize, f64)> {
-        match &self.data {
+        match &*self.data {
             ColumnData::Int(v) => v
                 .iter()
                 .enumerate()
@@ -242,7 +265,7 @@ impl Column {
         fn gather<T: Clone>(v: &[Option<T>], idx: &[usize]) -> Vec<Option<T>> {
             idx.iter().map(|&i| v[i].clone()).collect()
         }
-        let data = match &self.data {
+        let data = match &*self.data {
             ColumnData::Int(v) => ColumnData::Int(gather(v, indices)),
             ColumnData::Float(v) => ColumnData::Float(gather(v, indices)),
             ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices)),
@@ -353,5 +376,26 @@ mod tests {
         let d = ColumnData::nulls(DataType::Bool, 4);
         let c = Column::new("n", d);
         assert_eq!(c.null_count(), 4);
+    }
+
+    #[test]
+    fn clone_shares_payload_until_mutation() {
+        let a = Column::from_i64("a", (0..1000).map(Some));
+        let b = a.clone();
+        // O(1) clone: same allocation.
+        assert!(a.shares_data_with(&b));
+
+        // Copy-on-write: mutating the clone detaches it ...
+        let mut c = a.clone();
+        c.set(3, Value::Int(-1));
+        assert!(!a.shares_data_with(&c));
+        // ... and leaves the original untouched.
+        assert_eq!(a.get(3), Value::Int(3));
+        assert_eq!(c.get(3), Value::Int(-1));
+
+        // Mutating an unshared column does not reallocate.
+        let before = c.get(0);
+        c.set(0, Value::Int(42));
+        assert_ne!(c.get(0), before);
     }
 }

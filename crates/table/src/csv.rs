@@ -89,9 +89,9 @@ pub fn read_csv_str(name: &str, text: &str, opts: &CsvOptions) -> Result<Table, 
     let mut columns = Vec::with_capacity(width);
     for (c, name) in header.iter().enumerate() {
         let dtype = dtypes[c].unwrap_or(DataType::Str);
-        let values = rows.iter().map(|row| {
-            Value::parse_typed(&row[c], dtype).unwrap_or(Value::Null)
-        });
+        let values = rows
+            .iter()
+            .map(|row| Value::parse_typed(&row[c], dtype).unwrap_or(Value::Null));
         columns.push(Column::from_values(name.clone(), dtype, values));
     }
 
@@ -245,7 +245,11 @@ fn dedupe_header(header: Vec<String>) -> Vec<String> {
         .into_iter()
         .map(|h| {
             let n = seen.entry(h.clone()).or_insert(0);
-            let out = if *n == 0 { h.clone() } else { format!("{h}.{n}") };
+            let out = if *n == 0 {
+                h.clone()
+            } else {
+                format!("{h}.{n}")
+            };
             *n += 1;
             out
         })
@@ -275,7 +279,10 @@ mod tests {
     #[test]
     fn mixed_int_float_widens() {
         let t = read("x\n1\n2.5\n");
-        assert_eq!(t.schema().field_by_name("x").unwrap().dtype, DataType::Float);
+        assert_eq!(
+            t.schema().field_by_name("x").unwrap().dtype,
+            DataType::Float
+        );
         assert_eq!(t.get_at(0, "x").unwrap(), Value::Float(1.0));
     }
 
@@ -302,10 +309,7 @@ mod tests {
             t.get_at(0, "b").unwrap(),
             Value::Str("he said \"hi\"".into())
         );
-        assert_eq!(
-            t.get_at(1, "a").unwrap(),
-            Value::Str("line1\nline2".into())
-        );
+        assert_eq!(t.get_at(1, "a").unwrap(), Value::Str("line1\nline2".into()));
     }
 
     #[test]

@@ -83,11 +83,7 @@ mod tests {
         let base = std::env::temp_dir().join(format!("datalens_dsdir_{}", std::process::id()));
         let dir = DatasetDir::create(&base, "flights").unwrap();
         assert!(dir.delta_path().is_dir());
-        let t = Table::new(
-            "flights",
-            vec![Column::from_i64("x", [Some(1), Some(2)])],
-        )
-        .unwrap();
+        let t = Table::new("flights", vec![Column::from_i64("x", [Some(1), Some(2)])]).unwrap();
         dir.store_dirty(&t).unwrap();
         let back = dir.load_dirty().unwrap();
         assert_eq!(back.shape(), (2, 1));

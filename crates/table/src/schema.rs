@@ -46,12 +46,7 @@ impl Schema {
         I: IntoIterator<Item = (S, DataType)>,
         S: Into<String>,
     {
-        Schema::new(
-            pairs
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
-        )
+        Schema::new(pairs.into_iter().map(|(n, t)| Field::new(n, t)).collect())
     }
 
     pub fn fields(&self) -> &[Field] {

@@ -13,9 +13,7 @@ use crate::value::Value;
 ///
 /// Every error-detection tool in the workspace reports its findings as a set
 /// of `CellRef`s, which is what makes cross-tool consolidation possible.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CellRef {
     pub row: usize,
     pub col: usize,
@@ -304,8 +302,7 @@ impl Table {
     /// kept) — the "removing duplicates" cleaning step of the paper's
     /// introduction.
     pub fn drop_duplicates(&self) -> Table {
-        let dups: std::collections::HashSet<usize> =
-            self.duplicate_rows().into_iter().collect();
+        let dups: std::collections::HashSet<usize> = self.duplicate_rows().into_iter().collect();
         self.filter_rows(|r| !dups.contains(&r))
     }
 
@@ -354,7 +351,12 @@ impl fmt::Display for Table {
             grid.push(self.columns.iter().map(|c| c.get(r).to_string()).collect());
         }
         let widths: Vec<usize> = (0..self.columns.len())
-            .map(|c| grid.iter().map(|row| row[c].chars().count()).max().unwrap_or(0))
+            .map(|c| {
+                grid.iter()
+                    .map(|row| row[c].chars().count())
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         for (i, row) in grid.iter().enumerate() {
             let line: Vec<String> = row
@@ -364,7 +366,11 @@ impl fmt::Display for Table {
                 .collect();
             writeln!(f, "{}", line.join("  "))?;
             if i == 0 {
-                writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+                writeln!(
+                    f,
+                    "{}",
+                    "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
+                )?;
             }
         }
         if self.rows > shown {
@@ -427,8 +433,12 @@ mod tests {
     #[test]
     fn push_row_grows_table() {
         let mut t = sample();
-        t.push_row(vec![Value::Int(4), Value::Str("kiel".into()), Value::Float(250.0)])
-            .unwrap();
+        t.push_row(vec![
+            Value::Int(4),
+            Value::Str("kiel".into()),
+            Value::Float(250.0),
+        ])
+        .unwrap();
         assert_eq!(t.n_rows(), 4);
         assert_eq!(t.get_at(3, "city").unwrap(), Value::Str("kiel".into()));
         assert!(t.push_row(vec![Value::Int(4)]).is_err());
@@ -475,18 +485,30 @@ mod tests {
     #[test]
     fn duplicate_rows_detects_repeats() {
         let mut t = sample();
-        t.push_row(vec![Value::Int(1), Value::Str("ulm".into()), Value::Float(120.0)])
-            .unwrap();
+        t.push_row(vec![
+            Value::Int(1),
+            Value::Str("ulm".into()),
+            Value::Float(120.0),
+        ])
+        .unwrap();
         assert_eq!(t.duplicate_rows(), vec![3]);
     }
 
     #[test]
     fn drop_duplicates_keeps_first() {
         let mut t = sample();
-        t.push_row(vec![Value::Int(1), Value::Str("ulm".into()), Value::Float(120.0)])
-            .unwrap();
-        t.push_row(vec![Value::Int(1), Value::Str("ulm".into()), Value::Float(120.0)])
-            .unwrap();
+        t.push_row(vec![
+            Value::Int(1),
+            Value::Str("ulm".into()),
+            Value::Float(120.0),
+        ])
+        .unwrap();
+        t.push_row(vec![
+            Value::Int(1),
+            Value::Str("ulm".into()),
+            Value::Float(120.0),
+        ])
+        .unwrap();
         let d = t.drop_duplicates();
         assert_eq!(d.n_rows(), 3);
         assert_eq!(d.get_at(0, "id").unwrap(), Value::Int(1));
@@ -518,6 +540,24 @@ mod tests {
         let text = sample().to_string();
         assert!(text.contains("id"));
         assert!(text.contains("ulm"));
+    }
+
+    #[test]
+    fn clone_is_shallow_until_mutated() {
+        let t = sample();
+        let c = t.clone();
+        // O(1) clone: every column still shares its payload allocation.
+        for (a, b) in t.columns().iter().zip(c.columns()) {
+            assert!(a.shares_data_with(b));
+        }
+        // Writing one cell detaches only that column.
+        let mut m = t.clone();
+        m.set(CellRef::new(0, 0), Value::Int(99)).unwrap();
+        assert!(!t.columns()[0].shares_data_with(&m.columns()[0]));
+        assert!(t.columns()[1].shares_data_with(&m.columns()[1]));
+        assert!(t.columns()[2].shares_data_with(&m.columns()[2]));
+        assert_eq!(t.get_at(0, "id").unwrap(), Value::Int(1));
+        assert_eq!(m.get_at(0, "id").unwrap(), Value::Int(99));
     }
 
     #[test]

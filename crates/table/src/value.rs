@@ -60,9 +60,7 @@ impl DataType {
             return self;
         }
         match (self, other) {
-            (DataType::Int, DataType::Float) | (DataType::Float, DataType::Int) => {
-                DataType::Float
-            }
+            (DataType::Int, DataType::Float) | (DataType::Float, DataType::Int) => DataType::Float,
             _ => DataType::Str,
         }
     }
@@ -243,9 +241,7 @@ impl PartialEq for Value {
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *b == *a as f64
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *b == *a as f64,
             _ => false,
         }
     }
@@ -392,8 +388,14 @@ mod tests {
 
     #[test]
     fn parse_typed_int_float_bool() {
-        assert_eq!(Value::parse_typed("42", DataType::Int), Some(Value::Int(42)));
-        assert_eq!(Value::parse_typed("-7", DataType::Int), Some(Value::Int(-7)));
+        assert_eq!(
+            Value::parse_typed("42", DataType::Int),
+            Some(Value::Int(42))
+        );
+        assert_eq!(
+            Value::parse_typed("-7", DataType::Int),
+            Some(Value::Int(-7))
+        );
         assert_eq!(Value::parse_typed("4.5", DataType::Int), None);
         assert_eq!(
             Value::parse_typed("4.5", DataType::Float),
@@ -475,23 +477,19 @@ mod tests {
         assert_eq!(Value::Int(3).coerce(DataType::Float), Value::Float(3.0));
         assert_eq!(Value::Float(3.0).coerce(DataType::Int), Value::Int(3));
         assert_eq!(Value::Float(3.5).coerce(DataType::Int), Value::Null);
-        assert_eq!(
-            Value::Str("7".into()).coerce(DataType::Int),
-            Value::Int(7)
-        );
+        assert_eq!(Value::Str("7".into()).coerce(DataType::Int), Value::Int(7));
         assert_eq!(Value::Str("x".into()).coerce(DataType::Int), Value::Null);
-        assert_eq!(
-            Value::Int(7).coerce(DataType::Str),
-            Value::Str("7".into())
-        );
+        assert_eq!(Value::Int(7).coerce(DataType::Str), Value::Str("7".into()));
     }
 
     #[test]
     fn total_cmp_orders_nulls_first() {
-        let mut vals = [Value::Str("b".into()),
+        let mut vals = [
+            Value::Str("b".into()),
             Value::Int(5),
             Value::Null,
-            Value::Float(1.5)];
+            Value::Float(1.5),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Float(1.5));

@@ -13,9 +13,7 @@
 
 pub mod store;
 
-pub use store::{
-    Experiment, MetricPoint, Run, RunInfo, RunStatus, TrackingError, TrackingStore,
-};
+pub use store::{Experiment, MetricPoint, Run, RunInfo, RunStatus, TrackingError, TrackingStore};
 
 /// The two experiment groups the dashboard logs into.
 pub const EXPERIMENT_DETECTION: &str = "Detection";

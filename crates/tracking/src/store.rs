@@ -197,11 +197,7 @@ impl TrackingStore {
     }
 
     /// Reopen an existing run for reading.
-    pub fn get_run(
-        &self,
-        experiment: &Experiment,
-        run_id: &str,
-    ) -> Result<Run, TrackingError> {
+    pub fn get_run(&self, experiment: &Experiment, run_id: &str) -> Result<Run, TrackingError> {
         let dir = self.exp_dir(&experiment.id).join(run_id);
         let meta = dir.join("run.json");
         if !meta.is_file() {
@@ -240,7 +236,10 @@ impl Run {
     pub fn log_metric(&self, key: &str, value: f64, step: u64) -> Result<(), TrackingError> {
         use std::io::Write;
         let path = self.dir.join("metrics").join(sanitize(key));
-        let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
         writeln!(f, "{} {} {}", now_millis(), value, step)?;
         Ok(())
     }
@@ -375,10 +374,8 @@ mod tests {
     use super::*;
 
     fn store(name: &str) -> TrackingStore {
-        let root = std::env::temp_dir().join(format!(
-            "datalens_tracking_{}_{name}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("datalens_tracking_{}_{name}", std::process::id()));
         fs::remove_dir_all(&root).ok();
         TrackingStore::new(root).unwrap()
     }

@@ -44,6 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nbest combination: {} + {} (MSE {:.3})",
         report.best.detector, report.best.repairer, report.best.score
     );
-    println!("best-so-far curve: {:?}", report.best_curve.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "best-so-far curve: {:?}",
+        report
+            .best_curve
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
     Ok(())
 }

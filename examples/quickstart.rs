@@ -41,8 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Repair with the ML imputer (decision trees for numerics, k-NN
     //    for categoricals).
     let n_repaired = dash.repair("ml_imputer")?;
-    println!("repaired {n_repaired} cells; repaired table has {} nulls",
-        dash.repaired_table()?.null_count());
+    println!(
+        "repaired {n_repaired} cells; repaired table has {} nulls",
+        dash.repaired_table()?.null_count()
+    );
 
     // 5. Outputs: detection-results tab and the DataSheet.
     println!("\n{}", render_tab(&mut dash, Tab::DetectionResults)?);

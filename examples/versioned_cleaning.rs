@@ -8,10 +8,8 @@ use datalens::DataSheet;
 use datalens_delta::DeltaTable;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let workspace = std::env::temp_dir().join(format!(
-        "datalens_example_ws_{}",
-        std::process::id()
-    ));
+    let workspace =
+        std::env::temp_dir().join(format!("datalens_example_ws_{}", std::process::id()));
     std::fs::remove_dir_all(&workspace).ok();
 
     // A workspace-backed controller persists dataset folders, Delta
@@ -19,6 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut dash = DashboardController::new(DashboardConfig {
         workspace_dir: Some(workspace.clone()),
         seed: 0,
+        ..Default::default()
     })?;
     dash.ingest_csv_text(
         "customers.csv",
@@ -31,8 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dash.run_detection(&["sd", "iqr", "mv_detector"])?;
     dash.repair("standard_imputer")?;
     let sheet = dash.generate_datasheet()?;
-    println!("pipeline ran; DataSheet references delta versions {:?} → {:?}",
-        sheet.detect_version, sheet.repaired_version);
+    println!(
+        "pipeline ran; DataSheet references delta versions {:?} → {:?}",
+        sheet.detect_version, sheet.repaired_version
+    );
 
     // Time travel through the dataset's history.
     let delta = DeltaTable::open(workspace.join("datasets/customers/delta"))?;
@@ -73,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Where the MLflow-style runs landed.
     let store = dash.tracking().expect("workspace controller tracks runs");
     for exp in store.list_experiments()? {
-        println!("experiment {:?}: {} run(s)", exp.name, store.list_runs(&exp)?.len());
+        println!(
+            "experiment {:?}: {} run(s)",
+            exp.name,
+            store.list_runs(&exp)?.len()
+        );
     }
 
     std::fs::remove_dir_all(&workspace).ok();

@@ -1,0 +1,172 @@
+//! Offline shim for `criterion`: a minimal wall-clock bench harness with
+//! the same call surface (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `criterion_group!`, `criterion_main!`). It runs a
+//! short warm-up, then `sample_size` timed samples, and prints
+//! median/min/max per benchmark. No statistics beyond that — it exists
+//! so `cargo bench` works without the network.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark (`name/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Display, P: Display>(name: S, param: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(param: P) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call.
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter`] but with an untimed per-sample setup step.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut f: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(f(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(f(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            return;
+        }
+        s.sort_unstable();
+        let median = s[s.len() / 2];
+        println!(
+            "bench {}/{id}: median {median:?}  (min {:?}, max {:?}, n={})",
+            self.name,
+            s[0],
+            s[s.len() - 1],
+            s.len()
+        );
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run(id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").run(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("f", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        // one warm-up + three samples
+        assert_eq!(calls, 4);
+    }
+}

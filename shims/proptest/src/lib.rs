@@ -1,0 +1,642 @@
+//! Offline shim for `proptest`: deterministic random property testing
+//! with the same call surface the workspace uses — the [`proptest!`]
+//! macro, range/`any`/tuple strategies, `collection::vec`, `option::of`,
+//! `sample::select`, `string::string_regex`, `prop_map`/`prop_flat_map`,
+//! and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike the real crate there is no shrinking: cases are generated from
+//! an RNG seeded from the test's name, so failures reproduce exactly
+//! across runs.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration; only `cases` matters here.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Deterministic RNG derived from the test name (FNV-1a).
+    pub fn rng_for(name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+    }
+
+    // A &str literal is a strategy producing strings that match it as a
+    // regex-like pattern (see the `string` module for the grammar).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::string_regex(self)
+                .expect("invalid string pattern")
+                .generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore};
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Inclusive length range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            let hi = r.end.saturating_sub(1).max(r.start);
+            SizeRange { lo: r.start, hi }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..=self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod sample {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0[rng.random_range(0..self.0.len())].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "sample::select needs at least one item");
+        Select(items)
+    }
+}
+
+pub mod string {
+    //! Generator for the small regex subset the workspace uses:
+    //! sequences of atoms — a character class `[a-z!x]`, the category
+    //! escape `\PC` (any non-control character), or a literal character —
+    //! each with an optional `{n}` / `{lo,hi}` repetition.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "bad string pattern: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Clone, Debug)]
+    enum CharSet {
+        /// Inclusive character ranges (single chars are one-char ranges).
+        Ranges(Vec<(char, char)>),
+        /// `\PC`: any character outside Unicode category C (control etc.).
+        NotControl,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Part {
+        set: CharSet,
+        lo: usize,
+        hi: usize,
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy {
+        parts: Vec<Part>,
+    }
+
+    /// Mostly printable ASCII, sometimes a multi-byte character — enough
+    /// spread to exercise UTF-8 handling without leaving `\PC`.
+    const WIDE_CHARS: &[char] = &['à', 'ß', 'λ', 'Ж', '中', '€', '…', '🦀'];
+
+    fn gen_char(set: &CharSet, rng: &mut StdRng) -> char {
+        match set {
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.random_range(0..total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick).unwrap_or(lo);
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick within total span")
+            }
+            CharSet::NotControl => {
+                if rng.random_bool(0.85) {
+                    char::from_u32(rng.random_range(0x20u32..=0x7e)).unwrap()
+                } else {
+                    WIDE_CHARS[rng.random_range(0..WIDE_CHARS.len())]
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for part in &self.parts {
+                let n = if part.lo == part.hi {
+                    part.lo
+                } else {
+                    rng.random_range(part.lo..=part.hi)
+                };
+                for _ in 0..n {
+                    out.push(gen_char(&part.set, rng));
+                }
+            }
+            out
+        }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> Result<(CharSet, usize), Error> {
+        let mut ranges = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let lo = if chars[i] == '\\' {
+                i += 1;
+                *chars
+                    .get(i)
+                    .ok_or_else(|| Error("trailing backslash in class".into()))?
+            } else {
+                chars[i]
+            };
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                let hi = chars[i + 2];
+                if hi < lo {
+                    return Err(Error(format!("inverted range {lo}-{hi}")));
+                }
+                ranges.push((lo, hi));
+                i += 3;
+            } else {
+                ranges.push((lo, lo));
+                i += 1;
+            }
+        }
+        if i >= chars.len() {
+            return Err(Error("unterminated character class".into()));
+        }
+        if ranges.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok((CharSet::Ranges(ranges), i + 1))
+    }
+
+    fn parse_repeat(chars: &[char], mut i: usize) -> Result<((usize, usize), usize), Error> {
+        let start = i;
+        while i < chars.len() && chars[i] != '}' {
+            i += 1;
+        }
+        if i >= chars.len() {
+            return Err(Error("unterminated repetition".into()));
+        }
+        let body: String = chars[start..i].iter().collect();
+        let parse_n = |s: &str| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| Error(format!("bad repetition count {s:?}")))
+        };
+        let (lo, hi) = match body.split_once(',') {
+            Some((a, b)) => (parse_n(a)?, parse_n(b)?),
+            None => {
+                let n = parse_n(&body)?;
+                (n, n)
+            }
+        };
+        if hi < lo {
+            return Err(Error(format!("inverted repetition {{{body}}}")));
+        }
+        Ok(((lo, hi), i + 1))
+    }
+
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut parts = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1)?;
+                    i = next;
+                    set
+                }
+                '\\' => match chars.get(i + 1) {
+                    Some('P') => {
+                        if chars.get(i + 2) == Some(&'C') {
+                            i += 3;
+                            CharSet::NotControl
+                        } else {
+                            return Err(Error("only \\PC category escape is supported".into()));
+                        }
+                    }
+                    Some(&c) => {
+                        i += 2;
+                        CharSet::Ranges(vec![(c, c)])
+                    }
+                    None => return Err(Error("trailing backslash".into())),
+                },
+                c => {
+                    i += 1;
+                    CharSet::Ranges(vec![(c, c)])
+                }
+            };
+            let (lo, hi) = if chars.get(i) == Some(&'{') {
+                let (rep, next) = parse_repeat(&chars, i + 1)?;
+                i = next;
+                rep
+            } else {
+                (1, 1)
+            };
+            parts.push(Part { set, lo, hi });
+        }
+        Ok(RegexGeneratorStrategy { parts })
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Run each contained `fn name(binding in strategy, ...) { body }` as a
+/// `#[test]` over `cases` generated inputs. No shrinking; the RNG is
+/// seeded from the test name so runs are reproducible.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $parm = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*); };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*); };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng_for("ranges_stay_in_bounds");
+        for _ in 0..200 {
+            let v = Strategy::generate(&(2usize..5), &mut rng);
+            assert!((2..5).contains(&v));
+            let f = Strategy::generate(&(0.0f64..0.3), &mut rng);
+            assert!((0.0..0.3).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = rng_for("vec_strategy_sizes");
+        let s = crate::collection::vec(0i64..3, 0..30);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 30);
+            assert!(v.iter().all(|&x| (0..3).contains(&x)));
+        }
+        let fixed = crate::collection::vec(any::<u8>(), 7usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn string_patterns_match() {
+        let mut rng = rng_for("string_patterns_match");
+        let ascii = crate::string::string_regex("[ -~]{0,12}").unwrap();
+        let word = crate::string::string_regex("[a-z]{1,8}").unwrap();
+        let printable = crate::string::string_regex("\\PC{0,64}").unwrap();
+        for _ in 0..200 {
+            let s = ascii.generate(&mut rng);
+            assert!(s.len() <= 12 && s.chars().all(|c| (' '..='~').contains(&c)));
+            let w = word.generate(&mut rng);
+            assert!((1..=8).contains(&w.len()) && w.chars().all(|c| c.is_ascii_lowercase()));
+            let p = printable.generate(&mut rng);
+            assert!(p.chars().count() <= 64 && p.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = rng_for("combinators_compose");
+        let s = (1usize..4, 1usize..4)
+            .prop_flat_map(|(a, b)| crate::collection::vec(0usize..10, a * b))
+            .prop_map(|v| v.len());
+        for _ in 0..50 {
+            let n = s.generate(&mut rng);
+            assert!((1..=9).contains(&n));
+        }
+        let opt = crate::option::of(crate::sample::select(vec!["a", "b"]));
+        let mut some = 0;
+        for _ in 0..200 {
+            if let Some(v) = opt.generate(&mut rng) {
+                assert!(v == "a" || v == "b");
+                some += 1;
+            }
+        }
+        assert!(some > 50 && some < 150);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, tuples, trailing comma.
+        #[test]
+        fn macro_binds_values(
+            (a, b) in (0usize..5, 0usize..5),
+            mut v in crate::collection::vec(any::<bool>(), 0..4),
+        ) {
+            v.push(a + b < 10);
+            prop_assert!(v.last() == Some(&true));
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline shim for `rand_distr`: just the `Normal` distribution (via
+//! Box–Muller) and the `Distribution` trait, which is all the workspace
+//! uses.
+
+use rand::Rng;
+
+/// A distribution samplable with any [`rand::Rng`].
+pub trait Distribution<T> {
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// Errors constructing a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// Standard deviation was not finite and non-negative.
+    BadVariance,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Box–Muller transform; u1 bounded away from zero so ln() is finite.
+        let u1: f64 = rng.random_range(1e-12..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn rejects_bad_std() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn moments_are_close() {
+        let normal = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+}

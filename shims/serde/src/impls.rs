@@ -1,0 +1,381 @@
+//! `Serialize`/`Deserialize` impls for the std types the workspace
+//! (de)serialises.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use crate::{Deserialize, Error, JsonValue, Serialize};
+
+// ----- integers --------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<$t, Error> {
+                let n = v.as_i64().ok_or_else(|| {
+                    Error::new(format!("expected integer, found {}", v.kind_name()))
+                })?;
+                <$t>::try_from(n).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> JsonValue {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => JsonValue::I64(i),
+                    Err(_) => JsonValue::U64(v),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &JsonValue) -> Result<$t, Error> {
+                let n = v.as_u64().ok_or_else(|| {
+                    Error::new(format!(
+                        "expected unsigned integer, found {}",
+                        v.kind_name()
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+// ----- floats, bool, strings ------------------------------------------
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &JsonValue) -> Result<f64, Error> {
+        // serde_json prints non-finite floats as null; accept the
+        // round trip back.
+        if v.is_null() {
+            return Ok(f64::NAN);
+        }
+        v.as_f64()
+            .ok_or_else(|| Error::new(format!("expected number, found {}", v.kind_name())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &JsonValue) -> Result<f32, Error> {
+        f64::from_json_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &JsonValue) -> Result<bool, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::new(format!("expected boolean, found {}", v.kind_name())))
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &JsonValue) -> Result<String, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::new(format!("expected string, found {}", v.kind_name())))
+    }
+
+    fn from_json_key(key: &str) -> Result<String, Error> {
+        Ok(key.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &JsonValue) -> Result<char, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::new(format!("expected string, found {}", v.kind_name())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected a single character")),
+        }
+    }
+}
+
+// ----- references and smart pointers ----------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Box<T>, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json_value(&self) -> JsonValue {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Arc<T>, Error> {
+        T::from_json_value(v).map(Arc::new)
+    }
+}
+
+// ----- Option ----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Option<T>, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_json_value(v).map(Some)
+        }
+    }
+
+    fn missing_field() -> Option<Option<T>> {
+        // serde treats a missing field as `None` for Option fields.
+        Some(None)
+    }
+}
+
+// ----- sequences -------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Arr(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &JsonValue) -> Result<Vec<T>, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::new(format!("expected array, found {}", v.kind_name())))?;
+        items.iter().map(T::from_json_value).collect()
+    }
+}
+
+// ----- tuples ----------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) => $len:literal),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> JsonValue {
+                JsonValue::Arr(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &JsonValue) -> Result<($($name,)+), Error> {
+                let items = v.as_array().ok_or_else(|| {
+                    Error::new(format!("expected array, found {}", v.kind_name()))
+                })?;
+                if items.len() != $len {
+                    return Err(Error::new(format!(
+                        "expected a tuple of {} elements, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_json_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple! {
+    (A: 0) => 1,
+    (A: 0, B: 1) => 2,
+    (A: 0, B: 1, C: 2) => 3,
+    (A: 0, B: 1, C: 2, D: 3) => 4,
+}
+
+// ----- maps -------------------------------------------------------------
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.iter()
+                .map(|(k, v)| (crate::__key_string(&k.to_json_value()), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &JsonValue) -> Result<BTreeMap<K, V>, Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| Error::new(format!("expected object, found {}", v.kind_name())))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((K::from_json_key(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> JsonValue {
+        // Sort keys so HashMap serialisation is deterministic.
+        let mut fields: Vec<(String, JsonValue)> = self
+            .iter()
+            .map(|(k, v)| (crate::__key_string(&k.to_json_value()), v.to_json_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        JsonValue::Obj(fields)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(v: &JsonValue) -> Result<HashMap<K, V, S>, Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| Error::new(format!("expected object, found {}", v.kind_name())))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((K::from_json_key(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+// ----- unit -------------------------------------------------------------
+
+impl Serialize for () {
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(v: &JsonValue) -> Result<(), Error> {
+        if v.is_null() {
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected null, found {}",
+                v.kind_name()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let json = v.to_json_value();
+        assert_eq!(T::from_json_value(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn std_round_trips() {
+        round_trip(42i64);
+        round_trip(7u32);
+        round_trip(-1i8);
+        round_trip(usize::MAX);
+        round_trip(2.5f64);
+        round_trip(true);
+        round_trip("hi".to_string());
+        round_trip(Some(3i64));
+        round_trip(Option::<i64>::None);
+        round_trip(vec![1u8, 2, 3]);
+        round_trip((1usize, 2usize));
+        round_trip(Arc::new(vec!["a".to_string()]));
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 1.5f64);
+        round_trip(m);
+    }
+
+    #[test]
+    fn non_string_keys_round_trip() {
+        let mut m: BTreeMap<(u32, u32), String> = BTreeMap::new();
+        m.insert((1, 2), "x".into());
+        m.insert((3, 4), "y".into());
+        let json = m.to_json_value();
+        match &json {
+            JsonValue::Obj(fields) => assert_eq!(fields[0].0, "[1,2]"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(BTreeMap::from_json_value(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::from_json_value(&JsonValue::I64(300)).is_err());
+        assert!(u64::from_json_value(&JsonValue::I64(-1)).is_err());
+        assert!(i64::from_json_value(&JsonValue::Str("5".into())).is_err());
+    }
+}

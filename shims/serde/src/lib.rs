@@ -1,0 +1,159 @@
+//! Offline shim for `serde`: the workspace cannot fetch crates, so this
+//! crate provides the `Serialize`/`Deserialize` trait surface the code
+//! uses, backed by a concrete JSON value model ([`JsonValue`]) instead of
+//! serde's generic data model. The companion `serde_derive` shim generates
+//! impls of these traits, and the `serde_json` shim prints/parses the
+//! value model.
+//!
+//! Supported serde attributes: `#[serde(default)]` on fields and
+//! `#[serde(rename_all = "camelCase")]` on containers — exactly what this
+//! workspace uses.
+
+mod impls;
+mod parse;
+mod print;
+mod value;
+
+pub use parse::parse_json;
+pub use print::{to_compact_string, to_pretty_string};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::JsonValue;
+
+/// Shared (de)serialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the JSON value model (the shim's `serde::Serialize`).
+pub trait Serialize {
+    fn to_json_value(&self) -> JsonValue;
+}
+
+/// Conversion from the JSON value model (the shim's `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    fn from_json_value(v: &JsonValue) -> Result<Self, Error>;
+
+    /// Value to use when a field is absent from the input object.
+    /// `None` means "absence is an error" (serde's default); `Option<T>`
+    /// overrides this to `Some(None)`, replicating serde's implicit
+    /// defaulting of `Option` fields.
+    fn missing_field() -> Option<Self> {
+        None
+    }
+
+    /// Parse from a JSON object *key*. Non-string keys are encoded as
+    /// compact JSON inside the key string (like serde_json does for
+    /// integer keys); `String` overrides this to the identity.
+    fn from_json_key(key: &str) -> Result<Self, Error> {
+        Self::from_json_value(&parse_json(key)?)
+    }
+}
+
+pub mod de {
+    //! `serde::de` compatibility: the `DeserializeOwned` bound alias.
+    pub use crate::Error;
+
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! `serde::ser` compatibility.
+    pub use crate::Error;
+}
+
+// ---------------------------------------------------------------------
+// Helpers called by `serde_derive`-generated code. Not public API.
+// ---------------------------------------------------------------------
+
+#[doc(hidden)]
+pub fn __obj<'a>(v: &'a JsonValue, ty: &str) -> Result<&'a [(String, JsonValue)], Error> {
+    match v {
+        JsonValue::Obj(fields) => Ok(fields),
+        other => Err(Error::new(format!(
+            "expected object for `{ty}`, found {}",
+            other.kind_name()
+        ))),
+    }
+}
+
+#[doc(hidden)]
+pub fn __get<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    fields: &[(String, JsonValue)],
+    key: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match __get(fields, key) {
+        Some(v) => {
+            T::from_json_value(v).map_err(|e| Error::new(format!("field `{key}` of `{ty}`: {e}")))
+        }
+        None => {
+            T::missing_field().ok_or_else(|| Error::new(format!("missing field `{key}` of `{ty}`")))
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn __field_default<T: Deserialize + Default>(
+    fields: &[(String, JsonValue)],
+    key: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match __get(fields, key) {
+        Some(v) => {
+            T::from_json_value(v).map_err(|e| Error::new(format!("field `{key}` of `{ty}`: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
+/// Encode a map key: strings pass through, everything else becomes
+/// compact JSON (mirrors `from_json_key`).
+#[doc(hidden)]
+pub fn __key_string(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Str(s) => s.clone(),
+        other => to_compact_string(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_helpers() {
+        let fields = vec![
+            ("a".to_string(), JsonValue::I64(3)),
+            ("b".to_string(), JsonValue::Null),
+        ];
+        let a: i64 = __field(&fields, "a", "T").unwrap();
+        assert_eq!(a, 3);
+        let missing: Result<i64, _> = __field(&fields, "zz", "T");
+        assert!(missing.unwrap_err().to_string().contains("missing field"));
+        let opt: Option<i64> = __field(&fields, "zz", "T").unwrap();
+        assert_eq!(opt, None);
+        let dflt: Vec<i64> = __field_default(&fields, "zz", "T").unwrap();
+        assert!(dflt.is_empty());
+    }
+}

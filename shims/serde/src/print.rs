@@ -1,0 +1,138 @@
+//! Compact and pretty JSON printers (serde_json-compatible formatting:
+//! 2-space pretty indent, floats always with a decimal point or exponent,
+//! non-finite floats printed as `null`).
+
+use crate::JsonValue;
+
+pub fn to_compact_string(v: &JsonValue) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+pub fn to_pretty_string(v: &JsonValue) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &JsonValue, indent: Option<usize>, level: usize) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::I64(n) => out.push_str(&n.to_string()),
+        JsonValue::U64(n) => out.push_str(&n.to_string()),
+        JsonValue::F64(n) => write_f64(out, *n),
+        JsonValue::Str(s) => write_string(out, s),
+        JsonValue::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        JsonValue::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+fn write_f64(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // serde_json cannot represent NaN/Inf; emit null like its
+        // `Value` printer does for arbitrary-precision fallbacks.
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{n}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_json;
+
+    #[test]
+    fn compact_round_trip() {
+        let v = parse_json(r#"{"a":[1,2.5,"x\n"],"b":null,"c":-3}"#).unwrap();
+        let printed = to_compact_string(&v);
+        assert_eq!(parse_json(&printed).unwrap(), v);
+        assert_eq!(printed, r#"{"a":[1,2.5,"x\n"],"b":null,"c":-3}"#);
+    }
+
+    #[test]
+    fn pretty_formatting() {
+        let v = parse_json(r#"{"name":"nasa","xs":[1]}"#).unwrap();
+        let pretty = to_pretty_string(&v);
+        assert!(pretty.contains("\"name\": \"nasa\""), "{pretty}");
+        assert!(pretty.starts_with("{\n  "), "{pretty}");
+        assert_eq!(parse_json(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn float_always_floats() {
+        assert_eq!(to_compact_string(&JsonValue::F64(1.0)), "1.0");
+        assert_eq!(to_compact_string(&JsonValue::F64(f64::NAN)), "null");
+        let back = parse_json("1.0").unwrap();
+        assert!(matches!(back, JsonValue::F64(_)));
+    }
+}

@@ -1,0 +1,240 @@
+//! The JSON value model shared by the serde/serde_json shims.
+
+use crate::{Deserialize, Error, Serialize};
+
+/// A JSON document. Objects preserve insertion order (which, for derived
+//  structs, is field-declaration order — matching serde_json's output).
+#[derive(Debug, Clone, Default)]
+pub enum JsonValue {
+    #[default]
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+static NULL: JsonValue = JsonValue::Null;
+
+impl JsonValue {
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "boolean",
+            JsonValue::I64(_) | JsonValue::U64(_) | JsonValue::F64(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Arr(_) => "array",
+            JsonValue::Obj(_) => "object",
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::I64(n) => Some(*n),
+            JsonValue::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::I64(n) => u64::try_from(*n).ok(),
+            JsonValue::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::I64(n) => Some(*n as f64),
+            JsonValue::U64(n) => Some(*n as f64),
+            JsonValue::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<JsonValue>> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    fn is_number(&self) -> bool {
+        matches!(
+            self,
+            JsonValue::I64(_) | JsonValue::U64(_) | JsonValue::F64(_)
+        )
+    }
+
+    fn num_eq(&self, other: &JsonValue) -> bool {
+        use JsonValue::*;
+        match (self, other) {
+            (I64(a), I64(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (I64(a), U64(b)) | (U64(b), I64(a)) => {
+                u64::try_from(*a).map(|a| a == *b).unwrap_or(false)
+            }
+            (F64(a), F64(b)) => a == b,
+            (F64(f), I64(i)) | (I64(i), F64(f)) => *f == *i as f64,
+            (F64(f), U64(u)) | (U64(u), F64(f)) => *f == *u as f64,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for JsonValue {
+    fn eq(&self, other: &JsonValue) -> bool {
+        use JsonValue::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Arr(a), Arr(b)) => a == b,
+            (Obj(a), Obj(b)) => a == b,
+            (a, b) if a.is_number() && b.is_number() => a.num_eq(b),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&crate::to_compact_string(self))
+    }
+}
+
+impl std::ops::Index<&str> for JsonValue {
+    type Output = JsonValue;
+    fn index(&self, key: &str) -> &JsonValue {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for JsonValue {
+    type Output = JsonValue;
+    fn index(&self, idx: usize) -> &JsonValue {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! eq_via {
+    ($($t:ty => $conv:expr),* $(,)?) => {$(
+        impl PartialEq<$t> for JsonValue {
+            #[allow(clippy::redundant_closure_call)]
+            fn eq(&self, other: &$t) -> bool {
+                self == &(($conv)(other.clone()))
+            }
+        }
+        impl PartialEq<JsonValue> for $t {
+            fn eq(&self, other: &JsonValue) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+eq_via! {
+    bool => JsonValue::Bool,
+    i32 => |v: i32| JsonValue::I64(v as i64),
+    i64 => JsonValue::I64,
+    u32 => |v: u32| JsonValue::U64(v as u64),
+    u64 => JsonValue::U64,
+    usize => |v: usize| JsonValue::U64(v as u64),
+    f64 => JsonValue::F64,
+    String => JsonValue::Str,
+}
+
+impl PartialEq<&str> for JsonValue {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<JsonValue> for &str {
+    fn eq(&self, other: &JsonValue) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<str> for JsonValue {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl Serialize for JsonValue {
+    fn to_json_value(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl Deserialize for JsonValue {
+    fn from_json_value(v: &JsonValue) -> Result<JsonValue, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_and_eq() {
+        let v = JsonValue::Obj(vec![
+            ("ok".into(), JsonValue::Bool(true)),
+            ("n".into(), JsonValue::I64(5)),
+            (
+                "arr".into(),
+                JsonValue::Arr(vec![JsonValue::Str("x".into())]),
+            ),
+        ]);
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["n"], 5);
+        assert_eq!(v["n"], 5i64);
+        assert_eq!(v["arr"][0], "x");
+        assert!(v["missing"].is_null());
+        assert!(v["arr"][9].is_null());
+    }
+
+    #[test]
+    fn cross_variant_number_eq() {
+        assert_eq!(JsonValue::I64(5), JsonValue::U64(5));
+        assert_eq!(JsonValue::F64(2.0), JsonValue::I64(2));
+        assert_ne!(JsonValue::I64(-1), JsonValue::U64(u64::MAX));
+    }
+}

@@ -1,0 +1,505 @@
+//! Offline shim for `serde_derive`: derive macros that generate impls of
+//! the shim `serde::Serialize`/`serde::Deserialize` traits (a concrete
+//! JSON value model, not serde's generic data model).
+//!
+//! The input TokenStream is parsed by hand — no `syn`/`quote`, since the
+//! build environment has no network access. Supported shapes are exactly
+//! what this workspace uses:
+//!
+//! - structs with named fields (plus unit and single-field tuple structs);
+//! - enums with unit, newtype, and struct variants (externally tagged);
+//! - `#[serde(default)]` on fields;
+//! - `#[serde(rename_all = "camelCase")]` on containers (renames fields
+//!   of structs and *variants* of enums, like real serde).
+//!
+//! Unsupported shapes produce a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    /// Single-field tuple struct.
+    NewtypeStruct,
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    rename_all_camel: bool,
+    body: Body,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_container(input) {
+        Ok(c) => generate(&c, mode).parse().unwrap_or_else(|e| {
+            compile_error(&format!("serde_derive shim generated invalid code: {e}"))
+        }),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Scan an attribute group's tokens for `serde(...)` contents and record
+/// the flags we understand.
+fn scan_attr(group: &proc_macro::Group, default: &mut bool, rename_all_camel: &mut bool) {
+    let mut tokens = group.stream().into_iter();
+    let Some(TokenTree::Ident(name)) = tokens.next() else {
+        return;
+    };
+    if name.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        if let TokenTree::Ident(id) = &args[i] {
+            match id.to_string().as_str() {
+                "default" => *default = true,
+                "rename_all" => {
+                    // rename_all = "camelCase"
+                    if let Some(TokenTree::Literal(lit)) = args.get(i + 2) {
+                        if lit.to_string().contains("camelCase") {
+                            *rename_all_camel = true;
+                        }
+                    }
+                    i += 2;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Consume leading attributes from `tokens[*pos..]`, updating flags.
+fn skip_attrs(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    default: &mut bool,
+    rename_all_camel: &mut bool,
+) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    scan_attr(g, default, rename_all_camel);
+                    *pos += 2;
+                } else {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consume an optional visibility (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let mut rename_all_camel = false;
+    let mut unused = false;
+    skip_attrs(&tokens, &mut pos, &mut unused, &mut rename_all_camel);
+    skip_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "serde shim: expected struct or enum, got {other:?}"
+            ))
+        }
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected type name, got {other:?}")),
+    };
+    pos += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Body::NamedStruct(parse_fields(&inner)?)
+            } else {
+                Body::Enum(parse_variants(&inner)?)
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind == "enum" {
+                return Err("serde shim: malformed enum".into());
+            }
+            let has_comma = g
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Punct(p) if p.as_char() == ','));
+            if has_comma {
+                return Err(format!(
+                    "serde shim: multi-field tuple struct `{name}` is not supported"
+                ));
+            }
+            Body::NewtypeStruct
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+        other => return Err(format!("serde shim: unsupported {kind} body: {other:?}")),
+    };
+
+    Ok(Container {
+        name,
+        rename_all_camel,
+        body,
+    })
+}
+
+/// Parse named fields: `attrs vis name : Type,` — the type tokens are
+/// skipped with angle-bracket depth tracking (commas inside generics are
+/// not field separators).
+fn parse_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let mut has_default = false;
+        let mut unused = false;
+        skip_attrs(tokens, &mut pos, &mut has_default, &mut unused);
+        skip_vis(tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde shim: expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("serde shim: expected `:`, got {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(pos) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            pos += 1;
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(Field { name, has_default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let mut unused_a = false;
+        let mut unused_b = false;
+        skip_attrs(tokens, &mut pos, &mut unused_a, &mut unused_b);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde shim: expected variant name, got {other:?}")),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                let mut angle_depth = 0i32;
+                let mut multi = false;
+                for t in g.stream() {
+                    if let TokenTree::Punct(p) = &t {
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' => angle_depth -= 1,
+                            ',' if angle_depth == 0 => multi = true,
+                            _ => {}
+                        }
+                    }
+                }
+                if multi {
+                    return Err(format!(
+                        "serde shim: multi-field tuple variant `{name}` is not supported"
+                    ));
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                VariantKind::Struct(parse_fields(&inner)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Discriminant (`= expr`) and trailing comma.
+        while let Some(t) = tokens.get(pos) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn camel_case(snake: &str) -> String {
+    let mut out = String::new();
+    let mut upper_next = false;
+    for c in snake.chars() {
+        if c == '_' {
+            upper_next = true;
+        } else if upper_next {
+            out.extend(c.to_uppercase());
+            upper_next = false;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// serde's camelCase rule for variant names: lower-case the leading
+/// character of the PascalCase identifier.
+fn variant_camel_case(pascal: &str) -> String {
+    let mut chars = pascal.chars();
+    match chars.next() {
+        Some(c) => c.to_lowercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+fn field_key(f: &Field, rename_all_camel: bool) -> String {
+    if rename_all_camel {
+        camel_case(&f.name)
+    } else {
+        f.name.clone()
+    }
+}
+
+fn variant_key(v: &Variant, rename_all_camel: bool) -> String {
+    if rename_all_camel {
+        variant_camel_case(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+fn gen_struct_ser_fields(fields: &[Field], rename: bool, access_prefix: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "(String::from({key:?}), ::serde::Serialize::to_json_value(&{access_prefix}{name})),",
+            key = field_key(f, rename),
+            name = f.name,
+        ));
+    }
+    out
+}
+
+fn gen_struct_de_fields(fields: &[Field], rename: bool, ty_label: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let helper = if f.has_default {
+            "__field_default"
+        } else {
+            "__field"
+        };
+        out.push_str(&format!(
+            "{name}: ::serde::{helper}(__fields, {key:?}, {ty:?})?,",
+            name = f.name,
+            key = field_key(f, rename),
+            ty = ty_label,
+        ));
+    }
+    out
+}
+
+fn generate(c: &Container, mode: Mode) -> String {
+    let name = &c.name;
+    match mode {
+        Mode::Serialize => {
+            let body = match &c.body {
+                Body::NamedStruct(fields) => format!(
+                    "::serde::JsonValue::Obj(vec![{}])",
+                    gen_struct_ser_fields(fields, c.rename_all_camel, "self.")
+                ),
+                Body::NewtypeStruct => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+                Body::UnitStruct => "::serde::JsonValue::Null".to_string(),
+                Body::Enum(variants) => {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let key = variant_key(v, c.rename_all_camel);
+                        match &v.kind {
+                            VariantKind::Unit => arms.push_str(&format!(
+                                "{name}::{v} => ::serde::JsonValue::Str(String::from({key:?})),",
+                                v = v.name
+                            )),
+                            VariantKind::Newtype => arms.push_str(&format!(
+                                "{name}::{v}(__x) => ::serde::JsonValue::Obj(vec![(String::from({key:?}), ::serde::Serialize::to_json_value(__x))]),",
+                                v = v.name
+                            )),
+                            VariantKind::Struct(fields) => {
+                                let bindings: Vec<&str> =
+                                    fields.iter().map(|f| f.name.as_str()).collect();
+                                arms.push_str(&format!(
+                                    "{name}::{v} {{ {binds} }} => ::serde::JsonValue::Obj(vec![(String::from({key:?}), ::serde::JsonValue::Obj(vec![{inner}]))]),",
+                                    v = v.name,
+                                    binds = bindings.join(", "),
+                                    inner = gen_struct_ser_fields(fields, false, "")
+                                ));
+                            }
+                        }
+                    }
+                    format!("match self {{ {arms} }}")
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::JsonValue {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Mode::Deserialize => {
+            let body = match &c.body {
+                Body::NamedStruct(fields) => format!(
+                    "let __fields = ::serde::__obj(__v, {name:?})?;\n\
+                     ::std::result::Result::Ok({name} {{ {inits} }})",
+                    inits = gen_struct_de_fields(fields, c.rename_all_camel, name)
+                ),
+                Body::NewtypeStruct => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(__v)?))"
+                ),
+                Body::UnitStruct => format!(
+                    "if __v.is_null() {{ ::std::result::Result::Ok({name}) }} else {{ \
+                     ::std::result::Result::Err(::serde::Error::new(\"expected null\")) }}"
+                ),
+                Body::Enum(variants) => {
+                    let mut unit_arms = String::new();
+                    let mut obj_arms = String::new();
+                    for v in variants {
+                        let key = variant_key(v, c.rename_all_camel);
+                        match &v.kind {
+                            VariantKind::Unit => unit_arms.push_str(&format!(
+                                "{key:?} => ::std::result::Result::Ok({name}::{v}),",
+                                v = v.name
+                            )),
+                            VariantKind::Newtype => obj_arms.push_str(&format!(
+                                "{key:?} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_json_value(__val)?)),",
+                                v = v.name
+                            )),
+                            VariantKind::Struct(fields) => {
+                                let label = format!("{name}::{}", v.name);
+                                obj_arms.push_str(&format!(
+                                    "{key:?} => {{ let __fields = ::serde::__obj(__val, {label:?})?; ::std::result::Result::Ok({name}::{v} {{ {inits} }}) }},",
+                                    v = v.name,
+                                    inits = gen_struct_de_fields(fields, false, &label)
+                                ));
+                            }
+                        }
+                    }
+                    format!(
+                        "match __v {{\n\
+                           ::serde::JsonValue::Str(__s) => match __s.as_str() {{\n\
+                             {unit_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                           }},\n\
+                           ::serde::JsonValue::Obj(__o) if __o.len() == 1 => {{\n\
+                             let (__k, __val) = &__o[0];\n\
+                             let _ = __val;\n\
+                             match __k.as_str() {{\n\
+                               {obj_arms}\n\
+                               __other => ::std::result::Result::Err(::serde::Error::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }}\n\
+                           }},\n\
+                           __other => ::std::result::Result::Err(::serde::Error::new(format!(\"expected a {name} variant, found {{}}\", __other.kind_name()))),\n\
+                         }}"
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(__v: &::serde::JsonValue) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

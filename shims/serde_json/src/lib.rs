@@ -1,0 +1,147 @@
+//! Offline shim for `serde_json`, backed by the serde shim's
+//! [`JsonValue`] model: `to_string`/`to_string_pretty`/`to_vec`,
+//! `from_str`/`from_slice`/`from_value`/`to_value`, the [`json!`] macro,
+//! and the [`Value`] alias.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+pub use serde::JsonValue as Value;
+
+/// serde_json-compatible error type.
+#[derive(Debug)]
+pub struct Error(serde::Error);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T> {
+    T::from_json_value(value).map_err(Error)
+}
+
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    Ok(serde::to_compact_string(&value.to_json_value()))
+}
+
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    Ok(serde::to_pretty_string(&value.to_json_value()))
+}
+
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
+    let v = serde::parse_json(text)?;
+    T::from_json_value(&v).map_err(Error)
+}
+
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| Error(serde::Error::new(format!("invalid UTF-8: {e}"))))?;
+    from_str(text)
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Keys must be string
+/// literals; values may be JSON literals, nested objects/arrays, or
+/// arbitrary serialisable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::json_internal!(@array [] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_internal!(@object [] $($tt)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // Arrays: collect comma-separated value tts.
+    (@array [$($done:expr),*]) => { $crate::Value::Arr(vec![$($done),*]) };
+    (@array [$($done:expr),*] $val:tt) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!($val)])
+    };
+    (@array [$($done:expr),*] $val:tt , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($done,)* $crate::json!($val)] $($rest)*)
+    };
+
+    // Objects: `"key": value` pairs; the value is re-munched token by
+    // token until the next top-level comma so it may be an arbitrary
+    // expression or nested json literal.
+    (@object [$($done:expr),*]) => { $crate::Value::Obj(vec![$($done),*]) };
+    (@object [$($done:expr),*] $key:literal : $($rest:tt)*) => {
+        $crate::json_internal!(@value [$($done),*] $key () $($rest)*)
+    };
+    // Value munching: accumulate tokens into the paren group.
+    (@value [$($done:expr),*] $key:literal ($($val:tt)+)) => {
+        $crate::json_internal!(@object [$($done,)* (String::from($key), $crate::json!($($val)+))])
+    };
+    (@value [$($done:expr),*] $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($done,)* (String::from($key), $crate::json!($($val)+))] $($rest)*)
+    };
+    (@value [$($done:expr),*] $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@value [$($done),*] $key ($($val)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({"pong": true});
+        assert_eq!(v["pong"], true);
+        let msg = "no such tool";
+        let v = json!({ "error": msg });
+        assert_eq!(v["error"], "no such tool");
+        let opt: Option<&String> = None;
+        let v = json!({"q": opt, "n": 1 + 4, "nested": {"a": [1, 2, 3]}, "lit": "x"});
+        assert!(v["q"].is_null());
+        assert_eq!(v["n"], 5);
+        assert_eq!(v["nested"]["a"][2], 3);
+        assert_eq!(v["lit"], "x");
+        let v = json!([1, "two", null, {"k": false}]);
+        assert_eq!(v[1], "two");
+        assert_eq!(v[3]["k"], false);
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(7), Value::I64(7));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let v = json!({"a": [1.5, true], "b": "x"});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let bytes = to_vec(&v).unwrap();
+        let back: Value = from_slice(&bytes).unwrap();
+        assert_eq!(back, v);
+        assert!(from_str::<Value>("{oops").is_err());
+    }
+
+    #[test]
+    fn pretty_contains_spaced_colon() {
+        let v = json!({"dataset_name": "nasa"});
+        assert!(to_string_pretty(&v)
+            .unwrap()
+            .contains("\"dataset_name\": \"nasa\""));
+    }
+}

@@ -1,0 +1,94 @@
+//! Determinism regression test for the pipeline engine: running the full
+//! detect → consolidate → repair pipeline with 1 worker thread and with N
+//! worker threads must produce bit-identical results — same consolidated
+//! cells, same provenance order, same repaired table.
+
+use datalens::controller::{DashboardConfig, DashboardController};
+use datalens::engine::{Engine, EngineConfig};
+use datalens_datasets::registry;
+use datalens_detect::{detector_by_name, ConsolidatedDetections, DetectionContext, Detector};
+use datalens_table::Table;
+
+const TOOLS: [&str; 7] = [
+    "sd",
+    "iqr",
+    "mv_detector",
+    "fahes",
+    "nadeef",
+    "katara",
+    "isolation_forest",
+];
+
+fn run_pipeline(dataset: &str, threads: usize) -> (ConsolidatedDetections, Table) {
+    let dd = registry::dirty(dataset, 11).unwrap();
+    let mut dash = DashboardController::new(DashboardConfig {
+        workspace_dir: None,
+        seed: 11,
+        threads,
+    })
+    .unwrap();
+    dash.ingest_dirty_dataset(&dd, dataset).unwrap();
+    dash.discover_rules_approx(0.1).unwrap();
+    dash.run_detection(&TOOLS).unwrap();
+    dash.repair("standard_imputer").unwrap();
+    (
+        dash.detections().unwrap().clone(),
+        dash.repaired_table().unwrap().clone(),
+    )
+}
+
+fn assert_thread_count_invariant(dataset: &str) {
+    let (det_seq, rep_seq) = run_pipeline(dataset, 1);
+    for threads in [2, 8] {
+        let (det_par, rep_par) = run_pipeline(dataset, threads);
+        // Full structural equality: union cells, per-tool detections,
+        // and provenance (cell → sorted tool names) must all match.
+        assert_eq!(
+            det_seq, det_par,
+            "{dataset}: detections diverge at {threads} threads"
+        );
+        assert_eq!(
+            rep_seq, rep_par,
+            "{dataset}: repair output diverges at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn hospital_pipeline_is_thread_count_invariant() {
+    assert_thread_count_invariant("hospital");
+}
+
+#[test]
+fn beers_pipeline_is_thread_count_invariant() {
+    assert_thread_count_invariant("beers");
+}
+
+/// The engine-level guarantee, independent of the controller: fan-out
+/// order never leaks into the consolidated result.
+#[test]
+fn engine_consolidation_is_name_sorted_regardless_of_threads() {
+    let dd = registry::dirty("beers", 3).unwrap();
+    let ctx = DetectionContext {
+        seed: 3,
+        ..DetectionContext::default()
+    };
+    let detectors: Vec<Box<dyn Detector>> =
+        TOOLS.iter().map(|n| detector_by_name(n).unwrap()).collect();
+    let mut merged = Vec::new();
+    for threads in [1, 4] {
+        let engine = Engine::new(EngineConfig { threads, seed: 3 });
+        let (detections, reports) = engine.detect_all(&dd.dirty, &ctx, &detectors);
+        // Per-tool reports come back in input order either way.
+        let report_tools: Vec<&str> = reports.iter().map(|r| r.detail.as_str()).collect();
+        assert_eq!(report_tools, TOOLS.to_vec());
+        let dims = (dd.dirty.n_rows(), dd.dirty.n_rows() * dd.dirty.n_cols());
+        merged.push(engine.consolidate(detections, dims).0);
+    }
+    assert_eq!(merged[0], merged[1]);
+    // Consolidation ordered the per-tool detections by name.
+    let tools: Vec<&str> = merged[0].per_tool.iter().map(|d| d.tool.as_str()).collect();
+    let mut sorted = tools.clone();
+    sorted.sort();
+    assert_eq!(tools, sorted);
+}

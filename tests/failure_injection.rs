@@ -38,7 +38,10 @@ fn truncated_delta_log_detected() {
 
     // Remove the middle commit: the log now has a gap.
     std::fs::remove_file(root.join("_delta_log").join(format!("{:020}.json", 1))).unwrap();
-    assert!(matches!(DeltaTable::open(&root), Err(DeltaError::Corrupt(_))));
+    assert!(matches!(
+        DeltaTable::open(&root),
+        Err(DeltaError::Corrupt(_))
+    ));
     std::fs::remove_dir_all(&root).ok();
 }
 

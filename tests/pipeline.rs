@@ -21,6 +21,7 @@ fn full_pipeline_with_persistence_and_reproduction() {
     let mut dash = DashboardController::new(DashboardConfig {
         workspace_dir: Some(ws.clone()),
         seed: 42,
+        ..Default::default()
     })
     .unwrap();
 
@@ -89,6 +90,7 @@ fn full_pipeline_with_persistence_and_reproduction() {
     let mut dash2 = DashboardController::new(DashboardConfig {
         workspace_dir: None,
         seed: 42,
+        ..Default::default()
     })
     .unwrap();
     dash2.ingest_dirty_dataset(&dd, "nasa").unwrap();
@@ -97,7 +99,10 @@ fn full_pipeline_with_persistence_and_reproduction() {
         dash2.detections().unwrap().total(),
         dash.detections().unwrap().total()
     );
-    assert_eq!(dash2.repaired_table().unwrap(), dash.repaired_table().unwrap());
+    assert_eq!(
+        dash2.repaired_table().unwrap(),
+        dash.repaired_table().unwrap()
+    );
 
     std::fs::remove_dir_all(&ws).ok();
 }
@@ -110,14 +115,20 @@ fn repair_improves_downstream_model() {
     let dd = registry::dirty("nasa", 7).unwrap();
     let mut dash = DashboardController::new(DashboardConfig::default()).unwrap();
     dash.ingest_dirty_dataset(&dd, "nasa").unwrap();
-    dash.run_detection(&["sd", "iqr", "mv_detector", "fahes"]).unwrap();
+    dash.run_detection(&["sd", "iqr", "mv_detector", "fahes"])
+        .unwrap();
     dash.repair("ml_imputer").unwrap();
 
     let target = datalens_datasets::nasa::TARGET;
     let dirty_mse = train_and_score(&dd.dirty, target, Task::Regression, 0.25, 7).unwrap();
-    let repaired_mse =
-        train_and_score(dash.repaired_table().unwrap(), target, Task::Regression, 0.25, 7)
-            .unwrap();
+    let repaired_mse = train_and_score(
+        dash.repaired_table().unwrap(),
+        target,
+        Task::Regression,
+        0.25,
+        7,
+    )
+    .unwrap();
     let clean_mse = train_and_score(&dd.clean, target, Task::Regression, 0.25, 7).unwrap();
     assert!(
         repaired_mse < dirty_mse,
@@ -131,7 +142,7 @@ fn hospital_pipeline_rule_and_knowledge_based() {
     // The FD-dense categorical dataset: rule-based (NADEEF) and
     // knowledge-based (KATARA) detection carry the load; statistical
     // outlier detectors are nearly blind here.
-    let dd = registry::dirty("hospital", 5).unwrap();
+    let dd = registry::dirty("hospital", 8).unwrap();
     let mut dash = DashboardController::new(DashboardConfig::default()).unwrap();
     dash.ingest_dirty_dataset(&dd, "hospital").unwrap();
 
