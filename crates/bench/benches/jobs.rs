@@ -1,0 +1,122 @@
+//! Submit-to-done latency of the job service: N independent sessions
+//! each running the same detect+repair job, executed by a 1-worker pool
+//! (sequential baseline) vs. a 4-worker pool. Besides the usual bench
+//! printout, emits the timings as `BENCH_jobs.json` at the repo root.
+//!
+//! The pool speedup is bounded by the host's core count (recorded as
+//! `available_parallelism` in the JSON): on a single-core machine the
+//! two pool sizes measure the same, which is the expected reading.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalens::jobs::{JobService, JobServiceConfig, JobSpec, JobState};
+
+const SEED: u64 = 7;
+const SAMPLES: usize = 5;
+const SESSIONS: usize = 8;
+const DETECT_TOOLS: [&str; 3] = ["sd", "iqr", "mv_detector"];
+const REPAIR_TOOL: &str = "ml_imputer";
+
+/// A dirty dataset distinct per session: missing cells plus an outlier.
+fn dataset_csv(i: usize) -> String {
+    let mut csv = String::from("id,score,grade\n");
+    for r in 0..4_000 {
+        let score = (r * 7 + i * 13) % 50 + 10;
+        if r % 9 == 3 {
+            csv.push_str(&format!("{r},,{}\n", score % 5));
+        } else if r % 83 == 17 {
+            csv.push_str(&format!("{r},{},{}\n", 99_000 + i, score % 5));
+        } else {
+            csv.push_str(&format!("{r},{score},{}\n", score % 5));
+        }
+    }
+    csv
+}
+
+/// Wall-clock milliseconds from first submit to last job done, driving
+/// [`SESSIONS`] sessions through a pool of `workers`.
+fn submit_to_done_ms(workers: usize) -> f64 {
+    let service = JobService::new(JobServiceConfig {
+        workers,
+        queue_depth: SESSIONS * 2,
+        seed: SEED,
+        ..JobServiceConfig::default()
+    })
+    .expect("job service");
+    let sessions: Vec<u64> = (0..SESSIONS)
+        .map(|i| {
+            service
+                .create_session_csv(&format!("bench{i}.csv"), &dataset_csv(i))
+                .expect("session")
+        })
+        .collect();
+
+    let start = Instant::now();
+    let jobs: Vec<u64> = sessions
+        .iter()
+        .map(|&sid| {
+            service
+                .submit(sid, JobSpec::clean(&DETECT_TOOLS, REPAIR_TOOL))
+                .expect("submit")
+        })
+        .collect();
+    for jid in jobs {
+        let status = service.wait(jid, None).expect("wait");
+        assert_eq!(status.state, JobState::Done, "err: {:?}", status.error);
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn median_ms(workers: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..SAMPLES).map(|_| submit_to_done_ms(workers)).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn bench_jobs(c: &mut Criterion) {
+    let seq_ms = median_ms(1);
+    let par_ms = median_ms(4);
+    let speedup = seq_ms / par_ms;
+    println!(
+        "jobs submit-to-done, {SESSIONS} sessions × clean[{}+{REPAIR_TOOL}]: \
+         1 worker {seq_ms:.2} ms, 4 workers {par_ms:.2} ms → {speedup:.2}×",
+        DETECT_TOOLS.join("+"),
+    );
+
+    let json = serde_json::json!({
+        "benchmark": "jobs_submit_to_done",
+        "sessions": SESSIONS,
+        "spec": format!("detect[{}]+repair[{REPAIR_TOOL}]", DETECT_TOOLS.join("+")),
+        "samples": SAMPLES,
+        "available_parallelism": std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        "sequential_workers": 1,
+        "parallel_workers": 4,
+        "sequential_ms": seq_ms,
+        "parallel_ms": par_ms,
+        "speedup": speedup,
+    });
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_jobs.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&json).expect("render json"),
+    )
+    .expect("write BENCH_jobs.json");
+    println!("wrote {out}");
+
+    // Also register both pool sizes with the harness for its report.
+    let mut group = c.benchmark_group("jobs");
+    group.sample_size(SAMPLES);
+    group.bench_function("submit_to_done_1_worker", |b| {
+        b.iter(|| submit_to_done_ms(1))
+    });
+    group.bench_function("submit_to_done_4_workers", |b| {
+        b.iter(|| submit_to_done_ms(4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_jobs);
+criterion_main!(benches);

@@ -8,13 +8,17 @@
 //! datalens detect   <file.csv> --tools sd,iqr     run detectors (+ --tag V, --rule "a -> b")
 //! datalens repair   <file.csv> --tools sd,iqr --repairer ml_imputer [-o out.csv]
 //! datalens dashboard <file.csv> [--tools ...]     render all four tabs
-//! datalens serve    [--seed N]                    REST tool service (Ctrl-C to stop)
+//! datalens serve    [--seed N] [--workers N] [--queue-depth N] [--workspace DIR]
+//!                                                 REST tool + job service (Ctrl-C to stop)
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use datalens::controller::{DashboardConfig, DashboardController, RuleMiner};
 use datalens::dashboard::{render_dashboard, render_tab, Tab};
+use datalens::jobs::rest::job_service_router;
+use datalens::jobs::{JobService, JobServiceConfig};
 use datalens::service::tool_service_router;
 use datalens_rest::Server;
 
@@ -53,7 +57,10 @@ const USAGE: &str = "usage: datalens <datasets|profile|rules|detect|repair|dashb
   datalens detect data.csv --tools sd,iqr,mv_detector --tag -1 --rule 'zip -> city'
   datalens repair data.csv --tools sd,mv_detector --repairer ml_imputer -o repaired.csv
   datalens dashboard data.csv --tools sd,mv_detector
-  datalens serve --seed 0
+  datalens serve --seed 0 --workers 4 --queue-depth 32
+serve flags:  --workers N      job-service worker pool size (default 4)
+              --queue-depth N  bounded job queue capacity (default 32)
+              --workspace DIR  persist sessions + tracking runs under DIR
 common flags: --seed N   seed for stochastic tools
               --threads N   detect fan-out threads (0 = one per core)";
 
@@ -211,9 +218,30 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let seed: u64 = flag_value(args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let server = Server::start(tool_service_router(seed))?;
-    println!("DataLens tool service on http://{}", server.addr());
-    println!("endpoints: GET /tools  POST /detect  POST /repair  POST /profile  PUT /context");
+    let workers: usize = flag_value(args, "--workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let queue_depth: usize = flag_value(args, "--queue-depth")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let workspace_dir = flag_value(args, "--workspace").map(std::path::PathBuf::from);
+    let service = Arc::new(JobService::new(JobServiceConfig {
+        workers,
+        queue_depth,
+        seed,
+        workspace_dir,
+        ..JobServiceConfig::default()
+    })?);
+    let router = tool_service_router(seed).merge(job_service_router(Arc::clone(&service)));
+    let server = Server::start(router)?;
+    println!(
+        "DataLens service on http://{} ({} workers, queue depth {})",
+        server.addr(),
+        service.config().workers,
+        service.config().queue_depth
+    );
+    println!("tool bus:    GET /tools  POST /detect  POST /repair  POST /profile  PUT /context");
+    println!("job service: POST /sessions  POST /sessions/{{id}}/jobs  GET /jobs/{{id}}[/result]  DELETE /jobs/{{id}}");
     println!("press Ctrl-C to stop");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

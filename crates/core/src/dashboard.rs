@@ -128,6 +128,50 @@ pub fn render_dashboard(controller: &mut DashboardController) -> Result<String, 
     Ok(out)
 }
 
+/// Render the "Jobs" panel: the job service's sessions, queue pressure,
+/// and per-job progress (the server-side counterpart of the browser's
+/// background-task list).
+pub fn render_jobs_panel(service: &crate::jobs::JobService) -> String {
+    let (queued, depth) = service.queue_stats();
+    let mut out = String::from("── Jobs ──\n");
+    out.push_str(&format!(
+        "queue {queued}/{depth} waiting · {} workers\n",
+        service.config().workers
+    ));
+    let sessions = service.list_sessions();
+    if sessions.is_empty() {
+        out.push_str("no sessions\n");
+    }
+    for s in sessions {
+        out.push_str(&format!(
+            "session s{}  {}  {}×{}  queued {}  {}  finished {}\n",
+            s.session_id,
+            s.dataset,
+            s.rows,
+            s.cols,
+            s.queued,
+            if s.running { "running" } else { "idle" },
+            s.jobs_finished,
+        ));
+    }
+    for j in service.list_jobs() {
+        out.push_str(&format!(
+            "  job #{} s{}  {:<9} {}/{}  {}{}\n",
+            j.job_id,
+            j.session_id,
+            j.state.as_str(),
+            j.steps_done,
+            j.steps_total,
+            j.spec,
+            j.error
+                .as_deref()
+                .map(|e| format!("  ({e})"))
+                .unwrap_or_default(),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +238,26 @@ mod tests {
         assert!(text.contains("Pipeline stages"));
         assert!(text.contains("detect:sd"));
         assert!(text.contains("consolidate"));
+    }
+
+    #[test]
+    fn jobs_panel_lists_sessions_and_jobs() {
+        use crate::jobs::{JobService, JobServiceConfig, JobSpec};
+
+        let svc = JobService::new(JobServiceConfig::default()).unwrap();
+        let empty = render_jobs_panel(&svc);
+        assert!(empty.contains("no sessions"));
+        let sid = svc
+            .create_session_csv("demo.csv", "a,b\n1,x\n2,y\n,\n")
+            .unwrap();
+        let jid = svc.submit(sid, JobSpec::detect(&["mv_detector"])).unwrap();
+        svc.wait(jid, Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let text = render_jobs_panel(&svc);
+        assert!(text.contains("── Jobs ──"));
+        assert!(text.contains("session s1  demo  3×2"));
+        assert!(text.contains("job #1 s1  done"));
+        assert!(text.contains("detect[mv_detector]"));
+        assert!(text.contains("1/1"));
     }
 }

@@ -1,0 +1,478 @@
+//! Job identity, lifecycle, and wire types.
+//!
+//! A job is a chain of [`JobStep`]s executed against one
+//! session's pipeline state. Its lifecycle is `Queued → Running →
+//! Done | Failed | Cancelled`; cancellation is cooperative (checked
+//! between steps), and every finished step appends its engine
+//! [`StageReport`]s so `GET /jobs/{id}` shows live progress.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use datalens_datasets::Task;
+
+use crate::engine::StageReport;
+use crate::error::DataLensError;
+use crate::iterative::IterativeCleaningReport;
+
+/// Job lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobState {
+    /// Has the job reached an end state?
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One stage of a job's pipeline chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobStep {
+    /// Build (and cache) the data profile.
+    Profile,
+    /// Mine approximate FDs with TANE (`g3 ≤ max_g3_error`).
+    MineRules { max_g3_error: f64 },
+    /// Run the named detectors and consolidate their flags.
+    Detect { tools: Vec<String> },
+    /// Repair the consolidated detections with the named tool.
+    Repair { tool: String },
+    /// Run the §4 iterative-cleaning search over (detector × repairer)
+    /// scored by the downstream model.
+    IterativeClean {
+        target: String,
+        task: Task,
+        iterations: usize,
+    },
+    /// Cooperative no-op stage that sleeps `ms` milliseconds, checking
+    /// for cancellation every few ms — used by scheduling tests, demos,
+    /// and benches to model a long-running stage deterministically.
+    Sleep { ms: u64 },
+}
+
+impl JobStep {
+    /// Short machine label (used in tracking run names and the panel).
+    pub fn label(&self) -> String {
+        match self {
+            JobStep::Profile => "profile".into(),
+            JobStep::MineRules { .. } => "mine_rules".into(),
+            JobStep::Detect { tools } => format!("detect[{}]", tools.join("+")),
+            JobStep::Repair { tool } => format!("repair[{tool}]"),
+            JobStep::IterativeClean { .. } => "iterative_clean".into(),
+            JobStep::Sleep { ms } => format!("sleep[{ms}ms]"),
+        }
+    }
+}
+
+/// An engine stage chain: what one job executes, in order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    pub steps: Vec<JobStep>,
+}
+
+impl JobSpec {
+    pub fn new(steps: Vec<JobStep>) -> JobSpec {
+        JobSpec { steps }
+    }
+
+    /// Profile only.
+    pub fn profile() -> JobSpec {
+        JobSpec::new(vec![JobStep::Profile])
+    }
+
+    /// Detection with the named tools.
+    pub fn detect(tools: &[&str]) -> JobSpec {
+        JobSpec::new(vec![JobStep::Detect {
+            tools: tools.iter().map(|s| s.to_string()).collect(),
+        }])
+    }
+
+    /// The standard cleaning chain: detect then repair.
+    pub fn clean(detect_tools: &[&str], repair_tool: &str) -> JobSpec {
+        JobSpec::new(vec![
+            JobStep::Detect {
+                tools: detect_tools.iter().map(|s| s.to_string()).collect(),
+            },
+            JobStep::Repair {
+                tool: repair_tool.into(),
+            },
+        ])
+    }
+
+    /// `profile + mine_rules + detect + repair` — the dashboard's full
+    /// one-click pipeline.
+    pub fn full(max_g3_error: f64, detect_tools: &[&str], repair_tool: &str) -> JobSpec {
+        JobSpec::new(vec![
+            JobStep::Profile,
+            JobStep::MineRules { max_g3_error },
+            JobStep::Detect {
+                tools: detect_tools.iter().map(|s| s.to_string()).collect(),
+            },
+            JobStep::Repair {
+                tool: repair_tool.into(),
+            },
+        ])
+    }
+
+    /// `step1+step2+…`, used as a tracking run name.
+    pub fn describe(&self) -> String {
+        self.steps
+            .iter()
+            .map(JobStep::label)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+/// Condensed profile numbers carried in a job outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileSummary {
+    pub rows: usize,
+    pub cols: usize,
+    pub missing_cells: usize,
+}
+
+/// What a finished job produced, accumulated step by step.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct JobOutcome {
+    #[serde(default)]
+    pub profile: Option<ProfileSummary>,
+    #[serde(default)]
+    pub rules_added: Option<usize>,
+    #[serde(default)]
+    pub n_detections: Option<usize>,
+    #[serde(default)]
+    pub n_repaired: Option<usize>,
+    /// The repaired table as CSV (present after a repair step).
+    #[serde(default)]
+    pub repaired_csv: Option<String>,
+    /// Delta version the repair committed (workspace sessions only).
+    #[serde(default)]
+    pub repaired_version: Option<u64>,
+    #[serde(default)]
+    pub iterative: Option<IterativeCleaningReport>,
+}
+
+/// Snapshot of a job's externally visible state (the `GET /jobs/{id}`
+/// body).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStatus {
+    pub job_id: u64,
+    pub session_id: u64,
+    pub state: JobState,
+    /// Human-readable step chain, e.g. `profile+detect[sd+iqr]`.
+    pub spec: String,
+    pub steps_total: usize,
+    pub steps_done: usize,
+    /// Engine instrumentation for every stage executed so far.
+    pub reports: Vec<StageReport>,
+    #[serde(default)]
+    pub error: Option<String>,
+}
+
+/// Typed job-service failures. [`JobError::QueueFull`] is the
+/// backpressure signal (HTTP 429).
+#[derive(Debug)]
+pub enum JobError {
+    /// The bounded queue is at capacity — retry later.
+    QueueFull {
+        depth: usize,
+    },
+    UnknownSession(u64),
+    UnknownJob(u64),
+    /// The underlying pipeline failed while building the session.
+    Pipeline(DataLensError),
+    /// The service is shutting down.
+    Stopped,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::QueueFull { depth } => {
+                write!(f, "job queue full ({depth} queued) — retry later")
+            }
+            JobError::UnknownSession(id) => write!(f, "no session {id}"),
+            JobError::UnknownJob(id) => write!(f, "no job {id}"),
+            JobError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            JobError::Stopped => write!(f, "job service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<DataLensError> for JobError {
+    fn from(e: DataLensError) -> Self {
+        JobError::Pipeline(e)
+    }
+}
+
+/// Mutable progress under the job's lock.
+struct Progress {
+    state: JobState,
+    steps_done: usize,
+    reports: Vec<StageReport>,
+    outcome: JobOutcome,
+    error: Option<String>,
+}
+
+/// The in-memory job record shared between submitters, workers, and
+/// status readers.
+///
+/// Synchronisation note: progress pairs a `std::sync` mutex with a
+/// [`Condvar`] so [`JobInner::wait_terminal`] can block on state changes
+/// (the vendored `parking_lot` shim has no condvar).
+pub(crate) struct JobInner {
+    pub id: u64,
+    pub session: u64,
+    pub spec: JobSpec,
+    cancel: AtomicBool,
+    progress: Mutex<Progress>,
+    changed: Condvar,
+}
+
+impl JobInner {
+    pub fn new(id: u64, session: u64, spec: JobSpec) -> JobInner {
+        JobInner {
+            id,
+            session,
+            spec,
+            cancel: AtomicBool::new(false),
+            progress: Mutex::new(Progress {
+                state: JobState::Queued,
+                steps_done: 0,
+                reports: Vec::new(),
+                outcome: JobOutcome::default(),
+                error: None,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Progress> {
+        self.progress.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Externally visible snapshot.
+    pub fn status(&self) -> JobStatus {
+        let p = self.lock();
+        JobStatus {
+            job_id: self.id,
+            session_id: self.session,
+            state: p.state,
+            spec: self.spec.describe(),
+            steps_total: self.spec.steps.len(),
+            steps_done: p.steps_done,
+            reports: p.reports.clone(),
+            error: p.error.clone(),
+        }
+    }
+
+    /// Terminal state plus what the job produced.
+    pub fn result(&self) -> (JobState, JobOutcome, Option<String>) {
+        let p = self.lock();
+        (p.state, p.outcome.clone(), p.error.clone())
+    }
+
+    /// Queued → Running, unless cancellation already won the race.
+    pub fn try_start(&self) -> bool {
+        let mut p = self.lock();
+        if self.cancel.load(Ordering::SeqCst) || p.state != JobState::Queued {
+            if p.state == JobState::Queued {
+                p.state = JobState::Cancelled;
+            }
+            self.changed.notify_all();
+            return false;
+        }
+        p.state = JobState::Running;
+        self.changed.notify_all();
+        true
+    }
+
+    /// Record one finished step: its stage reports plus an outcome edit.
+    pub fn record_step(&self, reports: Vec<StageReport>, apply: impl FnOnce(&mut JobOutcome)) {
+        let mut p = self.lock();
+        p.reports.extend(reports);
+        p.steps_done += 1;
+        apply(&mut p.outcome);
+        self.changed.notify_all();
+    }
+
+    /// Move to a terminal state.
+    pub fn finish(&self, state: JobState, error: Option<String>) {
+        debug_assert!(state.is_terminal());
+        let mut p = self.lock();
+        if p.state.is_terminal() {
+            return; // cancel/finish race: first terminal state wins
+        }
+        p.state = state;
+        p.error = error;
+        self.changed.notify_all();
+    }
+
+    /// Ask the job to stop at the next step boundary.
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// Block until the job reaches a terminal state (or the timeout
+    /// elapses); returns the final snapshot either way.
+    pub fn wait_terminal(&self, timeout: Option<Duration>) -> JobStatus {
+        let deadline = timeout.map(|t| std::time::Instant::now() + t);
+        let mut p = self.lock();
+        while !p.state.is_terminal() {
+            match deadline {
+                None => {
+                    p = self.changed.wait(p).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        break;
+                    }
+                    p = self
+                        .changed
+                        .wait_timeout(p, d - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        }
+        drop(p);
+        self.status()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builders_and_labels() {
+        let spec = JobSpec::full(0.1, &["sd", "iqr"], "ml_imputer");
+        assert_eq!(spec.steps.len(), 4);
+        assert_eq!(
+            spec.describe(),
+            "profile+mine_rules+detect[sd+iqr]+repair[ml_imputer]"
+        );
+        assert_eq!(JobSpec::detect(&["sd"]).describe(), "detect[sd]");
+        assert_eq!(
+            JobSpec::clean(&["sd"], "standard_imputer").describe(),
+            "detect[sd]+repair[standard_imputer]"
+        );
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = JobSpec::new(vec![
+            JobStep::Profile,
+            JobStep::MineRules { max_g3_error: 0.05 },
+            JobStep::Detect {
+                tools: vec!["sd".into()],
+            },
+            JobStep::Repair {
+                tool: "ml_imputer".into(),
+            },
+            JobStep::IterativeClean {
+                target: "y".into(),
+                task: Task::Regression,
+                iterations: 5,
+            },
+            JobStep::Sleep { ms: 10 },
+        ]);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn lifecycle_and_cancel_race() {
+        let job = JobInner::new(1, 1, JobSpec::profile());
+        assert_eq!(job.status().state, JobState::Queued);
+        assert!(job.try_start());
+        assert_eq!(job.status().state, JobState::Running);
+        job.finish(JobState::Done, None);
+        assert_eq!(job.status().state, JobState::Done);
+        // A late cancel cannot resurrect a terminal job.
+        job.finish(JobState::Cancelled, None);
+        assert_eq!(job.status().state, JobState::Done);
+
+        // Cancellation before start wins the race.
+        let job = JobInner::new(2, 1, JobSpec::profile());
+        job.request_cancel();
+        assert!(!job.try_start());
+        assert_eq!(job.status().state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn record_step_accumulates_progress() {
+        let job = JobInner::new(3, 1, JobSpec::clean(&["sd"], "ml_imputer"));
+        job.try_start();
+        job.record_step(
+            vec![StageReport {
+                stage: "detect".into(),
+                detail: "sd".into(),
+                wall_ms: 1.0,
+                rows_processed: 10,
+                cells_processed: 20,
+                flags_produced: 2,
+            }],
+            |o| o.n_detections = Some(2),
+        );
+        let s = job.status();
+        assert_eq!(s.steps_done, 1);
+        assert_eq!(s.steps_total, 2);
+        assert_eq!(s.reports.len(), 1);
+        let (_, outcome, _) = job.result();
+        assert_eq!(outcome.n_detections, Some(2));
+    }
+
+    #[test]
+    fn wait_terminal_times_out_and_completes() {
+        let job = std::sync::Arc::new(JobInner::new(4, 1, JobSpec::profile()));
+        let s = job.wait_terminal(Some(Duration::from_millis(10)));
+        assert_eq!(s.state, JobState::Queued); // timed out, still queued
+        let j = std::sync::Arc::clone(&job);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            j.try_start();
+            j.finish(JobState::Done, None);
+        });
+        let s = job.wait_terminal(Some(Duration::from_secs(5)));
+        assert_eq!(s.state, JobState::Done);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,642 @@
+//! The multi-session job service: queued, cancellable pipeline runs.
+//!
+//! The paper presents DataLens as a multi-user dashboard (FastAPI
+//! serving many concurrent analysts). This module is the subsystem that
+//! turns the single-request tool bus into a service:
+//!
+//! - a **session registry**: each session owns
+//!   one dataset's pipeline state (dirty table, rules, detections,
+//!   Delta/tracking handles) behind a per-session lock;
+//! - a **bounded job queue** executed by a **fixed worker pool** on top
+//!   of the pipeline [`Engine`](crate::engine::Engine): submitting to a
+//!   full queue is an immediate typed rejection
+//!   ([`JobError::QueueFull`], surfaced over REST as HTTP 429);
+//! - **jobs** are engine stage chains ([`JobSpec`]) with states
+//!   `Queued → Running → Done | Failed | Cancelled`, cooperative
+//!   cancellation checked between stages, and live per-stage
+//!   [`StageReport`] progress;
+//! - **scheduling**: same-session jobs run in strict FIFO submission
+//!   order (the session lock plus the ready-queue invariant), while
+//!   jobs of distinct sessions fan out across the pool;
+//! - **tracking**: with a workspace, every job logs one MLflow-style run
+//!   into the `Jobs` experiment (`Finished`/`Failed`/`Killed`).
+//!
+//! The REST surface lives in [`rest`] (`POST /sessions`,
+//! `POST /sessions/{id}/jobs`, `GET /jobs/{id}`, `GET /jobs/{id}/result`,
+//! `DELETE /jobs/{id}`).
+
+pub mod job;
+pub mod queue;
+pub mod rest;
+pub mod session;
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+
+use datalens_table::Table;
+use datalens_tracking::{RunStatus, TrackingError, TrackingStore, EXPERIMENT_JOBS};
+
+pub use job::{JobError, JobOutcome, JobSpec, JobState, JobStatus, JobStep, ProfileSummary};
+pub use session::SessionInfo;
+
+use crate::controller::{DashboardConfig, DashboardController};
+use crate::engine::StageReport;
+use crate::error::DataLensError;
+use crate::iterative::{run_iterative_cleaning, IterativeCleaningConfig};
+use job::JobInner;
+use queue::SessionQueues;
+use session::SessionSlot;
+
+/// Job-service sizing and pipeline defaults.
+#[derive(Debug, Clone)]
+pub struct JobServiceConfig {
+    /// Fixed worker-pool size (≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity: jobs *waiting* (not running). Submitting
+    /// beyond it returns [`JobError::QueueFull`].
+    pub queue_depth: usize,
+    /// Seed handed to every session's stochastic tools.
+    pub seed: u64,
+    /// Engine detect fan-out threads *within* one job (`1` keeps each
+    /// job single-threaded so the pool scales across jobs).
+    pub threads: usize,
+    /// Workspace root. When set, each session persists under
+    /// `<dir>/sessions/s<id>` (Delta versioning + per-session tracking)
+    /// and job lifecycles are logged under `<dir>/mlruns`.
+    pub workspace_dir: Option<PathBuf>,
+}
+
+impl Default for JobServiceConfig {
+    fn default() -> JobServiceConfig {
+        JobServiceConfig {
+            workers: 4,
+            queue_depth: 32,
+            seed: 0,
+            threads: 1,
+            workspace_dir: None,
+        }
+    }
+}
+
+struct Inner {
+    config: JobServiceConfig,
+    /// Scheduler state; paired with `work_cv` (std mutex: the vendored
+    /// parking_lot shim has no condvar).
+    queues: StdMutex<SessionQueues>,
+    work_cv: Condvar,
+    sessions: RwLock<BTreeMap<u64, Arc<SessionSlot>>>,
+    jobs: RwLock<BTreeMap<u64, Arc<JobInner>>>,
+    next_session: AtomicU64,
+    next_job: AtomicU64,
+    stop: AtomicBool,
+    tracking: Option<TrackingStore>,
+}
+
+/// The service façade: create sessions, submit jobs, poll, cancel.
+///
+/// Dropping the service stops the worker pool (running jobs finish
+/// their current step chain; queued jobs stay `Queued`).
+pub struct JobService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl JobService {
+    pub fn new(config: JobServiceConfig) -> Result<JobService, JobError> {
+        let tracking = match &config.workspace_dir {
+            Some(dir) => Some(
+                TrackingStore::new(dir.join("mlruns"))
+                    .map_err(|e| JobError::Pipeline(DataLensError::Tracking(e)))?,
+            ),
+            None => None,
+        };
+        let inner = Arc::new(Inner {
+            queues: StdMutex::new(SessionQueues::new(config.queue_depth)),
+            work_cv: Condvar::new(),
+            sessions: RwLock::new(BTreeMap::new()),
+            jobs: RwLock::new(BTreeMap::new()),
+            next_session: AtomicU64::new(1),
+            next_job: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+            tracking,
+            config,
+        });
+        let n = inner.config.workers.max(1);
+        let workers = (0..n)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("datalens-job-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn job worker")
+            })
+            .collect();
+        Ok(JobService {
+            inner,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    pub fn config(&self) -> &JobServiceConfig {
+        &self.inner.config
+    }
+
+    // --- sessions --------------------------------------------------------
+
+    /// Open a session over uploaded CSV text.
+    pub fn create_session_csv(&self, file_name: &str, csv: &str) -> Result<u64, JobError> {
+        self.create_session_with(|ctrl| ctrl.ingest_csv_text(file_name, csv))
+    }
+
+    /// Open a session over a preloaded dataset (dirty variant).
+    pub fn create_session_preloaded(&self, name: &str) -> Result<u64, JobError> {
+        self.create_session_with(|ctrl| ctrl.ingest_preloaded(name))
+    }
+
+    /// Open a session over an in-memory table.
+    pub fn create_session_table(&self, table: Table) -> Result<u64, JobError> {
+        self.create_session_with(|ctrl| ctrl.ingest_table(table))
+    }
+
+    fn create_session_with(
+        &self,
+        ingest: impl FnOnce(&mut DashboardController) -> Result<(), DataLensError>,
+    ) -> Result<u64, JobError> {
+        if self.inner.stop.load(Ordering::SeqCst) {
+            return Err(JobError::Stopped);
+        }
+        let id = self.inner.next_session.fetch_add(1, Ordering::SeqCst);
+        let workspace_dir = self
+            .inner
+            .config
+            .workspace_dir
+            .as_ref()
+            .map(|d| d.join("sessions").join(format!("s{id}")));
+        let mut ctrl = DashboardController::new(DashboardConfig {
+            workspace_dir,
+            seed: self.inner.config.seed,
+            threads: self.inner.config.threads,
+        })?;
+        ingest(&mut ctrl)?;
+        let dataset = ctrl.table()?.name().to_string();
+        let slot = Arc::new(SessionSlot::new(id, dataset, ctrl));
+        self.inner.sessions.write().insert(id, slot);
+        Ok(id)
+    }
+
+    /// Summaries of all sessions, in creation order.
+    pub fn list_sessions(&self) -> Vec<SessionInfo> {
+        let q = self.inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+        self.inner
+            .sessions
+            .read()
+            .values()
+            .map(|s| s.info(q.queued_in(s.id), q.is_active(s.id)))
+            .collect()
+    }
+
+    /// Inspect a session's pipeline state under its lock (blocks while a
+    /// job of the session is mid-run).
+    pub fn with_session<R>(
+        &self,
+        session_id: u64,
+        f: impl FnOnce(&DashboardController) -> R,
+    ) -> Result<R, JobError> {
+        let slot = self
+            .inner
+            .sessions
+            .read()
+            .get(&session_id)
+            .cloned()
+            .ok_or(JobError::UnknownSession(session_id))?;
+        let ctrl = slot.controller.lock();
+        Ok(f(&ctrl))
+    }
+
+    // --- jobs ------------------------------------------------------------
+
+    /// Submit a job to a session's queue. Fails fast with
+    /// [`JobError::QueueFull`] when the bounded queue is at capacity.
+    pub fn submit(&self, session_id: u64, spec: JobSpec) -> Result<u64, JobError> {
+        if self.inner.stop.load(Ordering::SeqCst) {
+            return Err(JobError::Stopped);
+        }
+        if !self.inner.sessions.read().contains_key(&session_id) {
+            return Err(JobError::UnknownSession(session_id));
+        }
+        let id = self.inner.next_job.fetch_add(1, Ordering::SeqCst);
+        let job = Arc::new(JobInner::new(id, session_id, spec));
+        {
+            let mut q = self.inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+            q.push(Arc::clone(&job))?;
+        }
+        self.inner.jobs.write().insert(id, job);
+        self.inner.work_cv.notify_one();
+        Ok(id)
+    }
+
+    fn job(&self, job_id: u64) -> Result<Arc<JobInner>, JobError> {
+        self.inner
+            .jobs
+            .read()
+            .get(&job_id)
+            .cloned()
+            .ok_or(JobError::UnknownJob(job_id))
+    }
+
+    /// Live snapshot: state, per-stage reports, progress.
+    pub fn status(&self, job_id: u64) -> Result<JobStatus, JobError> {
+        Ok(self.job(job_id)?.status())
+    }
+
+    /// Terminal state plus everything the job produced.
+    pub fn result(&self, job_id: u64) -> Result<(JobState, JobOutcome, Option<String>), JobError> {
+        Ok(self.job(job_id)?.result())
+    }
+
+    /// Block until the job reaches a terminal state (or the timeout
+    /// elapses); returns the latest snapshot either way.
+    pub fn wait(&self, job_id: u64, timeout: Option<Duration>) -> Result<JobStatus, JobError> {
+        Ok(self.job(job_id)?.wait_terminal(timeout))
+    }
+
+    /// Request cancellation. A still-queued job is cancelled
+    /// immediately; a running job stops at its next stage boundary.
+    /// Terminal jobs are unaffected. Returns the post-cancel snapshot.
+    pub fn cancel(&self, job_id: u64) -> Result<JobStatus, JobError> {
+        let job = self.job(job_id)?;
+        job.request_cancel();
+        let removed = {
+            let mut q = self.inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+            q.remove(job.session, job.id)
+        };
+        if removed {
+            job.finish(JobState::Cancelled, None);
+            self.finish_bookkeeping(&job);
+        }
+        Ok(job.status())
+    }
+
+    /// Snapshots of every job, in submission order.
+    pub fn list_jobs(&self) -> Vec<JobStatus> {
+        self.inner
+            .jobs
+            .read()
+            .values()
+            .map(|j| j.status())
+            .collect()
+    }
+
+    /// `(queued, capacity)` of the bounded queue.
+    pub fn queue_stats(&self) -> (usize, usize) {
+        let q = self.inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+        (q.queued(), q.depth())
+    }
+
+    /// Stop the worker pool: running jobs finish their current step
+    /// chain, queued jobs stay `Queued`. Idempotent.
+    pub fn shutdown(&self) {
+        if self.inner.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.work_cv.notify_all();
+        for t in self.workers.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn finish_bookkeeping(&self, job: &JobInner) {
+        finish_bookkeeping(&self.inner, job);
+    }
+}
+
+impl Drop for JobService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// --- worker pool ---------------------------------------------------------
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let claimed = {
+            let mut q = inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(x) = q.pop() {
+                    break x;
+                }
+                q = inner.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let (session_id, job) = claimed;
+        run_job(inner, session_id, &job);
+        let more = {
+            let mut q = inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+            q.finish(session_id)
+        };
+        if more {
+            inner.work_cv.notify_one();
+        }
+    }
+}
+
+/// Execute one job against its session, honouring cancellation between
+/// stages.
+fn run_job(inner: &Inner, session_id: u64, job: &JobInner) {
+    if !job.try_start() {
+        // Cancelled while queued (or a cancel won the claim race).
+        finish_bookkeeping(inner, job);
+        return;
+    }
+    let slot = inner.sessions.read().get(&session_id).cloned();
+    let Some(slot) = slot else {
+        job.finish(
+            JobState::Failed,
+            Some(format!("session {session_id} vanished")),
+        );
+        finish_bookkeeping(inner, job);
+        return;
+    };
+    let mut ctrl = slot.controller.lock();
+    let mut cursor = ctrl.stage_reports().map(<[_]>::len).unwrap_or(0);
+    let mut outcome = Ok(());
+    let mut cancelled = false;
+    for step in &job.spec.steps {
+        if job.cancel_requested() {
+            cancelled = true;
+            break;
+        }
+        outcome = run_step(&mut ctrl, job, step, &mut cursor);
+        if outcome.is_err() {
+            break;
+        }
+    }
+    // The boundary after the last step counts too: a cancel that
+    // interrupted the final step (e.g. an aborted `Sleep`) must not be
+    // reported as `Done`.
+    if !cancelled && outcome.is_ok() && job.cancel_requested() {
+        cancelled = true;
+    }
+    drop(ctrl);
+    match (cancelled, outcome) {
+        (true, _) => job.finish(JobState::Cancelled, None),
+        (false, Ok(())) => job.finish(JobState::Done, None),
+        (false, Err(e)) => job.finish(JobState::Failed, Some(e.to_string())),
+    }
+    slot.jobs_finished.fetch_add(1, Ordering::SeqCst);
+    finish_bookkeeping(inner, job);
+}
+
+/// Run one step, appending the engine stage reports it produced (plus
+/// synthesised reports for stages the controller does not instrument)
+/// and folding its numbers into the job outcome.
+fn run_step(
+    ctrl: &mut DashboardController,
+    job: &JobInner,
+    step: &JobStep,
+    cursor: &mut usize,
+) -> Result<(), DataLensError> {
+    match step {
+        JobStep::Profile => {
+            let summary = {
+                let p = ctrl.profile()?;
+                ProfileSummary {
+                    rows: p.table.n_rows,
+                    cols: p.columns.len(),
+                    missing_cells: p.table.missing_cells,
+                }
+            };
+            let reports = drain_reports(ctrl, cursor);
+            job.record_step(reports, |o| o.profile = Some(summary));
+        }
+        JobStep::MineRules { max_g3_error } => {
+            let added = ctrl.discover_rules_approx(*max_g3_error)?;
+            let reports = drain_reports(ctrl, cursor);
+            job.record_step(reports, |o| {
+                o.rules_added = Some(o.rules_added.unwrap_or(0) + added)
+            });
+        }
+        JobStep::Detect { tools } => {
+            let refs: Vec<&str> = tools.iter().map(String::as_str).collect();
+            let n = ctrl.run_detection(&refs)?;
+            let reports = drain_reports(ctrl, cursor);
+            job.record_step(reports, |o| o.n_detections = Some(n));
+        }
+        JobStep::Repair { tool } => {
+            let n = ctrl.repair(tool)?;
+            let csv = datalens_table::csv::write_csv_str(ctrl.repaired_table()?);
+            let version = ctrl.state()?.repaired_version;
+            let reports = drain_reports(ctrl, cursor);
+            job.record_step(reports, |o| {
+                o.n_repaired = Some(n);
+                o.repaired_csv = Some(csv);
+                o.repaired_version = version;
+            });
+        }
+        JobStep::IterativeClean {
+            target,
+            task,
+            iterations,
+        } => {
+            let start = Instant::now();
+            let cfg = IterativeCleaningConfig {
+                iterations: *iterations,
+                // Cheap candidate tools: iterative search multiplies
+                // their cost by the iteration budget.
+                detectors: vec!["sd".into(), "iqr".into(), "mv_detector".into()],
+                repairers: vec!["standard_imputer".into(), "ml_imputer".into()],
+                seed: ctrl.engine().config().seed,
+                ..IterativeCleaningConfig::new(target.clone(), *task)
+            };
+            let report = run_iterative_cleaning(ctrl.table()?, ctrl.rules()?, &cfg, None)?;
+            let (rows, cells) = {
+                let t = ctrl.table()?;
+                (t.n_rows(), t.n_rows() * t.n_cols())
+            };
+            let synthetic = StageReport {
+                stage: "iterative_clean".into(),
+                detail: target.clone(),
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                rows_processed: rows,
+                cells_processed: cells,
+                flags_produced: report.iterations_run,
+            };
+            let mut reports = drain_reports(ctrl, cursor);
+            reports.push(synthetic);
+            job.record_step(reports, |o| o.iterative = Some(report));
+        }
+        JobStep::Sleep { ms } => {
+            let start = Instant::now();
+            let deadline = start + Duration::from_millis(*ms);
+            while Instant::now() < deadline && !job.cancel_requested() {
+                std::thread::sleep(Duration::from_millis(5.min(*ms).max(1)));
+            }
+            let synthetic = StageReport {
+                stage: "sleep".into(),
+                detail: format!("{ms}ms"),
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                rows_processed: 0,
+                cells_processed: 0,
+                flags_produced: 0,
+            };
+            job.record_step(vec![synthetic], |_| {});
+        }
+    }
+    Ok(())
+}
+
+fn drain_reports(ctrl: &DashboardController, cursor: &mut usize) -> Vec<StageReport> {
+    let all = ctrl.stage_reports().unwrap_or(&[]);
+    let new = all[*cursor..].to_vec();
+    *cursor = all.len();
+    new
+}
+
+/// Terminal bookkeeping shared by workers and queue-side cancellation:
+/// one tracking run per job (best-effort).
+fn finish_bookkeeping(inner: &Inner, job: &JobInner) {
+    let Some(store) = &inner.tracking else { return };
+    let status = job.status();
+    let log = || -> Result<(), TrackingError> {
+        let exp = store.get_or_create_experiment(EXPERIMENT_JOBS)?;
+        let run = store.start_run(&exp, &format!("job-{} {}", job.id, job.spec.describe()))?;
+        run.log_param("session", &status.session_id.to_string())?;
+        run.log_param("spec", &job.spec.describe())?;
+        run.log_param("state", status.state.as_str())?;
+        run.log_metric("steps_done", status.steps_done as f64, 0)?;
+        for r in &status.reports {
+            run.log_metric(&format!("wall_ms_{}", r.label()), r.wall_ms, 0)?;
+        }
+        run.end(match status.state {
+            JobState::Done => RunStatus::Finished,
+            JobState::Cancelled => RunStatus::Killed,
+            _ => RunStatus::Failed,
+        })?;
+        Ok(())
+    };
+    let _ = log();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service(workers: usize, queue_depth: usize) -> JobService {
+        JobService::new(JobServiceConfig {
+            workers,
+            queue_depth,
+            ..JobServiceConfig::default()
+        })
+        .unwrap()
+    }
+
+    const CSV: &str =
+        "zip,city,pop\n1,ulm,120\n1,ulm,120\n2,bonn,99999\n2,bonn,330\n1,oops,120\n3,mainz,\n";
+
+    #[test]
+    fn submit_run_and_fetch_result() {
+        let svc = service(2, 8);
+        let sid = svc.create_session_csv("demo.csv", CSV).unwrap();
+        let jid = svc
+            .submit(
+                sid,
+                JobSpec::full(0.2, &["sd", "mv_detector"], "standard_imputer"),
+            )
+            .unwrap();
+        let status = svc.wait(jid, Some(Duration::from_secs(30))).unwrap();
+        assert_eq!(status.state, JobState::Done, "err: {:?}", status.error);
+        assert_eq!(status.steps_done, 4);
+        assert!(!status.reports.is_empty());
+        let (state, outcome, err) = svc.result(jid).unwrap();
+        assert_eq!(state, JobState::Done);
+        assert!(err.is_none());
+        assert!(outcome.profile.is_some());
+        assert!(outcome.rules_added.is_some());
+        assert!(outcome.n_detections.unwrap() > 0);
+        assert!(outcome.n_repaired.unwrap() > 0);
+        assert!(outcome.repaired_csv.as_ref().unwrap().contains("zip"));
+    }
+
+    #[test]
+    fn unknown_ids_are_typed_errors() {
+        let svc = service(1, 2);
+        assert!(matches!(
+            svc.submit(99, JobSpec::profile()),
+            Err(JobError::UnknownSession(99))
+        ));
+        assert!(matches!(svc.status(42), Err(JobError::UnknownJob(42))));
+        assert!(matches!(svc.cancel(42), Err(JobError::UnknownJob(42))));
+    }
+
+    #[test]
+    fn failed_step_yields_failed_state_with_error() {
+        let svc = service(1, 4);
+        let sid = svc.create_session_csv("d.csv", CSV).unwrap();
+        let jid = svc.submit(sid, JobSpec::detect(&["no_such_tool"])).unwrap();
+        let status = svc.wait(jid, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(status.state, JobState::Failed);
+        assert!(status.error.unwrap().contains("no_such_tool"));
+    }
+
+    #[test]
+    fn queue_full_is_backpressure() {
+        let svc = service(1, 1);
+        let sid = svc.create_session_csv("d.csv", CSV).unwrap();
+        // Occupy the single worker…
+        let running = svc
+            .submit(sid, JobSpec::new(vec![JobStep::Sleep { ms: 2_000 }]))
+            .unwrap();
+        // …wait until it is actually claimed (queued = 0)…
+        while svc.status(running).unwrap().state == JobState::Queued {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // …fill the queue, then overflow it.
+        svc.submit(sid, JobSpec::profile()).unwrap();
+        assert!(matches!(
+            svc.submit(sid, JobSpec::profile()),
+            Err(JobError::QueueFull { depth: 1 })
+        ));
+        svc.cancel(running).unwrap();
+    }
+
+    #[test]
+    fn cancel_queued_job_is_immediate() {
+        let svc = service(1, 8);
+        let sid = svc.create_session_csv("d.csv", CSV).unwrap();
+        let blocker = svc
+            .submit(sid, JobSpec::new(vec![JobStep::Sleep { ms: 2_000 }]))
+            .unwrap();
+        let queued = svc.submit(sid, JobSpec::profile()).unwrap();
+        let status = svc.cancel(queued).unwrap();
+        assert_eq!(status.state, JobState::Cancelled);
+        let s = svc.cancel(blocker).unwrap();
+        assert!(matches!(s.state, JobState::Running | JobState::Cancelled));
+        let s = svc.wait(blocker, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(s.state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn shutdown_leaves_queued_jobs_queued() {
+        let svc = service(1, 8);
+        let sid = svc.create_session_csv("d.csv", CSV).unwrap();
+        let a = svc
+            .submit(sid, JobSpec::new(vec![JobStep::Sleep { ms: 50 }]))
+            .unwrap();
+        svc.wait(a, Some(Duration::from_secs(10))).unwrap();
+        svc.shutdown();
+        assert!(matches!(
+            svc.submit(sid, JobSpec::profile()),
+            Err(JobError::Stopped)
+        ));
+    }
+}

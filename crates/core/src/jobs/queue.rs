@@ -1,0 +1,190 @@
+//! The bounded, session-aware scheduling queue.
+//!
+//! Invariants:
+//! - a session id appears in `ready` iff it has pending jobs and no job
+//!   of it is currently running (`active`) — so same-session jobs run in
+//!   strict FIFO submission order while distinct sessions fan out across
+//!   the worker pool;
+//! - `queued` counts jobs waiting (not yet popped); pushing beyond
+//!   `depth` is an immediate typed rejection ([`JobError::QueueFull`]),
+//!   the service's backpressure signal.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use super::job::{JobError, JobInner};
+
+pub(crate) struct SessionQueues {
+    depth: usize,
+    queued: usize,
+    ready: VecDeque<u64>,
+    active: HashSet<u64>,
+    pending: HashMap<u64, VecDeque<Arc<JobInner>>>,
+}
+
+impl SessionQueues {
+    pub fn new(depth: usize) -> SessionQueues {
+        SessionQueues {
+            depth: depth.max(1),
+            queued: 0,
+            ready: VecDeque::new(),
+            active: HashSet::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Jobs currently waiting for a worker.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// The configured capacity.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Jobs of `session` currently waiting.
+    pub fn queued_in(&self, session: u64) -> usize {
+        self.pending.get(&session).map_or(0, VecDeque::len)
+    }
+
+    /// Is a job of `session` running right now?
+    pub fn is_active(&self, session: u64) -> bool {
+        self.active.contains(&session)
+    }
+
+    /// Enqueue a job; rejects when the queue is at capacity.
+    pub fn push(&mut self, job: Arc<JobInner>) -> Result<(), JobError> {
+        if self.queued >= self.depth {
+            return Err(JobError::QueueFull { depth: self.depth });
+        }
+        let session = job.session;
+        let q = self.pending.entry(session).or_default();
+        q.push_back(job);
+        self.queued += 1;
+        // Newly runnable: first pending job of an idle session.
+        if q.len() == 1 && !self.active.contains(&session) {
+            self.ready.push_back(session);
+        }
+        Ok(())
+    }
+
+    /// Pop the next runnable job, marking its session active.
+    pub fn pop(&mut self) -> Option<(u64, Arc<JobInner>)> {
+        let session = self.ready.pop_front()?;
+        let q = self
+            .pending
+            .get_mut(&session)
+            .expect("ready session has a pending queue");
+        let job = q.pop_front().expect("ready session has a pending job");
+        if q.is_empty() {
+            self.pending.remove(&session);
+        }
+        self.queued -= 1;
+        self.active.insert(session);
+        Some((session, job))
+    }
+
+    /// A session's running job finished; returns whether the session has
+    /// more work (it was re-queued as ready).
+    pub fn finish(&mut self, session: u64) -> bool {
+        self.active.remove(&session);
+        if self.pending.contains_key(&session) {
+            self.ready.push_back(session);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a still-queued job (cancellation); `false` if a worker
+    /// already claimed it.
+    pub fn remove(&mut self, session: u64, job_id: u64) -> bool {
+        let Some(q) = self.pending.get_mut(&session) else {
+            return false;
+        };
+        let before = q.len();
+        q.retain(|j| j.id != job_id);
+        let removed = q.len() < before;
+        if removed {
+            self.queued -= 1;
+            if q.is_empty() {
+                self.pending.remove(&session);
+                // The session may sit in `ready` with nothing left to
+                // run; drop the stale entry.
+                self.ready.retain(|&s| s != session);
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::job::JobSpec;
+    use super::*;
+
+    fn job(id: u64, session: u64) -> Arc<JobInner> {
+        Arc::new(JobInner::new(id, session, JobSpec::profile()))
+    }
+
+    #[test]
+    fn same_session_is_fifo_and_serialised() {
+        let mut q = SessionQueues::new(8);
+        q.push(job(1, 7)).unwrap();
+        q.push(job(2, 7)).unwrap();
+        let (s, j) = q.pop().unwrap();
+        assert_eq!((s, j.id), (7, 1));
+        // Session 7 is active: job 2 must wait even though it is queued.
+        assert!(q.pop().is_none());
+        assert!(q.finish(7)); // more work became ready
+        let (_, j) = q.pop().unwrap();
+        assert_eq!(j.id, 2);
+        assert!(!q.finish(7));
+    }
+
+    #[test]
+    fn distinct_sessions_are_concurrent() {
+        let mut q = SessionQueues::new(8);
+        q.push(job(1, 1)).unwrap();
+        q.push(job(2, 2)).unwrap();
+        q.push(job(3, 3)).unwrap();
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        let c = q.pop().unwrap();
+        assert_eq!(
+            vec![a.0, b.0, c.0],
+            vec![1, 2, 3],
+            "all three sessions claimable at once"
+        );
+        assert_eq!(q.queued(), 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut q = SessionQueues::new(2);
+        q.push(job(1, 1)).unwrap();
+        q.push(job(2, 2)).unwrap();
+        assert!(matches!(
+            q.push(job(3, 3)),
+            Err(JobError::QueueFull { depth: 2 })
+        ));
+        // Popping frees capacity.
+        q.pop().unwrap();
+        q.push(job(3, 3)).unwrap();
+    }
+
+    #[test]
+    fn remove_cancels_only_queued_jobs() {
+        let mut q = SessionQueues::new(8);
+        q.push(job(1, 1)).unwrap();
+        q.push(job(2, 1)).unwrap();
+        let (_, claimed) = q.pop().unwrap();
+        assert_eq!(claimed.id, 1);
+        assert!(!q.remove(1, 1), "claimed job is no longer removable");
+        assert!(q.remove(1, 2));
+        assert_eq!(q.queued(), 0);
+        assert!(!q.finish(1), "nothing left after cancellation");
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! REST surface of the job service (the dashboard's async bus):
+//!
+//! - `POST   /sessions`            — open a session (upload CSV or name a
+//!   preloaded dataset); returns its id and shape;
+//! - `GET    /sessions`            — list sessions with queue state;
+//! - `POST   /sessions/{id}/jobs`  — submit a [`JobSpec`]; `202 Accepted`
+//!   with the job id, or `429 Too Many Requests` when the bounded queue
+//!   is full (the backpressure contract);
+//! - `GET    /jobs`                — list all job snapshots;
+//! - `GET    /jobs/{id}`           — live [`JobStatus`](super::JobStatus) (state, progress,
+//!   per-stage reports);
+//! - `GET    /jobs/{id}/result`    — terminal outcome; `409 Conflict`
+//!   while the job is still queued/running;
+//! - `DELETE /jobs/{id}`           — request cancellation; returns the
+//!   post-cancel snapshot.
+//!
+//! Mount the router on a [`datalens_rest::Server`]; it composes with the
+//! synchronous tool bus via [`Router::merge`].
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use datalens_rest::http::Method;
+use datalens_rest::{PathParams, Response, Router};
+
+use super::job::{JobError, JobOutcome, JobSpec, JobState};
+use super::session::SessionInfo;
+use super::JobService;
+
+/// `POST /sessions` request: exactly one of `csv` (with `file_name`) or
+/// `preloaded` must be given.
+#[derive(Debug, Default, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct CreateSessionRequest {
+    /// Name of a bundled dirty dataset (e.g. `"flights"`).
+    #[serde(default)]
+    pub preloaded: Option<String>,
+    /// File name for an uploaded CSV payload.
+    #[serde(default)]
+    pub file_name: Option<String>,
+    /// Raw CSV text to ingest.
+    #[serde(default)]
+    pub csv: Option<String>,
+}
+
+/// `POST /sessions` response.
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct CreateSessionResponse {
+    pub session: SessionInfo,
+}
+
+/// `POST /sessions/{id}/jobs` response (`202 Accepted`).
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct SubmitJobResponse {
+    pub job_id: u64,
+    pub session_id: u64,
+}
+
+/// `GET /jobs/{id}/result` response.
+#[derive(Debug, Serialize, Deserialize)]
+#[serde(rename_all = "camelCase")]
+pub struct JobResultResponse {
+    pub job_id: u64,
+    pub state: JobState,
+    pub outcome: JobOutcome,
+    #[serde(default)]
+    pub error: Option<String>,
+}
+
+fn error_response(e: &JobError) -> Response {
+    let status = match e {
+        JobError::QueueFull { .. } => 429,
+        JobError::UnknownSession(_) | JobError::UnknownJob(_) => 404,
+        JobError::Stopped => 503,
+        JobError::Pipeline(_) => 400,
+    };
+    Response::error(status, &e.to_string())
+}
+
+fn parse_id(params: &PathParams, key: &str) -> Result<u64, Response> {
+    params
+        .get(key)
+        .and_then(|v| v.parse::<u64>().ok())
+        .ok_or_else(|| Response::error(400, &format!("invalid {key}")))
+}
+
+/// Build the job-service router over a shared [`JobService`].
+pub fn job_service_router(service: Arc<JobService>) -> Router {
+    let svc = Arc::clone(&service);
+    let router = Router::new().route(Method::Post, "/sessions", move |req, _| {
+        let body: CreateSessionRequest = if req.body.is_empty() {
+            CreateSessionRequest::default()
+        } else {
+            match req.json() {
+                Ok(b) => b,
+                Err(e) => return Response::error(400, &e.to_string()),
+            }
+        };
+        let created = match (&body.preloaded, &body.csv) {
+            (Some(name), None) => svc.create_session_preloaded(name),
+            (None, Some(csv)) => {
+                let file_name = body.file_name.as_deref().unwrap_or("upload.csv");
+                svc.create_session_csv(file_name, csv)
+            }
+            _ => {
+                return Response::error(400, "provide exactly one of `preloaded` or `csv`");
+            }
+        };
+        let id = match created {
+            Ok(id) => id,
+            Err(e) => return error_response(&e),
+        };
+        let session = svc
+            .list_sessions()
+            .into_iter()
+            .find(|s| s.session_id == id)
+            .expect("freshly created session is listed");
+        let mut resp = Response::json(&CreateSessionResponse { session });
+        resp.status = 201;
+        resp
+    });
+
+    let svc = Arc::clone(&service);
+    let router = router.route(Method::Get, "/sessions", move |_, _| {
+        Response::json(&svc.list_sessions())
+    });
+
+    let svc = Arc::clone(&service);
+    let router = router.route(Method::Post, "/sessions/{id}/jobs", move |req, params| {
+        let sid = match parse_id(params, "id") {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let spec: JobSpec = match req.json() {
+            Ok(s) => s,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        if spec.steps.is_empty() {
+            return Response::error(400, "job spec has no steps");
+        }
+        match svc.submit(sid, spec) {
+            Ok(job_id) => {
+                let mut resp = Response::json(&SubmitJobResponse {
+                    job_id,
+                    session_id: sid,
+                });
+                resp.status = 202;
+                resp
+            }
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let svc = Arc::clone(&service);
+    let router = router.route(Method::Get, "/jobs", move |_, _| {
+        Response::json(&svc.list_jobs())
+    });
+
+    let svc = Arc::clone(&service);
+    let router = router.route(Method::Get, "/jobs/{id}", move |_, params| {
+        let id = match parse_id(params, "id") {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        match svc.status(id) {
+            Ok(status) => Response::json(&status),
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let svc = Arc::clone(&service);
+    let router = router.route(Method::Get, "/jobs/{id}/result", move |_, params| {
+        let id = match parse_id(params, "id") {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        match svc.result(id) {
+            Ok((state, outcome, error)) => {
+                if !state.is_terminal() {
+                    return Response::error(
+                        409,
+                        &format!("job {id} is {state}; result not available yet"),
+                    );
+                }
+                Response::json(&JobResultResponse {
+                    job_id: id,
+                    state,
+                    outcome,
+                    error,
+                })
+            }
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let svc = Arc::clone(&service);
+    router.route(Method::Delete, "/jobs/{id}", move |_, params| {
+        let id = match parse_id(params, "id") {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        match svc.cancel(id) {
+            Ok(status) => Response::json(&status),
+            Err(e) => error_response(&e),
+        }
+    })
+}

@@ -1,0 +1,67 @@
+//! Sessions: one loaded dataset and its pipeline state per session.
+//!
+//! A session owns a [`DashboardController`] (dirty table, rules,
+//! detections, Delta/tracking handles) behind a per-session lock. The
+//! scheduler guarantees at most one job of a session runs at a time, so
+//! the lock is uncontended on the job path; it also lets inspection
+//! (status panels, tests) read a session's state between jobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::controller::DashboardController;
+
+/// Externally visible session summary (the `GET /sessions` body and the
+/// dashboard Jobs panel).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionInfo {
+    pub session_id: u64,
+    pub dataset: String,
+    pub rows: usize,
+    pub cols: usize,
+    /// Jobs of this session waiting in the queue.
+    pub queued: usize,
+    /// Is a job of this session running right now?
+    pub running: bool,
+    /// Jobs that reached a terminal state.
+    pub jobs_finished: usize,
+}
+
+/// The in-memory session record.
+pub(crate) struct SessionSlot {
+    pub id: u64,
+    pub dataset: String,
+    pub shape: (usize, usize),
+    pub controller: Mutex<DashboardController>,
+    pub jobs_finished: AtomicUsize,
+}
+
+impl SessionSlot {
+    pub fn new(id: u64, dataset: String, controller: DashboardController) -> SessionSlot {
+        let shape = controller
+            .table()
+            .map(|t| (t.n_rows(), t.n_cols()))
+            .unwrap_or((0, 0));
+        SessionSlot {
+            id,
+            dataset,
+            shape,
+            controller: Mutex::new(controller),
+            jobs_finished: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn info(&self, queued: usize, running: bool) -> SessionInfo {
+        SessionInfo {
+            session_id: self.id,
+            dataset: self.dataset.clone(),
+            rows: self.shape.0,
+            cols: self.shape.1,
+            queued,
+            running,
+            jobs_finished: self.jobs_finished.load(Ordering::SeqCst),
+        }
+    }
+}

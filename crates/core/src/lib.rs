@@ -20,7 +20,9 @@
 //! 6. **reproducibility** ([`datasheet`], `datalens-tracking`,
 //!    `datalens-delta`): DataSheets, MLflow-style runs, Delta versioning;
 //! 7. **presentation** ([`dashboard`], [`quality`]): the four text tabs
-//!    and the quality panel; and the REST tool bus ([`service`]).
+//!    and the quality panel; the REST tool bus ([`service`]); and the
+//!    multi-session job service ([`jobs`]): queued, cancellable pipeline
+//!    runs behind the REST bus.
 //!
 //! ```
 //! use datalens::controller::{DashboardConfig, DashboardController, RuleMiner};
@@ -40,6 +42,7 @@ pub mod engine;
 pub mod error;
 pub mod ingest;
 pub mod iterative;
+pub mod jobs;
 pub mod quality;
 pub mod recommend;
 pub mod service;
@@ -53,6 +56,9 @@ pub use ingest::{DataSource, InMemorySqlSource, SqlSource};
 pub use iterative::{
     run_iterative_cleaning, IterativeCleaningConfig, IterativeCleaningReport, SamplerKind,
     TrialOutcome,
+};
+pub use jobs::{
+    JobError, JobService, JobServiceConfig, JobSpec, JobState, JobStatus, JobStep, SessionInfo,
 };
 pub use quality::QualityMetrics;
 pub use recommend::{recommend_tools, Recommendation};

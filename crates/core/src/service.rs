@@ -114,13 +114,13 @@ pub fn tool_service_router(seed: u64) -> Router {
 
     let st = Arc::clone(&state);
     let router = Router::new()
-        .route(Method::Get, "/tools", |_| {
+        .route(Method::Get, "/tools", |_, _| {
             Response::json(&ToolList {
                 detectors: DETECTOR_NAMES.iter().map(|s| s.to_string()).collect(),
                 repairers: REPAIRER_NAMES.iter().map(|s| s.to_string()).collect(),
             })
         })
-        .route(Method::Put, "/context", move |req| {
+        .route(Method::Put, "/context", move |req, _| {
             let update: ContextUpdate = match req.json() {
                 Ok(u) => u,
                 Err(e) => return Response::error(400, &e.to_string()),
@@ -142,7 +142,7 @@ pub fn tool_service_router(seed: u64) -> Router {
 
     let st = Arc::clone(&state);
     let eng = Arc::clone(&engine);
-    let router = router.route(Method::Post, "/detect", move |req| {
+    let router = router.route(Method::Post, "/detect", move |req, _| {
         let body: DetectRequest = match req.json() {
             Ok(b) => b,
             Err(e) => return Response::error(400, &e.to_string()),
@@ -172,7 +172,7 @@ pub fn tool_service_router(seed: u64) -> Router {
 
     let st = Arc::clone(&state);
     let eng = Arc::clone(&engine);
-    let router = router.route(Method::Post, "/repair", move |req| {
+    let router = router.route(Method::Post, "/repair", move |req, _| {
         let body: RepairRequest = match req.json() {
             Ok(b) => b,
             Err(e) => return Response::error(400, &e.to_string()),
@@ -202,7 +202,7 @@ pub fn tool_service_router(seed: u64) -> Router {
     });
 
     let eng = Arc::clone(&engine);
-    router.route(Method::Post, "/profile", move |req| {
+    router.route(Method::Post, "/profile", move |req, _| {
         #[derive(Deserialize)]
         struct ProfileRequest {
             csv: String,

@@ -27,7 +27,7 @@ pub struct PreloadedDataset {
 }
 
 /// Downstream ML task type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Task {
     Regression,
     Classification,

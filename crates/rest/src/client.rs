@@ -50,6 +50,11 @@ impl Client {
         self.send(Method::Put, path, body)
     }
 
+    /// DELETE a path (cancel a job, tear down a session).
+    pub fn delete(&self, path: &str) -> Result<Response, HttpError> {
+        self.send(Method::Delete, path, Vec::new())
+    }
+
     /// POST a JSON value and parse a JSON response.
     pub fn post_json<T: serde::Serialize, R: serde::de::DeserializeOwned>(
         &self,

@@ -8,12 +8,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
-/// Supported methods (the three the paper's integration layer uses).
+/// Supported methods: the three the paper's integration layer uses plus
+/// DELETE for cancelling jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
     Get,
     Post,
     Put,
+    Delete,
 }
 
 impl Method {
@@ -22,6 +24,7 @@ impl Method {
             "GET" => Some(Method::Get),
             "POST" => Some(Method::Post),
             "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
             _ => None,
         }
     }
@@ -31,6 +34,7 @@ impl Method {
             Method::Get => "GET",
             Method::Post => "POST",
             Method::Put => "PUT",
+            Method::Delete => "DELETE",
         }
     }
 }
@@ -69,7 +73,9 @@ impl From<io::Error> for HttpError {
     }
 }
 
-/// Maximum accepted body size (16 MiB — dashboard-scale CSVs fit easily).
+/// Default maximum accepted body size (16 MiB — dashboard-scale CSVs fit
+/// easily). Servers can lower or raise the cap per listener; see
+/// [`Request::read_from_capped`].
 pub const MAX_BODY: usize = 16 * 1024 * 1024;
 
 /// A parsed request.
@@ -103,8 +109,14 @@ impl Request {
             .map_err(|e| HttpError::Malformed(format!("JSON body: {e}")))
     }
 
-    /// Read one request off a stream.
+    /// Read one request off a stream with the default body cap.
     pub fn read_from(stream: impl Read) -> Result<Request, HttpError> {
+        Request::read_from_capped(stream, MAX_BODY)
+    }
+
+    /// Read one request off a stream, rejecting any declared
+    /// `Content-Length` above `max_body` *before* buffering the body.
+    pub fn read_from_capped(stream: impl Read, max_body: usize) -> Result<Request, HttpError> {
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
         reader.read_line(&mut line)?;
@@ -118,7 +130,7 @@ impl Request {
             .ok_or_else(|| HttpError::Malformed("missing request target".into()))?
             .to_string();
         let headers = read_headers(&mut reader)?;
-        let body = read_body(&mut reader, &headers)?;
+        let body = read_body(&mut reader, &headers, max_body)?;
         let (path, query) = split_query(&target);
         Ok(Request {
             method,
@@ -214,7 +226,7 @@ impl Response {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| HttpError::Malformed(format!("status in {line:?}")))?;
         let headers = read_headers(&mut reader)?;
-        let body = read_body(&mut reader, &headers)?;
+        let body = read_body(&mut reader, &headers, MAX_BODY)?;
         Ok(Response {
             status,
             headers,
@@ -245,7 +257,9 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         _ => "Unknown",
     }
@@ -273,12 +287,13 @@ fn read_headers(reader: &mut impl BufRead) -> Result<BTreeMap<String, String>, H
 fn read_body(
     reader: &mut impl BufRead,
     headers: &BTreeMap<String, String>,
+    max_body: usize,
 ) -> Result<Vec<u8>, HttpError> {
     let len: usize = headers
         .get("content-length")
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
-    if len > MAX_BODY {
+    if len > max_body {
         return Err(HttpError::BodyTooLarge(len));
     }
     let mut body = vec![0u8; len];
@@ -406,6 +421,34 @@ mod tests {
             Request::read_from(wire.as_bytes()),
             Err(HttpError::BodyTooLarge(_))
         ));
+    }
+
+    #[test]
+    fn configurable_cap_rejects_before_buffering() {
+        // Declared length over the cap is rejected even though the body
+        // bytes were never sent — no buffering of unbounded bodies.
+        let wire = "POST /x HTTP/1.1\r\ncontent-length: 64\r\n\r\n";
+        assert!(matches!(
+            Request::read_from_capped(wire.as_bytes(), 16),
+            Err(HttpError::BodyTooLarge(64))
+        ));
+        // The same message passes under a roomier cap (body then EOFs).
+        assert!(Request::read_from_capped(wire.as_bytes(), 128).is_err()); // EOF, not TooLarge
+        let ok = "POST /x HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
+        let parsed = Request::read_from_capped(ok.as_bytes(), 16).unwrap();
+        assert_eq!(parsed.body, b"hi");
+    }
+
+    #[test]
+    fn delete_method_round_trips() {
+        assert_eq!(Method::parse("DELETE"), Some(Method::Delete));
+        assert_eq!(Method::Delete.as_str(), "DELETE");
+        let req = Request::new(Method::Delete, "/jobs/7", Vec::new());
+        let mut wire = Vec::new();
+        req.write_to(&mut wire, "h").unwrap();
+        let parsed = Request::read_from(wire.as_slice()).unwrap();
+        assert_eq!(parsed.method, Method::Delete);
+        assert_eq!(parsed.path, "/jobs/7");
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod server;
 
 pub use client::Client;
 pub use http::{Method, Request, Response};
-pub use server::{Router, Server};
+pub use server::{PathParams, Router, Server, ServerConfig};
 
 #[cfg(test)]
 mod proptests {

@@ -1,24 +1,55 @@
 //! Threaded HTTP server with a method+path router.
 //!
-//! The reproduction's FastAPI: handlers register under `(method, path)`;
+//! The reproduction's FastAPI: handlers register under `(method, path)`
+//! where path segments may be `{param}` placeholders (`/jobs/{id}`);
 //! each accepted connection is served on a worker thread; unmatched paths
 //! get 404, unmatched methods 405, panicking handlers 500.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crate::http::{HttpError, Method, Request, Response};
+use crate::http::{HttpError, Method, Request, Response, MAX_BODY};
 
-/// A request handler.
-pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+/// Path parameters captured by `{param}` route segments.
+pub type PathParams = BTreeMap<String, String>;
+
+/// A request handler. The second argument holds the values captured by
+/// the route's `{param}` segments (empty for literal routes).
+pub type Handler = Arc<dyn Fn(&Request, &PathParams) -> Response + Send + Sync>;
+
+/// One compiled route-pattern segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
 
 /// Route table builder.
 #[derive(Default, Clone)]
 pub struct Router {
-    routes: HashMap<(Method, String), Handler>,
+    routes: Vec<Arc<Route>>,
+}
+
+fn compile(path: &str) -> Vec<Segment> {
+    path.split('/')
+        .filter(|s| !s.is_empty())
+        .map(
+            |s| match s.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+                Some(name) => Segment::Param(name.to_string()),
+                None => Segment::Literal(s.to_string()),
+            },
+        )
+        .collect()
 }
 
 impl Router {
@@ -26,32 +57,96 @@ impl Router {
         Router::default()
     }
 
-    /// Register a handler (builder style).
+    /// Register a handler (builder style). `path` may contain `{param}`
+    /// segments, captured into the handler's [`PathParams`].
     pub fn route(
         mut self,
         method: Method,
         path: &str,
-        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
     ) -> Router {
-        self.routes
-            .insert((method, path.to_string()), Arc::new(handler));
+        self.routes.push(Arc::new(Route {
+            method,
+            segments: compile(path),
+            handler: Arc::new(handler),
+        }));
         self
     }
 
-    /// Dispatch one request.
+    /// Append every route of `other` (later registrations win only if
+    /// earlier ones never match, so merge disjoint route sets).
+    pub fn merge(mut self, other: Router) -> Router {
+        self.routes.extend(other.routes);
+        self
+    }
+
+    /// Match `segments` against a pattern, capturing parameters.
+    fn matches(pattern: &[Segment], segments: &[&str]) -> Option<PathParams> {
+        if pattern.len() != segments.len() {
+            return None;
+        }
+        let mut params = PathParams::new();
+        for (p, s) in pattern.iter().zip(segments) {
+            match p {
+                Segment::Literal(lit) if lit == s => {}
+                Segment::Literal(_) => return None,
+                Segment::Param(name) => {
+                    params.insert(name.clone(), (*s).to_string());
+                }
+            }
+        }
+        Some(params)
+    }
+
+    /// Dispatch one request. The route lookup borrows `req.path` — the
+    /// request is never cloned.
     pub fn dispatch(&self, req: &Request) -> Response {
-        if let Some(h) = self.routes.get(&(req.method, req.path.clone())) {
-            let handler = Arc::clone(h);
-            let req = req.clone();
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        let mut path_matched = false;
+        for route in &self.routes {
+            let Some(params) = Router::matches(&route.segments, &segments) else {
+                continue;
+            };
+            if route.method != req.method {
+                path_matched = true;
+                continue;
+            }
             // Contain handler panics to a 500 for this request.
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || handler(&req))) {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (route.handler)(req, &params)
+            }));
+            return match outcome {
                 Ok(resp) => resp,
                 Err(_) => Response::error(500, "handler panicked"),
-            }
-        } else if self.routes.keys().any(|(_, p)| p == &req.path) {
+            };
+        }
+        if path_matched {
             Response::error(405, "method not allowed")
         } else {
             Response::error(404, "no such route")
+        }
+    }
+}
+
+/// Per-listener limits and timeouts.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Read timeout on accepted connections (a stalled client cannot pin
+    /// a connection thread forever).
+    pub read_timeout: Option<Duration>,
+    /// Write timeout on accepted connections.
+    pub write_timeout: Option<Duration>,
+    /// Largest accepted request body; bigger declared `Content-Length`s
+    /// are rejected with 413 before any buffering.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_body: MAX_BODY,
         }
     }
 }
@@ -65,8 +160,14 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind to 127.0.0.1 on an ephemeral port and start serving.
+    /// Bind to 127.0.0.1 on an ephemeral port and start serving with the
+    /// default limits.
     pub fn start(router: Router) -> Result<Server, HttpError> {
+        Server::start_with(router, ServerConfig::default())
+    }
+
+    /// [`Server::start`] with explicit limits and timeouts.
+    pub fn start_with(router: Router, config: ServerConfig) -> Result<Server, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -79,7 +180,8 @@ impl Server {
                 }
                 let Ok(stream) = stream else { continue };
                 let router = Arc::clone(&router);
-                std::thread::spawn(move || serve_connection(stream, &router));
+                let config = config.clone();
+                std::thread::spawn(move || serve_connection(stream, &router, &config));
             }
         });
         Ok(Server {
@@ -113,14 +215,13 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, router: &Router) {
-    // A stalled client must not pin a worker thread forever.
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(30)));
+fn serve_connection(stream: TcpStream, router: &Router, config: &ServerConfig) {
+    let _ = stream.set_read_timeout(config.read_timeout);
+    let _ = stream.set_write_timeout(config.write_timeout);
     let Ok(peer_read) = stream.try_clone() else {
         return;
     };
-    let response = match Request::read_from(peer_read) {
+    let response = match Request::read_from_capped(peer_read, config.max_body) {
         Ok(req) => router.dispatch(&req),
         Err(HttpError::BodyTooLarge(_)) => Response::error(413, "body too large"),
         Err(_) => Response::error(400, "malformed request"),
@@ -136,15 +237,24 @@ mod tests {
 
     fn demo_router() -> Router {
         Router::new()
-            .route(Method::Get, "/ping", |_| {
+            .route(Method::Get, "/ping", |_, _| {
                 Response::json(&serde_json::json!({"pong": true}))
             })
-            .route(Method::Post, "/echo", |req| {
+            .route(Method::Post, "/echo", |req, _| {
                 Response::new(200, req.body.clone())
             })
-            .route(Method::Get, "/boom", |_| panic!("kaboom"))
-            .route(Method::Put, "/query", |req| {
+            .route(Method::Get, "/boom", |_, _| panic!("kaboom"))
+            .route(Method::Put, "/query", |req, _| {
                 Response::json(&serde_json::json!({"q": req.query.get("x")}))
+            })
+            .route(Method::Get, "/jobs/{id}", |_, params| {
+                Response::json(&serde_json::json!({"job": params["id"]}))
+            })
+            .route(Method::Delete, "/jobs/{id}", |_, params| {
+                Response::json(&serde_json::json!({"cancelled": params["id"]}))
+            })
+            .route(Method::Get, "/jobs/{id}/result", |_, params| {
+                Response::json(&serde_json::json!({"result_for": params["id"]}))
             })
     }
 
@@ -167,6 +277,24 @@ mod tests {
         let client = Client::new(server.addr());
         assert_eq!(client.get("/nope").unwrap().status, 404);
         assert_eq!(client.post("/ping", Vec::new()).unwrap().status, 405);
+    }
+
+    #[test]
+    fn path_parameters_are_captured() {
+        let server = Server::start(demo_router()).unwrap();
+        let client = Client::new(server.addr());
+        let v: serde_json::Value = client.get("/jobs/42").unwrap().json_body().unwrap();
+        assert_eq!(v["job"], "42");
+        let v: serde_json::Value = client.get("/jobs/42/result").unwrap().json_body().unwrap();
+        assert_eq!(v["result_for"], "42");
+        let r = client.delete("/jobs/abc").unwrap();
+        let v: serde_json::Value = r.json_body().unwrap();
+        assert_eq!(v["cancelled"], "abc");
+        // Wrong arity does not match the parameterised route.
+        assert_eq!(client.get("/jobs").unwrap().status, 404);
+        assert_eq!(client.get("/jobs/1/2/3").unwrap().status, 404);
+        // Matching path, unregistered method → 405.
+        assert_eq!(client.post("/jobs/42", Vec::new()).unwrap().status, 405);
     }
 
     #[test]
@@ -203,6 +331,34 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn body_cap_is_enforced_per_server() {
+        let server = Server::start_with(
+            demo_router(),
+            ServerConfig {
+                max_body: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let client = Client::new(server.addr());
+        let r = client.post("/echo", vec![b'x'; 64]).unwrap();
+        assert_eq!(r.status, 413);
+        let r = client.post("/echo", b"tiny".to_vec()).unwrap();
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn merged_routers_serve_both_route_sets() {
+        let extra = Router::new().route(Method::Get, "/extra", |_, _| {
+            Response::json(&serde_json::json!({"extra": true}))
+        });
+        let server = Server::start(demo_router().merge(extra)).unwrap();
+        let client = Client::new(server.addr());
+        assert_eq!(client.get("/ping").unwrap().status, 200);
+        assert_eq!(client.get("/extra").unwrap().status, 200);
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub mod store;
 
 pub use store::{Experiment, MetricPoint, Run, RunInfo, RunStatus, TrackingError, TrackingStore};
 
-/// The two experiment groups the dashboard logs into.
+/// The experiment groups the dashboard logs into.
 pub const EXPERIMENT_DETECTION: &str = "Detection";
 pub const EXPERIMENT_REPAIR: &str = "Repair";
+/// Job-service lifecycle runs (one run per submitted job).
+pub const EXPERIMENT_JOBS: &str = "Jobs";

@@ -43,12 +43,14 @@ pub struct Experiment {
     pub name: String,
 }
 
-/// Run lifecycle state.
+/// Run lifecycle state (mirrors MLflow's, including KILLED for runs
+/// terminated by user cancellation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunStatus {
     Running,
     Finished,
     Failed,
+    Killed,
 }
 
 /// Run metadata.

@@ -1,5 +1,5 @@
 //! Offline shim for `serde_json`, backed by the serde shim's
-//! [`JsonValue`] model: `to_string`/`to_string_pretty`/`to_vec`,
+//! `JsonValue` model: `to_string`/`to_string_pretty`/`to_vec`,
 //! `from_str`/`from_slice`/`from_value`/`to_value`, the [`json!`] macro,
 //! and the [`Value`] alias.
 
