@@ -1,11 +1,16 @@
 //! Sequential vs. parallel multi-tool detection through the pipeline
 //! engine, on the largest bundled dataset. Besides the usual bench
 //! printout, emits the timings as `BENCH_engine.json` at the repo root.
+//!
+//! On hosts where the thread pool degenerates (one core, or a 1-thread
+//! configuration) the JSON records `"speedup": null` with a reason
+//! instead of a meaningless ~1.0 ratio (see `datalens_bench::perf`).
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use datalens::engine::{Engine, EngineConfig};
+use datalens_bench::perf::{merge_speedup, SpeedupMeasurement};
 use datalens_datasets::registry;
 use datalens_detect::{detector_by_name, DetectionContext, Detector};
 use datalens_table::Table;
@@ -74,31 +79,40 @@ fn bench_engine(c: &mut Criterion) {
 
     let seq_ms = median_detect_ms(&sequential, &table, &ctx);
     let par_ms = median_detect_ms(&parallel, &table, &ctx);
-    let speedup = seq_ms / par_ms;
+    let measurement = SpeedupMeasurement {
+        sequential_ms: seq_ms,
+        parallel_ms: par_ms,
+        sequential_workers: 1,
+        parallel_workers: parallel.effective_threads(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    };
     println!(
         "engine detect {}×{} ({name}, {} tools): sequential {seq_ms:.2} ms, \
-         parallel {par_ms:.2} ms ({} threads) → {speedup:.2}×",
+         parallel {par_ms:.2} ms ({} threads){}",
         table.n_rows(),
         table.n_cols(),
         TOOLS.len(),
         parallel.effective_threads(),
+        if measurement.is_degenerate() {
+            " → speedup n/a (degenerate pool)".to_string()
+        } else {
+            format!(" → {:.2}×", seq_ms / par_ms)
+        },
     );
 
-    let json = serde_json::json!({
-        "benchmark": "engine_multi_tool_detection",
-        "dataset": name,
-        "rows": table.n_rows(),
-        "cols": table.n_cols(),
-        "tools": TOOLS.to_vec(),
-        "samples": SAMPLES,
-        "available_parallelism": std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        "threads_parallel": parallel.effective_threads(),
-        "sequential_ms": seq_ms,
-        "parallel_ms": par_ms,
-        "speedup": speedup,
-    });
+    let json = merge_speedup(
+        serde_json::json!({
+            "benchmark": "engine_multi_tool_detection",
+            "dataset": name,
+            "rows": table.n_rows(),
+            "cols": table.n_cols(),
+            "tools": TOOLS.to_vec(),
+            "samples": SAMPLES,
+        }),
+        &measurement,
+    );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(
         out,

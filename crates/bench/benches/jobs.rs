@@ -1,22 +1,32 @@
 //! Submit-to-done latency of the job service: N independent sessions
 //! each running the same detect+repair job, executed by a 1-worker pool
-//! (sequential baseline) vs. a 4-worker pool. Besides the usual bench
+//! (sequential baseline) vs. a 4-worker pool — plus the REST serving
+//! overhead of that submit/poll loop over a cold connection per request
+//! vs. one HTTP/1.1 keep-alive connection. Besides the usual bench
 //! printout, emits the timings as `BENCH_jobs.json` at the repo root.
 //!
-//! The pool speedup is bounded by the host's core count (recorded as
-//! `available_parallelism` in the JSON): on a single-core machine the
-//! two pool sizes measure the same, which is the expected reading.
+//! The pool speedup is bounded by the host's core count: on a
+//! single-core machine the two pool sizes measure the same, and the
+//! JSON records `"speedup": null` with a reason instead of a ~1.0
+//! ratio (see `datalens_bench::perf`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use datalens::jobs::rest::job_service_router;
 use datalens::jobs::{JobService, JobServiceConfig, JobSpec, JobState};
+use datalens_bench::perf::{merge_speedup, SpeedupMeasurement};
+use datalens_rest::{Client, Server, ServerConfig};
 
 const SEED: u64 = 7;
 const SAMPLES: usize = 5;
 const SESSIONS: usize = 8;
+const PARALLEL_WORKERS: usize = 4;
 const DETECT_TOOLS: [&str; 3] = ["sd", "iqr", "mv_detector"];
 const REPAIR_TOOL: &str = "ml_imputer";
+/// Requests per REST serving sample: one submit plus a poll loop.
+const REST_JOBS: usize = 12;
 
 /// A dirty dataset distinct per session: missing cells plus an outlier.
 fn dataset_csv(i: usize) -> String {
@@ -68,36 +78,134 @@ fn submit_to_done_ms(workers: usize) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
-fn median_ms(workers: usize) -> f64 {
-    let mut samples: Vec<f64> = (0..SAMPLES).map(|_| submit_to_done_ms(workers)).collect();
+fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     samples[samples.len() / 2]
 }
 
+fn median_ms(workers: usize) -> f64 {
+    median((0..SAMPLES).map(|_| submit_to_done_ms(workers)).collect())
+}
+
+/// One REST serving sample: submit [`REST_JOBS`] cheap jobs and poll
+/// each to completion, issuing every request either over a fresh TCP
+/// connection (`keep_alive = false`, the dashboard's worst case) or
+/// over one persistent keep-alive connection.
+fn rest_submit_poll_ms(client: &Client, session: u64, keep_alive: bool) -> f64 {
+    let submit_path = format!("/sessions/{session}/jobs");
+    let spec = serde_json::to_vec(&JobSpec::new(vec![datalens::jobs::JobStep::Sleep {
+        ms: 1,
+    }]))
+    .expect("spec json");
+    let mut conn = keep_alive.then(|| client.connect().expect("keep-alive connection"));
+    let mut request = |method_post: bool, path: &str| -> serde_json::Value {
+        let resp = match (&mut conn, method_post) {
+            (Some(c), true) => c.post(path, spec.clone()),
+            (Some(c), false) => c.get(path),
+            (None, true) => client.post(path, spec.clone()),
+            (None, false) => client.get(path),
+        }
+        .expect("rest request");
+        assert!(resp.status < 300, "status {}", resp.status);
+        resp.json_body().expect("json body")
+    };
+
+    let start = Instant::now();
+    for _ in 0..REST_JOBS {
+        let submitted = request(true, &submit_path);
+        let job_id = submitted["jobId"].as_u64().expect("job id");
+        let status_path = format!("/jobs/{job_id}");
+        loop {
+            let status = request(false, &status_path);
+            let state = status["state"].as_str().unwrap_or_default().to_string();
+            match state.as_str() {
+                "Done" => break,
+                "Failed" | "Cancelled" => panic!("job {job_id} ended {state}"),
+                _ => std::thread::sleep(std::time::Duration::from_micros(200)),
+            }
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Median cold-connection and keep-alive timings for the submit/poll
+/// loop against one live server.
+fn rest_latency_ms() -> (f64, f64) {
+    let service = Arc::new(
+        JobService::new(JobServiceConfig {
+            workers: 2,
+            queue_depth: REST_JOBS * 2,
+            seed: SEED,
+            ..JobServiceConfig::default()
+        })
+        .expect("job service"),
+    );
+    let session = service
+        .create_session_csv("rest.csv", "a,b\n1,x\n2,y\n")
+        .expect("session");
+    let server = Server::start_with(
+        job_service_router(Arc::clone(&service)),
+        ServerConfig::default(),
+    )
+    .expect("server");
+    let client = Client::new(server.addr());
+    let cold = median(
+        (0..SAMPLES)
+            .map(|_| rest_submit_poll_ms(&client, session, false))
+            .collect(),
+    );
+    let keep_alive = median(
+        (0..SAMPLES)
+            .map(|_| rest_submit_poll_ms(&client, session, true))
+            .collect(),
+    );
+    (cold, keep_alive)
+}
+
 fn bench_jobs(c: &mut Criterion) {
     let seq_ms = median_ms(1);
-    let par_ms = median_ms(4);
-    let speedup = seq_ms / par_ms;
-    println!(
-        "jobs submit-to-done, {SESSIONS} sessions × clean[{}+{REPAIR_TOOL}]: \
-         1 worker {seq_ms:.2} ms, 4 workers {par_ms:.2} ms → {speedup:.2}×",
-        DETECT_TOOLS.join("+"),
-    );
-
-    let json = serde_json::json!({
-        "benchmark": "jobs_submit_to_done",
-        "sessions": SESSIONS,
-        "spec": format!("detect[{}]+repair[{REPAIR_TOOL}]", DETECT_TOOLS.join("+")),
-        "samples": SAMPLES,
-        "available_parallelism": std::thread::available_parallelism()
+    let par_ms = median_ms(PARALLEL_WORKERS);
+    let measurement = SpeedupMeasurement {
+        sequential_ms: seq_ms,
+        parallel_ms: par_ms,
+        sequential_workers: 1,
+        parallel_workers: PARALLEL_WORKERS,
+        available_parallelism: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
-        "sequential_workers": 1,
-        "parallel_workers": 4,
-        "sequential_ms": seq_ms,
-        "parallel_ms": par_ms,
-        "speedup": speedup,
-    });
+    };
+    println!(
+        "jobs submit-to-done, {SESSIONS} sessions × clean[{}+{REPAIR_TOOL}]: \
+         1 worker {seq_ms:.2} ms, {PARALLEL_WORKERS} workers {par_ms:.2} ms ({} effective){}",
+        DETECT_TOOLS.join("+"),
+        measurement.effective_parallel_workers(),
+        if measurement.is_degenerate() {
+            " → speedup n/a (degenerate pool)".to_string()
+        } else {
+            format!(" → {:.2}×", seq_ms / par_ms)
+        },
+    );
+
+    let (cold_ms, keep_alive_ms) = rest_latency_ms();
+    println!(
+        "rest submit+poll, {REST_JOBS} jobs: cold connections {cold_ms:.2} ms, \
+         keep-alive {keep_alive_ms:.2} ms → {:.2}×",
+        cold_ms / keep_alive_ms,
+    );
+
+    let json = merge_speedup(
+        serde_json::json!({
+            "benchmark": "jobs_submit_to_done",
+            "sessions": SESSIONS,
+            "spec": format!("detect[{}]+repair[{REPAIR_TOOL}]", DETECT_TOOLS.join("+")),
+            "samples": SAMPLES,
+            "rest_jobs": REST_JOBS,
+            "rest_cold_connection_ms": cold_ms,
+            "rest_keep_alive_ms": keep_alive_ms,
+            "rest_keep_alive_speedup": cold_ms / keep_alive_ms,
+        }),
+        &measurement,
+    );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_jobs.json");
     std::fs::write(
         out,
@@ -113,7 +221,7 @@ fn bench_jobs(c: &mut Criterion) {
         b.iter(|| submit_to_done_ms(1))
     });
     group.bench_function("submit_to_done_4_workers", |b| {
-        b.iter(|| submit_to_done_ms(4))
+        b.iter(|| submit_to_done_ms(PARALLEL_WORKERS))
     });
     group.finish();
 }

@@ -12,8 +12,11 @@
 //! | `ablation` | Min-K sweep, TPE vs random vs grid, noisy-user RAHA |
 //!
 //! Criterion performance benches for the substrates live in `benches/`.
+//! [`perf`] holds their shared speedup bookkeeping (including the
+//! `"speedup": null` contract for hosts where the pool degenerates).
 
 pub mod ablation;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod perf;

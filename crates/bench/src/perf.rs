@@ -1,0 +1,144 @@
+//! Shared speedup bookkeeping for the performance benches.
+//!
+//! A `"speedup": seq/par` ratio is only meaningful when the parallel
+//! variant could actually run in parallel. On a 1-core CI runner the
+//! pool degenerates to sequential execution, the ratio hovers around
+//! 1.0 by construction, and downstream tooling would happily plot it as
+//! "no speedup achieved". [`speedup_fields`] records the effective
+//! worker count and emits `"speedup": null` plus a machine-readable
+//! `"speedup_reason"` in that case instead.
+
+use serde_json::Value;
+
+/// One sequential-vs-parallel timing comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupMeasurement {
+    pub sequential_ms: f64,
+    pub parallel_ms: f64,
+    /// Worker/thread count the sequential variant was configured with.
+    pub sequential_workers: usize,
+    /// Worker/thread count the parallel variant was configured with.
+    pub parallel_workers: usize,
+    /// `std::thread::available_parallelism()` of the host.
+    pub available_parallelism: usize,
+}
+
+impl SpeedupMeasurement {
+    /// Workers the parallel variant can actually run concurrently: the
+    /// configured pool capped by the host's cores.
+    pub fn effective_parallel_workers(&self) -> usize {
+        self.parallel_workers.min(self.available_parallelism.max(1))
+    }
+
+    /// Whether the pool degenerates — no more effective parallelism
+    /// than the sequential baseline, so the ratio measures noise.
+    pub fn is_degenerate(&self) -> bool {
+        self.effective_parallel_workers() <= self.sequential_workers.max(1)
+    }
+}
+
+/// The JSON fields every `BENCH_*.json` speedup block shares:
+/// configured and effective worker counts, both timings, and either a
+/// real `"speedup"` ratio or `"speedup": null` with a reason.
+pub fn speedup_fields(m: &SpeedupMeasurement) -> Vec<(String, Value)> {
+    let mut fields = vec![
+        (
+            "available_parallelism".to_string(),
+            Value::U64(m.available_parallelism as u64),
+        ),
+        (
+            "sequential_workers".to_string(),
+            Value::U64(m.sequential_workers as u64),
+        ),
+        (
+            "parallel_workers".to_string(),
+            Value::U64(m.parallel_workers as u64),
+        ),
+        (
+            "effective_parallel_workers".to_string(),
+            Value::U64(m.effective_parallel_workers() as u64),
+        ),
+        ("sequential_ms".to_string(), Value::F64(m.sequential_ms)),
+        ("parallel_ms".to_string(), Value::F64(m.parallel_ms)),
+    ];
+    if m.is_degenerate() {
+        fields.push(("speedup".to_string(), Value::Null));
+        fields.push((
+            "speedup_reason".to_string(),
+            Value::Str(format!(
+                "pool degenerates to {} effective worker(s) on a host with \
+                 available_parallelism={}; the ratio would measure noise",
+                m.effective_parallel_workers(),
+                m.available_parallelism,
+            )),
+        ));
+    } else {
+        fields.push((
+            "speedup".to_string(),
+            Value::F64(m.sequential_ms / m.parallel_ms),
+        ));
+    }
+    fields
+}
+
+/// [`speedup_fields`] merged into an existing JSON object (the bench's
+/// own metadata fields stay first).
+pub fn merge_speedup(base: Value, m: &SpeedupMeasurement) -> Value {
+    let mut entries = match base {
+        Value::Obj(entries) => entries,
+        other => vec![("base".to_string(), other)],
+    };
+    entries.extend(speedup_fields(m));
+    Value::Obj(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(parallel_workers: usize, cores: usize) -> SpeedupMeasurement {
+        SpeedupMeasurement {
+            sequential_ms: 100.0,
+            parallel_ms: 30.0,
+            sequential_workers: 1,
+            parallel_workers,
+            available_parallelism: cores,
+        }
+    }
+
+    #[test]
+    fn real_parallelism_reports_a_ratio() {
+        let v = merge_speedup(serde_json::json!({"benchmark": "x"}), &measurement(4, 8));
+        assert_eq!(v["benchmark"], "x");
+        assert_eq!(v["effective_parallel_workers"], 4);
+        let speedup = v["speedup"].as_f64().expect("numeric speedup");
+        assert!((speedup - 100.0 / 30.0).abs() < 1e-12);
+        assert!(v["speedup_reason"].is_null()); // absent key
+    }
+
+    #[test]
+    fn single_core_host_yields_null_speedup_with_reason() {
+        // Regression: a 4-worker pool on a 1-core host used to report
+        // "speedup": ~1.0 as if the parallelisation had been measured.
+        let v = merge_speedup(serde_json::json!({"benchmark": "x"}), &measurement(4, 1));
+        assert!(v["speedup"].is_null());
+        assert_eq!(v["effective_parallel_workers"], 1);
+        let reason = v["speedup_reason"].as_str().expect("reason present");
+        assert!(reason.contains("available_parallelism=1"));
+    }
+
+    #[test]
+    fn degenerate_pool_config_is_also_null() {
+        // A "parallel" variant configured with 1 worker is degenerate
+        // regardless of the host.
+        let v = merge_speedup(serde_json::json!({}), &measurement(1, 16));
+        assert!(v["speedup"].is_null());
+    }
+
+    #[test]
+    fn effective_workers_cap_at_cores() {
+        assert_eq!(measurement(8, 2).effective_parallel_workers(), 2);
+        assert_eq!(measurement(2, 8).effective_parallel_workers(), 2);
+        assert!(!measurement(2, 8).is_degenerate());
+    }
+}

@@ -9,6 +9,7 @@
 //! datalens repair   <file.csv> --tools sd,iqr --repairer ml_imputer [-o out.csv]
 //! datalens dashboard <file.csv> [--tools ...]     render all four tabs
 //! datalens serve    [--seed N] [--workers N] [--queue-depth N] [--workspace DIR]
+//!                   [--port N] [--http-workers N]
 //!                                                 REST tool + job service (Ctrl-C to stop)
 //! ```
 
@@ -20,7 +21,8 @@ use datalens::dashboard::{render_dashboard, render_tab, Tab};
 use datalens::jobs::rest::job_service_router;
 use datalens::jobs::{JobService, JobServiceConfig};
 use datalens::service::tool_service_router;
-use datalens_rest::Server;
+use datalens_obs::Registry;
+use datalens_rest::{metrics_router, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +63,8 @@ const USAGE: &str = "usage: datalens <datasets|profile|rules|detect|repair|dashb
 serve flags:  --workers N      job-service worker pool size (default 4)
               --queue-depth N  bounded job queue capacity (default 32)
               --workspace DIR  persist sessions + tracking runs under DIR
+              --port N         listen port (default 0 = ephemeral)
+              --http-workers N connection worker-pool size (default 8)
 common flags: --seed N   seed for stochastic tools
               --threads N   detect fan-out threads (0 = one per core)";
 
@@ -119,6 +123,7 @@ fn load(args: &[String]) -> Result<DashboardController, Box<dyn std::error::Erro
         workspace_dir: None,
         seed,
         threads,
+        ..Default::default()
     })?;
     if input.ends_with(".csv") {
         let text = std::fs::read_to_string(input)?;
@@ -224,24 +229,44 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let queue_depth: usize = flag_value(args, "--queue-depth")
         .and_then(|s| s.parse().ok())
         .unwrap_or(32);
+    let port: u16 = flag_value(args, "--port")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let http_workers: usize = flag_value(args, "--http-workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let workspace_dir = flag_value(args, "--workspace").map(std::path::PathBuf::from);
+    let metrics = Arc::new(Registry::new());
     let service = Arc::new(JobService::new(JobServiceConfig {
         workers,
         queue_depth,
         seed,
         workspace_dir,
+        metrics: Some(Arc::clone(&metrics)),
         ..JobServiceConfig::default()
     })?);
-    let router = tool_service_router(seed).merge(job_service_router(Arc::clone(&service)));
-    let server = Server::start(router)?;
+    let router = tool_service_router(seed)
+        .merge(job_service_router(Arc::clone(&service)))
+        .merge(metrics_router(Arc::clone(&metrics)));
+    let server = Server::start_on(
+        &format!("127.0.0.1:{port}"),
+        router,
+        ServerConfig {
+            workers: http_workers,
+            metrics: Some(metrics),
+            ..ServerConfig::default()
+        },
+    )?;
     println!(
-        "DataLens service on http://{} ({} workers, queue depth {})",
+        "DataLens service on http://{} ({} job workers, queue depth {}, {} connection workers)",
         server.addr(),
         service.config().workers,
-        service.config().queue_depth
+        service.config().queue_depth,
+        http_workers,
     );
     println!("tool bus:    GET /tools  POST /detect  POST /repair  POST /profile  PUT /context");
     println!("job service: POST /sessions  POST /sessions/{{id}}/jobs  GET /jobs/{{id}}[/result]  DELETE /jobs/{{id}}");
+    println!("metrics:     GET /metrics (JSON; ?format=prometheus for text exposition)");
     println!("press Ctrl-C to stop");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

@@ -35,6 +35,9 @@ pub struct DashboardConfig {
     /// Worker threads for the engine's detect fan-out (`0` = one per
     /// available core, `1` = sequential).
     pub threads: usize,
+    /// Metrics registry; when set, the engine observes every stage's
+    /// wall time into `engine_stage_ms{stage=…}` histograms.
+    pub metrics: Option<std::sync::Arc<datalens_obs::Registry>>,
 }
 
 /// Which FD miner to run.
@@ -92,7 +95,8 @@ impl DashboardController {
         let engine = Engine::new(EngineConfig {
             threads: config.threads,
             seed: config.seed,
-        });
+        })
+        .with_metrics(config.metrics.clone());
         Ok(DashboardController {
             config,
             engine,

@@ -172,6 +172,14 @@ pub fn render_jobs_panel(service: &crate::jobs::JobService) -> String {
     out
 }
 
+/// Render the "Metrics" panel: a condensed summary of the observability
+/// registry — request/connection counters, job-queue gauges, and the
+/// mean latency of every histogram (the terminal counterpart of a
+/// Grafana overview row; `GET /metrics` has the full buckets).
+pub fn render_metrics_panel(registry: &datalens_obs::Registry) -> String {
+    registry.render_text()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +246,34 @@ mod tests {
         assert!(text.contains("Pipeline stages"));
         assert!(text.contains("detect:sd"));
         assert!(text.contains("consolidate"));
+    }
+
+    #[test]
+    fn metrics_panel_reflects_job_runs() {
+        use crate::jobs::{JobService, JobServiceConfig, JobSpec};
+        use std::sync::Arc;
+
+        let registry = Arc::new(datalens_obs::Registry::new());
+        let empty = render_metrics_panel(&registry);
+        assert!(empty.contains("no metrics"));
+
+        let svc = JobService::new(JobServiceConfig {
+            metrics: Some(Arc::clone(&registry)),
+            ..JobServiceConfig::default()
+        })
+        .unwrap();
+        let sid = svc
+            .create_session_csv("demo.csv", "a,b\n1,x\n2,y\n,\n")
+            .unwrap();
+        let jid = svc.submit(sid, JobSpec::detect(&["mv_detector"])).unwrap();
+        svc.wait(jid, Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let text = render_metrics_panel(&registry);
+        assert!(text.contains("── Metrics ──"));
+        assert!(text.contains("jobs_submitted_total"));
+        assert!(text.contains("jobs_state_total{state=\"done\"}"));
+        assert!(text.contains("jobs_queue_wait_ms"));
+        assert!(text.contains("engine_stage_ms{stage=\"detect\"}"));
     }
 
     #[test]

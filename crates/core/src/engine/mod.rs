@@ -10,10 +10,12 @@
 pub mod report;
 pub mod stages;
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use datalens_detect::{ConsolidatedDetections, Detection, DetectionContext, Detector};
 use datalens_fd::{FdRule, RuleSet};
+use datalens_obs::{labeled, Registry};
 use datalens_profile::ProfileReport;
 use datalens_repair::{RepairContext, RepairResult, Repairer};
 use datalens_table::{CellRef, Table};
@@ -40,11 +42,23 @@ pub struct EngineConfig {
 #[derive(Debug, Clone)]
 pub struct Engine {
     config: EngineConfig,
+    /// When set, every stage's wall time is also observed into a
+    /// per-stage latency histogram (`engine_stage_ms{stage=…}`).
+    metrics: Option<Arc<Registry>>,
 }
 
 impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
-        Engine { config }
+        Engine {
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Attach a metrics registry (builder style).
+    pub fn with_metrics(mut self, metrics: Option<Arc<Registry>>) -> Engine {
+        self.metrics = metrics;
+        self
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -81,6 +95,11 @@ impl Engine {
             cells_processed: dims.1,
             flags_produced: flags,
         };
+        if let Some(metrics) = &self.metrics {
+            metrics
+                .latency_histogram(&labeled("engine_stage_ms", &[("stage", &report.stage)]))
+                .observe(wall_ms);
+        }
         (output, report)
     }
 

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -255,6 +255,9 @@ pub(crate) struct JobInner {
     pub id: u64,
     pub session: u64,
     pub spec: JobSpec,
+    /// When the job entered the queue — the baseline for the
+    /// queue-wait metric observed at claim time.
+    pub submitted: Instant,
     cancel: AtomicBool,
     progress: Mutex<Progress>,
     changed: Condvar,
@@ -266,6 +269,7 @@ impl JobInner {
             id,
             session,
             spec,
+            submitted: Instant::now(),
             cancel: AtomicBool::new(false),
             progress: Mutex::new(Progress {
                 state: JobState::Queued,

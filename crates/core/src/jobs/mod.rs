@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
+use datalens_obs::{labeled, Registry};
 use datalens_table::Table;
 use datalens_tracking::{RunStatus, TrackingError, TrackingStore, EXPERIMENT_JOBS};
 
@@ -70,6 +71,10 @@ pub struct JobServiceConfig {
     /// `<dir>/sessions/s<id>` (Delta versioning + per-session tracking)
     /// and job lifecycles are logged under `<dir>/mlruns`.
     pub workspace_dir: Option<PathBuf>,
+    /// Metrics registry. When set, the service records queue depth and
+    /// wait, running-job and state-transition counts, and the engine
+    /// stage timings of every job it runs.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl Default for JobServiceConfig {
@@ -80,7 +85,36 @@ impl Default for JobServiceConfig {
             seed: 0,
             threads: 1,
             workspace_dir: None,
+            metrics: None,
         }
+    }
+}
+
+/// Pre-registered handles for the service's hot-path metrics (the
+/// per-state and per-stage names are registered lazily on first use).
+struct JobMetrics {
+    registry: Arc<Registry>,
+    queue_depth: Arc<datalens_obs::Gauge>,
+    running: Arc<datalens_obs::Gauge>,
+    submitted: Arc<datalens_obs::Counter>,
+    queue_wait: Arc<datalens_obs::Histogram>,
+}
+
+impl JobMetrics {
+    fn new(registry: Arc<Registry>) -> JobMetrics {
+        JobMetrics {
+            queue_depth: registry.gauge("jobs_queue_depth"),
+            running: registry.gauge("jobs_running"),
+            submitted: registry.counter("jobs_submitted_total"),
+            queue_wait: registry.latency_histogram("jobs_queue_wait_ms"),
+            registry,
+        }
+    }
+
+    fn record_terminal(&self, state: JobState) {
+        self.registry
+            .counter(&labeled("jobs_state_total", &[("state", state.as_str())]))
+            .inc();
     }
 }
 
@@ -96,6 +130,7 @@ struct Inner {
     next_job: AtomicU64,
     stop: AtomicBool,
     tracking: Option<TrackingStore>,
+    metrics: Option<JobMetrics>,
 }
 
 /// The service façade: create sessions, submit jobs, poll, cancel.
@@ -116,6 +151,7 @@ impl JobService {
             ),
             None => None,
         };
+        let metrics = config.metrics.clone().map(JobMetrics::new);
         let inner = Arc::new(Inner {
             queues: StdMutex::new(SessionQueues::new(config.queue_depth)),
             work_cv: Condvar::new(),
@@ -125,6 +161,7 @@ impl JobService {
             next_job: AtomicU64::new(1),
             stop: AtomicBool::new(false),
             tracking,
+            metrics,
             config,
         });
         let n = inner.config.workers.max(1);
@@ -182,6 +219,7 @@ impl JobService {
             workspace_dir,
             seed: self.inner.config.seed,
             threads: self.inner.config.threads,
+            metrics: self.inner.config.metrics.clone(),
         })?;
         ingest(&mut ctrl)?;
         let dataset = ctrl.table()?.name().to_string();
@@ -232,9 +270,14 @@ impl JobService {
         }
         let id = self.inner.next_job.fetch_add(1, Ordering::SeqCst);
         let job = Arc::new(JobInner::new(id, session_id, spec));
-        {
+        let queued = {
             let mut q = self.inner.queues.lock().unwrap_or_else(|e| e.into_inner());
             q.push(Arc::clone(&job))?;
+            q.queued()
+        };
+        if let Some(m) = &self.inner.metrics {
+            m.submitted.inc();
+            m.queue_depth.set(queued as i64);
         }
         self.inner.jobs.write().insert(id, job);
         self.inner.work_cv.notify_one();
@@ -272,10 +315,13 @@ impl JobService {
     pub fn cancel(&self, job_id: u64) -> Result<JobStatus, JobError> {
         let job = self.job(job_id)?;
         job.request_cancel();
-        let removed = {
+        let (removed, queued) = {
             let mut q = self.inner.queues.lock().unwrap_or_else(|e| e.into_inner());
-            q.remove(job.session, job.id)
+            (q.remove(job.session, job.id), q.queued())
         };
+        if let Some(m) = &self.inner.metrics {
+            m.queue_depth.set(queued as i64);
+        }
         if removed {
             job.finish(JobState::Cancelled, None);
             self.finish_bookkeeping(&job);
@@ -326,19 +372,24 @@ impl Drop for JobService {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let claimed = {
+        let (claimed, queued) = {
             let mut q = inner.queues.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if inner.stop.load(Ordering::SeqCst) {
                     return;
                 }
                 if let Some(x) = q.pop() {
-                    break x;
+                    break (x, q.queued());
                 }
                 q = inner.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
         let (session_id, job) = claimed;
+        if let Some(m) = &inner.metrics {
+            m.queue_depth.set(queued as i64);
+            m.queue_wait
+                .observe(job.submitted.elapsed().as_secs_f64() * 1e3);
+        }
         run_job(inner, session_id, &job);
         let more = {
             let mut q = inner.queues.lock().unwrap_or_else(|e| e.into_inner());
@@ -367,6 +418,9 @@ fn run_job(inner: &Inner, session_id: u64, job: &JobInner) {
         finish_bookkeeping(inner, job);
         return;
     };
+    if let Some(m) = &inner.metrics {
+        m.running.add(1);
+    }
     let mut ctrl = slot.controller.lock();
     let mut cursor = ctrl.stage_reports().map(<[_]>::len).unwrap_or(0);
     let mut outcome = Ok(());
@@ -392,6 +446,9 @@ fn run_job(inner: &Inner, session_id: u64, job: &JobInner) {
         (true, _) => job.finish(JobState::Cancelled, None),
         (false, Ok(())) => job.finish(JobState::Done, None),
         (false, Err(e)) => job.finish(JobState::Failed, Some(e.to_string())),
+    }
+    if let Some(m) = &inner.metrics {
+        m.running.sub(1);
     }
     slot.jobs_finished.fetch_add(1, Ordering::SeqCst);
     finish_bookkeeping(inner, job);
@@ -503,8 +560,15 @@ fn drain_reports(ctrl: &DashboardController, cursor: &mut usize) -> Vec<StageRep
 }
 
 /// Terminal bookkeeping shared by workers and queue-side cancellation:
-/// one tracking run per job (best-effort).
+/// one state-transition metric and one tracking run per job
+/// (best-effort). Called exactly once per job, at its terminal state.
 fn finish_bookkeeping(inner: &Inner, job: &JobInner) {
+    if let Some(m) = &inner.metrics {
+        let (state, _, _) = job.result();
+        if state.is_terminal() {
+            m.record_terminal(state);
+        }
+    }
     let Some(store) = &inner.tracking else { return };
     let status = job.status();
     let log = || -> Result<(), TrackingError> {

@@ -1,0 +1,563 @@
+//! # datalens-obs
+//!
+//! Continuous operational measurement of the serving stack: a lock-cheap
+//! registry of [`Counter`]s, [`Gauge`]s, and fixed-bucket latency
+//! [`Histogram`]s, rendered as JSON or Prometheus text exposition format
+//! for the `GET /metrics` endpoint.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Recording is on the hot path** — every HTTP request, every queue
+//!    transition, every engine stage records here. Handles are `Arc`'d
+//!    atomics; recording is a handful of relaxed atomic ops and never
+//!    takes the registry lock.
+//! 2. **Registration is rare** — metric lookup by name takes a read
+//!    lock on first use; callers are expected to cache the returned
+//!    handle (all in-repo instrumentation does).
+//! 3. **Rendering is cold** — `GET /metrics` snapshots under the read
+//!    lock with relaxed loads; a snapshot is *consistent enough* for
+//!    monitoring, not a linearizable cut.
+//!
+//! Metric names follow the Prometheus convention `base{key="value",…}`:
+//! the label set is folded into the registry key, so the registry itself
+//! stays a flat ordered map ([`labeled`] builds such keys safely).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Bucket upper bounds (milliseconds) that cover everything from a
+/// sub-millisecond route hit to a minute-long pipeline stage. The last
+/// implicit bucket is `+Inf`.
+pub const LATENCY_MS_BUCKETS: [f64; 14] = [
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 5_000.0, 60_000.0,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depth, active
+/// connections).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram in the Prometheus style: per-bucket counts
+/// (non-cumulative internally), a total count, and a running sum.
+///
+/// Bounds are upper bucket edges, ascending; observations above the last
+/// bound land in an implicit `+Inf` bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum, stored as `f64` bits for a CAS-loop atomic add.
+    sum_bits: AtomicU64,
+}
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (the `+Inf` bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, `bounds.len() + 1` entries (last is `+Inf`).
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+impl Histogram {
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, AtomicU64::default);
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// A histogram with the default latency buckets.
+    pub fn latency_ms() -> Histogram {
+        Histogram::new(&LATENCY_MS_BUCKETS)
+    }
+
+    /// Record one observation. NaN observations are dropped (they would
+    /// poison the sum and match no bucket).
+    pub fn observe(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// The metric registry: an ordered map from full metric name (labels
+/// folded in) to the metric. Shared by `Arc` across the server, job
+/// service, and engine.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// If `name` is already registered as a different metric kind, a
+    /// detached handle is returned (recorded values go nowhere) rather
+    /// than corrupting the registered metric — a deliberate fail-soft
+    /// for the monitoring path.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.get(name) {
+            return c;
+        }
+        let mut metrics = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::default()),
+        }
+    }
+
+    /// Get or register the gauge `name` (same kind-mismatch contract as
+    /// [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.get(name) {
+            return g;
+        }
+        let mut metrics = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::default()),
+        }
+    }
+
+    /// Get or register the histogram `name` with the given bucket
+    /// bounds. An existing histogram keeps its original bounds.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.get(name) {
+            return h;
+        }
+        let mut metrics = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new(bounds)),
+        }
+    }
+
+    /// A latency histogram with the default millisecond buckets.
+    pub fn latency_histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram(name, &LATENCY_MS_BUCKETS)
+    }
+
+    fn get(&self, name: &str) -> Option<Metric> {
+        self.metrics
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Every registered metric name, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.metrics
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Snapshot as a JSON document:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let mut counters: Vec<(String, Value)> = Vec::new();
+        let mut gauges: Vec<(String, Value)> = Vec::new();
+        let mut histograms: Vec<(String, Value)> = Vec::new();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => counters.push((name.clone(), Value::U64(c.get()))),
+                Metric::Gauge(g) => gauges.push((name.clone(), Value::I64(g.get()))),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let buckets: Vec<Value> = s
+                        .bounds
+                        .iter()
+                        .map(|b| Value::F64(*b))
+                        .chain(std::iter::once(Value::Str("+Inf".into())))
+                        .zip(&s.buckets)
+                        .map(|(le, count)| serde_json::json!({"le": le, "count": *count}))
+                        .collect();
+                    histograms.push((
+                        name.clone(),
+                        serde_json::json!({
+                            "count": s.count,
+                            "sum": s.sum,
+                            "mean": if s.count == 0 { 0.0 } else { s.sum / s.count as f64 },
+                            "buckets": Value::Arr(buckets),
+                        }),
+                    ));
+                }
+            }
+        }
+        serde_json::json!({
+            "counters": Value::Obj(counters),
+            "gauges": Value::Obj(gauges),
+            "histograms": Value::Obj(histograms),
+        })
+    }
+
+    /// Snapshot in the Prometheus text exposition format (v0.0.4):
+    /// `# TYPE` lines per metric family, cumulative `_bucket{le=…}`
+    /// series plus `_sum`/`_count` for histograms.
+    pub fn to_prometheus(&self) -> String {
+        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for (name, metric) in metrics.iter() {
+            let (base, labels) = split_labels(name);
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            if typed.insert(base.to_string()) {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (bound, count) in s
+                        .bounds
+                        .iter()
+                        .map(|b| format!("{b}"))
+                        .chain(std::iter::once("+Inf".to_string()))
+                        .zip(&s.buckets)
+                    {
+                        cumulative += count;
+                        out.push_str(&format!(
+                            "{base}_bucket{{{}le=\"{bound}\"}} {cumulative}\n",
+                            join_labels(labels),
+                        ));
+                    }
+                    out.push_str(&format!("{base}_sum{labels} {}\n", s.sum));
+                    out.push_str(&format!("{base}_count{labels} {}\n", s.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// Compact plain-text summary for the dashboard's metrics panel.
+    pub fn render_text(&self) -> String {
+        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::from("── Metrics ──\n");
+        if metrics.is_empty() {
+            out.push_str("  (no metrics recorded yet)\n");
+            return out;
+        }
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("  {name:<56} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("  {name:<56} {}\n", g.get())),
+                Metric::Histogram(h) => out.push_str(&format!(
+                    "  {name:<56} n={} mean={:.3} ms\n",
+                    h.count(),
+                    h.mean(),
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// Build a `base{k="v",…}` metric name. Label values are escaped so a
+/// `"` or `\` in a route or tool name cannot break the exposition
+/// format.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{base}{{{}}}", body.join(","))
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Split `base{labels}` into `("base", "{labels}")`; the label part is
+/// empty when the name has none.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    }
+}
+
+/// `"{a=\"b\"}"` → `a="b",` (for splicing an extra `le` label in).
+fn join_labels(labels: &str) -> String {
+    let inner = labels.trim_start_matches('{').trim_end_matches('}');
+    if inner.is_empty() {
+        String::new()
+    } else {
+        format!("{inner},")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("requests_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same underlying counter.
+        assert_eq!(r.counter("requests_total").get(), 5);
+
+        let g = r.gauge("queue_depth");
+        g.set(7);
+        g.sub(2);
+        g.add(1);
+        assert_eq!(g.get(), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.9, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 1, 1, 1]); // last is +Inf
+        assert_eq!(s.count, 5);
+        assert!((s.sum - 556.4).abs() < 1e-9);
+        assert!((h.mean() - 556.4 / 5.0).abs() < 1e-9);
+        // NaN observations are dropped, not binned.
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn bucket_edges_are_inclusive_upper_bounds() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        assert_eq!(h.snapshot().buckets, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn labeled_names_escape_quotes() {
+        assert_eq!(labeled("m", &[]), "m");
+        assert_eq!(
+            labeled("m", &[("route", "/jobs/{id}"), ("method", "GET")]),
+            "m{route=\"/jobs/{id}\",method=\"GET\"}"
+        );
+        assert_eq!(labeled("m", &[("k", "a\"b\\c")]), "m{k=\"a\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_handle() {
+        let r = Registry::new();
+        r.counter("m").add(3);
+        // Asking for the same name as a gauge must not clobber the
+        // counter; the detached gauge just swallows writes.
+        let g = r.gauge("m");
+        g.set(99);
+        assert_eq!(r.counter("m").get(), 3);
+        assert_eq!(r.names(), vec!["m".to_string()]);
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let r = Registry::new();
+        r.counter("hits_total").add(2);
+        r.gauge("depth").set(1);
+        r.histogram("lat_ms", &[1.0, 10.0]).observe(3.0);
+        let v = r.to_json();
+        assert_eq!(v["counters"]["hits_total"], 2);
+        assert_eq!(v["gauges"]["depth"], 1);
+        assert_eq!(v["histograms"]["lat_ms"]["count"], 1);
+        assert_eq!(v["histograms"]["lat_ms"]["buckets"][1]["count"], 1);
+        assert_eq!(v["histograms"]["lat_ms"]["buckets"][2]["le"], "+Inf");
+    }
+
+    #[test]
+    fn prometheus_text_is_cumulative_with_labels() {
+        let r = Registry::new();
+        r.counter(&labeled("http_requests_total", &[("route", "/ping")]))
+            .add(3);
+        let h = r.histogram(
+            &labeled("http_request_ms", &[("route", "/ping")]),
+            &[1.0, 10.0],
+        );
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE http_requests_total counter"));
+        assert!(text.contains("http_requests_total{route=\"/ping\"} 3"));
+        assert!(text.contains("# TYPE http_request_ms histogram"));
+        assert!(text.contains("http_request_ms_bucket{route=\"/ping\",le=\"1\"} 1"));
+        assert!(text.contains("http_request_ms_bucket{route=\"/ping\",le=\"10\"} 2"));
+        assert!(text.contains("http_request_ms_bucket{route=\"/ping\",le=\"+Inf\"} 2"));
+        assert!(text.contains("http_request_ms_count{route=\"/ping\"} 2"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let r = Arc::new(Registry::new());
+        let c = r.counter("n");
+        let h = r.latency_histogram("ms");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let (c, h) = (Arc::clone(&c), Arc::clone(&h));
+                std::thread::spawn(move || {
+                    for i in 0..1_000 {
+                        c.inc();
+                        h.observe(i as f64 % 17.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 8_000);
+        assert_eq!(h.count(), 8_000);
+    }
+
+    #[test]
+    fn render_text_lists_metrics() {
+        let r = Registry::new();
+        assert!(r.render_text().contains("no metrics"));
+        r.counter("a_total").inc();
+        r.latency_histogram("b_ms").observe(2.0);
+        let text = r.render_text();
+        assert!(text.contains("a_total"));
+        assert!(text.contains("n=1"));
+    }
+}

@@ -9,35 +9,51 @@ pub struct Histogram {
     pub edges: Vec<f64>,
     /// Counts per bin, length `bins`.
     pub counts: Vec<usize>,
+    /// NaN inputs excluded from the bins — surfaced so the profile tab
+    /// can alert instead of silently mis-plotting.
+    pub nan_count: usize,
 }
 
 impl Histogram {
     /// Build a histogram with `bins` equal-width bins spanning the data
     /// range. The final bin is closed on both sides (max lands in it).
-    /// Returns `None` on empty input; constant data yields a single bin.
+    /// NaN values are excluded from the bins and reported via
+    /// [`Histogram::nan_count`] — the float-to-bin cast used to dump
+    /// them all into bin 0, skewing the distribution. Returns `None` on
+    /// empty (or all-NaN) input; constant data yields a single bin.
     pub fn build(values: &[f64], bins: usize) -> Option<Histogram> {
-        if values.is_empty() || bins == 0 {
+        if bins == 0 {
             return None;
         }
-        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let nan_count = values.iter().filter(|v| v.is_nan()).count();
+        let finite: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if min == max {
             return Some(Histogram {
                 edges: vec![min, max],
-                counts: vec![values.len()],
+                counts: vec![finite.len()],
+                nan_count,
             });
         }
         let width = (max - min) / bins as f64;
         let edges: Vec<f64> = (0..=bins).map(|i| min + width * i as f64).collect();
         let mut counts = vec![0usize; bins];
-        for &v in values {
+        for &v in &finite {
             let mut bin = ((v - min) / width) as usize;
             if bin >= bins {
                 bin = bins - 1;
             }
             counts[bin] += 1;
         }
-        Some(Histogram { edges, counts })
+        Some(Histogram {
+            edges,
+            counts,
+            nan_count,
+        })
     }
 
     pub fn n_bins(&self) -> usize {
@@ -107,5 +123,30 @@ mod tests {
         let text = h.render_ascii(20);
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn nans_are_excluded_and_counted() {
+        // Regression: NaN used to land in bin 0 via the float-to-usize
+        // cast, silently skewing the lowest bin.
+        let h = Histogram::build(&[f64::NAN, 0.0, 10.0, f64::NAN, 10.0], 2).unwrap();
+        assert_eq!(h.nan_count, 2);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts, vec![1, 2]);
+        let clean = Histogram::build(&[1.0, 2.0], 2).unwrap();
+        assert_eq!(clean.nan_count, 0);
+    }
+
+    #[test]
+    fn all_nan_input_is_none() {
+        assert!(Histogram::build(&[f64::NAN, f64::NAN], 4).is_none());
+    }
+
+    #[test]
+    fn nan_does_not_poison_edges() {
+        // With NaN present, min/max must come from the finite values.
+        let h = Histogram::build(&[f64::NAN, 2.0, 6.0], 2).unwrap();
+        assert_eq!(h.edges.first().copied(), Some(2.0));
+        assert_eq!(h.edges.last().copied(), Some(6.0));
     }
 }

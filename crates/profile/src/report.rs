@@ -174,6 +174,13 @@ impl ProfileReport {
                     out.push_str(line);
                     out.push('\n');
                 }
+                if h.nan_count > 0 {
+                    out.push_str(&format!(
+                        "   ! {} NaN value{} excluded from histogram\n",
+                        h.nan_count,
+                        if h.nan_count == 1 { "" } else { "s" },
+                    ));
+                }
             }
         }
         if !self.alerts.is_empty() {

@@ -1,5 +1,12 @@
 //! Blocking HTTP client for the tool bus.
+//!
+//! [`Client`] opens a fresh connection per request (`Connection: close`)
+//! — simple and stateless. [`Client::connect`] returns a [`Connection`]
+//! that keeps one socket open across requests (HTTP/1.1 keep-alive),
+//! which a dashboard poll loop should prefer: it pays the TCP handshake
+//! once instead of once per poll.
 
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -28,6 +35,7 @@ impl Client {
 
     fn send(&self, method: Method, path: &str, body: Vec<u8>) -> Result<Response, HttpError> {
         let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         let req = Request::new(method, path, body);
@@ -85,5 +93,61 @@ impl Client {
             )));
         }
         resp.json_body()
+    }
+
+    /// Open a persistent (keep-alive) connection to the server.
+    pub fn connect(&self) -> Result<Connection, HttpError> {
+        let stream = TcpStream::connect(self.addr)?;
+        // Without TCP_NODELAY, Nagle batching against delayed ACKs adds
+        // ~40 ms to every request/response pair on a persistent
+        // connection — dwarfing what keep-alive saves.
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let read_half = stream.try_clone()?;
+        Ok(Connection {
+            host: self.addr.to_string(),
+            stream,
+            reader: BufReader::new(read_half),
+        })
+    }
+}
+
+/// A persistent HTTP/1.1 connection: requests sent through it advertise
+/// `Connection: keep-alive` and reuse one socket until the server closes
+/// it (idle timeout, per-connection request cap, or shutdown), after
+/// which requests fail with an I/O error and the caller should
+/// [`Client::connect`] again.
+pub struct Connection {
+    host: String,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    fn send(&mut self, method: Method, path: &str, body: Vec<u8>) -> Result<Response, HttpError> {
+        let req = Request::new(method, path, body);
+        req.write_to_conn(&self.stream, &self.host, true)?;
+        Response::read_from_buffered(&mut self.reader)
+    }
+
+    /// GET over the persistent connection.
+    pub fn get(&mut self, path: &str) -> Result<Response, HttpError> {
+        self.send(Method::Get, path, Vec::new())
+    }
+
+    /// POST over the persistent connection.
+    pub fn post(&mut self, path: &str, body: Vec<u8>) -> Result<Response, HttpError> {
+        self.send(Method::Post, path, body)
+    }
+
+    /// PUT over the persistent connection.
+    pub fn put(&mut self, path: &str, body: Vec<u8>) -> Result<Response, HttpError> {
+        self.send(Method::Put, path, body)
+    }
+
+    /// DELETE over the persistent connection.
+    pub fn delete(&mut self, path: &str) -> Result<Response, HttpError> {
+        self.send(Method::Delete, path, Vec::new())
     }
 }

@@ -1,8 +1,16 @@
 //! Minimal HTTP/1.1 message types and wire parsing.
 //!
-//! Supports what a tool-integration bus needs — GET/POST/PUT, headers,
-//! Content-Length bodies, JSON helpers — and nothing more (no chunked
-//! encoding, no keep-alive pipelining; one request per connection).
+//! Supports what a tool-integration bus needs — GET/POST/PUT/DELETE,
+//! headers, Content-Length bodies, JSON helpers, and HTTP/1.1
+//! keep-alive (persistent connections with `Connection: close` /
+//! `keep-alive` negotiation) — and nothing more (no chunked encoding,
+//! no pipelining of unanswered requests).
+//!
+//! Parsing is strict where sloppiness would desynchronize a persistent
+//! connection: a malformed or duplicate `Content-Length` is a hard
+//! [`HttpError::Malformed`] (answered as 400 and closed by the server)
+//! rather than a silently assumed empty body that would make the body
+//! bytes parse as the next request's start.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -88,6 +96,8 @@ pub struct Request {
     pub query: BTreeMap<String, String>,
     pub headers: BTreeMap<String, String>,
     pub body: Vec<u8>,
+    /// Protocol version from the request line (`"HTTP/1.1"` when absent).
+    pub version: String,
 }
 
 impl Request {
@@ -100,6 +110,23 @@ impl Request {
             query,
             headers: BTreeMap::new(),
             body,
+            version: "HTTP/1.1".into(),
+        }
+    }
+
+    /// Whether the client asked (or defaulted) to keep the connection
+    /// open after this request: an explicit `Connection` header wins,
+    /// otherwise HTTP/1.1 defaults to keep-alive and older versions to
+    /// close.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self
+            .headers
+            .get("connection")
+            .map(|v| v.to_ascii_lowercase())
+        {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
         }
     }
 
@@ -118,8 +145,21 @@ impl Request {
     /// `Content-Length` above `max_body` *before* buffering the body.
     pub fn read_from_capped(stream: impl Read, max_body: usize) -> Result<Request, HttpError> {
         let mut reader = BufReader::new(stream);
+        Request::read_from_buffered(&mut reader, max_body)?
+            .ok_or_else(|| HttpError::Malformed("empty request".into()))
+    }
+
+    /// Read one request off a persistent (keep-alive) connection.
+    /// Returns `Ok(None)` on a clean close — EOF before any request
+    /// byte — which is how a keep-alive peer ends the conversation.
+    pub fn read_from_buffered(
+        reader: &mut impl BufRead,
+        max_body: usize,
+    ) -> Result<Option<Request>, HttpError> {
         let mut line = String::new();
-        reader.read_line(&mut line)?;
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
         let mut parts = line.split_whitespace();
         let method = parts
             .next()
@@ -129,20 +169,34 @@ impl Request {
             .next()
             .ok_or_else(|| HttpError::Malformed("missing request target".into()))?
             .to_string();
-        let headers = read_headers(&mut reader)?;
-        let body = read_body(&mut reader, &headers, max_body)?;
+        let version = parts.next().unwrap_or("HTTP/1.1").to_string();
+        let headers = read_headers(reader)?;
+        let body = read_body(reader, &headers, max_body)?;
         let (path, query) = split_query(&target);
-        Ok(Request {
+        Ok(Some(Request {
             method,
             path,
             query,
             headers,
             body,
-        })
+            version,
+        }))
     }
 
-    /// Serialise onto a stream (client side).
-    pub fn write_to(&self, mut w: impl Write, host: &str) -> Result<(), HttpError> {
+    /// Serialise onto a stream (client side), closing after the
+    /// exchange.
+    pub fn write_to(&self, w: impl Write, host: &str) -> Result<(), HttpError> {
+        self.write_to_conn(w, host, false)
+    }
+
+    /// Serialise onto a stream (client side), negotiating `keep_alive`
+    /// via the `Connection` header.
+    pub fn write_to_conn(
+        &self,
+        mut w: impl Write,
+        host: &str,
+        keep_alive: bool,
+    ) -> Result<(), HttpError> {
         let mut target = self.path.clone();
         if !self.query.is_empty() {
             let q: Vec<String> = self
@@ -155,7 +209,11 @@ impl Request {
         write!(w, "{} {} HTTP/1.1\r\n", self.method, target)?;
         write!(w, "host: {host}\r\n")?;
         write!(w, "content-length: {}\r\n", self.body.len())?;
-        write!(w, "connection: close\r\n")?;
+        write!(
+            w,
+            "connection: {}\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
         for (k, v) in &self.headers {
             write!(w, "{k}: {v}\r\n")?;
         }
@@ -214,6 +272,12 @@ impl Response {
     /// Read one response off a stream (client side).
     pub fn read_from(stream: impl Read) -> Result<Response, HttpError> {
         let mut reader = BufReader::new(stream);
+        Response::read_from_buffered(&mut reader)
+    }
+
+    /// Read one response off a persistent (keep-alive) connection whose
+    /// buffered reader outlives the exchange.
+    pub fn read_from_buffered(reader: &mut impl BufRead) -> Result<Response, HttpError> {
         let mut line = String::new();
         reader.read_line(&mut line)?;
         let mut parts = line.split_whitespace();
@@ -225,8 +289,8 @@ impl Response {
             .next()
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| HttpError::Malformed(format!("status in {line:?}")))?;
-        let headers = read_headers(&mut reader)?;
-        let body = read_body(&mut reader, &headers, MAX_BODY)?;
+        let headers = read_headers(reader)?;
+        let body = read_body(reader, &headers, MAX_BODY)?;
         Ok(Response {
             status,
             headers,
@@ -234,11 +298,22 @@ impl Response {
         })
     }
 
-    /// Serialise onto a stream (server side).
-    pub fn write_to(&self, mut w: impl Write) -> Result<(), HttpError> {
+    /// Serialise onto a stream (server side), closing after the
+    /// exchange.
+    pub fn write_to(&self, w: impl Write) -> Result<(), HttpError> {
+        self.write_to_conn(w, false)
+    }
+
+    /// Serialise onto a stream (server side), advertising whether the
+    /// server will keep the connection open.
+    pub fn write_to_conn(&self, mut w: impl Write, keep_alive: bool) -> Result<(), HttpError> {
         write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
         write!(w, "content-length: {}\r\n", self.body.len())?;
-        write!(w, "connection: close\r\n")?;
+        write!(
+            w,
+            "connection: {}\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
         for (k, v) in &self.headers {
             write!(w, "{k}: {v}\r\n")?;
         }
@@ -280,7 +355,14 @@ fn read_headers(reader: &mut impl BufRead) -> Result<BTreeMap<String, String>, H
         let Some((k, v)) = trimmed.split_once(':') else {
             return Err(HttpError::Malformed(format!("header line {trimmed:?}")));
         };
-        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        let key = k.trim().to_ascii_lowercase();
+        // A repeated Content-Length is a request-smuggling vector on a
+        // keep-alive connection (which length delimits the body?).
+        // Reject instead of last-wins overwriting.
+        if key == "content-length" && headers.contains_key(&key) {
+            return Err(HttpError::Malformed("duplicate content-length".into()));
+        }
+        headers.insert(key, v.trim().to_string());
     }
 }
 
@@ -289,10 +371,15 @@ fn read_body(
     headers: &BTreeMap<String, String>,
     max_body: usize,
 ) -> Result<Vec<u8>, HttpError> {
-    let len: usize = headers
-        .get("content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    // A declared length that does not parse (negative, non-numeric,
+    // overflowing) must NOT fall back to 0: under keep-alive the unread
+    // body bytes would be parsed as the start of the next request.
+    let len: usize = match headers.get("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("content-length {v:?}")))?,
+    };
     if len > max_body {
         return Err(HttpError::BodyTooLarge(len));
     }
@@ -464,6 +551,70 @@ mod tests {
     fn missing_content_length_means_empty_body() {
         let parsed = Request::read_from("GET /x HTTP/1.1\r\n\r\n".as_bytes()).unwrap();
         assert!(parsed.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_content_length_is_rejected_not_zeroed() {
+        // Regression: these used to parse as length 0, leaving the body
+        // bytes on the wire to desynchronize a keep-alive connection.
+        for bad in ["-5", "abc", "4x", "18446744073709551616"] {
+            let wire = format!("POST /x HTTP/1.1\r\ncontent-length: {bad}\r\n\r\nbody");
+            assert!(
+                matches!(
+                    Request::read_from(wire.as_bytes()),
+                    Err(HttpError::Malformed(_))
+                ),
+                "content-length {bad:?} must be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Regression: duplicates used to be last-wins overwritten.
+        let wire = "POST /x HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 2\r\n\r\nbody";
+        assert!(matches!(
+            Request::read_from(wire.as_bytes()),
+            Err(HttpError::Malformed(_))
+        ));
+        // Repeating any *other* header stays last-wins.
+        let wire = "POST /x HTTP/1.1\r\nx-tag: a\r\nx-tag: b\r\ncontent-length: 2\r\n\r\nhi";
+        let parsed = Request::read_from(wire.as_bytes()).unwrap();
+        assert_eq!(parsed.headers["x-tag"], "b");
+        assert_eq!(parsed.body, b"hi");
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_header_then_version() {
+        let req = |wire: &str| Request::read_from(wire.as_bytes()).unwrap();
+        assert!(req("GET /x HTTP/1.1\r\n\r\n").wants_keep_alive());
+        assert!(!req("GET /x HTTP/1.0\r\n\r\n").wants_keep_alive());
+        assert!(!req("GET /x HTTP/1.1\r\nconnection: close\r\n\r\n").wants_keep_alive());
+        assert!(req("GET /x HTTP/1.0\r\nconnection: keep-alive\r\n\r\n").wants_keep_alive());
+        assert!(req("GET /x HTTP/1.0\r\nconnection: Keep-Alive\r\n\r\n").wants_keep_alive());
+    }
+
+    #[test]
+    fn buffered_reads_preserve_pipelined_messages() {
+        // Two requests on one stream: the persistent-connection reader
+        // must leave the second intact, and report a clean EOF after.
+        let wire = "POST /a HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi\
+                    GET /b HTTP/1.1\r\n\r\n";
+        let mut reader = std::io::BufReader::new(wire.as_bytes());
+        let a = Request::read_from_buffered(&mut reader, MAX_BODY)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            (a.path.as_str(), a.body.as_slice()),
+            ("/a", b"hi".as_slice())
+        );
+        let b = Request::read_from_buffered(&mut reader, MAX_BODY)
+            .unwrap()
+            .unwrap();
+        assert_eq!(b.path, "/b");
+        assert!(Request::read_from_buffered(&mut reader, MAX_BODY)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

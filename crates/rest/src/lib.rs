@@ -7,8 +7,12 @@
 //! retrieves results, PUT updates information."
 //!
 //! A deliberately small HTTP/1.1 stack over `std::net`: [`http`] message
-//! types with JSON helpers, a threaded [`server::Server`] with a
-//! method+path [`server::Router`], and a blocking [`client::Client`].
+//! types with JSON helpers, a [`server::Server`] that drains accepted
+//! connections through a bounded keep-alive worker pool, and a blocking
+//! [`client::Client`] (with [`client::Connection`] for persistent
+//! keep-alive sessions). Attach a `datalens_obs::Registry` via
+//! [`server::ServerConfig::metrics`] and mount [`server::metrics_router`]
+//! to expose per-route counters and latency histograms at `GET /metrics`.
 //! The adapter that exposes detectors/repairers as endpoints lives in the
 //! `datalens` core crate (`datalens::service`), keeping this crate free of
 //! domain dependencies.
@@ -17,9 +21,9 @@ pub mod client;
 pub mod http;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, Connection};
 pub use http::{Method, Request, Response};
-pub use server::{PathParams, Router, Server, ServerConfig};
+pub use server::{metrics_router, PathParams, Router, Server, ServerConfig};
 
 #[cfg(test)]
 mod proptests {

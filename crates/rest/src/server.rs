@@ -1,16 +1,40 @@
-//! Threaded HTTP server with a method+path router.
+//! HTTP server with a bounded connection worker pool and a method+path
+//! router.
 //!
 //! The reproduction's FastAPI: handlers register under `(method, path)`
-//! where path segments may be `{param}` placeholders (`/jobs/{id}`);
-//! each accepted connection is served on a worker thread; unmatched paths
-//! get 404, unmatched methods 405, panicking handlers 500.
+//! where path segments may be `{param}` placeholders (`/jobs/{id}`).
+//! Unmatched paths get 404, unmatched methods 405, panicking handlers
+//! 500.
+//!
+//! ## Serving model
+//!
+//! Accepted connections are pushed onto a **bounded queue** drained by a
+//! **fixed pool** of worker threads ([`ServerConfig::workers`]): at most
+//! `workers` connections are served concurrently, and when both the pool
+//! and the queue ([`ServerConfig::accept_backlog`]) are saturated the
+//! accept loop itself blocks — backpressure lands in the listener's OS
+//! backlog instead of an unbounded `thread::spawn` per connection.
+//!
+//! Each worker speaks **HTTP/1.1 keep-alive**: it serves requests off
+//! one connection until the peer (or an explicit `Connection: close`)
+//! ends it, the per-connection request cap is reached, or the idle
+//! timeout expires — so a dashboard poll loop pays one TCP connect for
+//! its whole session instead of one per poll.
+//!
+//! With a [`Registry`] attached ([`ServerConfig::metrics`]) the server
+//! records per-route request counts, latency histograms, and status
+//! counters, plus connection-level gauges; mount [`metrics_router`] to
+//! expose them at `GET /metrics`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use datalens_obs::{labeled, Registry};
 
 use crate::http::{HttpError, Method, Request, Response, MAX_BODY};
 
@@ -30,6 +54,9 @@ enum Segment {
 
 struct Route {
     method: Method,
+    /// The pattern as registered (`/jobs/{id}`) — the low-cardinality
+    /// label for per-route metrics.
+    pattern: String,
     segments: Vec<Segment>,
     handler: Handler,
 }
@@ -52,6 +79,24 @@ fn compile(path: &str) -> Vec<Segment> {
         .collect()
 }
 
+/// Does pattern `a` beat pattern `b` for the same path? Literal segments
+/// are more specific than `{param}` segments, compared left to right
+/// (`/jobs/stats` beats `/jobs/{id}`). Equal specificity keeps the
+/// earlier registration.
+fn more_specific(a: &[Segment], b: &[Segment]) -> bool {
+    for (x, y) in a.iter().zip(b) {
+        match (
+            matches!(x, Segment::Literal(_)),
+            matches!(y, Segment::Literal(_)),
+        ) {
+            (true, false) => return true,
+            (false, true) => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
 impl Router {
     pub fn new() -> Router {
         Router::default()
@@ -67,14 +112,16 @@ impl Router {
     ) -> Router {
         self.routes.push(Arc::new(Route {
             method,
+            pattern: path.to_string(),
             segments: compile(path),
             handler: Arc::new(handler),
         }));
         self
     }
 
-    /// Append every route of `other` (later registrations win only if
-    /// earlier ones never match, so merge disjoint route sets).
+    /// Append every route of `other`. Dispatch prefers the most specific
+    /// matching pattern (literal over `{param}`), so merging routers
+    /// with disjoint literal/param overlaps is order-independent.
     pub fn merge(mut self, other: Router) -> Router {
         self.routes.extend(other.routes);
         self
@@ -101,8 +148,17 @@ impl Router {
     /// Dispatch one request. The route lookup borrows `req.path` — the
     /// request is never cloned.
     pub fn dispatch(&self, req: &Request) -> Response {
+        self.dispatch_traced(req).0
+    }
+
+    /// [`Router::dispatch`] that also reports which route pattern
+    /// handled the request (`None` for 404/405), for per-route metrics.
+    pub fn dispatch_traced(&self, req: &Request) -> (Response, Option<String>) {
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         let mut path_matched = false;
+        // Most-specific match wins: a literal route is never shadowed by
+        // a `{param}` route registered (or merged in) before it.
+        let mut best: Option<(&Route, PathParams)> = None;
         for route in &self.routes {
             let Some(params) = Router::matches(&route.segments, &segments) else {
                 continue;
@@ -111,34 +167,54 @@ impl Router {
                 path_matched = true;
                 continue;
             }
+            match &best {
+                Some((incumbent, _)) if !more_specific(&route.segments, &incumbent.segments) => {}
+                _ => best = Some((route, params)),
+            }
+        }
+        if let Some((route, params)) = best {
             // Contain handler panics to a 500 for this request.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 (route.handler)(req, &params)
             }));
-            return match outcome {
+            let resp = match outcome {
                 Ok(resp) => resp,
                 Err(_) => Response::error(500, "handler panicked"),
             };
+            return (resp, Some(route.pattern.clone()));
         }
         if path_matched {
-            Response::error(405, "method not allowed")
+            (Response::error(405, "method not allowed"), None)
         } else {
-            Response::error(404, "no such route")
+            (Response::error(404, "no such route"), None)
         }
     }
 }
 
-/// Per-listener limits and timeouts.
+/// Per-listener limits, timeouts, pool sizing, and instrumentation.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Read timeout on accepted connections (a stalled client cannot pin
-    /// a connection thread forever).
+    /// Read timeout while parsing a request (a stalled client cannot pin
+    /// a pool worker forever).
     pub read_timeout: Option<Duration>,
     /// Write timeout on accepted connections.
     pub write_timeout: Option<Duration>,
     /// Largest accepted request body; bigger declared `Content-Length`s
     /// are rejected with 413 before any buffering.
     pub max_body: usize,
+    /// Connection worker-pool size: the hard bound on concurrently
+    /// served connections (≥ 1).
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// accept loop blocks (backpressure into the OS listen backlog).
+    pub accept_backlog: usize,
+    /// Requests served on one keep-alive connection before the server
+    /// closes it (guards a worker against a monopolizing client).
+    pub max_requests_per_conn: usize,
+    /// How long a keep-alive connection may sit idle between requests.
+    pub keep_alive_timeout: Option<Duration>,
+    /// Metrics registry for per-route and connection instrumentation.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl Default for ServerConfig {
@@ -147,16 +223,89 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             max_body: MAX_BODY,
+            workers: 8,
+            accept_backlog: 32,
+            max_requests_per_conn: 1_000,
+            keep_alive_timeout: Some(Duration::from_secs(5)),
+            metrics: None,
         }
     }
 }
 
+/// The bounded hand-off between the accept loop and the worker pool.
+struct ConnQueue {
+    conns: Mutex<VecDeque<TcpStream>>,
+    capacity: usize,
+    stop: AtomicBool,
+    /// Workers wait here for connections.
+    ready: Condvar,
+    /// The accept loop waits here for queue space.
+    space: Condvar,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            conns: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            stop: AtomicBool::new(false),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    /// Block until there is room, then enqueue. Returns `false` when the
+    /// server is stopping.
+    fn push(&self, stream: TcpStream) -> bool {
+        let mut q = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        while q.len() >= self.capacity {
+            if self.stop.load(Ordering::SeqCst) {
+                return false;
+            }
+            q = self.space.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        if self.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Block until a connection is available; `None` when stopping.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(stream) = q.pop_front() {
+                drop(q);
+                self.space.notify_one();
+                return Some(stream);
+            }
+            q = self.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut q = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        q.clear(); // drop queued, never-served connections
+        drop(q);
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
 /// A running server; dropping it (or calling [`Server::shutdown`]) stops
-/// the accept loop.
+/// the accept loop and the worker pool.
 pub struct Server {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -168,26 +317,61 @@ impl Server {
 
     /// [`Server::start`] with explicit limits and timeouts.
     pub fn start_with(router: Router, config: ServerConfig) -> Result<Server, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        Server::start_on("127.0.0.1:0", router, config)
+    }
+
+    /// Bind to an explicit address (`"127.0.0.1:8080"`); port 0 picks an
+    /// ephemeral port.
+    pub fn start_on(addr: &str, router: Router, config: ServerConfig) -> Result<Server, HttpError> {
+        let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
+        let queue = Arc::new(ConnQueue::new(config.accept_backlog));
         let router = Arc::new(router);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if stop_flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
                 let router = Arc::clone(&router);
                 let config = config.clone();
-                std::thread::spawn(move || serve_connection(stream, &router, &config));
-            }
-        });
+                std::thread::Builder::new()
+                    .name(format!("datalens-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            serve_connection(stream, &router, &config, &queue.stop);
+                        }
+                    })
+                    .expect("spawn http worker")
+            })
+            .collect();
+
+        let accept_queue = Arc::clone(&queue);
+        let accepted = config
+            .metrics
+            .as_ref()
+            .map(|m| m.counter("http_connections_total"));
+        let accept_thread = std::thread::Builder::new()
+            .name("datalens-http-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_queue.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if let Some(c) = &accepted {
+                        c.inc();
+                    }
+                    if !accept_queue.push(stream) {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+
         Ok(Server {
             addr,
-            stop,
+            queue,
             accept_thread: Some(accept_thread),
+            workers,
         })
     }
 
@@ -196,14 +380,20 @@ impl Server {
         self.addr
     }
 
-    /// Stop accepting connections.
+    /// Stop accepting connections and wind down the worker pool. Workers
+    /// finish the request they are writing; idle keep-alive connections
+    /// are closed at their next read timeout.
     pub fn shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
+        if self.queue.stop.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.queue.shutdown();
         // Kick the accept loop awake.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
@@ -215,19 +405,111 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, router: &Router, config: &ServerConfig) {
-    let _ = stream.set_read_timeout(config.read_timeout);
+/// Serve one connection until the peer closes, keep-alive is exhausted,
+/// or the server stops.
+/// Serve requests off one connection until the client closes, a
+/// protocol error occurs, or the per-connection limits are hit.
+///
+/// TCP_NODELAY is set once up front: a keep-alive exchange is a
+/// ping-pong of small writes, and Nagle batching against the peer's
+/// delayed ACKs would add ~40 ms to every round trip.
+fn serve_connection(stream: TcpStream, router: &Router, config: &ServerConfig, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(config.write_timeout);
-    let Ok(peer_read) = stream.try_clone() else {
+    let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let response = match Request::read_from_capped(peer_read, config.max_body) {
-        Ok(req) => router.dispatch(&req),
-        Err(HttpError::BodyTooLarge(_)) => Response::error(413, "body too large"),
-        Err(_) => Response::error(400, "malformed request"),
-    };
-    let _ = response.write_to(&stream);
+    let active = config
+        .metrics
+        .as_ref()
+        .map(|m| m.gauge("http_connections_active"));
+    if let Some(g) = &active {
+        g.add(1);
+    }
+    let mut reader = BufReader::new(read_half);
+    let mut served = 0usize;
+    loop {
+        // The first request gets the full read timeout; between requests
+        // the (typically shorter) keep-alive idle timeout applies.
+        let timeout = if served == 0 {
+            config.read_timeout
+        } else {
+            config.keep_alive_timeout.or(config.read_timeout)
+        };
+        let _ = stream.set_read_timeout(timeout);
+        let started = Instant::now();
+        let (response, keep_alive) = match Request::read_from_buffered(&mut reader, config.max_body)
+        {
+            Ok(None) => break, // clean close between requests
+            Ok(Some(req)) => {
+                served += 1;
+                let keep = req.wants_keep_alive()
+                    && served < config.max_requests_per_conn
+                    && !stop.load(Ordering::SeqCst);
+                let (resp, route) = router.dispatch_traced(&req);
+                record_request(config, &req, route.as_deref(), &resp, started);
+                (resp, keep)
+            }
+            Err(HttpError::BodyTooLarge(_)) => (Response::error(413, "body too large"), false),
+            Err(HttpError::Malformed(m)) => (Response::error(400, &m), false),
+            Err(HttpError::Io(_)) => break, // timeout / reset mid-read
+        };
+        if response.write_to_conn(&stream, keep_alive).is_err() || !keep_alive {
+            break;
+        }
+    }
+    if let Some(g) = &active {
+        g.sub(1);
+    }
     let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn record_request(
+    config: &ServerConfig,
+    req: &Request,
+    route: Option<&str>,
+    resp: &Response,
+    started: Instant,
+) {
+    let Some(metrics) = &config.metrics else {
+        return;
+    };
+    let route = route.unwrap_or("unmatched");
+    metrics
+        .counter(&labeled(
+            "http_requests_total",
+            &[
+                ("route", route),
+                ("method", req.method.as_str()),
+                ("status", &resp.status.to_string()),
+            ],
+        ))
+        .inc();
+    metrics
+        .latency_histogram(&labeled("http_request_ms", &[("route", route)]))
+        .observe(started.elapsed().as_secs_f64() * 1e3);
+}
+
+/// A router exposing `registry` at `GET /metrics`: JSON by default, the
+/// Prometheus text exposition format with `?format=prometheus` (or an
+/// `Accept: text/plain` header). Merge it onto the service router.
+pub fn metrics_router(registry: Arc<Registry>) -> Router {
+    Router::new().route(Method::Get, "/metrics", move |req, _| {
+        let wants_text = req.query.get("format").is_some_and(|f| {
+            f.eq_ignore_ascii_case("prometheus") || f.eq_ignore_ascii_case("text")
+        }) || req
+            .headers
+            .get("accept")
+            .is_some_and(|a| a.contains("text/plain"));
+        if wants_text {
+            let mut resp = Response::new(200, registry.to_prometheus().into_bytes());
+            resp.headers
+                .insert("content-type".into(), "text/plain; version=0.0.4".into());
+            resp
+        } else {
+            Response::json(&registry.to_json())
+        }
+    })
 }
 
 #[cfg(test)]
@@ -295,6 +577,56 @@ mod tests {
         assert_eq!(client.get("/jobs/1/2/3").unwrap().status, 404);
         // Matching path, unregistered method → 405.
         assert_eq!(client.post("/jobs/42", Vec::new()).unwrap().status, 405);
+    }
+
+    #[test]
+    fn literal_routes_beat_param_routes_regardless_of_order() {
+        // Regression: `/jobs/{id}` registered first used to permanently
+        // shadow `/jobs/stats`.
+        let router = Router::new()
+            .route(Method::Get, "/jobs/{id}", |_, params| {
+                Response::json(&serde_json::json!({"job": params["id"]}))
+            })
+            .route(Method::Get, "/jobs/stats", |_, _| {
+                Response::json(&serde_json::json!({"stats": true}))
+            });
+        let server = Server::start(router).unwrap();
+        let client = Client::new(server.addr());
+        let v: serde_json::Value = client.get("/jobs/stats").unwrap().json_body().unwrap();
+        assert_eq!(v["stats"], true);
+        let v: serde_json::Value = client.get("/jobs/7").unwrap().json_body().unwrap();
+        assert_eq!(v["job"], "7");
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_literal_param_overlaps() {
+        let param = Router::new().route(Method::Get, "/jobs/{id}", |_, params| {
+            Response::json(&serde_json::json!({"job": params["id"]}))
+        });
+        let literal = Router::new().route(Method::Get, "/jobs/stats", |_, _| {
+            Response::json(&serde_json::json!({"stats": true}))
+        });
+        for router in [param.clone().merge(literal.clone()), literal.merge(param)] {
+            let req = Request::new(Method::Get, "/jobs/stats", Vec::new());
+            let (resp, route) = router.dispatch_traced(&req);
+            let v: serde_json::Value = resp.json_body().unwrap();
+            assert_eq!(v["stats"], true);
+            assert_eq!(route.as_deref(), Some("/jobs/stats"));
+        }
+    }
+
+    #[test]
+    fn deeper_literal_prefix_wins_at_first_divergence() {
+        let router = Router::new()
+            .route(Method::Get, "/a/{x}/c", |_, _| {
+                Response::json(&serde_json::json!({"which": "param-first"}))
+            })
+            .route(Method::Get, "/a/b/{y}", |_, _| {
+                Response::json(&serde_json::json!({"which": "literal-first"}))
+            });
+        let req = Request::new(Method::Get, "/a/b/c", Vec::new());
+        let v: serde_json::Value = router.dispatch(&req).json_body().unwrap();
+        assert_eq!(v["which"], "literal-first");
     }
 
     #[test]
@@ -369,5 +701,167 @@ mod tests {
         // After shutdown, requests fail (connection refused or reset).
         let client = Client::new(addr);
         assert!(client.get("/ping").is_err());
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_socket() {
+        let server = Server::start(demo_router()).unwrap();
+        let client = Client::new(server.addr());
+        let mut conn = client.connect().unwrap();
+        for i in 0..10 {
+            let body = format!("round-{i}").into_bytes();
+            let r = conn.post("/echo", body.clone()).unwrap();
+            assert_eq!(r.status, 200);
+            assert_eq!(r.body, body);
+            assert_eq!(
+                r.headers.get("connection").map(String::as_str),
+                Some("keep-alive")
+            );
+        }
+        drop(conn);
+    }
+
+    #[test]
+    fn request_cap_closes_keep_alive_connections() {
+        let server = Server::start_with(
+            demo_router(),
+            ServerConfig {
+                max_requests_per_conn: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let client = Client::new(server.addr());
+        let mut conn = client.connect().unwrap();
+        for _ in 0..2 {
+            let r = conn.get("/ping").unwrap();
+            assert_eq!(
+                r.headers.get("connection").map(String::as_str),
+                Some("keep-alive")
+            );
+        }
+        // The capped request is answered but the server closes after it.
+        let r = conn.get("/ping").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            r.headers.get("connection").map(String::as_str),
+            Some("close")
+        );
+        assert!(conn.get("/ping").is_err());
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let server = Server::start(demo_router()).unwrap();
+        // The plain client sends `connection: close` on every request.
+        let client = Client::new(server.addr());
+        let r = client.get("/ping").unwrap();
+        assert_eq!(
+            r.headers.get("connection").map(String::as_str),
+            Some("close")
+        );
+    }
+
+    #[test]
+    fn malformed_content_length_is_answered_400_and_closed() {
+        let server = Server::start(demo_router()).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        use std::io::Write;
+        (&stream)
+            .write_all(b"POST /echo HTTP/1.1\r\ncontent-length: -5\r\n\r\n")
+            .unwrap();
+        let resp = Response::read_from(&stream).unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(
+            resp.headers.get("connection").map(String::as_str),
+            Some("close")
+        );
+    }
+
+    #[test]
+    fn pool_bounds_concurrent_connections() {
+        use std::sync::atomic::AtomicUsize;
+
+        // Every handler parks long enough that all in-flight requests
+        // overlap; the observed high-water mark of concurrently running
+        // handlers must not exceed the pool size.
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let high_water = Arc::new(AtomicUsize::new(0));
+        let (inf, hw) = (Arc::clone(&in_flight), Arc::clone(&high_water));
+        let router = Router::new().route(Method::Get, "/slow", move |_, _| {
+            let now = inf.fetch_add(1, Ordering::SeqCst) + 1;
+            hw.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(30));
+            inf.fetch_sub(1, Ordering::SeqCst);
+            Response::json(&serde_json::json!({"ok": true}))
+        });
+        let workers = 3;
+        let server = Server::start_with(
+            router,
+            ServerConfig {
+                workers,
+                accept_backlog: 4,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let clients: Vec<_> = (0..16)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let r = Client::new(addr).get("/slow").unwrap();
+                    assert_eq!(r.status, 200);
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert!(
+            high_water.load(Ordering::SeqCst) <= workers,
+            "high-water {} exceeded pool of {workers}",
+            high_water.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn per_route_metrics_are_recorded() {
+        let registry = Arc::new(Registry::new());
+        let server = Server::start_with(
+            demo_router().merge(metrics_router(Arc::clone(&registry))),
+            ServerConfig {
+                metrics: Some(Arc::clone(&registry)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let client = Client::new(server.addr());
+        client.get("/ping").unwrap();
+        client.get("/ping").unwrap();
+        client.get("/jobs/9").unwrap();
+        client.get("/definitely-not-a-route").unwrap();
+
+        let v: serde_json::Value = client.get("/metrics").unwrap().json_body().unwrap();
+        let c = &v["counters"];
+        assert_eq!(
+            c["http_requests_total{route=\"/ping\",method=\"GET\",status=\"200\"}"],
+            2
+        );
+        assert_eq!(
+            c["http_requests_total{route=\"/jobs/{id}\",method=\"GET\",status=\"200\"}"],
+            1
+        );
+        assert_eq!(
+            c["http_requests_total{route=\"unmatched\",method=\"GET\",status=\"404\"}"],
+            1
+        );
+        let h = &v["histograms"]["http_request_ms{route=\"/ping\"}"];
+        assert_eq!(h["count"], 2);
+
+        // Prometheus rendering of the same registry.
+        let r = client.get("/metrics?format=prometheus").unwrap();
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("# TYPE http_requests_total counter"));
+        assert!(text.contains("http_request_ms_bucket{route=\"/ping\",le=\"+Inf\"}"));
     }
 }

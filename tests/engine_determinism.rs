@@ -25,6 +25,7 @@ fn run_pipeline(dataset: &str, threads: usize) -> (ConsolidatedDetections, Table
         workspace_dir: None,
         seed: 11,
         threads,
+        ..Default::default()
     })
     .unwrap();
     dash.ingest_dirty_dataset(&dd, dataset).unwrap();

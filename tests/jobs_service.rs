@@ -102,6 +102,7 @@ fn sequential_repair(csv: &str) -> (usize, usize, String) {
         workspace_dir: None,
         seed: 0,
         threads: 1,
+        ..Default::default()
     })
     .unwrap();
     ctrl.ingest_csv_text("client.csv", csv).unwrap();

@@ -1,0 +1,358 @@
+//! Integration tests for the hardened serving path: the bounded
+//! keep-alive connection pool in front of the real job service, the
+//! strict Content-Length protocol checks over the wire, route
+//! specificity across merged routers, and the `/metrics` endpoint
+//! after actual job traffic.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datalens::jobs::rest::{job_service_router, CreateSessionRequest, CreateSessionResponse};
+use datalens::jobs::{JobService, JobServiceConfig, JobSpec, JobStep};
+use datalens_obs::Registry;
+use datalens_rest::{
+    metrics_router, Client, Method, Request, Response, Router, Server, ServerConfig,
+};
+
+/// A job service with `workers` pipeline workers, shared metrics
+/// registry, served over the given HTTP pool configuration.
+fn start_service(workers: usize, config: ServerConfig) -> (Arc<JobService>, Arc<Registry>, Server) {
+    let registry = Arc::new(Registry::new());
+    let service = Arc::new(
+        JobService::new(JobServiceConfig {
+            workers,
+            queue_depth: 64,
+            metrics: Some(Arc::clone(&registry)),
+            ..JobServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let router =
+        job_service_router(Arc::clone(&service)).merge(metrics_router(Arc::clone(&registry)));
+    let server = Server::start_with(
+        router,
+        ServerConfig {
+            metrics: Some(Arc::clone(&registry)),
+            ..config
+        },
+    )
+    .unwrap();
+    (service, registry, server)
+}
+
+fn open_session(client: &Client) -> u64 {
+    let resp: CreateSessionResponse = client
+        .post_json(
+            "/sessions",
+            &CreateSessionRequest {
+                file_name: Some("serve.csv".to_string()),
+                csv: Some("a,b\n1,x\n2,y\n,\n".to_string()),
+                ..CreateSessionRequest::default()
+            },
+        )
+        .unwrap();
+    resp.session.session_id
+}
+
+/// One persistent connection drives the whole submit/poll/result cycle:
+/// the dashboard's hot path never pays per-request TCP setup.
+#[test]
+fn keep_alive_connection_serves_the_whole_job_cycle() {
+    let (_service, _registry, server) = start_service(2, ServerConfig::default());
+    let client = Client::new(server.addr());
+    let session = open_session(&client);
+
+    let mut conn = client.connect().unwrap();
+    for _ in 0..3 {
+        let spec = serde_json::to_vec(&JobSpec::detect(&["mv_detector"])).unwrap();
+        let resp = conn
+            .post(&format!("/sessions/{session}/jobs"), spec)
+            .unwrap();
+        assert_eq!(resp.status, 202);
+        let submitted: serde_json::Value = resp.json_body().unwrap();
+        let job_id = submitted["jobId"].as_u64().unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let resp = conn.get(&format!("/jobs/{job_id}")).unwrap();
+            assert_eq!(resp.status, 200);
+            let status: serde_json::Value = resp.json_body().unwrap();
+            match status["state"].as_str().unwrap_or_default() {
+                "Done" => break,
+                "Failed" | "Cancelled" => panic!("job failed: {status:?}"),
+                _ => std::thread::sleep(Duration::from_millis(2)),
+            }
+            assert!(Instant::now() < deadline, "job never finished");
+        }
+        let resp = conn.get(&format!("/jobs/{job_id}/result")).unwrap();
+        assert_eq!(resp.status, 200);
+    }
+}
+
+/// Raw-socket request with hand-written headers; returns the status the
+/// server answers with (it must 400 and close on protocol violations
+/// instead of misparsing the length).
+fn raw_request_status(addr: std::net::SocketAddr, target: &str, cl_lines: &str) -> u16 {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n{cl_lines}\r\n{{}}"
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    let head = String::from_utf8_lossy(&buf);
+    head.split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status")
+}
+
+#[test]
+fn malformed_and_duplicate_content_length_get_400_over_the_wire() {
+    let (_service, _registry, server) = start_service(1, ServerConfig::default());
+    let addr = server.addr();
+
+    // Regression: "-2" and "2x" used to parse as 0 → empty-body dispatch.
+    assert_eq!(
+        raw_request_status(addr, "/sessions", "content-length: -2\r\n"),
+        400
+    );
+    assert_eq!(
+        raw_request_status(addr, "/sessions", "content-length: 2x\r\n"),
+        400
+    );
+    assert_eq!(
+        raw_request_status(
+            addr,
+            "/sessions",
+            "content-length: 2\r\ncontent-length: 3\r\n"
+        ),
+        400
+    );
+    // A well-formed length still dispatches (unknown job → 404, not a
+    // protocol error).
+    assert_eq!(
+        raw_request_status(addr, "/jobs/999/whatever", "content-length: 2\r\n"),
+        404
+    );
+}
+
+/// `/metrics` (a literal route) must win over `/{param}`-style routes
+/// no matter which router was merged first.
+#[test]
+fn literal_metrics_route_beats_param_route_after_merge() {
+    let registry = Arc::new(Registry::new());
+    registry.counter("probe_total").inc();
+    // The param route is registered BEFORE the literal /metrics route.
+    let param_first = Router::new()
+        .route(Method::Get, "/{page}", |_req, params| {
+            Response::error(410, &format!("param:{}", &params["page"]))
+        })
+        .merge(metrics_router(Arc::clone(&registry)));
+    let server = Server::start(param_first).unwrap();
+    let client = Client::new(server.addr());
+
+    let resp = client.get("/metrics").unwrap();
+    assert_eq!(resp.status, 200, "literal route must win");
+    let body: serde_json::Value = resp.json_body().unwrap();
+    assert_eq!(body["counters"]["probe_total"], 1);
+    // Other paths still fall through to the param route.
+    assert_eq!(client.get("/anything").unwrap().status, 410);
+}
+
+/// 64 clients hammer a server whose pool has 4 workers: the number of
+/// concurrently served connections stays bounded by the pool size, and
+/// every client is eventually answered (accept backpressure, no drops).
+#[test]
+fn sixty_four_clients_are_bounded_by_the_worker_pool() {
+    const CLIENTS: usize = 64;
+    const WORKERS: usize = 4;
+
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let high_water = Arc::new(AtomicUsize::new(0));
+    let (fly, high) = (Arc::clone(&in_flight), Arc::clone(&high_water));
+    let router = Router::new().route(Method::Get, "/work", move |_req, _params| {
+        let now = fly.fetch_add(1, Ordering::SeqCst) + 1;
+        high.fetch_max(now, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(5));
+        fly.fetch_sub(1, Ordering::SeqCst);
+        Response::new(200, b"ok".to_vec())
+    });
+    let server = Server::start_with(
+        router,
+        ServerConfig {
+            workers: WORKERS,
+            accept_backlog: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let client = Client::new(addr).with_timeout(Duration::from_secs(60));
+                let resp = client.get("/work").unwrap();
+                assert_eq!(resp.status, 200);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let peak = high_water.load(Ordering::SeqCst);
+    assert!(
+        peak <= WORKERS,
+        "{peak} connections in flight, pool is {WORKERS}"
+    );
+    assert!(peak > 0);
+}
+
+/// After real traffic, `/metrics` reports per-route request counters and
+/// latency histograms, the job queue gauges, and engine stage timings —
+/// in both JSON and Prometheus text formats.
+#[test]
+fn metrics_endpoint_reflects_job_traffic_in_both_formats() {
+    let (_service, _registry, server) = start_service(2, ServerConfig::default());
+    let client = Client::new(server.addr());
+    let session = open_session(&client);
+
+    let spec = serde_json::to_vec(&JobSpec::new(vec![
+        JobStep::Detect {
+            tools: vec!["mv_detector".into()],
+        },
+        JobStep::Repair {
+            tool: "standard_imputer".into(),
+        },
+    ]))
+    .unwrap();
+    let resp = client
+        .post(&format!("/sessions/{session}/jobs"), spec)
+        .unwrap();
+    assert_eq!(resp.status, 202);
+    let submitted: serde_json::Value = resp.json_body().unwrap();
+    let job_id = submitted["jobId"].as_u64().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status: serde_json::Value = client
+            .get(&format!("/jobs/{job_id}"))
+            .unwrap()
+            .json_body()
+            .unwrap();
+        if status["state"] == "Done" {
+            break;
+        }
+        assert!(
+            !matches!(status["state"].as_str(), Some("Failed" | "Cancelled")),
+            "job failed: {status:?}"
+        );
+        assert!(Instant::now() < deadline, "job never finished");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // JSON view: route counters keyed by pattern (not concrete path),
+    // queue gauges, and per-stage engine histograms.
+    let json: serde_json::Value = client.get("/metrics").unwrap().json_body().unwrap();
+    let counters = &json["counters"];
+    assert_eq!(
+        counters
+            ["http_requests_total{route=\"/sessions/{id}/jobs\",method=\"POST\",status=\"202\"}"],
+        1
+    );
+    assert!(
+        counters["http_requests_total{route=\"/jobs/{id}\",method=\"GET\",status=\"200\"}"]
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    let histograms = &json["histograms"];
+    assert!(
+        histograms["http_request_ms{route=\"/jobs/{id}\"}"]["count"]
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    assert_eq!(counters["jobs_submitted_total"], 1);
+    assert_eq!(counters["jobs_state_total{state=\"done\"}"], 1);
+    assert_eq!(json["gauges"]["jobs_queue_depth"], 0);
+    assert!(histograms["jobs_queue_wait_ms"]["count"].as_u64().unwrap() >= 1);
+    for stage in ["detect", "repair"] {
+        assert!(
+            histograms[format!("engine_stage_ms{{stage=\"{stage}\"}}").as_str()]["count"]
+                .as_u64()
+                .unwrap()
+                >= 1,
+            "missing engine stage timing for {stage}"
+        );
+    }
+
+    // Prometheus text view of the same registry.
+    let resp = client.get("/metrics?format=prometheus").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.headers.get("content-type").map(String::as_str),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = String::from_utf8(resp.body).unwrap();
+    assert!(text.contains("# TYPE http_requests_total counter"));
+    assert!(text.contains("http_request_ms_bucket"));
+    assert!(text.contains("jobs_queue_depth 0"));
+    assert!(text.contains("engine_stage_ms_sum{stage=\"detect\"}"));
+
+    // The metrics scrapes themselves show up on the next scrape.
+    let json: serde_json::Value = client.get("/metrics").unwrap().json_body().unwrap();
+    assert!(
+        json["counters"]["http_requests_total{route=\"/metrics\",method=\"GET\",status=\"200\"}"]
+            .as_u64()
+            .unwrap()
+            >= 2
+    );
+}
+
+/// Old one-request clients that read to EOF still work: a plain
+/// `Request::write_to` (no `connection` header, HTTP/1.1 default
+/// keep-alive) against the pooled server, answered and then closed by
+/// the client — the worker must not be wedged by the open socket.
+#[test]
+fn mixed_keep_alive_and_close_clients_share_one_worker() {
+    let router = Router::new().route(Method::Get, "/ping", |_req, _params| {
+        Response::new(200, b"pong".to_vec())
+    });
+    let server = Server::start_with(
+        router,
+        ServerConfig {
+            workers: 1,
+            keep_alive_timeout: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let client = Client::new(server.addr());
+
+    // keep-alive client → idle → a close-mode client must still get
+    // through once the idle timeout frees the single worker.
+    let mut conn = client.connect().unwrap();
+    assert_eq!(conn.get("/ping").unwrap().status, 200);
+    let started = Instant::now();
+    assert_eq!(client.get("/ping").unwrap().status, 200);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "idle keep-alive connection must not starve the pool"
+    );
+    drop(conn);
+    let req = Request::new(Method::Get, "/ping", Vec::new());
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    req.write_to(&mut stream, "t").unwrap();
+    let resp = Response::read_from(&stream).unwrap();
+    assert_eq!(resp.status, 200);
+}
