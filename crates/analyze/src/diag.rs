@@ -1,0 +1,152 @@
+//! The line-anchored diagnostic model and the rule catalog.
+
+use std::fmt;
+
+/// Diagnostic severity. The CI gate is driven by the baseline ratchet,
+/// not by severity alone — severity is how humans triage the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to `file:line:col`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (stable; baseline keys and suppressions use it).
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based.
+    pub line: u32,
+    /// 1-based.
+    pub col: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}[{}]: {}",
+            self.path,
+            self.line,
+            self.col,
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Stable rule ids.
+pub const PANIC_IN_LIB: &str = "panic-in-lib";
+pub const LOCK_ORDERING: &str = "lock-ordering";
+pub const MIXED_MUTEX: &str = "mixed-mutex";
+pub const RELAXED_CROSS_THREAD: &str = "relaxed-cross-thread";
+pub const BOUNDED_CHANNEL: &str = "bounded-channel-discipline";
+pub const METRIC_NAMING: &str = "metric-naming";
+/// Meta-rule: a suppression comment without a reason is itself a
+/// finding (and the reason-less suppression is not honoured).
+pub const SUPPRESSION_REASON: &str = "suppression-requires-reason";
+
+/// Catalog entry describing one rule (`--list-rules`, DESIGN.md).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+}
+
+/// Every rule the analyzer runs, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: PANIC_IN_LIB,
+        severity: Severity::Error,
+        summary: "unwrap/expect/panic!/unreachable!/todo!/integer-literal indexing in \
+                  non-test code of serving-path crates (rest, obs, core::jobs, core::engine)",
+    },
+    RuleInfo {
+        id: LOCK_ORDERING,
+        severity: Severity::Error,
+        summary: "cycle in the per-crate lock-acquisition graph built from lock()/read()/write() \
+                  call sites held across later acquisitions — a potential deadlock",
+    },
+    RuleInfo {
+        id: MIXED_MUTEX,
+        severity: Severity::Warning,
+        summary: "std::sync and parking_lot lock types mixed in one module",
+    },
+    RuleInfo {
+        id: RELAXED_CROSS_THREAD,
+        severity: Severity::Warning,
+        summary: "Ordering::Relaxed on a load/store/swap/compare_exchange (cross-thread \
+                  visibility risk); pure fetch_add/fetch_sub counters are allowlisted",
+    },
+    RuleInfo {
+        id: BOUNDED_CHANNEL,
+        severity: Severity::Warning,
+        summary: "queue/channel constructed without naming a capacity in a serving-path crate \
+                  (VecDeque::new, mpsc::channel)",
+    },
+    RuleInfo {
+        id: METRIC_NAMING,
+        severity: Severity::Warning,
+        summary: "registered metric name violates ^[a-z][a-z0-9_]*(_total|_ms|_bytes)?$ or its \
+                  kind suffix convention, or a label value is built with format! (unbounded \
+                  cardinality)",
+    },
+    RuleInfo {
+        id: SUPPRESSION_REASON,
+        severity: Severity::Error,
+        summary: "lint:allow(…) suppression without a ': reason' — reasons are mandatory",
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_col_anchored() {
+        let d = Diagnostic {
+            rule: PANIC_IN_LIB,
+            severity: Severity::Error,
+            path: "crates/rest/src/http.rs".into(),
+            line: 246,
+            col: 9,
+            message: "`.expect(` in library code".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/rest/src/http.rs:246:9: error[panic-in-lib]: `.expect(` in library code"
+        );
+    }
+
+    #[test]
+    fn catalog_is_consistent() {
+        assert_eq!(RULES.len(), 7);
+        assert!(rule_info(PANIC_IN_LIB).is_some());
+        assert!(rule_info("no-such-rule").is_none());
+        // Ids are unique.
+        let mut ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), RULES.len());
+    }
+}

@@ -1,0 +1,664 @@
+//! A lightweight lexer for Rust source: just enough structure for
+//! line-anchored lint rules.
+//!
+//! The lexer does not build a token tree. It produces a **scrubbed**
+//! view of the file — same byte length, same line structure, but with
+//! comment text and string/char literal *contents* replaced by spaces —
+//! so rules can scan for syntactic patterns (`.unwrap()`, `.lock()`,
+//! `Ordering::Relaxed`) without false hits inside strings or comments.
+//! Alongside the scrubbed text it extracts:
+//!
+//! - **string literals** (offset + decoded-enough text), so rules like
+//!   `metric-naming` can validate literal arguments;
+//! - **suppression comments** — `// lint:allow(rule-id): reason` — with
+//!   their mandatory reason;
+//! - **test regions**: lines covered by a `#[cfg(test)]` or `#[test]`
+//!   item (attribute through the matching closing brace), which most
+//!   rules exempt.
+//!
+//! Handled literal forms: line comments, nested block comments, plain
+//! and raw strings (`r"…"`, `r#"…"#`, any hash depth), byte strings,
+//! char literals (including escapes), and the char-vs-lifetime
+//! ambiguity (`'a'` is a literal, `'a` in `&'a str` is not).
+
+/// A string literal found in the source: byte offset of its opening
+/// quote and its raw (unescaped) contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    pub offset: usize,
+    pub text: String,
+}
+
+/// One `// lint:allow(rule, …): reason` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the comment sits on. It suppresses findings on this
+    /// line or — comment-above style — on the next line that carries
+    /// code (blank/comment-only lines don't break the link; see the
+    /// driver's coverage logic).
+    pub line: u32,
+    pub rules: Vec<String>,
+    /// The text after the closing paren's `:`. Suppressions without a
+    /// reason are reported (and not honoured) — see the driver.
+    pub reason: Option<String>,
+}
+
+/// A lexed source file plus the derived views the rules consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Original text.
+    pub text: String,
+    /// Same length as `text`: comments and literal bodies blanked.
+    pub scrubbed: String,
+    /// String literals (offset of the opening quote, contents).
+    pub strings: Vec<StrLit>,
+    /// Lint suppression comments, in file order.
+    pub suppressions: Vec<Suppression>,
+    /// Byte offset where each line starts (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// `test_lines[i]` — is 1-based line `i + 1` inside test code?
+    test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lex `text` as the file at `path` (workspace-relative; used for
+    /// path-scoped rules and diagnostics).
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let scrub = Scrubber::run(text);
+        let line_starts = line_starts(text);
+        let n_lines = line_starts.len();
+        let mut file = SourceFile {
+            path: path.replace('\\', "/"),
+            text: text.to_string(),
+            scrubbed: scrub.scrubbed,
+            strings: scrub.strings,
+            suppressions: scrub
+                .comments
+                .iter()
+                .filter_map(|c| parse_suppression(c, &line_starts))
+                .collect(),
+            line_starts,
+            test_lines: vec![false; n_lines],
+        };
+        if is_test_path(&file.path) {
+            file.test_lines.iter_mut().for_each(|l| *l = true);
+        } else {
+            mark_test_regions(&mut file);
+        }
+        file
+    }
+
+    /// 1-based `(line, col)` of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (
+            line as u32 + 1,
+            (offset - self.line_starts[line]) as u32 + 1,
+        )
+    }
+
+    /// Is the 1-based `line` inside a `#[cfg(test)]`/`#[test]` region
+    /// (or a tests/benches/examples file)?
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Byte range of the 1-based `line` (without the newline).
+    pub fn line_span(&self, line: u32) -> (usize, usize) {
+        let i = line.saturating_sub(1) as usize;
+        let start = self.line_starts[i];
+        let end = self
+            .line_starts
+            .get(i + 1)
+            .map(|&n| n.saturating_sub(1))
+            .unwrap_or(self.text.len());
+        (start, end)
+    }
+
+    /// Number of lines in the file.
+    pub fn n_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The scrubbed text of the 1-based `line`.
+    pub fn scrubbed_line(&self, line: u32) -> &str {
+        let (s, e) = self.line_span(line);
+        &self.scrubbed[s..e]
+    }
+}
+
+fn is_test_path(path: &str) -> bool {
+    let p = format!("/{path}");
+    p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/")
+}
+
+fn line_starts(text: &str) -> Vec<usize> {
+    std::iter::once(0)
+        .chain(
+            text.bytes()
+                .enumerate()
+                .filter(|(_, b)| *b == b'\n')
+                .map(|(i, _)| i + 1),
+        )
+        .filter(|&i| i <= text.len().saturating_sub(1) || i == 0)
+        .collect()
+}
+
+/// A comment's text plus the offset it starts at.
+#[derive(Debug)]
+struct Comment {
+    offset: usize,
+    text: String,
+}
+
+/// Output of the scrub pass.
+struct ScrubOut {
+    scrubbed: String,
+    strings: Vec<StrLit>,
+    comments: Vec<Comment>,
+}
+
+/// Byte-level state machine that blanks comments and literal bodies.
+struct Scrubber;
+
+impl Scrubber {
+    fn run(text: &str) -> ScrubOut {
+        let b = text.as_bytes();
+        let mut out = Vec::with_capacity(b.len());
+        let mut strings = Vec::new();
+        let mut comments = Vec::new();
+        let mut i = 0;
+
+        // Push `src[i]` as-is if it is a newline (preserve line
+        // structure), else a space.
+        fn blank(out: &mut Vec<u8>, c: u8) {
+            out.push(if c == b'\n' { b'\n' } else { b' ' });
+        }
+
+        while i < b.len() {
+            match b[i] {
+                b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                    // Line comment (includes doc comments).
+                    let start = i;
+                    while i < b.len() && b[i] != b'\n' {
+                        blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                    comments.push(Comment {
+                        offset: start,
+                        text: text[start..i].to_string(),
+                    });
+                }
+                b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                    // Block comment, nesting tracked.
+                    let start = i;
+                    let mut depth = 0usize;
+                    while i < b.len() {
+                        if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                            depth += 1;
+                            blank(&mut out, b[i]);
+                            blank(&mut out, b[i + 1]);
+                            i += 2;
+                        } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                            depth -= 1;
+                            blank(&mut out, b[i]);
+                            blank(&mut out, b[i + 1]);
+                            i += 2;
+                            if depth == 0 {
+                                break;
+                            }
+                        } else {
+                            blank(&mut out, b[i]);
+                            i += 1;
+                        }
+                    }
+                    comments.push(Comment {
+                        offset: start,
+                        text: text[start..i].to_string(),
+                    });
+                }
+                b'r' | b'b' if is_raw_string_start(b, i) => {
+                    // Raw (byte) string: r"…", r#"…"#, br#"…"#, any depth.
+                    let mut j = i;
+                    while b[j] != b'r' {
+                        out.push(b[j]); // the `b` prefix
+                        j += 1;
+                    }
+                    out.push(b'r');
+                    j += 1;
+                    let mut hashes = 0;
+                    while b[j] == b'#' {
+                        out.push(b'#');
+                        hashes += 1;
+                        j += 1;
+                    }
+                    out.push(b'"');
+                    let body_start = j + 1;
+                    j += 1;
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    let mut end = b.len();
+                    let mut k = j;
+                    while k < b.len() {
+                        if b[k..].starts_with(&closer) {
+                            end = k;
+                            break;
+                        }
+                        k += 1;
+                    }
+                    strings.push(StrLit {
+                        offset: body_start - 1,
+                        text: text[body_start..end].to_string(),
+                    });
+                    for &c in &b[body_start..end] {
+                        blank(&mut out, c);
+                    }
+                    for _ in 0..closer.len().min(b.len() - end) {
+                        out.push(b[end]);
+                        end += 1;
+                    }
+                    i = end;
+                    continue;
+                }
+                b'"' => {
+                    let start = i;
+                    out.push(b'"');
+                    i += 1;
+                    let body_start = i;
+                    while i < b.len() && b[i] != b'"' {
+                        if b[i] == b'\\' && i + 1 < b.len() {
+                            blank(&mut out, b[i]);
+                            blank(&mut out, b[i + 1]);
+                            i += 2;
+                        } else {
+                            blank(&mut out, b[i]);
+                            i += 1;
+                        }
+                    }
+                    strings.push(StrLit {
+                        offset: start,
+                        text: unescape(&text[body_start..i]),
+                    });
+                    if i < b.len() {
+                        out.push(b'"');
+                        i += 1;
+                    }
+                    continue;
+                }
+                b'\'' => {
+                    // Char literal or lifetime.
+                    if is_char_literal(b, i) {
+                        out.push(b'\'');
+                        i += 1;
+                        while i < b.len() && b[i] != b'\'' {
+                            if b[i] == b'\\' && i + 1 < b.len() {
+                                blank(&mut out, b[i]);
+                                blank(&mut out, b[i + 1]);
+                                i += 2;
+                            } else {
+                                blank(&mut out, b[i]);
+                                i += 1;
+                            }
+                        }
+                        if i < b.len() {
+                            out.push(b'\'');
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    out.push(b'\'');
+                    i += 1;
+                    continue;
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        ScrubOut {
+            // Only ASCII bytes were substituted, multi-byte UTF-8
+            // sequences pass through untouched — still valid UTF-8.
+            scrubbed: String::from_utf8(out).expect("scrub preserves UTF-8"),
+            strings,
+            comments,
+        }
+    }
+}
+
+/// Is `b[i]` the start of `r"`/`r#`/`br"`/`br#` (a raw string)?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    // Only a prefix at a non-identifier boundary counts (`for r in …`
+    // must not trigger on `r"…"`? it would — but `r` followed by a
+    // quote IS a raw string in any expression position, so this is
+    // right; what must NOT trigger is an identifier *ending* in r).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Disambiguate `'a'` (char literal) from `'a` (lifetime). `i` points
+/// at the opening quote.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    let Some(&c1) = b.get(i + 1) else {
+        return false;
+    };
+    if c1 == b'\\' {
+        return true; // '\n', '\'', '\u{…}'
+    }
+    if c1 & 0x80 != 0 {
+        return true; // multi-byte UTF-8 scalar — lifetimes are ASCII
+    }
+    // 'x' iff the very next byte closes it; otherwise it is a lifetime
+    // ('a, '_, 'static). This deliberately does NOT scan ahead: in
+    // `<'a, 'b>` a lookahead would find 'b's quote and misparse.
+    b.get(i + 2) == Some(&b'\'')
+}
+
+fn unescape(s: &str) -> String {
+    // Good enough for metric-name validation: handle the common
+    // escapes, pass everything else through.
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Parse a `lint:allow(rule-a, rule-b): reason` comment.
+fn parse_suppression(comment: &Comment, line_starts: &[usize]) -> Option<Suppression> {
+    let marker = "lint:allow(";
+    let at = comment.text.find(marker)?;
+    let rest = &comment.text[at + marker.len()..];
+    let close = rest.find(')')?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix(':')
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(str::to_string);
+    let line = match line_starts.binary_search(&comment.offset) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    } as u32
+        + 1;
+    Some(Suppression {
+        line,
+        rules,
+        reason,
+    })
+}
+
+/// Mark the line ranges of `#[cfg(test)]` / `#[test]` items.
+fn mark_test_regions(file: &mut SourceFile) {
+    let s = file.scrubbed.as_bytes();
+    let mut i = 0;
+    while i < s.len() {
+        if s[i] != b'#' || i + 1 >= s.len() || s[i + 1] != b'[' {
+            i += 1;
+            continue;
+        }
+        // Read the bracketed attribute.
+        let attr_start = i;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < s.len() {
+            match s[j] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr = &file.scrubbed[attr_start..=j.min(s.len() - 1)];
+        if !is_test_attr(attr) {
+            i = j + 1;
+            continue;
+        }
+        // Find the item body: the first `{` before a `;` terminates the
+        // item (a `#[cfg(test)] use …;` has no body).
+        let mut k = j + 1;
+        let mut body_open = None;
+        while k < s.len() {
+            match s[k] {
+                b'{' => {
+                    body_open = Some(k);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = match body_open {
+            Some(open) => {
+                let mut depth = 0usize;
+                let mut m = open;
+                loop {
+                    match s.get(m) {
+                        Some(b'{') => depth += 1,
+                        Some(b'}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break m;
+                            }
+                        }
+                        Some(_) => {}
+                        None => break s.len() - 1,
+                    }
+                    m += 1;
+                }
+            }
+            None => k.min(s.len() - 1),
+        };
+        let (first, _) = file.line_col(attr_start);
+        let (last, _) = file.line_col(end);
+        for line in first..=last {
+            if let Some(slot) = file.test_lines.get_mut(line as usize - 1) {
+                *slot = true;
+            }
+        }
+        i = end + 1;
+    }
+}
+
+/// Does the attribute text mark test-only code? Matches `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[tokio::test]` — any
+/// attribute containing `test` as a standalone path segment.
+fn is_test_attr(attr: &str) -> bool {
+    let bytes = attr.as_bytes();
+    let mut from = 0;
+    while let Some(at) = attr[from..].find("test") {
+        let start = from + at;
+        let end = start + "test".len();
+        let pre_ok =
+            start == 0 || (!bytes[start - 1].is_ascii_alphanumeric() && bytes[start - 1] != b'_');
+        let post_ok =
+            end >= bytes.len() || (!bytes[end].is_ascii_alphanumeric() && bytes[end] != b'_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings_but_keeps_offsets() {
+        let src = "let a = \"unwrap() inside\"; // .unwrap() in comment\nlet b = 1;\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.scrubbed.len(), src.len());
+        assert!(!f.scrubbed.contains("unwrap"), "scrubbed: {}", f.scrubbed);
+        assert_eq!(f.strings.len(), 1);
+        assert_eq!(f.strings[0].text, "unwrap() inside");
+        // Offsets and line structure survive.
+        assert_eq!(f.line_col(src.find("let b").unwrap()), (2, 1));
+    }
+
+    #[test]
+    fn nested_block_comments_scrub_fully() {
+        let src = "a /* outer /* inner */ still comment */ b\nc\n";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.scrubbed.contains("outer"));
+        assert!(!f.scrubbed.contains("inner"));
+        assert!(!f.scrubbed.contains("still"));
+        assert!(f.scrubbed.contains('a'));
+        assert!(f.scrubbed.contains('b'));
+        assert_eq!(f.scrubbed.len(), src.len());
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r####"let p = r#"has "quotes" and \ backslash"#; let q = 2;"####;
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.strings.len(), 1);
+        assert_eq!(f.strings[0].text, r#"has "quotes" and \ backslash"#);
+        assert!(f.scrubbed.contains("let q = 2"));
+        assert!(!f.scrubbed.contains("quotes"));
+        // A raw string closer inside the body does not end it early.
+        let src = "let s = r##\"inner \"# not the end\"##; let t = 3;";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.strings[0].text, "inner \"# not the end");
+        assert!(f.scrubbed.contains("let t = 3"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '\\''; let d = 'x'; 'y' }";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        // Lifetimes survive scrubbing; char contents are blanked.
+        assert!(f.scrubbed.contains("<'a>"));
+        assert!(f.scrubbed.contains("&'a str"));
+        assert!(!f.scrubbed.contains("'x'"));
+        assert!(f.scrubbed.contains("let d ="));
+    }
+
+    #[test]
+    fn cfg_test_region_spans_the_item_braces() {
+        let src = "\
+pub fn live() { a.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    fn helper() { b.unwrap(); }
+}
+
+pub fn also_live() {}
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3)); // the attribute line itself
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(f.is_test_line(6)); // closing brace
+        assert!(!f.is_test_line(8));
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_scoped() {
+        let src = "\
+#[test]
+fn check() {
+    x.unwrap();
+}
+fn live() {}
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(5));
+        // `test` must be a whole path segment: `#[testable]` is live.
+        let f = SourceFile::parse("x.rs", "#[testable]\nfn a() { b(); }\n");
+        assert!(!f.is_test_line(2));
+    }
+
+    #[test]
+    fn tests_dir_files_are_fully_exempt() {
+        let f = SourceFile::parse("tests/integration.rs", "fn x() { y.unwrap(); }\n");
+        assert!(f.is_test_line(1));
+        let f = SourceFile::parse("crates/x/benches/b.rs", "fn x() {}\n");
+        assert!(f.is_test_line(1));
+    }
+
+    #[test]
+    fn suppressions_parse_rules_and_reason() {
+        let src = "\
+a.lock(); // lint:allow(lock-ordering): registry lock is leaf-only
+// lint:allow(panic-in-lib, mixed-mutex): spawn cannot fail here
+b.unwrap();
+c.unwrap(); // lint:allow(panic-in-lib)
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert_eq!(f.suppressions.len(), 3);
+        assert_eq!(f.suppressions[0].line, 1);
+        assert_eq!(f.suppressions[0].rules, vec!["lock-ordering"]);
+        assert_eq!(
+            f.suppressions[0].reason.as_deref(),
+            Some("registry lock is leaf-only")
+        );
+        assert_eq!(f.suppressions[1].rules, vec!["panic-in-lib", "mixed-mutex"]);
+        // Reason-less suppression parses with reason: None (the driver
+        // rejects it).
+        assert_eq!(f.suppressions[2].line, 4);
+        assert_eq!(f.suppressions[2].reason, None);
+    }
+
+    #[test]
+    fn line_col_round_trip() {
+        let src = "ab\ncd\nef";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(7), (3, 2));
+        assert_eq!(f.n_lines(), 3);
+        assert_eq!(f.scrubbed_line(2), "cd");
+    }
+}

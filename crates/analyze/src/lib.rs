@@ -1,0 +1,285 @@
+//! `datalens-analyze` — a self-contained workspace lint and
+//! concurrency-audit engine.
+//!
+//! The library lexes Rust sources into a scrubbed, line-anchored view
+//! ([`lexer::SourceFile`]), runs a small rule set targeting the
+//! failure modes of this repo's serving path (panics in library code,
+//! lock-ordering cycles, mixed mutex families, relaxed cross-thread
+//! atomics, unbounded queues, metric-naming drift), and reports both
+//! human diagnostics and a machine-readable count report
+//! ([`report::Report`]) that CI ratchets against a committed baseline
+//! (`ANALYZE.json`).
+//!
+//! Findings are suppressed line-by-line with
+//! `// lint:allow(<rule>): <reason>` — the reason is mandatory; a
+//! reason-less suppression is itself reported (and not honoured).
+
+pub mod diag;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use diag::{Diagnostic, Severity, SUPPRESSION_REASON};
+use lexer::SourceFile;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of analysing a set of sources.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings, sorted by (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+/// Analyse in-memory sources: `(workspace-relative path, text)` pairs.
+/// This is the core entry point; file discovery and IO live in
+/// [`analyze_root`].
+pub fn analyze_sources<P: AsRef<str>, T: AsRef<str>>(sources: &[(P, T)]) -> Analysis {
+    let mut diags = Vec::new();
+    let mut files = Vec::with_capacity(sources.len());
+    let mut crate_edges: BTreeMap<String, Vec<rules::locks::Edge>> = BTreeMap::new();
+
+    for (path, text) in sources {
+        let file = SourceFile::parse(path.as_ref(), text.as_ref());
+        rules::panic_in_lib::check(&file, &mut diags);
+        rules::locks::check_mixed(&file, &mut diags);
+        rules::atomics::check(&file, &mut diags);
+        rules::channels::check(&file, &mut diags);
+        rules::metrics::check(&file, &mut diags);
+        crate_edges
+            .entry(rules::crate_of(&file.path))
+            .or_default()
+            .extend(rules::locks::collect_edges(&file));
+        files.push(file);
+    }
+    for (krate, edges) in &crate_edges {
+        rules::locks::analyze_graph(krate, edges, &mut diags);
+    }
+
+    let by_path: BTreeMap<&str, &SourceFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
+    diags.retain(|d| {
+        by_path
+            .get(d.path.as_str())
+            .is_none_or(|f| !is_suppressed(f, d))
+    });
+    for file in &files {
+        for sup in &file.suppressions {
+            if sup.reason.is_none() {
+                diags.push(Diagnostic {
+                    rule: SUPPRESSION_REASON,
+                    severity: Severity::Error,
+                    path: file.path.clone(),
+                    line: sup.line,
+                    col: 1,
+                    message: format!(
+                        "suppression for `{}` has no reason — write \
+                         `// lint:allow({}): <why this is safe>` (reason-less suppressions \
+                         are not honoured)",
+                        sup.rules.join(", "),
+                        sup.rules.join(", "),
+                    ),
+                });
+            }
+        }
+    }
+
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Analysis {
+        diagnostics: diags,
+        files_scanned: files.len(),
+    }
+}
+
+/// Does a reasoned suppression cover this diagnostic's rule?
+///
+/// A suppression applies to its own line (trailing style) or, for the
+/// comment-above style, to the first following line that carries code —
+/// blank and comment-only lines in between don't break the link, so a
+/// multi-line justification still reaches the statement it guards.
+fn is_suppressed(file: &SourceFile, d: &Diagnostic) -> bool {
+    file.suppressions.iter().any(|s| {
+        s.reason.is_some()
+            && s.rules.iter().any(|r| r == d.rule)
+            && (s.line == d.line || covers_from_above(file, s.line, d.line))
+    })
+}
+
+fn covers_from_above(file: &SourceFile, sup_line: u32, diag_line: u32) -> bool {
+    if diag_line <= sup_line || diag_line as usize > file.n_lines() {
+        return false;
+    }
+    // Every line strictly between the suppression and the diagnostic
+    // must be blank once comments are scrubbed away.
+    (sup_line + 1..diag_line).all(|n| file.scrubbed_line(n).trim().is_empty())
+}
+
+/// Discover the workspace's analyzable sources under `root`: every
+/// `.rs` file in `crates/*/src/` and the root package's `src/`.
+/// Shims (vendored third-party stand-ins), `target/`, and test-only
+/// trees (`tests/`, `benches/`, `examples/`) are excluded. Paths come
+/// back workspace-relative, `/`-separated, sorted.
+pub fn discover_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                walk(&src, root, &mut out)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, root, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "tests" | "benches" | "examples" | "target") {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Discover, read, and analyse the workspace at `root`.
+pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
+    let rels = discover_files(root)?;
+    let mut sources = Vec::with_capacity(rels.len());
+    for rel in rels {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        sources.push((rel, text));
+    }
+    Ok(analyze_sources(&sources))
+}
+
+/// Walk up from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diag::PANIC_IN_LIB;
+
+    #[test]
+    fn suppression_with_reason_silences_without_reason_reports() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 {
+    // lint:allow(panic-in-lib): slot is filled two lines up
+    x.unwrap()
+}
+fn g(x: Option<u8>) -> u8 {
+    x.unwrap() // lint:allow(panic-in-lib)
+}
+";
+        let a = analyze_sources(&[("crates/rest/src/http.rs", src)]);
+        // f's unwrap is suppressed; g's is not (no reason) and the
+        // reason-less suppression is itself flagged.
+        let rules: Vec<&str> = a.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            rules,
+            vec![SUPPRESSION_REASON, PANIC_IN_LIB],
+            "{:#?}",
+            a.diagnostics
+        );
+        assert!(a.diagnostics.iter().all(|d| d.line == 6));
+    }
+
+    #[test]
+    fn multi_line_justification_reaches_the_guarded_line() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 {
+    // lint:allow(panic-in-lib): the slot is always filled — the
+    // loop above writes every index exactly once, so an empty
+    // slot here is unreachable by construction
+    x.unwrap()
+}
+fn g(x: Option<u8>) -> u8 {
+    // lint:allow(panic-in-lib): does not reach past code lines
+    let y = x;
+    y.unwrap()
+}
+";
+        let a = analyze_sources(&[("crates/rest/src/http.rs", src)]);
+        // f's unwrap sits under a three-line justification: covered.
+        // g's unwrap has a code line (`let y = x;`) between it and the
+        // suppression: not covered.
+        assert_eq!(a.diagnostics.len(), 1, "{:#?}", a.diagnostics);
+        assert_eq!(a.diagnostics[0].rule, PANIC_IN_LIB);
+        assert_eq!(a.diagnostics[0].line, 10);
+    }
+
+    #[test]
+    fn suppression_only_covers_named_rules() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 {
+    x.unwrap() // lint:allow(mixed-mutex): wrong rule named
+}
+";
+        let a = analyze_sources(&[("crates/rest/src/http.rs", src)]);
+        assert_eq!(a.diagnostics.len(), 1);
+        assert_eq!(a.diagnostics[0].rule, PANIC_IN_LIB);
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_deterministic() {
+        let sources = [
+            (
+                "crates/rest/src/b.rs",
+                "fn f(x: Option<u8>) { x.unwrap(); x.unwrap(); }",
+            ),
+            (
+                "crates/rest/src/a.rs",
+                "fn f(x: Option<u8>) { x.unwrap(); }",
+            ),
+        ];
+        let a = analyze_sources(&sources);
+        let b = analyze_sources(&sources);
+        let lines_a: Vec<String> = a.diagnostics.iter().map(|d| d.to_string()).collect();
+        let lines_b: Vec<String> = b.diagnostics.iter().map(|d| d.to_string()).collect();
+        assert_eq!(lines_a, lines_b);
+        assert!(
+            lines_a[0].starts_with("crates/rest/src/a.rs"),
+            "{lines_a:#?}"
+        );
+        assert_eq!(a.files_scanned, 2);
+    }
+}

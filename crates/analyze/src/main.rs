@@ -1,0 +1,175 @@
+//! CLI for the workspace lint & concurrency-audit engine.
+//!
+//! ```text
+//! cargo run -p datalens-analyze -- --workspace --baseline ANALYZE.json
+//! ```
+//!
+//! Exit codes: `0` clean (or no regression against the baseline),
+//! `1` usage / IO error, `2` findings (strict mode) or baseline
+//! regression.
+
+use datalens_analyze::report::{self, Report};
+use datalens_analyze::{analyze_root, diag, find_workspace_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+datalens-analyze — workspace lint & concurrency-audit engine
+
+USAGE:
+    datalens-analyze [--workspace] [--root DIR] [--baseline FILE]
+                     [--write-baseline] [--list-rules]
+
+OPTIONS:
+    --workspace        analyse every crate src tree under the workspace
+                       root (default when no mode is given)
+    --root DIR         workspace root (default: walk up from the current
+                       directory to the first [workspace] Cargo.toml)
+    --baseline FILE    compare findings against a committed baseline;
+                       exit 2 only if a (rule, area) bucket grew
+    --write-baseline   write the current counts to the baseline file
+                       (requires --baseline) and exit 0
+    --list-rules       print the rule catalog and exit
+
+Without --baseline the gate is strict: any finding exits 2.";
+
+struct Opts {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        baseline: None,
+        write_baseline: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {} // the only mode; accepted for clarity
+            "--root" => {
+                let v = args.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = args.next().ok_or("--baseline needs a file path")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    if opts.write_baseline && opts.baseline.is_none() {
+        return Err("--write-baseline requires --baseline FILE".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+
+    if opts.list_rules {
+        for rule in diag::RULES {
+            println!(
+                "{:<28} {:<8} {}",
+                rule.id,
+                rule.severity.as_str(),
+                rule.summary
+            );
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no [workspace] Cargo.toml found above the current directory")?
+        }
+    };
+
+    let analysis = analyze_root(&root).map_err(|e| format!("analysing {}: {e}", root.display()))?;
+    for d in &analysis.diagnostics {
+        println!("{d}");
+    }
+    let current = Report::build(&analysis.diagnostics);
+    println!(
+        "datalens-analyze: {} finding(s) in {} file(s)",
+        analysis.diagnostics.len(),
+        analysis.files_scanned
+    );
+
+    let Some(baseline_path) = &opts.baseline else {
+        // Strict mode: any finding fails.
+        return Ok(if analysis.diagnostics.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        });
+    };
+
+    if opts.write_baseline {
+        std::fs::write(baseline_path, current.to_json())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!("wrote baseline to {}", baseline_path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+    let baseline = Report::parse(&text)?;
+    let gate = report::compare(&current, &baseline);
+
+    if !gate.passed() {
+        eprintln!(
+            "baseline gate FAILED — new findings over {}:",
+            baseline_path.display()
+        );
+        for d in &gate.regressions {
+            eprintln!(
+                "  {} in {}: {} (baseline {})",
+                d.rule, d.area, d.current, d.baseline
+            );
+        }
+        eprintln!(
+            "fix the new findings, or suppress with `// lint:allow(<rule>): <reason>` \
+             where the invariant is documented"
+        );
+        return Ok(ExitCode::from(2));
+    }
+    if !gate.improvements.is_empty() {
+        println!("baseline ratchet: counts went down — lock it in:");
+        for d in &gate.improvements {
+            println!(
+                "  {} in {}: {} (baseline {})",
+                d.rule, d.area, d.current, d.baseline
+            );
+        }
+        println!(
+            "run `cargo run -p datalens-analyze -- --workspace --baseline {} --write-baseline`",
+            baseline_path.display()
+        );
+    }
+    println!("baseline gate passed");
+    Ok(ExitCode::SUCCESS)
+}

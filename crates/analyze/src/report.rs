@@ -1,0 +1,244 @@
+//! The machine-readable report (`ANALYZE.json`) and the baseline
+//! ratchet.
+//!
+//! The committed baseline records per-rule, per-area finding counts.
+//! The CI gate fails when any (rule, area) bucket *grows* — new
+//! findings — while shrinking buckets only produce a reminder to
+//! re-write the baseline, so the legacy count ratchets monotonically
+//! down. Counts (not fingerprints) keep the format trivially
+//! deterministic and merge-friendly.
+
+use crate::diag::{Diagnostic, RULES};
+use crate::rules::area_of;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Per-rule finding counts, split by area.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// rule id → (area → count). BTreeMaps keep serialisation ordered.
+    pub rules: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Report {
+    /// Count `diags` into a report.
+    pub fn build(diags: &[Diagnostic]) -> Report {
+        let mut rules: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for d in diags {
+            *rules
+                .entry(d.rule.to_string())
+                .or_default()
+                .entry(area_of(&d.path))
+                .or_insert(0) += 1;
+        }
+        Report { rules }
+    }
+
+    pub fn count(&self, rule: &str, area: &str) -> u64 {
+        self.rules
+            .get(rule)
+            .and_then(|areas| areas.get(area))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn total(&self, rule: &str) -> u64 {
+        self.rules
+            .get(rule)
+            .map(|areas| areas.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Serialise deterministically: every catalog rule appears (so a
+    /// clean tree commits an all-zero baseline that future findings
+    /// diff against), areas sorted, version pinned.
+    pub fn to_json(&self) -> String {
+        let mut rules = Vec::new();
+        for info in RULES {
+            let areas = self.rules.get(info.id);
+            let total: u64 = areas.map(|a| a.values().sum()).unwrap_or(0);
+            let mut entry = vec![("total".to_string(), Value::U64(total))];
+            if let Some(areas) = areas {
+                let listed: Vec<(String, Value)> = areas
+                    .iter()
+                    .filter(|(_, &n)| n > 0)
+                    .map(|(area, &n)| (area.clone(), Value::U64(n)))
+                    .collect();
+                if !listed.is_empty() {
+                    entry.push(("areas".to_string(), Value::Obj(listed)));
+                }
+            }
+            rules.push((info.id.to_string(), Value::Obj(entry)));
+        }
+        let doc = Value::Obj(vec![
+            ("version".to_string(), Value::U64(1)),
+            ("rules".to_string(), Value::Obj(rules)),
+        ]);
+        let mut text = serde_json::to_string_pretty(&doc).unwrap_or_default();
+        text.push('\n');
+        text
+    }
+
+    /// Parse a baseline previously written by [`Report::to_json`].
+    /// Unknown rules are ignored; missing rules count as zero.
+    pub fn parse(text: &str) -> Result<Report, String> {
+        let doc: Value =
+            serde_json::from_str(text).map_err(|e| format!("invalid baseline JSON: {e}"))?;
+        match doc.get("version").and_then(Value::as_u64) {
+            Some(1) => {}
+            other => return Err(format!("unsupported baseline version {other:?}")),
+        }
+        let mut report = Report::default();
+        let Some(rules) = doc.get("rules").and_then(Value::as_object) else {
+            return Err("baseline has no `rules` object".to_string());
+        };
+        for (rule, entry) in rules {
+            let mut areas = BTreeMap::new();
+            if let Some(listed) = entry.get("areas").and_then(Value::as_object) {
+                for (area, n) in listed {
+                    areas.insert(
+                        area.clone(),
+                        n.as_u64()
+                            .ok_or_else(|| format!("non-integer count for {rule}/{area}"))?,
+                    );
+                }
+            }
+            report.rules.insert(rule.clone(), areas);
+        }
+        Ok(report)
+    }
+}
+
+/// One (rule, area) bucket that changed against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    pub rule: String,
+    pub area: String,
+    pub current: u64,
+    pub baseline: u64,
+}
+
+/// Outcome of comparing the current tree against the committed
+/// baseline.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Gate {
+    /// Buckets that grew — these fail CI.
+    pub regressions: Vec<Delta>,
+    /// Buckets that shrank — the baseline should be re-written to lock
+    /// in the improvement.
+    pub improvements: Vec<Delta>,
+}
+
+impl Gate {
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare `current` against `baseline`, per (rule, area) bucket.
+pub fn compare(current: &Report, baseline: &Report) -> Gate {
+    let mut gate = Gate::default();
+    let mut buckets: BTreeMap<(&str, &str), ()> = BTreeMap::new();
+    for (rule, areas) in current.rules.iter().chain(baseline.rules.iter()) {
+        for area in areas.keys() {
+            buckets.insert((rule, area), ());
+        }
+    }
+    for (rule, area) in buckets.keys() {
+        let cur = current.count(rule, area);
+        let base = baseline.count(rule, area);
+        let delta = Delta {
+            rule: rule.to_string(),
+            area: area.to_string(),
+            current: cur,
+            baseline: base,
+        };
+        if cur > base {
+            gate.regressions.push(delta);
+        } else if cur < base {
+            gate.improvements.push(delta);
+        }
+    }
+    gate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Severity, MIXED_MUTEX, PANIC_IN_LIB};
+
+    fn diag(rule: &'static str, path: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            path: path.to_string(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn build_counts_by_rule_and_area() {
+        let diags = vec![
+            diag(PANIC_IN_LIB, "crates/rest/src/http.rs"),
+            diag(PANIC_IN_LIB, "crates/rest/src/server.rs"),
+            diag(PANIC_IN_LIB, "crates/core/src/jobs/mod.rs"),
+            diag(MIXED_MUTEX, "crates/core/src/jobs/mod.rs"),
+        ];
+        let r = Report::build(&diags);
+        assert_eq!(r.count(PANIC_IN_LIB, "crates/rest"), 2);
+        assert_eq!(r.count(PANIC_IN_LIB, "crates/core/src/jobs"), 1);
+        assert_eq!(r.total(PANIC_IN_LIB), 3);
+        assert_eq!(r.count(MIXED_MUTEX, "crates/core/src/jobs"), 1);
+    }
+
+    #[test]
+    fn json_round_trip_and_all_rules_present() {
+        let diags = vec![diag(PANIC_IN_LIB, "crates/rest/src/http.rs")];
+        let r = Report::build(&diags);
+        let text = r.to_json();
+        for info in RULES {
+            assert!(text.contains(info.id), "missing {} in {text}", info.id);
+        }
+        let back = Report::parse(&text).unwrap();
+        assert_eq!(back.count(PANIC_IN_LIB, "crates/rest"), 1);
+        assert_eq!(back.total(PANIC_IN_LIB), 1);
+        // Serialisation is deterministic.
+        assert_eq!(text, Report::build(&diags).to_json());
+    }
+
+    #[test]
+    fn gate_fails_on_growth_notes_shrinkage() {
+        let base = Report::parse(
+            &Report::build(&[
+                diag(PANIC_IN_LIB, "crates/rest/src/http.rs"),
+                diag(MIXED_MUTEX, "crates/obs/src/lib.rs"),
+            ])
+            .to_json(),
+        )
+        .unwrap();
+        // Same panic count, mixed-mutex fixed, new finding in jobs.
+        let cur = Report::build(&[
+            diag(PANIC_IN_LIB, "crates/rest/src/http.rs"),
+            diag(PANIC_IN_LIB, "crates/core/src/jobs/mod.rs"),
+        ]);
+        let gate = compare(&cur, &base);
+        assert!(!gate.passed());
+        assert_eq!(gate.regressions.len(), 1);
+        assert_eq!(gate.regressions[0].area, "crates/core/src/jobs");
+        assert_eq!(gate.improvements.len(), 1);
+        assert_eq!(gate.improvements[0].rule, MIXED_MUTEX);
+
+        let gate = compare(&base, &base);
+        assert!(gate.passed());
+        assert!(gate.improvements.is_empty());
+    }
+
+    #[test]
+    fn bad_baselines_are_rejected() {
+        assert!(Report::parse("{oops").is_err());
+        assert!(Report::parse("{\"version\": 2, \"rules\": {}}").is_err());
+        assert!(Report::parse("{\"version\": 1}").is_err());
+    }
+}

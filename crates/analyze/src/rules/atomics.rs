@@ -1,0 +1,152 @@
+//! `relaxed-cross-thread`: `Ordering::Relaxed` on atomic operations
+//! whose result another thread uses for control flow or data
+//! visibility. Pure monotonic counters (`fetch_add`/`fetch_sub`, where
+//! only the aggregate matters) are allowlisted; everything else —
+//! loads, stores, swaps, compare-exchange loops — needs
+//! Acquire/Release or an explicit suppression explaining why tearing-
+//! free relaxed access is sufficient.
+
+use crate::diag::{Diagnostic, Severity, RELAXED_CROSS_THREAD};
+use crate::lexer::SourceFile;
+use crate::rules::find_all;
+use std::collections::BTreeSet;
+
+/// Atomic method names we attribute an `Ordering::Relaxed` argument to,
+/// longest-first so `compare_exchange_weak` wins over its prefix.
+const METHODS: &[&str] = &[
+    "compare_exchange_weak",
+    "compare_exchange",
+    "fetch_update",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_nand",
+    "store",
+    "swap",
+    "load",
+];
+
+/// Counter-style read-modify-writes where relaxed ordering is the
+/// correct default: no other memory is published via the counter.
+const ALLOWLIST: &[&str] = &["fetch_add", "fetch_sub"];
+
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let mut flagged: BTreeSet<u32> = BTreeSet::new();
+    for off in find_all(&file.scrubbed, "Ordering::Relaxed") {
+        let (line, col) = file.line_col(off);
+        if file.is_test_line(line) || flagged.contains(&line) {
+            continue;
+        }
+        let method = nearest_method(file.scrubbed.as_bytes(), off);
+        if let Some(m) = method {
+            if ALLOWLIST.contains(&m) {
+                continue;
+            }
+        }
+        flagged.insert(line);
+        let on = method.map_or_else(|| "an atomic operation".to_string(), |m| format!("`{m}`"));
+        diags.push(Diagnostic {
+            rule: RELAXED_CROSS_THREAD,
+            severity: Severity::Warning,
+            path: file.path.clone(),
+            line,
+            col,
+            message: format!(
+                "`Ordering::Relaxed` on {on} — cross-thread readers get no happens-before \
+                 edge; use Acquire/Release, or suppress with a reason if this value gates \
+                 nothing"
+            ),
+        });
+    }
+}
+
+/// The nearest atomic method call preceding `off`, within a small
+/// window (handles multi-line call expressions).
+fn nearest_method(b: &[u8], off: usize) -> Option<&'static str> {
+    let start = off.saturating_sub(200);
+    let window = &b[start..off];
+    let mut best: Option<(usize, &'static str)> = None;
+    for &m in METHODS {
+        let mb = m.as_bytes();
+        if mb.len() + 1 > window.len() {
+            continue;
+        }
+        let mut i = window.len() - mb.len();
+        loop {
+            // `.method(` — the dot gives the left boundary, the paren
+            // terminates the name.
+            if window[i..].starts_with(mb)
+                && i > 0
+                && window[i - 1] == b'.'
+                && window.get(i + mb.len()) == Some(&b'(')
+            {
+                if best.is_none_or(|(p, bm)| i > p || (i == p && m.len() > bm.len())) {
+                    best = Some((i, m));
+                }
+                break;
+            }
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+        }
+    }
+    best.map(|(_, m)| m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/obs/src/lib.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn loads_and_stores_flagged_counters_allowed() {
+        let src = "\
+fn f(a: &AtomicU64) {
+    a.fetch_add(1, Ordering::Relaxed);
+    a.store(7, Ordering::Relaxed);
+    let _ = a.load(Ordering::Relaxed);
+    let _ = a.load(Ordering::Acquire);
+}
+";
+        let d = run(src);
+        assert_eq!(d.len(), 2, "{d:#?}");
+        assert!(d[0].message.contains("`store`"));
+        assert!(d[1].message.contains("`load`"));
+    }
+
+    #[test]
+    fn compare_exchange_attributed_even_multiline() {
+        let src = "\
+fn f(a: &AtomicU64) {
+    a.compare_exchange_weak(
+        old,
+        new,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+}
+";
+        let d = run(src);
+        // One diagnostic per line, both orderings of the CAS.
+        assert_eq!(d.len(), 2, "{d:#?}");
+        assert!(d[0].message.contains("compare_exchange_weak"));
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src =
+            "#[cfg(test)]\nmod t { fn f(a: &AtomicU64) { a.store(1, Ordering::Relaxed); } }\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! `bounded-channel-discipline`: every queue or channel constructed on
+//! the serving path must name a capacity. An unbounded queue between a
+//! fast producer (accept loop, job submitter) and a slow consumer is a
+//! latent memory bomb; making the bound explicit forces the backpressure
+//! decision to be written down.
+
+use crate::diag::{Diagnostic, Severity, BOUNDED_CHANNEL};
+use crate::lexer::SourceFile;
+use crate::rules::{area_of, find_words, is_serving_area};
+
+const PATTERNS: &[(&str, &str)] = &[
+    (
+        "VecDeque::new()",
+        "use `VecDeque::with_capacity(cap)` so the queue bound is explicit",
+    ),
+    (
+        "VecDeque::default()",
+        "use `VecDeque::with_capacity(cap)` so the queue bound is explicit",
+    ),
+    (
+        "mpsc::channel()",
+        "use `mpsc::sync_channel(cap)` — unbounded channels have no backpressure",
+    ),
+];
+
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !is_serving_area(&area_of(&file.path)) {
+        return;
+    }
+    for (pat, hint) in PATTERNS {
+        for off in find_words(&file.scrubbed, pat) {
+            let (line, col) = file.line_col(off);
+            if file.is_test_line(line) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                rule: BOUNDED_CHANNEL,
+                severity: Severity::Warning,
+                path: file.path.clone(),
+                line,
+                col,
+                message: format!("`{pat}` constructs an unbounded queue — {hint}"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unbounded_constructions_flagged_bounded_ok() {
+        let src = "\
+fn f() {
+    let a: VecDeque<u8> = VecDeque::new();
+    let b: VecDeque<u8> = VecDeque::with_capacity(32);
+    let (tx, rx) = mpsc::channel();
+    let (tx2, rx2) = mpsc::sync_channel(8);
+}
+";
+        let d = run("crates/rest/src/server.rs", src);
+        assert_eq!(d.len(), 2, "{d:#?}");
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 4);
+    }
+
+    #[test]
+    fn scoped_to_serving_path_and_non_test_code() {
+        let src = "fn f() { let q: VecDeque<u8> = VecDeque::new(); }";
+        assert!(run("crates/core/src/table.rs", src).is_empty());
+        let test_src =
+            "#[cfg(test)]\nmod t { fn f() { let q: VecDeque<u8> = VecDeque::new(); } }\n";
+        assert!(run("crates/rest/src/server.rs", test_src).is_empty());
+    }
+}

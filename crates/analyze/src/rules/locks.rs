@@ -1,0 +1,393 @@
+//! Lock discipline: `mixed-mutex` (std::sync and parking_lot in one
+//! module) and `lock-ordering` (cycles in the per-crate acquisition
+//! graph).
+//!
+//! The lock-ordering pass is heuristic but conservative in shape: an
+//! acquisition is a `.lock()` / `.read()` / `.write()` call with empty
+//! argument parens (which excludes `io::Read::read(&mut buf)` and
+//! friends); its *hold span* runs to the end of the enclosing block when
+//! `let`-bound (truncated at an explicit `drop(guard)`), else to the end
+//! of the statement. Every acquisition B inside A's hold span adds edge
+//! A→B, keyed by the last path segment of the receiver (`self.inner
+//! .queues.lock()` → `queues`). Cycles — including self-edges, i.e.
+//! re-acquiring a non-reentrant lock while held — are reported once per
+//! distinct node cycle, anchored at the edge that closes it.
+
+use crate::diag::{Diagnostic, Severity, LOCK_ORDERING, MIXED_MUTEX};
+use crate::lexer::SourceFile;
+use crate::rules::{find_all, find_words, is_ident_byte};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `A held while acquiring B` observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    /// Site of the inner (B) acquisition.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// `mixed-mutex`: report a module that uses both lock families.
+pub fn check_mixed(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let mut std_line = None;
+    let mut pl_line = None;
+    for line in 1..=file.n_lines() as u32 {
+        if file.is_test_line(line) {
+            continue;
+        }
+        let text = file.scrubbed_line(line);
+        if std_line.is_none()
+            && text.contains("std::sync")
+            && ["Mutex", "RwLock", "Condvar"]
+                .iter()
+                .any(|w| !find_words(text, w).is_empty())
+        {
+            std_line = Some(line);
+        }
+        if pl_line.is_none() && text.contains("parking_lot") {
+            pl_line = Some(line);
+        }
+    }
+    if let (Some(s), Some(p)) = (std_line, pl_line) {
+        let anchor = s.max(p); // the later import is the odd one out
+        diags.push(Diagnostic {
+            rule: MIXED_MUTEX,
+            severity: Severity::Warning,
+            path: file.path.clone(),
+            line: anchor,
+            col: 1,
+            message: format!(
+                "module mixes std::sync locks (line {s}) with parking_lot (line {p}) — \
+                 unify on one family"
+            ),
+        });
+    }
+}
+
+/// A single lock acquisition with its computed hold span.
+#[derive(Debug)]
+struct Acquisition {
+    name: String,
+    offset: usize,
+    /// Byte offset past which the guard is no longer held.
+    end: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Extract `A held across B` edges from one file.
+pub fn collect_edges(file: &SourceFile) -> Vec<Edge> {
+    let scrub = &file.scrubbed;
+    let b = scrub.as_bytes();
+    let mut sites: Vec<Acquisition> = Vec::new();
+
+    for pat in [".lock()", ".read()", ".write()"] {
+        for off in find_all(scrub, pat) {
+            let (line, col) = file.line_col(off);
+            if file.is_test_line(line) {
+                continue;
+            }
+            let Some(name) = receiver_name(b, off) else {
+                continue;
+            };
+            let end = hold_span_end(b, off);
+            sites.push(Acquisition {
+                name,
+                offset: off,
+                end,
+                line,
+                col,
+            });
+        }
+    }
+    sites.sort_by_key(|s| s.offset);
+
+    let mut edges = Vec::new();
+    for (i, outer) in sites.iter().enumerate() {
+        for inner in &sites[i + 1..] {
+            if inner.offset >= outer.end {
+                break; // sites are offset-sorted
+            }
+            edges.push(Edge {
+                from: outer.name.clone(),
+                to: inner.name.clone(),
+                path: file.path.clone(),
+                line: inner.line,
+                col: inner.col,
+            });
+        }
+    }
+    edges
+}
+
+/// Walk back over `[A-Za-z0-9_:.]` from the `.` of `.lock()` and name
+/// the receiver by its last path segment. `None` for unnameable
+/// receivers (method-call chains ending in `)`).
+fn receiver_name(b: &[u8], dot: usize) -> Option<String> {
+    let mut start = dot;
+    while start > 0 {
+        let c = b[start - 1];
+        if is_ident_byte(c) || c == b':' || c == b'.' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    let recv = std::str::from_utf8(&b[start..dot]).ok()?;
+    let name = recv.rsplit(['.', ':']).find(|s| !s.is_empty())?;
+    if name == "self" || name.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Compute where the guard acquired at `dot` stops being held.
+fn hold_span_end(b: &[u8], dot: usize) -> usize {
+    // Find the statement start: nearest `;`, `{` or `}` going back.
+    let mut stmt_start = 0;
+    let mut k = dot;
+    while k > 0 {
+        match b[k - 1] {
+            b';' | b'{' | b'}' => {
+                stmt_start = k;
+                break;
+            }
+            _ => k -= 1,
+        }
+    }
+    let head = std::str::from_utf8(&b[stmt_start..dot]).unwrap_or("");
+    let head = head.trim_start();
+    let guard_var = head.strip_prefix("let ").map(|rest| {
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        rest.bytes()
+            .take_while(|&c| is_ident_byte(c))
+            .map(char::from)
+            .collect::<String>()
+    });
+
+    let let_bound = guard_var.is_some();
+    let mut depth = 0i32;
+    let mut i = dot;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i; // enclosing block closes
+                }
+            }
+            b';' if !let_bound && depth <= 0 => return i,
+            b'd' => {
+                // `drop(guard)` / `mem::drop(guard)` releases early.
+                if let Some(var) = guard_var.as_deref() {
+                    if !var.is_empty()
+                        && b[i..].starts_with(b"drop(")
+                        && !is_ident_byte(b[i.saturating_sub(1)])
+                    {
+                        let arg_start = i + 5;
+                        let arg_end = arg_start + var.len();
+                        if b.get(arg_start..arg_end) == Some(var.as_bytes())
+                            && b.get(arg_end) == Some(&b')')
+                        {
+                            return i;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Detect cycles in one crate's acquisition graph and report each
+/// distinct node cycle once.
+pub fn analyze_graph(krate: &str, edges: &[Edge], diags: &mut Vec<Diagnostic>) {
+    // Adjacency with a representative edge per (from, to).
+    let mut adj: BTreeMap<&str, BTreeMap<&str, &Edge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().entry(&e.to).or_insert(e);
+    }
+
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in adj.keys().collect::<Vec<_>>().iter() {
+        let mut path: Vec<&str> = vec![start];
+        dfs(start, start, &adj, &mut path, &mut seen, diags, krate, 8);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<'a>(
+    start: &'a str,
+    node: &'a str,
+    adj: &BTreeMap<&'a str, BTreeMap<&'a str, &'a Edge>>,
+    path: &mut Vec<&'a str>,
+    seen: &mut BTreeSet<Vec<String>>,
+    diags: &mut Vec<Diagnostic>,
+    krate: &str,
+    depth_left: usize,
+) {
+    let Some(nexts) = adj.get(node) else { return };
+    for (&next, &edge) in nexts {
+        if next == start {
+            // Cycle closed. Canonicalise: only report from the minimal
+            // node so each node cycle is emitted once.
+            if start == *path.iter().min().expect("path is non-empty") {
+                let key: Vec<String> = {
+                    let mut k: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                    k.sort();
+                    k
+                };
+                if seen.insert(key) {
+                    let chain = path
+                        .iter()
+                        .chain(std::iter::once(&start))
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(" → ");
+                    diags.push(Diagnostic {
+                        rule: LOCK_ORDERING,
+                        severity: Severity::Error,
+                        path: edge.path.clone(),
+                        line: edge.line,
+                        col: edge.col,
+                        message: format!(
+                            "lock-ordering cycle in {krate}: {chain} — these locks are \
+                             acquired in inconsistent order and can deadlock"
+                        ),
+                    });
+                }
+            }
+            continue;
+        }
+        if depth_left == 0 || path.contains(&next) {
+            continue;
+        }
+        path.push(next);
+        dfs(start, next, adj, path, seen, diags, krate, depth_left - 1);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(src: &str) -> Vec<(String, String)> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        collect_edges(&f)
+            .into_iter()
+            .map(|e| (e.from, e.to))
+            .collect()
+    }
+
+    #[test]
+    fn let_bound_guard_spans_block_and_drop_truncates() {
+        let src = "\
+fn f(&self) {
+    let g = self.sessions.lock();
+    self.jobs.lock();
+}
+fn g(&self) {
+    let g = self.sessions.lock();
+    drop(g);
+    self.jobs.lock();
+}
+";
+        assert_eq!(
+            edges(src),
+            vec![("sessions".to_string(), "jobs".to_string())]
+        );
+    }
+
+    #[test]
+    fn statement_scoped_guard_does_not_leak() {
+        let src = "\
+fn f(&self) {
+    self.sessions.lock().insert(1);
+    self.jobs.lock().remove(2);
+}
+";
+        assert!(edges(src).is_empty());
+    }
+
+    #[test]
+    fn read_write_and_chained_receivers_count() {
+        let src = "\
+fn f(&self) {
+    let s = self.inner.state.read();
+    self.inner.log.write().push(1);
+}
+";
+        assert_eq!(edges(src), vec![("state".to_string(), "log".to_string())]);
+        // Calls with arguments (io::Read) are not acquisitions.
+        assert!(edges("fn f(r: &mut R) { r.read(&mut buf); }").is_empty());
+    }
+
+    #[test]
+    fn cycle_is_reported_once() {
+        let mk = |from: &str, to: &str, line| Edge {
+            from: from.into(),
+            to: to.into(),
+            path: "crates/x/src/lib.rs".into(),
+            line,
+            col: 1,
+        };
+        let mut d = Vec::new();
+        analyze_graph(
+            "crates/x",
+            &[mk("a", "b", 2), mk("b", "a", 7), mk("a", "b", 12)],
+            &mut d,
+        );
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, LOCK_ORDERING);
+        assert!(d[0].message.contains("a → b → a"), "{}", d[0].message);
+        // Acyclic graph is clean.
+        let mut d = Vec::new();
+        analyze_graph("crates/x", &[mk("a", "b", 2), mk("b", "c", 3)], &mut d);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn self_edge_is_a_double_lock() {
+        let src = "\
+fn f(&self) {
+    let g = self.queues.lock();
+    let h = self.queues.lock();
+}
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let e = collect_edges(&f);
+        let mut d = Vec::new();
+        analyze_graph("crates/x", &e, &mut d);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("queues → queues"));
+    }
+
+    #[test]
+    fn mixed_mutex_fires_on_both_families_only() {
+        let mut d = Vec::new();
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "use std::sync::{Arc, Mutex};\nuse parking_lot::RwLock;\n",
+        );
+        check_mixed(&f, &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, MIXED_MUTEX);
+        assert_eq!(d[0].line, 2);
+
+        let mut d = Vec::new();
+        // std::sync::atomic + parking_lot is fine; so is Arc alone.
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\nuse parking_lot::Mutex;\n",
+        );
+        check_mixed(&f, &mut d);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+}

@@ -1,0 +1,177 @@
+//! `metric-naming`: registered metric names must match
+//! `^[a-z][a-z0-9_]*(_total|_ms|_bytes)?$` with the suffix agreeing
+//! with the instrument kind (counters end `_total`, histograms `_ms` or
+//! `_bytes`, gauges carry no counter suffix), and label values must be
+//! statically bounded — a `format!` inside a `labeled(…)` call is an
+//! unbounded-cardinality red flag.
+
+use crate::diag::{Diagnostic, Severity, METRIC_NAMING};
+use crate::lexer::SourceFile;
+use crate::rules::find_words;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+const REGISTRATIONS: &[(&str, Kind)] = &[
+    ("counter(", Kind::Counter),
+    ("gauge(", Kind::Gauge),
+    ("histogram(", Kind::Histogram),
+    ("latency_histogram(", Kind::Histogram),
+];
+
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let scrub = &file.scrubbed;
+    for &(pat, kind) in REGISTRATIONS {
+        for off in find_words(scrub, pat) {
+            let (line, col) = file.line_col(off);
+            if file.is_test_line(line) {
+                continue;
+            }
+            let open = off + pat.len() - 1;
+            let close = matching_paren(scrub.as_bytes(), open);
+            // The metric name is the first string literal inside the
+            // call. No literal (a definition site, or a variable name
+            // forwarded from a validated caller) — nothing to check.
+            let Some(name) = file
+                .strings
+                .iter()
+                .find(|s| s.offset > open && s.offset < close)
+                .map(|s| s.text.as_str())
+            else {
+                continue;
+            };
+            if let Some(err) = name_error(kind, name) {
+                diags.push(Diagnostic {
+                    rule: METRIC_NAMING,
+                    severity: Severity::Warning,
+                    path: file.path.clone(),
+                    line,
+                    col,
+                    message: format!("metric name `{name}` {err}"),
+                });
+            }
+        }
+    }
+
+    // Label cardinality: `labeled(base, &[(k, v)])` with a `format!`ed
+    // value can mint unbounded series.
+    for off in find_words(scrub, "labeled(") {
+        let (line, col) = file.line_col(off);
+        if file.is_test_line(line) {
+            continue;
+        }
+        let open = off + "labeled(".len() - 1;
+        let close = matching_paren(scrub.as_bytes(), open);
+        if !find_words(&scrub[open..close], "format!").is_empty() {
+            diags.push(Diagnostic {
+                rule: METRIC_NAMING,
+                severity: Severity::Warning,
+                path: file.path.clone(),
+                line,
+                col,
+                message: "`format!` inside `labeled(…)` — label values must come from a \
+                          statically bounded set, not free-form interpolation"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Offset of the `)` matching the `(` at `open` (or end of file).
+fn matching_paren(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// `None` if the name is valid for `kind`, else the complaint.
+fn name_error(kind: Kind, name: &str) -> Option<&'static str> {
+    let mut bytes = name.bytes();
+    let charset_ok = matches!(bytes.next(), Some(b'a'..=b'z'))
+        && bytes.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_');
+    if !charset_ok {
+        return Some("must match ^[a-z][a-z0-9_]*(_total|_ms|_bytes)?$");
+    }
+    match kind {
+        Kind::Counter if !name.ends_with("_total") => Some("is a counter and must end in `_total`"),
+        Kind::Histogram if !(name.ends_with("_ms") || name.ends_with("_bytes")) => {
+            Some("is a histogram and must end in `_ms` or `_bytes`")
+        }
+        Kind::Gauge if name.ends_with("_total") => {
+            Some("is a gauge — the `_total` suffix is reserved for counters")
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/rest/src/server.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn kind_suffixes_enforced() {
+        let src = "\
+fn f(m: &Registry) {
+    m.counter(\"http_requests_total\");
+    m.counter(\"http_requests\");
+    m.gauge(\"jobs_running\");
+    m.gauge(\"jobs_running_total\");
+    m.latency_histogram(\"http_request_ms\");
+    m.histogram(\"payload_size\", &BOUNDS);
+}
+";
+        let d = run(src);
+        assert_eq!(d.len(), 3, "{d:#?}");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("_total"));
+        assert_eq!(d[1].line, 5);
+        assert_eq!(d[2].line, 7);
+    }
+
+    #[test]
+    fn charset_violations_flagged() {
+        let d = run("fn f(m: &Registry) { m.counter(\"HTTP-Requests_total\"); }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("must match"));
+    }
+
+    #[test]
+    fn definition_sites_and_variables_skipped() {
+        // No string literal in the call → nothing to validate.
+        let src = "pub fn counter(&self, name: &str) -> Arc<Counter> { self.family(name) }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn format_in_labeled_is_unbounded_cardinality() {
+        let d = run("fn f() { let n = labeled(\"http_requests_total\", &[(\"path\", &format!(\"{p}\"))]); }");
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert!(d[0].message.contains("statically bounded"));
+        let d = run("fn f() { let n = labeled(\"http_requests_total\", &[(\"code\", \"200\")]); }");
+        assert!(d.is_empty(), "{d:#?}");
+    }
+}

@@ -1,0 +1,115 @@
+//! The rule set. Each rule scans a [`SourceFile`](crate::lexer::SourceFile)'s
+//! scrubbed text (comments and literal bodies blanked) and pushes
+//! line-anchored [`Diagnostic`](crate::diag::Diagnostic)s; `lock-ordering`
+//! additionally aggregates acquisition edges per crate before reporting.
+
+pub mod atomics;
+pub mod channels;
+pub mod locks;
+pub mod metrics;
+pub mod panic_in_lib;
+
+/// The baseline-report *area* a file belongs to. Crates are one area
+/// each, except `crates/core`, whose serving-path submodules (`jobs`,
+/// `engine`) are tracked separately so their counts can ratchet to zero
+/// independently of the rest of the core crate.
+pub fn area_of(path: &str) -> String {
+    if path.starts_with("crates/core/src/jobs") {
+        return "crates/core/src/jobs".to_string();
+    }
+    if path.starts_with("crates/core/src/engine") {
+        return "crates/core/src/engine".to_string();
+    }
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some(slash) = rest.find('/') {
+            return format!("crates/{}", &rest[..slash]);
+        }
+    }
+    "src".to_string()
+}
+
+/// The crate a file belongs to — the node-grouping key for the
+/// per-crate lock-acquisition graph.
+pub fn crate_of(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some(slash) = rest.find('/') {
+            return format!("crates/{}", &rest[..slash]);
+        }
+    }
+    "src".to_string()
+}
+
+/// Serving-path areas: code on the request/job hot path, where a panic
+/// kills a worker and an unbounded queue is a memory bomb. `panic-in-lib`
+/// and `bounded-channel-discipline` are scoped to these.
+pub fn is_serving_area(area: &str) -> bool {
+    matches!(
+        area,
+        "crates/rest" | "crates/obs" | "crates/core/src/jobs" | "crates/core/src/engine"
+    )
+}
+
+/// Is `b` an identifier byte (`[A-Za-z0-9_]`)?
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets of every non-overlapping occurrence of `needle` in
+/// `hay`. Byte-based so offsets are safe regardless of UTF-8 content.
+pub(crate) fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let h = hay.as_bytes();
+    let n = needle.as_bytes();
+    let mut out = Vec::new();
+    if n.is_empty() || n.len() > h.len() {
+        return out;
+    }
+    let mut i = 0;
+    while i + n.len() <= h.len() {
+        if &h[i..i + n.len()] == n {
+            out.push(i);
+            i += n.len();
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Like [`find_all`], but requires the match to start at a word
+/// boundary (previous byte is not an identifier byte).
+pub(crate) fn find_words(hay: &str, word: &str) -> Vec<usize> {
+    let h = hay.as_bytes();
+    find_all(hay, word)
+        .into_iter()
+        .filter(|&off| off == 0 || !is_ident_byte(h[off - 1]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn areas_split_core_serving_submodules() {
+        assert_eq!(area_of("crates/rest/src/http.rs"), "crates/rest");
+        assert_eq!(
+            area_of("crates/core/src/jobs/queue.rs"),
+            "crates/core/src/jobs"
+        );
+        assert_eq!(
+            area_of("crates/core/src/engine/mod.rs"),
+            "crates/core/src/engine"
+        );
+        assert_eq!(area_of("crates/core/src/table.rs"), "crates/core");
+        assert_eq!(area_of("src/main.rs"), "src");
+        assert!(is_serving_area("crates/rest"));
+        assert!(!is_serving_area("crates/core"));
+        assert_eq!(crate_of("crates/core/src/jobs/queue.rs"), "crates/core");
+    }
+
+    #[test]
+    fn word_search_respects_boundaries() {
+        assert_eq!(find_words("load overload load", "load"), vec![0, 14]);
+        assert_eq!(find_all("aaa", "aa"), vec![0]);
+    }
+}

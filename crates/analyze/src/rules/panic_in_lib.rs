@@ -1,0 +1,151 @@
+//! `panic-in-lib`: panicking constructs in non-test library code of
+//! serving-path crates. A panic on the serving path kills a worker
+//! thread (or poisons a lock); these sites must either return a typed
+//! error or document the invariant with a suppression.
+
+use crate::diag::{Diagnostic, Severity, PANIC_IN_LIB};
+use crate::lexer::SourceFile;
+use crate::rules::{area_of, find_all, find_words, is_ident_byte, is_serving_area};
+
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    if !is_serving_area(&area_of(&file.path)) {
+        return;
+    }
+    let scrub = &file.scrubbed;
+
+    for (pat, what) in [(".unwrap()", "`.unwrap()`"), (".expect(", "`.expect(…)`")] {
+        for off in find_all(scrub, pat) {
+            push(
+                file,
+                diags,
+                off,
+                format!(
+                    "{what} in non-test library code — return a typed error, or document the \
+                     invariant with `// lint:allow(panic-in-lib): <reason>`"
+                ),
+            );
+        }
+    }
+
+    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+        for off in find_words(scrub, mac) {
+            push(
+                file,
+                diags,
+                off,
+                format!("`{mac}` in non-test library code"),
+            );
+        }
+    }
+
+    // Integer-literal indexing: `expr[3]` panics out of range.
+    let b = scrub.as_bytes();
+    for off in find_all(scrub, "[") {
+        if off == 0 {
+            continue;
+        }
+        let prev = b[off - 1];
+        if !is_ident_byte(prev) && prev != b')' && prev != b']' {
+            continue; // type position (`[u8; 4]`), attribute, slice pattern…
+        }
+        let mut j = off + 1;
+        let mut digits = 0usize;
+        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
+            if b[j].is_ascii_digit() {
+                digits += 1;
+            }
+            j += 1;
+        }
+        if digits > 0 && j < b.len() && b[j] == b']' {
+            push(
+                file,
+                diags,
+                off,
+                "integer-literal indexing can panic — use `.get(…)` or document the invariant"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn push(file: &SourceFile, diags: &mut Vec<Diagnostic>, offset: usize, message: String) {
+    let (line, col) = file.line_col(offset);
+    if file.is_test_line(line) {
+        return;
+    }
+    // `debug_assert!` bodies are compiled out of release builds; their
+    // panics and index expressions are not serving-path hazards.
+    if file.scrubbed_line(line).contains("debug_assert") {
+        return;
+    }
+    diags.push(Diagnostic {
+        rule: PANIC_IN_LIB,
+        severity: Severity::Error,
+        path: file.path.clone(),
+        line,
+        col,
+        message,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros_in_serving_crates() {
+        let src = "\
+fn f(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect(\"set\");
+    if a > b { panic!(\"boom\") }
+    unreachable!()
+}
+";
+        let d = run("crates/rest/src/http.rs", src);
+        assert_eq!(d.len(), 4, "{d:#?}");
+        assert_eq!(d[0].line, 2);
+        assert!(d.iter().all(|x| x.rule == PANIC_IN_LIB));
+    }
+
+    #[test]
+    fn non_serving_crates_and_test_code_are_exempt() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(run("crates/core/src/table.rs", src).is_empty());
+        let src = "#[cfg(test)]\nmod t { fn f(x: Option<u8>) { x.unwrap(); } }\n";
+        assert!(run("crates/rest/src/http.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_and_strings_do_not_match() {
+        let src = "fn f(x: Option<u8>) -> u8 { let _ = \".unwrap()\"; x.unwrap_or(0) }";
+        assert!(run("crates/obs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn integer_index_flagged_but_types_and_debug_assert_exempt() {
+        let src = "\
+fn f(v: &[u8; 4], w: &[u8]) -> u8 {
+    debug_assert!(w[0] < w[1]);
+    v[3]
+}
+";
+        let d = run("crates/obs/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].line, 3);
+        assert!(run("crates/obs/src/lib.rs", "type A = [u8; 4];").is_empty());
+        // Variable indices are not statically checkable here — exempt.
+        assert!(run(
+            "crates/obs/src/lib.rs",
+            "fn g(v: &[u8], i: usize) -> u8 { v[i] }"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end tests of the `datalens-analyze` binary: strict-mode gate
+//! semantics, the baseline ratchet, and byte-determinism of the report.
+//!
+//! Each test builds a throwaway fixture workspace under the target tmp
+//! dir and drives the real binary via `CARGO_BIN_EXE_datalens-analyze`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_datalens-analyze"))
+        .args(args)
+        .output()
+        .expect("spawn datalens-analyze")
+}
+
+/// A fresh fixture workspace with one serving-path crate (`rest`).
+fn fixture(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("datalens-analyze-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("crates/rest/src")).unwrap();
+    fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .unwrap();
+    dir
+}
+
+fn write_lib(root: &Path, body: &str) {
+    fs::write(root.join("crates/rest/src/lib.rs"), body).unwrap();
+}
+
+const CLEAN: &str = "pub fn ok(x: Option<u8>) -> Option<u8> {\n    x\n}\n";
+const ONE_UNWRAP: &str = "pub fn boom(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+const TWO_UNWRAPS: &str = "pub fn boom(x: Option<u8>, y: Option<u8>) -> u8 {\n    \
+                           x.unwrap() + y.unwrap()\n}\n";
+
+#[test]
+fn strict_mode_fails_on_injected_violation_and_passes_clean() {
+    let root = fixture("strict");
+    let root_s = root.to_str().unwrap();
+
+    write_lib(&root, ONE_UNWRAP);
+    let out = run(&["--workspace", "--root", root_s]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "strict mode must fail on a finding"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("panic-in-lib"), "{stdout}");
+    assert!(stdout.contains("crates/rest/src/lib.rs:2:6"), "{stdout}");
+
+    write_lib(&root, CLEAN);
+    let out = run(&["--workspace", "--root", root_s]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean tree must pass strict mode"
+    );
+}
+
+#[test]
+fn baseline_tolerates_legacy_fails_new_and_ratchets_down() {
+    let root = fixture("ratchet");
+    let root_s = root.to_str().unwrap();
+    let baseline = root.join("ANALYZE.json");
+    let baseline_s = baseline.to_str().unwrap();
+
+    // Commit a baseline with one legacy finding.
+    write_lib(&root, ONE_UNWRAP);
+    let out = run(&[
+        "--root",
+        root_s,
+        "--baseline",
+        baseline_s,
+        "--write-baseline",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // Unchanged tree: the legacy finding is tolerated.
+    let out = run(&["--root", root_s, "--baseline", baseline_s]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "legacy findings must pass the gate"
+    );
+
+    // A new finding in the same bucket is a regression.
+    write_lib(&root, TWO_UNWRAPS);
+    let out = run(&["--root", root_s, "--baseline", baseline_s]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "bucket growth must fail the gate"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("baseline gate FAILED"), "{stderr}");
+
+    // Fixing everything passes and suggests locking the ratchet in.
+    write_lib(&root, CLEAN);
+    let out = run(&["--root", root_s, "--baseline", baseline_s]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("counts went down"), "{stdout}");
+}
+
+#[test]
+fn baseline_report_is_byte_deterministic() {
+    let root = fixture("determinism");
+    let root_s = root.to_str().unwrap();
+    write_lib(&root, ONE_UNWRAP);
+
+    let a = root.join("a.json");
+    let b = root.join("b.json");
+    for path in [&a, &b] {
+        let out = run(&[
+            "--root",
+            root_s,
+            "--baseline",
+            path.to_str().unwrap(),
+            "--write-baseline",
+        ]);
+        assert_eq!(out.status.code(), Some(0));
+    }
+    let (a, b) = (fs::read(&a).unwrap(), fs::read(&b).unwrap());
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "report bytes must be identical across runs");
+
+    // The committed-baseline shape: every rule appears with a total, and
+    // non-zero rules carry a per-area breakdown.
+    let text = String::from_utf8(a).unwrap();
+    assert!(text.contains("\"panic-in-lib\""));
+    assert!(text.contains("\"crates/rest\""));
+    assert!(text.ends_with('\n'));
+}

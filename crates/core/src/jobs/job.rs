@@ -7,8 +7,9 @@
 //! [`StageReport`]s so `GET /jobs/{id}` shows live progress.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use serde::{Deserialize, Serialize};
 
@@ -248,9 +249,8 @@ struct Progress {
 /// The in-memory job record shared between submitters, workers, and
 /// status readers.
 ///
-/// Synchronisation note: progress pairs a `std::sync` mutex with a
-/// [`Condvar`] so [`JobInner::wait_terminal`] can block on state changes
-/// (the vendored `parking_lot` shim has no condvar).
+/// Synchronisation note: progress pairs a [`Mutex`] with a [`Condvar`]
+/// so [`JobInner::wait_terminal`] can block on state changes.
 pub(crate) struct JobInner {
     pub id: u64,
     pub session: u64,
@@ -282,8 +282,8 @@ impl JobInner {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Progress> {
-        self.progress.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> MutexGuard<'_, Progress> {
+        self.progress.lock()
     }
 
     /// Externally visible snapshot.
@@ -359,19 +359,13 @@ impl JobInner {
         let mut p = self.lock();
         while !p.state.is_terminal() {
             match deadline {
-                None => {
-                    p = self.changed.wait(p).unwrap_or_else(|e| e.into_inner());
-                }
+                None => self.changed.wait(&mut p),
                 Some(d) => {
                     let now = std::time::Instant::now();
                     if now >= d {
                         break;
                     }
-                    p = self
-                        .changed
-                        .wait_timeout(p, d - now)
-                        .unwrap_or_else(|e| e.into_inner())
-                        .0;
+                    self.changed.wait_for(&mut p, d - now);
                 }
             }
         }

@@ -33,11 +33,11 @@ pub mod session;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use datalens_obs::{labeled, Registry};
 use datalens_table::Table;
@@ -120,9 +120,8 @@ impl JobMetrics {
 
 struct Inner {
     config: JobServiceConfig,
-    /// Scheduler state; paired with `work_cv` (std mutex: the vendored
-    /// parking_lot shim has no condvar).
-    queues: StdMutex<SessionQueues>,
+    /// Scheduler state; paired with `work_cv`.
+    queues: Mutex<SessionQueues>,
     work_cv: Condvar,
     sessions: RwLock<BTreeMap<u64, Arc<SessionSlot>>>,
     jobs: RwLock<BTreeMap<u64, Arc<JobInner>>>,
@@ -153,7 +152,7 @@ impl JobService {
         };
         let metrics = config.metrics.clone().map(JobMetrics::new);
         let inner = Arc::new(Inner {
-            queues: StdMutex::new(SessionQueues::new(config.queue_depth)),
+            queues: Mutex::new(SessionQueues::new(config.queue_depth)),
             work_cv: Condvar::new(),
             sessions: RwLock::new(BTreeMap::new()),
             jobs: RwLock::new(BTreeMap::new()),
@@ -165,15 +164,26 @@ impl JobService {
             config,
         });
         let n = inner.config.workers.max(1);
-        let workers = (0..n)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("datalens-job-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn job worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let worker_inner = Arc::clone(&inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("datalens-job-worker-{i}"))
+                .spawn(move || worker_loop(&worker_inner));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Unwind the partial pool before surfacing the error
+                    // so no worker outlives a service that never existed.
+                    inner.stop.store(true, Ordering::SeqCst);
+                    inner.work_cv.notify_all();
+                    for t in workers {
+                        let _ = t.join();
+                    }
+                    return Err(JobError::Pipeline(DataLensError::Io(e)));
+                }
+            }
+        }
         Ok(JobService {
             inner,
             workers: Mutex::new(workers),
@@ -230,7 +240,7 @@ impl JobService {
 
     /// Summaries of all sessions, in creation order.
     pub fn list_sessions(&self) -> Vec<SessionInfo> {
-        let q = self.inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+        let q = self.inner.queues.lock();
         self.inner
             .sessions
             .read()
@@ -271,7 +281,7 @@ impl JobService {
         let id = self.inner.next_job.fetch_add(1, Ordering::SeqCst);
         let job = Arc::new(JobInner::new(id, session_id, spec));
         let queued = {
-            let mut q = self.inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+            let mut q = self.inner.queues.lock();
             q.push(Arc::clone(&job))?;
             q.queued()
         };
@@ -316,7 +326,7 @@ impl JobService {
         let job = self.job(job_id)?;
         job.request_cancel();
         let (removed, queued) = {
-            let mut q = self.inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+            let mut q = self.inner.queues.lock();
             (q.remove(job.session, job.id), q.queued())
         };
         if let Some(m) = &self.inner.metrics {
@@ -341,7 +351,7 @@ impl JobService {
 
     /// `(queued, capacity)` of the bounded queue.
     pub fn queue_stats(&self) -> (usize, usize) {
-        let q = self.inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+        let q = self.inner.queues.lock();
         (q.queued(), q.depth())
     }
 
@@ -373,7 +383,7 @@ impl Drop for JobService {
 fn worker_loop(inner: &Inner) {
     loop {
         let (claimed, queued) = {
-            let mut q = inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+            let mut q = inner.queues.lock();
             loop {
                 if inner.stop.load(Ordering::SeqCst) {
                     return;
@@ -381,7 +391,7 @@ fn worker_loop(inner: &Inner) {
                 if let Some(x) = q.pop() {
                     break (x, q.queued());
                 }
-                q = inner.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                inner.work_cv.wait(&mut q);
             }
         };
         let (session_id, job) = claimed;
@@ -392,7 +402,7 @@ fn worker_loop(inner: &Inner) {
         }
         run_job(inner, session_id, &job);
         let more = {
-            let mut q = inner.queues.lock().unwrap_or_else(|e| e.into_inner());
+            let mut q = inner.queues.lock();
             q.finish(session_id)
         };
         if more {

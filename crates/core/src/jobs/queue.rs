@@ -24,10 +24,13 @@ pub(crate) struct SessionQueues {
 
 impl SessionQueues {
     pub fn new(depth: usize) -> SessionQueues {
+        let depth = depth.max(1);
         SessionQueues {
-            depth: depth.max(1),
+            depth,
             queued: 0,
-            ready: VecDeque::new(),
+            // `ready` holds at most one entry per session with pending
+            // work, so the queue capacity bounds it too.
+            ready: VecDeque::with_capacity(depth),
             active: HashSet::new(),
             pending: HashMap::new(),
         }
@@ -75,7 +78,11 @@ impl SessionQueues {
         let q = self
             .pending
             .get_mut(&session)
+            // lint:allow(panic-in-lib): module invariant — a session id in
+            // `ready` always has a non-empty pending queue (push/remove
+            // keep them in lockstep); see the module docs
             .expect("ready session has a pending queue");
+        // lint:allow(panic-in-lib): same ready/pending lockstep invariant
         let job = q.pop_front().expect("ready session has a pending job");
         if q.is_empty() {
             self.pending.remove(&session);

@@ -113,11 +113,13 @@ pub fn job_service_router(service: Arc<JobService>) -> Router {
             Ok(id) => id,
             Err(e) => return error_response(&e),
         };
-        let session = svc
-            .list_sessions()
-            .into_iter()
-            .find(|s| s.session_id == id)
-            .expect("freshly created session is listed");
+        let session = svc.list_sessions().into_iter().find(|s| s.session_id == id);
+        let Some(session) = session else {
+            // Registry insert is visible before `create_session_*`
+            // returns, so this cannot happen short of a service bug —
+            // but a 500 beats panicking the HTTP worker.
+            return Response::error(500, &format!("session {id} not listed after creation"));
+        };
         let mut resp = Response::json(&CreateSessionResponse { session });
         resp.status = 201;
         resp

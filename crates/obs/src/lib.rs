@@ -15,8 +15,10 @@
 //!    lock on first use; callers are expected to cache the returned
 //!    handle (all in-repo instrumentation does).
 //! 3. **Rendering is cold** — `GET /metrics` snapshots under the read
-//!    lock with relaxed loads; a snapshot is *consistent enough* for
-//!    monitoring, not a linearizable cut.
+//!    lock with acquire loads (writes that `set` a gauge are release,
+//!    so a rendered value is at least as fresh as the last completed
+//!    record); a snapshot is *consistent enough* for monitoring, not a
+//!    linearizable cut.
 //!
 //! Metric names follow the Prometheus convention `base{key="value",…}`:
 //! the label set is folded into the registry key, so the registry itself
@@ -24,7 +26,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 /// Bucket upper bounds (milliseconds) that cover everything from a
 /// sub-millisecond route hit to a minute-long pipeline stage. The last
@@ -45,11 +49,13 @@ impl Counter {
     }
 
     pub fn add(&self, n: u64) {
+        // Pure counter: nothing is published through it, so the
+        // increment stays relaxed (the hot-path contract above).
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Acquire)
     }
 }
 
@@ -62,10 +68,11 @@ pub struct Gauge {
 
 impl Gauge {
     pub fn set(&self, v: i64) {
-        self.value.store(v, Ordering::Relaxed);
+        self.value.store(v, Ordering::Release);
     }
 
     pub fn add(&self, n: i64) {
+        // Pure counter-style delta; stays relaxed like Counter::add.
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -74,7 +81,7 @@ impl Gauge {
     }
 
     pub fn get(&self) -> i64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Acquire)
     }
 }
 
@@ -106,7 +113,7 @@ pub struct HistogramSnapshot {
 impl Histogram {
     pub fn new(bounds: &[f64]) -> Histogram {
         debug_assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
+            bounds.is_sorted_by(|a, b| a < b),
             "histogram bounds must be strictly ascending"
         );
         let mut buckets = Vec::with_capacity(bounds.len() + 1);
@@ -137,15 +144,16 @@ impl Histogram {
             .unwrap_or(self.bounds.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        // The running sum is a pure accumulator: nothing else is
+        // published through it, and `GET /metrics` snapshots tolerate a
+        // monitoring-grade (non-linearizable) read — so the whole
+        // read-modify-write loop stays relaxed.
+        // lint:allow(relaxed-cross-thread): pure accumulator, see above
+        const ORD: Ordering = Ordering::Relaxed;
+        let mut cur = self.sum_bits.load(ORD);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
-            match self.sum_bits.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self.sum_bits.compare_exchange_weak(cur, next, ORD, ORD) {
                 Ok(_) => break,
                 Err(seen) => cur = seen,
             }
@@ -153,11 +161,11 @@ impl Histogram {
     }
 
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Acquire)
     }
 
     pub fn sum(&self) -> f64 {
-        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+        f64::from_bits(self.sum_bits.load(Ordering::Acquire))
     }
 
     /// Mean of all observations (0 when empty).
@@ -176,7 +184,7 @@ impl Histogram {
             buckets: self
                 .buckets
                 .iter()
-                .map(|b| b.load(Ordering::Relaxed))
+                .map(|b| b.load(Ordering::Acquire))
                 .collect(),
             count: self.count(),
             sum: self.sum(),
@@ -215,7 +223,7 @@ impl Registry {
         if let Some(Metric::Counter(c)) = self.get(name) {
             return c;
         }
-        let mut metrics = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        let mut metrics = self.metrics.write();
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
@@ -231,7 +239,7 @@ impl Registry {
         if let Some(Metric::Gauge(g)) = self.get(name) {
             return g;
         }
-        let mut metrics = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        let mut metrics = self.metrics.write();
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
@@ -247,7 +255,7 @@ impl Registry {
         if let Some(Metric::Histogram(h)) = self.get(name) {
             return h;
         }
-        let mut metrics = self.metrics.write().unwrap_or_else(|e| e.into_inner());
+        let mut metrics = self.metrics.write();
         match metrics
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
@@ -263,28 +271,19 @@ impl Registry {
     }
 
     fn get(&self, name: &str) -> Option<Metric> {
-        self.metrics
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(name)
-            .cloned()
+        self.metrics.read().get(name).cloned()
     }
 
     /// Every registered metric name, in order.
     pub fn names(&self) -> Vec<String> {
-        self.metrics
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .keys()
-            .cloned()
-            .collect()
+        self.metrics.read().keys().cloned().collect()
     }
 
     /// Snapshot as a JSON document:
     /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
     pub fn to_json(&self) -> serde_json::Value {
         use serde_json::Value;
-        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let metrics = self.metrics.read();
         let mut counters: Vec<(String, Value)> = Vec::new();
         let mut gauges: Vec<(String, Value)> = Vec::new();
         let mut histograms: Vec<(String, Value)> = Vec::new();
@@ -325,7 +324,7 @@ impl Registry {
     /// `# TYPE` lines per metric family, cumulative `_bucket{le=…}`
     /// series plus `_sum`/`_count` for histograms.
     pub fn to_prometheus(&self) -> String {
-        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let metrics = self.metrics.read();
         let mut out = String::new();
         let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         for (name, metric) in metrics.iter() {
@@ -367,7 +366,7 @@ impl Registry {
 
     /// Compact plain-text summary for the dashboard's metrics panel.
     pub fn render_text(&self) -> String {
-        let metrics = self.metrics.read().unwrap_or_else(|e| e.into_inner());
+        let metrics = self.metrics.read();
         let mut out = String::from("── Metrics ──\n");
         if metrics.is_empty() {
             out.push_str("  (no metrics recorded yet)\n");

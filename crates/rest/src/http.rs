@@ -241,19 +241,41 @@ impl Response {
         }
     }
 
-    /// 200 with a JSON body.
+    /// 200 with a JSON body. A value that fails to serialise becomes a
+    /// 500 instead of panicking the HTTP worker.
     pub fn json<T: serde::Serialize>(value: &T) -> Response {
-        let body = serde_json::to_vec(value).expect("serialisable value");
-        let mut r = Response::new(200, body);
-        r.headers
-            .insert("content-type".into(), "application/json".into());
-        r
+        match serde_json::to_vec(value) {
+            Ok(body) => {
+                let mut r = Response::new(200, body);
+                r.headers
+                    .insert("content-type".into(), "application/json".into());
+                r
+            }
+            Err(e) => Response::error(500, &format!("response serialisation failed: {e}")),
+        }
     }
 
-    /// An error response with a JSON `{"error": …}` body.
+    /// An error response with a JSON `{"error": …}` body. The body is
+    /// built by hand (with escaping) so the error path is panic-free no
+    /// matter what the message contains.
     pub fn error(status: u16, message: &str) -> Response {
-        let body = serde_json::json!({ "error": message });
-        let mut r = Response::new(status, serde_json::to_vec(&body).expect("literal"));
+        let mut body = String::with_capacity(message.len() + 16);
+        body.push_str("{\"error\": \"");
+        for c in message.chars() {
+            match c {
+                '"' => body.push_str("\\\""),
+                '\\' => body.push_str("\\\\"),
+                '\n' => body.push_str("\\n"),
+                '\r' => body.push_str("\\r"),
+                '\t' => body.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    body.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => body.push(c),
+            }
+        }
+        body.push_str("\"}");
+        let mut r = Response::new(status, body.into_bytes());
         r.headers
             .insert("content-type".into(), "application/json".into());
         r

@@ -30,9 +30,11 @@ use std::collections::{BTreeMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
 
 use datalens_obs::{labeled, Registry};
 
@@ -245,9 +247,10 @@ struct ConnQueue {
 
 impl ConnQueue {
     fn new(capacity: usize) -> ConnQueue {
+        let capacity = capacity.max(1);
         ConnQueue {
-            conns: Mutex::new(VecDeque::new()),
-            capacity: capacity.max(1),
+            conns: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
             stop: AtomicBool::new(false),
             ready: Condvar::new(),
             space: Condvar::new(),
@@ -257,12 +260,12 @@ impl ConnQueue {
     /// Block until there is room, then enqueue. Returns `false` when the
     /// server is stopping.
     fn push(&self, stream: TcpStream) -> bool {
-        let mut q = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = self.conns.lock();
         while q.len() >= self.capacity {
             if self.stop.load(Ordering::SeqCst) {
                 return false;
             }
-            q = self.space.wait(q).unwrap_or_else(|e| e.into_inner());
+            self.space.wait(&mut q);
         }
         if self.stop.load(Ordering::SeqCst) {
             return false;
@@ -275,7 +278,7 @@ impl ConnQueue {
 
     /// Block until a connection is available; `None` when stopping.
     fn pop(&self) -> Option<TcpStream> {
-        let mut q = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = self.conns.lock();
         loop {
             if self.stop.load(Ordering::SeqCst) {
                 return None;
@@ -285,13 +288,13 @@ impl ConnQueue {
                 self.space.notify_one();
                 return Some(stream);
             }
-            q = self.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            self.ready.wait(&mut q);
         }
     }
 
     fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        let mut q = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = self.conns.lock();
         q.clear(); // drop queued, never-served connections
         drop(q);
         self.ready.notify_all();
@@ -328,28 +331,37 @@ impl Server {
         let queue = Arc::new(ConnQueue::new(config.accept_backlog));
         let router = Arc::new(router);
 
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let queue = Arc::clone(&queue);
-                let router = Arc::clone(&router);
-                let config = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("datalens-http-{i}"))
-                    .spawn(move || {
-                        while let Some(stream) = queue.pop() {
-                            serve_connection(stream, &router, &config, &queue.stop);
-                        }
-                    })
-                    .expect("spawn http worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let worker_queue = Arc::clone(&queue);
+            let router = Arc::clone(&router);
+            let config = config.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("datalens-http-{i}"))
+                .spawn(move || {
+                    while let Some(stream) = worker_queue.pop() {
+                        serve_connection(stream, &router, &config, &worker_queue.stop);
+                    }
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Wind down the partial pool before reporting.
+                    queue.shutdown();
+                    for t in workers {
+                        let _ = t.join();
+                    }
+                    return Err(HttpError::Io(e));
+                }
+            }
+        }
 
         let accept_queue = Arc::clone(&queue);
         let accepted = config
             .metrics
             .as_ref()
             .map(|m| m.counter("http_connections_total"));
-        let accept_thread = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name("datalens-http-accept".into())
             .spawn(move || {
                 for stream in listener.incoming() {
@@ -364,8 +376,17 @@ impl Server {
                         break;
                     }
                 }
-            })
-            .expect("spawn accept thread");
+            });
+        let accept_thread = match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                queue.shutdown();
+                for t in workers {
+                    let _ = t.join();
+                }
+                return Err(HttpError::Io(e));
+            }
+        };
 
         Ok(Server {
             addr,

@@ -41,6 +41,85 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Result of a [`Condvar::wait_for`], mirroring parking_lot's type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// parking_lot-style condition variable: waits on a `&mut MutexGuard`
+/// (no consume-and-return dance, no poison `Result`).
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+/// The waits below move the guard out from behind `&mut` to hand it to
+/// std's consuming API, then move the re-acquired guard back in. If
+/// that window unwound, dropping the duplicated guard would unlock the
+/// mutex twice — so any panic there becomes an abort.
+struct AbortOnUnwind;
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        std::process::abort();
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Block until notified, releasing `guard`'s mutex while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let bomb = AbortOnUnwind;
+        // SAFETY: the guard read out of `*guard` is given to std's
+        // `wait`, which returns the (re-acquired) guard; writing it
+        // back restores the invariant that `*guard` owns the lock
+        // exactly once. `bomb` aborts if `wait` unwinds in between.
+        unsafe {
+            let g = std::ptr::read(guard);
+            let g = self.0.wait(g).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, g);
+        }
+        std::mem::forget(bomb);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let bomb = AbortOnUnwind;
+        let timed_out;
+        // SAFETY: as in `wait` — guard moves out, std re-acquires, and
+        // the result moves back in before anything can observe `*guard`.
+        unsafe {
+            let g = std::ptr::read(guard);
+            let (g, res) = match self.0.wait_timeout(g, timeout) {
+                Ok(pair) => pair,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            timed_out = res.timed_out();
+            std::ptr::write(guard, g);
+        }
+        std::mem::forget(bomb);
+        WaitTimeoutResult(timed_out)
+    }
+}
+
 /// parking_lot-style reader-writer lock: `read()`/`write()` never fail.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
@@ -82,5 +161,40 @@ mod tests {
         let l = RwLock::new(vec![1, 2]);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wait_wakes_on_notify() {
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waker = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*waker;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            let res = cv.wait_for(&mut ready, Duration::from_secs(5));
+            assert!(!res.timed_out(), "notify should arrive well within 5s");
+        }
+        assert!(*ready);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(0u8);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(res.timed_out());
+        // The guard still owns the lock after the wait.
+        *g = 7;
+        drop(g);
+        assert_eq!(*m.lock(), 7);
     }
 }
