@@ -66,7 +66,8 @@ serve flags:  --workers N      job-service worker pool size (default 4)
               --port N         listen port (default 0 = ephemeral)
               --http-workers N connection worker-pool size (default 8)
 common flags: --seed N   seed for stochastic tools
-              --threads N   detect fan-out threads (0 = one per core)";
+              --threads N   detect/profile fan-out threads (0 = one per core;
+                            serve default 1 to keep per-job work single-threaded)";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -235,15 +236,18 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let http_workers: usize = flag_value(args, "--http-workers")
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
+    let threads: usize = flag_value(args, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let workspace_dir = flag_value(args, "--workspace").map(std::path::PathBuf::from);
     let metrics = Arc::new(Registry::new());
     let service = Arc::new(JobService::new(JobServiceConfig {
         workers,
         queue_depth,
         seed,
+        threads,
         workspace_dir,
         metrics: Some(Arc::clone(&metrics)),
-        ..JobServiceConfig::default()
     })?);
     let router = tool_service_router(seed)
         .merge(job_service_router(Arc::clone(&service)))

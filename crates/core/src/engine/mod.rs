@@ -16,7 +16,7 @@ use std::time::Instant;
 use datalens_detect::{ConsolidatedDetections, Detection, DetectionContext, Detector};
 use datalens_fd::{FdRule, RuleSet};
 use datalens_obs::{labeled, Registry};
-use datalens_profile::ProfileReport;
+use datalens_profile::{ProfileCache, ProfileReport};
 use datalens_repair::{RepairContext, RepairResult, Repairer};
 use datalens_table::{CellRef, Table};
 
@@ -45,6 +45,10 @@ pub struct Engine {
     /// When set, every stage's wall time is also observed into a
     /// per-stage latency histogram (`engine_stage_ms{stage=…}`).
     metrics: Option<Arc<Registry>>,
+    /// Memoised per-column profiles and correlation pairs, shared by
+    /// every clone of this engine — so a re-profile after a repair only
+    /// recomputes the columns the repair touched.
+    profile_cache: Arc<ProfileCache>,
 }
 
 impl Engine {
@@ -52,6 +56,7 @@ impl Engine {
         Engine {
             config,
             metrics: None,
+            profile_cache: Arc::new(ProfileCache::new()),
         }
     }
 
@@ -63,6 +68,11 @@ impl Engine {
 
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's shared profile cache (hit/miss stats, manual clear).
+    pub fn profile_cache(&self) -> &Arc<ProfileCache> {
+        &self.profile_cache
     }
 
     /// The thread count actually used for fan-out.
@@ -103,9 +113,28 @@ impl Engine {
         (output, report)
     }
 
-    /// Profile the table.
+    /// Profile the table: per-column stats and correlation pairs fan out
+    /// across the configured threads, and the shared profile cache
+    /// serves any column whose content it has seen before. Cache traffic
+    /// from this call is published as `profile_cache_hits_total` /
+    /// `profile_cache_misses_total` when a registry is attached.
     pub fn profile(&self, table: &Table) -> (ProfileReport, StageReport) {
-        self.run(&ProfileStage, table, table_dims(table))
+        let stage = ProfileStage {
+            threads: self.effective_threads(),
+            cache: Some(Arc::clone(&self.profile_cache)),
+        };
+        let before = self.profile_cache.stats();
+        let out = self.run(&stage, table, table_dims(table));
+        if let Some(metrics) = &self.metrics {
+            let after = self.profile_cache.stats();
+            metrics
+                .counter("profile_cache_hits_total")
+                .add(after.hits().saturating_sub(before.hits()));
+            metrics
+                .counter("profile_cache_misses_total")
+                .add(after.misses().saturating_sub(before.misses()));
+        }
+        out
     }
 
     /// Mine FD rules.
@@ -295,6 +324,43 @@ mod tests {
         assert_eq!(report.detail, "standard_imputer");
         assert_eq!(report.flags_produced, result.n_repaired());
         assert!(result.n_repaired() > 0);
+    }
+
+    #[test]
+    fn profile_parallel_and_cached_matches_sequential() {
+        let t = table();
+        let (seq, _) = engine(1).profile(&t);
+        let e = engine(8);
+        let (cold, _) = e.profile(&t);
+        let (warm, _) = e.profile(&t);
+        assert_eq!(seq, cold);
+        assert_eq!(seq, warm);
+        // The warm run answered from the cache: both columns and the
+        // Pearson + Spearman pair for (x, y).
+        let stats = e.profile_cache().stats();
+        assert_eq!(stats.column_hits, 2);
+        assert_eq!(stats.pair_hits, 2);
+        assert_eq!(stats.column_misses, 2);
+    }
+
+    #[test]
+    fn profile_cache_reused_across_engine_clones() {
+        let t = table();
+        let e = engine(2);
+        e.clone().profile(&t);
+        e.clone().profile(&t);
+        assert_eq!(e.profile_cache().stats().column_hits, 2);
+    }
+
+    #[test]
+    fn profile_cache_counters_published_to_registry() {
+        let registry = Arc::new(Registry::new());
+        let e = engine(2).with_metrics(Some(Arc::clone(&registry)));
+        let t = table();
+        e.profile(&t);
+        e.profile(&t);
+        assert_eq!(registry.counter("profile_cache_hits_total").get(), 4);
+        assert_eq!(registry.counter("profile_cache_misses_total").get(), 4);
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! concrete input and output type, so the engine can time and instrument
 //! any step uniformly while the compiler keeps the wiring honest.
 
+use std::sync::Arc;
+
 use datalens_detect::{ConsolidatedDetections, Detection, DetectionContext, Detector};
 use datalens_fd::{hyfd, tane, FdRule, HyFdConfig, RuleSet, TaneConfig};
-use datalens_profile::{ProfileConfig, ProfileReport};
+use datalens_profile::{BuildOptions, ProfileCache, ProfileConfig, ProfileReport};
 use datalens_repair::{RepairContext, RepairResult, Repairer};
 use datalens_table::{CellRef, Table};
 
@@ -34,8 +36,17 @@ pub trait Stage<'a> {
     }
 }
 
-/// Profile the table.
-pub struct ProfileStage;
+/// Profile the table, fanning per-column and correlation-pair work out
+/// across `threads` scoped threads and memoising through `cache` when
+/// one is attached. The defaults (one thread, no cache) reproduce the
+/// plain sequential build.
+#[derive(Default)]
+pub struct ProfileStage {
+    /// Fan-out width; `0` or `1` run sequentially.
+    pub threads: usize,
+    /// Shared per-column profile / correlation-pair cache.
+    pub cache: Option<Arc<ProfileCache>>,
+}
 
 impl<'a> Stage<'a> for ProfileStage {
     type Input = &'a Table;
@@ -46,7 +57,14 @@ impl<'a> Stage<'a> for ProfileStage {
     }
 
     fn execute(&self, table: Self::Input) -> ProfileReport {
-        ProfileReport::build(table, &ProfileConfig::default())
+        ProfileReport::build_with(
+            table,
+            &ProfileConfig::default(),
+            &BuildOptions {
+                threads: self.threads,
+                cache: self.cache.as_deref(),
+            },
+        )
     }
 }
 

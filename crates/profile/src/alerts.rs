@@ -6,8 +6,9 @@ use serde::{Deserialize, Serialize};
 
 use datalens_table::{DataType, Table};
 
-use crate::correlation::{correlation_matrix, CorrelationKind};
-use crate::stats::{categorical_stats, numeric_stats};
+use crate::correlation::{correlation_matrix, CorrelationKind, CorrelationMatrix};
+use crate::report::{compute_column_profile, ColumnProfile, ProfileConfig};
+use crate::stats::categorical_stats;
 
 /// One flagged issue about a column (or the whole table).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,21 +71,52 @@ impl Default for AlertConfig {
 /// Scan `table` and emit every triggered alert (deterministic order:
 /// table-level first, then per column in schema order).
 pub fn scan(table: &Table, config: &AlertConfig) -> Vec<Alert> {
+    let n_rows = table.n_rows();
+    // Only the pieces the rules read: top-1 frequencies, no histogram.
+    let cfg = ProfileConfig {
+        histogram_bins: 0,
+        top_k: 1,
+        alerts: config.clone(),
+    };
+    let columns: Vec<ColumnProfile> = table
+        .columns()
+        .iter()
+        .map(|c| compute_column_profile(c, n_rows, &cfg))
+        .collect();
+    let pearson = correlation_matrix(table, CorrelationKind::Pearson);
+    scan_with(
+        table,
+        config,
+        &columns,
+        &pearson,
+        table.duplicate_rows().len(),
+    )
+}
+
+/// The alert rules, evaluated over already-computed per-column profiles
+/// and a Pearson matrix — [`crate::ProfileReport::build_with`] calls
+/// this so the alert pass adds no recomputation on top of the profile.
+pub(crate) fn scan_with(
+    table: &Table,
+    config: &AlertConfig,
+    columns: &[ColumnProfile],
+    pearson: &CorrelationMatrix,
+    duplicate_rows: usize,
+) -> Vec<Alert> {
     let mut alerts = Vec::new();
     let rows = table.n_rows();
 
-    let dups = table.duplicate_rows();
-    if !dups.is_empty() {
+    if duplicate_rows > 0 {
         alerts.push(Alert {
             kind: AlertKind::DuplicateRows,
             column: None,
-            message: format!("{} duplicate rows out of {rows}", dups.len()),
+            message: format!("{duplicate_rows} duplicate rows out of {rows}"),
         });
     }
 
-    for col in table.columns() {
-        let name = col.name().to_string();
-        let nulls = col.null_count();
+    for (col, profile) in table.columns().iter().zip(columns) {
+        let name = profile.name.clone();
+        let nulls = profile.null_count;
         if rows > 0 && nulls == rows {
             alerts.push(Alert {
                 kind: AlertKind::AllMissing,
@@ -104,13 +136,22 @@ pub fn scan(table: &Table, config: &AlertConfig) -> Vec<Alert> {
             }
         }
 
-        let cat = categorical_stats(col, 1);
+        let cat = &profile.categorical;
+        // The profile was built with the caller's `top_k`; recover the
+        // top-1 entry if it was configured away.
+        let top = if cat.top.is_empty() && cat.distinct > 0 {
+            categorical_stats(col, 1).top
+        } else {
+            cat.top.clone()
+        };
         if cat.distinct == 1 && cat.count > 1 {
-            alerts.push(Alert {
-                kind: AlertKind::Constant,
-                column: Some(name.clone()),
-                message: format!("constant value {:?}", cat.top[0].0),
-            });
+            if let Some((top_val, _)) = top.first() {
+                alerts.push(Alert {
+                    kind: AlertKind::Constant,
+                    column: Some(name.clone()),
+                    message: format!("constant value {top_val:?}"),
+                });
+            }
         }
         if col.dtype() == DataType::Str
             && cat.count > 10
@@ -123,7 +164,7 @@ pub fn scan(table: &Table, config: &AlertConfig) -> Vec<Alert> {
             });
         }
         if cat.distinct > 1 {
-            if let Some((top_val, top_count)) = cat.top.first() {
+            if let Some((top_val, top_count)) = top.first() {
                 let frac = *top_count as f64 / cat.count.max(1) as f64;
                 if frac >= config.dominant_value_fraction && col.dtype().is_numeric() {
                     alerts.push(Alert {
@@ -138,7 +179,7 @@ pub fn scan(table: &Table, config: &AlertConfig) -> Vec<Alert> {
             }
         }
 
-        if let Some(stats) = numeric_stats(col) {
+        if let Some(stats) = &profile.numeric {
             if stats.skewness.abs() >= config.skew_threshold && stats.count > 2 {
                 alerts.push(Alert {
                     kind: AlertKind::Skewed,
@@ -160,15 +201,17 @@ pub fn scan(table: &Table, config: &AlertConfig) -> Vec<Alert> {
     }
 
     // Cross-column: high pairwise Pearson correlation.
-    let m = correlation_matrix(table, CorrelationKind::Pearson);
-    for i in 0..m.columns.len() {
-        for j in (i + 1)..m.columns.len() {
-            let v = m.values[i][j];
+    for i in 0..pearson.columns.len() {
+        for j in (i + 1)..pearson.columns.len() {
+            let v = pearson.values[i][j];
             if v.is_finite() && v.abs() >= config.correlation_threshold {
                 alerts.push(Alert {
                     kind: AlertKind::HighCorrelation,
-                    column: Some(m.columns[i].clone()),
-                    message: format!("highly correlated with {:?} (r = {v:.3})", m.columns[j]),
+                    column: Some(pearson.columns[i].clone()),
+                    message: format!(
+                        "highly correlated with {:?} (r = {v:.3})",
+                        pearson.columns[j]
+                    ),
                 });
             }
         }

@@ -1,0 +1,435 @@
+//! Content-addressed memoisation of profiling work.
+//!
+//! A [`ProfileCache`] remembers per-column profiles and correlation-pair
+//! values across [`crate::ProfileReport`] builds, so re-profiling a
+//! repaired table only recomputes the columns a repair actually touched
+//! (plus the correlation pairs involving them).
+//!
+//! Identity is content-addressed: each column payload gets a
+//! deterministic FNV-1a fingerprint over its dtype, length, and value
+//! bits. Columns share their payload behind an `Arc`
+//! (copy-on-write), so the common case — a repaired table whose
+//! untouched columns still alias the original allocation — is served by
+//! a pointer-identity fast path that never rehashes the data: the cache
+//! keeps a cheap [`Column`] clone per seen payload, which both anchors
+//! the `Arc` allocation (so its address cannot be recycled by a new
+//! payload) and lets [`Column::shares_data_with`] confirm the match.
+//!
+//! Determinism: the cache stores the exact values the profiler computed,
+//! so a warm build is bit-identical to a cold one — a property pinned by
+//! the profile determinism integration test.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use datalens_table::{Column, ColumnData};
+
+use crate::correlation::CorrelationKind;
+use crate::report::{ColumnProfile, ProfileConfig};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Minimal FNV-1a, so fingerprints are stable across runs and platforms
+/// (`DefaultHasher` makes no such promise).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Deterministic content fingerprint of a column payload. Name-independent:
+/// two columns with equal dtype and values fingerprint identically.
+pub fn fingerprint(column: &Column) -> u64 {
+    let mut h = Fnv::new();
+    match column.data() {
+        ColumnData::Int(v) => {
+            h.write_u64(1);
+            h.write_u64(v.len() as u64);
+            for x in v {
+                match x {
+                    Some(x) => {
+                        h.write(&[1]);
+                        h.write_u64(*x as u64);
+                    }
+                    None => h.write(&[0]),
+                }
+            }
+        }
+        ColumnData::Float(v) => {
+            h.write_u64(2);
+            h.write_u64(v.len() as u64);
+            for x in v {
+                match x {
+                    Some(x) => {
+                        h.write(&[1]);
+                        h.write_u64(x.to_bits());
+                    }
+                    None => h.write(&[0]),
+                }
+            }
+        }
+        ColumnData::Bool(v) => {
+            h.write_u64(3);
+            h.write_u64(v.len() as u64);
+            for x in v {
+                match x {
+                    Some(true) => h.write(&[1, 1]),
+                    Some(false) => h.write(&[1, 0]),
+                    None => h.write(&[0]),
+                }
+            }
+        }
+        ColumnData::Str(v) => {
+            h.write_u64(4);
+            h.write_u64(v.len() as u64);
+            for x in v {
+                match x {
+                    Some(s) => {
+                        h.write(&[1]);
+                        h.write_u64(s.len() as u64);
+                        h.write(s.as_bytes());
+                    }
+                    None => h.write(&[0]),
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Hit/miss totals, split by what was looked up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub column_hits: u64,
+    pub column_misses: u64,
+    pub pair_hits: u64,
+    pub pair_misses: u64,
+}
+
+impl CacheStats {
+    pub fn hits(&self) -> u64 {
+        self.column_hits + self.pair_hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.column_misses + self.pair_misses
+    }
+}
+
+/// Key of a memoised column profile: the profile depends on the column's
+/// name and content plus the config knobs that shape it.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ColumnKey {
+    name: String,
+    bins: usize,
+    top_k: usize,
+    fp: u64,
+}
+
+impl ColumnKey {
+    fn new(column: &Column, config: &ProfileConfig, fp: u64) -> ColumnKey {
+        ColumnKey {
+            name: column.name().to_string(),
+            bins: config.histogram_bins,
+            top_k: config.top_k,
+            fp,
+        }
+    }
+}
+
+struct Inner {
+    columns: HashMap<ColumnKey, ColumnProfile>,
+    /// Payload address → content fingerprint. The anchor `Column` keeps
+    /// the `Arc` allocation alive, so an address in this map can never be
+    /// recycled by a different payload while the entry exists.
+    ptr_fps: HashMap<usize, (Column, u64)>,
+    pairs: HashMap<(CorrelationKind, u64, u64), f64>,
+}
+
+/// Thread-safe memo of per-column profiles and correlation-pair values.
+/// Shared (behind an `Arc`) by every clone of an engine, so sequential
+/// calls — profile, repair, re-profile — reuse each other's work.
+pub struct ProfileCache {
+    inner: Mutex<Inner>,
+    max_columns: usize,
+    max_pairs: usize,
+    column_hits: AtomicU64,
+    column_misses: AtomicU64,
+    pair_hits: AtomicU64,
+    pair_misses: AtomicU64,
+}
+
+impl ProfileCache {
+    pub fn new() -> ProfileCache {
+        ProfileCache::with_capacity(4096, 65536)
+    }
+
+    /// A cache holding at most `max_columns` column profiles (and pointer
+    /// anchors) and `max_pairs` correlation values. Overflow clears the
+    /// grown map wholesale — crude, but eviction order cannot affect
+    /// results, only recompute cost.
+    pub fn with_capacity(max_columns: usize, max_pairs: usize) -> ProfileCache {
+        ProfileCache {
+            inner: Mutex::new(Inner {
+                columns: HashMap::new(),
+                ptr_fps: HashMap::new(),
+                pairs: HashMap::new(),
+            }),
+            max_columns: max_columns.max(1),
+            max_pairs: max_pairs.max(1),
+            column_hits: AtomicU64::new(0),
+            column_misses: AtomicU64::new(0),
+            pair_hits: AtomicU64::new(0),
+            pair_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Content fingerprint of `column`, served from the pointer-identity
+    /// index (no rehash) when this exact payload allocation was seen
+    /// before.
+    pub fn fingerprint_of(&self, column: &Column) -> u64 {
+        let ptr = column.data() as *const ColumnData as usize;
+        {
+            let inner = self.inner.lock();
+            if let Some((anchor, fp)) = inner.ptr_fps.get(&ptr) {
+                if anchor.shares_data_with(column) {
+                    return *fp;
+                }
+            }
+        }
+        // Hash outside the lock: fingerprinting is O(column length).
+        let fp = fingerprint(column);
+        let mut inner = self.inner.lock();
+        if inner.ptr_fps.len() >= self.max_columns {
+            inner.ptr_fps.clear();
+        }
+        inner.ptr_fps.insert(ptr, (column.clone(), fp));
+        fp
+    }
+
+    /// Memoised profile for `column` under `config`, if present.
+    pub fn get_column(&self, column: &Column, config: &ProfileConfig) -> Option<ColumnProfile> {
+        let fp = self.fingerprint_of(column);
+        let key = ColumnKey::new(column, config, fp);
+        let hit = self.inner.lock().columns.get(&key).cloned();
+        match &hit {
+            Some(_) => self.column_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.column_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Store a freshly computed profile for `column` under `config`.
+    pub fn put_column(&self, column: &Column, config: &ProfileConfig, profile: &ColumnProfile) {
+        let fp = self.fingerprint_of(column);
+        let key = ColumnKey::new(column, config, fp);
+        let mut inner = self.inner.lock();
+        if inner.columns.len() >= self.max_columns {
+            inner.columns.clear();
+        }
+        inner.columns.insert(key, profile.clone());
+    }
+
+    /// Memoised correlation value for a fingerprint pair, if present.
+    pub fn get_pair(&self, kind: CorrelationKind, fp_a: u64, fp_b: u64) -> Option<f64> {
+        let hit = self.inner.lock().pairs.get(&(kind, fp_a, fp_b)).copied();
+        match &hit {
+            Some(_) => self.pair_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.pair_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Store a computed correlation value (`NaN` = undefined is stored
+    /// too — recomputing it would yield the same `NaN`).
+    pub fn put_pair(&self, kind: CorrelationKind, fp_a: u64, fp_b: u64, value: f64) {
+        let mut inner = self.inner.lock();
+        if inner.pairs.len() >= self.max_pairs {
+            inner.pairs.clear();
+        }
+        inner.pairs.insert((kind, fp_a, fp_b), value);
+    }
+
+    /// Hit/miss counters since construction (monotonic; `clear` does not
+    /// reset them).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            column_hits: self.column_hits.load(Ordering::Acquire),
+            column_misses: self.column_misses.load(Ordering::Acquire),
+            pair_hits: self.pair_hits.load(Ordering::Acquire),
+            pair_misses: self.pair_misses.load(Ordering::Acquire),
+        }
+    }
+
+    /// Drop every memoised entry (counters keep counting).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.columns.clear();
+        inner.ptr_fps.clear();
+        inner.pairs.clear();
+    }
+
+    /// Number of memoised column profiles (for tests and benches).
+    pub fn cached_columns(&self) -> usize {
+        self.inner.lock().columns.len()
+    }
+
+    /// Number of memoised correlation pairs (for tests and benches).
+    pub fn cached_pairs(&self) -> usize {
+        self.inner.lock().pairs.len()
+    }
+}
+
+impl Default for ProfileCache {
+    fn default() -> ProfileCache {
+        ProfileCache::new()
+    }
+}
+
+impl std::fmt::Debug for ProfileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ProfileCache")
+            .field("columns", &self.cached_columns())
+            .field("pairs", &self.cached_pairs())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ProfileReport;
+    use datalens_table::{Table, Value};
+
+    fn col(name: &str, vals: &[Option<i64>]) -> Column {
+        Column::from_i64(name, vals.iter().copied())
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let a = col("a", &[Some(1), None, Some(3)]);
+        let renamed = col("b", &[Some(1), None, Some(3)]);
+        let changed = col("a", &[Some(1), None, Some(4)]);
+        assert_eq!(fingerprint(&a), fingerprint(&renamed));
+        assert_ne!(fingerprint(&a), fingerprint(&changed));
+        // Dtype participates: Int[1] vs Float[1.0] must differ.
+        let f = Column::from_f64("a", [Some(1.0), None, Some(3.0)]);
+        assert_ne!(fingerprint(&a), fingerprint(&f));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_null_layouts() {
+        // [Some, None] vs [None, Some] and shifted string boundaries.
+        let a = Column::from_str_vals("s", [Some("ab"), Some("c")]);
+        let b = Column::from_str_vals("s", [Some("a"), Some("bc")]);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        let c = col("x", &[Some(5), None]);
+        let d = col("x", &[None, Some(5)]);
+        assert_ne!(fingerprint(&c), fingerprint(&d));
+    }
+
+    #[test]
+    fn pointer_fast_path_skips_rehash_for_shared_payloads() {
+        let cache = ProfileCache::new();
+        let a = col("a", &[Some(1), Some(2)]);
+        let shared = a.clone();
+        assert_eq!(cache.fingerprint_of(&a), cache.fingerprint_of(&shared));
+        // A detached copy with equal content still fingerprints equal.
+        let mut detached = a.clone();
+        detached.set(0, Value::Int(1));
+        assert!(!a.shares_data_with(&detached));
+        assert_eq!(cache.fingerprint_of(&a), cache.fingerprint_of(&detached));
+    }
+
+    #[test]
+    fn column_roundtrip_hits_after_miss() {
+        let cache = ProfileCache::new();
+        let config = ProfileConfig::default();
+        let c = col("a", &[Some(1), Some(2), Some(2)]);
+        assert!(cache.get_column(&c, &config).is_none());
+        let t = Table::new("t", vec![c.clone()]).unwrap();
+        let report = ProfileReport::build(&t, &config);
+        cache.put_column(&c, &config, &report.columns[0]);
+        let hit = cache.get_column(&c, &config).expect("cached");
+        assert_eq!(hit, report.columns[0]);
+        let s = cache.stats();
+        assert_eq!((s.column_hits, s.column_misses), (1, 1));
+    }
+
+    #[test]
+    fn config_change_is_a_miss() {
+        let cache = ProfileCache::new();
+        let config = ProfileConfig::default();
+        let c = col("a", &[Some(1), Some(2), Some(3)]);
+        let t = Table::new("t", vec![c.clone()]).unwrap();
+        let report = ProfileReport::build(&t, &config);
+        cache.put_column(&c, &config, &report.columns[0]);
+        let other = ProfileConfig {
+            histogram_bins: 3,
+            ..ProfileConfig::default()
+        };
+        assert!(cache.get_column(&c, &other).is_none());
+    }
+
+    #[test]
+    fn pair_cache_stores_nan_verdicts() {
+        let cache = ProfileCache::new();
+        assert!(cache.get_pair(CorrelationKind::Pearson, 1, 2).is_none());
+        cache.put_pair(CorrelationKind::Pearson, 1, 2, f64::NAN);
+        let v = cache.get_pair(CorrelationKind::Pearson, 1, 2).expect("hit");
+        assert!(v.is_nan());
+        // Kind participates in the key.
+        assert!(cache.get_pair(CorrelationKind::Spearman, 1, 2).is_none());
+    }
+
+    #[test]
+    fn overflow_clears_rather_than_grows() {
+        let cache = ProfileCache::with_capacity(2, 2);
+        let config = ProfileConfig::default();
+        for i in 0..5i64 {
+            let c = col(&format!("c{i}"), &[Some(i), Some(i + 1)]);
+            let t = Table::new("t", vec![c.clone()]).unwrap();
+            let report = ProfileReport::build(&t, &config);
+            cache.put_column(&c, &config, &report.columns[0]);
+        }
+        assert!(cache.cached_columns() <= 2);
+        for i in 0..5u64 {
+            cache.put_pair(CorrelationKind::Pearson, i, i + 1, 0.5);
+        }
+        assert!(cache.cached_pairs() <= 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = ProfileCache::new();
+        cache.put_pair(CorrelationKind::Pearson, 1, 2, 0.5);
+        assert!(cache.get_pair(CorrelationKind::Pearson, 1, 2).is_some());
+        cache.clear();
+        assert_eq!(cache.cached_pairs(), 0);
+        assert!(cache.get_pair(CorrelationKind::Pearson, 1, 2).is_none());
+        let s = cache.stats();
+        assert_eq!((s.pair_hits, s.pair_misses), (1, 1));
+    }
+}

@@ -6,16 +6,22 @@ use serde::{Deserialize, Serialize};
 
 use datalens_table::{DataType, Table};
 
-/// Pearson correlation over pairwise-complete numeric pairs; `None` when
-/// fewer than two complete pairs exist or either side is constant.
+/// Pearson correlation over pairwise-complete finite pairs; `None` when
+/// fewer than two such pairs exist or either side is constant. Pairs with
+/// a NaN or ±Inf member are dropped like nulls — a single non-finite
+/// entry used to poison the whole coefficient to NaN.
 pub fn pearson(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64> {
     assert_eq!(x.len(), y.len(), "length mismatch");
-    let pairs: Vec<(f64, f64)> = x
-        .iter()
+    pearson_complete(&finite_pairs(x, y))
+}
+
+/// Pairwise-complete `(x, y)` pairs with both members finite.
+fn finite_pairs(x: &[Option<f64>], y: &[Option<f64>]) -> Vec<(f64, f64)> {
+    x.iter()
         .zip(y)
         .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
-        .collect();
-    pearson_complete(&pairs)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .collect()
 }
 
 fn pearson_complete(pairs: &[(f64, f64)]) -> Option<f64> {
@@ -40,13 +46,11 @@ fn pearson_complete(pairs: &[(f64, f64)]) -> Option<f64> {
 }
 
 /// Spearman rank correlation (Pearson over average ranks, handling ties).
+/// Non-finite members are dropped pairwise, as in [`pearson`] — NaN is
+/// unrankable and ±Inf would pin the extreme ranks.
 pub fn spearman(x: &[Option<f64>], y: &[Option<f64>]) -> Option<f64> {
     assert_eq!(x.len(), y.len(), "length mismatch");
-    let pairs: Vec<(f64, f64)> = x
-        .iter()
-        .zip(y)
-        .filter_map(|(a, b)| Some(((*a)?, (*b)?)))
-        .collect();
+    let pairs = finite_pairs(x, y);
     if pairs.len() < 2 {
         return None;
     }
@@ -157,7 +161,7 @@ impl CorrelationMatrix {
 }
 
 /// Which correlation to compute across a table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CorrelationKind {
     Pearson,
     Spearman,
@@ -248,6 +252,22 @@ mod tests {
         let x = vec![Some(1.0), None, Some(3.0), Some(4.0)];
         let y = vec![Some(1.0), Some(9.0), Some(3.0), Some(4.0)];
         assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_pairs_are_dropped_not_poisonous() {
+        // Regression: one NaN (or ±Inf) member used to turn the whole
+        // coefficient into NaN (reported as None by the matrix layer).
+        let x = vec![Some(1.0), Some(f64::NAN), Some(3.0), Some(4.0)];
+        let y = vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let inf = vec![Some(f64::INFINITY), Some(2.0), Some(3.0), Some(4.0)];
+        assert!((pearson(&inf, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&inf, &y).unwrap() - 1.0).abs() < 1e-12);
+        // All pairs non-finite → nothing to correlate.
+        let bad = vec![Some(f64::NAN), Some(f64::NEG_INFINITY)];
+        assert!(pearson(&bad, &y[..2]).is_none());
     }
 
     #[test]

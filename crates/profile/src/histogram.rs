@@ -9,24 +9,26 @@ pub struct Histogram {
     pub edges: Vec<f64>,
     /// Counts per bin, length `bins`.
     pub counts: Vec<usize>,
-    /// NaN inputs excluded from the bins — surfaced so the profile tab
-    /// can alert instead of silently mis-plotting.
-    pub nan_count: usize,
+    /// NaN/±Inf inputs excluded from the bins — surfaced so the profile
+    /// tab can alert instead of silently mis-plotting.
+    pub non_finite_count: usize,
 }
 
 impl Histogram {
     /// Build a histogram with `bins` equal-width bins spanning the data
     /// range. The final bin is closed on both sides (max lands in it).
-    /// NaN values are excluded from the bins and reported via
-    /// [`Histogram::nan_count`] — the float-to-bin cast used to dump
-    /// them all into bin 0, skewing the distribution. Returns `None` on
-    /// empty (or all-NaN) input; constant data yields a single bin.
+    /// Non-finite values are excluded from the bins and reported via
+    /// [`Histogram::non_finite_count`] — the float-to-bin cast used to
+    /// dump NaNs into bin 0, and a single ±Inf stretched the edges so
+    /// every finite value collapsed into one bin. Returns `None` on
+    /// empty (or all-non-finite) input; constant data yields a single
+    /// bin.
     pub fn build(values: &[f64], bins: usize) -> Option<Histogram> {
         if bins == 0 {
             return None;
         }
-        let nan_count = values.iter().filter(|v| v.is_nan()).count();
-        let finite: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let non_finite_count = values.iter().filter(|v| !v.is_finite()).count();
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
         if finite.is_empty() {
             return None;
         }
@@ -36,7 +38,7 @@ impl Histogram {
             return Some(Histogram {
                 edges: vec![min, max],
                 counts: vec![finite.len()],
-                nan_count,
+                non_finite_count,
             });
         }
         let width = (max - min) / bins as f64;
@@ -52,7 +54,7 @@ impl Histogram {
         Some(Histogram {
             edges,
             counts,
-            nan_count,
+            non_finite_count,
         })
     }
 
@@ -130,23 +132,31 @@ mod tests {
         // Regression: NaN used to land in bin 0 via the float-to-usize
         // cast, silently skewing the lowest bin.
         let h = Histogram::build(&[f64::NAN, 0.0, 10.0, f64::NAN, 10.0], 2).unwrap();
-        assert_eq!(h.nan_count, 2);
+        assert_eq!(h.non_finite_count, 2);
         assert_eq!(h.total(), 3);
         assert_eq!(h.counts, vec![1, 2]);
         let clean = Histogram::build(&[1.0, 2.0], 2).unwrap();
-        assert_eq!(clean.nan_count, 0);
+        assert_eq!(clean.non_finite_count, 0);
     }
 
     #[test]
     fn all_nan_input_is_none() {
         assert!(Histogram::build(&[f64::NAN, f64::NAN], 4).is_none());
+        assert!(Histogram::build(&[f64::INFINITY, f64::NEG_INFINITY], 4).is_none());
     }
 
     #[test]
-    fn nan_does_not_poison_edges() {
+    fn non_finite_does_not_poison_edges() {
         // With NaN present, min/max must come from the finite values.
         let h = Histogram::build(&[f64::NAN, 2.0, 6.0], 2).unwrap();
         assert_eq!(h.edges.first().copied(), Some(2.0));
         assert_eq!(h.edges.last().copied(), Some(6.0));
+        // ±Inf used to stretch the range so every finite value fell
+        // into a single bin (and the float-to-bin cast misfiled ±Inf).
+        let h = Histogram::build(&[f64::INFINITY, f64::NEG_INFINITY, 2.0, 6.0], 2).unwrap();
+        assert_eq!(h.non_finite_count, 2);
+        assert_eq!(h.edges.first().copied(), Some(2.0));
+        assert_eq!(h.edges.last().copied(), Some(6.0));
+        assert_eq!(h.counts, vec![1, 1]);
     }
 }

@@ -19,25 +19,63 @@
 //! ```
 
 pub mod alerts;
+pub mod cache;
 pub mod correlation;
 pub mod histogram;
 pub mod report;
 pub mod stats;
 
 pub use alerts::{Alert, AlertConfig, AlertKind};
+pub use cache::{CacheStats, ProfileCache};
 pub use correlation::{CorrelationKind, CorrelationMatrix};
 pub use histogram::Histogram;
-pub use report::{ColumnProfile, ProfileConfig, ProfileReport, TableStats};
+pub use report::{BuildOptions, ColumnProfile, ProfileConfig, ProfileReport, TableStats};
 pub use stats::{CategoricalStats, NumericStats};
 
 #[cfg(test)]
 mod proptests {
     use proptest::prelude::*;
 
+    use datalens_table::{Column, Table};
+
+    use crate::cache::ProfileCache;
     use crate::histogram::Histogram;
+    use crate::report::{BuildOptions, ProfileConfig, ProfileReport};
     use crate::stats::{numeric_stats_of, quantile_sorted};
 
     proptest! {
+        /// A parallel build — cold cache, then warm — serialises to the
+        /// exact bytes of a sequential uncached build, on arbitrary
+        /// small tables (NaN correlation entries print as `null`, so
+        /// byte equality covers the undefined cells too).
+        #[test]
+        fn build_is_deterministic_across_threads_and_cache(
+            ints in proptest::collection::vec(proptest::option::of(-100i64..100), 1..20),
+            floats in proptest::collection::vec(proptest::option::of(-1e3f64..1e3), 1..20),
+            strs in proptest::collection::vec(proptest::option::of("[a-c]{1,2}"), 1..20),
+        ) {
+            let n = ints.len().min(floats.len()).min(strs.len());
+            let t = Table::new(
+                "p",
+                vec![
+                    Column::from_i64("i", ints.into_iter().take(n)),
+                    Column::from_f64("f", floats.into_iter().take(n)),
+                    Column::from_str_vals("s", strs.into_iter().take(n)),
+                ],
+            )
+            .unwrap();
+            let config = ProfileConfig::default();
+            let cold = serde_json::to_string(&ProfileReport::build(&t, &config)).unwrap();
+            let cache = ProfileCache::new();
+            let opts = BuildOptions { threads: 4, cache: Some(&cache) };
+            let first = serde_json::to_string(&ProfileReport::build_with(&t, &config, &opts)).unwrap();
+            let warm = serde_json::to_string(&ProfileReport::build_with(&t, &config, &opts)).unwrap();
+            prop_assert_eq!(&cold, &first);
+            prop_assert_eq!(&cold, &warm);
+            // The warm build answered entirely from the cache.
+            let stats = cache.stats();
+            prop_assert_eq!(stats.column_hits, 3);
+        }
         /// Histogram counts always sum to the input size and every count
         /// lands within the data range.
         #[test]

@@ -1,11 +1,18 @@
 //! The full profile report — the structure behind the "Data Profile" tab.
+//!
+//! [`ProfileReport::build_with`] fans the per-column work and the
+//! correlation matrices' `(i, j)` pairs out across scoped threads and can
+//! memoise both through a [`ProfileCache`]. Results are always assembled
+//! in input-index order, so the report is bit-identical at any thread
+//! count and whether the cache was cold or warm.
 
 use serde::{Deserialize, Serialize};
 
-use datalens_table::{DataType, Table};
+use datalens_table::{Column, DataType, Table};
 
-use crate::alerts::{scan, Alert, AlertConfig};
-use crate::correlation::{correlation_matrix, CorrelationKind, CorrelationMatrix};
+use crate::alerts::{scan_with, Alert, AlertConfig};
+use crate::cache::ProfileCache;
+use crate::correlation::{cramers_v, pearson, spearman, CorrelationKind, CorrelationMatrix};
 use crate::histogram::Histogram;
 use crate::stats::{categorical_stats, numeric_stats, CategoricalStats, NumericStats};
 
@@ -68,40 +75,44 @@ pub struct ProfileReport {
     pub alerts: Vec<Alert>,
 }
 
+/// How [`ProfileReport::build_with`] schedules and memoises its work.
+#[derive(Clone, Copy, Default)]
+pub struct BuildOptions<'a> {
+    /// Worker threads for the per-column and per-pair fan-out; `0` or
+    /// `1` run fully sequentially.
+    pub threads: usize,
+    /// Memoise per-column profiles and correlation pairs across builds.
+    pub cache: Option<&'a ProfileCache>,
+}
+
 impl ProfileReport {
-    /// Profile `table` with the given configuration.
+    /// Profile `table` with the given configuration, sequentially and
+    /// without memoisation.
     pub fn build(table: &Table, config: &ProfileConfig) -> ProfileReport {
+        Self::build_with(table, config, &BuildOptions::default())
+    }
+
+    /// Profile `table`, fanning per-column stats/histograms and the
+    /// three correlation matrices' pairs out across `opts.threads`
+    /// scoped threads and reusing `opts.cache` entries where the content
+    /// fingerprints match. Output is bit-identical to [`Self::build`]
+    /// regardless of thread count or cache state: work units are
+    /// independent and assembled in input-index order, and the cache
+    /// stores the exact values a cold build computes.
+    pub fn build_with(table: &Table, config: &ProfileConfig, opts: &BuildOptions) -> ProfileReport {
         let n_rows = table.n_rows();
         let n_columns = table.n_cols();
         let missing_cells = table.null_count();
         let total_cells = n_rows * n_columns;
         let duplicate_rows = table.duplicate_rows().len();
 
-        let columns = table
-            .columns()
-            .iter()
-            .map(|col| {
-                let numeric = numeric_stats(col);
-                let histogram = numeric
-                    .as_ref()
-                    .and_then(|_| Histogram::build(&col.numeric_values(), config.histogram_bins));
-                let categorical = categorical_stats(col, config.top_k);
-                ColumnProfile {
-                    name: col.name().to_string(),
-                    dtype: col.dtype(),
-                    null_count: col.null_count(),
-                    null_fraction: if n_rows == 0 {
-                        0.0
-                    } else {
-                        col.null_count() as f64 / n_rows as f64
-                    },
-                    distinct: categorical.distinct,
-                    numeric,
-                    categorical,
-                    histogram,
-                }
-            })
-            .collect();
+        let cols = table.columns();
+        let columns: Vec<ColumnProfile> = map_indexed(cols.len(), opts.threads, |i| {
+            profile_column(&cols[i], n_rows, config, opts.cache)
+        });
+
+        let (pearson, spearman, cramers_v) = correlation_matrices(table, opts);
+        let alerts = scan_with(table, &config.alerts, &columns, &pearson, duplicate_rows);
 
         ProfileReport {
             dataset: table.name().to_string(),
@@ -118,10 +129,10 @@ impl ProfileReport {
                 duplicate_rows,
             },
             columns,
-            pearson: correlation_matrix(table, CorrelationKind::Pearson),
-            spearman: correlation_matrix(table, CorrelationKind::Spearman),
-            cramers_v: correlation_matrix(table, CorrelationKind::CramersV),
-            alerts: scan(table, &config.alerts),
+            pearson,
+            spearman,
+            cramers_v,
+            alerts,
         }
     }
 
@@ -174,11 +185,11 @@ impl ProfileReport {
                     out.push_str(line);
                     out.push('\n');
                 }
-                if h.nan_count > 0 {
+                if h.non_finite_count > 0 {
                     out.push_str(&format!(
-                        "   ! {} NaN value{} excluded from histogram\n",
-                        h.nan_count,
-                        if h.nan_count == 1 { "" } else { "s" },
+                        "   ! {} non-finite value{} excluded from histogram\n",
+                        h.non_finite_count,
+                        if h.non_finite_count == 1 { "" } else { "s" },
                     ));
                 }
             }
@@ -199,6 +210,192 @@ impl ProfileReport {
         }
         out
     }
+}
+
+/// Profile one column, consulting (and feeding) the cache when present.
+fn profile_column(
+    col: &Column,
+    n_rows: usize,
+    config: &ProfileConfig,
+    cache: Option<&ProfileCache>,
+) -> ColumnProfile {
+    if let Some(cache) = cache {
+        if let Some(hit) = cache.get_column(col, config) {
+            return hit;
+        }
+    }
+    let profile = compute_column_profile(col, n_rows, config);
+    if let Some(cache) = cache {
+        cache.put_column(col, config, &profile);
+    }
+    profile
+}
+
+/// The uncached per-column work: stats, histogram, value frequencies.
+pub(crate) fn compute_column_profile(
+    col: &Column,
+    n_rows: usize,
+    config: &ProfileConfig,
+) -> ColumnProfile {
+    let numeric = numeric_stats(col);
+    let histogram = if config.histogram_bins == 0 {
+        None
+    } else {
+        numeric
+            .as_ref()
+            .and_then(|_| Histogram::build(&col.numeric_values(), config.histogram_bins))
+    };
+    let categorical = categorical_stats(col, config.top_k);
+    ColumnProfile {
+        name: col.name().to_string(),
+        dtype: col.dtype(),
+        null_count: col.null_count(),
+        null_fraction: if n_rows == 0 {
+            0.0
+        } else {
+            col.null_count() as f64 / n_rows as f64
+        },
+        distinct: categorical.distinct,
+        numeric,
+        categorical,
+        histogram,
+    }
+}
+
+/// Run `f(0)…f(n-1)` and collect the results in index order, fanning the
+/// indices out across up to `threads` scoped threads in contiguous
+/// chunks — the same pattern as the engine's detect fan-out, so assembly
+/// order never depends on scheduling.
+fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n, || None);
+    if threads <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (c, out) in slots.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (k, slot) in out.iter_mut().enumerate() {
+                        *slot = Some(f(c * chunk + k));
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        // scope() joins every spawned thread before returning and the
+        // chunked iteration covers each slot exactly once.
+        .map(|s| s.expect("every fan-out slot filled"))
+        .collect()
+}
+
+/// Compute the Pearson, Spearman, and Cramér's V matrices, flattening
+/// every upper-triangle `(kind, i, j)` pair into one task list that the
+/// fan-out processes (and the cache memoises) independently.
+fn correlation_matrices(
+    table: &Table,
+    opts: &BuildOptions,
+) -> (CorrelationMatrix, CorrelationMatrix, CorrelationMatrix) {
+    let num_cols: Vec<&Column> = table
+        .columns()
+        .iter()
+        .filter(|c| c.dtype().is_numeric())
+        .collect();
+    let str_cols: Vec<&Column> = table
+        .columns()
+        .iter()
+        .filter(|c| c.dtype() == DataType::Str)
+        .collect();
+    let num_series: Vec<Vec<Option<f64>>> = num_cols
+        .iter()
+        .map(|c| c.iter().map(|v| v.as_f64()).collect())
+        .collect();
+    let str_series: Vec<Vec<Option<String>>> = str_cols
+        .iter()
+        .map(|c| c.iter().map(|v| v.as_str().map(str::to_string)).collect())
+        .collect();
+    // Content fingerprints key the pair cache; the pointer fast path
+    // makes this O(1) for columns the cache has already seen.
+    let (num_fps, str_fps): (Vec<u64>, Vec<u64>) = match opts.cache {
+        Some(cache) => (
+            num_cols.iter().map(|c| cache.fingerprint_of(c)).collect(),
+            str_cols.iter().map(|c| cache.fingerprint_of(c)).collect(),
+        ),
+        None => (Vec::new(), Vec::new()),
+    };
+
+    let mut tasks: Vec<(CorrelationKind, usize, usize)> = Vec::new();
+    for kind in [CorrelationKind::Pearson, CorrelationKind::Spearman] {
+        for i in 0..num_cols.len() {
+            for j in (i + 1)..num_cols.len() {
+                tasks.push((kind, i, j));
+            }
+        }
+    }
+    for i in 0..str_cols.len() {
+        for j in (i + 1)..str_cols.len() {
+            tasks.push((CorrelationKind::CramersV, i, j));
+        }
+    }
+
+    let results: Vec<f64> = map_indexed(tasks.len(), opts.threads, |t| {
+        let (kind, i, j) = tasks[t];
+        let fps = match kind {
+            CorrelationKind::CramersV => &str_fps,
+            _ => &num_fps,
+        };
+        if let Some(cache) = opts.cache {
+            if let Some(v) = cache.get_pair(kind, fps[i], fps[j]) {
+                return v;
+            }
+        }
+        let v = match kind {
+            CorrelationKind::Pearson => pearson(&num_series[i], &num_series[j]),
+            CorrelationKind::Spearman => spearman(&num_series[i], &num_series[j]),
+            CorrelationKind::CramersV => cramers_v(&str_series[i], &str_series[j]),
+        }
+        .unwrap_or(f64::NAN);
+        if let Some(cache) = opts.cache {
+            cache.put_pair(kind, fps[i], fps[j], v);
+        }
+        v
+    });
+
+    let num_names: Vec<String> = num_cols.iter().map(|c| c.name().to_string()).collect();
+    let str_names: Vec<String> = str_cols.iter().map(|c| c.name().to_string()).collect();
+    let mut pearson_m = unit_diagonal_matrix(num_names.clone());
+    let mut spearman_m = unit_diagonal_matrix(num_names);
+    let mut cramers_m = unit_diagonal_matrix(str_names);
+    for (&(kind, i, j), &v) in tasks.iter().zip(&results) {
+        let m = match kind {
+            CorrelationKind::Pearson => &mut pearson_m,
+            CorrelationKind::Spearman => &mut spearman_m,
+            CorrelationKind::CramersV => &mut cramers_m,
+        };
+        m.values[i][j] = v;
+        m.values[j][i] = v;
+    }
+    (pearson_m, spearman_m, cramers_m)
+}
+
+/// An all-NaN matrix over `columns` with ones on the diagonal.
+fn unit_diagonal_matrix(columns: Vec<String>) -> CorrelationMatrix {
+    let n = columns.len();
+    let mut values = vec![vec![f64::NAN; n]; n];
+    for (i, row) in values.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    CorrelationMatrix { columns, values }
 }
 
 #[cfg(test)]

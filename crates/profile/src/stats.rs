@@ -4,10 +4,15 @@ use serde::{Deserialize, Serialize};
 
 use datalens_table::Column;
 
-/// Summary statistics for a numeric column (nulls excluded).
+/// Summary statistics for a numeric column (nulls and non-finite values
+/// excluded).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NumericStats {
+    /// Number of finite values the statistics are computed over.
     pub count: usize,
+    /// NaN/±Inf inputs excluded from every statistic — surfaced instead
+    /// of silently poisoning mean/std/quantiles.
+    pub non_finite: usize,
     pub mean: f64,
     /// Population standard deviation.
     pub std: f64,
@@ -32,8 +37,22 @@ pub fn numeric_stats(column: &Column) -> Option<NumericStats> {
     numeric_stats_of(&values)
 }
 
-/// Compute [`NumericStats`] over a raw slice.
-pub fn numeric_stats_of(values: &[f64]) -> Option<NumericStats> {
+/// Compute [`NumericStats`] over a raw slice. NaN and ±Inf entries are
+/// filtered out (and counted in [`NumericStats::non_finite`]) the same
+/// way [`crate::Histogram::build`] excludes them — a single NaN used to
+/// turn mean/std/quantiles into NaN, and ±Inf pinned min/max. Returns
+/// `None` when no finite values remain.
+pub fn numeric_stats_of(raw: &[f64]) -> Option<NumericStats> {
+    let mut values = Vec::with_capacity(raw.len());
+    let mut non_finite = 0usize;
+    for &v in raw {
+        if v.is_finite() {
+            values.push(v);
+        } else {
+            non_finite += 1;
+        }
+    }
+    let values = &values[..];
     if values.is_empty() {
         return None;
     }
@@ -64,6 +83,7 @@ pub fn numeric_stats_of(values: &[f64]) -> Option<NumericStats> {
     let q3 = quantile_sorted(&sorted, 0.75);
     Some(NumericStats {
         count: values.len(),
+        non_finite,
         mean,
         std,
         variance: m2,
@@ -201,6 +221,36 @@ mod tests {
         assert!(numeric_stats(&c).is_none());
         let s = Column::from_str_vals("s", [Some("a")]);
         assert!(numeric_stats(&s).is_none());
+    }
+
+    #[test]
+    fn non_finite_values_excluded_and_counted() {
+        // Regression: NaN poisoned mean/std/quantiles, +Inf pinned max
+        // and -Inf both pinned min and counted as a "negative".
+        let c = Column::from_f64(
+            "x",
+            [
+                Some(1.0),
+                Some(f64::NAN),
+                Some(3.0),
+                Some(f64::INFINITY),
+                Some(f64::NEG_INFINITY),
+                None,
+            ],
+        );
+        let s = numeric_stats(&c).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.non_finite, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!((s.min, s.max), (1.0, 3.0));
+        assert_eq!(s.negatives, 0);
+        assert!(s.std.is_finite() && s.median.is_finite());
+    }
+
+    #[test]
+    fn all_non_finite_returns_none() {
+        let c = Column::from_f64("x", [Some(f64::NAN), Some(f64::INFINITY)]);
+        assert!(numeric_stats(&c).is_none());
     }
 
     #[test]

@@ -43,19 +43,19 @@ pub fn read_csv_str(name: &str, text: &str, opts: &CsvOptions) -> Result<Table, 
 
     let header: Vec<String> = if opts.has_header {
         match records.next() {
-            Some(h) => dedupe_header(h),
+            Some(h) => dedupe_header(h.fields),
             None => Vec::new(),
         }
     } else {
         Vec::new()
     };
 
-    let rows: Vec<Vec<String>> = records.collect();
+    let rows: Vec<RawRecord> = records.collect();
 
     let width = if opts.has_header {
         header.len()
     } else {
-        rows.first().map_or(0, Vec::len)
+        rows.first().map_or(0, |r| r.fields.len())
     };
     let header = if opts.has_header {
         header
@@ -63,11 +63,11 @@ pub fn read_csv_str(name: &str, text: &str, opts: &CsvOptions) -> Result<Table, 
         (0..width).map(|i| format!("col_{i}")).collect()
     };
 
-    for (i, r) in rows.iter().enumerate() {
-        if r.len() != width {
+    for r in &rows {
+        if r.fields.len() != width {
             return Err(TableError::Csv {
-                line: i + 1 + usize::from(opts.has_header),
-                message: format!("expected {width} fields, found {}", r.len()),
+                line: r.start_line,
+                message: format!("expected {width} fields, found {}", r.fields.len()),
             });
         }
     }
@@ -76,7 +76,7 @@ pub fn read_csv_str(name: &str, text: &str, opts: &CsvOptions) -> Result<Table, 
     let sample = opts.infer_rows.unwrap_or(rows.len()).min(rows.len());
     let mut dtypes = vec![None::<DataType>; width];
     for row in rows.iter().take(sample) {
-        for (c, raw) in row.iter().enumerate() {
+        for (c, raw) in row.fields.iter().enumerate() {
             if let Some(t) = Value::infer_dtype(raw) {
                 dtypes[c] = Some(match dtypes[c] {
                     Some(prev) => prev.unify(t),
@@ -91,7 +91,7 @@ pub fn read_csv_str(name: &str, text: &str, opts: &CsvOptions) -> Result<Table, 
         let dtype = dtypes[c].unwrap_or(DataType::Str);
         let values = rows
             .iter()
-            .map(|row| Value::parse_typed(&row[c], dtype).unwrap_or(Value::Null));
+            .map(|row| Value::parse_typed(&row.fields[c], dtype).unwrap_or(Value::Null));
         columns.push(Column::from_values(name.clone(), dtype, values));
     }
 
@@ -159,13 +159,26 @@ fn quote_field(raw: &str, delimiter: char) -> String {
     }
 }
 
-/// Split CSV text into records of fields, honouring quoting.
-fn tokenize(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, TableError> {
+/// A tokenised record plus the physical line it starts on (1-based).
+/// Error messages point at the line a human would open in an editor —
+/// the record index drifts from it whenever a quoted field embeds
+/// newlines.
+struct RawRecord {
+    start_line: usize,
+    fields: Vec<String>,
+}
+
+/// Split CSV text into records of fields, honouring quoting. Records
+/// terminate on LF, CRLF, or a bare CR (classic-Mac line endings); a
+/// literal CR inside a field must be quoted, exactly as the writer
+/// emits it.
+fn tokenize(text: &str, delimiter: char) -> Result<Vec<RawRecord>, TableError> {
     let mut records = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
     let mut in_quotes = false;
     let mut line = 1usize;
+    let mut record_start = 1usize;
     let mut chars = text.chars().peekable();
     // Tracks whether the current record has any content, so a trailing
     // newline does not produce a phantom empty record.
@@ -186,6 +199,15 @@ fn tokenize(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, TableError>
                     line += 1;
                     field.push(ch);
                 }
+                '\r' => {
+                    // Quoted CR is data, but a bare one still ends a
+                    // physical line for error-reporting purposes (the
+                    // CR of a CRLF is counted by its LF instead).
+                    if chars.peek() != Some(&'\n') {
+                        line += 1;
+                    }
+                    field.push(ch);
+                }
                 _ => field.push(ch),
             }
             continue;
@@ -200,22 +222,33 @@ fn tokenize(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, TableError>
                 record_started = true;
             }
             '\r' => {
-                // Swallow CR; the LF (if any) terminates the record.
-                if chars.peek() != Some(&'\n') && (record_started || !field.is_empty()) {
-                    record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
-                }
+                // CRLF: swallow the CR and let the LF terminate the
+                // record. A bare CR terminates the record itself and,
+                // like LF, ends a physical line.
                 if chars.peek() != Some(&'\n') {
-                    record_started = false;
+                    line += 1;
+                    if record_started || !field.is_empty() {
+                        record.push(std::mem::take(&mut field));
+                        records.push(RawRecord {
+                            start_line: record_start,
+                            fields: std::mem::take(&mut record),
+                        });
+                        record_started = false;
+                    }
+                    record_start = line;
                 }
             }
             '\n' => {
                 line += 1;
                 if record_started || !field.is_empty() {
                     record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
+                    records.push(RawRecord {
+                        start_line: record_start,
+                        fields: std::mem::take(&mut record),
+                    });
                     record_started = false;
                 }
+                record_start = line;
             }
             _ => {
                 field.push(ch);
@@ -231,26 +264,37 @@ fn tokenize(text: &str, delimiter: char) -> Result<Vec<Vec<String>>, TableError>
     }
     if record_started || !field.is_empty() {
         record.push(field);
-        records.push(record);
+        records.push(RawRecord {
+            start_line: record_start,
+            fields: record,
+        });
     }
     Ok(records)
 }
 
 /// Make header names unique by suffixing repeats with `.1`, `.2`, …
-/// (mirrors pandas' mangle_dupe_cols).
+/// (mirrors pandas' mangle_dupe_cols). When a suffixed candidate itself
+/// collides with another header (`a,a,a.1`), the suffix keeps probing —
+/// the output never contains two equal names, so column lookup and
+/// `CorrelationMatrix::get` stay unambiguous.
 fn dedupe_header(header: Vec<String>) -> Vec<String> {
-    use std::collections::HashMap;
-    let mut seen: HashMap<String, usize> = HashMap::new();
+    use std::collections::{HashMap, HashSet};
+    let mut next_suffix: HashMap<String, usize> = HashMap::new();
+    let mut used: HashSet<String> = HashSet::new();
     header
         .into_iter()
         .map(|h| {
-            let n = seen.entry(h.clone()).or_insert(0);
-            let out = if *n == 0 {
-                h.clone()
-            } else {
-                format!("{h}.{n}")
-            };
-            *n += 1;
+            let mut out = h.clone();
+            if !used.insert(out.clone()) {
+                let n = next_suffix.entry(h.clone()).or_insert(1);
+                loop {
+                    out = format!("{h}.{n}");
+                    *n += 1;
+                    if used.insert(out.clone()) {
+                        break;
+                    }
+                }
+            }
             out
         })
         .collect()
@@ -319,13 +363,71 @@ mod tests {
         assert_eq!(t.get_at(1, "b").unwrap(), Value::Int(4));
     }
 
-    #[test]
-    fn ragged_rows_error_with_line_number() {
-        let err = read_csv_str("t", "a,b\n1,2\n3\n", &CsvOptions::default());
-        match err {
-            Err(TableError::Csv { line, .. }) => assert_eq!(line, 3),
+    fn ragged_line(input: &str) -> usize {
+        match read_csv_str("t", input, &CsvOptions::default()) {
+            Err(TableError::Csv { line, .. }) => line,
             other => panic!("expected Csv error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn ragged_rows_error_with_line_number() {
+        assert_eq!(ragged_line("a,b\n1,2\n3\n"), 3);
+    }
+
+    #[test]
+    fn ragged_row_line_skips_quoted_newlines() {
+        // Regression: the error used to report the record index, which
+        // drifts when a quoted field spans physical lines. The ragged
+        // record "3" starts on physical line 4 here (record index 3).
+        assert_eq!(ragged_line("a,b\n\"x\ny\",2\n3\n"), 4);
+        // Quoted bare-CR and CRLF line breaks count the same way.
+        assert_eq!(ragged_line("a,b\n\"x\ry\",2\n3\n"), 4);
+        assert_eq!(ragged_line("a,b\n\"x\r\ny\",2\n3\n"), 4);
+    }
+
+    #[test]
+    fn ragged_row_line_counts_bare_cr_records() {
+        // Regression: a bare-CR terminator never incremented the line
+        // counter, so errors after Mac-style line endings pointed at
+        // the wrong line.
+        assert_eq!(ragged_line("a,b\r1,2\r3\r"), 3);
+    }
+
+    #[test]
+    fn mac_cr_line_endings() {
+        let t = read("a,b\r1,2\r3,4\r");
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.get_at(1, "b").unwrap(), Value::Int(4));
+        // Blank CR lines are skipped like blank LF lines.
+        let t = read("a,b\r\r1,2\r");
+        assert_eq!(t.shape(), (1, 2));
+    }
+
+    #[test]
+    fn bare_cr_in_data_must_be_quoted() {
+        // Pinned semantics: an unquoted bare CR is a record terminator
+        // (classic-Mac), so a literal CR in a value requires quoting —
+        // which is exactly what the writer emits.
+        let t = read("v\n1\r2\n");
+        assert_eq!(t.shape(), (2, 1));
+        assert_eq!(t.get_at(0, "v").unwrap(), Value::Int(1));
+        assert_eq!(t.get_at(1, "v").unwrap(), Value::Int(2));
+        let t = read("a,b\n\"x\ry\",2\n");
+        assert_eq!(t.get_at(0, "a").unwrap(), Value::Str("x\ry".into()));
+    }
+
+    #[test]
+    fn cr_bearing_value_round_trips_quoted() {
+        let t = Table::new(
+            "t",
+            vec![Column::from_str_vals("v", [Some("a\rb"), Some("c\r\nd")])],
+        )
+        .unwrap();
+        let text = write_csv_str(&t);
+        let back = read_csv_str("t", &text, &CsvOptions::default()).unwrap();
+        assert_eq!(back.get_at(0, "v").unwrap(), Value::Str("a\rb".into()));
+        assert_eq!(back.get_at(1, "v").unwrap(), Value::Str("c\r\nd".into()));
     }
 
     #[test]
@@ -349,6 +451,17 @@ mod tests {
     fn duplicate_headers_are_mangled() {
         let t = read("a,a,a\n1,2,3\n");
         assert_eq!(t.column_names(), vec!["a", "a.1", "a.2"]);
+    }
+
+    #[test]
+    fn header_mangling_is_collision_free() {
+        // Regression: "a,a,a.1" used to mangle the second "a" into
+        // "a.1", colliding with the literal third header.
+        let t = read("a,a,a.1\n1,2,3\n");
+        assert_eq!(t.column_names(), vec!["a", "a.1", "a.1.1"]);
+        // A pre-existing suffixed name must not be stolen either way.
+        let t = read("a.1,a,a\n1,2,3\n");
+        assert_eq!(t.column_names(), vec!["a.1", "a", "a.2"]);
     }
 
     #[test]

@@ -42,14 +42,15 @@ mod proptests {
     use crate::csv::{read_csv_str, write_csv_str, CsvOptions};
     use crate::{Column, Table, Value};
 
-    fn cell_strategy() -> impl Strategy<Value = String> {
-        proptest::string::string_regex("[ -~]{0,12}").unwrap()
+    fn table_strategy() -> impl Strategy<Value = Table> {
+        table_strategy_of("[ -~]{0,12}")
     }
 
-    fn table_strategy() -> impl Strategy<Value = Table> {
-        (1usize..5, 1usize..20).prop_flat_map(|(cols, rows)| {
+    fn table_strategy_of(cell_regex: &str) -> impl Strategy<Value = Table> {
+        let cells = proptest::string::string_regex(cell_regex).unwrap();
+        (1usize..5, 1usize..20).prop_flat_map(move |(cols, rows)| {
             proptest::collection::vec(
-                proptest::collection::vec(proptest::option::of(cell_strategy()), rows),
+                proptest::collection::vec(proptest::option::of(cells.clone()), rows),
                 cols,
             )
             .prop_map(move |data| {
@@ -127,6 +128,32 @@ mod proptests {
                     Value::from(vals[old_r])
                 );
             }
+        }
+
+        /// Cells spanning physical lines (embedded LF / bare CR) survive
+        /// the write→read cycle: one pass normalises types, after which
+        /// the round trip is a fixed point.
+        #[test]
+        fn csv_round_trip_multiline_quoted(t in table_strategy_of("[ -~\r\n]{0,12}")) {
+            let once = read_csv_str("prop", &write_csv_str(&t), &CsvOptions::default()).unwrap();
+            prop_assert_eq!(t.shape(), once.shape());
+            let twice = read_csv_str("prop", &write_csv_str(&once), &CsvOptions::default()).unwrap();
+            prop_assert_eq!(&once, &twice);
+        }
+
+        /// The same logical content parses identically whether records
+        /// end in LF, CRLF, or classic-Mac bare CR.
+        #[test]
+        fn csv_line_ending_equivalence(t in table_strategy()) {
+            // Cells from this strategy never contain newlines, so every
+            // '\n' the writer emits is a record terminator and can be
+            // rewritten wholesale.
+            let lf = write_csv_str(&t);
+            let base = read_csv_str("prop", &lf, &CsvOptions::default()).unwrap();
+            let crlf = read_csv_str("prop", &lf.replace('\n', "\r\n"), &CsvOptions::default()).unwrap();
+            let cr = read_csv_str("prop", &lf.replace('\n', "\r"), &CsvOptions::default()).unwrap();
+            prop_assert_eq!(&base, &crlf);
+            prop_assert_eq!(&base, &cr);
         }
 
         /// diff_cells is empty iff tables are equal, and symmetric.

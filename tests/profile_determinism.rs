@@ -1,0 +1,170 @@
+//! Determinism and incrementality regression tests for the parallel,
+//! memoised profiler: any thread count and any cache temperature must
+//! produce a bit-identical serialized report, and re-profiling after a
+//! repair must recompute only the touched columns and their
+//! correlation pairs.
+
+use std::sync::Arc;
+
+use datalens::engine::{Engine, EngineConfig};
+use datalens_obs::Registry;
+use datalens_profile::{BuildOptions, ProfileCache, ProfileConfig, ProfileReport};
+use datalens_table::{CellRef, Column, Table, Value};
+
+/// Mixed-dtype fixture: three numeric columns (with nulls), one
+/// categorical, one bool — exercises stats, histograms, alerts and all
+/// three correlation matrices, including NaN cells (constant columns
+/// are absent, but null-heavy pairs still short-circuit).
+fn fixture() -> Table {
+    let n = 240;
+    let ints: Vec<Option<i64>> = (0..n)
+        .map(|i| {
+            if i % 11 == 0 {
+                None
+            } else {
+                Some((i as i64 * 37) % 97)
+            }
+        })
+        .collect();
+    let floats: Vec<Option<f64>> = (0..n)
+        .map(|i| Some((i as f64 * 0.37).sin() * 50.0))
+        .collect();
+    let drifting: Vec<Option<f64>> = (0..n)
+        .map(|i| {
+            if i % 13 == 0 {
+                None
+            } else {
+                Some(i as f64 * 1.5 - 30.0)
+            }
+        })
+        .collect();
+    let cats = ["red", "green", "blue", "teal"];
+    let strs: Vec<Option<&str>> = (0..n)
+        .map(|i| if i % 17 == 0 { None } else { Some(cats[i % 4]) })
+        .collect();
+    let bools: Vec<Option<bool>> = (0..n).map(|i| Some(i % 3 == 0)).collect();
+    Table::new(
+        "fixture",
+        vec![
+            Column::from_i64("a", ints),
+            Column::from_f64("b", floats),
+            Column::from_f64("c", drifting),
+            Column::from_str_vals("color", strs),
+            Column::from_bool("flag", bools),
+        ],
+    )
+    .unwrap()
+}
+
+fn serialized(report: &ProfileReport) -> String {
+    serde_json::to_string(report).unwrap()
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts() {
+    let table = fixture();
+    let config = ProfileConfig::default();
+    let sequential = serialized(&ProfileReport::build(&table, &config));
+    for threads in [1, 2, 8] {
+        let parallel = serialized(&ProfileReport::build_with(
+            &table,
+            &config,
+            &BuildOptions {
+                threads,
+                cache: None,
+            },
+        ));
+        assert_eq!(sequential, parallel, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn warm_cache_rebuild_is_bit_identical() {
+    let table = fixture();
+    let config = ProfileConfig::default();
+    let cache = ProfileCache::new();
+    let opts = BuildOptions {
+        threads: 4,
+        cache: Some(&cache),
+    };
+    let cold = serialized(&ProfileReport::build_with(&table, &config, &opts));
+    let after_cold = cache.stats();
+    assert_eq!(
+        after_cold.column_misses, 5,
+        "cold build computes every column"
+    );
+    assert_eq!(after_cold.pair_misses, 6, "3 pearson + 3 spearman pairs");
+
+    let warm = serialized(&ProfileReport::build_with(&table, &config, &opts));
+    assert_eq!(cold, warm, "warm rebuild must be bit-identical");
+    let after_warm = cache.stats();
+    assert_eq!(after_warm.column_hits - after_cold.column_hits, 5);
+    assert_eq!(after_warm.pair_hits - after_cold.pair_hits, 6);
+    assert_eq!(after_warm.column_misses, after_cold.column_misses);
+    assert_eq!(after_warm.pair_misses, after_cold.pair_misses);
+}
+
+#[test]
+fn reprofile_after_repair_recomputes_only_touched_columns() {
+    let mut table = fixture();
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        seed: 0,
+    });
+    let (first, _) = engine.profile(&table);
+    let before = engine.profile_cache().stats();
+
+    // Simulate a repair touching a single cell of column "b" (index 1):
+    // copy-on-write leaves every other column's Arc untouched.
+    table.set(CellRef::new(7, 1), Value::Float(123.5)).unwrap();
+    let (second, _) = engine.profile(&table);
+    let after = engine.profile_cache().stats();
+
+    assert_eq!(
+        after.column_misses - before.column_misses,
+        1,
+        "only the repaired column is re-profiled"
+    );
+    assert_eq!(after.column_hits - before.column_hits, 4);
+    // Correlation pairs touching "b": (a,b) and (b,c) under pearson and
+    // spearman each; (a,c) stays cached.
+    assert_eq!(after.pair_misses - before.pair_misses, 4);
+    assert_eq!(after.pair_hits - before.pair_hits, 2);
+
+    // The untouched columns' profiles are identical; the repaired one
+    // actually changed.
+    assert_eq!(
+        serde_json::to_string(&first.columns[0]).unwrap(),
+        serde_json::to_string(&second.columns[0]).unwrap()
+    );
+    assert_ne!(
+        serde_json::to_string(&first.columns[1]).unwrap(),
+        serde_json::to_string(&second.columns[1]).unwrap()
+    );
+}
+
+#[test]
+fn cache_counters_flow_into_the_metrics_registry() {
+    let registry = Arc::new(Registry::new());
+    let engine = Engine::new(EngineConfig {
+        threads: 2,
+        seed: 0,
+    })
+    .with_metrics(Some(Arc::clone(&registry)));
+    let table = fixture();
+    engine.profile(&table);
+    engine.profile(&table);
+
+    let stats = engine.profile_cache().stats();
+    assert_eq!(
+        registry.counter("profile_cache_hits_total").get(),
+        stats.hits()
+    );
+    assert_eq!(
+        registry.counter("profile_cache_misses_total").get(),
+        stats.misses()
+    );
+    // Second run was fully warm: 5 column + 6 pair hits.
+    assert_eq!(stats.hits(), 11);
+    assert_eq!(stats.misses(), 11);
+}
