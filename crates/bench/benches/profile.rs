@@ -143,6 +143,8 @@ fn bench_profile(c: &mut Criterion) {
             "warm_cache_ms": warm_ms,
             "warm_cache_speedup_vs_sequential": seq_ms / warm_ms,
             "warm_cache_columns_recomputed_per_sample": recomputed_columns,
+            "sequential_rows_per_sec": table.n_rows() as f64 / (seq_ms / 1e3),
+            "parallel_rows_per_sec": table.n_rows() as f64 / (par_ms / 1e3),
         }),
         &measurement,
     );

@@ -127,12 +127,9 @@ fn load(args: &[String]) -> Result<DashboardController, Box<dyn std::error::Erro
         ..Default::default()
     })?;
     if input.ends_with(".csv") {
-        let text = std::fs::read_to_string(input)?;
-        let file_name = std::path::Path::new(input)
-            .file_name()
-            .map(|n| n.to_string_lossy().to_string())
-            .unwrap_or_else(|| input.clone());
-        dash.ingest_csv_text(&file_name, &text)?;
+        // Streams the file in row-group batches — never holds the
+        // whole CSV in memory, so larger-than-RAM inputs work.
+        dash.ingest_csv_path(input)?;
     } else {
         dash.ingest_preloaded(input)?;
     }

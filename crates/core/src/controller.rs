@@ -137,6 +137,16 @@ impl DashboardController {
         self.install(table, source)
     }
 
+    /// Load a CSV file by path, streaming it into row-group chunks
+    /// instead of slurping the whole file into a string first.
+    pub fn ingest_csv_path(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), DataLensError> {
+        let (table, source) = ingest::csv_file(path)?;
+        self.install(table, source)
+    }
+
     /// Load a table over a SQL connection.
     pub fn ingest_sql(
         &mut self,

@@ -277,6 +277,30 @@ mod tests {
     }
 
     #[test]
+    fn metrics_panel_shows_table_storage_gauges_after_profiling() {
+        use crate::jobs::{JobService, JobServiceConfig, JobSpec};
+        use std::sync::Arc;
+
+        let registry = Arc::new(datalens_obs::Registry::new());
+        let svc = JobService::new(JobServiceConfig {
+            metrics: Some(Arc::clone(&registry)),
+            ..JobServiceConfig::default()
+        })
+        .unwrap();
+        let sid = svc
+            .create_session_csv("demo.csv", "a,b\n1,x\n2,y\n,\n")
+            .unwrap();
+        let jid = svc.submit(sid, JobSpec::profile()).unwrap();
+        svc.wait(jid, Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let text = render_metrics_panel(&registry);
+        assert!(text.contains("table_chunks_total"));
+        assert!(text.contains("table_resident_bytes"));
+        assert!(registry.gauge("table_chunks_total").get() >= 2);
+        assert!(registry.gauge("table_resident_bytes").get() > 0);
+    }
+
+    #[test]
     fn jobs_panel_lists_sessions_and_jobs() {
         use crate::jobs::{JobService, JobServiceConfig, JobSpec};
 

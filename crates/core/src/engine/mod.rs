@@ -117,7 +117,9 @@ impl Engine {
     /// across the configured threads, and the shared profile cache
     /// serves any column whose content it has seen before. Cache traffic
     /// from this call is published as `profile_cache_hits_total` /
-    /// `profile_cache_misses_total` when a registry is attached.
+    /// `profile_cache_misses_total` when a registry is attached, and the
+    /// profiled table's chunked-storage footprint as the
+    /// `table_chunks_total` / `table_resident_bytes` gauges.
     pub fn profile(&self, table: &Table) -> (ProfileReport, StageReport) {
         let stage = ProfileStage {
             threads: self.effective_threads(),
@@ -133,6 +135,16 @@ impl Engine {
             metrics
                 .counter("profile_cache_misses_total")
                 .add(after.misses().saturating_sub(before.misses()));
+            metrics
+                // lint:allow(metric-naming): a point-in-time chunk count
+                // for the profiled table — gauge semantics, but the
+                // dashboard contract names it `_total` as a grand total
+                // across columns, not a monotonic counter
+                .gauge("table_chunks_total")
+                .set(i64::try_from(table.chunk_count()).unwrap_or(i64::MAX));
+            metrics
+                .gauge("table_resident_bytes")
+                .set(i64::try_from(table.resident_bytes()).unwrap_or(i64::MAX));
         }
         out
     }
@@ -360,7 +372,24 @@ mod tests {
         e.profile(&t);
         e.profile(&t);
         assert_eq!(registry.counter("profile_cache_hits_total").get(), 4);
-        assert_eq!(registry.counter("profile_cache_misses_total").get(), 4);
+        // Cold run: 2 column misses + 2 pair misses + 2 per-chunk partial
+        // misses (one numeric chunk per column). Warm run hits the
+        // column-profile cache before any chunk lookup happens.
+        assert_eq!(registry.counter("profile_cache_misses_total").get(), 6);
+    }
+
+    #[test]
+    fn profile_publishes_table_storage_gauges() {
+        let registry = Arc::new(Registry::new());
+        let e = engine(1).with_metrics(Some(Arc::clone(&registry)));
+        let t = table();
+        e.profile(&t);
+        let chunks = registry.gauge("table_chunks_total").get();
+        assert_eq!(chunks, i64::try_from(t.chunk_count()).unwrap_or(i64::MAX));
+        assert!(chunks >= 2); // one chunk per column at this size
+        let bytes = registry.gauge("table_resident_bytes").get();
+        assert_eq!(bytes, i64::try_from(t.resident_bytes()).unwrap_or(i64::MAX));
+        assert!(bytes > 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! MV Detector: explicit missing values plus configured null-equivalents.
 
-use datalens_table::{CellRef, Table};
+use datalens_table::{CellRef, ChunkValues, Table};
 
 use crate::detector::{Detection, DetectionContext, Detector};
 
@@ -31,17 +31,36 @@ impl Detector for MvDetector {
     fn detect(&self, table: &Table, _ctx: &DetectionContext) -> Detection {
         let mut cells = Vec::new();
         for (col_idx, col) in table.columns().iter().enumerate() {
-            for row in 0..table.n_rows() {
-                if col.is_null(row) {
-                    cells.push(CellRef::new(row, col_idx));
-                    continue;
-                }
-                if let Some(s) = col.get(row).as_str() {
-                    let norm = s.trim().to_ascii_lowercase();
-                    if self.null_equivalents.contains(&norm) {
-                        cells.push(CellRef::new(row, col_idx));
+            let mut base = 0;
+            for chunk in col.chunks() {
+                match chunk.values() {
+                    ChunkValues::Str { dict, codes } => {
+                        // Normalise each dictionary entry once per chunk
+                        // instead of once per cell.
+                        let is_mv: Vec<bool> = dict
+                            .iter()
+                            .map(|s| {
+                                let norm = s.trim().to_ascii_lowercase();
+                                self.null_equivalents.contains(&norm)
+                            })
+                            .collect();
+                        for (row, &code) in codes.iter().enumerate() {
+                            if !chunk.is_valid(row) || is_mv[code as usize] {
+                                cells.push(CellRef::new(base + row, col_idx));
+                            }
+                        }
+                    }
+                    _ => {
+                        if chunk.null_count() > 0 {
+                            for row in 0..chunk.len() {
+                                if !chunk.is_valid(row) {
+                                    cells.push(CellRef::new(base + row, col_idx));
+                                }
+                            }
+                        }
                     }
                 }
+                base += chunk.len();
             }
         }
         Detection::new(self.name(), cells)
@@ -94,5 +113,24 @@ mod tests {
         };
         let d = det.detect(&t, &DetectionContext::default());
         assert_eq!(d.cells, vec![CellRef::new(0, 0)]);
+    }
+
+    #[test]
+    fn chunk_boundaries_are_invisible() {
+        let vals: Vec<Option<String>> = (0..100)
+            .map(|i| match i % 7 {
+                0 => None,
+                1 => Some("NA".to_string()),
+                _ => Some(format!("v{i}")),
+            })
+            .collect();
+        let col = Column::from_str_vals("s", vals);
+        let flat = Table::new("t", vec![col.clone()]).unwrap();
+        let chunked = Table::new("t", vec![col.rechunk(9)]).unwrap();
+        let det = MvDetector::default();
+        let ctx = DetectionContext::default();
+        let a = det.detect(&flat, &ctx);
+        assert_eq!(a.cells, det.detect(&chunked, &ctx).cells);
+        assert_eq!(a.cells.len(), 15 + 15); // 15 nulls + 15 "NA"s
     }
 }

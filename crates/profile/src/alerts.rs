@@ -81,7 +81,7 @@ pub fn scan(table: &Table, config: &AlertConfig) -> Vec<Alert> {
     let columns: Vec<ColumnProfile> = table
         .columns()
         .iter()
-        .map(|c| compute_column_profile(c, n_rows, &cfg))
+        .map(|c| compute_column_profile(c, n_rows, &cfg, None))
         .collect();
     let pearson = correlation_matrix(table, CorrelationKind::Pearson);
     scan_with(

@@ -1,19 +1,22 @@
 //! Content-addressed memoisation of profiling work.
 //!
-//! A [`ProfileCache`] remembers per-column profiles and correlation-pair
-//! values across [`crate::ProfileReport`] builds, so re-profiling a
-//! repaired table only recomputes the columns a repair actually touched
-//! (plus the correlation pairs involving them).
+//! A [`ProfileCache`] remembers per-column profiles, per-chunk partial
+//! statistics, and correlation-pair values across
+//! [`crate::ProfileReport`] builds, so re-profiling a repaired table only
+//! recomputes the columns a repair actually touched (plus the correlation
+//! pairs involving them) — and within a touched column, only the edited
+//! row-group chunk's partial statistics.
 //!
-//! Identity is content-addressed: each column payload gets a
-//! deterministic FNV-1a fingerprint over its dtype, length, and value
-//! bits. Columns share their payload behind an `Arc`
-//! (copy-on-write), so the common case — a repaired table whose
-//! untouched columns still alias the original allocation — is served by
-//! a pointer-identity fast path that never rehashes the data: the cache
-//! keeps a cheap [`Column`] clone per seen payload, which both anchors
-//! the `Arc` allocation (so its address cannot be recycled by a new
-//! payload) and lets [`Column::shares_data_with`] confirm the match.
+//! Identity is content-addressed at **chunk** granularity: each chunk
+//! gets a deterministic FNV-1a fingerprint over its dtype, length, and
+//! logical value bits (dictionary layout does not participate), and a
+//! column's fingerprint folds its chunk fingerprints in order. Chunks
+//! are shared behind `Arc`s (copy-on-write), so the common case — a
+//! repaired table whose untouched chunks still alias the original
+//! allocations — is served by a pointer-identity fast path that never
+//! rehashes the data: the cache keeps an `Arc<Chunk>` anchor per seen
+//! chunk, which both keeps the allocation alive (so its address cannot
+//! be recycled by a new chunk) and lets `Arc::ptr_eq` confirm the match.
 //!
 //! Determinism: the cache stores the exact values the profiler computed,
 //! so a warm build is bit-identical to a cold one — a property pinned by
@@ -21,13 +24,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use datalens_table::{Column, ColumnData};
+use datalens_table::{Chunk, ChunkValues, Column, DataType};
 
 use crate::correlation::CorrelationKind;
 use crate::report::{ColumnProfile, ProfileConfig};
+use crate::stats::NumericPartial;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -57,64 +62,86 @@ impl Fnv {
     }
 }
 
-/// Deterministic content fingerprint of a column payload. Name-independent:
-/// two columns with equal dtype and values fingerprint identically.
-pub fn fingerprint(column: &Column) -> u64 {
+fn dtype_tag(dtype: DataType) -> u64 {
+    match dtype {
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Bool => 3,
+        DataType::Str => 4,
+    }
+}
+
+/// Deterministic content fingerprint of one chunk, over its *logical*
+/// values: dictionary order and code assignment do not participate, so
+/// two chunks holding the same strings fingerprint identically however
+/// they were built.
+pub fn chunk_fingerprint(chunk: &Chunk) -> u64 {
     let mut h = Fnv::new();
-    match column.data() {
-        ColumnData::Int(v) => {
-            h.write_u64(1);
-            h.write_u64(v.len() as u64);
-            for x in v {
-                match x {
-                    Some(x) => {
-                        h.write(&[1]);
-                        h.write_u64(*x as u64);
-                    }
-                    None => h.write(&[0]),
+    h.write_u64(dtype_tag(chunk.dtype()));
+    h.write_u64(chunk.len() as u64);
+    match chunk.values() {
+        ChunkValues::Int(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if chunk.is_valid(i) {
+                    h.write(&[1]);
+                    h.write_u64(*x as u64);
+                } else {
+                    h.write(&[0]);
                 }
             }
         }
-        ColumnData::Float(v) => {
-            h.write_u64(2);
-            h.write_u64(v.len() as u64);
-            for x in v {
-                match x {
-                    Some(x) => {
-                        h.write(&[1]);
-                        h.write_u64(x.to_bits());
-                    }
-                    None => h.write(&[0]),
+        ChunkValues::Float(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if chunk.is_valid(i) {
+                    h.write(&[1]);
+                    h.write_u64(x.to_bits());
+                } else {
+                    h.write(&[0]);
                 }
             }
         }
-        ColumnData::Bool(v) => {
-            h.write_u64(3);
-            h.write_u64(v.len() as u64);
-            for x in v {
-                match x {
-                    Some(true) => h.write(&[1, 1]),
-                    Some(false) => h.write(&[1, 0]),
-                    None => h.write(&[0]),
+        ChunkValues::Bool(v) => {
+            for (i, x) in v.iter().enumerate() {
+                if chunk.is_valid(i) {
+                    h.write(if *x { &[1, 1] } else { &[1, 0] });
+                } else {
+                    h.write(&[0]);
                 }
             }
         }
-        ColumnData::Str(v) => {
-            h.write_u64(4);
-            h.write_u64(v.len() as u64);
-            for x in v {
-                match x {
-                    Some(s) => {
-                        h.write(&[1]);
-                        h.write_u64(s.len() as u64);
-                        h.write(s.as_bytes());
-                    }
-                    None => h.write(&[0]),
+        ChunkValues::Str { dict, codes } => {
+            for (i, code) in codes.iter().enumerate() {
+                if chunk.is_valid(i) {
+                    let s = &dict[*code as usize];
+                    h.write(&[1]);
+                    h.write_u64(s.len() as u64);
+                    h.write(s.as_bytes());
+                } else {
+                    h.write(&[0]);
                 }
             }
         }
     }
     h.finish()
+}
+
+fn fold_fingerprint(column: &Column, mut chunk_fp: impl FnMut(&Arc<Chunk>) -> u64) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(dtype_tag(column.dtype()));
+    h.write_u64(column.len() as u64);
+    for chunk in column.chunks() {
+        h.write_u64(chunk_fp(chunk));
+    }
+    h.finish()
+}
+
+/// Deterministic content fingerprint of a column payload: a fold of its
+/// chunk fingerprints in chunk order. Name-independent: two columns with
+/// equal dtype, chunking and values fingerprint identically. (Chunk
+/// boundaries participate — a rechunked column re-fingerprints, which
+/// only costs hit rate, never correctness.)
+pub fn fingerprint(column: &Column) -> u64 {
+    fold_fingerprint(column, |c| chunk_fingerprint(c))
 }
 
 /// Hit/miss totals, split by what was looked up.
@@ -124,15 +151,17 @@ pub struct CacheStats {
     pub column_misses: u64,
     pub pair_hits: u64,
     pub pair_misses: u64,
+    pub chunk_hits: u64,
+    pub chunk_misses: u64,
 }
 
 impl CacheStats {
     pub fn hits(&self) -> u64 {
-        self.column_hits + self.pair_hits
+        self.column_hits + self.pair_hits + self.chunk_hits
     }
 
     pub fn misses(&self) -> u64 {
-        self.column_misses + self.pair_misses
+        self.column_misses + self.pair_misses + self.chunk_misses
     }
 }
 
@@ -159,16 +188,19 @@ impl ColumnKey {
 
 struct Inner {
     columns: HashMap<ColumnKey, ColumnProfile>,
-    /// Payload address → content fingerprint. The anchor `Column` keeps
-    /// the `Arc` allocation alive, so an address in this map can never be
-    /// recycled by a different payload while the entry exists.
-    ptr_fps: HashMap<usize, (Column, u64)>,
+    /// Chunk address → content fingerprint. The anchor `Arc<Chunk>`
+    /// keeps the allocation alive, so an address in this map can never
+    /// be recycled by a different chunk while the entry exists.
+    chunk_ptr_fps: HashMap<usize, (Arc<Chunk>, u64)>,
+    /// Chunk fingerprint → mergeable numeric partial statistics.
+    chunk_partials: HashMap<u64, NumericPartial>,
     pairs: HashMap<(CorrelationKind, u64, u64), f64>,
 }
 
-/// Thread-safe memo of per-column profiles and correlation-pair values.
-/// Shared (behind an `Arc`) by every clone of an engine, so sequential
-/// calls — profile, repair, re-profile — reuse each other's work.
+/// Thread-safe memo of per-column profiles, per-chunk partial stats and
+/// correlation-pair values. Shared (behind an `Arc`) by every clone of
+/// an engine, so sequential calls — profile, repair, re-profile — reuse
+/// each other's work.
 pub struct ProfileCache {
     inner: Mutex<Inner>,
     max_columns: usize,
@@ -177,6 +209,8 @@ pub struct ProfileCache {
     column_misses: AtomicU64,
     pair_hits: AtomicU64,
     pair_misses: AtomicU64,
+    chunk_hits: AtomicU64,
+    chunk_misses: AtomicU64,
 }
 
 impl ProfileCache {
@@ -184,15 +218,16 @@ impl ProfileCache {
         ProfileCache::with_capacity(4096, 65536)
     }
 
-    /// A cache holding at most `max_columns` column profiles (and pointer
-    /// anchors) and `max_pairs` correlation values. Overflow clears the
-    /// grown map wholesale — crude, but eviction order cannot affect
+    /// A cache holding at most `max_columns` column profiles and
+    /// `max_pairs` correlation values / chunk entries. Overflow clears
+    /// the grown map wholesale — crude, but eviction order cannot affect
     /// results, only recompute cost.
     pub fn with_capacity(max_columns: usize, max_pairs: usize) -> ProfileCache {
         ProfileCache {
             inner: Mutex::new(Inner {
                 columns: HashMap::new(),
-                ptr_fps: HashMap::new(),
+                chunk_ptr_fps: HashMap::new(),
+                chunk_partials: HashMap::new(),
                 pairs: HashMap::new(),
             }),
             max_columns: max_columns.max(1),
@@ -201,30 +236,58 @@ impl ProfileCache {
             column_misses: AtomicU64::new(0),
             pair_hits: AtomicU64::new(0),
             pair_misses: AtomicU64::new(0),
+            chunk_hits: AtomicU64::new(0),
+            chunk_misses: AtomicU64::new(0),
         }
     }
 
-    /// Content fingerprint of `column`, served from the pointer-identity
-    /// index (no rehash) when this exact payload allocation was seen
-    /// before.
-    pub fn fingerprint_of(&self, column: &Column) -> u64 {
-        let ptr = column.data() as *const ColumnData as usize;
+    /// Content fingerprint of one chunk, served from the
+    /// pointer-identity index (no rehash) when this exact allocation was
+    /// seen before.
+    pub fn chunk_fingerprint_of(&self, chunk: &Arc<Chunk>) -> u64 {
+        let ptr = Arc::as_ptr(chunk) as usize;
         {
             let inner = self.inner.lock();
-            if let Some((anchor, fp)) = inner.ptr_fps.get(&ptr) {
-                if anchor.shares_data_with(column) {
+            if let Some((anchor, fp)) = inner.chunk_ptr_fps.get(&ptr) {
+                if Arc::ptr_eq(anchor, chunk) {
                     return *fp;
                 }
             }
         }
-        // Hash outside the lock: fingerprinting is O(column length).
-        let fp = fingerprint(column);
+        // Hash outside the lock: fingerprinting is O(chunk length).
+        let fp = chunk_fingerprint(chunk);
         let mut inner = self.inner.lock();
-        if inner.ptr_fps.len() >= self.max_columns {
-            inner.ptr_fps.clear();
+        if inner.chunk_ptr_fps.len() >= self.max_pairs {
+            inner.chunk_ptr_fps.clear();
         }
-        inner.ptr_fps.insert(ptr, (column.clone(), fp));
+        inner.chunk_ptr_fps.insert(ptr, (Arc::clone(chunk), fp));
         fp
+    }
+
+    /// Content fingerprint of `column`: the fold of its chunks'
+    /// fingerprints, each served through the pointer fast path. An
+    /// edited column re-hashes only the chunks the edit detached.
+    pub fn fingerprint_of(&self, column: &Column) -> u64 {
+        fold_fingerprint(column, |c| self.chunk_fingerprint_of(c))
+    }
+
+    /// Memoised numeric partial for a chunk fingerprint, if present.
+    pub fn get_chunk_partial(&self, fp: u64) -> Option<NumericPartial> {
+        let hit = self.inner.lock().chunk_partials.get(&fp).copied();
+        match &hit {
+            Some(_) => self.chunk_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.chunk_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Store a freshly computed chunk partial.
+    pub fn put_chunk_partial(&self, fp: u64, partial: NumericPartial) {
+        let mut inner = self.inner.lock();
+        if inner.chunk_partials.len() >= self.max_pairs {
+            inner.chunk_partials.clear();
+        }
+        inner.chunk_partials.insert(fp, partial);
     }
 
     /// Memoised profile for `column` under `config`, if present.
@@ -278,6 +341,8 @@ impl ProfileCache {
             column_misses: self.column_misses.load(Ordering::Acquire),
             pair_hits: self.pair_hits.load(Ordering::Acquire),
             pair_misses: self.pair_misses.load(Ordering::Acquire),
+            chunk_hits: self.chunk_hits.load(Ordering::Acquire),
+            chunk_misses: self.chunk_misses.load(Ordering::Acquire),
         }
     }
 
@@ -285,7 +350,8 @@ impl ProfileCache {
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.columns.clear();
-        inner.ptr_fps.clear();
+        inner.chunk_ptr_fps.clear();
+        inner.chunk_partials.clear();
         inner.pairs.clear();
     }
 
@@ -297,6 +363,11 @@ impl ProfileCache {
     /// Number of memoised correlation pairs (for tests and benches).
     pub fn cached_pairs(&self) -> usize {
         self.inner.lock().pairs.len()
+    }
+
+    /// Number of memoised chunk partials (for tests and benches).
+    pub fn cached_chunk_partials(&self) -> usize {
+        self.inner.lock().chunk_partials.len()
     }
 }
 
@@ -312,6 +383,7 @@ impl std::fmt::Debug for ProfileCache {
         f.debug_struct("ProfileCache")
             .field("columns", &self.cached_columns())
             .field("pairs", &self.cached_pairs())
+            .field("chunk_partials", &self.cached_chunk_partials())
             .field("stats", &stats)
             .finish()
     }
@@ -351,6 +423,19 @@ mod tests {
     }
 
     #[test]
+    fn chunk_fingerprint_ignores_dictionary_layout() {
+        // Same logical strings through different build paths end up with
+        // different dictionaries but identical fingerprints.
+        let a = Column::from_str_vals("s", [Some("x"), Some("y"), Some("x")]);
+        let mut b = Column::from_str_vals("s", [Some("y"), Some("y"), Some("x")]);
+        b.set(0, Value::Str("x".into()));
+        assert_eq!(
+            chunk_fingerprint(&a.chunks()[0]),
+            chunk_fingerprint(&b.chunks()[0])
+        );
+    }
+
+    #[test]
     fn pointer_fast_path_skips_rehash_for_shared_payloads() {
         let cache = ProfileCache::new();
         let a = col("a", &[Some(1), Some(2)]);
@@ -361,6 +446,23 @@ mod tests {
         detached.set(0, Value::Int(1));
         assert!(!a.shares_data_with(&detached));
         assert_eq!(cache.fingerprint_of(&a), cache.fingerprint_of(&detached));
+    }
+
+    #[test]
+    fn chunk_partial_roundtrip_counts_hits_and_misses() {
+        let cache = ProfileCache::new();
+        let c = col("a", &[Some(1), Some(2), Some(3)]);
+        let chunk = &c.chunks()[0];
+        let fp = cache.chunk_fingerprint_of(chunk);
+        assert!(cache.get_chunk_partial(fp).is_none());
+        let mut vals = Vec::new();
+        chunk.numeric_values_into(&mut vals);
+        let partial = NumericPartial::of(&vals);
+        cache.put_chunk_partial(fp, partial);
+        assert_eq!(cache.get_chunk_partial(fp), Some(partial));
+        let s = cache.stats();
+        assert_eq!((s.chunk_hits, s.chunk_misses), (1, 1));
+        assert_eq!(cache.cached_chunk_partials(), 1);
     }
 
     #[test]
@@ -419,6 +521,10 @@ mod tests {
             cache.put_pair(CorrelationKind::Pearson, i, i + 1, 0.5);
         }
         assert!(cache.cached_pairs() <= 2);
+        for i in 0..5u64 {
+            cache.put_chunk_partial(i, NumericPartial::of(&[i as f64]));
+        }
+        assert!(cache.cached_chunk_partials() <= 2);
     }
 
     #[test]

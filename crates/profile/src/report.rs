@@ -14,7 +14,7 @@ use crate::alerts::{scan_with, Alert, AlertConfig};
 use crate::cache::ProfileCache;
 use crate::correlation::{cramers_v, pearson, spearman, CorrelationKind, CorrelationMatrix};
 use crate::histogram::Histogram;
-use crate::stats::{categorical_stats, numeric_stats, CategoricalStats, NumericStats};
+use crate::stats::{categorical_stats, numeric_stats_chunked, CategoricalStats, NumericStats};
 
 /// Profiling options.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -224,20 +224,22 @@ fn profile_column(
             return hit;
         }
     }
-    let profile = compute_column_profile(col, n_rows, config);
+    let profile = compute_column_profile(col, n_rows, config, cache);
     if let Some(cache) = cache {
         cache.put_column(col, config, &profile);
     }
     profile
 }
 
-/// The uncached per-column work: stats, histogram, value frequencies.
+/// The per-column work: stats (chunk-merged, with per-chunk partials
+/// memoised through `cache` when present), histogram, value frequencies.
 pub(crate) fn compute_column_profile(
     col: &Column,
     n_rows: usize,
     config: &ProfileConfig,
+    cache: Option<&ProfileCache>,
 ) -> ColumnProfile {
-    let numeric = numeric_stats(col);
+    let numeric = numeric_stats_chunked(col, cache);
     let histogram = if config.histogram_bins == 0 {
         None
     } else {

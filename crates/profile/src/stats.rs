@@ -1,8 +1,23 @@
 //! Per-column descriptive statistics.
+//!
+//! Two computation paths produce the same [`NumericStats`]:
+//! [`numeric_stats_of`] over a flat slice, and the chunk-merge path
+//! ([`NumericPartial`] per row-group chunk, folded with
+//! [`NumericPartial::merge`] in chunk order). For a single-chunk column
+//! the two are bit-identical — same accumulation order, same operations
+//! — which is what keeps seed-scale profile reports byte-stable across
+//! the chunked refactor. Order statistics (min/max/quantiles) and the
+//! standardised moments (skewness/kurtosis) are always computed from the
+//! full value sequence, so they are chunking-independent by
+//! construction; only mean/variance go through the Chan-style merge,
+//! whose last-bit rounding can differ from the flat path once a column
+//! spans multiple chunks.
 
 use serde::{Deserialize, Serialize};
 
-use datalens_table::Column;
+use datalens_table::{Chunk, Column, DataType};
+
+use crate::cache::ProfileCache;
 
 /// Summary statistics for a numeric column (nulls and non-finite values
 /// excluded).
@@ -98,6 +113,209 @@ pub fn numeric_stats_of(raw: &[f64]) -> Option<NumericStats> {
         zeros: values.iter().filter(|&&v| v == 0.0).count(),
         negatives: values.iter().filter(|&&v| v < 0.0).count(),
         sum,
+    })
+}
+
+/// Mergeable partial statistics of one row-group chunk's finite values.
+/// `mean`/`m2` combine Chan-style, the additive fields just sum — so a
+/// column's moments fold deterministically in chunk order, and an edited
+/// chunk invalidates only its own partial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericPartial {
+    /// Finite values covered.
+    pub count: usize,
+    /// NaN/±Inf inputs excluded (and surfaced) like [`numeric_stats_of`].
+    pub non_finite: usize,
+    pub sum: f64,
+    pub mean: f64,
+    /// Sum of squared deviations from `mean` (not divided by count).
+    pub m2: f64,
+    pub min: f64,
+    pub max: f64,
+    pub zeros: usize,
+    pub negatives: usize,
+}
+
+impl NumericPartial {
+    /// Compute a partial over a raw value slice, filtering (and
+    /// counting) non-finite entries exactly like [`numeric_stats_of`] —
+    /// same accumulation order, so a single-chunk column's partial
+    /// reproduces the flat path bit for bit.
+    pub fn of(raw: &[f64]) -> NumericPartial {
+        let mut values = Vec::with_capacity(raw.len());
+        let mut non_finite = 0usize;
+        for &v in raw {
+            if v.is_finite() {
+                values.push(v);
+            } else {
+                non_finite += 1;
+            }
+        }
+        if values.is_empty() {
+            return NumericPartial {
+                count: 0,
+                non_finite,
+                sum: 0.0,
+                mean: 0.0,
+                m2: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                zeros: 0,
+                negatives: 0,
+            };
+        }
+        let n = values.len() as f64;
+        let sum: f64 = values.iter().sum();
+        let mean = sum / n;
+        let m2: f64 = values.iter().map(|v| (v - mean).powi(2)).sum();
+        NumericPartial {
+            count: values.len(),
+            non_finite,
+            sum,
+            mean,
+            m2,
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            zeros: values.iter().filter(|&&v| v == 0.0).count(),
+            negatives: values.iter().filter(|&&v| v < 0.0).count(),
+        }
+    }
+
+    /// Compute a partial over one chunk's non-null values. `None` for
+    /// string chunks (no numeric view).
+    pub fn of_chunk(chunk: &Chunk) -> Option<NumericPartial> {
+        if chunk.dtype() == DataType::Str {
+            return None;
+        }
+        let mut values = Vec::with_capacity(chunk.len());
+        chunk.numeric_values_into(&mut values);
+        Some(NumericPartial::of(&values))
+    }
+
+    /// Chan-style pairwise combination: exact for the additive fields,
+    /// numerically stable for mean/M2. Merging with an empty partial
+    /// returns the other side unchanged (up to summed additive fields),
+    /// so folds never divide by zero.
+    pub fn merge(&self, other: &NumericPartial) -> NumericPartial {
+        let non_finite = self.non_finite + other.non_finite;
+        if self.count == 0 {
+            return NumericPartial {
+                non_finite,
+                ..*other
+            };
+        }
+        if other.count == 0 {
+            return NumericPartial {
+                non_finite,
+                ..*self
+            };
+        }
+        let na = self.count as f64;
+        let nb = other.count as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        NumericPartial {
+            count: self.count + other.count,
+            non_finite,
+            sum: self.sum + other.sum,
+            mean: self.mean + delta * nb / n,
+            m2: self.m2 + other.m2 + delta * delta * na * nb / n,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            zeros: self.zeros + other.zeros,
+            negatives: self.negatives + other.negatives,
+        }
+    }
+}
+
+/// Compute [`NumericStats`] chunk-wise: per-chunk [`NumericPartial`]s
+/// (served from `cache` when warm, keyed by chunk fingerprint) folded in
+/// chunk order for the moments, plus one pass over the finite values for
+/// the order statistics and standardised moments. Returns `None` for
+/// string columns or when no finite values exist.
+///
+/// For a single-chunk column this is bit-identical to
+/// [`numeric_stats`]; for multi-chunk columns only mean/variance/std
+/// (and the skew/kurt standardisation they feed) can differ in the last
+/// bits through the merge.
+pub fn numeric_stats_chunked(
+    column: &Column,
+    cache: Option<&ProfileCache>,
+) -> Option<NumericStats> {
+    if column.dtype() == DataType::Str {
+        return None;
+    }
+    let mut merged: Option<NumericPartial> = None;
+    let mut finite: Vec<f64> = Vec::new();
+    let mut buf: Vec<f64> = Vec::new();
+    for chunk in column.chunks() {
+        buf.clear();
+        chunk.numeric_values_into(&mut buf);
+        let partial = match cache {
+            Some(cache) => {
+                let fp = cache.chunk_fingerprint_of(chunk);
+                match cache.get_chunk_partial(fp) {
+                    Some(p) => p,
+                    None => {
+                        let p = NumericPartial::of(&buf);
+                        cache.put_chunk_partial(fp, p);
+                        p
+                    }
+                }
+            }
+            None => NumericPartial::of(&buf),
+        };
+        merged = Some(match merged {
+            Some(m) => m.merge(&partial),
+            None => partial,
+        });
+        finite.extend(buf.iter().copied().filter(|v| v.is_finite()));
+    }
+    let merged = merged?;
+    if merged.count == 0 {
+        return None;
+    }
+    let n = merged.count as f64;
+    let mean = merged.mean;
+    let variance = merged.m2 / n;
+    let std = variance.sqrt();
+    let (skewness, kurtosis) = if std > 0.0 {
+        let m3: f64 = finite
+            .iter()
+            .map(|v| ((v - mean) / std).powi(3))
+            .sum::<f64>()
+            / n;
+        let m4: f64 = finite
+            .iter()
+            .map(|v| ((v - mean) / std).powi(4))
+            .sum::<f64>()
+            / n;
+        (m3, m4 - 3.0)
+    } else {
+        (0.0, 0.0)
+    };
+    let mut sorted = finite;
+    sorted.sort_by(f64::total_cmp);
+    let q1 = quantile_sorted(&sorted, 0.25);
+    let median = quantile_sorted(&sorted, 0.5);
+    let q3 = quantile_sorted(&sorted, 0.75);
+    Some(NumericStats {
+        count: merged.count,
+        non_finite: merged.non_finite,
+        mean,
+        std,
+        variance,
+        min: sorted[0],
+        max: *sorted.last().expect("nonempty"),
+        q1,
+        median,
+        q3,
+        iqr: q3 - q1,
+        skewness,
+        kurtosis,
+        zeros: merged.zeros,
+        negatives: merged.negatives,
+        sum: merged.sum,
     })
 }
 
@@ -261,6 +479,98 @@ mod tests {
         assert_eq!(quantile_sorted(&sorted, 0.5), 25.0);
         assert!((quantile_sorted(&sorted, 1.0 / 3.0) - 20.0).abs() < 1e-9);
         assert_eq!(quantile_sorted(&[5.0], 0.75), 5.0);
+    }
+
+    #[test]
+    fn chunked_path_is_bit_identical_for_single_chunk_columns() {
+        // Seed-scale columns fit one chunk, where the merge path must
+        // reproduce the flat path exactly — every field, every bit.
+        let vals: Vec<Option<f64>> = (0..500)
+            .map(|i| {
+                if i % 11 == 0 {
+                    None
+                } else if i % 97 == 0 {
+                    Some(f64::NAN)
+                } else {
+                    Some((i as f64 * 0.37).sin() * 50.0 - 10.0)
+                }
+            })
+            .collect();
+        let c = Column::from_f64("x", vals);
+        assert_eq!(c.chunks().len(), 1);
+        let flat = numeric_stats(&c).unwrap();
+        let chunked = numeric_stats_chunked(&c, None).unwrap();
+        assert_eq!(
+            serde_json::to_string(&flat).unwrap(),
+            serde_json::to_string(&chunked).unwrap()
+        );
+    }
+
+    #[test]
+    fn merged_partials_agree_with_flat_stats_across_chunks() {
+        let vals: Vec<Option<f64>> = (0..300)
+            .map(|i| {
+                if i % 13 == 0 {
+                    None
+                } else {
+                    Some(i as f64 * 1.5 - 30.0)
+                }
+            })
+            .collect();
+        let c = Column::from_f64("x", vals).rechunk(37);
+        assert!(c.chunks().len() > 1);
+        let flat = numeric_stats(&c).unwrap();
+        let chunked = numeric_stats_chunked(&c, None).unwrap();
+        // Exact: counts, order statistics, additive tallies.
+        assert_eq!(flat.count, chunked.count);
+        assert_eq!(flat.non_finite, chunked.non_finite);
+        assert_eq!((flat.min, flat.max), (chunked.min, chunked.max));
+        assert_eq!(flat.median, chunked.median);
+        assert_eq!(
+            (flat.zeros, flat.negatives),
+            (chunked.zeros, chunked.negatives)
+        );
+        // Merge-folded moments: equal up to last-bit rounding.
+        assert!((flat.mean - chunked.mean).abs() <= 1e-9 * flat.mean.abs().max(1.0));
+        assert!((flat.variance - chunked.variance).abs() <= 1e-9 * flat.variance.max(1.0));
+        assert!((flat.skewness - chunked.skewness).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn partial_merge_handles_empty_sides() {
+        let empty = NumericPartial::of(&[]);
+        let vals = NumericPartial::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(empty.merge(&vals), vals);
+        assert_eq!(vals.merge(&empty), vals);
+        let nan_only = NumericPartial::of(&[f64::NAN]);
+        let merged = nan_only.merge(&vals);
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.non_finite, 1);
+        assert_eq!(merged.mean, 2.0);
+    }
+
+    #[test]
+    fn partial_merge_is_chan_exact_on_balanced_halves() {
+        let all: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let a = NumericPartial::of(&all[..32]);
+        let b = NumericPartial::of(&all[32..]);
+        let merged = a.merge(&b);
+        let flat = NumericPartial::of(&all);
+        assert_eq!(merged.count, flat.count);
+        assert_eq!(merged.sum, flat.sum);
+        assert_eq!(merged.mean, flat.mean);
+        assert!((merged.m2 - flat.m2).abs() < 1e-9);
+        assert_eq!((merged.min, merged.max), (flat.min, flat.max));
+    }
+
+    #[test]
+    fn of_chunk_skips_string_chunks() {
+        let s = Column::from_str_vals("s", [Some("a"), Some("b")]);
+        assert!(NumericPartial::of_chunk(&s.chunks()[0]).is_none());
+        let i = Column::from_i64("i", [Some(1), None, Some(3)]);
+        let p = NumericPartial::of_chunk(&i.chunks()[0]).unwrap();
+        assert_eq!(p.count, 2);
+        assert_eq!(p.sum, 4.0);
     }
 
     #[test]

@@ -1,94 +1,92 @@
-//! Typed columnar storage.
+//! Typed columnar storage over immutable row-group chunks.
 //!
-//! A [`Column`] stores one attribute's values in a type-specialised vector
-//! (`Vec<Option<T>>`), which keeps numeric scans allocation-free while still
-//! exposing a dynamically-typed [`Value`] view for the dashboard layers.
+//! A [`Column`] stores one attribute's values as an ordered list of
+//! [`Chunk`]s — dense typed buffers with a validity bitmap, dictionary
+//! encoded for strings (see [`crate::chunk`]). Each chunk sits behind its
+//! own [`Arc`], so cloning a column (and therefore a whole
+//! [`crate::Table`]) is O(1) and mutation goes through [`Arc::make_mut`]
+//! at *chunk* granularity: a single-row repair copies one row group, not
+//! the column.
 //!
-//! The payload sits behind an [`Arc`], so cloning a column (and therefore a
-//! whole [`crate::Table`]) is O(1); mutation goes through
-//! [`Arc::make_mut`], copying a column's data only when it is actually
-//! shared (copy-on-write).
+//! Equality is **logical**: two columns with the same name, dtype and
+//! per-row values are equal regardless of how rows are split into chunks
+//! or how dictionaries are laid out.
 
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::chunk::{Chunk, ChunkBuilder, ChunkValues, RawRef, DEFAULT_CHUNK_ROWS};
 use crate::value::{DataType, Value};
 
-/// The typed payload of a column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum ColumnData {
-    Int(Vec<Option<i64>>),
-    Float(Vec<Option<f64>>),
-    Bool(Vec<Option<bool>>),
-    Str(Vec<Option<String>>),
-}
-
-impl ColumnData {
-    /// An empty payload of the given type.
-    pub fn empty(dtype: DataType) -> ColumnData {
-        match dtype {
-            DataType::Int => ColumnData::Int(Vec::new()),
-            DataType::Float => ColumnData::Float(Vec::new()),
-            DataType::Bool => ColumnData::Bool(Vec::new()),
-            DataType::Str => ColumnData::Str(Vec::new()),
-        }
-    }
-
-    /// An all-null payload of the given type and length.
-    pub fn nulls(dtype: DataType, len: usize) -> ColumnData {
-        match dtype {
-            DataType::Int => ColumnData::Int(vec![None; len]),
-            DataType::Float => ColumnData::Float(vec![None; len]),
-            DataType::Bool => ColumnData::Bool(vec![None; len]),
-            DataType::Str => ColumnData::Str(vec![None; len]),
-        }
-    }
-
-    pub fn dtype(&self) -> DataType {
-        match self {
-            ColumnData::Int(_) => DataType::Int,
-            ColumnData::Float(_) => DataType::Float,
-            ColumnData::Bool(_) => DataType::Bool,
-            ColumnData::Str(_) => DataType::Str,
-        }
-    }
-
-    pub fn len(&self) -> usize {
-        match self {
-            ColumnData::Int(v) => v.len(),
-            ColumnData::Float(v) => v.len(),
-            ColumnData::Bool(v) => v.len(),
-            ColumnData::Str(v) => v.len(),
-        }
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-/// A named, typed column of values. Cheap to clone: the payload is
-/// shared until one of the clones mutates it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A named, typed column of values, stored as row-group chunks. Cheap to
+/// clone: every chunk is shared until one of the clones mutates it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Column {
     name: String,
-    data: Arc<ColumnData>,
+    dtype: DataType,
+    len: usize,
+    chunks: Vec<Arc<Chunk>>,
+    /// Cumulative end-row of each chunk (`offsets[i]` = first row of
+    /// chunk `i+1`), kept for O(log chunks) row lookup.
+    offsets: Vec<usize>,
 }
 
 impl Column {
-    /// Construct from a pre-typed payload.
-    pub fn new(name: impl Into<String>, data: ColumnData) -> Column {
+    /// An empty column of the given dtype.
+    pub fn empty(name: impl Into<String>, dtype: DataType) -> Column {
         Column {
             name: name.into(),
-            data: Arc::new(data),
+            dtype,
+            len: 0,
+            chunks: Vec::new(),
+            offsets: Vec::new(),
         }
     }
 
-    /// Whether two columns share the same payload allocation (i.e. no
-    /// deep copy has happened between them).
+    /// An all-null column of the given dtype and length.
+    pub fn nulls(name: impl Into<String>, dtype: DataType, len: usize) -> Column {
+        let mut chunks = Vec::new();
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(DEFAULT_CHUNK_ROWS);
+            chunks.push(Arc::new(Chunk::nulls(dtype, take)));
+            remaining -= take;
+        }
+        Column::from_chunks(name, dtype, chunks)
+    }
+
+    /// Assemble a column from pre-built chunks (all of dtype `dtype`).
+    pub(crate) fn from_chunks(
+        name: impl Into<String>,
+        dtype: DataType,
+        chunks: Vec<Arc<Chunk>>,
+    ) -> Column {
+        let mut offsets = Vec::with_capacity(chunks.len());
+        let mut len = 0;
+        for c in &chunks {
+            debug_assert_eq!(c.dtype(), dtype, "chunk dtype mismatch");
+            len += c.len();
+            offsets.push(len);
+        }
+        Column {
+            name: name.into(),
+            dtype,
+            len,
+            chunks,
+            offsets,
+        }
+    }
+
+    /// Whether two columns share every chunk allocation (i.e. no deep
+    /// copy has happened between them).
     pub fn shares_data_with(&self, other: &Column) -> bool {
-        Arc::ptr_eq(&self.data, &other.data)
+        self.chunks.len() == other.chunks.len()
+            && self
+                .chunks
+                .iter()
+                .zip(&other.chunks)
+                .all(|(a, b)| Arc::ptr_eq(a, b))
     }
 
     /// Construct by coercing dynamically-typed values to `dtype`; values
@@ -98,11 +96,11 @@ impl Column {
         dtype: DataType,
         values: impl IntoIterator<Item = Value>,
     ) -> Column {
-        let mut col = Column::new(name, ColumnData::empty(dtype));
+        let mut b = ChunkBuilder::new(dtype, DEFAULT_CHUNK_ROWS);
         for v in values {
-            col.push(v.coerce(dtype));
+            b.push(v);
         }
-        col
+        Column::from_chunks(name, dtype, b.finish())
     }
 
     /// Typed convenience constructors used heavily in tests and examples.
@@ -110,27 +108,42 @@ impl Column {
         name: impl Into<String>,
         vals: impl IntoIterator<Item = Option<i64>>,
     ) -> Column {
-        Column::new(name, ColumnData::Int(vals.into_iter().collect()))
+        Column::from_values(
+            name,
+            DataType::Int,
+            vals.into_iter().map(|v| v.map_or(Value::Null, Value::Int)),
+        )
     }
     pub fn from_f64(
         name: impl Into<String>,
         vals: impl IntoIterator<Item = Option<f64>>,
     ) -> Column {
-        Column::new(name, ColumnData::Float(vals.into_iter().collect()))
+        Column::from_values(
+            name,
+            DataType::Float,
+            vals.into_iter()
+                .map(|v| v.map_or(Value::Null, Value::Float)),
+        )
     }
     pub fn from_bool(
         name: impl Into<String>,
         vals: impl IntoIterator<Item = Option<bool>>,
     ) -> Column {
-        Column::new(name, ColumnData::Bool(vals.into_iter().collect()))
+        Column::from_values(
+            name,
+            DataType::Bool,
+            vals.into_iter().map(|v| v.map_or(Value::Null, Value::Bool)),
+        )
     }
     pub fn from_str_vals<S: Into<String>>(
         name: impl Into<String>,
         vals: impl IntoIterator<Item = Option<S>>,
     ) -> Column {
-        Column::new(
+        Column::from_values(
             name,
-            ColumnData::Str(vals.into_iter().map(|v| v.map(Into::into)).collect()),
+            DataType::Str,
+            vals.into_iter()
+                .map(|v| v.map_or(Value::Null, |s| Value::Str(s.into()))),
         )
     }
 
@@ -143,116 +156,134 @@ impl Column {
     }
 
     pub fn dtype(&self) -> DataType {
-        self.data.dtype()
+        self.dtype
     }
 
-    pub fn data(&self) -> &ColumnData {
-        &self.data
+    /// The column's row-group chunks, in row order.
+    pub fn chunks(&self) -> &[Arc<Chunk>] {
+        &self.chunks
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// Locate `row`: (chunk index, offset within chunk). Rows past the
+    /// end land on `chunks.len()`, so the subsequent chunk index panics
+    /// like slice indexing.
+    fn locate(&self, row: usize) -> (usize, usize) {
+        let idx = self.offsets.partition_point(|&end| end <= row);
+        let start = if idx == 0 { 0 } else { self.offsets[idx - 1] };
+        (idx, row - start)
     }
 
     /// Dynamically-typed view of row `row`; out-of-range reads panic like
     /// slice indexing (callers validate through `Table`).
     pub fn get(&self, row: usize) -> Value {
-        match &*self.data {
-            ColumnData::Int(v) => v[row].map_or(Value::Null, Value::Int),
-            ColumnData::Float(v) => v[row].map_or(Value::Null, Value::Float),
-            ColumnData::Bool(v) => v[row].map_or(Value::Null, Value::Bool),
-            ColumnData::Str(v) => v[row]
-                .as_ref()
-                .map_or(Value::Null, |s| Value::Str(s.clone())),
-        }
+        let (chunk, off) = self.locate(row);
+        self.chunks[chunk].value(off)
     }
 
     /// Set row `row` to `value`, coercing to the column type; lossy
-    /// coercions become null.
+    /// coercions become null. Copies only the touched chunk when shared.
     pub fn set(&mut self, row: usize, value: Value) {
-        let coerced = value.coerce(self.dtype());
-        match (Arc::make_mut(&mut self.data), coerced) {
-            (ColumnData::Int(v), Value::Int(x)) => v[row] = Some(x),
-            (ColumnData::Float(v), Value::Float(x)) => v[row] = Some(x),
-            (ColumnData::Bool(v), Value::Bool(x)) => v[row] = Some(x),
-            (ColumnData::Str(v), Value::Str(x)) => v[row] = Some(x),
-            (ColumnData::Int(v), _) => v[row] = None,
-            (ColumnData::Float(v), _) => v[row] = None,
-            (ColumnData::Bool(v), _) => v[row] = None,
-            (ColumnData::Str(v), _) => v[row] = None,
-        }
+        let coerced = value.coerce(self.dtype);
+        let (chunk, off) = self.locate(row);
+        Arc::make_mut(&mut self.chunks[chunk]).set_value(off, coerced);
     }
 
-    /// Append a value (coerced to the column type).
+    /// Append a value (coerced to the column type). Fills the last chunk
+    /// up to [`DEFAULT_CHUNK_ROWS`] before opening a new one.
     pub fn push(&mut self, value: Value) {
-        let coerced = value.coerce(self.dtype());
-        match (Arc::make_mut(&mut self.data), coerced) {
-            (ColumnData::Int(v), Value::Int(x)) => v.push(Some(x)),
-            (ColumnData::Float(v), Value::Float(x)) => v.push(Some(x)),
-            (ColumnData::Bool(v), Value::Bool(x)) => v.push(Some(x)),
-            (ColumnData::Str(v), Value::Str(x)) => v.push(Some(x)),
-            (ColumnData::Int(v), _) => v.push(None),
-            (ColumnData::Float(v), _) => v.push(None),
-            (ColumnData::Bool(v), _) => v.push(None),
-            (ColumnData::Str(v), _) => v.push(None),
+        let coerced = value.coerce(self.dtype);
+        match self.chunks.last_mut() {
+            Some(last) if last.len() < DEFAULT_CHUNK_ROWS => {
+                Arc::make_mut(last).push_value(coerced);
+                if let Some(end) = self.offsets.last_mut() {
+                    *end += 1;
+                }
+            }
+            _ => {
+                let mut chunk = Chunk::empty(self.dtype);
+                chunk.push_value(coerced);
+                self.chunks.push(Arc::new(chunk));
+                self.offsets.push(self.len + 1);
+            }
         }
+        self.len += 1;
     }
 
     /// Iterator over all values as dynamically-typed [`Value`]s.
     pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
-        (0..self.len()).map(move |i| self.get(i))
+        self.chunks
+            .iter()
+            .flat_map(|c| (0..c.len()).map(move |i| c.value(i)))
+    }
+
+    /// Borrowed raw view of every row, in order — chunk-layout agnostic.
+    fn raw_iter(&self) -> impl Iterator<Item = RawRef<'_>> {
+        self.chunks
+            .iter()
+            .flat_map(|c| (0..c.len()).map(move |i| c.raw_at(i)))
     }
 
     /// Whether row `row` holds a null.
     pub fn is_null(&self, row: usize) -> bool {
-        match &*self.data {
-            ColumnData::Int(v) => v[row].is_none(),
-            ColumnData::Float(v) => v[row].is_none(),
-            ColumnData::Bool(v) => v[row].is_none(),
-            ColumnData::Str(v) => v[row].is_none(),
-        }
+        let (chunk, off) = self.locate(row);
+        !self.chunks[chunk].is_valid(off)
     }
 
     /// Number of null entries.
     pub fn null_count(&self) -> usize {
-        match &*self.data {
-            ColumnData::Int(v) => v.iter().filter(|x| x.is_none()).count(),
-            ColumnData::Float(v) => v.iter().filter(|x| x.is_none()).count(),
-            ColumnData::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
-            ColumnData::Str(v) => v.iter().filter(|x| x.is_none()).count(),
-        }
+        self.chunks.iter().map(|c| c.null_count()).sum()
     }
 
     /// Numeric view: `(row, value)` for every non-null numeric entry.
     /// Booleans map to 0/1; string columns yield nothing.
     pub fn numeric_entries(&self) -> Vec<(usize, f64)> {
-        match &*self.data {
-            ColumnData::Int(v) => v
-                .iter()
-                .enumerate()
-                .filter_map(|(i, x)| x.map(|x| (i, x as f64)))
-                .collect(),
-            ColumnData::Float(v) => v
-                .iter()
-                .enumerate()
-                .filter_map(|(i, x)| x.map(|x| (i, x)))
-                .collect(),
-            ColumnData::Bool(v) => v
-                .iter()
-                .enumerate()
-                .filter_map(|(i, x)| x.map(|x| (i, if x { 1.0 } else { 0.0 })))
-                .collect(),
-            ColumnData::Str(_) => Vec::new(),
+        let mut out = Vec::new();
+        let mut base = 0;
+        for c in &self.chunks {
+            match c.values() {
+                ChunkValues::Int(v) => {
+                    for (i, x) in v.iter().enumerate() {
+                        if c.is_valid(i) {
+                            out.push((base + i, *x as f64));
+                        }
+                    }
+                }
+                ChunkValues::Float(v) => {
+                    for (i, x) in v.iter().enumerate() {
+                        if c.is_valid(i) {
+                            out.push((base + i, *x));
+                        }
+                    }
+                }
+                ChunkValues::Bool(v) => {
+                    for (i, x) in v.iter().enumerate() {
+                        if c.is_valid(i) {
+                            out.push((base + i, if *x { 1.0 } else { 0.0 }));
+                        }
+                    }
+                }
+                ChunkValues::Str { .. } => {}
+            }
+            base += c.len();
         }
+        out
     }
 
     /// Non-null numeric values, in row order.
     pub fn numeric_values(&self) -> Vec<f64> {
-        self.numeric_entries().into_iter().map(|(_, v)| v).collect()
+        let mut out = Vec::new();
+        for c in &self.chunks {
+            c.numeric_values_into(&mut out);
+        }
+        out
     }
 
     /// Rendered string forms of every value (nulls as empty strings).
@@ -262,16 +293,21 @@ impl Column {
 
     /// A copy containing only the rows at `indices`, in that order.
     pub fn take(&self, indices: &[usize]) -> Column {
-        fn gather<T: Clone>(v: &[Option<T>], idx: &[usize]) -> Vec<Option<T>> {
-            idx.iter().map(|&i| v[i].clone()).collect()
+        let mut b = ChunkBuilder::new(self.dtype, DEFAULT_CHUNK_ROWS);
+        for &i in indices {
+            b.push(self.get(i));
         }
-        let data = match &*self.data {
-            ColumnData::Int(v) => ColumnData::Int(gather(v, indices)),
-            ColumnData::Float(v) => ColumnData::Float(gather(v, indices)),
-            ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices)),
-            ColumnData::Str(v) => ColumnData::Str(gather(v, indices)),
-        };
-        Column::new(self.name.clone(), data)
+        Column::from_chunks(self.name.clone(), self.dtype, b.finish())
+    }
+
+    /// A copy with rows re-split into chunks of `target_rows` (minimum 1).
+    /// Used by tests and benchmarks to exercise multi-chunk layouts.
+    pub fn rechunk(&self, target_rows: usize) -> Column {
+        let mut b = ChunkBuilder::new(self.dtype, target_rows);
+        for v in self.iter() {
+            b.push(v);
+        }
+        Column::from_chunks(self.name.clone(), self.dtype, b.finish())
     }
 
     /// Cast the column to another type; lossy entries become null.
@@ -282,19 +318,64 @@ impl Column {
         Column::from_values(self.name.clone(), dtype, self.iter())
     }
 
+    /// Heap bytes resident across this column's chunk buffers. Shared
+    /// chunks are counted in every sharer (this is a size gauge, not an
+    /// allocator report).
+    pub fn resident_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.resident_bytes()).sum()
+    }
+
     /// Distinct non-null values with their occurrence counts, ordered by
     /// descending count then value order (deterministic).
     pub fn value_counts(&self) -> Vec<(Value, usize)> {
         use std::collections::HashMap;
-        let mut counts: HashMap<Value, usize> = HashMap::new();
-        for v in self.iter() {
-            if !v.is_null() {
-                *counts.entry(v).or_insert(0) += 1;
+        let mut out: Vec<(Value, usize)> = if self.dtype == DataType::Str {
+            // Chunk-batched fast path: tally dictionary codes per chunk
+            // (O(rows) integer increments), merge tallies by string.
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for chunk in &self.chunks {
+                if let ChunkValues::Str { dict, codes } = chunk.values() {
+                    let mut per = vec![0usize; dict.len()];
+                    for (i, &code) in codes.iter().enumerate() {
+                        if chunk.is_valid(i) {
+                            per[code as usize] += 1;
+                        }
+                    }
+                    for (s, n) in dict.iter().zip(per) {
+                        if n > 0 {
+                            *counts.entry(s.as_str()).or_insert(0) += n;
+                        }
+                    }
+                }
             }
-        }
-        let mut out: Vec<(Value, usize)> = counts.into_iter().collect();
+            counts
+                .into_iter()
+                .map(|(s, n)| (Value::Str(s.to_string()), n))
+                .collect()
+        } else {
+            let mut counts: HashMap<Value, usize> = HashMap::new();
+            for v in self.iter() {
+                if !v.is_null() {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+            counts.into_iter().collect()
+        };
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
         out
+    }
+}
+
+impl PartialEq for Column {
+    /// Logical equality: same name, dtype and per-row values. Chunk
+    /// boundaries and dictionary layout do not participate — a rechunked
+    /// or re-encoded column still compares equal. Floats compare
+    /// IEEE-wise (NaN ≠ NaN), matching the previous derived semantics.
+    fn eq(&self, other: &Column) -> bool {
+        self.name == other.name
+            && self.dtype == other.dtype
+            && self.len == other.len
+            && self.raw_iter().eq(other.raw_iter())
     }
 }
 
@@ -373,16 +454,16 @@ mod tests {
 
     #[test]
     fn nulls_constructor() {
-        let d = ColumnData::nulls(DataType::Bool, 4);
-        let c = Column::new("n", d);
+        let c = Column::nulls("n", DataType::Bool, 4);
         assert_eq!(c.null_count(), 4);
+        assert_eq!(c.len(), 4);
     }
 
     #[test]
     fn clone_shares_payload_until_mutation() {
         let a = Column::from_i64("a", (0..1000).map(Some));
         let b = a.clone();
-        // O(1) clone: same allocation.
+        // O(1) clone: same chunk allocations.
         assert!(a.shares_data_with(&b));
 
         // Copy-on-write: mutating the clone detaches it ...
@@ -397,5 +478,72 @@ mod tests {
         let before = c.get(0);
         c.set(0, Value::Int(42));
         assert_ne!(c.get(0), before);
+    }
+
+    #[test]
+    fn single_row_edit_copies_only_the_touched_chunk() {
+        let a = Column::from_i64("a", (0..100).map(Some)).rechunk(10);
+        assert_eq!(a.chunks().len(), 10);
+        let mut b = a.clone();
+        b.set(35, Value::Int(-1));
+        let shared: Vec<bool> = a
+            .chunks()
+            .iter()
+            .zip(b.chunks())
+            .map(|(x, y)| Arc::ptr_eq(x, y))
+            .collect();
+        // Chunk 3 (rows 30..40) was copied; all nine others still share.
+        assert_eq!(shared.iter().filter(|&&s| !s).count(), 1);
+        assert!(!shared[3]);
+        assert_eq!(a.get(35), Value::Int(35));
+        assert_eq!(b.get(35), Value::Int(-1));
+    }
+
+    #[test]
+    fn rechunk_preserves_logical_equality() {
+        let vals: Vec<Option<f64>> = (0..50)
+            .map(|i| {
+                if i % 7 == 0 {
+                    None
+                } else {
+                    Some(i as f64 * 1.5)
+                }
+            })
+            .collect();
+        let a = Column::from_f64("f", vals);
+        for target in [1, 3, 16, 1000] {
+            let b = a.rechunk(target);
+            assert_eq!(a, b, "rechunk({target}) changed logical content");
+            assert_eq!(a.null_count(), b.null_count());
+            assert_eq!(a.numeric_entries(), b.numeric_entries());
+        }
+    }
+
+    #[test]
+    fn push_fills_last_chunk_and_tracks_offsets() {
+        let mut c = Column::empty("a", DataType::Int);
+        for i in 0..10 {
+            c.push(Value::Int(i));
+        }
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.chunks().len(), 1);
+        assert_eq!(c.get(9), Value::Int(9));
+        assert_eq!(c.iter().count(), 10);
+    }
+
+    #[test]
+    fn equality_ignores_dictionary_layout() {
+        // Same logical strings, different first-occurrence orders.
+        let a = Column::from_str_vals("s", [Some("x"), Some("y"), Some("x")]);
+        let mut b = Column::from_str_vals("s", [Some("y"), Some("y"), Some("x")]);
+        b.set(0, Value::Str("x".into()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nan_is_not_equal_to_itself_in_columns() {
+        let a = Column::from_f64("f", [Some(f64::NAN)]);
+        let b = Column::from_f64("f", [Some(f64::NAN)]);
+        assert_ne!(a, b);
     }
 }

@@ -6,10 +6,12 @@
 //! Provides:
 //! - [`Value`]/[`DataType`]: dynamically-typed cell values with pandas-style
 //!   null semantics and coercion rules,
-//! - [`Column`]: type-specialised storage with a dynamic view,
+//! - [`Column`]: type-specialised storage over immutable, `Arc`-shared
+//!   row-group [`Chunk`]s (dictionary-encoded for strings) with a dynamic
+//!   view — cloning is O(chunks) and edits copy one chunk, not the column,
 //! - [`Table`]: schema-validated collection of columns with cell addressing
 //!   ([`CellRef`]) used by every detector and repairer in the workspace,
-//! - CSV reading/writing with schema inference ([`csv`]),
+//! - streaming CSV reading/writing with schema inference ([`csv`]),
 //! - the on-disk dataset folder layout ([`dataset_dir`]).
 //!
 //! ```
@@ -20,6 +22,7 @@
 //! assert_eq!(t.get_at(1, "pop").unwrap(), Value::Int(330));
 //! ```
 
+pub mod chunk;
 pub mod column;
 pub mod csv;
 pub mod dataset_dir;
@@ -28,7 +31,8 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use column::{Column, ColumnData};
+pub use chunk::{Chunk, ChunkBuilder, ChunkValues, DEFAULT_CHUNK_ROWS};
+pub use column::Column;
 pub use dataset_dir::DatasetDir;
 pub use error::TableError;
 pub use schema::{Field, Schema};

@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::column::{Column, ColumnData};
+use crate::column::Column;
 use crate::error::TableError;
 use crate::schema::{Field, Schema};
 use crate::value::Value;
@@ -69,7 +69,7 @@ impl Table {
         let columns = schema
             .fields()
             .iter()
-            .map(|f| Column::new(f.name.clone(), ColumnData::empty(f.dtype)))
+            .map(|f| Column::empty(f.name.clone(), f.dtype))
             .collect();
         Table {
             name: name.into(),
@@ -116,6 +116,16 @@ impl Table {
 
     pub fn columns(&self) -> &[Column] {
         &self.columns
+    }
+
+    /// Total number of row-group chunks across all columns.
+    pub fn chunk_count(&self) -> usize {
+        self.columns.iter().map(|c| c.chunks().len()).sum()
+    }
+
+    /// Heap bytes resident across all columns' chunk buffers.
+    pub fn resident_bytes(&self) -> usize {
+        self.columns.iter().map(Column::resident_bytes).sum()
     }
 
     pub fn column(&self, idx: usize) -> Option<&Column> {

@@ -79,6 +79,29 @@ fn report_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn hospital_and_beers_reports_are_bit_identical_across_threads() {
+    let config = ProfileConfig::default();
+    for name in ["hospital", "beers"] {
+        let dd = datalens_datasets::registry::dirty(name, 0).unwrap();
+        let cache = ProfileCache::new();
+        let baseline = serialized(&ProfileReport::build(&dd.dirty, &config));
+        for threads in [1, 2, 8] {
+            for cache_opt in [None, Some(&cache)] {
+                let got = serialized(&ProfileReport::build_with(
+                    &dd.dirty,
+                    &config,
+                    &BuildOptions {
+                        threads,
+                        cache: cache_opt,
+                    },
+                ));
+                assert_eq!(baseline, got, "{name} diverged at threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
 fn warm_cache_rebuild_is_bit_identical() {
     let table = fixture();
     let config = ProfileConfig::default();
@@ -164,7 +187,42 @@ fn cache_counters_flow_into_the_metrics_registry() {
         registry.counter("profile_cache_misses_total").get(),
         stats.misses()
     );
-    // Second run was fully warm: 5 column + 6 pair hits.
+    // Second run was fully warm: 5 column + 6 pair hits. The cold run
+    // missed 5 columns, 6 pairs, and 4 per-chunk numeric partials (one
+    // chunk for each of a, b, c, flag; "color" has no numeric stats).
     assert_eq!(stats.hits(), 11);
-    assert_eq!(stats.misses(), 11);
+    assert_eq!(stats.misses(), 15);
+}
+
+#[test]
+fn reprofile_after_repair_recomputes_only_touched_chunk() {
+    let n = 240;
+    let vals: Vec<Option<f64>> = (0..n).map(|i| Some(i as f64 * 0.25 - 9.0)).collect();
+    let col = Column::from_f64("x", vals).rechunk(60); // 4 chunks of 60 rows
+    let mut table = Table::new("t", vec![col]).unwrap();
+
+    let cache = ProfileCache::new();
+    let config = ProfileConfig::default();
+    let opts = BuildOptions {
+        threads: 1,
+        cache: Some(&cache),
+    };
+    ProfileReport::build_with(&table, &config, &opts);
+    let before = cache.stats();
+    assert_eq!(before.chunk_misses, 4, "cold build computes every chunk");
+
+    // Edit one cell in the third chunk: COW detaches only that chunk,
+    // so the rebuild reuses the other three partials and re-derives the
+    // column profile from the merged fold.
+    table.set(CellRef::new(130, 0), Value::Float(1e6)).unwrap();
+    ProfileReport::build_with(&table, &config, &opts);
+    let after = cache.stats();
+
+    assert_eq!(
+        after.chunk_misses - before.chunk_misses,
+        1,
+        "only the edited chunk's partial is recomputed"
+    );
+    assert_eq!(after.chunk_hits - before.chunk_hits, 3);
+    assert_eq!(after.column_misses - before.column_misses, 1);
 }
