@@ -22,6 +22,7 @@ use datalens::jobs::rest::job_service_router;
 use datalens::jobs::{JobService, JobServiceConfig};
 use datalens::service::tool_service_router;
 use datalens_obs::Registry;
+use datalens_profile::ProfileMode;
 use datalens_rest::{metrics_router, Server, ServerConfig};
 
 fn main() -> ExitCode {
@@ -54,7 +55,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: datalens <datasets|profile|rules|detect|repair|dashboard|serve> [args]
-  datalens profile data.csv
+  datalens profile data.csv [--profile-mode exact|approx]
   datalens rules data.csv --approx 0.1
   datalens detect data.csv --tools sd,iqr,mv_detector --tag -1 --rule 'zip -> city'
   datalens repair data.csv --tools sd,mv_detector --repairer ml_imputer -o repaired.csv
@@ -67,7 +68,11 @@ serve flags:  --workers N      job-service worker pool size (default 4)
               --http-workers N connection worker-pool size (default 8)
 common flags: --seed N   seed for stochastic tools
               --threads N   detect/profile fan-out threads (0 = one per core;
-                            serve default 1 to keep per-job work single-threaded)";
+                            serve default 1 to keep per-job work single-threaded)
+              --profile-mode exact|approx
+                            profiling backend: exact statistics (default) or
+                            bounded-memory mergeable sketches (HLL distinct,
+                            KLL quantiles, space-saving top-k)";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -92,6 +97,15 @@ fn flag_values(args: &[String], key: &str) -> Vec<String> {
         }
     }
     out
+}
+
+fn parse_profile_mode(args: &[String]) -> Result<ProfileMode, Box<dyn std::error::Error>> {
+    match flag_value(args, "--profile-mode") {
+        None => Ok(ProfileMode::default()),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid --profile-mode {v:?} (expected exact|approx)").into()),
+    }
 }
 
 fn positional(args: &[String]) -> Option<&String> {
@@ -120,10 +134,12 @@ fn load(args: &[String]) -> Result<DashboardController, Box<dyn std::error::Erro
     let threads: usize = flag_value(args, "--threads")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
+    let profile_mode = parse_profile_mode(args)?;
     let mut dash = DashboardController::new(DashboardConfig {
         workspace_dir: None,
         seed,
         threads,
+        profile_mode,
         ..Default::default()
     })?;
     if input.ends_with(".csv") {
@@ -237,6 +253,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
     let workspace_dir = flag_value(args, "--workspace").map(std::path::PathBuf::from);
+    let profile_mode = parse_profile_mode(args)?;
     let metrics = Arc::new(Registry::new());
     let service = Arc::new(JobService::new(JobServiceConfig {
         workers,
@@ -245,6 +262,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         threads,
         workspace_dir,
         metrics: Some(Arc::clone(&metrics)),
+        profile_mode,
     })?);
     let router = tool_service_router(seed)
         .merge(job_service_router(Arc::clone(&service)))

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use datalens_table::{Column, DataType, Table};
 
 use crate::alerts::{scan_with, Alert, AlertConfig};
+use crate::approx::{approx_column_profile, ApproxColumnProfile, ProfileMode, SketchParams};
 use crate::cache::ProfileCache;
 use crate::correlation::{cramers_v, pearson, spearman, CorrelationKind, CorrelationMatrix};
 use crate::histogram::Histogram;
@@ -24,6 +25,13 @@ pub struct ProfileConfig {
     /// How many most-frequent values to keep per column.
     pub top_k: usize,
     pub alerts: AlertConfig,
+    /// Which backend computes per-column statistics (exact by default).
+    #[serde(default)]
+    pub mode: ProfileMode,
+    /// Sketch sizes used by [`ProfileMode::Approx`]; ignored in exact
+    /// mode (and excluded from exact cache keys).
+    #[serde(default)]
+    pub sketch: SketchParams,
 }
 
 impl Default for ProfileConfig {
@@ -32,6 +40,8 @@ impl Default for ProfileConfig {
             histogram_bins: 10,
             top_k: 10,
             alerts: AlertConfig::default(),
+            mode: ProfileMode::default(),
+            sketch: SketchParams::default(),
         }
     }
 }
@@ -50,6 +60,10 @@ pub struct ColumnProfile {
     pub categorical: CategoricalStats,
     /// Histogram, present for numeric columns with data.
     pub histogram: Option<Histogram>,
+    /// Approximation metadata (estimates and their bounds), present only
+    /// when the profile was built in [`ProfileMode::Approx`].
+    #[serde(default)]
+    pub approx: Option<ApproxColumnProfile>,
 }
 
 /// Table-level overview statistics.
@@ -155,14 +169,25 @@ impl ProfileReport {
             self.table.duplicate_rows,
         ));
         for col in &self.columns {
-            out.push_str(&format!(
-                "-- {} ({})  nulls: {} ({:.1}%)  distinct: {}\n",
-                col.name,
-                col.dtype,
-                col.null_count,
-                col.null_fraction * 100.0,
-                col.distinct,
-            ));
+            match &col.approx {
+                Some(a) => out.push_str(&format!(
+                    "-- {} ({})  nulls: {} ({:.1}%)  distinct: ~{} (±{:.0})\n",
+                    col.name,
+                    col.dtype,
+                    col.null_count,
+                    col.null_fraction * 100.0,
+                    col.distinct,
+                    a.distinct_bound.ceil(),
+                )),
+                None => out.push_str(&format!(
+                    "-- {} ({})  nulls: {} ({:.1}%)  distinct: {}\n",
+                    col.name,
+                    col.dtype,
+                    col.null_count,
+                    col.null_fraction * 100.0,
+                    col.distinct,
+                )),
+            }
             if let Some(n) = &col.numeric {
                 out.push_str(&format!(
                     "   mean {:.4}  std {:.4}  min {:.4}  q1 {:.4}  median {:.4}  q3 {:.4}  max {:.4}\n",
@@ -193,6 +218,18 @@ impl ProfileReport {
                     ));
                 }
             }
+        }
+        let sketch_bytes: u64 = self
+            .columns
+            .iter()
+            .filter_map(|c| c.approx.as_ref())
+            .map(|a| a.sketch_bytes)
+            .sum();
+        if sketch_bytes > 0 {
+            out.push_str(&format!(
+                "\napprox mode: sketch bytes resident: {sketch_bytes} across {} columns\n",
+                self.columns.len(),
+            ));
         }
         if !self.alerts.is_empty() {
             out.push_str("\nAlerts:\n");
@@ -239,6 +276,9 @@ pub(crate) fn compute_column_profile(
     config: &ProfileConfig,
     cache: Option<&ProfileCache>,
 ) -> ColumnProfile {
+    if config.mode == ProfileMode::Approx {
+        return approx_column_profile(col, n_rows, config, cache);
+    }
     let numeric = numeric_stats_chunked(col, cache);
     let histogram = if config.histogram_bins == 0 {
         None
@@ -261,6 +301,7 @@ pub(crate) fn compute_column_profile(
         numeric,
         categorical,
         histogram,
+        approx: None,
     }
 }
 

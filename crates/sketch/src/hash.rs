@@ -1,0 +1,85 @@
+//! Deterministic hashing primitives shared by every sketch.
+//!
+//! All randomness in this crate is *derived*: a sketch is seeded once
+//! (typically from the column name via [`column_seed`]) and every hash or
+//! coin flip is a pure function of that seed plus the input. No ambient
+//! RNG is ever consulted, so a sketch built twice over the same values is
+//! byte-identical — the property the profile cache and the determinism
+//! tests rely on.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Salt folded into [`column_seed`] so column-name hashes used here are
+/// uncorrelated with the profile cache's content fingerprints (which are
+/// also FNV-1a based).
+const COLUMN_SEED_SALT: u64 = 0x5b8d_2f10_9c4e_7a33;
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over `bytes` starting from `basis`.
+#[inline]
+pub fn fnv1a(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Seeded 64-bit hash of a byte string: FNV-1a keyed by the seed, then a
+/// SplitMix64 finalizer so low-entropy inputs still spread over all bits
+/// (HLL reads the top bits, the reservoir compares full words).
+#[inline]
+pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    splitmix64(fnv1a(FNV_OFFSET ^ seed, bytes))
+}
+
+/// The fixed per-column sketch seed: a pure function of the column name.
+/// Two runs (cold or warm cache, any thread count) derive the same seed,
+/// so sketches serialize bit-identically; two columns with identical
+/// contents but different names hash differently, which is why cached
+/// sketch partials are keyed by `(content fingerprint, params+seed
+/// fingerprint)` rather than by content alone.
+#[inline]
+pub fn column_seed(name: &str) -> u64 {
+    splitmix64(fnv1a(FNV_OFFSET, name.as_bytes()) ^ COLUMN_SEED_SALT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_seed_is_stable_and_name_sensitive() {
+        assert_eq!(column_seed("price"), column_seed("price"));
+        assert_ne!(column_seed("price"), column_seed("prices"));
+        assert_ne!(column_seed(""), column_seed(" "));
+    }
+
+    #[test]
+    fn hash_bytes_depends_on_seed_and_input() {
+        assert_eq!(hash_bytes(7, b"abc"), hash_bytes(7, b"abc"));
+        assert_ne!(hash_bytes(7, b"abc"), hash_bytes(8, b"abc"));
+        assert_ne!(hash_bytes(7, b"abc"), hash_bytes(7, b"abd"));
+    }
+
+    #[test]
+    fn splitmix64_spreads_sequential_inputs() {
+        // Consecutive integers should not share high bits after mixing.
+        let a = splitmix64(1) >> 56;
+        let b = splitmix64(2) >> 56;
+        let c = splitmix64(3) >> 56;
+        assert!(!(a == b && b == c));
+    }
+}

@@ -1,0 +1,350 @@
+//! KLL-style quantile sketch over `f64` values.
+//!
+//! Bounded size: a hierarchy of compactor buffers whose capacities decay
+//! geometrically (ratio 2/3) from `k` at the top, so the sketch holds
+//! O(k log(n/k)) values regardless of stream length (≈ 3·k retained
+//! values in practice). Items at level `l` each represent `2^l` stream
+//! values.
+//!
+//! # Error bound
+//!
+//! For the default `k = 200`, the normalized rank error of
+//! [`KllSketch::quantile`] and [`KllSketch::rank`] is at most **ε ≈ 1 %**
+//! with high probability (the classical KLL bound is ε = O(1/k); the
+//! property tests in this crate assert ε ≤ 0.02 on uniform, zipf and
+//! constant streams, and ≤ 0.03 after merging many per-chunk sketches).
+//!
+//! # Determinism
+//!
+//! Compaction keeps the even- or odd-indexed half of a sorted buffer; the
+//! choice is the classical random coin, here derived as
+//! `splitmix64(seed ^ compaction_counter)`, so a sketch built twice over
+//! the same values with the same seed is byte-identical, and merging in a
+//! fixed (chunk) order is reproducible at any thread count.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::splitmix64;
+
+/// Quantile sketch; see the module docs for the ε bound and determinism
+/// contract. NaN inputs are ignored; ±∞ participate normally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KllSketch {
+    k: u16,
+    seed: u64,
+    n: u64,
+    compactions: u64,
+    /// `levels[l]` holds items of weight `2^l`. Level 0 is the insert
+    /// buffer and may be unsorted; higher levels are kept sorted.
+    levels: Vec<Vec<f64>>,
+    min: f64,
+    max: f64,
+}
+
+impl KllSketch {
+    /// Create an empty sketch. `k` is clamped to `8..=4096`; the rank
+    /// error shrinks as O(1/k) while memory grows as O(k).
+    pub fn new(k: u16, seed: u64) -> KllSketch {
+        KllSketch {
+            k: k.clamp(8, 4096),
+            seed,
+            n: 0,
+            compactions: 0,
+            levels: vec![Vec::new()],
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Number of inserted (non-NaN) values.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Smallest inserted value (exact), or +∞ when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest inserted value (exact), or −∞ when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Capacity of level `l` out of `depth` levels: `k` at the top,
+    /// decaying by 2/3 per level below, floored at 2.
+    fn capacity(&self, level: usize, depth: usize) -> usize {
+        let from_top = (depth - 1 - level) as i32;
+        let cap = f64::from(self.k) * (2.0f64 / 3.0).powi(from_top);
+        (cap.ceil() as usize).max(2)
+    }
+
+    fn total_capacity(&self) -> usize {
+        let depth = self.levels.len();
+        (0..depth).map(|l| self.capacity(l, depth)).sum()
+    }
+
+    fn total_retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Insert one value. NaN is ignored (profiling counts non-finite
+    /// values separately).
+    #[inline]
+    pub fn insert(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.n += 1;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.levels[0].push(v);
+        if self.total_retained() > self.total_capacity() {
+            self.compress();
+        }
+    }
+
+    /// Compact the lowest over-capacity level into the one above it.
+    fn compress(&mut self) {
+        while self.total_retained() > self.total_capacity() {
+            let depth = self.levels.len();
+            let mut compacted = false;
+            for l in 0..depth {
+                if self.levels[l].len() > self.capacity(l, depth) {
+                    self.compact_level(l);
+                    compacted = true;
+                    break;
+                }
+            }
+            if !compacted {
+                // Every level is within its own capacity but the sum is
+                // over budget (possible right after a merge): grow by
+                // compacting the fullest level.
+                let l = (0..depth)
+                    .max_by_key(|&l| self.levels[l].len())
+                    .unwrap_or(0);
+                if self.levels[l].len() < 2 {
+                    break;
+                }
+                self.compact_level(l);
+            }
+        }
+    }
+
+    fn compact_level(&mut self, l: usize) {
+        if self.levels[l].len() < 2 {
+            return;
+        }
+        if l + 1 == self.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        let mut buf = std::mem::take(&mut self.levels[l]);
+        buf.sort_by(f64::total_cmp);
+        if buf.len() % 2 == 1 {
+            // Leave the largest item behind so the compacted run has even
+            // length and total weight is conserved.
+            if let Some(leftover) = buf.pop() {
+                self.levels[l].push(leftover);
+            }
+        }
+        // Deterministic coin: a fixed function of (seed, compaction index).
+        let offset = (splitmix64(self.seed ^ self.compactions) & 1) as usize;
+        self.compactions += 1;
+        let survivors: Vec<f64> = buf.iter().copied().skip(offset).step_by(2).collect();
+        let up = &mut self.levels[l + 1];
+        up.extend_from_slice(&survivors);
+        up.sort_by(f64::total_cmp);
+    }
+
+    /// Merge another sketch (same `k` and seed, enforced upstream by the
+    /// params fingerprint). Buffers are concatenated level-wise, then
+    /// compacted; with a fixed merge order the result is reproducible.
+    pub fn merge(&mut self, other: &KllSketch) {
+        assert_eq!(self.k, other.k, "KLL merge requires equal k");
+        self.n += other.n;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(Vec::new());
+        }
+        for (l, buf) in other.levels.iter().enumerate() {
+            self.levels[l].extend_from_slice(buf);
+        }
+        self.compactions = self.compactions.wrapping_add(other.compactions);
+        for l in 1..self.levels.len() {
+            self.levels[l].sort_by(f64::total_cmp);
+        }
+        self.compress();
+    }
+
+    /// Weighted items: `(value, weight)` for every retained item.
+    fn weighted(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.total_retained());
+        for (l, buf) in self.levels.iter().enumerate() {
+            let w = 1u64 << l;
+            out.extend(buf.iter().map(|&v| (v, w)));
+        }
+        out.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
+        out
+    }
+
+    /// Approximate `q`-quantile (`q` clamped to `[0, 1]`): the retained
+    /// value whose cumulative weight first reaches `q·n`. Normalized rank
+    /// error is bounded by the module-level ε. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let items = self.weighted();
+        let target = q * self.n as f64;
+        let mut cum = 0.0;
+        for (v, w) in &items {
+            cum += *w as f64;
+            if cum >= target {
+                return Some(*v);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Approximate normalized rank of `v`: the fraction of inserted
+    /// values `< v` (mid-weighted for ties), in `[0, 1]`. The error is
+    /// bounded by the module-level ε. Returns 0 when empty.
+    pub fn rank(&self, v: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let mut below = 0.0f64;
+        let mut equal = 0.0f64;
+        for (l, buf) in self.levels.iter().enumerate() {
+            let w = (1u64 << l) as f64;
+            for &x in buf {
+                if x < v {
+                    below += w;
+                } else if x == v {
+                    equal += w;
+                }
+            }
+        }
+        ((below + equal * 0.5) / self.n as f64).clamp(0.0, 1.0)
+    }
+
+    /// Documented normalized rank-error bound for this sketch's `k`
+    /// (empirically validated at ≈ 2/k by this crate's property tests).
+    pub fn rank_error_bound(&self) -> f64 {
+        2.0 / f64::from(self.k)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<f64>())
+            .sum::<usize>()
+            + std::mem::size_of::<KllSketch>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let s = KllSketch::new(200, 1);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.rank(1.0), 0.0);
+    }
+
+    #[test]
+    fn small_streams_are_exact() {
+        let mut s = KllSketch::new(200, 1);
+        for i in 0..100 {
+            s.insert(f64::from(i));
+        }
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 99.0);
+        let med = s.quantile(0.5).unwrap();
+        assert!((med - 49.5).abs() <= 1.0, "median {med}");
+    }
+
+    #[test]
+    fn uniform_rank_error_within_bound() {
+        let n = 100_000;
+        let mut s = KllSketch::new(200, 7);
+        for i in 0..n {
+            s.insert(f64::from(i));
+        }
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let v = s.quantile(q).unwrap();
+            let true_rank = v / f64::from(n);
+            assert!(
+                (true_rank - q).abs() <= s.rank_error_bound(),
+                "q={q} v={v} err={}",
+                (true_rank - q).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_is_bounded() {
+        let mut s = KllSketch::new(200, 3);
+        for i in 0..1_000_000 {
+            s.insert(f64::from(i % 10_000));
+        }
+        assert!(s.total_retained() < 1200, "retained {}", s.total_retained());
+        assert!(s.resident_bytes() < 64 * 1024);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_bytes() {
+        let build = || {
+            let mut s = KllSketch::new(64, 42);
+            for i in 0..5000 {
+                s.insert(f64::from((i * 37) % 501));
+            }
+            s
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn merge_tracks_min_max_and_count() {
+        let mut a = KllSketch::new(128, 5);
+        let mut b = KllSketch::new(128, 5);
+        for i in 0..3000 {
+            a.insert(f64::from(i));
+            b.insert(f64::from(i + 3000));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6000);
+        assert_eq!(a.min(), 0.0);
+        assert_eq!(a.max(), 5999.0);
+        let med = a.quantile(0.5).unwrap();
+        assert!((med / 6000.0 - 0.5).abs() <= 2.0 * a.rank_error_bound());
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut s = KllSketch::new(64, 1);
+        s.insert(f64::NAN);
+        s.insert(1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.5), Some(1.0));
+    }
+}

@@ -1,0 +1,249 @@
+//! Mergeable central moments (up to 4th order) plus exact extrema and
+//! sign counts — the constant-size companion to the quantile sketch, so
+//! approximate profiles report *exact* mean/variance/skew/kurtosis while
+//! staying one bounded pass.
+//!
+//! Uses the one-pass update and pairwise merge of Chan, Golub & LeVeque
+//! (extended to third and fourth moments by Terriberry / Pébay). These
+//! are exact up to floating-point rounding — there is no sketching error
+//! here, only the usual numerical error of streaming accumulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming central moments over finite `f64` values; non-finite inputs
+/// are counted separately and excluded from the moments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    count: u64,
+    non_finite: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+    zeros: u64,
+    negatives: u64,
+    sum: f64,
+}
+
+impl Default for Moments {
+    fn default() -> Moments {
+        Moments::new()
+    }
+}
+
+impl Moments {
+    pub fn new() -> Moments {
+        Moments {
+            count: 0,
+            non_finite: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            zeros: 0,
+            negatives: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Observe one value.
+    #[inline]
+    pub fn insert(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
+        if v == 0.0 {
+            self.zeros += 1;
+        }
+        if v < 0.0 {
+            self.negatives += 1;
+        }
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.sum += v;
+        let n0 = self.count as f64;
+        self.count += 1;
+        let n = self.count as f64;
+        let delta = v - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n0;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Pairwise (Chan-style) merge; exact up to floating-point rounding.
+    pub fn merge(&mut self, other: &Moments) {
+        self.non_finite += other.non_finite;
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            let nf = self.non_finite;
+            *self = other.clone();
+            self.non_finite = nf;
+            return;
+        }
+        let na = self.count as f64;
+        let nb = other.count as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta3 * delta;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        self.count += other.count;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.zeros += other.zeros;
+        self.negatives += other.negatives;
+        self.sum += other.sum;
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+    /// Population variance `m2 / count` (0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Population skewness `sqrt(n)·m3 / m2^(3/2)` (0 when degenerate).
+    pub fn skewness(&self) -> f64 {
+        let n = self.count as f64;
+        if self.count == 0 || self.m2 <= 0.0 {
+            0.0
+        } else {
+            n.sqrt() * self.m3 / self.m2.powf(1.5)
+        }
+    }
+    /// Population excess kurtosis `n·m4 / m2² − 3` (0 when degenerate).
+    pub fn kurtosis(&self) -> f64 {
+        let n = self.count as f64;
+        if self.count == 0 || self.m2 <= 0.0 {
+            0.0
+        } else {
+            n * self.m4 / (self.m2 * self.m2) - 3.0
+        }
+    }
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+    pub fn zeros(&self) -> u64 {
+        self.zeros
+    }
+    pub fn negatives(&self) -> u64 {
+        self.negatives
+    }
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn matches_direct_computation() {
+        let vals: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.5 - 10.0).collect();
+        let mut m = Moments::new();
+        for &v in &vals {
+            m.insert(v);
+        }
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        assert!(close(m.mean(), mean));
+        assert!(close(m.variance(), var));
+        assert_eq!(m.count(), 100);
+        assert_eq!(m.min(), -10.0);
+        assert_eq!(m.max(), 39.5);
+    }
+
+    #[test]
+    fn merge_equals_flat() {
+        let vals: Vec<f64> = (0..1000)
+            .map(|i| f64::from((i * 37) % 101) - 50.0)
+            .collect();
+        let mut flat = Moments::new();
+        for &v in &vals {
+            flat.insert(v);
+        }
+        let mut merged = Moments::new();
+        for chunk in vals.chunks(64) {
+            let mut part = Moments::new();
+            for &v in chunk {
+                part.insert(v);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), flat.count());
+        assert!(close(merged.mean(), flat.mean()));
+        assert!(close(merged.variance(), flat.variance()));
+        assert!(close(merged.skewness(), flat.skewness()));
+        assert!(close(merged.kurtosis(), flat.kurtosis()));
+        assert_eq!(merged.zeros(), flat.zeros());
+        assert_eq!(merged.negatives(), flat.negatives());
+    }
+
+    #[test]
+    fn non_finite_counted_separately() {
+        let mut m = Moments::new();
+        m.insert(f64::NAN);
+        m.insert(f64::INFINITY);
+        m.insert(2.0);
+        assert_eq!(m.non_finite(), 2);
+        assert_eq!(m.count(), 1);
+        assert!(close(m.mean(), 2.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! Deterministic reservoir sample (bottom-k by hash).
+//!
+//! Bounded size: at most `k` retained `(tag, value)` entries. Instead of
+//! the classical RNG-driven reservoir, every stream element is assigned a
+//! deterministic 64-bit tag `hash(seed, position-in-chunk, value)` and
+//! the sample is the `k` entries with the smallest tags — a *bottom-k*
+//! sample, which is uniform over tags and therefore a pseudo-uniform
+//! sample of the stream.
+//!
+//! # Why bottom-k
+//!
+//! - **No RNG state**: the sample is a pure function of (seed, stream),
+//!   so warm-cache and cold runs serialize bit-identically.
+//! - **Mergeable**: the bottom-k of a union is the bottom-k of the
+//!   concatenated entry lists — merge is union + truncate, and commutes.
+//! - **Cache-friendly**: a per-chunk sample depends only on the chunk's
+//!   contents (positions restart per chunk), matching the profile cache's
+//!   content-addressed chunk partials.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{hash_bytes, splitmix64};
+
+/// Bottom-k-by-hash sample; see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReservoirSample {
+    k: u32,
+    seed: u64,
+    n: u64,
+    /// Sorted ascending by `(tag, value)`; length ≤ `k`.
+    entries: Vec<(u64, String)>,
+}
+
+impl ReservoirSample {
+    /// Create an empty sample holding at most `k` values (clamped to
+    /// `1..=4096`).
+    pub fn new(k: u32, seed: u64) -> ReservoirSample {
+        ReservoirSample {
+            k: k.clamp(1, 4096),
+            seed,
+            n: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Total stream length observed (including merged sketches).
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Observe one value. The tag mixes the position within this sketch's
+    /// own stream (i.e. the chunk) so repeated values still sample
+    /// distinct occurrences.
+    pub fn insert(&mut self, value: &str) {
+        let tag = hash_bytes(self.seed ^ splitmix64(self.n), value.as_bytes());
+        self.n += 1;
+        if self.entries.len() >= self.k as usize {
+            if let Some(last) = self.entries.last() {
+                if (tag, value) >= (last.0, last.1.as_str()) {
+                    return;
+                }
+            }
+        }
+        let probe = (tag, value.to_string());
+        let at = self
+            .entries
+            .binary_search_by(|e| (e.0, e.1.as_str()).cmp(&(probe.0, probe.1.as_str())))
+            .unwrap_or_else(|i| i);
+        self.entries.insert(at, probe);
+        self.entries.truncate(self.k as usize);
+    }
+
+    /// Merge another sample (same `k` and seed, enforced upstream):
+    /// union the entry lists, keep the `k` smallest tags. Commutative and
+    /// associative, so the merged sample is chunking-independent given
+    /// identical per-chunk streams.
+    pub fn merge(&mut self, other: &ReservoirSample) {
+        assert_eq!(self.k, other.k, "reservoir merge requires equal k");
+        self.n += other.n;
+        self.entries.extend(other.entries.iter().cloned());
+        self.entries
+            .sort_by(|a, b| (a.0, a.1.as_str()).cmp(&(b.0, b.1.as_str())));
+        self.entries.truncate(self.k as usize);
+    }
+
+    /// The sampled values, in tag order (pseudo-random but stable).
+    pub fn values(&self) -> Vec<String> {
+        self.entries.iter().map(|(_, v)| v.clone()).collect()
+    }
+
+    /// Number of retained samples (≤ k).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(_, v)| v.len() + std::mem::size_of::<(u64, String)>())
+            .sum::<usize>()
+            + std::mem::size_of::<ReservoirSample>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_builds() {
+        let build = || {
+            let mut r = ReservoirSample::new(8, 99);
+            for i in 0..1000 {
+                r.insert(&format!("row{i}"));
+            }
+            r
+        };
+        assert_eq!(build(), build());
+        assert_eq!(build().len(), 8);
+    }
+
+    #[test]
+    fn seed_changes_the_sample() {
+        let build = |seed| {
+            let mut r = ReservoirSample::new(8, seed);
+            for i in 0..1000 {
+                r.insert(&format!("row{i}"));
+            }
+            r.values()
+        };
+        assert_ne!(build(1), build(2));
+    }
+
+    #[test]
+    fn merge_commutes() {
+        let fill = |lo: u32, hi: u32| {
+            let mut r = ReservoirSample::new(16, 7);
+            for i in lo..hi {
+                r.insert(&format!("v{i}"));
+            }
+            r
+        };
+        let a = fill(0, 500);
+        let b = fill(500, 1000);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 1000);
+        assert_eq!(ab.len(), 16);
+    }
+
+    #[test]
+    fn short_streams_keep_everything() {
+        let mut r = ReservoirSample::new(32, 3);
+        for i in 0..5 {
+            r.insert(&format!("x{i}"));
+        }
+        let mut vals = r.values();
+        vals.sort();
+        assert_eq!(vals, vec!["x0", "x1", "x2", "x3", "x4"]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Space-saving heavy-hitters (top-k) sketch over strings.
+//!
+//! Bounded size: at most `capacity` `(value, count, overcount)` counters.
+//! Mergeable in the style of Agarwal et al.'s mergeable summaries: counts
+//! for values absent from one side are bounded by that side's minimum
+//! counter, which is added as overcount.
+//!
+//! # Error bound
+//!
+//! For every tracked value, `count − overcount ≤ true frequency ≤ count`,
+//! and `overcount ≤ n / capacity` where `n` is the total stream length
+//! (summed across merged sketches). Any value with true frequency above
+//! `n / capacity` is guaranteed to be tracked. At the default capacity 64
+//! a top-10 listing is exact whenever the column has ≤ 64 distinct
+//! values — the common case for categorical columns.
+//!
+//! # Determinism
+//!
+//! Victim selection and truncation tie-break by (count, value) with a
+//! total lexicographic order, so insertion of the same stream and merges
+//! in a fixed order reproduce byte-identical sketches.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One tracked counter: estimated `count` and its maximum `overcount`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopEntry {
+    pub count: u64,
+    pub overcount: u64,
+}
+
+/// Space-saving sketch; see the module docs for bounds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceSaving {
+    capacity: u32,
+    n: u64,
+    counters: BTreeMap<String, TopEntry>,
+}
+
+impl SpaceSaving {
+    /// Create an empty sketch tracking at most `capacity` values
+    /// (clamped to `1..=4096`).
+    pub fn new(capacity: u32) -> SpaceSaving {
+        SpaceSaving {
+            capacity: capacity.clamp(1, 4096),
+            n: 0,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Total observed stream length (including merged sketches).
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The smallest tracked count, or 0 when under capacity. This is the
+    /// implicit upper bound on the frequency of every untracked value.
+    fn floor(&self) -> u64 {
+        if self.counters.len() < self.capacity as usize {
+            0
+        } else {
+            self.counters.values().map(|e| e.count).min().unwrap_or(0)
+        }
+    }
+
+    /// Observe one value.
+    pub fn insert(&mut self, value: &str) {
+        self.n += 1;
+        if let Some(e) = self.counters.get_mut(value) {
+            e.count += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity as usize {
+            self.counters.insert(
+                value.to_string(),
+                TopEntry {
+                    count: 1,
+                    overcount: 0,
+                },
+            );
+            return;
+        }
+        // Evict the (count, value)-minimal counter and inherit its count
+        // as overcount — the space-saving replacement rule.
+        let victim = self
+            .counters
+            .iter()
+            .min_by(|a, b| (a.1.count, a.0).cmp(&(b.1.count, b.0)))
+            .map(|(k, e)| (k.clone(), e.count));
+        if let Some((key, floor)) = victim {
+            self.counters.remove(&key);
+            self.counters.insert(
+                value.to_string(),
+                TopEntry {
+                    count: floor + 1,
+                    overcount: floor,
+                },
+            );
+        }
+    }
+
+    /// Merge another sketch (same capacity, enforced upstream). Counts
+    /// add across the union of tracked values; a value absent from one
+    /// side contributes that side's floor as additional overcount. The
+    /// union is then truncated back to capacity keeping the largest
+    /// counts (ties broken by value ascending).
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "space-saving merge requires equal capacity"
+        );
+        let self_floor = self.floor();
+        let other_floor = other.floor();
+        let mut union: BTreeMap<String, TopEntry> = BTreeMap::new();
+        for (k, e) in &self.counters {
+            let (oc, oe) = other
+                .counters
+                .get(k)
+                .map(|o| (o.count, o.overcount))
+                .unwrap_or((other_floor, other_floor));
+            union.insert(
+                k.clone(),
+                TopEntry {
+                    count: e.count + oc,
+                    overcount: e.overcount + oe,
+                },
+            );
+        }
+        for (k, o) in &other.counters {
+            if union.contains_key(k) {
+                continue;
+            }
+            union.insert(
+                k.clone(),
+                TopEntry {
+                    count: o.count + self_floor,
+                    overcount: o.overcount + self_floor,
+                },
+            );
+        }
+        if union.len() > self.capacity as usize {
+            let mut order: Vec<(String, TopEntry)> = union.into_iter().collect();
+            order.sort_by(|a, b| b.1.count.cmp(&a.1.count).then_with(|| a.0.cmp(&b.0)));
+            order.truncate(self.capacity as usize);
+            union = order.into_iter().collect();
+        }
+        self.counters = union;
+        self.n += other.n;
+    }
+
+    /// The `k` most frequent tracked values as `(value, estimated count)`
+    /// sorted by count descending, then value ascending.
+    pub fn top(&self, k: usize) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .iter()
+            .map(|(v, e)| (v.clone(), e.count))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+
+    /// All tracked counters (for entropy-style estimates downstream).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &TopEntry)> {
+        self.counters.iter().map(|(k, e)| (k.as_str(), e))
+    }
+
+    /// Maximum possible overcount of any reported count: `n / capacity`.
+    pub fn max_overcount(&self) -> u64 {
+        self.n / u64::from(self.capacity)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.counters
+            .keys()
+            .map(|k| k.len() + std::mem::size_of::<TopEntry>() + 48)
+            .sum::<usize>()
+            + std::mem::size_of::<SpaceSaving>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_under_capacity() {
+        let mut s = SpaceSaving::new(8);
+        for _ in 0..5 {
+            s.insert("a");
+        }
+        for _ in 0..3 {
+            s.insert("b");
+        }
+        s.insert("c");
+        assert_eq!(s.top(2), vec![("a".to_string(), 5), ("b".to_string(), 3)]);
+        assert_eq!(s.max_overcount(), 1);
+    }
+
+    #[test]
+    fn heavy_hitters_survive_eviction() {
+        let mut s = SpaceSaving::new(16);
+        // 40% "hot", the rest a churn of rare values.
+        for i in 0..10_000u64 {
+            if i % 5 < 2 {
+                s.insert("hot");
+            } else {
+                s.insert(&format!("rare{}", i));
+            }
+        }
+        let top = s.top(1);
+        assert_eq!(top[0].0, "hot");
+        let est = top[0].1;
+        assert!(est >= 4000, "count underestimated: {est}");
+        assert!(est <= 4000 + s.max_overcount());
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_for_exact_streams() {
+        let mut a = SpaceSaving::new(32);
+        let mut b = SpaceSaving::new(32);
+        for i in 0..50u64 {
+            a.insert(&format!("v{}", i % 5));
+            b.insert(&format!("v{}", i % 7));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.top(12), ba.top(12));
+        assert_eq!(ab.count(), 100);
+    }
+
+    #[test]
+    fn ties_break_by_value_ascending() {
+        let mut s = SpaceSaving::new(8);
+        s.insert("b");
+        s.insert("a");
+        s.insert("c");
+        assert_eq!(
+            s.top(3),
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 1),
+                ("c".to_string(), 1)
+            ]
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Property tests pinning the documented error bounds against exact
+//! computations on synthetic distributions: uniform, zipf, constant and
+//! all-null columns, plus merge-of-many-chunks vs single-sketch
+//! equivalence. These are the bounds the rustdoc advertises; if a bound
+//! has to be loosened here, loosen the docs with it.
+
+use std::collections::HashMap;
+
+use datalens_sketch::hash::{column_seed, splitmix64};
+use datalens_sketch::{ColumnSketch, HyperLogLog, KllSketch, SketchParams, SpaceSaving};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Synthetic distributions (deterministic: driven by splitmix64 streams).
+
+fn uniform_values(n: usize, distinct: u64, stream: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| splitmix64(stream.wrapping_add(i as u64)) % distinct)
+        .collect()
+}
+
+/// Zipf-ish skew: rank r gets weight ∝ 1/(r+1); realized by mapping a
+/// uniform hash through the inverse CDF of the harmonic distribution.
+fn zipf_values(n: usize, distinct: u64, stream: u64) -> Vec<u64> {
+    let harmonics: Vec<f64> = {
+        let mut acc = 0.0;
+        (0..distinct)
+            .map(|r| {
+                acc += 1.0 / (r as f64 + 1.0);
+                acc
+            })
+            .collect()
+    };
+    let total = *harmonics.last().unwrap_or(&1.0);
+    (0..n)
+        .map(|i| {
+            let u = splitmix64(stream.wrapping_add(i as u64)) as f64 / u64::MAX as f64 * total;
+            harmonics.partition_point(|&h| h < u) as u64
+        })
+        .collect()
+}
+
+fn exact_distinct(vals: &[u64]) -> usize {
+    let mut seen: Vec<u64> = vals.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+fn exact_rank(sorted: &[f64], v: f64) -> f64 {
+    sorted.partition_point(|&x| x < v) as f64 / sorted.len() as f64
+}
+
+// ---------------------------------------------------------------------
+// HyperLogLog relative error.
+
+fn hll_of(vals: &[u64], seed: u64) -> HyperLogLog {
+    let mut h = HyperLogLog::new(12);
+    for v in vals {
+        h.insert_hash(datalens_sketch::hash::hash_bytes(
+            seed,
+            v.to_string().as_bytes(),
+        ));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn hll_uniform_within_bound(stream in 0u64..1000, distinct in 1000u64..60_000) {
+        let vals = uniform_values(120_000, distinct, stream);
+        let h = hll_of(&vals, column_seed("u"));
+        let truth = exact_distinct(&vals) as f64;
+        let rel = (h.estimate() - truth).abs() / truth;
+        // 3 standard errors at p=12 ≈ 4.9 %.
+        prop_assert!(rel <= 3.0 * h.relative_standard_error(), "rel err {rel}");
+    }
+
+    #[test]
+    fn hll_zipf_within_bound(stream in 0u64..1000) {
+        let vals = zipf_values(80_000, 20_000, stream);
+        let h = hll_of(&vals, column_seed("z"));
+        let truth = exact_distinct(&vals) as f64;
+        let rel = (h.estimate() - truth).abs() / truth;
+        prop_assert!(rel <= 3.0 * h.relative_standard_error(), "rel err {rel}");
+    }
+
+    #[test]
+    fn kll_uniform_rank_error_within_bound(stream in 0u64..1000) {
+        let vals: Vec<f64> = uniform_values(50_000, 1 << 40, stream)
+            .into_iter().map(|v| v as f64).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut s = KllSketch::new(200, column_seed("kll-u"));
+        for &v in &vals {
+            s.insert(v);
+        }
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let est = s.quantile(q).unwrap();
+            let err = (exact_rank(&sorted, est) - q).abs();
+            prop_assert!(err <= s.rank_error_bound(), "q={q} err={err}");
+        }
+    }
+
+    #[test]
+    fn kll_zipf_rank_error_within_bound(stream in 0u64..1000) {
+        let vals: Vec<f64> = zipf_values(50_000, 5_000, stream)
+            .into_iter().map(|v| v as f64).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut s = KllSketch::new(200, column_seed("kll-z"));
+        for &v in &vals {
+            s.insert(v);
+        }
+        for q in [0.1, 0.5, 0.9] {
+            let est = s.quantile(q).unwrap();
+            // Heavy ties: compare against the closest achievable rank on
+            // either side of the estimate.
+            let lo = exact_rank(&sorted, est);
+            let hi = exact_rank(&sorted, est + 0.5);
+            let err = if (lo..=hi).contains(&q) {
+                0.0
+            } else {
+                (lo - q).abs().min((hi - q).abs())
+            };
+            prop_assert!(err <= s.rank_error_bound(), "q={q} err={err} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn merged_chunks_match_single_sketch(stream in 0u64..500, chunks in 2usize..12) {
+        // HLL merge is lossless (register-wise max), so merging per-chunk
+        // sketches must reproduce the single-pass sketch *exactly*; KLL
+        // and space-saving stay within their documented bounds.
+        let vals = uniform_values(20_000, 3_000, stream);
+        let seed = column_seed("merged");
+        let single = hll_of(&vals, seed);
+        let mut merged = HyperLogLog::new(12);
+        let per = vals.len().div_ceil(chunks);
+        for part in vals.chunks(per) {
+            merged.merge(&hll_of(part, seed));
+        }
+        prop_assert_eq!(&merged, &single);
+
+        let floats: Vec<f64> = vals.iter().map(|&v| v as f64).collect();
+        let mut sorted = floats.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut kll_merged = KllSketch::new(200, seed);
+        for part in floats.chunks(per) {
+            let mut p = KllSketch::new(200, seed);
+            for &v in part {
+                p.insert(v);
+            }
+            kll_merged.merge(&p);
+        }
+        prop_assert_eq!(kll_merged.count(), floats.len() as u64);
+        for q in [0.25, 0.5, 0.75] {
+            let est = kll_merged.quantile(q).unwrap();
+            let err = (exact_rank(&sorted, est) - q).abs();
+            // Merged sketches get a little extra slack (still ≪ 2ε).
+            prop_assert!(err <= 1.5 * kll_merged.rank_error_bound(), "q={q} err={err}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate distributions: constant and all-null columns.
+
+#[test]
+fn constant_column_is_exact() {
+    let params = SketchParams::default();
+    let seed = column_seed("const");
+    let mut s = ColumnSketch::new(params, seed);
+    for _ in 0..10_000 {
+        s.push_numeric("7", 7.0);
+    }
+    assert_eq!(s.distinct_estimate().round() as u64, 1);
+    assert_eq!(s.kll().quantile(0.5), Some(7.0));
+    assert_eq!(s.kll().min(), 7.0);
+    assert_eq!(s.kll().max(), 7.0);
+    assert_eq!(s.topk().top(1), vec![("7".to_string(), 10_000)]);
+    assert_eq!(s.moments().variance(), 0.0);
+}
+
+#[test]
+fn all_null_column_is_empty() {
+    let mut s = ColumnSketch::new(SketchParams::default(), column_seed("nulls"));
+    for _ in 0..5_000 {
+        s.push_null();
+    }
+    assert_eq!(s.rows(), 5_000);
+    assert_eq!(s.nulls(), 5_000);
+    assert_eq!(s.distinct_estimate(), 0.0);
+    assert_eq!(s.kll().quantile(0.5), None);
+    assert!(s.topk().top(5).is_empty());
+    assert!(s.reservoir().is_empty());
+    assert_eq!(s.length_range(), None);
+}
+
+// ---------------------------------------------------------------------
+// Space-saving bounds on a skewed stream.
+
+#[test]
+fn space_saving_bounds_hold_on_zipf() {
+    let vals = zipf_values(60_000, 10_000, 17);
+    let mut exact: HashMap<u64, u64> = HashMap::new();
+    for &v in &vals {
+        *exact.entry(v).or_insert(0) += 1;
+    }
+    let mut s = SpaceSaving::new(64);
+    for v in &vals {
+        s.insert(&v.to_string());
+    }
+    // Guarantee: estimated count never under-reports, and over-reports by
+    // at most n/capacity.
+    for (value, est) in s.top(10) {
+        let truth = exact[&value.parse::<u64>().unwrap()];
+        assert!(est >= truth, "under-report {value}: {est} < {truth}");
+        assert!(
+            est <= truth + s.max_overcount(),
+            "over-report {value}: {est} > {truth} + {}",
+            s.max_overcount()
+        );
+    }
+    // Every value more frequent than n/capacity must be tracked.
+    let floor = s.max_overcount();
+    let tracked: Vec<String> = s.top(64).into_iter().map(|(v, _)| v).collect();
+    for (&value, &truth) in &exact {
+        if truth > floor {
+            assert!(
+                tracked.contains(&value.to_string()),
+                "frequent value {value} (count {truth}) not tracked"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-bundle determinism: the ColumnSketch built twice (and via
+// different chunkings of the same per-chunk streams) is byte-identical.
+
+#[test]
+fn column_sketch_serialization_is_deterministic() {
+    let build = || {
+        let params = SketchParams::default();
+        let mut s = ColumnSketch::new(params, column_seed("det"));
+        for i in 0..5_000u64 {
+            if i % 11 == 0 {
+                s.push_null();
+            } else {
+                let v = (splitmix64(i) % 997) as f64;
+                s.push_numeric(&v.to_string(), v);
+            }
+        }
+        s
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a, b);
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
