@@ -66,6 +66,8 @@ serve flags:  --workers N      job-service worker pool size (default 4)
               --workspace DIR  persist sessions + tracking runs under DIR
               --port N         listen port (default 0 = ephemeral)
               --http-workers N connection worker-pool size (default 8)
+              --max-streams N  concurrent SSE streams cap (default 32;
+                            GET /jobs/{id}/events and GET /alerts/events)
 common flags: --seed N   seed for stochastic tools
               --threads N   detect/profile fan-out threads (0 = one per core;
                             serve default 1 to keep per-job work single-threaded)
@@ -252,6 +254,9 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let threads: usize = flag_value(args, "--threads")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let max_streams: usize = flag_value(args, "--max-streams")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
     let workspace_dir = flag_value(args, "--workspace").map(std::path::PathBuf::from);
     let profile_mode = parse_profile_mode(args)?;
     let metrics = Arc::new(Registry::new());
@@ -263,6 +268,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         workspace_dir,
         metrics: Some(Arc::clone(&metrics)),
         profile_mode,
+        ..JobServiceConfig::default()
     })?);
     let router = tool_service_router(seed)
         .merge(job_service_router(Arc::clone(&service)))
@@ -272,6 +278,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         router,
         ServerConfig {
             workers: http_workers,
+            max_streams,
             metrics: Some(metrics),
             ..ServerConfig::default()
         },
@@ -285,6 +292,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     );
     println!("tool bus:    GET /tools  POST /detect  POST /repair  POST /profile  PUT /context");
     println!("job service: POST /sessions  POST /sessions/{{id}}/jobs  GET /jobs/{{id}}[/result]  DELETE /jobs/{{id}}");
+    println!("streaming:   GET /jobs/{{id}}/events  GET /alerts/events (SSE; try `curl -N`)");
     println!("metrics:     GET /metrics (JSON; ?format=prometheus for text exposition)");
     println!("press Ctrl-C to stop");
     loop {

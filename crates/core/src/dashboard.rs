@@ -277,6 +277,31 @@ mod tests {
     }
 
     #[test]
+    fn metrics_panel_includes_sse_stream_metrics() {
+        use datalens_rest::{Router, Server, ServerConfig};
+        use std::sync::Arc;
+
+        // The server registers its streaming metrics eagerly, so the
+        // panel shows them (as zeros) before any stream is opened.
+        let registry = Arc::new(datalens_obs::Registry::new());
+        let mut server = Server::start_on(
+            "127.0.0.1:0",
+            Router::new(),
+            ServerConfig {
+                workers: 1,
+                metrics: Some(Arc::clone(&registry)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let text = render_metrics_panel(&registry);
+        assert!(text.contains("sse_streams_active"));
+        assert!(text.contains("sse_events_sent_total"));
+        assert!(text.contains("sse_disconnects_total"));
+        server.shutdown();
+    }
+
+    #[test]
     fn metrics_panel_shows_table_storage_gauges_after_profiling() {
         use crate::jobs::{JobService, JobServiceConfig, JobSpec};
         use std::sync::Arc;

@@ -1,0 +1,265 @@
+//! Event types for streaming job progress and quality alerts.
+//!
+//! Two broadcast shapes back the SSE endpoints:
+//!
+//! - **Per-job event log** (owned by each job, see `job.rs`): every
+//!   lifecycle event (`plan` → `progress`… → terminal) is serialised
+//!   *once* at publish time and appended to a bounded log. Subscribers
+//!   replay the log from the start, so any number of subscribers — at
+//!   any time, across any number of connections — observe bit-identical
+//!   event payload sequences for the same job.
+//! - **Service-wide [`AlertBus`]** (this module): a bounded ring of
+//!   quality [`AlertEvent`]s published as profiling/detection stages
+//!   complete. Live-feed semantics: a subscriber starts at the current
+//!   sequence number and sees only alerts published after it joined; a
+//!   laggard that falls behind the ring skips forward (alerts are
+//!   advisory, freshness beats completeness).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+/// One entry in a job's event log.
+///
+/// `data` holds the payload as JSON serialised once at publish time;
+/// replaying the log re-sends the same bytes to every subscriber.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Position in the job's event history (monotonic, includes events
+    /// dropped when the bounded log was full).
+    pub seq: u64,
+    /// SSE event name: `plan`, `progress`, `result`, `cancelled`, or
+    /// `failed`.
+    pub event: String,
+    /// JSON payload, pre-serialised.
+    pub data: String,
+}
+
+/// One quality alert on the service-wide feed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlertEvent {
+    /// Global position on the bus (monotonic across all sessions).
+    pub seq: u64,
+    pub session_id: u64,
+    pub job_id: u64,
+    /// The pipeline stage that raised it (`profile`, `detect`).
+    pub stage: String,
+    /// Alert kind label (e.g. `HighMissing`, `detections`).
+    pub kind: String,
+    /// Affected column, when the alert is column-scoped.
+    pub column: Option<String>,
+    pub message: String,
+}
+
+struct AlertRing {
+    /// The newest `capacity` alerts; older ones age out of the ring.
+    ring: VecDeque<AlertEvent>,
+    /// Sequence number the *next* published alert will get.
+    next_seq: u64,
+    closed: bool,
+}
+
+/// Bounded broadcast ring for quality alerts.
+///
+/// Publishing never blocks: when the ring is full the oldest alert ages
+/// out. [`AlertBus::close`] wakes all subscribers for shutdown.
+pub struct AlertBus {
+    inner: Mutex<AlertRing>,
+    changed: Condvar,
+    capacity: usize,
+    subscribers: AtomicUsize,
+}
+
+impl AlertBus {
+    pub fn new(capacity: usize) -> AlertBus {
+        let capacity = capacity.max(1);
+        AlertBus {
+            inner: Mutex::new(AlertRing {
+                ring: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+                closed: false,
+            }),
+            changed: Condvar::new(),
+            capacity,
+            subscribers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publish one alert (assigning its sequence number) and wake
+    /// subscribers. Publishing onto a closed bus is a no-op.
+    pub fn publish(&self, mut event: AlertEvent) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        event.seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() >= self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(event);
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Subscribe with live-feed semantics: only alerts published after
+    /// this call are delivered.
+    pub fn subscribe(self: &Arc<Self>) -> AlertSubscription {
+        let next_seq = self.inner.lock().next_seq;
+        self.subscribers.fetch_add(1, Ordering::SeqCst);
+        AlertSubscription {
+            bus: Arc::clone(self),
+            next_seq,
+        }
+    }
+
+    /// Currently attached subscribers.
+    pub fn subscribers(&self) -> usize {
+        self.subscribers.load(Ordering::SeqCst)
+    }
+
+    /// Close the feed: subscribers drain to [`AlertFeedItem::Closed`].
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.changed.notify_all();
+    }
+}
+
+/// What [`AlertSubscription::next`] yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlertFeedItem {
+    /// The next alert on the feed.
+    Event(AlertEvent),
+    /// Nothing new within the wait window.
+    Idle,
+    /// The bus closed (service shutdown) and the backlog is drained.
+    Closed,
+}
+
+/// A live cursor onto an [`AlertBus`].
+pub struct AlertSubscription {
+    bus: Arc<AlertBus>,
+    next_seq: u64,
+}
+
+impl AlertSubscription {
+    /// The next alert, waiting up to `wait` for one. A subscriber that
+    /// lagged behind the ring skips forward to the oldest retained
+    /// alert rather than erroring.
+    pub fn next(&mut self, wait: Duration) -> AlertFeedItem {
+        let mut inner = self.bus.inner.lock();
+        if self.next_seq >= inner.next_seq && !inner.closed {
+            self.bus.changed.wait_for(&mut inner, wait);
+        }
+        if let Some(oldest) = inner.ring.front() {
+            if oldest.seq > self.next_seq {
+                self.next_seq = oldest.seq; // lagged out of the ring
+            }
+        }
+        if self.next_seq < inner.next_seq {
+            let oldest_seq = inner.next_seq - inner.ring.len() as u64;
+            let offset = (self.next_seq - oldest_seq) as usize;
+            if let Some(event) = inner.ring.get(offset) {
+                let event = event.clone();
+                self.next_seq += 1;
+                return AlertFeedItem::Event(event);
+            }
+        }
+        if inner.closed {
+            AlertFeedItem::Closed
+        } else {
+            AlertFeedItem::Idle
+        }
+    }
+}
+
+impl Drop for AlertSubscription {
+    fn drop(&mut self) {
+        self.bus.subscribers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(msg: &str) -> AlertEvent {
+        AlertEvent {
+            seq: 0,
+            session_id: 1,
+            job_id: 1,
+            stage: "profile".into(),
+            kind: "HighMissing".into(),
+            column: Some("a".into()),
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn live_feed_only_sees_alerts_after_subscribe() {
+        let bus = Arc::new(AlertBus::new(8));
+        bus.publish(alert("before"));
+        let mut sub = bus.subscribe();
+        assert_eq!(sub.next(Duration::from_millis(1)), AlertFeedItem::Idle);
+        bus.publish(alert("after"));
+        match sub.next(Duration::from_millis(100)) {
+            AlertFeedItem::Event(e) => {
+                assert_eq!(e.message, "after");
+                assert_eq!(e.seq, 1);
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn laggards_skip_forward_instead_of_erroring() {
+        let bus = Arc::new(AlertBus::new(2));
+        let mut sub = bus.subscribe();
+        for i in 0..5 {
+            bus.publish(alert(&format!("m{i}")));
+        }
+        // Ring holds only m3, m4; the subscriber skips to m3.
+        match sub.next(Duration::from_millis(1)) {
+            AlertFeedItem::Event(e) => assert_eq!(e.message, "m3"),
+            other => panic!("expected m3, got {other:?}"),
+        }
+        match sub.next(Duration::from_millis(1)) {
+            AlertFeedItem::Event(e) => assert_eq!(e.message, "m4"),
+            other => panic!("expected m4, got {other:?}"),
+        }
+        assert_eq!(sub.next(Duration::from_millis(1)), AlertFeedItem::Idle);
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let bus = Arc::new(AlertBus::new(4));
+        let mut sub = bus.subscribe();
+        bus.publish(alert("last"));
+        bus.close();
+        // Publishing after close is dropped.
+        bus.publish(alert("ignored"));
+        match sub.next(Duration::from_millis(1)) {
+            AlertFeedItem::Event(e) => assert_eq!(e.message, "last"),
+            other => panic!("expected event, got {other:?}"),
+        }
+        assert_eq!(sub.next(Duration::from_millis(1)), AlertFeedItem::Closed);
+    }
+
+    #[test]
+    fn subscriber_count_tracks_drops() {
+        let bus = Arc::new(AlertBus::new(4));
+        assert_eq!(bus.subscribers(), 0);
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        assert_eq!(bus.subscribers(), 2);
+        drop(a);
+        assert_eq!(bus.subscribers(), 1);
+        drop(b);
+        assert_eq!(bus.subscribers(), 0);
+    }
+}

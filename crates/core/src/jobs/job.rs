@@ -6,7 +6,8 @@
 //! between steps), and every finished step appends its engine
 //! [`StageReport`]s so `GET /jobs/{id}` shows live progress.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -19,6 +20,7 @@ use datalens_profile::ProfileMode;
 use crate::engine::StageReport;
 use crate::error::DataLensError;
 use crate::iterative::IterativeCleaningReport;
+use crate::jobs::events::JobEvent;
 
 /// Job lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -262,6 +264,13 @@ struct Progress {
     reports: Vec<StageReport>,
     outcome: JobOutcome,
     error: Option<String>,
+    /// Append-only event log replayed by SSE subscribers. Payloads are
+    /// serialised once at publish, so every subscriber — early or late
+    /// — reads bit-identical bytes. Bounded by `JobInner::event_cap`:
+    /// overflowing `progress` events are counted in `events_dropped`
+    /// instead of growing the log, while terminal events always land.
+    events: Vec<JobEvent>,
+    events_dropped: u64,
 }
 
 /// The in-memory job record shared between submitters, workers, and
@@ -279,11 +288,23 @@ pub(crate) struct JobInner {
     cancel: AtomicBool,
     progress: Mutex<Progress>,
     changed: Condvar,
+    /// Cap on buffered `progress` events (terminal events bypass it).
+    event_cap: usize,
+    /// Live SSE subscribers on this job's event log.
+    subscribers: AtomicUsize,
 }
 
 impl JobInner {
-    pub fn new(id: u64, session: u64, spec: JobSpec) -> JobInner {
-        JobInner {
+    pub fn new(id: u64, session: u64, spec: JobSpec, event_cap: usize) -> JobInner {
+        let step_labels: Vec<String> = spec.steps.iter().map(JobStep::label).collect();
+        let plan = serde_json::json!({
+            "jobId": id,
+            "sessionId": session,
+            "spec": spec.describe(),
+            "stepsTotal": spec.steps.len(),
+            "steps": step_labels,
+        });
+        let job = JobInner {
             id,
             session,
             spec,
@@ -295,13 +316,38 @@ impl JobInner {
                 reports: Vec::new(),
                 outcome: JobOutcome::default(),
                 error: None,
+                events: Vec::new(),
+                events_dropped: 0,
             }),
             changed: Condvar::new(),
-        }
+            event_cap: event_cap.max(1),
+            subscribers: AtomicUsize::new(0),
+        };
+        // Every job's event history starts with its plan, so a
+        // subscriber that joins at any point still replays the full
+        // story from the first byte.
+        job.push_event(&mut job.lock(), "plan", plan.to_string(), false);
+        job
     }
 
     fn lock(&self) -> MutexGuard<'_, Progress> {
         self.progress.lock()
+    }
+
+    /// Append to the event log under the job lock. Non-terminal events
+    /// beyond the cap are dropped (and counted); terminal events always
+    /// land so no subscriber hangs waiting for an ending.
+    fn push_event(&self, p: &mut Progress, event: &str, data: String, terminal: bool) {
+        if !terminal && p.events.len() >= self.event_cap {
+            p.events_dropped += 1;
+            return;
+        }
+        let seq = p.events.len() as u64 + p.events_dropped;
+        p.events.push(JobEvent {
+            seq,
+            event: event.to_string(),
+            data,
+        });
     }
 
     /// Externally visible snapshot.
@@ -331,6 +377,8 @@ impl JobInner {
         if self.cancel.load(Ordering::SeqCst) || p.state != JobState::Queued {
             if p.state == JobState::Queued {
                 p.state = JobState::Cancelled;
+                let data = self.terminal_event_data(&p);
+                self.push_event(&mut p, "cancelled", data, true);
             }
             self.changed.notify_all();
             return false;
@@ -343,8 +391,22 @@ impl JobInner {
     /// Record one finished step: its stage reports plus an outcome edit.
     pub fn record_step(&self, reports: Vec<StageReport>, apply: impl FnOnce(&mut JobOutcome)) {
         let mut p = self.lock();
-        p.reports.extend(reports);
         p.steps_done += 1;
+        for report in &reports {
+            let data = serde_json::json!({
+                "jobId": self.id,
+                "stage": report.stage.clone(),
+                "detail": report.detail.clone(),
+                "wallMs": report.wall_ms,
+                "rowsProcessed": report.rows_processed,
+                "cellsProcessed": report.cells_processed,
+                "flagsProduced": report.flags_produced,
+                "stepsDone": p.steps_done,
+                "stepsTotal": self.spec.steps.len(),
+            });
+            self.push_event(&mut p, "progress", data.to_string(), false);
+        }
+        p.reports.extend(reports);
         apply(&mut p.outcome);
         self.changed.notify_all();
     }
@@ -358,7 +420,26 @@ impl JobInner {
         }
         p.state = state;
         p.error = error;
+        let event = match state {
+            JobState::Done => "result",
+            JobState::Failed => "failed",
+            _ => "cancelled",
+        };
+        let data = self.terminal_event_data(&p);
+        self.push_event(&mut p, event, data, true);
         self.changed.notify_all();
+    }
+
+    /// Payload for the terminal event, built under the job lock.
+    fn terminal_event_data(&self, p: &Progress) -> String {
+        serde_json::json!({
+            "jobId": self.id,
+            "state": p.state.as_str(),
+            "stepsDone": p.steps_done,
+            "stepsTotal": self.spec.steps.len(),
+            "error": p.error.clone(),
+        })
+        .to_string()
     }
 
     /// Ask the job to stop at the next step boundary.
@@ -368,6 +449,26 @@ impl JobInner {
 
     pub fn cancel_requested(&self) -> bool {
         self.cancel.load(Ordering::SeqCst)
+    }
+
+    /// Live SSE subscribers on this job.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.load(Ordering::SeqCst)
+    }
+
+    /// The event at log position `cursor`, waiting up to `wait` for one
+    /// to be published. Returns `(item, terminal_drained)` where the
+    /// second flag is true once the job is terminal *and* the log has
+    /// been fully replayed — the subscriber's signal to end the stream.
+    fn event_at(&self, cursor: usize, wait: Duration) -> (Option<JobEvent>, bool) {
+        let mut p = self.lock();
+        if cursor >= p.events.len() && !p.state.is_terminal() {
+            self.changed.wait_for(&mut p, wait);
+        }
+        if let Some(event) = p.events.get(cursor) {
+            return (Some(event.clone()), false);
+        }
+        (None, p.state.is_terminal())
     }
 
     /// Block until the job reaches a terminal state (or the timeout
@@ -389,6 +490,55 @@ impl JobInner {
         }
         drop(p);
         self.status()
+    }
+}
+
+/// What [`JobEventSubscription::next`] yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFeedItem {
+    /// The next event in the job's history.
+    Event(JobEvent),
+    /// Nothing new within the wait window (job still running).
+    Idle,
+    /// The job is terminal and its full history has been replayed.
+    Terminated,
+}
+
+/// A replay cursor onto one job's event log.
+///
+/// Subscribing replays the log from the start (`plan` first), then
+/// follows live publishes until the terminal event, after which
+/// [`JobEventSubscription::next`] yields [`JobFeedItem::Terminated`].
+/// Because the log holds payloads serialised once at publish, every
+/// subscriber observes bit-identical event bytes.
+pub struct JobEventSubscription {
+    job: Arc<JobInner>,
+    cursor: usize,
+}
+
+impl JobEventSubscription {
+    pub(crate) fn new(job: Arc<JobInner>) -> JobEventSubscription {
+        job.subscribers.fetch_add(1, Ordering::SeqCst);
+        JobEventSubscription { job, cursor: 0 }
+    }
+
+    /// The next event, waiting up to `wait` for one.
+    pub fn next(&mut self, wait: Duration) -> JobFeedItem {
+        let (event, terminal_drained) = self.job.event_at(self.cursor, wait);
+        match event {
+            Some(event) => {
+                self.cursor += 1;
+                JobFeedItem::Event(event)
+            }
+            None if terminal_drained => JobFeedItem::Terminated,
+            None => JobFeedItem::Idle,
+        }
+    }
+}
+
+impl Drop for JobEventSubscription {
+    fn drop(&mut self) {
+        self.job.subscribers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -453,7 +603,7 @@ mod tests {
 
     #[test]
     fn lifecycle_and_cancel_race() {
-        let job = JobInner::new(1, 1, JobSpec::profile());
+        let job = JobInner::new(1, 1, JobSpec::profile(), 1024);
         assert_eq!(job.status().state, JobState::Queued);
         assert!(job.try_start());
         assert_eq!(job.status().state, JobState::Running);
@@ -464,7 +614,7 @@ mod tests {
         assert_eq!(job.status().state, JobState::Done);
 
         // Cancellation before start wins the race.
-        let job = JobInner::new(2, 1, JobSpec::profile());
+        let job = JobInner::new(2, 1, JobSpec::profile(), 1024);
         job.request_cancel();
         assert!(!job.try_start());
         assert_eq!(job.status().state, JobState::Cancelled);
@@ -472,7 +622,7 @@ mod tests {
 
     #[test]
     fn record_step_accumulates_progress() {
-        let job = JobInner::new(3, 1, JobSpec::clean(&["sd"], "ml_imputer"));
+        let job = JobInner::new(3, 1, JobSpec::clean(&["sd"], "ml_imputer"), 1024);
         job.try_start();
         job.record_step(
             vec![StageReport {
@@ -495,7 +645,7 @@ mod tests {
 
     #[test]
     fn wait_terminal_times_out_and_completes() {
-        let job = std::sync::Arc::new(JobInner::new(4, 1, JobSpec::profile()));
+        let job = std::sync::Arc::new(JobInner::new(4, 1, JobSpec::profile(), 1024));
         let s = job.wait_terminal(Some(Duration::from_millis(10)));
         assert_eq!(s.state, JobState::Queued); // timed out, still queued
         let j = std::sync::Arc::clone(&job);

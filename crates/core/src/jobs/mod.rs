@@ -25,6 +25,7 @@
 //! `POST /sessions/{id}/jobs`, `GET /jobs/{id}`, `GET /jobs/{id}/result`,
 //! `DELETE /jobs/{id}`).
 
+pub mod events;
 pub mod job;
 pub mod queue;
 pub mod rest;
@@ -43,7 +44,11 @@ use datalens_obs::{labeled, Registry};
 use datalens_table::Table;
 use datalens_tracking::{RunStatus, TrackingError, TrackingStore, EXPERIMENT_JOBS};
 
-pub use job::{JobError, JobOutcome, JobSpec, JobState, JobStatus, JobStep, ProfileSummary};
+pub use events::{AlertBus, AlertEvent, AlertFeedItem, AlertSubscription, JobEvent};
+pub use job::{
+    JobError, JobEventSubscription, JobFeedItem, JobOutcome, JobSpec, JobState, JobStatus, JobStep,
+    ProfileSummary,
+};
 pub use session::SessionInfo;
 
 use crate::controller::{DashboardConfig, DashboardController};
@@ -78,6 +83,12 @@ pub struct JobServiceConfig {
     /// Default profiling backend for every session's controller. A job
     /// spec's own `profile_mode` still overrides it per profile step.
     pub profile_mode: datalens_profile::ProfileMode,
+    /// Cap on each job's buffered event log (the SSE replay source).
+    /// Overflowing `progress` events are dropped (and counted);
+    /// terminal events always land.
+    pub event_buffer: usize,
+    /// Ring capacity of the service-wide quality-alert feed.
+    pub alert_buffer: usize,
 }
 
 impl Default for JobServiceConfig {
@@ -90,6 +101,8 @@ impl Default for JobServiceConfig {
             workspace_dir: None,
             metrics: None,
             profile_mode: datalens_profile::ProfileMode::default(),
+            event_buffer: 1024,
+            alert_buffer: 256,
         }
     }
 }
@@ -102,6 +115,7 @@ struct JobMetrics {
     running: Arc<datalens_obs::Gauge>,
     submitted: Arc<datalens_obs::Counter>,
     queue_wait: Arc<datalens_obs::Histogram>,
+    alerts_emitted: Arc<datalens_obs::Counter>,
 }
 
 impl JobMetrics {
@@ -111,6 +125,7 @@ impl JobMetrics {
             running: registry.gauge("jobs_running"),
             submitted: registry.counter("jobs_submitted_total"),
             queue_wait: registry.latency_histogram("jobs_queue_wait_ms"),
+            alerts_emitted: registry.counter("alerts_emitted_total"),
             registry,
         }
     }
@@ -134,6 +149,8 @@ struct Inner {
     stop: AtomicBool,
     tracking: Option<TrackingStore>,
     metrics: Option<JobMetrics>,
+    /// Service-wide quality-alert feed (`GET /alerts/events`).
+    alerts: Arc<AlertBus>,
 }
 
 /// The service façade: create sessions, submit jobs, poll, cancel.
@@ -165,6 +182,7 @@ impl JobService {
             stop: AtomicBool::new(false),
             tracking,
             metrics,
+            alerts: Arc::new(AlertBus::new(config.alert_buffer)),
             config,
         });
         let n = inner.config.workers.max(1);
@@ -284,7 +302,12 @@ impl JobService {
             return Err(JobError::UnknownSession(session_id));
         }
         let id = self.inner.next_job.fetch_add(1, Ordering::SeqCst);
-        let job = Arc::new(JobInner::new(id, session_id, spec));
+        let job = Arc::new(JobInner::new(
+            id,
+            session_id,
+            spec,
+            self.inner.config.event_buffer,
+        ));
         let queued = {
             let mut q = self.inner.queues.lock();
             q.push(Arc::clone(&job))?;
@@ -360,6 +383,32 @@ impl JobService {
         (q.queued(), q.depth())
     }
 
+    // --- event feeds -----------------------------------------------------
+
+    /// Subscribe to a job's event log. Replays the full history (`plan`
+    /// first) and then follows live progress to the terminal event —
+    /// the producer side of `GET /jobs/{id}/events`.
+    pub fn subscribe_job_events(&self, job_id: u64) -> Result<JobEventSubscription, JobError> {
+        Ok(JobEventSubscription::new(self.job(job_id)?))
+    }
+
+    /// Live SSE subscribers currently attached to a job.
+    pub fn job_event_subscribers(&self, job_id: u64) -> Result<usize, JobError> {
+        Ok(self.job(job_id)?.subscriber_count())
+    }
+
+    /// Subscribe to the service-wide quality-alert feed (live: only
+    /// alerts published after this call) — the producer side of
+    /// `GET /alerts/events`.
+    pub fn subscribe_alerts(&self) -> AlertSubscription {
+        self.inner.alerts.subscribe()
+    }
+
+    /// Subscribers currently attached to the alert feed.
+    pub fn alert_subscribers(&self) -> usize {
+        self.inner.alerts.subscribers()
+    }
+
     /// Stop the worker pool: running jobs finish their current step
     /// chain, queued jobs stay `Queued`. Idempotent.
     pub fn shutdown(&self) {
@@ -370,6 +419,8 @@ impl JobService {
         for t in self.workers.lock().drain(..) {
             let _ = t.join();
         }
+        // Wake alert-feed subscribers so their streams can end.
+        self.inner.alerts.close();
     }
 
     fn finish_bookkeeping(&self, job: &JobInner) {
@@ -445,7 +496,7 @@ fn run_job(inner: &Inner, session_id: u64, job: &JobInner) {
             cancelled = true;
             break;
         }
-        outcome = run_step(&mut ctrl, job, step, &mut cursor);
+        outcome = run_step(inner, &mut ctrl, job, step, &mut cursor);
         if outcome.is_err() {
             break;
         }
@@ -473,6 +524,7 @@ fn run_job(inner: &Inner, session_id: u64, job: &JobInner) {
 /// synthesised reports for stages the controller does not instrument)
 /// and folding its numbers into the job outcome.
 fn run_step(
+    inner: &Inner,
     ctrl: &mut DashboardController,
     job: &JobInner,
     step: &JobStep,
@@ -480,19 +532,30 @@ fn run_step(
 ) -> Result<(), DataLensError> {
     match step {
         JobStep::Profile => {
-            let summary = {
+            let (summary, quality_alerts) = {
                 // A spec-level mode overrides the service default the
                 // controller was configured with.
                 let p = match job.spec.profile_mode {
                     Some(mode) => ctrl.profile_with_mode(mode)?,
                     None => ctrl.profile()?,
                 };
-                ProfileSummary {
+                let summary = ProfileSummary {
                     rows: p.table.n_rows,
                     cols: p.columns.len(),
                     missing_cells: p.table.missing_cells,
-                }
+                };
+                (summary, p.alerts.clone())
             };
+            for alert in quality_alerts {
+                publish_alert(
+                    inner,
+                    job,
+                    "profile",
+                    &format!("{:?}", alert.kind),
+                    alert.column.clone(),
+                    alert.message.clone(),
+                );
+            }
             let reports = drain_reports(ctrl, cursor);
             job.record_step(reports, |o| o.profile = Some(summary));
         }
@@ -506,6 +569,16 @@ fn run_step(
         JobStep::Detect { tools } => {
             let refs: Vec<&str> = tools.iter().map(String::as_str).collect();
             let n = ctrl.run_detection(&refs)?;
+            if n > 0 {
+                publish_alert(
+                    inner,
+                    job,
+                    "detect",
+                    "detections",
+                    None,
+                    format!("{n} cells flagged by {}", tools.join("+")),
+                );
+            }
             let reports = drain_reports(ctrl, cursor);
             job.record_step(reports, |o| o.n_detections = Some(n));
         }
@@ -570,6 +643,29 @@ fn run_step(
         }
     }
     Ok(())
+}
+
+/// Publish one quality alert onto the service-wide live feed.
+fn publish_alert(
+    inner: &Inner,
+    job: &JobInner,
+    stage: &str,
+    kind: &str,
+    column: Option<String>,
+    message: String,
+) {
+    inner.alerts.publish(AlertEvent {
+        seq: 0, // assigned by the bus
+        session_id: job.session,
+        job_id: job.id,
+        stage: stage.to_string(),
+        kind: kind.to_string(),
+        column,
+        message,
+    });
+    if let Some(m) = &inner.metrics {
+        m.alerts_emitted.inc();
+    }
 }
 
 fn drain_reports(ctrl: &DashboardController, cursor: &mut usize) -> Vec<StageReport> {
@@ -742,6 +838,114 @@ mod tests {
         assert!(matches!(s.state, JobState::Running | JobState::Cancelled));
         let s = svc.wait(blocker, Some(Duration::from_secs(10))).unwrap();
         assert_eq!(s.state, JobState::Cancelled);
+    }
+
+    #[test]
+    fn job_events_replay_plan_progress_terminal() {
+        let svc = service(1, 8);
+        let sid = svc.create_session_csv("d.csv", CSV).unwrap();
+        let jid = svc.submit(sid, JobSpec::profile()).unwrap();
+        svc.wait(jid, Some(Duration::from_secs(30))).unwrap();
+
+        let drain = |mut sub: JobEventSubscription| {
+            let mut events = Vec::new();
+            loop {
+                match sub.next(Duration::from_millis(100)) {
+                    JobFeedItem::Event(e) => events.push(e),
+                    JobFeedItem::Idle => {}
+                    JobFeedItem::Terminated => break events,
+                }
+            }
+        };
+        // A late subscriber still replays the full history…
+        let a = drain(svc.subscribe_job_events(jid).unwrap());
+        assert_eq!(a.first().map(|e| e.event.as_str()), Some("plan"));
+        assert_eq!(a.last().map(|e| e.event.as_str()), Some("result"));
+        assert!(a.iter().any(|e| e.event == "progress"));
+        assert!(a[0].data.contains("\"spec\""));
+        // …and every subscriber reads bit-identical payload bytes.
+        let b = drain(svc.subscribe_job_events(jid).unwrap());
+        assert_eq!(a, b);
+        assert_eq!(svc.job_event_subscribers(jid).unwrap(), 0);
+    }
+
+    #[test]
+    fn event_log_is_bounded_but_terminal_always_lands() {
+        let svc = JobService::new(JobServiceConfig {
+            workers: 1,
+            queue_depth: 8,
+            event_buffer: 2, // plan + one progress event
+            ..JobServiceConfig::default()
+        })
+        .unwrap();
+        let sid = svc.create_session_csv("d.csv", CSV).unwrap();
+        // Three sleep steps → three progress events; only the first fits.
+        let jid = svc
+            .submit(
+                sid,
+                JobSpec::new(vec![
+                    JobStep::Sleep { ms: 1 },
+                    JobStep::Sleep { ms: 1 },
+                    JobStep::Sleep { ms: 1 },
+                ]),
+            )
+            .unwrap();
+        svc.wait(jid, Some(Duration::from_secs(10))).unwrap();
+        let mut sub = svc.subscribe_job_events(jid).unwrap();
+        let mut events = Vec::new();
+        loop {
+            match sub.next(Duration::from_millis(50)) {
+                JobFeedItem::Event(e) => events.push(e),
+                JobFeedItem::Idle => {}
+                JobFeedItem::Terminated => break,
+            }
+        }
+        // plan + 1 progress (cap) + result (terminal bypasses the cap).
+        assert_eq!(
+            events.iter().map(|e| e.event.as_str()).collect::<Vec<_>>(),
+            vec!["plan", "progress", "result"]
+        );
+        // Two progress events were dropped, so the terminal event's seq
+        // reflects the gap: plan=0, progress=1, (2 and 3 dropped), result=4.
+        assert_eq!(events.last().map(|e| e.seq), Some(4));
+    }
+
+    #[test]
+    fn alert_feed_carries_profile_alerts() {
+        let metrics = Arc::new(Registry::new());
+        let svc = JobService::new(JobServiceConfig {
+            workers: 1,
+            queue_depth: 8,
+            metrics: Some(Arc::clone(&metrics)),
+            ..JobServiceConfig::default()
+        })
+        .unwrap();
+        // `pop` has 1/6 missing plus outliers; `city` has an FD-breaking
+        // dupe — the profile alert config flags high-missing at 20%.
+        let sid = svc
+            .create_session_csv("d.csv", "a,b\n1,x\n2,y\n,\n,\n")
+            .unwrap();
+        let mut sub = svc.subscribe_alerts();
+        let jid = svc
+            .submit(sid, JobSpec::new(vec![JobStep::Profile]))
+            .unwrap();
+        svc.wait(jid, Some(Duration::from_secs(30))).unwrap();
+        let mut seen = Vec::new();
+        loop {
+            match sub.next(Duration::from_millis(100)) {
+                AlertFeedItem::Event(e) => seen.push(e),
+                AlertFeedItem::Idle => break,
+                AlertFeedItem::Closed => break,
+            }
+        }
+        assert!(
+            seen.iter()
+                .any(|e| e.stage == "profile" && e.kind.contains("Missing")),
+            "expected a high-missing profile alert, got {seen:?}"
+        );
+        assert!(metrics.counter("alerts_emitted_total").get() > 0);
+        drop(sub);
+        assert_eq!(svc.alert_subscribers(), 0);
     }
 
     #[test]

@@ -132,7 +132,7 @@ mod tests {
     use super::*;
 
     fn job(id: u64, session: u64) -> Arc<JobInner> {
-        Arc::new(JobInner::new(id, session, JobSpec::profile()))
+        Arc::new(JobInner::new(id, session, JobSpec::profile(), 1024))
     }
 
     #[test]

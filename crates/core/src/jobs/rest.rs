@@ -12,19 +12,26 @@
 //! - `GET    /jobs/{id}/result`    — terminal outcome; `409 Conflict`
 //!   while the job is still queued/running;
 //! - `DELETE /jobs/{id}`           — request cancellation; returns the
-//!   post-cancel snapshot.
+//!   post-cancel snapshot;
+//! - `GET    /jobs/{id}/events`    — SSE stream of the job's event log
+//!   (`plan` → `progress`… → `result`/`cancelled`/`failed`), replayed
+//!   from the start so every subscriber sees identical bytes;
+//! - `GET    /alerts/events`       — live SSE feed of quality alerts
+//!   across all sessions (only alerts published after subscribing).
 //!
 //! Mount the router on a [`datalens_rest::Server`]; it composes with the
 //! synchronous tool bus via [`Router::merge`].
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use datalens_rest::http::Method;
+use datalens_rest::http::{sse_event, Method, StreamChunk, StreamSource};
 use datalens_rest::{PathParams, Response, Router};
 
-use super::job::{JobError, JobOutcome, JobSpec, JobState};
+use super::events::{AlertFeedItem, AlertSubscription};
+use super::job::{JobError, JobEventSubscription, JobFeedItem, JobOutcome, JobSpec, JobState};
 use super::session::SessionInfo;
 use super::JobService;
 
@@ -68,6 +75,52 @@ pub struct JobResultResponse {
     pub outcome: JobOutcome,
     #[serde(default)]
     pub error: Option<String>,
+}
+
+/// Adapts a job's event-log cursor to the server's pull-based stream
+/// contract. Dropping the source (stream end or client disconnect)
+/// drops the subscription, which unregisters the subscriber.
+struct JobEventsSse {
+    sub: JobEventSubscription,
+}
+
+impl StreamSource for JobEventsSse {
+    fn next_chunk(&mut self, wait: Duration) -> StreamChunk {
+        match self.sub.next(wait) {
+            JobFeedItem::Event(e) => StreamChunk::Data(sse_event(&e.event, Some(e.seq), &e.data)),
+            JobFeedItem::Idle => StreamChunk::Pending,
+            JobFeedItem::Terminated => StreamChunk::End,
+        }
+    }
+}
+
+/// Adapts the service-wide alert bus to the stream contract. Alerts are
+/// serialised here — once per subscriber per event — because the feed is
+/// live (each subscriber sees a different suffix of the bus).
+struct AlertsSse {
+    sub: AlertSubscription,
+}
+
+impl StreamSource for AlertsSse {
+    fn next_chunk(&mut self, wait: Duration) -> StreamChunk {
+        match self.sub.next(wait) {
+            AlertFeedItem::Event(e) => {
+                let data = serde_json::json!({
+                    "seq": e.seq,
+                    "sessionId": e.session_id,
+                    "jobId": e.job_id,
+                    "stage": e.stage,
+                    "kind": e.kind,
+                    "column": e.column,
+                    "message": e.message,
+                })
+                .to_string();
+                StreamChunk::Data(sse_event("alert", Some(e.seq), &data))
+            }
+            AlertFeedItem::Idle => StreamChunk::Pending,
+            AlertFeedItem::Closed => StreamChunk::End,
+        }
+    }
 }
 
 fn error_response(e: &JobError) -> Response {
@@ -196,6 +249,24 @@ pub fn job_service_router(service: Arc<JobService>) -> Router {
             }
             Err(e) => error_response(&e),
         }
+    });
+
+    let svc = Arc::clone(&service);
+    let router = router.route(Method::Get, "/jobs/{id}/events", move |_, params| {
+        let id = match parse_id(params, "id") {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        match svc.subscribe_job_events(id) {
+            Ok(sub) => Response::stream("text/event-stream", JobEventsSse { sub }),
+            Err(e) => error_response(&e),
+        }
+    });
+
+    let svc = Arc::clone(&service);
+    let router = router.route(Method::Get, "/alerts/events", move |_, _| {
+        let sub = svc.subscribe_alerts();
+        Response::stream("text/event-stream", AlertsSse { sub })
     });
 
     let svc = Arc::clone(&service);

@@ -76,7 +76,7 @@ impl Client {
             return Err(HttpError::Malformed(format!(
                 "server returned {}: {}",
                 resp.status,
-                String::from_utf8_lossy(&resp.body)
+                String::from_utf8_lossy(resp.body_bytes())
             )));
         }
         resp.json_body()
@@ -89,10 +89,43 @@ impl Client {
             return Err(HttpError::Malformed(format!(
                 "server returned {}: {}",
                 resp.status,
-                String::from_utf8_lossy(&resp.body)
+                String::from_utf8_lossy(resp.body_bytes())
             )));
         }
         resp.json_body()
+    }
+
+    /// Open a Server-Sent-Events stream with `GET path`.
+    ///
+    /// On a `text/event-stream` response the returned [`SseStream`]
+    /// yields events incrementally as the server flushes them; on any
+    /// other response (e.g. a `404` or a `429` lane-overflow answer)
+    /// the stream is inert and only [`SseStream::status`] and the
+    /// buffered body are meaningful.
+    pub fn sse(&self, path: &str) -> Result<SseStream, HttpError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut req = Request::new(Method::Get, path, Vec::new());
+        req.headers
+            .insert("accept".into(), "text/event-stream".into());
+        req.write_to(&stream, &self.addr.to_string())?;
+        let read_half = stream.try_clone()?;
+        let mut reader = BufReader::new(read_half);
+        let resp = Response::read_from_buffered(&mut reader)?;
+        let streaming = resp
+            .headers
+            .get("content-type")
+            .is_some_and(|ct| ct.starts_with("text/event-stream"));
+        let body = resp.body_bytes().to_vec();
+        Ok(SseStream {
+            status: resp.status,
+            headers: resp.headers,
+            body,
+            reader: if streaming { Some(reader) } else { None },
+            comments_seen: 0,
+        })
     }
 
     /// Open a persistent (keep-alive) connection to the server.
@@ -149,5 +182,103 @@ impl Connection {
     /// DELETE over the persistent connection.
     pub fn delete(&mut self, path: &str) -> Result<Response, HttpError> {
         self.send(Method::Delete, path, Vec::new())
+    }
+}
+
+/// One parsed Server-Sent-Events frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SseEvent {
+    /// The `event:` field (empty when the server sent none).
+    pub event: String,
+    /// The `id:` field, if present.
+    pub id: Option<String>,
+    /// The `data:` payload; multi-line frames are rejoined with `\n`.
+    pub data: String,
+}
+
+/// A live SSE subscription (see [`Client::sse`]).
+///
+/// Dropping the stream closes the socket — from the server's side that
+/// is a mid-stream client disconnect, detected at its next write.
+pub struct SseStream {
+    /// Status of the initial HTTP response.
+    pub status: u16,
+    /// Headers of the initial HTTP response.
+    pub headers: std::collections::BTreeMap<String, String>,
+    /// Buffered body for non-streaming responses (error JSON on a 404
+    /// or 429); empty when the response is a live stream.
+    pub body: Vec<u8>,
+    /// `Some` while the connection is streaming events.
+    reader: Option<BufReader<TcpStream>>,
+    /// Heartbeat comments observed so far (skipped by `next_event`).
+    comments_seen: u64,
+}
+
+impl SseStream {
+    /// Whether the server answered with a live event stream.
+    pub fn is_streaming(&self) -> bool {
+        self.reader.is_some()
+    }
+
+    /// Heartbeat/comment lines consumed so far.
+    pub fn comments_seen(&self) -> u64 {
+        self.comments_seen
+    }
+
+    /// Block until the next event. `Ok(None)` means the server closed
+    /// the stream (normal teardown after a terminal event); comment
+    /// (heartbeat) frames are counted and skipped, never surfaced.
+    pub fn next_event(&mut self) -> Result<Option<SseEvent>, HttpError> {
+        use std::io::BufRead;
+        let Some(reader) = self.reader.as_mut() else {
+            return Ok(None);
+        };
+        let mut event = String::new();
+        let mut id = None;
+        let mut data: Vec<String> = Vec::new();
+        let mut saw_field = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                // EOF: the server tore the connection down.
+                self.reader = None;
+                return Ok(None);
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                if saw_field {
+                    return Ok(Some(SseEvent {
+                        event,
+                        id,
+                        data: data.join("\n"),
+                    }));
+                }
+                continue; // blank line after a comment (or stray)
+            }
+            if line.starts_with(':') {
+                self.comments_seen += 1;
+                continue;
+            }
+            let (field, value) = match line.split_once(':') {
+                Some((f, v)) => (f, v.strip_prefix(' ').unwrap_or(v)),
+                None => (line, ""),
+            };
+            saw_field = true;
+            match field {
+                "event" => event = value.to_string(),
+                "id" => id = Some(value.to_string()),
+                "data" => data.push(value.to_string()),
+                _ => {} // unknown fields are ignored per the spec
+            }
+        }
+    }
+
+    /// Drain the stream to completion, returning every event in order.
+    pub fn collect_events(&mut self) -> Result<Vec<SseEvent>, HttpError> {
+        let mut events = Vec::new();
+        while let Some(ev) = self.next_event()? {
+            events.push(ev);
+        }
+        Ok(events)
     }
 }

@@ -1,20 +1,26 @@
 //! Minimal HTTP/1.1 message types and wire parsing.
 //!
 //! Supports what a tool-integration bus needs — GET/POST/PUT/DELETE,
-//! headers, Content-Length bodies, JSON helpers, and HTTP/1.1
-//! keep-alive (persistent connections with `Connection: close` /
-//! `keep-alive` negotiation) — and nothing more (no chunked encoding,
-//! no pipelining of unanswered requests).
+//! headers, Content-Length bodies, JSON helpers, HTTP/1.1 keep-alive
+//! (persistent connections with `Connection: close` / `keep-alive`
+//! negotiation), and **long-lived streaming responses** ([`Body::Stream`]
+//! — the transport under Server-Sent-Events) — and nothing more (no
+//! chunked encoding, no pipelining of unanswered requests).
 //!
 //! Parsing is strict where sloppiness would desynchronize a persistent
 //! connection: a malformed or duplicate `Content-Length` is a hard
 //! [`HttpError::Malformed`] (answered as 400 and closed by the server)
 //! rather than a silently assumed empty body that would make the body
 //! bytes parse as the next request's start.
+//!
+//! A streaming body has no `Content-Length`; the message is delimited by
+//! connection teardown (`Connection: close`), so a stream always ends
+//! the connection it was served on.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
+use std::time::Duration;
 
 /// Supported methods: the three the paper's integration layer uses plus
 /// DELETE for cancelling jobs.
@@ -118,16 +124,30 @@ impl Request {
     /// open after this request: an explicit `Connection` header wins,
     /// otherwise HTTP/1.1 defaults to keep-alive and older versions to
     /// close.
+    ///
+    /// The header value is a comma-separated token list (RFC 9110
+    /// §7.6.1) and is compared token-by-token: `close-notify` is *not* a
+    /// close request, and `keep-alive, upgrade` still keeps the
+    /// connection. (A substring `contains` here used to misclassify any
+    /// value that merely embedded `close` or `keep-alive`.)
     pub fn wants_keep_alive(&self) -> bool {
-        match self
-            .headers
-            .get("connection")
-            .map(|v| v.to_ascii_lowercase())
-        {
-            Some(v) if v.contains("close") => false,
-            Some(v) if v.contains("keep-alive") => true,
-            _ => self.version == "HTTP/1.1",
+        if let Some(v) = self.headers.get("connection") {
+            let mut keep = false;
+            for token in v.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    // `close` wins over any other token in the list.
+                    return false;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
+                }
+            }
+            if keep {
+                return true;
+            }
         }
+        self.version == "HTTP/1.1"
     }
 
     /// Parse the request body as JSON.
@@ -224,12 +244,81 @@ impl Request {
     }
 }
 
+/// One pull from a [`StreamSource`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamChunk {
+    /// Bytes to write and flush to the peer immediately.
+    Data(Vec<u8>),
+    /// Nothing available within the wait window — the caller may emit a
+    /// heartbeat comment and poll again.
+    Pending,
+    /// The stream finished cleanly; tear the connection down.
+    End,
+}
+
+/// A pull-based producer of streaming body chunks.
+///
+/// The *server* owns pacing: it calls [`StreamSource::next_chunk`] with
+/// a bounded wait so it can interleave heartbeats, per-write deadlines,
+/// and shutdown checks between chunks. Implementations block at most
+/// `wait` before answering (returning [`StreamChunk::Pending`] when
+/// nothing new arrived). Dropping the source is the unsubscribe signal
+/// — implementations release any broadcast registration in `Drop`.
+pub trait StreamSource: Send {
+    /// Produce the next chunk, waiting up to `wait` for one.
+    fn next_chunk(&mut self, wait: Duration) -> StreamChunk;
+}
+
+/// A streaming response body: an open-ended sequence of chunks written
+/// incrementally (flush per chunk) on a connection that closes when the
+/// stream ends.
+pub struct StreamBody {
+    /// The chunk producer. Boxed so handlers can return any source.
+    pub source: Box<dyn StreamSource>,
+}
+
+impl fmt::Debug for StreamBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StreamBody { .. }")
+    }
+}
+
+/// A response body: either fully buffered bytes (delimited by
+/// `Content-Length`) or an incremental stream (delimited by connection
+/// close).
+#[derive(Debug)]
+pub enum Body {
+    Bytes(Vec<u8>),
+    Stream(StreamBody),
+}
+
+impl Body {
+    /// The buffered bytes, or empty for a stream (whose bytes are
+    /// produced incrementally and never buffered).
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            Body::Bytes(b) => b,
+            Body::Stream(_) => &[],
+        }
+    }
+
+    pub fn is_stream(&self) -> bool {
+        matches!(self, Body::Stream(_))
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(b: Vec<u8>) -> Body {
+        Body::Bytes(b)
+    }
+}
+
 /// A response.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Response {
     pub status: u16,
     pub headers: BTreeMap<String, String>,
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Response {
@@ -237,8 +326,30 @@ impl Response {
         Response {
             status,
             headers: BTreeMap::new(),
-            body,
+            body: Body::Bytes(body),
         }
+    }
+
+    /// A `200` streaming response over `source`. The server writes the
+    /// head (no `Content-Length`, `Connection: close`, `Cache-Control:
+    /// no-cache`) and then pumps chunks with per-write deadlines until
+    /// the source ends or the peer disconnects.
+    pub fn stream(content_type: &str, source: impl StreamSource + 'static) -> Response {
+        let mut headers = BTreeMap::new();
+        headers.insert("content-type".into(), content_type.to_string());
+        headers.insert("cache-control".into(), "no-cache".into());
+        Response {
+            status: 200,
+            headers,
+            body: Body::Stream(StreamBody {
+                source: Box::new(source),
+            }),
+        }
+    }
+
+    /// The buffered body bytes (empty for streaming responses).
+    pub fn body_bytes(&self) -> &[u8] {
+        self.body.bytes()
     }
 
     /// 200 with a JSON body. A value that fails to serialise becomes a
@@ -283,7 +394,7 @@ impl Response {
 
     /// Parse the response body as JSON.
     pub fn json_body<T: serde::de::DeserializeOwned>(&self) -> Result<T, HttpError> {
-        serde_json::from_slice(&self.body)
+        serde_json::from_slice(self.body.bytes())
             .map_err(|e| HttpError::Malformed(format!("JSON body: {e}")))
     }
 
@@ -316,34 +427,111 @@ impl Response {
         Ok(Response {
             status,
             headers,
-            body,
+            body: Body::Bytes(body),
         })
     }
 
     /// Serialise onto a stream (server side), closing after the
     /// exchange.
-    pub fn write_to(&self, w: impl Write) -> Result<(), HttpError> {
+    pub fn write_to(&mut self, w: impl Write) -> Result<(), HttpError> {
         self.write_to_conn(w, false)
     }
 
     /// Serialise onto a stream (server side), advertising whether the
     /// server will keep the connection open.
-    pub fn write_to_conn(&self, mut w: impl Write, keep_alive: bool) -> Result<(), HttpError> {
+    ///
+    /// A streaming body ignores `keep_alive` (the message is delimited
+    /// by connection close) and is drained to completion inline —
+    /// useful for in-memory tests. The live server instead writes the
+    /// head with [`Response::write_stream_head`] and pumps chunks
+    /// itself so it can interleave heartbeats and per-write deadlines.
+    pub fn write_to_conn(&mut self, mut w: impl Write, keep_alive: bool) -> Result<(), HttpError> {
+        if self.body.is_stream() {
+            self.write_stream_head(&mut w)?;
+        } else {
+            write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+            write!(w, "content-length: {}\r\n", self.body.bytes().len())?;
+            write!(
+                w,
+                "connection: {}\r\n",
+                if keep_alive { "keep-alive" } else { "close" }
+            )?;
+            for (k, v) in &self.headers {
+                write!(w, "{k}: {v}\r\n")?;
+            }
+            write!(w, "\r\n")?;
+        }
+        match &mut self.body {
+            Body::Bytes(body) => {
+                w.write_all(body)?;
+                w.flush()?;
+            }
+            Body::Stream(stream) => loop {
+                match stream.source.next_chunk(Duration::from_millis(50)) {
+                    StreamChunk::Data(bytes) => {
+                        w.write_all(&bytes)?;
+                        w.flush()?;
+                    }
+                    StreamChunk::Pending => continue,
+                    StreamChunk::End => break,
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// Write just the head of a streaming response: status line, the
+    /// response headers, `Connection: close`, and **no**
+    /// `Content-Length` — the body that follows is delimited by
+    /// connection teardown.
+    pub fn write_stream_head(&self, mut w: impl Write) -> Result<(), HttpError> {
         write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
-        write!(w, "content-length: {}\r\n", self.body.len())?;
-        write!(
-            w,
-            "connection: {}\r\n",
-            if keep_alive { "keep-alive" } else { "close" }
-        )?;
+        write!(w, "connection: close\r\n")?;
         for (k, v) in &self.headers {
             write!(w, "{k}: {v}\r\n")?;
         }
         write!(w, "\r\n")?;
-        w.write_all(&self.body)?;
         w.flush()?;
         Ok(())
     }
+}
+
+/// Format one Server-Sent-Events frame: `event:` / optional `id:` /
+/// one `data:` line per payload line, terminated by a blank line.
+///
+/// The caller serialises the payload once at publish time and replays
+/// the same bytes to every subscriber, which is what makes event
+/// streams bit-identical across connections.
+pub fn sse_event(event: &str, id: Option<u64>, data: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(event.len() + data.len() + 32);
+    out.extend_from_slice(b"event: ");
+    out.extend_from_slice(event.as_bytes());
+    out.push(b'\n');
+    if let Some(id) = id {
+        out.extend_from_slice(b"id: ");
+        out.extend_from_slice(id.to_string().as_bytes());
+        out.push(b'\n');
+    }
+    // SSE data may not contain raw newlines in one field line; split
+    // multi-line payloads into repeated `data:` lines (the consumer
+    // rejoins them with `\n` per the spec).
+    for line in data.split('\n') {
+        out.extend_from_slice(b"data: ");
+        out.extend_from_slice(line.as_bytes());
+        out.push(b'\n');
+    }
+    out.push(b'\n');
+    out
+}
+
+/// Format an SSE comment line (`: text`). Consumers ignore comments;
+/// servers send them as heartbeats to detect dead peers.
+pub fn sse_comment(text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(text.len() + 4);
+    out.extend_from_slice(b": ");
+    out.extend_from_slice(text.as_bytes());
+    out.extend_from_slice(b"\n\n");
+    out
 }
 
 fn reason(status: u16) -> &'static str {
@@ -468,6 +656,38 @@ pub fn urldecode(s: &str) -> String {
     String::from_utf8_lossy(&out).to_string()
 }
 
+/// Decode percent-encoding in one *path segment*.
+///
+/// Unlike [`urldecode`] this does **not** map `+` to space (`+` is a
+/// literal character in a path, the space shorthand applies only to
+/// query strings). Callers must decode per segment — after splitting
+/// on `/` — so an encoded `%2F` inside an identifier can never splice
+/// segment boundaries and change what route the path matches.
+pub fn urldecode_segment(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                if let Ok(v) = u8::from_str_radix(hex, 16) {
+                    out.push(v);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,7 +714,7 @@ mod tests {
 
     #[test]
     fn response_wire_round_trip() {
-        let resp = Response::json(&serde_json::json!({"ok": true}));
+        let mut resp = Response::json(&serde_json::json!({"ok": true}));
         let mut wire = Vec::new();
         resp.write_to(&mut wire).unwrap();
         let parsed = Response::read_from(wire.as_slice()).unwrap();
@@ -637,6 +857,83 @@ mod tests {
         assert!(Request::read_from_buffered(&mut reader, MAX_BODY)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn keep_alive_parses_token_list_not_substrings() {
+        let req = |conn: &str, version: &str| {
+            Request::read_from(format!("GET /x {version}\r\nconnection: {conn}\r\n\r\n").as_bytes())
+                .unwrap()
+        };
+        // Regression: `contains("close")` used to treat these as close.
+        assert!(req("close-notify", "HTTP/1.1").wants_keep_alive());
+        assert!(req("not-close", "HTTP/1.1").wants_keep_alive());
+        // Regression: `contains("keep-alive")` used to keep these open.
+        assert!(!req("keep-alive-hint", "HTTP/1.0").wants_keep_alive());
+        // Real token lists.
+        assert!(req("keep-alive, upgrade", "HTTP/1.0").wants_keep_alive());
+        assert!(!req("upgrade, close", "HTTP/1.1").wants_keep_alive());
+        // `close` beats `keep-alive` when both appear.
+        assert!(!req("keep-alive, close", "HTTP/1.1").wants_keep_alive());
+        assert!(!req(" Close ", "HTTP/1.1").wants_keep_alive());
+    }
+
+    #[test]
+    fn path_segment_decoding() {
+        assert_eq!(urldecode_segment("my%20session"), "my session");
+        // `+` is literal in a path, unlike in a query string.
+        assert_eq!(urldecode_segment("a+b"), "a+b");
+        assert_eq!(urldecode_segment("a%2Fb"), "a/b");
+        assert_eq!(urldecode_segment("%zz"), "%zz");
+        assert_eq!(urldecode_segment("plain"), "plain");
+    }
+
+    #[test]
+    fn sse_frame_format() {
+        let frame = sse_event("progress", Some(3), "{\"n\":1}");
+        assert_eq!(
+            String::from_utf8(frame).unwrap(),
+            "event: progress\nid: 3\ndata: {\"n\":1}\n\n"
+        );
+        let frame = sse_event("plan", None, "line1\nline2");
+        assert_eq!(
+            String::from_utf8(frame).unwrap(),
+            "event: plan\ndata: line1\ndata: line2\n\n"
+        );
+        assert_eq!(String::from_utf8(sse_comment("hb")).unwrap(), ": hb\n\n");
+    }
+
+    struct Fixed(Vec<StreamChunk>);
+
+    impl StreamSource for Fixed {
+        fn next_chunk(&mut self, _wait: Duration) -> StreamChunk {
+            if self.0.is_empty() {
+                StreamChunk::End
+            } else {
+                self.0.remove(0)
+            }
+        }
+    }
+
+    #[test]
+    fn stream_response_writes_head_then_chunks_no_content_length() {
+        let source = Fixed(vec![
+            StreamChunk::Data(b"event: a\n\n".to_vec()),
+            StreamChunk::Pending,
+            StreamChunk::Data(b"event: b\n\n".to_vec()),
+        ]);
+        let mut resp = Response::stream("text/event-stream", source);
+        assert!(resp.body.is_stream());
+        assert!(resp.body_bytes().is_empty());
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.contains("content-type: text/event-stream\r\n"));
+        assert!(text.contains("cache-control: no-cache\r\n"));
+        assert!(!text.contains("content-length"));
+        assert!(text.ends_with("\r\n\r\nevent: a\n\nevent: b\n\n"));
     }
 
     #[test]

@@ -16,13 +16,22 @@
 //! The adapter that exposes detectors/repairers as endpoints lives in the
 //! `datalens` core crate (`datalens::service`), keeping this crate free of
 //! domain dependencies.
+//!
+//! Long-lived responses are first-class: a handler may return
+//! [`Response::stream`] over any [`http::StreamSource`], and the server
+//! pumps it on a dedicated thread (outside the worker pool, capped by
+//! [`ServerConfig::max_streams`]) with heartbeats and per-write
+//! deadlines — the transport under the Server-Sent-Events endpoints.
+//! [`Client::sse`] is the matching consumer.
 
 pub mod client;
 pub mod http;
 pub mod server;
 
-pub use client::{Client, Connection};
-pub use http::{Method, Request, Response};
+pub use client::{Client, Connection, SseEvent, SseStream};
+pub use http::{
+    sse_comment, sse_event, Body, Method, Request, Response, StreamChunk, StreamSource,
+};
 pub use server::{metrics_router, PathParams, Router, Server, ServerConfig};
 
 #[cfg(test)]
@@ -48,12 +57,12 @@ mod proptests {
             status in 200u16..600,
             body in proptest::collection::vec(any::<u8>(), 0..2048),
         ) {
-            let resp = Response::new(status, body.clone());
+            let mut resp = Response::new(status, body.clone());
             let mut wire = Vec::new();
             resp.write_to(&mut wire).unwrap();
             let parsed = Response::read_from(wire.as_slice()).unwrap();
             prop_assert_eq!(parsed.status, status);
-            prop_assert_eq!(parsed.body, body);
+            prop_assert_eq!(parsed.body_bytes(), body.as_slice());
         }
 
         /// URL coding is a lossless round trip for arbitrary strings.

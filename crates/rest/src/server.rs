@@ -27,18 +27,21 @@
 //! expose them at `GET /metrics`.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use datalens_obs::{labeled, Registry};
+use datalens_obs::{labeled, Counter, Gauge, Registry};
 
-use crate::http::{HttpError, Method, Request, Response, MAX_BODY};
+use crate::http::{
+    sse_comment, urldecode_segment, Body, HttpError, Method, Request, Response, StreamChunk,
+    StreamSource, MAX_BODY,
+};
 
 /// Path parameters captured by `{param}` route segments.
 pub type PathParams = BTreeMap<String, String>;
@@ -156,7 +159,18 @@ impl Router {
     /// [`Router::dispatch`] that also reports which route pattern
     /// handled the request (`None` for 404/405), for per-route metrics.
     pub fn dispatch_traced(&self, req: &Request) -> (Response, Option<String>) {
-        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        // Percent-decode each path segment *before* matching, so
+        // `POST /sessions/my%20session/jobs` matches `{id}` with the
+        // decoded id (`split_query` leaves the path verbatim). Decoding
+        // per segment — after splitting — means an encoded `%2F` stays
+        // inside its segment and cannot change the route arity.
+        let decoded: Vec<String> = req
+            .path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(urldecode_segment)
+            .collect();
+        let segments: Vec<&str> = decoded.iter().map(String::as_str).collect();
         let mut path_matched = false;
         // Most-specific match wins: a literal route is never shadowed by
         // a `{param}` route registered (or merged in) before it.
@@ -199,8 +213,25 @@ pub struct ServerConfig {
     /// Read timeout while parsing a request (a stalled client cannot pin
     /// a pool worker forever).
     pub read_timeout: Option<Duration>,
-    /// Write timeout on accepted connections.
+    /// Deadline for each *write* of a buffered response, armed
+    /// immediately before the response is serialised — not a blanket
+    /// socket option set at accept time, which would also kill
+    /// legitimately long-lived streaming responses. Streams use
+    /// [`ServerConfig::stream_write_timeout`] instead.
     pub write_timeout: Option<Duration>,
+    /// Maximum concurrently open streaming responses (the SSE lane).
+    /// A stream request beyond the cap is answered `429` so streams can
+    /// never exhaust connection capacity for request/response traffic.
+    pub max_streams: usize,
+    /// Interval between `:` heartbeat comments on an idle stream. The
+    /// heartbeat doubles as disconnect detection: writing to a closed
+    /// peer fails, which reaps the stream and frees its lane slot.
+    pub heartbeat_interval: Option<Duration>,
+    /// Per-chunk write deadline on streaming responses: a consumer that
+    /// stops reading long enough to stall one chunk write (slow-loris)
+    /// is reaped, while any number of timely chunks may span an
+    /// arbitrarily long wall-clock window.
+    pub stream_write_timeout: Option<Duration>,
     /// Largest accepted request body; bigger declared `Content-Length`s
     /// are rejected with 413 before any buffering.
     pub max_body: usize,
@@ -224,6 +255,9 @@ impl Default for ServerConfig {
         ServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            max_streams: 32,
+            heartbeat_interval: Some(Duration::from_secs(10)),
+            stream_write_timeout: Some(Duration::from_secs(10)),
             max_body: MAX_BODY,
             workers: 8,
             accept_backlog: 32,
@@ -302,11 +336,186 @@ impl ConnQueue {
     }
 }
 
+/// The streaming lane: accounting and lifecycle for long-lived
+/// streaming responses, kept separate from the request/response worker
+/// pool so open streams can never starve normal traffic.
+///
+/// A pool worker that dispatches a [`Body::Stream`] response *hands the
+/// connection off* to a dedicated pump thread and immediately returns
+/// to serving queued connections; the lane caps how many pump threads
+/// may exist at once ([`ServerConfig::max_streams`]) and answers `429`
+/// beyond the cap.
+struct StreamLane {
+    active: AtomicUsize,
+    max: usize,
+    stop: AtomicBool,
+    /// Pump threads, joined at shutdown. Finished handles are swept on
+    /// each spawn so the list stays proportional to open streams.
+    pumps: Mutex<Vec<JoinHandle<()>>>,
+    /// (`sse_streams_active`, `sse_events_sent_total`,
+    /// `sse_disconnects_total`) — registered eagerly so the dashboard
+    /// renders them as 0 before the first stream opens.
+    metrics: Option<(Arc<Gauge>, Arc<Counter>, Arc<Counter>)>,
+}
+
+impl StreamLane {
+    fn new(max: usize, registry: Option<&Registry>) -> StreamLane {
+        StreamLane {
+            active: AtomicUsize::new(0),
+            max: max.max(1),
+            stop: AtomicBool::new(false),
+            pumps: Mutex::new(Vec::with_capacity(max.max(1))),
+            metrics: registry.map(|m| {
+                (
+                    m.gauge("sse_streams_active"),
+                    m.counter("sse_events_sent_total"),
+                    m.counter("sse_disconnects_total"),
+                )
+            }),
+        }
+    }
+
+    /// Claim a stream slot; `false` when the lane is full (→ 429).
+    fn try_acquire(&self) -> bool {
+        let mut current = self.active.load(Ordering::SeqCst);
+        loop {
+            if current >= self.max {
+                return false;
+            }
+            match self.active.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    if let Some((gauge, _, _)) = &self.metrics {
+                        gauge.add(1);
+                    }
+                    return true;
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Release a slot claimed by [`StreamLane::try_acquire`].
+    fn release(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        if let Some((gauge, _, _)) = &self.metrics {
+            gauge.sub(1);
+        }
+    }
+
+    /// Hand a connection whose stream head is already written to a pump
+    /// thread. Consumes the acquired slot (released when the pump
+    /// ends, or immediately if the spawn fails).
+    fn spawn_pump(
+        self: &Arc<Self>,
+        stream: TcpStream,
+        source: Box<dyn StreamSource>,
+        config: &ServerConfig,
+    ) {
+        let lane = Arc::clone(self);
+        let heartbeat = config.heartbeat_interval;
+        let write_timeout = config.stream_write_timeout;
+        let spawned = std::thread::Builder::new()
+            .name("datalens-http-stream".into())
+            .spawn(move || pump_stream(&lane, stream, source, heartbeat, write_timeout));
+        match spawned {
+            Ok(handle) => {
+                let mut pumps = self.pumps.lock();
+                pumps.retain(|h| !h.is_finished());
+                pumps.push(handle);
+            }
+            Err(_) => {
+                // Could not spawn: the dropped closure closes the
+                // connection and unsubscribes the source; give the
+                // slot back here.
+                self.release();
+            }
+        }
+    }
+
+    /// Stop all pump loops and join their threads.
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.pumps.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Drive one streaming response to completion: pull chunks from
+/// `source`, write each with its own deadline, heartbeat while idle,
+/// and tear the connection down when the source ends, the peer
+/// disconnects, or the server stops.
+///
+/// Dropping `source` on every exit path is what unsubscribes the
+/// stream from its broadcast (sources release registrations in
+/// `Drop`), so a mid-stream client disconnect frees both the lane slot
+/// and the producer-side subscription.
+fn pump_stream(
+    lane: &StreamLane,
+    stream: TcpStream,
+    mut source: Box<dyn StreamSource>,
+    heartbeat: Option<Duration>,
+    write_timeout: Option<Duration>,
+) {
+    const POLL: Duration = Duration::from_millis(50);
+    let mut last_write = Instant::now();
+    loop {
+        if lane.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match source.next_chunk(POLL) {
+            StreamChunk::Data(bytes) => {
+                let _ = stream.set_write_timeout(write_timeout);
+                let mut w = &stream;
+                if w.write_all(&bytes).and_then(|()| w.flush()).is_err() {
+                    if let Some((_, _, disconnects)) = &lane.metrics {
+                        disconnects.inc();
+                    }
+                    break;
+                }
+                if let Some((_, sent, _)) = &lane.metrics {
+                    sent.inc();
+                }
+                last_write = Instant::now();
+            }
+            StreamChunk::Pending => {
+                let Some(interval) = heartbeat else { continue };
+                if last_write.elapsed() < interval {
+                    continue;
+                }
+                let _ = stream.set_write_timeout(write_timeout);
+                let mut w = &stream;
+                if w.write_all(&sse_comment("hb"))
+                    .and_then(|()| w.flush())
+                    .is_err()
+                {
+                    if let Some((_, _, disconnects)) = &lane.metrics {
+                        disconnects.inc();
+                    }
+                    break;
+                }
+                last_write = Instant::now();
+            }
+            StreamChunk::End => break,
+        }
+    }
+    drop(source); // unsubscribe before the slot is released
+    lane.release();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
 /// A running server; dropping it (or calling [`Server::shutdown`]) stops
 /// the accept loop and the worker pool.
 pub struct Server {
     addr: SocketAddr,
     queue: Arc<ConnQueue>,
+    lane: Arc<StreamLane>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -329,18 +538,29 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let queue = Arc::new(ConnQueue::new(config.accept_backlog));
+        let lane = Arc::new(StreamLane::new(
+            config.max_streams,
+            config.metrics.as_deref(),
+        ));
         let router = Arc::new(router);
 
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
             let worker_queue = Arc::clone(&queue);
+            let worker_lane = Arc::clone(&lane);
             let router = Arc::clone(&router);
             let config = config.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("datalens-http-{i}"))
                 .spawn(move || {
                     while let Some(stream) = worker_queue.pop() {
-                        serve_connection(stream, &router, &config, &worker_queue.stop);
+                        serve_connection(
+                            stream,
+                            &router,
+                            &config,
+                            &worker_lane,
+                            &worker_queue.stop,
+                        );
                     }
                 });
             match spawned {
@@ -391,6 +611,7 @@ impl Server {
         Ok(Server {
             addr,
             queue,
+            lane,
             accept_thread: Some(accept_thread),
             workers,
         })
@@ -417,6 +638,8 @@ impl Server {
         for t in self.workers.drain(..) {
             let _ = t.join();
         }
+        // Stop stream pumps last: they run outside the worker pool.
+        self.lane.shutdown();
     }
 }
 
@@ -434,9 +657,14 @@ impl Drop for Server {
 /// TCP_NODELAY is set once up front: a keep-alive exchange is a
 /// ping-pong of small writes, and Nagle batching against the peer's
 /// delayed ACKs would add ~40 ms to every round trip.
-fn serve_connection(stream: TcpStream, router: &Router, config: &ServerConfig, stop: &AtomicBool) {
+fn serve_connection(
+    stream: TcpStream,
+    router: &Router,
+    config: &ServerConfig,
+    lane: &Arc<StreamLane>,
+    stop: &AtomicBool,
+) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(config.write_timeout);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -459,22 +687,59 @@ fn serve_connection(stream: TcpStream, router: &Router, config: &ServerConfig, s
         };
         let _ = stream.set_read_timeout(timeout);
         let started = Instant::now();
-        let (response, keep_alive) = match Request::read_from_buffered(&mut reader, config.max_body)
-        {
-            Ok(None) => break, // clean close between requests
-            Ok(Some(req)) => {
-                served += 1;
-                let keep = req.wants_keep_alive()
-                    && served < config.max_requests_per_conn
-                    && !stop.load(Ordering::SeqCst);
-                let (resp, route) = router.dispatch_traced(&req);
-                record_request(config, &req, route.as_deref(), &resp, started);
-                (resp, keep)
+        let (mut response, keep_alive) =
+            match Request::read_from_buffered(&mut reader, config.max_body) {
+                Ok(None) => break, // clean close between requests
+                Ok(Some(req)) => {
+                    served += 1;
+                    let keep = req.wants_keep_alive()
+                        && served < config.max_requests_per_conn
+                        && !stop.load(Ordering::SeqCst);
+                    let (resp, route) = router.dispatch_traced(&req);
+                    record_request(config, &req, route.as_deref(), &resp, started);
+                    (resp, keep)
+                }
+                Err(HttpError::BodyTooLarge(_)) => (Response::error(413, "body too large"), false),
+                Err(HttpError::Malformed(m)) => (Response::error(400, &m), false),
+                Err(HttpError::Io(_)) => break, // timeout / reset mid-read
+            };
+        if response.body.is_stream() {
+            if lane.try_acquire() {
+                // Hand the connection off to a pump thread and return
+                // this worker to the pool: a long-lived stream must
+                // never occupy a request/response worker slot. The
+                // connection gauge drops here — `sse_streams_active`
+                // accounts for it from now on.
+                if let Some(g) = &active {
+                    g.sub(1);
+                }
+                let _ = stream.set_write_timeout(config.stream_write_timeout);
+                if response.write_stream_head(&stream).is_err() {
+                    lane.release();
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return;
+                }
+                match response.body {
+                    Body::Stream(stream_body) => {
+                        lane.spawn_pump(stream, stream_body.source, config);
+                    }
+                    // Unreachable (is_stream() held above); close out
+                    // rather than panicking an HTTP worker.
+                    Body::Bytes(_) => {
+                        lane.release();
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                    }
+                }
+                return;
             }
-            Err(HttpError::BodyTooLarge(_)) => (Response::error(413, "body too large"), false),
-            Err(HttpError::Malformed(m)) => (Response::error(400, &m), false),
-            Err(HttpError::Io(_)) => break, // timeout / reset mid-read
-        };
+            // Lane full: fail *this request* but keep the connection
+            // usable — normal traffic must not be collateral damage.
+            response = Response::error(429, "too many concurrent streams");
+        }
+        // Per-write deadline, scoped to this response. (A blanket
+        // accept-time timeout would also cover stream chunks written
+        // long after accept; streams arm their own deadline per chunk.)
+        let _ = stream.set_write_timeout(config.write_timeout);
         if response.write_to_conn(&stream, keep_alive).is_err() || !keep_alive {
             break;
         }
@@ -571,7 +836,7 @@ mod tests {
         assert_eq!(v["pong"], true);
 
         let r = client.post("/echo", b"hello".to_vec()).unwrap();
-        assert_eq!(r.body, b"hello");
+        assert_eq!(r.body_bytes(), b"hello");
     }
 
     #[test]
@@ -651,6 +916,24 @@ mod tests {
     }
 
     #[test]
+    fn path_segments_are_percent_decoded_before_matching() {
+        // Regression: `/sessions/my%20session/jobs` used to reach the
+        // handler with the literal encoded id.
+        let server = Server::start(demo_router()).unwrap();
+        let client = Client::new(server.addr());
+        let v: serde_json::Value = client.get("/jobs/my%20job").unwrap().json_body().unwrap();
+        assert_eq!(v["job"], "my job");
+        // An encoded slash stays inside its segment: still arity 2, one
+        // param containing a literal `/` — it cannot splice into the
+        // three-segment `/jobs/{id}/result` route.
+        let v: serde_json::Value = client.get("/jobs/a%2Fb").unwrap().json_body().unwrap();
+        assert_eq!(v["job"], "a/b");
+        // Literal segments match their decoded form too.
+        let v: serde_json::Value = client.get("/%6Aobs/7").unwrap().json_body().unwrap();
+        assert_eq!(v["job"], "7");
+    }
+
+    #[test]
     fn handler_panic_becomes_500() {
         let server = Server::start(demo_router()).unwrap();
         let client = Client::new(server.addr());
@@ -677,7 +960,7 @@ mod tests {
                     let client = Client::new(addr);
                     let body = format!("msg-{i}").into_bytes();
                     let r = client.post("/echo", body.clone()).unwrap();
-                    assert_eq!(r.body, body);
+                    assert_eq!(r.body_bytes(), body);
                 })
             })
             .collect();
@@ -733,7 +1016,7 @@ mod tests {
             let body = format!("round-{i}").into_bytes();
             let r = conn.post("/echo", body.clone()).unwrap();
             assert_eq!(r.status, 200);
-            assert_eq!(r.body, body);
+            assert_eq!(r.body_bytes(), body);
             assert_eq!(
                 r.headers.get("connection").map(String::as_str),
                 Some("keep-alive")
@@ -881,7 +1164,7 @@ mod tests {
 
         // Prometheus rendering of the same registry.
         let r = client.get("/metrics?format=prometheus").unwrap();
-        let text = String::from_utf8(r.body).unwrap();
+        let text = String::from_utf8(r.body_bytes().to_vec()).unwrap();
         assert!(text.contains("# TYPE http_requests_total counter"));
         assert!(text.contains("http_request_ms_bucket{route=\"/ping\",le=\"+Inf\"}"));
     }

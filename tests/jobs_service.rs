@@ -312,7 +312,7 @@ fn full_queue_rejects_submissions_with_429() {
         resp.status,
         429,
         "backpressure: {}",
-        String::from_utf8_lossy(&resp.body)
+        String::from_utf8_lossy(resp.body_bytes())
     );
 
     // Cancelling the running job frees the worker and the queued job

@@ -14,7 +14,8 @@ use datalens::jobs::rest::{job_service_router, CreateSessionRequest, CreateSessi
 use datalens::jobs::{JobService, JobServiceConfig, JobSpec, JobStep};
 use datalens_obs::Registry;
 use datalens_rest::{
-    metrics_router, Client, Method, Request, Response, Router, Server, ServerConfig,
+    metrics_router, Client, Method, Request, Response, Router, Server, ServerConfig, StreamChunk,
+    StreamSource,
 };
 
 /// A job service with `workers` pipeline workers, shared metrics
@@ -303,7 +304,7 @@ fn metrics_endpoint_reflects_job_traffic_in_both_formats() {
         resp.headers.get("content-type").map(String::as_str),
         Some("text/plain; version=0.0.4")
     );
-    let text = String::from_utf8(resp.body).unwrap();
+    let text = String::from_utf8(resp.body_bytes().to_vec()).unwrap();
     assert!(text.contains("# TYPE http_requests_total counter"));
     assert!(text.contains("http_request_ms_bucket"));
     assert!(text.contains("jobs_queue_depth 0"));
@@ -317,6 +318,290 @@ fn metrics_endpoint_reflects_job_traffic_in_both_formats() {
             .unwrap()
             >= 2
     );
+}
+
+/// Poll a gauge until it reaches `want` (streams are reaped
+/// asynchronously by their pump threads, so teardown is eventually
+/// consistent).
+fn wait_for_gauge(registry: &Registry, name: &str, want: i64) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while registry.gauge(name).get() != want {
+        assert!(
+            Instant::now() < deadline,
+            "{name} never reached {want} (at {})",
+            registry.gauge(name).get()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The tentpole contract: one GET streams the job's whole lifecycle —
+/// `plan`, per-stage `progress`, then the terminal `result` — and a
+/// late subscriber replaying the log sees byte-identical payloads.
+#[test]
+fn sse_job_stream_replays_plan_progress_result_bit_identically() {
+    let (_service, registry, server) = start_service(2, ServerConfig::default());
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(60));
+    let session = open_session(&client);
+
+    let spec = serde_json::to_vec(&JobSpec::profile()).unwrap();
+    let resp = client
+        .post(&format!("/sessions/{session}/jobs"), spec)
+        .unwrap();
+    assert_eq!(resp.status, 202);
+    let submitted: serde_json::Value = resp.json_body().unwrap();
+    let job_id = submitted["jobId"].as_u64().unwrap();
+
+    // Live subscriber: attached (possibly) before the job finishes.
+    let mut live = client.sse(&format!("/jobs/{job_id}/events")).unwrap();
+    assert_eq!(live.status, 200);
+    assert!(live.is_streaming());
+    assert_eq!(
+        live.headers.get("content-type").map(String::as_str),
+        Some("text/event-stream")
+    );
+    let live_events = live.collect_events().unwrap();
+
+    // Replay subscriber: attached after the job is terminal.
+    let mut replay = client.sse(&format!("/jobs/{job_id}/events")).unwrap();
+    let replay_events = replay.collect_events().unwrap();
+
+    assert_eq!(live_events, replay_events, "replay must be bit-identical");
+    assert_eq!(live_events.first().map(|e| e.event.as_str()), Some("plan"));
+    assert!(live_events.iter().any(|e| e.event == "progress"));
+    assert_eq!(live_events.last().map(|e| e.event.as_str()), Some("result"));
+    // Event ids carry the monotonic per-job sequence.
+    assert_eq!(live_events[0].id.as_deref(), Some("0"));
+    assert!(live_events[0].data.contains("\"stepsTotal\""));
+
+    // Unknown job: a plain buffered 404, not a stream.
+    let miss = client.sse("/jobs/9999/events").unwrap();
+    assert_eq!(miss.status, 404);
+    assert!(!miss.is_streaming());
+
+    wait_for_gauge(&registry, "sse_streams_active", 0);
+    assert!(registry.counter("sse_events_sent_total").get() >= 2 * 3);
+}
+
+/// The starvation pin from the issue: holding `max_streams` SSE
+/// connections open must leave session creation, job submission, and
+/// status polling fully functional, and the stream after the cap is
+/// answered `429` instead of queueing behind the lane.
+#[test]
+fn held_streams_do_not_starve_request_response_traffic() {
+    const MAX_STREAMS: usize = 4;
+    let (service, registry, server) = start_service(
+        2,
+        ServerConfig {
+            workers: 2,
+            max_streams: MAX_STREAMS,
+            heartbeat_interval: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    );
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(60));
+
+    // Saturate the stream lane with never-ending alert feeds.
+    let held: Vec<_> = (0..MAX_STREAMS)
+        .map(|_| {
+            let s = client.sse("/alerts/events").unwrap();
+            assert_eq!(s.status, 200);
+            assert!(s.is_streaming());
+            s
+        })
+        .collect();
+    assert_eq!(
+        registry.gauge("sse_streams_active").get(),
+        MAX_STREAMS as i64
+    );
+    assert_eq!(service.alert_subscribers(), MAX_STREAMS);
+
+    // One more stream overflows the lane: 429, not a hang.
+    let overflow = client.sse("/alerts/events").unwrap();
+    assert_eq!(overflow.status, 429);
+    assert!(!overflow.is_streaming());
+
+    // Request/response traffic still flows through the worker pool.
+    let session = open_session(&client);
+    let spec = serde_json::to_vec(&JobSpec::detect(&["mv_detector"])).unwrap();
+    let resp = client
+        .post(&format!("/sessions/{session}/jobs"), spec)
+        .unwrap();
+    assert_eq!(resp.status, 202);
+    let submitted: serde_json::Value = resp.json_body().unwrap();
+    let job_id = submitted["jobId"].as_u64().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status: serde_json::Value = client
+            .get(&format!("/jobs/{job_id}"))
+            .unwrap()
+            .json_body()
+            .unwrap();
+        if status["state"] == "Done" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "poll starved by held streams");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Dropping the clients reaps the streams (heartbeat writes fail),
+    // freeing lane slots and unsubscribing from the bus.
+    drop(held);
+    wait_for_gauge(&registry, "sse_streams_active", 0);
+    assert!(registry.counter("sse_disconnects_total").get() >= MAX_STREAMS as u64);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.alert_subscribers() != 0 {
+        assert!(Instant::now() < deadline, "subscriptions never released");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A client that vanishes mid-stream must not leak its lane slot or its
+/// bus subscription: the next heartbeat write fails and the pump tears
+/// the stream down.
+#[test]
+fn mid_stream_disconnect_frees_slot_and_unsubscribes() {
+    let (service, registry, server) = start_service(
+        1,
+        ServerConfig {
+            heartbeat_interval: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        },
+    );
+    let client = Client::new(server.addr());
+
+    let stream = client.sse("/alerts/events").unwrap();
+    assert!(stream.is_streaming());
+    assert_eq!(registry.gauge("sse_streams_active").get(), 1);
+    assert_eq!(service.alert_subscribers(), 1);
+
+    drop(stream); // mid-stream disconnect
+    wait_for_gauge(&registry, "sse_streams_active", 0);
+    assert!(registry.counter("sse_disconnects_total").get() >= 1);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.alert_subscribers() != 0 {
+        assert!(Instant::now() < deadline, "subscription never released");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Cancelling a running job mid-stream delivers the terminal
+/// `cancelled` event to the subscriber and then ends the stream.
+#[test]
+fn cancel_mid_stream_emits_cancelled_terminal_event() {
+    let (_service, _registry, server) = start_service(1, ServerConfig::default());
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(60));
+    let session = open_session(&client);
+
+    // Many short sleeps: cancellation is cooperative between steps.
+    let steps = vec![JobStep::Sleep { ms: 50 }; 100];
+    let spec = serde_json::to_vec(&JobSpec::new(steps)).unwrap();
+    let resp = client
+        .post(&format!("/sessions/{session}/jobs"), spec)
+        .unwrap();
+    assert_eq!(resp.status, 202);
+    let submitted: serde_json::Value = resp.json_body().unwrap();
+    let job_id = submitted["jobId"].as_u64().unwrap();
+
+    let mut stream = client.sse(&format!("/jobs/{job_id}/events")).unwrap();
+    assert!(stream.is_streaming());
+    let first = stream.next_event().unwrap().expect("plan event");
+    assert_eq!(first.event, "plan");
+
+    assert_eq!(
+        client.delete(&format!("/jobs/{job_id}")).unwrap().status,
+        200
+    );
+
+    let mut last = first;
+    while let Some(ev) = stream.next_event().unwrap() {
+        last = ev;
+    }
+    assert_eq!(last.event, "cancelled", "terminal event: {last:?}");
+    assert!(last.data.contains("\"state\":\"cancelled\""), "{last:?}");
+}
+
+/// An SSE consumer that stops reading entirely (slow-loris on the read
+/// side) is reaped by the per-chunk write deadline once the socket
+/// buffers fill — it cannot pin a lane slot forever.
+#[test]
+fn slow_sse_consumer_is_reaped_by_write_deadline() {
+    struct Flood;
+    impl StreamSource for Flood {
+        fn next_chunk(&mut self, _wait: Duration) -> StreamChunk {
+            StreamChunk::Data(vec![b'x'; 64 * 1024])
+        }
+    }
+    let registry = Arc::new(Registry::new());
+    let router = Router::new().route(Method::Get, "/flood", |_req, _params| {
+        Response::stream("text/event-stream", Flood)
+    });
+    let server = Server::start_with(
+        router,
+        ServerConfig {
+            workers: 1,
+            stream_write_timeout: Some(Duration::from_millis(200)),
+            metrics: Some(Arc::clone(&registry)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Hand-rolled consumer that sends the request and then never reads.
+    let mut socket = TcpStream::connect(server.addr()).unwrap();
+    write!(socket, "GET /flood HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    socket.flush().unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while registry.counter("sse_disconnects_total").get() == 0 {
+        assert!(Instant::now() < deadline, "stalled consumer never reaped");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    wait_for_gauge(&registry, "sse_streams_active", 0);
+    drop(socket);
+}
+
+/// `GET /alerts/events` delivers quality alerts raised by pipeline
+/// stages while the subscriber is attached (live-feed semantics).
+#[test]
+fn alert_feed_streams_profile_alerts_live() {
+    let (_service, _registry, server) = start_service(1, ServerConfig::default());
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(60));
+
+    let mut feed = client.sse("/alerts/events").unwrap();
+    assert!(feed.is_streaming());
+
+    // Half the rows are missing in each column — well past the profile
+    // alert threshold, so profiling raises high-missing alerts.
+    let resp: CreateSessionResponse = client
+        .post_json(
+            "/sessions",
+            &CreateSessionRequest {
+                file_name: Some("gaps.csv".to_string()),
+                csv: Some("a,b\n1,x\n2,y\n,\n,\n".to_string()),
+                ..CreateSessionRequest::default()
+            },
+        )
+        .unwrap();
+    let spec = serde_json::to_vec(&JobSpec::profile()).unwrap();
+    let resp = client
+        .post(&format!("/sessions/{}/jobs", resp.session.session_id), spec)
+        .unwrap();
+    assert_eq!(resp.status, 202);
+
+    // Profiling raises several alerts (duplicate rows, high-missing
+    // columns); scan the feed for a high-missing one.
+    let mut seen = Vec::new();
+    for _ in 0..16 {
+        let alert = feed.next_event().unwrap().expect("an alert event");
+        assert_eq!(alert.event, "alert");
+        assert!(alert.data.contains("\"stage\":\"profile\""), "{alert:?}");
+        if alert.data.contains("Missing") {
+            return;
+        }
+        seen.push(alert);
+    }
+    panic!("no high-missing alert on the feed: {seen:?}");
 }
 
 /// Old one-request clients that read to EOF still work: a plain
