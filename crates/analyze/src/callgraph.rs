@@ -1,0 +1,454 @@
+//! The deterministic call graph over the [`index`](crate::index)
+//! symbol table.
+//!
+//! Resolution is best-effort and **conservative towards silence**: an
+//! edge is only recorded when the callee is unambiguous —
+//!
+//! - `free_fn(…)` and `path::free_fn(…)`: by unique bare name among
+//!   non-test free functions (same-file candidates win ties);
+//! - `Type::method(…)` (including `use`-aliased type names): by the
+//!   unique `(type, method)` pair;
+//! - `Self::method(…)` and `self.method(…)`: the enclosing impl's
+//!   type, falling back to unique-name lookup;
+//! - `recv.method(…)`: by unique method name across every impl in the
+//!   workspace — two impls of the same method name drop the edge.
+//!
+//! Ambiguity therefore produces *false negatives, never false edges*;
+//! the rules built on the graph inherit that bias, and DESIGN.md lists
+//! the classes this misses.
+
+use crate::index::Index;
+use crate::lexer::{SourceFile, TokKind};
+
+/// One resolved call site inside a function body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Call {
+    /// Callee: index into `Index::fns`.
+    pub to: usize,
+    /// Byte offset of the callee name token.
+    pub offset: usize,
+    /// 1-based line of the call site.
+    pub line: u32,
+}
+
+/// Per-function resolved call lists, parallel to `Index::fns`, each
+/// sorted by site offset.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub calls: Vec<Vec<Call>>,
+}
+
+/// Keywords and control constructs that look like `name(` but are not
+/// calls.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "move"
+            | "in"
+            | "as"
+            | "where"
+            | "unsafe"
+            | "else"
+            | "let"
+            | "mut"
+            | "ref"
+            | "fn"
+            | "impl"
+            | "dyn"
+            | "pub"
+            | "Some"
+            | "None"
+            | "Ok"
+            | "Err"
+    )
+}
+
+/// Build the graph. Deterministic: functions in index order, call
+/// sites in byte order, resolution independent of map iteration.
+pub fn build(files: &[SourceFile], idx: &Index) -> CallGraph {
+    let mut cg = CallGraph {
+        calls: vec![Vec::new(); idx.fns.len()],
+    };
+    for (fid, fdef) in idx.fns.iter().enumerate() {
+        if fdef.is_test {
+            continue;
+        }
+        let file = &files[fdef.file];
+        let toks = &file.tokens;
+        let lo = file.token_at_or_after(fdef.body.0);
+        let hi = file.token_at_or_after(fdef.body.1 + 1);
+        for j in lo..hi {
+            if toks[j].kind != TokKind::Ident
+                || toks.get(j + 1).map(|t| t.kind) != Some(TokKind::Punct(b'('))
+            {
+                continue;
+            }
+            let name = file.tok_text(&toks[j]);
+            if is_keyword(name) {
+                continue;
+            }
+            let target = resolve(
+                files,
+                idx,
+                fdef.file,
+                fdef.type_name.as_deref(),
+                toks,
+                j,
+                name,
+            );
+            if let Some(to) = target {
+                // Calls into the same fn (recursion) still count; calls
+                // into test fns never resolve (not indexed by name).
+                let (line, _) = file.line_col(toks[j].start);
+                cg.calls[fid].push(Call {
+                    to,
+                    offset: toks[j].start,
+                    line,
+                });
+            }
+        }
+        cg.calls[fid].sort_by_key(|c| c.offset);
+    }
+    cg
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    files: &[SourceFile],
+    idx: &Index,
+    file_i: usize,
+    self_type: Option<&str>,
+    toks: &[crate::lexer::Token],
+    j: usize,
+    name: &str,
+) -> Option<usize> {
+    let file = &files[file_i];
+    let prev = j.checked_sub(1).map(|p| toks[p].kind);
+    if prev == Some(TokKind::Punct(b'.')) {
+        // Method call. `self.m(…)` prefers the enclosing impl.
+        let recv_is_self = j
+            .checked_sub(2)
+            .map(|r| toks[r].kind == TokKind::Ident && file.tok_text(&toks[r]) == "self")
+            .unwrap_or(false);
+        if recv_is_self {
+            if let Some(hit) = self_type.and_then(|t| idx.unique_method(t, name)) {
+                return Some(hit);
+            }
+        }
+        return unique_method_anywhere(idx, name);
+    }
+    // Path or free call: walk the `a::b::name` segments backwards.
+    let mut segs: Vec<&str> = vec![name];
+    let mut k = j;
+    while k >= 2
+        && toks[k - 1].kind == TokKind::Punct(b':')
+        && toks[k - 2].kind == TokKind::Punct(b':')
+    {
+        if k >= 3 && toks[k - 3].kind == TokKind::Ident {
+            segs.push(file.tok_text(&toks[k - 3]));
+            k -= 3;
+        } else {
+            break; // `<T as Trait>::name(…)` — give up on the head
+        }
+    }
+    segs.reverse();
+    if segs.len() >= 2 {
+        let qualifier = segs[segs.len() - 2];
+        if qualifier == "Self" {
+            return self_type.and_then(|t| idx.unique_method(t, name));
+        }
+        let type_name = resolve_type_alias(idx, file_i, qualifier);
+        if type_name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
+        {
+            return idx.unique_method(&type_name, name);
+        }
+    }
+    // Free function: same-file definition wins, else unique name
+    // workspace-wide among free fns.
+    let candidates = idx.by_name.get(name)?;
+    let free: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&c| idx.fns[c].type_name.is_none())
+        .collect();
+    if let [one] = free
+        .iter()
+        .copied()
+        .filter(|&c| idx.fns[c].file == file_i)
+        .collect::<Vec<_>>()[..]
+    {
+        return Some(one);
+    }
+    match free[..] {
+        [one] => Some(one),
+        _ => None,
+    }
+}
+
+/// Map a possibly-`use`-aliased qualifier to the type name the index
+/// knows: the last segment of the imported path, or the qualifier
+/// itself.
+fn resolve_type_alias(idx: &Index, file_i: usize, qualifier: &str) -> String {
+    idx.files[file_i]
+        .uses
+        .get(qualifier)
+        .and_then(|full| full.rsplit("::").next())
+        .unwrap_or(qualifier)
+        .to_string()
+}
+
+/// Method names that collide with ubiquitous std-library methods
+/// (`Condvar::wait`, `str::split`, `TcpStream::shutdown`, …). A
+/// receiver-untyped `.name(…)` call with one of these names must NOT
+/// resolve by workspace-wide uniqueness: the receiver is far more
+/// likely a std type, and a wrong edge poisons every rule downstream.
+/// Typed `Type::name(…)` paths still resolve normally.
+fn collides_with_std(name: &str) -> bool {
+    matches!(
+        name,
+        // sync & threading
+        "wait" | "wait_timeout" | "wait_while" | "join" | "send" | "recv" | "recv_timeout"
+            | "try_send" | "try_recv" | "notify_one" | "notify_all" | "lock" | "try_lock"
+            | "spawn" | "load" | "store" | "swap" | "shutdown"
+            // io
+            | "write" | "write_all" | "write_fmt" | "read" | "read_line" | "read_exact"
+            | "read_to_string" | "flush"
+            // collections & strings
+            | "split" | "splitn" | "rsplit" | "trim" | "push" | "push_str" | "pop" | "insert"
+            | "remove" | "get" | "get_mut" | "take" | "replace" | "retain" | "drain" | "extend"
+            | "clear" | "contains" | "contains_key" | "starts_with" | "ends_with" | "find"
+            | "parse" | "iter" | "iter_mut" | "len" | "is_empty" | "clone" | "next" | "map"
+            | "filter" | "fold" | "collect" | "count" | "last" | "first"
+            // numerics & misc
+            | "min" | "max" | "abs" | "cmp" | "eq" | "hash" | "fmt" | "drop" | "default"
+    )
+}
+
+fn unique_method_anywhere(idx: &Index, name: &str) -> Option<usize> {
+    if collides_with_std(name) {
+        return None;
+    }
+    let candidates = idx.by_name.get(name)?;
+    let methods: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&c| idx.fns[c].type_name.is_some())
+        .collect();
+    match methods[..] {
+        [one] => Some(one),
+        _ => None,
+    }
+}
+
+/// Serialise the graph as deterministic JSON: functions sorted by
+/// qualified name, edges name-sorted by (from, to), one line per the
+/// first call site of each distinct edge. Byte-identical across runs on
+/// identical input.
+pub fn dump_json(files: &[SourceFile], idx: &Index, cg: &CallGraph) -> String {
+    use serde_json::Value;
+    let mut fn_order: Vec<usize> = (0..idx.fns.len())
+        .filter(|&i| !idx.fns[i].is_test)
+        .collect();
+    fn_order.sort_by(|&a, &b| idx.fns[a].qname.cmp(&idx.fns[b].qname));
+    let functions: Vec<Value> = fn_order
+        .iter()
+        .map(|&i| {
+            let f = &idx.fns[i];
+            Value::Obj(vec![
+                ("name".to_string(), Value::Str(f.qname.clone())),
+                ("file".to_string(), Value::Str(files[f.file].path.clone())),
+                ("line".to_string(), Value::U64(f.line as u64)),
+            ])
+        })
+        .collect();
+    let mut edges: Vec<(String, String, u32)> = Vec::new();
+    for (from, calls) in cg.calls.iter().enumerate() {
+        for c in calls {
+            edges.push((
+                idx.fns[from].qname.clone(),
+                idx.fns[c.to].qname.clone(),
+                c.line,
+            ));
+        }
+    }
+    edges.sort();
+    edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    let edges: Vec<Value> = edges
+        .into_iter()
+        .map(|(from, to, line)| {
+            Value::Obj(vec![
+                ("from".to_string(), Value::Str(from)),
+                ("to".to_string(), Value::Str(to)),
+                ("line".to_string(), Value::U64(line as u64)),
+            ])
+        })
+        .collect();
+    let doc = Value::Obj(vec![
+        ("version".to_string(), Value::U64(1)),
+        ("functions".to_string(), Value::Arr(functions)),
+        ("edges".to_string(), Value::Arr(edges)),
+    ]);
+    let mut text = serde_json::to_string_pretty(&doc).unwrap_or_default();
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index;
+
+    fn graph(sources: &[(&str, &str)]) -> (Vec<SourceFile>, Index, CallGraph) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, t)| SourceFile::parse(p, t))
+            .collect();
+        let idx = index::build(&files);
+        let cg = build(&files, &idx);
+        (files, idx, cg)
+    }
+
+    fn edge_names(idx: &Index, cg: &CallGraph) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (from, calls) in cg.calls.iter().enumerate() {
+            for c in calls {
+                out.push((idx.fns[from].qname.clone(), idx.fns[c.to].qname.clone()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn free_self_and_typed_calls_resolve() {
+        let src = "\
+struct S;
+impl S {
+    fn a(&self) { self.b(); helper(); S::c(); Self::c(); }
+    fn b(&self) {}
+    fn c() {}
+}
+fn helper() {}
+";
+        let (_, idx, cg) = graph(&[("crates/rest/src/x.rs", src)]);
+        let edges = edge_names(&idx, &cg);
+        assert_eq!(
+            edges,
+            vec![
+                ("rest::x::S::a".into(), "rest::x::S::b".into()),
+                ("rest::x::S::a".into(), "rest::x::helper".into()),
+                ("rest::x::S::a".into(), "rest::x::S::c".into()),
+                ("rest::x::S::a".into(), "rest::x::S::c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ambiguous_method_names_drop_the_edge() {
+        let src = "\
+struct A; struct B;
+impl A { fn go(&self) {} }
+impl B { fn go(&self) {} }
+fn f(x: &A) { x.go(); }
+fn g(a: &A) { A::go(a); }
+";
+        let (_, idx, cg) = graph(&[("crates/rest/src/x.rs", src)]);
+        let edges = edge_names(&idx, &cg);
+        // `x.go()` is ambiguous (A::go vs B::go) — no edge. `A::go`
+        // is typed — resolved.
+        assert_eq!(edges, vec![("rest::x::g".into(), "rest::x::A::go".into())]);
+    }
+
+    #[test]
+    fn cross_crate_unique_methods_resolve_via_alias() {
+        let a = "\
+pub struct Svc;
+impl Svc { pub fn only_here(&self) {} }
+";
+        let b = "\
+use datalens_core::jobs::Svc as JobSvc;
+fn f(s: &Svc) { s.only_here(); JobSvc::only_here(s); }
+";
+        let (_, idx, cg) = graph(&[
+            ("crates/core/src/jobs/mod.rs", a),
+            ("crates/rest/src/x.rs", b),
+        ]);
+        let edges = edge_names(&idx, &cg);
+        assert_eq!(
+            edges,
+            vec![
+                ("rest::x::f".into(), "core::jobs::Svc::only_here".into()),
+                ("rest::x::f".into(), "core::jobs::Svc::only_here".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_macros_and_test_callees_do_not_edge() {
+        let src = "\
+fn target() {}
+fn f(x: u8) {
+    if (x > 0) {}
+    println!(\"{x}\");
+    match (x) { _ => {} }
+    target();
+}
+#[cfg(test)]
+mod tests {
+    fn fake_target() { super::f(0); }
+}
+";
+        let (_, idx, cg) = graph(&[("crates/rest/src/x.rs", src)]);
+        let edges = edge_names(&idx, &cg);
+        assert_eq!(edges, vec![("rest::x::f".into(), "rest::x::target".into())]);
+    }
+
+    #[test]
+    fn std_colliding_method_names_never_resolve_untyped() {
+        // `split` exists exactly once in the workspace, but `path.split(…)`
+        // is almost certainly `str::split` — no edge. The typed path
+        // still resolves.
+        let src = "\
+struct Sampler;
+impl Sampler { fn split(&self) {} }
+fn f(path: &str, s: &Sampler) {
+    let parts = path.split('/');
+    s.wait();
+    Sampler::split(s);
+}
+";
+        let (_, idx, cg) = graph(&[("crates/rest/src/x.rs", src)]);
+        let edges = edge_names(&idx, &cg);
+        assert_eq!(
+            edges,
+            vec![("rest::x::f".into(), "rest::x::Sampler::split".into())]
+        );
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_name_sorted() {
+        let srcs = [
+            ("crates/rest/src/b.rs", "fn z() { a_fn(); }"),
+            ("crates/rest/src/a.rs", "pub fn a_fn() {}"),
+        ];
+        let (files, idx, cg) = graph(&srcs);
+        let one = dump_json(&files, &idx, &cg);
+        let (files2, idx2, cg2) = graph(&srcs);
+        let two = dump_json(&files2, &idx2, &cg2);
+        assert_eq!(one, two);
+        let fpos = one.find("\"functions\"").unwrap();
+        let a = one.find("rest::a::a_fn").unwrap();
+        let z = one.find("rest::b::z").unwrap();
+        assert!(fpos < a && a < z, "functions not name-sorted:\n{one}");
+        assert!(one.contains("\"edges\""));
+    }
+}

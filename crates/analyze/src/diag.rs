@@ -56,6 +56,9 @@ pub const MIXED_MUTEX: &str = "mixed-mutex";
 pub const RELAXED_CROSS_THREAD: &str = "relaxed-cross-thread";
 pub const BOUNDED_CHANNEL: &str = "bounded-channel-discipline";
 pub const METRIC_NAMING: &str = "metric-naming";
+pub const BLOCKING_WHILE_LOCK_HELD: &str = "blocking-while-lock-held";
+pub const PANIC_REACHABILITY: &str = "panic-reachability";
+pub const SPAWN_WITHOUT_JOIN: &str = "spawn-without-join";
 /// Meta-rule: a suppression comment without a reason is itself a
 /// finding (and the reason-less suppression is not honoured).
 pub const SUPPRESSION_REASON: &str = "suppression-requires-reason";
@@ -107,6 +110,27 @@ pub const RULES: &[RuleInfo] = &[
                   cardinality)",
     },
     RuleInfo {
+        id: BLOCKING_WHILE_LOCK_HELD,
+        severity: Severity::Error,
+        summary: "a call path from a site where a guard is live reaches a blocking operation \
+                  (sleep, Condvar::wait, channel send/recv, JoinHandle::join, socket I/O, or \
+                  acquiring another modeled lock) — serving threads stall behind that guard",
+    },
+    RuleInfo {
+        id: PANIC_REACHABILITY,
+        severity: Severity::Error,
+        summary: "a panicking construct outside the serving crates is reachable within a few \
+                  call hops from a route handler, worker loop, or stream pump — the offending \
+                  call chain is printed",
+    },
+    RuleInfo {
+        id: SPAWN_WITHOUT_JOIN,
+        severity: Severity::Error,
+        summary: "a thread is spawned on the serving path with its JoinHandle discarded (or in \
+                  a crate whose shutdown sequence never joins) — document the detach reason or \
+                  join on shutdown",
+    },
+    RuleInfo {
         id: SUPPRESSION_REASON,
         severity: Severity::Error,
         summary: "lint:allow(…) suppression without a ': reason' — reasons are mandatory",
@@ -116,6 +140,82 @@ pub const RULES: &[RuleInfo] = &[
 /// Look up a rule by id.
 pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.id == id)
+}
+
+/// Long-form explanation for `--explain <rule>`: what the rule models,
+/// why it matters on this workspace's serving path, and how to fix or
+/// (with a reviewed reason) suppress a finding.
+pub fn explain(id: &str) -> Option<&'static str> {
+    Some(match id {
+        PANIC_IN_LIB => {
+            "Panics in library code of serving-path crates (rest, obs, core::jobs, \
+             core::engine) kill a worker thread or poison a lock mid-request. The rule flags \
+             `.unwrap()`, `.expect(…)`, `panic!`/`unreachable!`/`todo!`/`unimplemented!`, and \
+             integer-literal indexing outside test code. Fix by returning a typed error, or \
+             document the invariant: `// lint:allow(panic-in-lib): <why this cannot fire>`."
+        }
+        LOCK_ORDERING => {
+            "Builds a per-crate acquisition graph from `.lock()`/`.read()`/`.write()` call \
+             sites held across later acquisitions (`let`-bound guards live to the end of the \
+             block, truncated at `drop(guard)`). Any cycle — including re-acquiring a \
+             non-reentrant lock while held — is a potential deadlock. Fix by ordering \
+             acquisitions consistently or narrowing guard scopes."
+        }
+        MIXED_MUTEX => {
+            "One module using both std::sync and parking_lot lock families invites subtle \
+             API mismatches (poisoning vs not, guard Send-ness). Unify on one family per \
+             module."
+        }
+        RELAXED_CROSS_THREAD => {
+            "`Ordering::Relaxed` on load/store/swap/compare_exchange gives no cross-thread \
+             visibility ordering; pure `fetch_add`/`fetch_sub` counters are allowlisted. Use \
+             Acquire/Release (or SeqCst) when the atomic gates other memory."
+        }
+        BOUNDED_CHANNEL => {
+            "Queues on the serving path must name a capacity: an unbounded `VecDeque::new` or \
+             `mpsc::channel` turns a slow consumer into unbounded memory growth. Use a \
+             bounded constructor or document why the producer is naturally bounded."
+        }
+        METRIC_NAMING => {
+            "Registered metric names must match ^[a-z][a-z0-9_]*(_total|_ms|_bytes)?$ with the \
+             kind-appropriate suffix, and label values must not be `format!`-built (unbounded \
+             cardinality explodes the registry)."
+        }
+        BLOCKING_WHILE_LOCK_HELD => {
+            "Interprocedural: from every site where a Mutex/RwLock guard is live, the rule \
+             follows the call graph (within the serving crates) looking for blocking \
+             operations — `thread::sleep`, `Condvar::wait` on a *different* guard, \
+             bounded-channel send/recv, `JoinHandle::join`, socket read/write/flush, or \
+             acquiring another lock that the lock-ordering graph models. A hit means every \
+             other thread needing that guard stalls behind the blocking op. Waiting on a \
+             condvar with the only live guard is exempt (that wait releases the guard). Fix \
+             by narrowing the guard scope so the blocking call runs lock-free; the printed \
+             call chain shows the path to restructure."
+        }
+        PANIC_REACHABILITY => {
+            "Interprocedural extension of panic-in-lib: panicking constructs in NON-serving \
+             crates that a serving root (route-registering function, worker loop, stream \
+             pump, or any thread-spawning function) can reach within 5 call hops through the \
+             deterministic call graph. The diagnostic prints the root-to-panic chain. Fix at \
+             the panic site (return a typed error); `lint:allow(panic-in-lib)` or \
+             `lint:allow(panic-reachability)` with a reason at the site also clears it, \
+             because a documented invariant holds transitively."
+        }
+        SPAWN_WITHOUT_JOIN => {
+            "A `spawn(…)` on the serving path whose JoinHandle is discarded (`let _ =`, or a \
+             bare statement) — or that lives in a crate whose non-test code never calls \
+             `.join()` — leaks a thread the shutdown sequence cannot wait for. Scoped \
+             spawns inside `thread::scope` are exempt (the scope joins). Fix by storing the \
+             handle and joining it on shutdown, or document the detach reason with \
+             `// lint:allow(spawn-without-join): <why detaching is safe>`."
+        }
+        SUPPRESSION_REASON => {
+            "Every `// lint:allow(<rule>)` must carry `: <reason>`. Reason-less suppressions \
+             are reported and NOT honoured — the reason is the reviewed record of why the \
+             finding is safe."
+        }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -140,9 +240,17 @@ mod tests {
 
     #[test]
     fn catalog_is_consistent() {
-        assert_eq!(RULES.len(), 7);
+        assert_eq!(RULES.len(), 10);
         assert!(rule_info(PANIC_IN_LIB).is_some());
+        assert!(rule_info(BLOCKING_WHILE_LOCK_HELD).is_some());
+        assert!(rule_info(PANIC_REACHABILITY).is_some());
+        assert!(rule_info(SPAWN_WITHOUT_JOIN).is_some());
         assert!(rule_info("no-such-rule").is_none());
+        // Every catalog rule has an --explain entry.
+        for r in RULES {
+            assert!(explain(r.id).is_some(), "no explain text for {}", r.id);
+        }
+        assert!(explain("no-such-rule").is_none());
         // Ids are unique.
         let mut ids: Vec<_> = RULES.iter().map(|r| r.id).collect();
         ids.sort_unstable();

@@ -1,0 +1,295 @@
+//! Brace-scoped guard-liveness tracking: where is a `MutexGuard` /
+//! `RwLockReadGuard` / `RwLockWriteGuard` live?
+//!
+//! An acquisition is a `.lock()` / `.read()` / `.write()` call with
+//! empty argument parens (the same shape the lock-ordering rule keys
+//! on). A `let`-bound guard lives to the end of its enclosing block,
+//! truncated at an explicit `drop(guard)`; a guard that stays a
+//! temporary inside a larger expression lives to the end of that
+//! statement. The tracker is shared by `lock-ordering` (hold-span
+//! edges) and `blocking-while-lock-held` (guard-live call sites).
+
+use crate::lexer::SourceFile;
+use crate::rules::{find_all, is_ident_byte};
+
+/// One live guard region inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardSpan {
+    /// The `let` binding name, when the guard is named.
+    pub var: Option<String>,
+    /// Last path segment of the lock receiver (`self.q.lock()` → `q`).
+    pub lock: String,
+    /// Byte offset of the acquiring `.` token.
+    pub start: usize,
+    /// Byte offset past which the guard is no longer held.
+    pub end: usize,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    pub col: u32,
+}
+
+/// All guard spans in the byte range `body` of `file`, offset-sorted.
+/// Test lines are skipped.
+pub fn guard_spans(file: &SourceFile, body: (usize, usize)) -> Vec<GuardSpan> {
+    let scrub = &file.scrubbed;
+    let b = scrub.as_bytes();
+    let mut out = Vec::new();
+    for pat in [".lock()", ".read()", ".write()"] {
+        for off in find_all(&scrub[body.0..=body.1.min(scrub.len() - 1)], pat) {
+            let off = off + body.0;
+            let (line, col) = file.line_col(off);
+            if file.is_test_line(line) {
+                continue;
+            }
+            let Some(lock) = receiver_name(b, off) else {
+                continue;
+            };
+            let (var, end) = hold_span(b, off);
+            out.push(GuardSpan {
+                var,
+                lock,
+                start: off,
+                end: end.min(body.1 + 1),
+                line,
+                col,
+            });
+        }
+    }
+    out.sort_by_key(|s| s.start);
+    out
+}
+
+/// The guards live at `offset` (strictly inside their spans, past the
+/// acquiring call itself).
+pub fn live_at(spans: &[GuardSpan], offset: usize) -> Vec<&GuardSpan> {
+    spans
+        .iter()
+        .filter(|s| offset > s.start + ".lock()".len().min(6) && offset < s.end)
+        .collect()
+}
+
+/// Walk back over `[A-Za-z0-9_:.]` from the `.` of `.lock()` and name
+/// the receiver by its last path segment. `None` for unnameable
+/// receivers (method-call chains ending in `)`).
+pub(crate) fn receiver_name(b: &[u8], dot: usize) -> Option<String> {
+    let mut start = dot;
+    while start > 0 {
+        let c = b[start - 1];
+        if is_ident_byte(c) || c == b':' || c == b'.' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    let recv = std::str::from_utf8(&b[start..dot]).ok()?;
+    let name = recv.rsplit(['.', ':']).find(|s| !s.is_empty())?;
+    if name == "self" || name.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Compute the binding name (when `let`-bound) and the byte offset
+/// where the guard acquired at `dot` stops being held.
+pub(crate) fn hold_span(b: &[u8], dot: usize) -> (Option<String>, usize) {
+    // Find the statement start: nearest `;`, `{` or `}` going back.
+    let mut stmt_start = 0;
+    let mut k = dot;
+    while k > 0 {
+        match b[k - 1] {
+            b';' | b'{' | b'}' => {
+                stmt_start = k;
+                break;
+            }
+            _ => k -= 1,
+        }
+    }
+    let head = std::str::from_utf8(&b[stmt_start..dot]).unwrap_or("");
+    let head = head.trim_start();
+    let mut guard_var = head.strip_prefix("let ").map(|rest| {
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        rest.bytes()
+            .take_while(|&c| is_ident_byte(c))
+            .map(char::from)
+            .collect::<String>()
+    });
+
+    // The binding holds the guard only when the acquisition *ends* the
+    // initializer. A chained call or enclosing expression —
+    // `sessions.read().get(…)`, `mem::take(&mut *pumps.lock())` — binds
+    // the consumed value; the guard is a temporary that dies with the
+    // statement.
+    if guard_var.is_some() {
+        let mut j = dot;
+        while j < b.len() && b[j] != b'(' {
+            j += 1;
+        }
+        let mut after = j + 2; // empty arg parens by construction
+        loop {
+            while after < b.len() && b[after].is_ascii_whitespace() {
+                after += 1;
+            }
+            // `.unwrap()` / `.expect(…)` on a std::sync lock still
+            // yields the guard into the binding — skip over them.
+            let rest = &b[after.min(b.len())..];
+            let skip = if rest.starts_with(b".unwrap(") {
+                Some(after + ".unwrap".len())
+            } else if rest.starts_with(b".expect(") {
+                Some(after + ".expect".len())
+            } else {
+                None
+            };
+            match skip {
+                Some(open) => {
+                    let mut depth = 0i32;
+                    let mut p = open;
+                    while p < b.len() {
+                        match b[p] {
+                            b'(' => depth += 1,
+                            b')' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        p += 1;
+                    }
+                    after = p + 1;
+                }
+                None => break,
+            }
+        }
+        if b.get(after) != Some(&b';') {
+            guard_var = None;
+        }
+    }
+
+    let let_bound = guard_var.is_some();
+    let mut depth = 0i32;
+    let mut i = dot;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return (guard_var, i); // enclosing block closes
+                }
+            }
+            b';' if !let_bound && depth <= 0 => return (guard_var, i),
+            b'd' => {
+                // `drop(guard)` / `mem::drop(guard)` releases early.
+                if let Some(var) = guard_var.as_deref() {
+                    if !var.is_empty()
+                        && b[i..].starts_with(b"drop(")
+                        && !is_ident_byte(b[i.saturating_sub(1)])
+                    {
+                        let arg_start = i + 5;
+                        let arg_end = arg_start + var.len();
+                        if b.get(arg_start..arg_end) == Some(var.as_bytes())
+                            && b.get(arg_end) == Some(&b')')
+                        {
+                            return (guard_var, i);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (guard_var, b.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans(src: &str) -> Vec<GuardSpan> {
+        let f = SourceFile::parse("crates/rest/src/x.rs", src);
+        guard_spans(&f, (0, src.len() - 1))
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end_and_names_its_binding() {
+        let src = "\
+fn f(&self) {
+    let mut g = self.queue.lock();
+    g.push(1);
+}
+";
+        let s = spans(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].var.as_deref(), Some("g"));
+        assert_eq!(s[0].lock, "queue");
+        let push_at = src.find("g.push").unwrap();
+        assert_eq!(live_at(&s, push_at).len(), 1);
+    }
+
+    #[test]
+    fn drop_and_statement_scope_truncate_liveness() {
+        let src = "\
+fn f(&self) {
+    let g = self.a.lock();
+    drop(g);
+    self.b.lock().push(1);
+    after();
+}
+";
+        let s = spans(src);
+        assert_eq!(s.len(), 2);
+        let after_at = src.find("after()").unwrap();
+        assert!(live_at(&s, after_at).is_empty(), "{s:#?}");
+    }
+
+    #[test]
+    fn chained_initializers_bind_the_value_not_the_guard() {
+        // The binding holds a clone, not the guard: liveness ends with
+        // the statement.
+        let src = "\
+fn f(&self) {
+    let slot = self.sessions.read().get(&id).cloned();
+    after();
+}
+fn g(&self) {
+    let handles = std::mem::take(&mut *self.pumps.lock());
+    after();
+}
+fn h(&self) {
+    let q = self.queue.lock().unwrap();
+    after();
+}
+";
+        let s = spans(src);
+        assert_eq!(s.len(), 3);
+        for (i, bound) in [(0, false), (1, false), (2, true)] {
+            assert_eq!(s[i].var.is_some(), bound, "{:#?}", s[i]);
+        }
+        let after_at = src.find("after()").unwrap();
+        assert!(live_at(&s, after_at).is_empty(), "{s:#?}");
+        // The std-sync `.unwrap()` chain DOES bind the guard.
+        let last_after = src.rfind("after()").unwrap();
+        assert_eq!(live_at(&s, last_after).len(), 1);
+    }
+
+    #[test]
+    fn inner_block_scopes_the_guard() {
+        let src = "\
+fn f(&self) {
+    {
+        let g = self.a.lock();
+        g.touch();
+    }
+    after();
+}
+";
+        let s = spans(src);
+        let after_at = src.find("after()").unwrap();
+        assert!(live_at(&s, after_at).is_empty());
+        let touch_at = src.find("g.touch").unwrap();
+        assert_eq!(live_at(&s, touch_at).len(), 1);
+    }
+}

@@ -1,0 +1,530 @@
+//! The item indexer: a workspace-wide symbol table of `fn` items built
+//! from the cached token streams.
+//!
+//! Each function gets a qualified name derived from its file's module
+//! path (`crates/core/src/jobs/mod.rs` → `core::jobs`) plus the stack
+//! of enclosing `mod` / `impl` / `trait` / `fn` scopes, so
+//! `core::jobs::JobService::submit` names the method unambiguously.
+//! `use` declarations are parsed into a per-file alias map (`Baz` →
+//! `foo::Bar` for `use foo::Bar as Baz;`) so the call-graph layer can
+//! resolve aliased `Type::method` paths.
+//!
+//! The indexer is deliberately token-level, not a real parser. Its
+//! known limits (documented in DESIGN.md): no macro expansion, no
+//! trait-object or generic dispatch, and type names are tracked by
+//! their last path segment only.
+
+use crate::lexer::{SourceFile, TokKind, Token};
+use std::collections::BTreeMap;
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Fully qualified name, e.g. `core::jobs::JobService::submit`.
+    pub qname: String,
+    /// Bare name, e.g. `submit`.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type's last path segment, if any.
+    pub type_name: Option<String>,
+    /// Index into the file list the index was built from.
+    pub file: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Byte span of the body braces in the scrubbed text, inclusive of
+    /// both `{` and `}`.
+    pub body: (usize, usize),
+    /// Inside a `#[cfg(test)]`/`#[test]` region or a tests/ file.
+    pub is_test: bool,
+}
+
+/// Per-file derived info.
+#[derive(Debug, Clone, Default)]
+pub struct FileInfo {
+    /// Module path derived from the file path, e.g. `core::jobs`.
+    pub module: String,
+    /// `use` aliases: local name → full imported path.
+    pub uses: BTreeMap<String, String>,
+}
+
+/// The workspace symbol table.
+#[derive(Debug, Default)]
+pub struct Index {
+    pub fns: Vec<FnDef>,
+    /// Parallel to the file list passed to [`build`].
+    pub files: Vec<FileInfo>,
+    /// Bare name → fn indices (resolution by unique name).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// (type last segment, method name) → fn indices.
+    pub by_type_method: BTreeMap<(String, String), Vec<usize>>,
+    /// Qualified name → fn index (first definition wins).
+    pub by_qname: BTreeMap<String, usize>,
+}
+
+impl Index {
+    /// The single fn with this bare `name`, when exactly one non-test
+    /// definition exists workspace-wide; `None` on ambiguity.
+    pub fn unique_by_name(&self, name: &str) -> Option<usize> {
+        match self.by_name.get(name).map(Vec::as_slice) {
+            Some([one]) => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// The single `Type::method` candidate, when unambiguous.
+    pub fn unique_method(&self, type_name: &str, method: &str) -> Option<usize> {
+        match self
+            .by_type_method
+            .get(&(type_name.to_string(), method.to_string()))
+            .map(Vec::as_slice)
+        {
+            Some([one]) => Some(*one),
+            _ => None,
+        }
+    }
+}
+
+/// Derive the module path from a workspace-relative file path:
+/// `crates/<dir>/src/a/b.rs` → `<dir>::a::b`, with `mod.rs`, `lib.rs`,
+/// and `main.rs` naming their parent. Root-package files map to `bin`.
+pub fn module_path(path: &str) -> String {
+    let (krate, rest) = match path.strip_prefix("crates/") {
+        Some(r) => match r.split_once('/') {
+            Some((dir, tail)) => (dir, tail.strip_prefix("src/").unwrap_or(tail)),
+            None => (r, ""),
+        },
+        None => ("bin", path.strip_prefix("src/").unwrap_or(path)),
+    };
+    let mut segs = vec![krate.to_string()];
+    for part in rest.split('/') {
+        let part = part.strip_suffix(".rs").unwrap_or(part);
+        if part.is_empty() || matches!(part, "mod" | "lib" | "main") {
+            continue;
+        }
+        segs.push(part.to_string());
+    }
+    segs.join("::")
+}
+
+/// Build the symbol table over already-parsed files. Deterministic:
+/// functions appear in (file order, byte offset) order.
+pub fn build(files: &[SourceFile]) -> Index {
+    let mut idx = Index::default();
+    for (fi, file) in files.iter().enumerate() {
+        let mut info = FileInfo {
+            module: module_path(&file.path),
+            ..FileInfo::default()
+        };
+        scan_file(file, fi, &info.module.clone(), &mut idx, &mut info);
+        idx.files.push(info);
+    }
+    for (i, f) in idx.fns.iter().enumerate() {
+        if f.is_test {
+            continue; // test fns are indexed but never resolution targets
+        }
+        idx.by_name.entry(f.name.clone()).or_default().push(i);
+        if let Some(t) = &f.type_name {
+            idx.by_type_method
+                .entry((t.clone(), f.name.clone()))
+                .or_default()
+                .push(i);
+        }
+        idx.by_qname.entry(f.qname.clone()).or_insert(i);
+    }
+    idx
+}
+
+/// One entry of the scope stack while walking a file.
+struct Scope {
+    /// Name segment this scope contributes (empty for plain blocks).
+    seg: String,
+    /// Is this an `impl`/`trait` scope (its seg is a type name)?
+    is_type: bool,
+    /// Brace depth just *after* this scope's `{` was consumed.
+    open_depth: u32,
+}
+
+fn scan_file(file: &SourceFile, fi: usize, module: &str, idx: &mut Index, info: &mut FileInfo) {
+    let toks = &file.tokens;
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct(b'{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                while scopes.last().is_some_and(|s| s.open_depth > depth) {
+                    scopes.pop();
+                }
+                i += 1;
+            }
+            TokKind::Ident => match file.tok_text(&toks[i]) {
+                "use" => i = skip_use(file, toks, i, info),
+                "mod" => {
+                    // `mod name { … }` contributes a segment; `mod name;`
+                    // is a file reference the path derivation covers.
+                    if let (Some(name), Some(open)) =
+                        (ident_at(file, toks, i + 1), body_open(toks, i + 1))
+                    {
+                        depth += 1;
+                        scopes.push(Scope {
+                            seg: name.to_string(),
+                            is_type: false,
+                            open_depth: depth,
+                        });
+                        i = open + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "impl" => {
+                    if let Some(open) = body_open(toks, i + 1) {
+                        let ty = impl_type_name(file, toks, i + 1, open);
+                        depth += 1;
+                        scopes.push(Scope {
+                            seg: ty.clone().unwrap_or_default(),
+                            is_type: ty.is_some(),
+                            open_depth: depth,
+                        });
+                        i = open + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "trait" => {
+                    if let (Some(name), Some(open)) =
+                        (ident_at(file, toks, i + 1), body_open(toks, i + 1))
+                    {
+                        depth += 1;
+                        scopes.push(Scope {
+                            seg: name.to_string(),
+                            is_type: true,
+                            open_depth: depth,
+                        });
+                        i = open + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "fn" => {
+                    let Some(name) = ident_at(file, toks, i + 1) else {
+                        i += 1; // `fn(u8) -> u8` pointer type
+                        continue;
+                    };
+                    let Some(open) = body_open(toks, i + 2) else {
+                        i += 2; // trait method declaration, extern fn
+                        continue;
+                    };
+                    let (line, _) = file.line_col(toks[i].start);
+                    let close = match_brace(toks, open);
+                    let mut qname = String::from(module);
+                    for s in scopes.iter().filter(|s| !s.seg.is_empty()) {
+                        qname.push_str("::");
+                        qname.push_str(&s.seg);
+                    }
+                    qname.push_str("::");
+                    qname.push_str(name);
+                    let type_name = scopes
+                        .iter()
+                        .rev()
+                        .find(|s| s.is_type)
+                        .map(|s| s.seg.clone());
+                    idx.fns.push(FnDef {
+                        qname,
+                        name: name.to_string(),
+                        type_name,
+                        file: fi,
+                        line,
+                        body: (toks[open].start, toks[close].start),
+                        is_test: file.is_test_line(line),
+                    });
+                    // Walk *into* the body so nested items are indexed.
+                    depth += 1;
+                    scopes.push(Scope {
+                        seg: name.to_string(),
+                        is_type: false,
+                        open_depth: depth,
+                    });
+                    i = open + 1;
+                }
+                _ => i += 1,
+            },
+            _ => i += 1,
+        }
+    }
+}
+
+fn ident_at<'a>(file: &'a SourceFile, toks: &[Token], i: usize) -> Option<&'a str> {
+    toks.get(i)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| file.tok_text(t))
+}
+
+/// From `i`, find the item's body `{` — skipping parens, brackets, and
+/// generic `<…>` (where `->` must not close an angle) — or `None` if a
+/// `;` ends the item first.
+fn body_open(toks: &[Token], i: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => paren += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') => paren -= 1,
+            TokKind::Punct(b'<') if paren == 0 => angle += 1,
+            TokKind::Punct(b'>') if paren == 0 => {
+                // `->` is not an angle closer.
+                let is_arrow = j > 0
+                    && toks[j - 1].kind == TokKind::Punct(b'-')
+                    && toks[j - 1].end == toks[j].start;
+                if !is_arrow {
+                    angle -= 1;
+                }
+            }
+            TokKind::Punct(b'{') if paren == 0 && angle <= 0 => return Some(j),
+            TokKind::Punct(b';') if paren == 0 && angle <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Token index of the `}` matching the `{` at `open` (last token on
+/// truncated input).
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// The self-type's last path segment from an `impl` header:
+/// `impl<T> Foo<T> {` → `Foo`, `impl Trait for a::b::Bar {` → `Bar`.
+fn impl_type_name(file: &SourceFile, toks: &[Token], i: usize, open: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut last_ident: Option<&str> = None;
+    let mut after_for: Option<&str> = None;
+    let mut saw_for = false;
+    for j in i..open {
+        match toks[j].kind {
+            TokKind::Punct(b'<') => angle += 1,
+            TokKind::Punct(b'>') => {
+                let is_arrow = j > 0
+                    && toks[j - 1].kind == TokKind::Punct(b'-')
+                    && toks[j - 1].end == toks[j].start;
+                if !is_arrow {
+                    angle -= 1;
+                }
+            }
+            TokKind::Ident if angle == 0 => {
+                let text = file.tok_text(&toks[j]);
+                match text {
+                    "for" => {
+                        saw_for = true;
+                        after_for = None;
+                    }
+                    "where" => break,
+                    _ => {
+                        if saw_for {
+                            after_for = Some(text); // last segment of the path
+                        } else {
+                            last_ident = Some(text);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    after_for.or(last_ident).map(str::to_string)
+}
+
+/// Parse one `use …;` into the alias map, returning the token index
+/// just past the `;`. Handles nested groups and `as` renames; globs are
+/// ignored.
+fn skip_use(file: &SourceFile, toks: &[Token], i: usize, info: &mut FileInfo) -> usize {
+    let mut j = i + 1;
+    let mut prefix: Vec<Vec<String>> = vec![Vec::new()];
+    let mut current: Vec<String> = Vec::new();
+    let mut pending_alias = false;
+    let flush = |info: &mut FileInfo, prefix: &[Vec<String>], current: &mut Vec<String>| {
+        if let Some(last) = current.last().cloned() {
+            let mut full: Vec<String> = prefix.iter().flatten().cloned().collect();
+            full.append(current);
+            if last != "*" {
+                info.uses.entry(last).or_insert_with(|| full.join("::"));
+            }
+        }
+        current.clear();
+    };
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct(b';') => {
+                flush(info, &prefix, &mut current);
+                return j + 1;
+            }
+            TokKind::Punct(b'{') => {
+                prefix.push(std::mem::take(&mut current));
+            }
+            TokKind::Punct(b'}') => {
+                flush(info, &prefix, &mut current);
+                prefix.pop();
+            }
+            TokKind::Punct(b',') => flush(info, &prefix, &mut current),
+            TokKind::Punct(b'*') => current.push("*".to_string()),
+            TokKind::Ident => {
+                let text = file.tok_text(&toks[j]);
+                if text == "as" {
+                    pending_alias = true;
+                } else if pending_alias {
+                    // `use a::b as C;` → alias C names the path so far.
+                    let full: Vec<String> = prefix
+                        .iter()
+                        .flatten()
+                        .chain(current.iter())
+                        .cloned()
+                        .collect();
+                    info.uses
+                        .entry(text.to_string())
+                        .or_insert_with(|| full.join("::"));
+                    current.clear();
+                    pending_alias = false;
+                } else {
+                    current.push(text.to_string());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(sources: &[(&str, &str)]) -> (Vec<SourceFile>, Index) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, t)| SourceFile::parse(p, t))
+            .collect();
+        let idx = build(&files);
+        (files, idx)
+    }
+
+    #[test]
+    fn module_paths_follow_the_file_tree() {
+        assert_eq!(module_path("crates/core/src/jobs/mod.rs"), "core::jobs");
+        assert_eq!(module_path("crates/rest/src/server.rs"), "rest::server");
+        assert_eq!(module_path("crates/core/src/lib.rs"), "core");
+        assert_eq!(module_path("src/main.rs"), "bin");
+    }
+
+    #[test]
+    fn items_get_qualified_names_through_impl_and_mod() {
+        let src = "\
+pub struct Svc;
+impl Svc {
+    pub fn submit(&self) { helper(); }
+}
+mod inner {
+    pub fn helper() {}
+}
+impl Iterator for Svc {
+    fn next(&mut self) -> Option<u8> { None }
+}
+fn free() {}
+";
+        let (_, idx) = index_of(&[("crates/core/src/jobs/mod.rs", src)]);
+        let qnames: Vec<&str> = idx.fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(
+            qnames,
+            vec![
+                "core::jobs::Svc::submit",
+                "core::jobs::inner::helper",
+                "core::jobs::Svc::next",
+                "core::jobs::free",
+            ]
+        );
+        assert_eq!(idx.fns[0].type_name.as_deref(), Some("Svc"));
+        assert_eq!(idx.fns[2].type_name.as_deref(), Some("Svc"));
+        assert_eq!(idx.fns[3].type_name, None);
+        assert!(idx.unique_method("Svc", "submit").is_some());
+        assert!(idx.unique_by_name("helper").is_some());
+    }
+
+    #[test]
+    fn generics_where_clauses_and_fn_pointers_do_not_confuse_the_scan() {
+        let src = "\
+fn a<T: Into<String>>(x: T) -> Result<u8, ()> where T: Clone { 0 }
+type F = fn(u8) -> u8;
+fn b(f: F) -> impl Iterator<Item = u8> { std::iter::empty() }
+";
+        let (_, idx) = index_of(&[("crates/rest/src/x.rs", src)]);
+        let names: Vec<&str> = idx.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn use_aliases_and_groups_land_in_the_map() {
+        let src = "\
+use std::sync::{Arc, Mutex as StdMutex};
+use crate::jobs::JobService;
+use foo::bar as baz;
+fn f() {}
+";
+        let (_, idx) = index_of(&[("crates/rest/src/x.rs", src)]);
+        let uses = &idx.files[0].uses;
+        assert_eq!(uses.get("Arc").map(String::as_str), Some("std::sync::Arc"));
+        assert_eq!(
+            uses.get("StdMutex").map(String::as_str),
+            Some("std::sync::Mutex")
+        );
+        assert_eq!(
+            uses.get("JobService").map(String::as_str),
+            Some("crate::jobs::JobService")
+        );
+        assert_eq!(uses.get("baz").map(String::as_str), Some("foo::bar"));
+    }
+
+    #[test]
+    fn test_fns_are_indexed_but_not_resolution_targets() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn live() {}
+}
+";
+        let (_, idx) = index_of(&[("crates/rest/src/x.rs", src)]);
+        assert_eq!(idx.fns.len(), 2);
+        assert!(idx.fns[1].is_test);
+        // The test double doesn't make `live` ambiguous.
+        assert!(idx.unique_by_name("live").is_some());
+    }
+
+    #[test]
+    fn nested_fns_nest_their_qnames() {
+        let src = "fn outer() { fn inner() {} inner(); }";
+        let (_, idx) = index_of(&[("crates/rest/src/x.rs", src)]);
+        let qnames: Vec<&str> = idx.fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(qnames, vec!["rest::x::outer", "rest::x::outer::inner"]);
+    }
+}

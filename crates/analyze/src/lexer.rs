@@ -29,6 +29,29 @@ pub struct StrLit {
     pub text: String,
 }
 
+/// Coarse token kind — just enough structure for the rules and the
+/// interprocedural layer to scan without re-lexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`[A-Za-z_][A-Za-z0-9_]*`).
+    Ident,
+    /// Numeric literal (digits plus suffix/underscore tail).
+    Num,
+    /// A single punctuation byte (the byte is `scrubbed[start]`).
+    Punct(u8),
+}
+
+/// One token of the scrubbed text, by byte span. The token stream is
+/// produced once per file at parse time and shared by every rule and by
+/// the index/call-graph layer — rules must not re-scan the raw text for
+/// structure the stream already carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub start: usize,
+    pub end: usize,
+    pub kind: TokKind,
+}
+
 /// One `// lint:allow(rule, …): reason` comment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Suppression {
@@ -56,6 +79,9 @@ pub struct SourceFile {
     pub strings: Vec<StrLit>,
     /// Lint suppression comments, in file order.
     pub suppressions: Vec<Suppression>,
+    /// The scrubbed text tokenised once, in offset order (the cached
+    /// token stream rules and the interprocedural layer slice into).
+    pub tokens: Vec<Token>,
     /// Byte offset where each line starts (index 0 = line 1).
     line_starts: Vec<usize>,
     /// `test_lines[i]` — is 1-based line `i + 1` inside test code?
@@ -69,6 +95,7 @@ impl SourceFile {
         let scrub = Scrubber::run(text);
         let line_starts = line_starts(text);
         let n_lines = line_starts.len();
+        let tokens = tokenize(&scrub.scrubbed);
         let mut file = SourceFile {
             path: path.replace('\\', "/"),
             text: text.to_string(),
@@ -79,6 +106,7 @@ impl SourceFile {
                 .iter()
                 .filter_map(|c| parse_suppression(c, &line_starts))
                 .collect(),
+            tokens,
             line_starts,
             test_lines: vec![false; n_lines],
         };
@@ -90,16 +118,61 @@ impl SourceFile {
         file
     }
 
-    /// 1-based `(line, col)` of a byte offset.
+    /// 1-based `(line, col)` of a byte offset. The column counts
+    /// **characters**, not bytes, so diagnostics stay editor-accurate in
+    /// lines containing multibyte UTF-8 (e.g. non-ASCII comments or
+    /// string literals earlier on the line).
     pub fn line_col(&self, offset: usize) -> (u32, u32) {
         let line = match self.line_starts.binary_search(&offset) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
-        (
-            line as u32 + 1,
-            (offset - self.line_starts[line]) as u32 + 1,
-        )
+        let start = self.line_starts[line];
+        // Offsets handed to diagnostics point at ASCII syntax bytes, so
+        // the slice below is char-aligned; fall back to the byte column
+        // if a caller ever passes a mid-sequence offset.
+        let col = match self.text.get(start..offset) {
+            Some(prefix) => prefix.chars().count() as u32 + 1,
+            None => (offset - start) as u32 + 1,
+        };
+        (line as u32 + 1, col)
+    }
+
+    /// Text of a token (slice of the scrubbed view).
+    pub fn tok_text(&self, t: &Token) -> &str {
+        &self.scrubbed[t.start..t.end]
+    }
+
+    /// Index of the first token starting at or after `offset`
+    /// (`tokens.len()` when none) — for slicing the cached stream to a
+    /// byte span such as a function body.
+    pub fn token_at_or_after(&self, offset: usize) -> usize {
+        self.tokens.partition_point(|t| t.start < offset)
+    }
+
+    /// Does a **reasoned** suppression for `rule` cover 1-based `line`?
+    ///
+    /// A suppression applies to its own line (trailing style) or, for
+    /// the comment-above style, to the first following line that carries
+    /// code — blank and comment-only lines in between don't break the
+    /// link, so a multi-line justification still reaches the statement
+    /// it guards. Suppressions never cross file boundaries: this method
+    /// only consults this file's own comments.
+    pub fn suppressed(&self, line: u32, rule: &str) -> bool {
+        self.suppressions.iter().any(|s| {
+            s.reason.is_some()
+                && s.rules.iter().any(|r| r == rule)
+                && (s.line == line || self.covers_from_above(s.line, line))
+        })
+    }
+
+    fn covers_from_above(&self, sup_line: u32, diag_line: u32) -> bool {
+        if diag_line <= sup_line || diag_line as usize > self.n_lines() {
+            return false;
+        }
+        // Every line strictly between the suppression and the target
+        // must be blank once comments are scrubbed away.
+        (sup_line + 1..diag_line).all(|n| self.scrubbed_line(n).trim().is_empty())
     }
 
     /// Is the 1-based `line` inside a `#[cfg(test)]`/`#[test]` region
@@ -133,6 +206,56 @@ impl SourceFile {
         let (s, e) = self.line_span(line);
         &self.scrubbed[s..e]
     }
+}
+
+/// Tokenise the scrubbed text. Comments and literal bodies are already
+/// spaces, so the stream is pure structure: identifiers, numbers, and
+/// single punctuation bytes. Multibyte UTF-8 only survives scrubbing
+/// inside identifiers-adjacent positions it can't occupy, so non-ASCII
+/// bytes are skipped.
+fn tokenize(scrubbed: &str) -> Vec<Token> {
+    let b = scrubbed.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 4);
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() || c & 0x80 != 0 {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token {
+                start,
+                end: i,
+                kind: TokKind::Ident,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.') {
+                // `1.5` stays one number; `1.max(2)` must not eat the
+                // method name — only consume a dot followed by a digit.
+                if b[i] == b'.' && !b.get(i + 1).copied().unwrap_or(b' ').is_ascii_digit() {
+                    break;
+                }
+                i += 1;
+            }
+            out.push(Token {
+                start,
+                end: i,
+                kind: TokKind::Num,
+            });
+        } else {
+            out.push(Token {
+                start: i,
+                end: i + 1,
+                kind: TokKind::Punct(c),
+            });
+            i += 1;
+        }
+    }
+    out
 }
 
 fn is_test_path(path: &str) -> bool {
@@ -660,5 +783,55 @@ c.unwrap(); // lint:allow(panic-in-lib)
         assert_eq!(f.line_col(7), (3, 2));
         assert_eq!(f.n_lines(), 3);
         assert_eq!(f.scrubbed_line(2), "cd");
+    }
+
+    #[test]
+    fn columns_count_chars_not_bytes_in_multibyte_lines() {
+        // "é" is 2 bytes, "→" is 3: byte columns would drift by 3 by
+        // the time the offset reaches `x.unwrap()`.
+        let src = "fn f() { let é = \"→\"; x.unwrap(); }\n";
+        let f = SourceFile::parse("crates/rest/src/http.rs", src);
+        let off = src.find("x.unwrap").unwrap() + 1; // the `.`
+        let (line, col) = f.line_col(off);
+        assert_eq!(line, 1);
+        let char_col = src[..off].chars().count() as u32 + 1;
+        assert_eq!(col, char_col);
+        assert_ne!(col as usize, off + 1, "byte column leaked through");
+    }
+
+    #[test]
+    fn token_stream_is_structure_only() {
+        let src = "let x = a.b_1(\"s\"); // c\n";
+        let f = SourceFile::parse("x.rs", src);
+        let texts: Vec<&str> = f.tokens.iter().map(|t| f.tok_text(t)).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "a", ".", "b_1", "(", "\"", "\"", ")", ";"]
+        );
+        assert_eq!(f.tokens[1].kind, TokKind::Ident);
+        assert_eq!(f.tokens[2].kind, TokKind::Punct(b'='));
+        // Numbers: method calls on literals don't get eaten.
+        let f = SourceFile::parse("x.rs", "1.5 + 2.max(3)");
+        let texts: Vec<&str> = f.tokens.iter().map(|t| f.tok_text(t)).collect();
+        assert_eq!(texts, vec!["1.5", "+", "2", ".", "max", "(", "3", ")"]);
+        // token_at_or_after slices by byte span.
+        let f = SourceFile::parse("x.rs", "a b c");
+        assert_eq!(f.token_at_or_after(1), 1);
+        assert_eq!(f.token_at_or_after(2), 1);
+        assert_eq!(f.token_at_or_after(5), 3);
+    }
+
+    #[test]
+    fn suppressed_is_file_local_and_adjacency_scoped() {
+        let src = "\
+// lint:allow(panic-in-lib): covered below
+x.unwrap();
+y.unwrap();
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppressed(1, "panic-in-lib"));
+        assert!(f.suppressed(2, "panic-in-lib"));
+        assert!(!f.suppressed(3, "panic-in-lib"), "leaked past a code line");
+        assert!(!f.suppressed(2, "lock-ordering"), "wrong rule");
     }
 }

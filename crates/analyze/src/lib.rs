@@ -14,7 +14,10 @@
 //! `// lint:allow(<rule>): <reason>` — the reason is mandatory; a
 //! reason-less suppression is itself reported (and not honoured).
 
+pub mod callgraph;
 pub mod diag;
+pub mod guards;
+pub mod index;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -58,6 +61,24 @@ pub fn analyze_sources<P: AsRef<str>, T: AsRef<str>>(sources: &[(P, T)]) -> Anal
         rules::locks::analyze_graph(krate, edges, &mut diags);
     }
 
+    // Interprocedural passes: symbol table → call graph → the three
+    // graph-backed rules. "Modeled" locks (the blocking rule's extra
+    // evidence class) are the ones the lock-ordering edge set already
+    // knows about per crate.
+    let idx = index::build(&files);
+    let cg = callgraph::build(&files, &idx);
+    let mut modeled: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
+    for (krate, edges) in &crate_edges {
+        let m = modeled.entry(krate.clone()).or_default();
+        for e in edges {
+            m.insert(e.from.clone());
+            m.insert(e.to.clone());
+        }
+    }
+    rules::blocking::check(&files, &idx, &cg, &modeled, &mut diags);
+    rules::panic_reach::check(&files, &idx, &cg, &mut diags);
+    rules::spawn::check(&files, &idx, &mut diags);
+
     let by_path: BTreeMap<&str, &SourceFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
     diags.retain(|d| {
         by_path
@@ -92,27 +113,10 @@ pub fn analyze_sources<P: AsRef<str>, T: AsRef<str>>(sources: &[(P, T)]) -> Anal
     }
 }
 
-/// Does a reasoned suppression cover this diagnostic's rule?
-///
-/// A suppression applies to its own line (trailing style) or, for the
-/// comment-above style, to the first following line that carries code —
-/// blank and comment-only lines in between don't break the link, so a
-/// multi-line justification still reaches the statement it guards.
+/// Does a reasoned suppression cover this diagnostic's rule? See
+/// [`SourceFile::suppressed`] for the adjacency semantics.
 fn is_suppressed(file: &SourceFile, d: &Diagnostic) -> bool {
-    file.suppressions.iter().any(|s| {
-        s.reason.is_some()
-            && s.rules.iter().any(|r| r == d.rule)
-            && (s.line == d.line || covers_from_above(file, s.line, d.line))
-    })
-}
-
-fn covers_from_above(file: &SourceFile, sup_line: u32, diag_line: u32) -> bool {
-    if diag_line <= sup_line || diag_line as usize > file.n_lines() {
-        return false;
-    }
-    // Every line strictly between the suppression and the diagnostic
-    // must be blank once comments are scrubbed away.
-    (sup_line + 1..diag_line).all(|n| file.scrubbed_line(n).trim().is_empty())
+    file.suppressed(d.line, d.rule)
 }
 
 /// Discover the workspace's analyzable sources under `root`: every
@@ -176,6 +180,20 @@ pub fn analyze_root(root: &Path) -> io::Result<Analysis> {
         sources.push((rel, text));
     }
     Ok(analyze_sources(&sources))
+}
+
+/// Build the workspace call graph and serialise it as deterministic
+/// JSON (see [`callgraph::dump_json`]) — the `--dump-callgraph` output.
+pub fn dump_callgraph(root: &Path) -> io::Result<String> {
+    let rels = discover_files(root)?;
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in rels {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    let idx = index::build(&files);
+    let cg = callgraph::build(&files, &idx);
+    Ok(callgraph::dump_json(&files, &idx, &cg))
 }
 
 /// Walk up from `start` to the first directory whose `Cargo.toml`

@@ -9,7 +9,7 @@
 //! regression.
 
 use datalens_analyze::report::{self, Report};
-use datalens_analyze::{analyze_root, diag, find_workspace_root};
+use datalens_analyze::{analyze_root, diag, dump_callgraph, find_workspace_root};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,6 +19,7 @@ datalens-analyze — workspace lint & concurrency-audit engine
 USAGE:
     datalens-analyze [--workspace] [--root DIR] [--baseline FILE]
                      [--write-baseline] [--list-rules]
+                     [--dump-callgraph] [--explain RULE]
 
 OPTIONS:
     --workspace        analyse every crate src tree under the workspace
@@ -30,6 +31,11 @@ OPTIONS:
     --write-baseline   write the current counts to the baseline file
                        (requires --baseline) and exit 0
     --list-rules       print the rule catalog and exit
+    --dump-callgraph   print the resolved workspace call graph as
+                       deterministic JSON (name-sorted, byte-identical
+                       across runs) and exit
+    --explain RULE     print the long-form explanation of one rule and
+                       exit
 
 Without --baseline the gate is strict: any finding exits 2.";
 
@@ -38,6 +44,8 @@ struct Opts {
     baseline: Option<PathBuf>,
     write_baseline: bool,
     list_rules: bool,
+    dump_callgraph: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -46,6 +54,8 @@ fn parse_args() -> Result<Opts, String> {
         baseline: None,
         write_baseline: false,
         list_rules: false,
+        dump_callgraph: false,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +71,11 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--write-baseline" => opts.write_baseline = true,
             "--list-rules" => opts.list_rules = true,
+            "--dump-callgraph" => opts.dump_callgraph = true,
+            "--explain" => {
+                let v = args.next().ok_or("--explain needs a rule id")?;
+                opts.explain = Some(v);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -99,6 +114,19 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    if let Some(rule) = &opts.explain {
+        let Some(text) = diag::explain(rule) else {
+            return Err(format!(
+                "unknown rule `{rule}` — run --list-rules for the catalog"
+            ));
+        };
+        let info = diag::rule_info(rule).expect("explained rules are in the catalog");
+        println!("{} ({})", info.id, info.severity.as_str());
+        println!();
+        println!("{text}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
     let root = match &opts.root {
         Some(r) => r.clone(),
         None => {
@@ -107,6 +135,13 @@ fn run() -> Result<ExitCode, String> {
                 .ok_or("no [workspace] Cargo.toml found above the current directory")?
         }
     };
+
+    if opts.dump_callgraph {
+        let json =
+            dump_callgraph(&root).map_err(|e| format!("analysing {}: {e}", root.display()))?;
+        print!("{json}");
+        return Ok(ExitCode::SUCCESS);
+    }
 
     let analysis = analyze_root(&root).map_err(|e| format!("analysing {}: {e}", root.display()))?;
     for d in &analysis.diagnostics {

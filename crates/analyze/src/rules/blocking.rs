@@ -1,0 +1,444 @@
+//! `blocking-while-lock-held`: a call path from a site where a guard
+//! is live into a blocking operation.
+//!
+//! Blocking operations (the model): `thread::sleep`, `Condvar::wait` /
+//! `wait_timeout` / `wait_while`, bounded-channel `.send(…)` /
+//! `.recv()` / `.recv_timeout(…)`, `JoinHandle::join` (empty-paren
+//! `.join()`), socket/stream I/O (`.write_all`, `.read_exact`,
+//! `.read_until`, `.read_line`, `.write_fmt`, `.flush()`), and —
+//! through call edges only — acquiring another lock that the
+//! lock-ordering graph models (a lock held across other acquisitions
+//! somewhere in its crate). Same-function nested acquisitions stay the
+//! lock-ordering rule's domain and are not re-reported here.
+//!
+//! Scope: the guard-live site and the entire call path must lie in the
+//! serving crates (`rest`, `obs`, `core::jobs`, `core::engine`) —
+//! blocking buried inside non-serving dependency crates is a
+//! documented false-negative class (DESIGN.md).
+//!
+//! Exemption: waiting on a condvar with the **only** live guard is the
+//! condvar protocol itself (the wait atomically releases that guard) —
+//! `cv.wait(&mut g)` with just `g` live is clean, but the same wait
+//! with a second guard live is reported.
+
+use crate::callgraph::CallGraph;
+use crate::diag::{Diagnostic, Severity, BLOCKING_WHILE_LOCK_HELD};
+use crate::guards::{self, GuardSpan};
+use crate::index::Index;
+use crate::lexer::{SourceFile, TokKind, Token};
+use crate::rules::{area_of, crate_of, is_serving_area};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a function (transitively) blocks.
+#[derive(Debug, Clone)]
+enum Why {
+    /// A blocking primitive right here.
+    Direct { what: String, line: u32 },
+    /// Acquires a modeled lock right here.
+    Lock { name: String, line: u32 },
+    /// A call into a blocking callee.
+    Via { callee: usize },
+}
+
+/// One blocking-primitive site.
+struct Prim {
+    offset: usize,
+    line: u32,
+    what: String,
+    /// Identifier arguments of a condvar wait (for the own-guard
+    /// exemption); `None` for every other primitive.
+    wait_args: Option<BTreeSet<String>>,
+}
+
+pub fn check(
+    files: &[SourceFile],
+    idx: &Index,
+    cg: &CallGraph,
+    modeled: &BTreeMap<String, BTreeSet<String>>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let n = idx.fns.len();
+    // Which fns are in scope (serving area, non-test)?
+    let serving: Vec<bool> = idx
+        .fns
+        .iter()
+        .map(|f| !f.is_test && is_serving_area(&area_of(&files[f.file].path)))
+        .collect();
+
+    // Per-fn primitives and modeled-lock acquisitions.
+    let mut prims: Vec<Vec<Prim>> = Vec::with_capacity(n);
+    let mut lock_sites: Vec<Vec<(String, u32)>> = Vec::with_capacity(n);
+    for (fi, fdef) in idx.fns.iter().enumerate() {
+        if !serving[fi] {
+            prims.push(Vec::new());
+            lock_sites.push(Vec::new());
+            continue;
+        }
+        let file = &files[fdef.file];
+        prims.push(find_prims(file, fdef.body));
+        let kr = crate_of(&file.path);
+        let model = modeled.get(&kr);
+        let locks = guards::guard_spans(file, fdef.body)
+            .into_iter()
+            .filter(|g| model.is_some_and(|m| m.contains(&g.lock)))
+            .map(|g| (g.lock, g.line))
+            .collect();
+        lock_sites.push(locks);
+    }
+
+    // Fixed point: does fn f block when called? Seed with direct
+    // evidence, then pull evidence across call edges until stable.
+    // Deterministic: fns in index order, calls in offset order.
+    let mut why: Vec<Option<Why>> = (0..n)
+        .map(|fi| {
+            if let Some(p) = prims[fi].first() {
+                Some(Why::Direct {
+                    what: p.what.clone(),
+                    line: p.line,
+                })
+            } else {
+                lock_sites[fi].first().map(|(name, line)| Why::Lock {
+                    name: name.clone(),
+                    line: *line,
+                })
+            }
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for fi in 0..n {
+            if why[fi].is_some() || !serving[fi] {
+                continue;
+            }
+            for c in &cg.calls[fi] {
+                if serving[c.to] && why[c.to].is_some() {
+                    why[fi] = Some(Why::Via { callee: c.to });
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Report guard-live sites whose call (or inline primitive) blocks.
+    for (fi, fdef) in idx.fns.iter().enumerate() {
+        if !serving[fi] {
+            continue;
+        }
+        let file = &files[fdef.file];
+        let spans = guards::guard_spans(file, fdef.body);
+        if spans.is_empty() {
+            continue;
+        }
+        let mut reported: BTreeSet<usize> = BTreeSet::new();
+
+        // Inline primitives under a live guard.
+        for p in &prims[fi] {
+            let live = guards::live_at(&spans, p.offset);
+            let offenders: Vec<&GuardSpan> = match &p.wait_args {
+                // Own-guard condvar waits are the protocol; a *different*
+                // live guard makes the wait a hazard.
+                Some(args) => live
+                    .into_iter()
+                    .filter(|g| g.var.as_ref().is_none_or(|v| !args.contains(v)))
+                    .collect(),
+                None => live,
+            };
+            let Some(g) = offenders.first() else { continue };
+            if reported.insert(p.offset) {
+                let (line, col) = file.line_col(p.offset);
+                diags.push(Diagnostic {
+                    rule: BLOCKING_WHILE_LOCK_HELD,
+                    severity: Severity::Error,
+                    path: file.path.clone(),
+                    line,
+                    col,
+                    message: format!(
+                        "{} while guard of `{}` (acquired line {}) is live — threads \
+                         contending for that lock stall here; narrow the guard scope",
+                        p.what, g.lock, g.line
+                    ),
+                });
+            }
+        }
+
+        // Calls into (transitively) blocking callees under a live guard.
+        for c in &cg.calls[fi] {
+            if !serving[c.to] || why[c.to].is_none() {
+                continue;
+            }
+            let live = guards::live_at(&spans, c.offset);
+            let Some(g) = live.first() else { continue };
+            if reported.insert(c.offset) {
+                let (line, col) = file.line_col(c.offset);
+                let (chain, sink) = chain_of(idx, &why, c.to);
+                diags.push(Diagnostic {
+                    rule: BLOCKING_WHILE_LOCK_HELD,
+                    severity: Severity::Error,
+                    path: file.path.clone(),
+                    line,
+                    col,
+                    message: format!(
+                        "call into `{}` while guard of `{}` (acquired line {}) is live — \
+                         the callee reaches {} via {} — release the guard before this call",
+                        idx.fns[c.to].name, g.lock, g.line, sink, chain
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Render the blocking evidence chain starting at `fi`:
+/// (`a → b → c`, "thread::sleep (x.rs:12)").
+fn chain_of(idx: &Index, why: &[Option<Why>], mut fi: usize) -> (String, String) {
+    let mut names = vec![idx.fns[fi].qname.clone()];
+    for _ in 0..32 {
+        match &why[fi] {
+            Some(Why::Via { callee }) => {
+                fi = *callee;
+                names.push(idx.fns[fi].qname.clone());
+            }
+            Some(Why::Direct { what, line }) => {
+                return (names.join(" → "), format!("{what} (line {line})"));
+            }
+            Some(Why::Lock { name, line }) => {
+                return (
+                    names.join(" → "),
+                    format!("acquisition of modeled lock `{name}` (line {line})"),
+                );
+            }
+            None => break,
+        }
+    }
+    (names.join(" → "), "a blocking operation".to_string())
+}
+
+/// Scan one body for blocking primitives via the cached token stream.
+fn find_prims(file: &SourceFile, body: (usize, usize)) -> Vec<Prim> {
+    let toks = &file.tokens;
+    let lo = file.token_at_or_after(body.0);
+    let hi = file.token_at_or_after(body.1 + 1);
+    let mut out = Vec::new();
+    for j in lo..hi {
+        if toks[j].kind != TokKind::Ident {
+            continue;
+        }
+        let name = file.tok_text(&toks[j]);
+        let next_is = |k: usize, b: u8| toks.get(k).map(|t| t.kind) == Some(TokKind::Punct(b));
+        if !next_is(j + 1, b'(') {
+            continue;
+        }
+        let after_dot = j > lo && toks[j - 1].kind == TokKind::Punct(b'.');
+        let (line, _) = file.line_col(toks[j].start);
+        if file.is_test_line(line) {
+            continue;
+        }
+        let push = |out: &mut Vec<Prim>, what: &str, wait_args: Option<BTreeSet<String>>| {
+            out.push(Prim {
+                offset: toks[j].start,
+                line,
+                what: what.to_string(),
+                wait_args,
+            });
+        };
+        match name {
+            "sleep" => push(&mut out, "`thread::sleep`", None),
+            "wait" | "wait_timeout" | "wait_while" if after_dot => {
+                let args = call_arg_idents(file, toks, j + 1, hi);
+                push(&mut out, "`Condvar::wait`", Some(args));
+            }
+            "join" if after_dot && next_is(j + 2, b')') => {
+                push(&mut out, "`JoinHandle::join`", None);
+            }
+            "recv" | "recv_timeout" if after_dot => {
+                push(&mut out, "bounded-channel `recv`", None);
+            }
+            "send" if after_dot => push(&mut out, "bounded-channel `send`", None),
+            "write_all" | "read_exact" | "read_until" | "read_line" | "write_fmt" if after_dot => {
+                push(&mut out, "socket/stream I/O", None);
+            }
+            "flush" if after_dot && next_is(j + 2, b')') => {
+                push(&mut out, "socket/stream I/O", None);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Identifier tokens inside the parenthesised argument list opening at
+/// token `open`.
+fn call_arg_idents(file: &SourceFile, toks: &[Token], open: usize, hi: usize) -> BTreeSet<String> {
+    let mut depth = 0i32;
+    let mut out = BTreeSet::new();
+    for t in &toks[open..hi] {
+        match t.kind {
+            TokKind::Punct(b'(') => depth += 1,
+            TokKind::Punct(b')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Ident => {
+                out.insert(file.tok_text(t).to_string());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{callgraph, index};
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, t)| SourceFile::parse(p, t))
+            .collect();
+        let idx = index::build(&files);
+        let cg = callgraph::build(&files, &idx);
+        let mut modeled: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for f in &files {
+            let kr = crate_of(&f.path);
+            for e in crate::rules::locks::collect_edges(f) {
+                let m = modeled.entry(kr.clone()).or_default();
+                m.insert(e.from.clone());
+                m.insert(e.to.clone());
+            }
+        }
+        let mut out = Vec::new();
+        check(&files, &idx, &cg, &modeled, &mut out);
+        out
+    }
+
+    #[test]
+    fn sleep_under_guard_is_flagged_inline_and_through_calls() {
+        let src = "\
+fn pause() { std::thread::sleep(std::time::Duration::from_millis(5)); }
+struct S;
+impl S {
+    fn f(&self) {
+        let g = self.state.lock();
+        pause();
+    }
+    fn inline(&self) {
+        let g = self.state.lock();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+";
+        let d = run(&[("crates/rest/src/x.rs", src)]);
+        assert_eq!(d.len(), 2, "{d:#?}");
+        assert!(d[0].message.contains("pause"), "{}", d[0].message);
+        assert!(d[0].message.contains("thread::sleep"), "{}", d[0].message);
+        assert!(d[1].message.contains("thread::sleep"));
+    }
+
+    #[test]
+    fn condvar_wait_on_own_guard_is_the_protocol() {
+        let src = "\
+struct Q;
+impl Q {
+    fn pop(&self) {
+        let mut g = self.inner.lock();
+        while g.is_empty() {
+            g = self.cv.wait(g);
+        }
+    }
+    fn bad(&self) {
+        let other = self.registry.lock();
+        let mut g = self.inner.lock();
+        g = self.cv.wait(g);
+    }
+}
+";
+        let d = run(&[("crates/rest/src/x.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert!(d[0].message.contains("registry"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn drop_before_blocking_and_non_serving_areas_are_clean() {
+        let src = "\
+fn f(s: &S) {
+    let g = s.state.lock();
+    drop(g);
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+";
+        assert!(run(&[("crates/rest/src/x.rs", src)]).is_empty());
+        let src = "\
+fn f(s: &S) {
+    let g = s.state.lock();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+";
+        // Non-serving crate: out of scope.
+        assert!(run(&[("crates/table/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn cross_crate_chain_reaches_socket_io() {
+        let a = "\
+pub struct Wire;
+impl Wire {
+    pub fn push_frame(&self, w: &mut W) { w.write_all(b\"x\"); }
+}
+";
+        let b = "\
+use datalens_obs::Wire;
+struct Lane;
+impl Lane {
+    fn tick(&self, wire: &Wire, w: &mut W) {
+        let g = self.pumps.lock();
+        wire.push_frame(w);
+    }
+}
+";
+        let d = run(&[
+            ("crates/obs/src/lib.rs", a),
+            ("crates/rest/src/server.rs", b),
+        ]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].path, "crates/rest/src/server.rs");
+        assert!(
+            d[0].message.contains("obs::Wire::push_frame"),
+            "{}",
+            d[0].message
+        );
+        assert!(d[0].message.contains("socket/stream I/O"));
+    }
+
+    #[test]
+    fn modeled_lock_acquisition_counts_only_through_calls() {
+        // `bus` is modeled (held across `subs` in publish_all). The
+        // guard-live call into `publish_all` is flagged; the nested
+        // acquisition inside `publish_all` itself is lock-ordering's
+        // domain and not re-reported here.
+        let src = "\
+struct B;
+impl B {
+    fn publish_all(&self) {
+        let g = self.bus.lock();
+        let s = self.subs.lock();
+    }
+    fn caller(&self) {
+        let g = self.state.lock();
+        self.publish_all();
+    }
+}
+";
+        let d = run(&[("crates/obs/src/lib.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert!(d[0].message.contains("publish_all"), "{}", d[0].message);
+        assert!(d[0].message.contains("modeled lock"), "{}", d[0].message);
+    }
+}

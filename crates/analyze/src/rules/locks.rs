@@ -14,8 +14,9 @@
 //! distinct node cycle, anchored at the edge that closes it.
 
 use crate::diag::{Diagnostic, Severity, LOCK_ORDERING, MIXED_MUTEX};
+use crate::guards::{hold_span, receiver_name};
 use crate::lexer::SourceFile;
-use crate::rules::{find_all, find_words, is_ident_byte};
+use crate::rules::{find_all, find_words};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One `A held while acquiring B` observation.
@@ -92,7 +93,7 @@ pub fn collect_edges(file: &SourceFile) -> Vec<Edge> {
             let Some(name) = receiver_name(b, off) else {
                 continue;
             };
-            let end = hold_span_end(b, off);
+            let (_, end) = hold_span(b, off);
             sites.push(Acquisition {
                 name,
                 offset: off,
@@ -120,89 +121,6 @@ pub fn collect_edges(file: &SourceFile) -> Vec<Edge> {
         }
     }
     edges
-}
-
-/// Walk back over `[A-Za-z0-9_:.]` from the `.` of `.lock()` and name
-/// the receiver by its last path segment. `None` for unnameable
-/// receivers (method-call chains ending in `)`).
-fn receiver_name(b: &[u8], dot: usize) -> Option<String> {
-    let mut start = dot;
-    while start > 0 {
-        let c = b[start - 1];
-        if is_ident_byte(c) || c == b':' || c == b'.' {
-            start -= 1;
-        } else {
-            break;
-        }
-    }
-    let recv = std::str::from_utf8(&b[start..dot]).ok()?;
-    let name = recv.rsplit(['.', ':']).find(|s| !s.is_empty())?;
-    if name == "self" || name.chars().next().is_none_or(|c| c.is_ascii_digit()) {
-        return None;
-    }
-    Some(name.to_string())
-}
-
-/// Compute where the guard acquired at `dot` stops being held.
-fn hold_span_end(b: &[u8], dot: usize) -> usize {
-    // Find the statement start: nearest `;`, `{` or `}` going back.
-    let mut stmt_start = 0;
-    let mut k = dot;
-    while k > 0 {
-        match b[k - 1] {
-            b';' | b'{' | b'}' => {
-                stmt_start = k;
-                break;
-            }
-            _ => k -= 1,
-        }
-    }
-    let head = std::str::from_utf8(&b[stmt_start..dot]).unwrap_or("");
-    let head = head.trim_start();
-    let guard_var = head.strip_prefix("let ").map(|rest| {
-        let rest = rest.trim_start();
-        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
-        rest.bytes()
-            .take_while(|&c| is_ident_byte(c))
-            .map(char::from)
-            .collect::<String>()
-    });
-
-    let let_bound = guard_var.is_some();
-    let mut depth = 0i32;
-    let mut i = dot;
-    while i < b.len() {
-        match b[i] {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth < 0 {
-                    return i; // enclosing block closes
-                }
-            }
-            b';' if !let_bound && depth <= 0 => return i,
-            b'd' => {
-                // `drop(guard)` / `mem::drop(guard)` releases early.
-                if let Some(var) = guard_var.as_deref() {
-                    if !var.is_empty()
-                        && b[i..].starts_with(b"drop(")
-                        && !is_ident_byte(b[i.saturating_sub(1)])
-                    {
-                        let arg_start = i + 5;
-                        let arg_end = arg_start + var.len();
-                        if b.get(arg_start..arg_end) == Some(var.as_bytes())
-                            && b.get(arg_end) == Some(&b')')
-                        {
-                            return i;
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    b.len()
 }
 
 /// Detect cycles in one crate's acquisition graph and report each

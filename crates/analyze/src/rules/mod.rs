@@ -4,10 +4,13 @@
 //! additionally aggregates acquisition edges per crate before reporting.
 
 pub mod atomics;
+pub mod blocking;
 pub mod channels;
 pub mod locks;
 pub mod metrics;
 pub mod panic_in_lib;
+pub mod panic_reach;
+pub mod spawn;
 
 /// The baseline-report *area* a file belongs to. Crates are one area
 /// each, except `crates/core`, whose serving-path submodules (`jobs`,

@@ -2,90 +2,136 @@
 //! serving-path crates. A panic on the serving path kills a worker
 //! thread (or poisons a lock); these sites must either return a typed
 //! error or document the invariant with a suppression.
+//!
+//! The site scanner (`panic_sites`) runs over the cached token stream
+//! (no re-lexing) and is shared with `panic-reachability`, which uses
+//! it on non-serving files the call graph proves reachable.
 
 use crate::diag::{Diagnostic, Severity, PANIC_IN_LIB};
-use crate::lexer::SourceFile;
-use crate::rules::{area_of, find_all, find_words, is_ident_byte, is_serving_area};
+use crate::lexer::{SourceFile, TokKind};
+use crate::rules::{area_of, is_serving_area};
+
+/// One panicking construct.
+#[derive(Debug, Clone)]
+pub(crate) struct PanicSite {
+    /// Byte offset of the anchoring token (the `.` of `.unwrap()`, the
+    /// macro name, the `[` of an index).
+    pub offset: usize,
+    pub line: u32,
+    pub col: u32,
+    /// Short label for chain messages, e.g. "`.unwrap()`".
+    pub what: &'static str,
+    /// Full stand-alone message (the panic-in-lib wording).
+    pub message: String,
+}
+
+/// Scan the inclusive byte range `range` of `file` for panicking
+/// constructs: `.unwrap()`, `.expect(…)`, the panic macros, and
+/// integer-literal indexing. Test lines and `debug_assert` lines are
+/// skipped (compiled out of release builds).
+pub(crate) fn panic_sites(file: &SourceFile, range: (usize, usize)) -> Vec<PanicSite> {
+    let toks = &file.tokens;
+    let lo = file.token_at_or_after(range.0);
+    let hi = file.token_at_or_after(range.1 + 1);
+    let mut out = Vec::new();
+    let mut add = |offset: usize, what: &'static str, message: String| {
+        let (line, col) = file.line_col(offset);
+        if file.is_test_line(line) || file.scrubbed_line(line).contains("debug_assert") {
+            return;
+        }
+        out.push(PanicSite {
+            offset,
+            line,
+            col,
+            what,
+            message,
+        });
+    };
+    for j in lo..hi {
+        let t = &toks[j];
+        let next_is = |k: usize, b: u8| toks.get(k).map(|x| x.kind) == Some(TokKind::Punct(b));
+        match t.kind {
+            TokKind::Ident => {
+                let name = file.tok_text(t);
+                let after_dot = j > 0 && toks[j - 1].kind == TokKind::Punct(b'.');
+                if after_dot && name == "unwrap" && next_is(j + 1, b'(') && next_is(j + 2, b')') {
+                    add(
+                        toks[j - 1].start,
+                        "`.unwrap()`",
+                        "`.unwrap()` in non-test library code — return a typed error, or \
+                         document the invariant with `// lint:allow(panic-in-lib): <reason>`"
+                            .to_string(),
+                    );
+                } else if after_dot && name == "expect" && next_is(j + 1, b'(') {
+                    add(
+                        toks[j - 1].start,
+                        "`.expect(…)`",
+                        "`.expect(…)` in non-test library code — return a typed error, or \
+                         document the invariant with `// lint:allow(panic-in-lib): <reason>`"
+                            .to_string(),
+                    );
+                } else if !after_dot
+                    && matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                    && next_is(j + 1, b'!')
+                {
+                    let what = match name {
+                        "panic" => "`panic!`",
+                        "unreachable" => "`unreachable!`",
+                        "todo" => "`todo!`",
+                        _ => "`unimplemented!`",
+                    };
+                    add(t.start, what, format!("{what} in non-test library code"));
+                }
+            }
+            // Integer-literal indexing: `expr[3]` panics out of range.
+            // The `[` must directly follow an expression tail (ident,
+            // `)`, `]`) — type positions (`[u8; 4]`), attributes, and
+            // slice patterns don't.
+            TokKind::Punct(b'[') => {
+                let expr_tail = j > 0
+                    && toks[j - 1].end == t.start
+                    && matches!(
+                        toks[j - 1].kind,
+                        TokKind::Ident | TokKind::Punct(b')') | TokKind::Punct(b']')
+                    );
+                let literal_index = toks.get(j + 1).is_some_and(|n| {
+                    n.kind == TokKind::Num
+                        && file
+                            .tok_text(n)
+                            .bytes()
+                            .all(|c| c.is_ascii_digit() || c == b'_')
+                });
+                if expr_tail && literal_index && next_is(j + 2, b']') {
+                    add(
+                        t.start,
+                        "integer-literal indexing",
+                        "integer-literal indexing can panic — use `.get(…)` or document \
+                         the invariant"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
 
 pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
     if !is_serving_area(&area_of(&file.path)) {
         return;
     }
-    let scrub = &file.scrubbed;
-
-    for (pat, what) in [(".unwrap()", "`.unwrap()`"), (".expect(", "`.expect(…)`")] {
-        for off in find_all(scrub, pat) {
-            push(
-                file,
-                diags,
-                off,
-                format!(
-                    "{what} in non-test library code — return a typed error, or document the \
-                     invariant with `// lint:allow(panic-in-lib): <reason>`"
-                ),
-            );
-        }
+    let end = file.scrubbed.len().saturating_sub(1);
+    for site in panic_sites(file, (0, end)) {
+        diags.push(Diagnostic {
+            rule: PANIC_IN_LIB,
+            severity: Severity::Error,
+            path: file.path.clone(),
+            line: site.line,
+            col: site.col,
+            message: site.message,
+        });
     }
-
-    for mac in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
-        for off in find_words(scrub, mac) {
-            push(
-                file,
-                diags,
-                off,
-                format!("`{mac}` in non-test library code"),
-            );
-        }
-    }
-
-    // Integer-literal indexing: `expr[3]` panics out of range.
-    let b = scrub.as_bytes();
-    for off in find_all(scrub, "[") {
-        if off == 0 {
-            continue;
-        }
-        let prev = b[off - 1];
-        if !is_ident_byte(prev) && prev != b')' && prev != b']' {
-            continue; // type position (`[u8; 4]`), attribute, slice pattern…
-        }
-        let mut j = off + 1;
-        let mut digits = 0usize;
-        while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'_') {
-            if b[j].is_ascii_digit() {
-                digits += 1;
-            }
-            j += 1;
-        }
-        if digits > 0 && j < b.len() && b[j] == b']' {
-            push(
-                file,
-                diags,
-                off,
-                "integer-literal indexing can panic — use `.get(…)` or document the invariant"
-                    .to_string(),
-            );
-        }
-    }
-}
-
-fn push(file: &SourceFile, diags: &mut Vec<Diagnostic>, offset: usize, message: String) {
-    let (line, col) = file.line_col(offset);
-    if file.is_test_line(line) {
-        return;
-    }
-    // `debug_assert!` bodies are compiled out of release builds; their
-    // panics and index expressions are not serving-path hazards.
-    if file.scrubbed_line(line).contains("debug_assert") {
-        return;
-    }
-    diags.push(Diagnostic {
-        rule: PANIC_IN_LIB,
-        severity: Severity::Error,
-        path: file.path.clone(),
-        line,
-        col,
-        message,
-    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,251 @@
+//! `panic-reachability`: panicking constructs in NON-serving crates
+//! that serving roots can reach through the call graph.
+//!
+//! `panic-in-lib` covers the serving crates themselves; this rule is
+//! its interprocedural extension and deliberately disjoint — it only
+//! reports sites in non-serving areas, so no site is double-counted.
+//!
+//! Roots are non-test functions that register routes (`.route(` in the
+//! body) or spawn threads (`spawn(`): route-registering functions own
+//! their handler closures (a closure's calls attribute to the
+//! enclosing fn in the token-level graph), and spawn sites put their
+//! target one hop away. A breadth-first walk bounded at [`MAX_HOPS`]
+//! marks reachable functions; each panic site inside a reachable
+//! non-serving function is reported once, anchored at the site, with
+//! the shortest root-to-site call chain printed.
+//!
+//! A reasoned panic-in-lib allowance comment at the site also clears
+//! the reachability finding — a documented invariant holds
+//! transitively.
+
+use crate::callgraph::CallGraph;
+use crate::diag::{Diagnostic, Severity, PANIC_IN_LIB, PANIC_REACHABILITY};
+use crate::index::Index;
+use crate::lexer::SourceFile;
+use crate::rules::panic_in_lib::panic_sites;
+use crate::rules::{area_of, is_serving_area};
+use std::collections::VecDeque;
+
+/// Call-depth bound for the reachability walk. Deep chains exist, but
+/// past a few hops the printed chain stops being actionable and the
+/// token-level graph's precision decays.
+pub const MAX_HOPS: u32 = 5;
+
+pub fn check(files: &[SourceFile], idx: &Index, cg: &CallGraph, diags: &mut Vec<Diagnostic>) {
+    let n = idx.fns.len();
+    // Multi-source BFS with parent pointers for chain printing.
+    // Deterministic: roots seed in index order, queue is FIFO.
+    let mut dist: Vec<Option<(u32, Option<usize>)>> = vec![None; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (fi, fdef) in idx.fns.iter().enumerate() {
+        if fdef.is_test {
+            continue;
+        }
+        let body = body_text(&files[fdef.file], fdef.body);
+        if body.contains(".route(") || body.contains("spawn(") {
+            dist[fi] = Some((0, None));
+            queue.push_back(fi);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let (d, _) = dist[u].expect("queued fns have a distance");
+        if d >= MAX_HOPS {
+            continue;
+        }
+        for c in &cg.calls[u] {
+            if dist[c.to].is_none() && !idx.fns[c.to].is_test {
+                dist[c.to] = Some((d + 1, Some(u)));
+                queue.push_back(c.to);
+            }
+        }
+    }
+
+    // Group fns by file so each file is site-scanned exactly once, and
+    // each site attributes to its *innermost* enclosing fn (a panic in
+    // a nested fn must not count against an outer fn that never calls
+    // it).
+    let mut fns_by_file: Vec<Vec<usize>> = vec![Vec::new(); files.len()];
+    for (fi, fdef) in idx.fns.iter().enumerate() {
+        fns_by_file[fdef.file].push(fi);
+    }
+    for (file_i, file) in files.iter().enumerate() {
+        if is_serving_area(&area_of(&file.path)) {
+            continue; // panic-in-lib's domain
+        }
+        if fns_by_file[file_i].is_empty() {
+            continue;
+        }
+        let end = file.scrubbed.len().saturating_sub(1);
+        for site in panic_sites(file, (0, end)) {
+            let owner = fns_by_file[file_i]
+                .iter()
+                .copied()
+                .filter(|&fi| {
+                    let b = idx.fns[fi].body;
+                    site.offset > b.0 && site.offset < b.1
+                })
+                .min_by_key(|&fi| idx.fns[fi].body.1 - idx.fns[fi].body.0);
+            let Some(fi) = owner else { continue };
+            if idx.fns[fi].is_test {
+                continue;
+            }
+            let Some((d, _)) = dist[fi] else { continue };
+            if file.suppressed(site.line, PANIC_IN_LIB) {
+                continue; // documented invariant holds transitively
+            }
+            let chain = chain_to(idx, &dist, fi);
+            let root = chain.first().cloned().unwrap_or_default();
+            let via = if d == 0 {
+                "directly in the root".to_string()
+            } else {
+                format!("via {}", chain.join(" → "))
+            };
+            diags.push(Diagnostic {
+                rule: PANIC_REACHABILITY,
+                severity: Severity::Error,
+                path: file.path.clone(),
+                line: site.line,
+                col: site.col,
+                message: format!(
+                    "{} reachable in {} call hop{} from serving root `{}` ({}) — a panic \
+                     here unwinds into the serving thread; return a typed error or document \
+                     the invariant at this site",
+                    site.what,
+                    d,
+                    if d == 1 { "" } else { "s" },
+                    root,
+                    via,
+                ),
+            });
+        }
+    }
+}
+
+/// The root-to-`fi` qualified-name chain recorded by the BFS.
+fn chain_to(idx: &Index, dist: &[Option<(u32, Option<usize>)>], mut fi: usize) -> Vec<String> {
+    let mut chain = vec![idx.fns[fi].qname.clone()];
+    while let Some((_, Some(parent))) = dist[fi] {
+        fi = parent;
+        chain.push(idx.fns[fi].qname.clone());
+    }
+    chain.reverse();
+    chain
+}
+
+fn body_text(file: &SourceFile, body: (usize, usize)) -> &str {
+    let end = (body.1 + 1).min(file.scrubbed.len());
+    file.scrubbed.get(body.0..end).unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{callgraph, index};
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, t)| SourceFile::parse(p, t))
+            .collect();
+        let idx = index::build(&files);
+        let cg = callgraph::build(&files, &idx);
+        let mut out = Vec::new();
+        check(&files, &idx, &cg, &mut out);
+        out
+    }
+
+    #[test]
+    fn expect_behind_a_route_registration_is_reported_with_its_chain() {
+        let core = "\
+pub struct Ctl;
+impl Ctl {
+    pub fn profile(&self) -> u8 {
+        self.state.profile.as_ref().expect(\"just set\")
+    }
+}
+pub fn tool_router(ctl: &Ctl) {
+    router.route(\"/profile\", move || ctl.profile());
+}
+";
+        let d = run(&[("crates/core/src/service.rs", core)]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, PANIC_REACHABILITY);
+        assert_eq!(d[0].line, 4);
+        assert!(
+            d[0].message.contains("core::service::tool_router"),
+            "{}",
+            d[0].message
+        );
+        assert!(d[0].message.contains("Ctl::profile"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn unreachable_panics_and_serving_sites_are_not_reported() {
+        // `orphan` panics but nothing serving reaches it; the serving
+        // crate's own unwrap is panic-in-lib's domain, not this rule's.
+        let core = "\
+pub fn orphan(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let rest = "\
+pub fn serve(x: Option<u8>) -> u8 {
+    router.route(\"/x\", || 0);
+    x.unwrap()
+}
+";
+        let d = run(&[
+            ("crates/core/src/table.rs", core),
+            ("crates/rest/src/server.rs", rest),
+        ]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn suppressed_invariants_hold_transitively_and_hops_are_bounded() {
+        let core = "\
+pub fn leaf(x: Option<u8>) -> u8 {
+    // lint:allow(panic-in-lib): caller fills the slot first
+    x.unwrap()
+}
+pub fn h5(x: Option<u8>) -> u8 { h4(x) }
+pub fn h4(x: Option<u8>) -> u8 { h3(x) }
+pub fn h3(x: Option<u8>) -> u8 { h2(x) }
+pub fn h2(x: Option<u8>) -> u8 { h1(x) }
+pub fn h1(x: Option<u8>) -> u8 { deep(x) }
+pub fn deep(x: Option<u8>) -> u8 { x.expect(\"six hops out\") }
+";
+        let rest = "\
+pub fn serve(x: Option<u8>) {
+    std::thread::spawn(move || { leaf(x); h5(x); });
+}
+";
+        let d = run(&[
+            ("crates/core/src/table.rs", core),
+            ("crates/rest/src/server.rs", rest),
+        ]);
+        // leaf's unwrap: suppressed invariant, transitively clean.
+        // deep's expect: 6 hops from the root — beyond MAX_HOPS.
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn spawn_target_one_hop_out_is_reported_once() {
+        let core = "\
+pub fn worker_loop(v: &[u8]) -> u8 { v[0] }
+";
+        let rest = "\
+pub fn start(v: Vec<u8>) {
+    std::thread::spawn(move || worker_loop(&v));
+}
+pub fn start_again(v: Vec<u8>) {
+    std::thread::spawn(move || worker_loop(&v));
+}
+";
+        let d = run(&[
+            ("crates/core/src/table.rs", core),
+            ("crates/rest/src/server.rs", rest),
+        ]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert!(d[0].message.contains("integer-literal indexing"));
+        assert!(d[0].message.contains("1 call hop "), "{}", d[0].message);
+    }
+}

@@ -1,0 +1,280 @@
+//! `spawn-without-join`: threads spawned on the serving path that the
+//! shutdown sequence can never wait for.
+//!
+//! Two findings, both anchored at the spawn site:
+//!
+//! - the `JoinHandle` is discarded — `let _ = spawn(…)`, a bare
+//!   `spawn(…);` statement, or a chain whose final value is dropped
+//!   (`builder.spawn(…).expect("…");`);
+//! - the handle *is* kept, but the spawning crate's non-test code
+//!   never calls `.join()` anywhere, so nothing can reap it.
+//!
+//! Spawns inside `thread::scope` are exempt (the scope joins on exit),
+//! as are test lines. Detaching on purpose is legitimate — document it
+//! with `// lint:allow(spawn-without-join): <why detaching is safe>`.
+
+use crate::diag::{Diagnostic, Severity, SPAWN_WITHOUT_JOIN};
+use crate::index::Index;
+use crate::lexer::SourceFile;
+use crate::rules::{area_of, crate_of, find_all, find_words, is_serving_area};
+use std::collections::BTreeSet;
+
+pub fn check(files: &[SourceFile], idx: &Index, diags: &mut Vec<Diagnostic>) {
+    // Which crates have join evidence: any non-test `.join()` call.
+    let mut joining_crates: BTreeSet<String> = BTreeSet::new();
+    for file in files {
+        for off in find_all(&file.scrubbed, ".join()") {
+            let (line, _) = file.line_col(off);
+            if !file.is_test_line(line) {
+                joining_crates.insert(crate_of(&file.path));
+                break;
+            }
+        }
+    }
+
+    for fdef in &idx.fns {
+        if fdef.is_test {
+            continue;
+        }
+        let file = &files[fdef.file];
+        if !is_serving_area(&area_of(&file.path)) {
+            continue;
+        }
+        let end = (fdef.body.1 + 1).min(file.scrubbed.len());
+        let body = file.scrubbed.get(fdef.body.0..end).unwrap_or("");
+        if body.contains("thread::scope") || body.contains("::scope(") {
+            continue; // scoped threads join when the scope exits
+        }
+        let b = file.scrubbed.as_bytes();
+        for off in find_words(body, "spawn") {
+            let abs = off + fdef.body.0;
+            if b.get(abs + 5) != Some(&b'(') {
+                continue; // `spawn` not called here (field, import, …)
+            }
+            let (line, col) = file.line_col(abs);
+            if file.is_test_line(line) {
+                continue;
+            }
+            let head = statement_head(b, abs);
+            if head.trim_end().ends_with("fn") {
+                continue; // a `fn spawn(…)` definition, not a call
+            }
+            match classify(head, b, abs + 5) {
+                Use::Bound => {
+                    if !joining_crates.contains(&crate_of(&file.path)) {
+                        diags.push(Diagnostic {
+                            rule: SPAWN_WITHOUT_JOIN,
+                            severity: Severity::Error,
+                            path: file.path.clone(),
+                            line,
+                            col,
+                            message: "thread spawned in a crate whose non-test code never \
+                                      calls `.join()` — shutdown cannot wait for it; join the \
+                                      handle on shutdown or document the detach reason with \
+                                      `// lint:allow(spawn-without-join): <reason>`"
+                                .to_string(),
+                        });
+                    }
+                }
+                Use::Discarded => {
+                    diags.push(Diagnostic {
+                        rule: SPAWN_WITHOUT_JOIN,
+                        severity: Severity::Error,
+                        path: file.path.clone(),
+                        line,
+                        col,
+                        message: "thread spawned with its JoinHandle discarded — store the \
+                                  handle and join it on shutdown, or document the detach \
+                                  reason with `// lint:allow(spawn-without-join): <reason>`"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+enum Use {
+    /// The handle is bound, stored, passed, or returned.
+    Bound,
+    /// The handle is dropped on the spot.
+    Discarded,
+}
+
+/// Scrubbed text from the nearest statement boundary (`;`, `{`, `}`)
+/// back to the `spawn` token.
+fn statement_head(b: &[u8], spawn_at: usize) -> &str {
+    let mut start = 0;
+    let mut k = spawn_at;
+    while k > 0 {
+        match b[k - 1] {
+            b';' | b'{' | b'}' => {
+                start = k;
+                break;
+            }
+            _ => k -= 1,
+        }
+    }
+    std::str::from_utf8(&b[start..spawn_at]).unwrap_or("")
+}
+
+/// Decide what happens to the spawn's return value. `open` is the byte
+/// offset of the call's `(`.
+fn classify(head: &str, b: &[u8], open: usize) -> Use {
+    let trimmed = head.trim();
+    if let Some(rest) = trimmed.strip_prefix("let ") {
+        let rest = rest.trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        if rest.starts_with("_ ") || rest.starts_with("_=") || rest == "_" {
+            return Use::Discarded; // `let _ = spawn(…)`
+        }
+        return Use::Bound;
+    }
+    // Strip the call's own path prefix (`std::thread::Builder…`) so the
+    // token *before* the callee decides the shape.
+    let tail = trimmed
+        .trim_end_matches(|c: char| c.is_ascii_alphanumeric() || matches!(c, '_' | ':' | '.'))
+        .trim_end();
+    if trimmed.contains('=') // assignment to a field/variable
+        || tail.ends_with('(') // spawn is an argument: `v.push(spawn(…))`
+        || tail.ends_with(',')
+        || tail.ends_with("=>")
+        || tail.ends_with("return")
+    {
+        return Use::Bound;
+    }
+    // Bare expression statement: follow `?` and chained method calls
+    // past the spawn call; a terminating `;` drops the final value.
+    let mut i = skip_call(b, open);
+    loop {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        match b.get(i) {
+            Some(b'?') => i += 1,
+            Some(b'.') => {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                while i < b.len() && b[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                match b.get(i) {
+                    Some(b'(') => i = skip_call(b, i),
+                    _ => return Use::Bound, // field access — unusual, stay silent
+                }
+            }
+            Some(b';') => return Use::Discarded,
+            _ => return Use::Bound, // tail expression (returned)
+        }
+    }
+}
+
+/// Byte offset just past the `)` matching the `(` at `open`.
+fn skip_call(b: &[u8], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, t)| SourceFile::parse(p, t))
+            .collect();
+        let idx = index::build(&files);
+        let mut out = Vec::new();
+        check(&files, &idx, &mut out);
+        out
+    }
+
+    #[test]
+    fn discarded_handles_are_flagged() {
+        let src = "\
+fn a() { std::thread::spawn(|| work()); }
+fn b() { let _ = std::thread::spawn(|| work()); }
+fn c() { std::thread::Builder::new().name(n).spawn(|| work()).expect(\"os\"); }
+";
+        let d = run(&[("crates/rest/src/x.rs", src)]);
+        assert_eq!(d.len(), 3, "{d:#?}");
+        assert!(d.iter().all(|x| x.rule == SPAWN_WITHOUT_JOIN));
+        assert!(d[0].message.contains("discarded"));
+    }
+
+    #[test]
+    fn bound_handles_are_fine_when_the_crate_joins() {
+        let src = "\
+struct S { workers: Vec<std::thread::JoinHandle<()>> }
+impl S {
+    fn start(&mut self) {
+        let h = std::thread::spawn(|| work());
+        self.workers.push(h);
+        self.workers.push(std::thread::spawn(|| work()));
+    }
+    fn shutdown(&mut self) {
+        for t in self.workers.drain(..) { let _ = t.join(); }
+    }
+}
+";
+        assert!(run(&[("crates/rest/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn bound_handle_in_a_never_joining_crate_is_flagged() {
+        let src = "\
+fn start() -> std::thread::JoinHandle<()> {
+    let h = std::thread::spawn(|| work());
+    h
+}
+";
+        let d = run(&[("crates/obs/src/lib.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert!(d[0].message.contains("never"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn scoped_spawns_tests_and_non_serving_crates_are_exempt() {
+        let scoped = "\
+fn f() {
+    std::thread::scope(|s| {
+        s.spawn(|| work());
+    });
+}
+";
+        assert!(run(&[("crates/rest/src/x.rs", scoped)]).is_empty());
+        let test_only = "#[cfg(test)]\nmod t { fn f() { std::thread::spawn(|| {}); } }\n";
+        assert!(run(&[("crates/rest/src/x.rs", test_only)]).is_empty());
+        let non_serving = "fn f() { std::thread::spawn(|| work()); }";
+        assert!(run(&[("crates/table/src/x.rs", non_serving)]).is_empty());
+    }
+
+    #[test]
+    fn tail_expression_spawn_is_a_bound_return() {
+        let src = "\
+fn start() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| work())
+}
+fn stop(h: std::thread::JoinHandle<()>) { let _ = h.join(); }
+";
+        assert!(run(&[("crates/rest/src/x.rs", src)]).is_empty());
+    }
+}

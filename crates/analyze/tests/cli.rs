@@ -136,3 +136,83 @@ fn baseline_report_is_byte_deterministic() {
     assert!(text.contains("\"crates/rest\""));
     assert!(text.ends_with('\n'));
 }
+
+#[test]
+fn explain_prints_the_catalog_entry_and_rejects_unknown_rules() {
+    let out = run(&["--explain", "blocking-while-lock-held"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("blocking-while-lock-held (error)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.lines().count() > 2,
+        "long-form body expected: {stdout}"
+    );
+
+    let out = run(&["--explain", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule `no-such-rule`"), "{stderr}");
+}
+
+#[test]
+fn dump_callgraph_is_byte_deterministic_and_resolves_the_fixture_edge() {
+    let root = fixture("callgraph");
+    let root_s = root.to_str().unwrap();
+    write_lib(
+        &root,
+        "pub fn helper(x: u8) -> u8 {\n    x\n}\npub fn entry(x: u8) -> u8 {\n    helper(x)\n}\n",
+    );
+
+    let a = run(&["--dump-callgraph", "--root", root_s]);
+    assert_eq!(a.status.code(), Some(0));
+    let b = run(&["--dump-callgraph", "--root", root_s]);
+    assert_eq!(
+        a.stdout, b.stdout,
+        "call-graph dump must be byte-identical across runs"
+    );
+
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(text.contains("\"rest::entry\""), "{text}");
+    assert!(text.contains("\"rest::helper\""), "{text}");
+    assert!(text.ends_with('\n'));
+}
+
+/// Wall-clock decomposition of the engine on the real workspace: parse
+/// (scrub + tokenize, once per file) vs the full analysis. Ignored by
+/// default — run with `cargo test --release -p datalens-analyze --test
+/// cli -- --ignored --nocapture` when re-measuring.
+#[test]
+#[ignore = "perf snapshot, run manually in release mode"]
+fn perf_snapshot() {
+    use datalens_analyze::{analyze_sources, discover_files, find_workspace_root, lexer};
+    use std::time::Instant;
+
+    let cwd = std::env::current_dir().unwrap();
+    let root = find_workspace_root(&cwd).expect("workspace root");
+    let paths = discover_files(&root).unwrap();
+    let sources: Vec<(String, String)> = paths
+        .iter()
+        .map(|p| (p.clone(), fs::read_to_string(root.join(p)).unwrap()))
+        .collect();
+
+    let t = Instant::now();
+    let files: Vec<_> = sources
+        .iter()
+        .map(|(p, s)| lexer::SourceFile::parse(p, s))
+        .collect();
+    let parse_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let _ = analyze_sources(&sources);
+    let full_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "perf: {} files, parse(scrub+tokenize) {parse_ms:.1}ms, full analysis {full_ms:.1}ms, \
+         rules+graph {:.1}ms",
+        files.len(),
+        full_ms - parse_ms
+    );
+}

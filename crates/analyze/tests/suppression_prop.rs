@@ -1,0 +1,124 @@
+//! Property test for suppression scoping: a `// lint:allow(...)` comment
+//! clears exactly the item it is written against — never a sibling item
+//! in the same file and never any site in another file — and a
+//! multi-line justification (extra comment-only lines between the
+//! marker and the statement) does not break the link.
+
+use datalens_analyze::analyze_sources;
+use datalens_analyze::diag::PANIC_IN_LIB;
+use proptest::prelude::*;
+
+/// One generated workspace: `per_file[i]` sibling functions in file `i`,
+/// each containing exactly one `.unwrap()` panic site.
+#[derive(Debug, Clone)]
+struct Workspace {
+    per_file: Vec<usize>,
+    /// The (file, fn) that carries the allowance.
+    allowed: (usize, usize),
+    /// Comment-only justification lines between marker and statement.
+    extra_comment_lines: usize,
+    /// Whether the allowance is trailing (same line) or comment-above.
+    trailing: bool,
+}
+
+fn render(ws: &Workspace) -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    for (fi, &n_fns) in ws.per_file.iter().enumerate() {
+        let mut src = String::new();
+        for fj in 0..n_fns {
+            src.push_str(&format!("pub fn f{fi}_{fj}(x: Option<u8>) -> u8 {{\n"));
+            if (fi, fj) == ws.allowed {
+                if ws.trailing {
+                    src.push_str(
+                        "    x.unwrap() // lint:allow(panic-in-lib): caller checked is_some\n",
+                    );
+                } else {
+                    src.push_str("    // lint:allow(panic-in-lib): caller checked is_some\n");
+                    for k in 0..ws.extra_comment_lines {
+                        src.push_str(&format!("    // …justification line {k}\n"));
+                    }
+                    src.push_str("    x.unwrap()\n");
+                }
+            } else {
+                src.push_str("    x.unwrap()\n");
+            }
+            src.push_str("}\n");
+        }
+        // Serving area, so panic-in-lib applies to every site.
+        files.push((format!("crates/rest/src/gen{fi}.rs"), src));
+    }
+    files
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactly one site goes quiet — the one under the allowance — and
+    /// every sibling and cross-file site is still reported.
+    #[test]
+    fn allowance_clears_only_its_own_site(
+        per_file in proptest::collection::vec(1usize..4, 2..4),
+        pick in proptest::collection::vec(0usize..1000, 2),
+        extra_comment_lines in 0usize..3,
+        trailing in any::<bool>(),
+    ) {
+        let file = pick[0] % per_file.len();
+        let func = pick[1] % per_file[file];
+        let ws = Workspace {
+            per_file: per_file.clone(),
+            allowed: (file, func),
+            extra_comment_lines,
+            trailing,
+        };
+        let files = render(&ws);
+        let analysis = analyze_sources(&files);
+        let panics: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == PANIC_IN_LIB)
+            .collect();
+
+        let total_sites: usize = per_file.iter().sum();
+        prop_assert_eq!(
+            panics.len(),
+            total_sites - 1,
+            "exactly the allowed site is quiet: {:#?}\nsources: {:#?}",
+            panics,
+            files
+        );
+        // The quiet site really is the allowed one: its file contributes
+        // one fewer finding than its sibling count.
+        let in_allowed_file = panics
+            .iter()
+            .filter(|d| d.path == files[file].0)
+            .count();
+        prop_assert_eq!(in_allowed_file, per_file[file] - 1);
+        // No other file lost a finding.
+        for (fi, &n) in per_file.iter().enumerate() {
+            if fi != file {
+                let cnt = panics.iter().filter(|d| d.path == files[fi].0).count();
+                prop_assert_eq!(cnt, n, "file {} must keep all {} findings", fi, n);
+            }
+        }
+    }
+
+    /// An allowance with NO reason never clears anything (and is itself
+    /// flagged by suppression-requires-reason).
+    #[test]
+    fn reasonless_allowance_clears_nothing(n_fns in 1usize..4) {
+        let mut src = String::new();
+        for fj in 0..n_fns {
+            src.push_str(&format!("pub fn f{fj}(x: Option<u8>) -> u8 {{\n"));
+            src.push_str("    // lint:allow(panic-in-lib)\n");
+            src.push_str("    x.unwrap()\n}\n");
+        }
+        let files = vec![("crates/rest/src/gen.rs".to_string(), src)];
+        let analysis = analyze_sources(&files);
+        let panics = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == PANIC_IN_LIB)
+            .count();
+        prop_assert_eq!(panics, n_fns);
+    }
+}

@@ -106,6 +106,16 @@ pub struct IterativeCleaningReport {
     pub iterations_run: usize,
 }
 
+/// Pull a categorical (string) parameter out of a trial, as a typed
+/// error when the sampler produced something unexpected.
+fn categorical(params: &datalens_optimize::Params, key: &str) -> Result<String, DataLensError> {
+    params
+        .get(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| DataLensError::State(format!("trial missing categorical param `{key}`")))
+}
+
 /// Materialise the tree hyperparameters a trial selected (defaults when
 /// model parameters are not part of the space).
 fn tree_from_params(params: &datalens_optimize::Params, joint: bool) -> TreeConfig {
@@ -350,14 +360,8 @@ pub fn run_iterative_cleaning(
     let mut iterations_run = 0;
     for _ in 0..config.iterations {
         let trial = study.ask();
-        let detector = trial.params["detector"]
-            .as_str()
-            .expect("categorical")
-            .to_string();
-        let repairer = trial.params["repairer"]
-            .as_str()
-            .expect("categorical")
-            .to_string();
+        let detector = categorical(&trial.params, "detector")?;
+        let repairer = categorical(&trial.params, "repairer")?;
         let tree = tree_from_params(&trial.params, config.include_model_params);
         let score = clean_and_score_with(dirty, rules, &detector, &repairer, config, &tree)
             .unwrap_or(match direction {
@@ -397,16 +401,12 @@ pub fn run_iterative_cleaning(
         );
     }
     let best = TrialOutcome {
-        detector: best_trial.params["detector"]
-            .as_str()
-            .expect("categorical")
-            .to_string(),
-        repairer: best_trial.params["repairer"]
-            .as_str()
-            .expect("categorical")
-            .to_string(),
+        detector: categorical(&best_trial.params, "detector")?,
+        repairer: categorical(&best_trial.params, "repairer")?,
         model_params: best_model_params,
-        score: best_trial.value.expect("completed"),
+        score: best_trial
+            .value
+            .ok_or_else(|| DataLensError::State("best trial has no value".into()))?,
     };
     Ok(IterativeCleaningReport {
         trials,

@@ -416,7 +416,11 @@ impl JobService {
             return;
         }
         self.inner.work_cv.notify_all();
-        for t in self.workers.lock().drain(..) {
+        // Take the handles out first: holding the `workers` lock across
+        // the joins would stall any thread touching the pool until every
+        // worker exits.
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for t in workers {
             let _ = t.join();
         }
         // Wake alert-feed subscribers so their streams can end.
@@ -487,8 +491,15 @@ fn run_job(inner: &Inner, session_id: u64, job: &JobInner) {
     if let Some(m) = &inner.metrics {
         m.running.add(1);
     }
-    let mut ctrl = slot.controller.lock();
-    let mut cursor = ctrl.stage_reports().map(<[_]>::len).unwrap_or(0);
+    // The controller lock is taken per step (inside `run_step`), never
+    // across the whole loop: a multi-second `Sleep` step must not stall
+    // REST handlers that need the same session's controller.
+    let mut cursor = slot
+        .controller
+        .lock()
+        .stage_reports()
+        .map(<[_]>::len)
+        .unwrap_or(0);
     let mut outcome = Ok(());
     let mut cancelled = false;
     for step in &job.spec.steps {
@@ -496,7 +507,7 @@ fn run_job(inner: &Inner, session_id: u64, job: &JobInner) {
             cancelled = true;
             break;
         }
-        outcome = run_step(inner, &mut ctrl, job, step, &mut cursor);
+        outcome = run_step(inner, &slot.controller, job, step, &mut cursor);
         if outcome.is_err() {
             break;
         }
@@ -507,7 +518,6 @@ fn run_job(inner: &Inner, session_id: u64, job: &JobInner) {
     if !cancelled && outcome.is_ok() && job.cancel_requested() {
         cancelled = true;
     }
-    drop(ctrl);
     match (cancelled, outcome) {
         (true, _) => job.finish(JobState::Cancelled, None),
         (false, Ok(())) => job.finish(JobState::Done, None),
@@ -523,28 +533,36 @@ fn run_job(inner: &Inner, session_id: u64, job: &JobInner) {
 /// Run one step, appending the engine stage reports it produced (plus
 /// synthesised reports for stages the controller does not instrument)
 /// and folding its numbers into the job outcome.
+///
+/// Takes the controller *mutex*, not a held guard: each arm locks only
+/// around the controller work it actually does, and alert publication
+/// and job bookkeeping run after the guard is dropped. `Sleep` never
+/// touches the controller at all.
 fn run_step(
     inner: &Inner,
-    ctrl: &mut DashboardController,
+    ctrl: &Mutex<DashboardController>,
     job: &JobInner,
     step: &JobStep,
     cursor: &mut usize,
 ) -> Result<(), DataLensError> {
     match step {
         JobStep::Profile => {
-            let (summary, quality_alerts) = {
+            let (summary, quality_alerts, reports) = {
+                let mut c = ctrl.lock();
                 // A spec-level mode overrides the service default the
                 // controller was configured with.
                 let p = match job.spec.profile_mode {
-                    Some(mode) => ctrl.profile_with_mode(mode)?,
-                    None => ctrl.profile()?,
+                    Some(mode) => c.profile_with_mode(mode)?,
+                    None => c.profile()?,
                 };
                 let summary = ProfileSummary {
                     rows: p.table.n_rows,
                     cols: p.columns.len(),
                     missing_cells: p.table.missing_cells,
                 };
-                (summary, p.alerts.clone())
+                let quality_alerts = p.alerts.clone();
+                let reports = drain_reports(&c, cursor);
+                (summary, quality_alerts, reports)
             };
             for alert in quality_alerts {
                 publish_alert(
@@ -556,19 +574,25 @@ fn run_step(
                     alert.message.clone(),
                 );
             }
-            let reports = drain_reports(ctrl, cursor);
             job.record_step(reports, |o| o.profile = Some(summary));
         }
         JobStep::MineRules { max_g3_error } => {
-            let added = ctrl.discover_rules_approx(*max_g3_error)?;
-            let reports = drain_reports(ctrl, cursor);
+            let (added, reports) = {
+                let mut c = ctrl.lock();
+                let added = c.discover_rules_approx(*max_g3_error)?;
+                (added, drain_reports(&c, cursor))
+            };
             job.record_step(reports, |o| {
                 o.rules_added = Some(o.rules_added.unwrap_or(0) + added)
             });
         }
         JobStep::Detect { tools } => {
             let refs: Vec<&str> = tools.iter().map(String::as_str).collect();
-            let n = ctrl.run_detection(&refs)?;
+            let (n, reports) = {
+                let mut c = ctrl.lock();
+                let n = c.run_detection(&refs)?;
+                (n, drain_reports(&c, cursor))
+            };
             if n > 0 {
                 publish_alert(
                     inner,
@@ -579,14 +603,17 @@ fn run_step(
                     format!("{n} cells flagged by {}", tools.join("+")),
                 );
             }
-            let reports = drain_reports(ctrl, cursor);
             job.record_step(reports, |o| o.n_detections = Some(n));
         }
         JobStep::Repair { tool } => {
-            let n = ctrl.repair(tool)?;
-            let csv = datalens_table::csv::write_csv_str(ctrl.repaired_table()?);
-            let version = ctrl.state()?.repaired_version;
-            let reports = drain_reports(ctrl, cursor);
+            let (n, csv, version, reports) = {
+                let mut c = ctrl.lock();
+                let n = c.repair(tool)?;
+                let csv = datalens_table::csv::write_csv_str(c.repaired_table()?);
+                let version = c.state()?.repaired_version;
+                let reports = drain_reports(&c, cursor);
+                (n, csv, version, reports)
+            };
             job.record_step(reports, |o| {
                 o.n_repaired = Some(n);
                 o.repaired_csv = Some(csv);
@@ -599,19 +626,22 @@ fn run_step(
             iterations,
         } => {
             let start = Instant::now();
-            let cfg = IterativeCleaningConfig {
-                iterations: *iterations,
-                // Cheap candidate tools: iterative search multiplies
-                // their cost by the iteration budget.
-                detectors: vec!["sd".into(), "iqr".into(), "mv_detector".into()],
-                repairers: vec!["standard_imputer".into(), "ml_imputer".into()],
-                seed: ctrl.engine().config().seed,
-                ..IterativeCleaningConfig::new(target.clone(), *task)
-            };
-            let report = run_iterative_cleaning(ctrl.table()?, ctrl.rules()?, &cfg, None)?;
-            let (rows, cells) = {
-                let t = ctrl.table()?;
-                (t.n_rows(), t.n_rows() * t.n_cols())
+            let (report, rows, cells, mut reports) = {
+                let c = ctrl.lock();
+                let cfg = IterativeCleaningConfig {
+                    iterations: *iterations,
+                    // Cheap candidate tools: iterative search multiplies
+                    // their cost by the iteration budget.
+                    detectors: vec!["sd".into(), "iqr".into(), "mv_detector".into()],
+                    repairers: vec!["standard_imputer".into(), "ml_imputer".into()],
+                    seed: c.engine().config().seed,
+                    ..IterativeCleaningConfig::new(target.clone(), *task)
+                };
+                let report = run_iterative_cleaning(c.table()?, c.rules()?, &cfg, None)?;
+                let t = c.table()?;
+                let (rows, cells) = (t.n_rows(), t.n_rows() * t.n_cols());
+                let reports = drain_reports(&c, cursor);
+                (report, rows, cells, reports)
             };
             let synthetic = StageReport {
                 stage: "iterative_clean".into(),
@@ -621,7 +651,6 @@ fn run_step(
                 cells_processed: cells,
                 flags_produced: report.iterations_run,
             };
-            let mut reports = drain_reports(ctrl, cursor);
             reports.push(synthetic);
             job.record_step(reports, |o| o.iterative = Some(report));
         }

@@ -86,11 +86,18 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
         if protected.contains(&cell.col) {
             continue;
         }
-        if errors.contains_key(&cell) || clean.get(cell).expect("in range").is_null() {
+        // `cell_refs()` only yields in-range cells, but a typed miss is
+        // still just a skipped cell, never a panic on the serving path.
+        let Ok(current) = clean.get(cell) else {
+            continue;
+        };
+        if errors.contains_key(&cell) || current.is_null() {
             continue;
         }
         let info = &col_stats[cell.col];
-        let dtype = clean.column(cell.col).expect("in range").dtype();
+        let Some(dtype) = clean.column(cell.col).map(|c| c.dtype()) else {
+            continue;
+        };
 
         // One corruption at most per cell; try types in a fixed order with
         // independent coin flips.
@@ -102,14 +109,14 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
                 DataType::Str => Value::Str(
                     ["?", "unknown", "-", "missing"]
                         .choose(&mut rng)
-                        .expect("nonempty")
+                        .copied()
+                        .unwrap_or("missing")
                         .to_string(),
                 ),
                 _ => {
-                    let s = *config
-                        .sentinels
-                        .choose(&mut rng)
-                        .expect("sentinels nonempty");
+                    let Some(&s) = config.sentinels.choose(&mut rng) else {
+                        continue; // no sentinels configured
+                    };
                     match dtype {
                         DataType::Float => Value::Float(s as f64),
                         _ => Value::Int(s),
@@ -117,11 +124,7 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
                 }
             },
             ErrorType::Outlier => {
-                let v = clean
-                    .get(cell)
-                    .expect("in range")
-                    .as_f64()
-                    .expect("numeric");
+                let Some(v) = current.as_f64() else { continue };
                 let spread = info.std.max(info.mean.abs() * 0.1).max(1.0);
                 let direction = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
                 let shifted = v + direction * spread * rng.random_range(5.0..12.0);
@@ -131,18 +134,13 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
                 }
             }
             ErrorType::Typo => {
-                let s = clean
-                    .get(cell)
-                    .expect("in range")
-                    .as_str()
-                    .expect("string")
-                    .to_string();
-                Value::Str(apply_typo(&s, &mut rng))
+                let Some(s) = current.as_str() else { continue };
+                Value::Str(apply_typo(s, &mut rng))
             }
             ErrorType::CategorySwap | ErrorType::FdViolation => {
-                let current = clean.get(cell).expect("in range").render();
+                let rendered = current.render();
                 let alternatives: Vec<&String> =
-                    info.categories.iter().filter(|c| **c != current).collect();
+                    info.categories.iter().filter(|c| **c != rendered).collect();
                 match alternatives.choose(&mut rng) {
                     Some(alt) => Value::Str((*alt).clone()),
                     None => continue,
@@ -151,11 +149,12 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
         };
         // A sentinel or rounded outlier can coincide with the genuine
         // value; recording that as an error would corrupt the ground truth.
-        if new_value == clean.get(cell).expect("in range") {
+        if new_value == current {
             continue;
         }
-        dirty.set(cell, new_value).expect("in range");
-        errors.insert(cell, kind);
+        if dirty.set(cell, new_value).is_ok() {
+            errors.insert(cell, kind);
+        }
     }
 
     // FD violations on the configured dependent columns (overrides any
@@ -177,14 +176,16 @@ pub fn inject(clean: &Table, config: &InjectionConfig) -> DirtyDataset {
             if errors.contains_key(&cell) {
                 continue;
             }
-            let current = clean.get(cell).expect("in range").render();
+            let Ok(current) = clean.get(cell) else {
+                continue;
+            };
+            let rendered = current.render();
             let alternatives: Vec<&String> =
-                info.categories.iter().filter(|c| **c != current).collect();
+                info.categories.iter().filter(|c| **c != rendered).collect();
             if let Some(alt) = alternatives.choose(&mut rng) {
-                dirty
-                    .set(cell, Value::Str((*alt).clone()))
-                    .expect("in range");
-                errors.insert(cell, ErrorType::FdViolation);
+                if dirty.set(cell, Value::Str((*alt).clone())).is_ok() {
+                    errors.insert(cell, ErrorType::FdViolation);
+                }
             }
         }
     }

@@ -150,15 +150,10 @@ impl TpeSampler {
             .iter()
             .filter(|t| t.value.is_some_and(|v| v.is_finite()))
             .collect();
-        done.sort_by(|a, b| {
-            let (va, vb) = (a.value.expect("filtered"), b.value.expect("filtered"));
-            if direction.better(va, vb) {
-                std::cmp::Ordering::Less
-            } else if direction.better(vb, va) {
-                std::cmp::Ordering::Greater
-            } else {
-                std::cmp::Ordering::Equal
-            }
+        done.sort_by(|a, b| match (a.value, b.value) {
+            (Some(va), Some(vb)) if direction.better(va, vb) => std::cmp::Ordering::Less,
+            (Some(va), Some(vb)) if direction.better(vb, va) => std::cmp::Ordering::Greater,
+            _ => std::cmp::Ordering::Equal,
         });
         let n_good = ((done.len() as f64 * self.gamma).ceil() as usize).clamp(1, done.len().max(1));
         let good = done[..n_good.min(done.len())].to_vec();

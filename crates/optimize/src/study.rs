@@ -76,12 +76,12 @@ impl Study {
         trial
     }
 
-    /// Report a trial's objective value.
+    /// Report a trial's objective value. Unknown ids are ignored — a
+    /// stale id from a dropped trial must not take the study down.
     pub fn tell(&mut self, id: usize, value: f64) {
-        let t = self
-            .trials
-            .get_mut(id)
-            .unwrap_or_else(|| panic!("unknown trial {id}"));
+        let Some(t) = self.trials.get_mut(id) else {
+            return;
+        };
         t.value = Some(value);
     }
 
@@ -99,16 +99,14 @@ impl Study {
         self.trials
             .iter()
             .filter(|t| t.value.is_some_and(|v| v.is_finite()))
-            .max_by(|a, b| {
-                let (va, vb) = (a.value.expect("filtered"), b.value.expect("filtered"));
-                if self.direction.better(va, vb) {
+            .max_by(|a, b| match (a.value, b.value) {
+                (Some(va), Some(vb)) if self.direction.better(va, vb) => {
                     std::cmp::Ordering::Greater
-                } else if self.direction.better(vb, va) {
-                    std::cmp::Ordering::Less
-                } else {
-                    // Tie: prefer the earlier trial (stable).
-                    b.id.cmp(&a.id)
                 }
+                (Some(va), Some(vb)) if self.direction.better(vb, va) => std::cmp::Ordering::Less,
+                // Tie (or a hole the filter already excluded): prefer
+                // the earlier trial (stable).
+                _ => b.id.cmp(&a.id),
             })
     }
 
