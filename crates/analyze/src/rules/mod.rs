@@ -48,7 +48,11 @@ pub fn crate_of(path: &str) -> String {
 pub fn is_serving_area(area: &str) -> bool {
     matches!(
         area,
-        "crates/rest" | "crates/obs" | "crates/core/src/jobs" | "crates/core/src/engine"
+        "crates/rest"
+            | "crates/obs"
+            | "crates/health"
+            | "crates/core/src/jobs"
+            | "crates/core/src/engine"
     )
 }
 
@@ -106,6 +110,7 @@ mod tests {
         assert_eq!(area_of("crates/core/src/table.rs"), "crates/core");
         assert_eq!(area_of("src/main.rs"), "src");
         assert!(is_serving_area("crates/rest"));
+        assert!(is_serving_area("crates/health"));
         assert!(!is_serving_area("crates/core"));
         assert_eq!(crate_of("crates/core/src/jobs/queue.rs"), "crates/core");
     }

@@ -1,0 +1,197 @@
+//! Load-shed latency of the health gate: with the job queue saturated
+//! and the gate holding, how fast does `POST /sessions/{id}/jobs`
+//! answer `429`? The shed happens on a lock-free verdict read before
+//! the queue mutex, so time-to-429 should sit in the sub-millisecond
+//! range even at p99 — that tail is the whole point of admission
+//! control (a shed that queues behind the lock is not a shed).
+//!
+//! Also times `GET /health` probes while holding (the load balancer's
+//! view). Emits `BENCH_health.json` at the repo root.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datalens::jobs::rest::job_service_router;
+use datalens::jobs::{JobService, JobServiceConfig, JobSpec, JobStep};
+use datalens_rest::{Client, Server, ServerConfig};
+
+const QUEUE_DEPTH: usize = 4;
+const SHED_SAMPLES: usize = 512;
+const PROBE_SAMPLES: usize = 256;
+
+/// A service pinned into `hold`: one long-running job serialises its
+/// session while fillers pack the bounded queue to its capacity.
+struct HeldService {
+    service: Arc<JobService>,
+    server: Server,
+    session: u64,
+    jobs: Vec<u64>,
+}
+
+fn start_held_service() -> HeldService {
+    let service = Arc::new(
+        JobService::new(JobServiceConfig {
+            workers: 2,
+            queue_depth: QUEUE_DEPTH,
+            ..JobServiceConfig::default()
+        })
+        .expect("job service"),
+    );
+    let server = Server::start_with(
+        job_service_router(Arc::clone(&service)),
+        ServerConfig {
+            health_gate: Some(service.health_gate()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(30));
+    let resp = client
+        .post(
+            "/sessions",
+            br#"{"fileName":"bench.csv","csv":"a,b\n1,x\n2,y\n"}"#.to_vec(),
+        )
+        .expect("create session");
+    assert_eq!(resp.status, 201);
+    let body: serde_json::Value = resp.json_body().expect("session json");
+    let session = body["session"]["session_id"].as_u64().expect("session id");
+
+    // Pin, wait for the claim, then fill until the first rejection.
+    let pin =
+        serde_json::to_vec(&JobSpec::new(vec![JobStep::Sleep { ms: 600_000 }])).expect("pin spec");
+    let resp = client
+        .post(&format!("/sessions/{session}/jobs"), pin)
+        .expect("pin submit");
+    assert_eq!(resp.status, 202);
+    let body: serde_json::Value = resp.json_body().expect("submit json");
+    let pinner = body["jobId"].as_u64().expect("job id");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status: serde_json::Value = client
+            .get(&format!("/jobs/{pinner}"))
+            .expect("status")
+            .json_body()
+            .expect("status json");
+        if status["state"] == "Running" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "pinner never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut jobs = vec![pinner];
+    let filler =
+        serde_json::to_vec(&JobSpec::new(vec![JobStep::Sleep { ms: 1_000 }])).expect("filler");
+    loop {
+        let resp = client
+            .post(&format!("/sessions/{session}/jobs"), filler.clone())
+            .expect("filler submit");
+        match resp.status {
+            202 => {
+                let body: serde_json::Value = resp.json_body().expect("submit json");
+                jobs.push(body["jobId"].as_u64().expect("job id"));
+            }
+            429 => break,
+            other => panic!("unexpected submit status {other}"),
+        }
+        assert!(jobs.len() <= QUEUE_DEPTH + 1, "queue never rejected");
+    }
+    HeldService {
+        service,
+        server,
+        session,
+        jobs,
+    }
+}
+
+impl HeldService {
+    fn drain(mut self) {
+        let client = Client::new(self.server.addr()).with_timeout(Duration::from_secs(30));
+        for id in &self.jobs {
+            let _ = client.delete(&format!("/jobs/{id}"));
+        }
+        self.server.shutdown();
+        drop(self.service);
+    }
+}
+
+fn percentile_ms(sorted: &[Duration], p: usize) -> f64 {
+    sorted[(sorted.len() - 1) * p / 100].as_secs_f64() * 1e3
+}
+
+fn bench_health(c: &mut Criterion) {
+    let held = start_held_service();
+    let client = Client::new(held.server.addr()).with_timeout(Duration::from_secs(30));
+    let submit_path = format!("/sessions/{}/jobs", held.session);
+    let spec = serde_json::to_vec(&JobSpec::new(vec![JobStep::Sleep { ms: 1_000 }])).expect("spec");
+
+    // Time-to-429 over one warm keep-alive connection.
+    let mut conn = client.connect().expect("warm connection");
+    let mut shed: Vec<Duration> = Vec::with_capacity(SHED_SAMPLES);
+    for _ in 0..SHED_SAMPLES {
+        let started = Instant::now();
+        let resp = conn.post(&submit_path, spec.clone()).expect("shed submit");
+        shed.push(started.elapsed());
+        assert_eq!(resp.status, 429, "gate must shed while holding");
+    }
+    shed.sort();
+    let shed_p50 = percentile_ms(&shed, 50);
+    let shed_p99 = percentile_ms(&shed, 99);
+
+    // /health probe latency while holding (503 + evidence body).
+    let mut probes: Vec<Duration> = Vec::with_capacity(PROBE_SAMPLES);
+    for _ in 0..PROBE_SAMPLES {
+        let started = Instant::now();
+        let resp = conn.get("/health").expect("health probe");
+        probes.push(started.elapsed());
+        assert_eq!(resp.status, 503, "gate must report hold");
+    }
+    probes.sort();
+    let probe_p50 = percentile_ms(&probes, 50);
+    let probe_p99 = percentile_ms(&probes, 99);
+    drop(conn);
+
+    println!(
+        "health shed: time-to-429 p50 {shed_p50:.3} ms, p99 {shed_p99:.3} ms \
+         ({SHED_SAMPLES} samples); /health probe p50 {probe_p50:.3} ms, \
+         p99 {probe_p99:.3} ms ({PROBE_SAMPLES} samples)"
+    );
+
+    let json = serde_json::json!({
+        "benchmark": "health_load_shed",
+        "queue_depth": QUEUE_DEPTH,
+        "shed_samples": SHED_SAMPLES,
+        "shed_time_to_429_p50_ms": shed_p50,
+        "shed_time_to_429_p99_ms": shed_p99,
+        "probe_samples": PROBE_SAMPLES,
+        "health_probe_p50_ms": probe_p50,
+        "health_probe_p99_ms": probe_p99,
+    });
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_health.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&json).expect("render json"),
+    )
+    .expect("write BENCH_health.json");
+    println!("wrote {out}");
+
+    // Register the shed path with the harness report too.
+    let mut group = c.benchmark_group("health");
+    group.sample_size(10);
+    group.bench_function("shed_time_to_429", |b| {
+        let conn = std::cell::RefCell::new(client.connect().expect("warm connection"));
+        b.iter(|| {
+            let resp = conn
+                .borrow_mut()
+                .post(&submit_path, spec.clone())
+                .expect("shed submit");
+            assert_eq!(resp.status, 429);
+        })
+    });
+    group.finish();
+
+    held.drain();
+}
+
+criterion_group!(benches, bench_health);
+criterion_main!(benches);

@@ -21,6 +21,7 @@ use datalens::dashboard::{render_dashboard, render_tab, Tab};
 use datalens::jobs::rest::job_service_router;
 use datalens::jobs::{JobService, JobServiceConfig};
 use datalens::service::tool_service_router;
+use datalens_health::HealthThresholds;
 use datalens_obs::Registry;
 use datalens_profile::ProfileMode;
 use datalens_rest::{metrics_router, Server, ServerConfig};
@@ -68,6 +69,12 @@ serve flags:  --workers N      job-service worker pool size (default 4)
               --http-workers N connection worker-pool size (default 8)
               --max-streams N  concurrent SSE streams cap (default 32;
                             GET /jobs/{id}/events and GET /alerts/events)
+health gate:  --degraded-queue-ratio R  queue fill ratio reported degraded (0.5)
+              --hold-queue-ratio R      queue fill ratio that holds admissions (1.0)
+              --hold-failure-streak N   consecutive failures that hold (5)
+              --hold-stream-ratio R     SSE lane fill ratio that holds (1.0)
+                            verdict + evidence at GET /health; while the
+                            gate holds, submits shed with 429 + Retry-After
 common flags: --seed N   seed for stochastic tools
               --threads N   detect/profile fan-out threads (0 = one per core;
                             serve default 1 to keep per-job work single-threaded)
@@ -259,6 +266,22 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .unwrap_or(32);
     let workspace_dir = flag_value(args, "--workspace").map(std::path::PathBuf::from);
     let profile_mode = parse_profile_mode(args)?;
+    let defaults = HealthThresholds::default();
+    let health = HealthThresholds {
+        queue_degraded_ratio: flag_value(args, "--degraded-queue-ratio")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.queue_degraded_ratio),
+        queue_hold_ratio: flag_value(args, "--hold-queue-ratio")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.queue_hold_ratio),
+        failure_streak_hold: flag_value(args, "--hold-failure-streak")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.failure_streak_hold),
+        stream_hold_ratio: flag_value(args, "--hold-stream-ratio")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.stream_hold_ratio),
+        ..defaults
+    };
     let metrics = Arc::new(Registry::new());
     let service = Arc::new(JobService::new(JobServiceConfig {
         workers,
@@ -268,6 +291,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
         workspace_dir,
         metrics: Some(Arc::clone(&metrics)),
         profile_mode,
+        health,
         ..JobServiceConfig::default()
     })?);
     let router = tool_service_router(seed)
@@ -280,6 +304,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
             workers: http_workers,
             max_streams,
             metrics: Some(metrics),
+            health_gate: Some(service.health_gate()),
             ..ServerConfig::default()
         },
     )?;
@@ -294,6 +319,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     println!("job service: POST /sessions  POST /sessions/{{id}}/jobs  GET /jobs/{{id}}[/result]  DELETE /jobs/{{id}}");
     println!("streaming:   GET /jobs/{{id}}/events  GET /alerts/events (SSE; try `curl -N`)");
     println!("metrics:     GET /metrics (JSON; ?format=prometheus for text exposition)");
+    println!("health:      GET /health (pass/degraded/hold + reason codes; 503 while holding)");
     println!("press Ctrl-C to stop");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

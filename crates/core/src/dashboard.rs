@@ -274,6 +274,10 @@ mod tests {
         assert!(text.contains("jobs_state_total{state=\"done\"}"));
         assert!(text.contains("jobs_queue_wait_ms"));
         assert!(text.contains("engine_stage_ms{stage=\"detect\"}"));
+        // The health gate binds its verdict gauge eagerly, so the panel
+        // shows the rollup (0 = pass) alongside the raw job metrics.
+        assert!(text.contains("health_verdict"));
+        assert!(text.contains("health_transitions_total"));
     }
 
     #[test]

@@ -219,13 +219,19 @@ pub struct JobStatus {
     pub error: Option<String>,
 }
 
-/// Typed job-service failures. [`JobError::QueueFull`] is the
-/// backpressure signal (HTTP 429).
+/// Typed job-service failures. [`JobError::QueueFull`] and
+/// [`JobError::Overloaded`] are the backpressure signals (HTTP 429).
 #[derive(Debug)]
 pub enum JobError {
     /// The bounded queue is at capacity — retry later.
     QueueFull {
         depth: usize,
+    },
+    /// The health gate is at `hold`: the submit was shed before
+    /// touching the queue. `retry_after_secs` is the drain-rate-derived
+    /// back-off hint surfaced as a `Retry-After` header.
+    Overloaded {
+        retry_after_secs: u64,
     },
     UnknownSession(u64),
     UnknownJob(u64),
@@ -240,6 +246,12 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::QueueFull { depth } => {
                 write!(f, "job queue full ({depth} queued) — retry later")
+            }
+            JobError::Overloaded { retry_after_secs } => {
+                write!(
+                    f,
+                    "service under load (health gate hold) — retry in {retry_after_secs}s"
+                )
             }
             JobError::UnknownSession(id) => write!(f, "no session {id}"),
             JobError::UnknownJob(id) => write!(f, "no job {id}"),

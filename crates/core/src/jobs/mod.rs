@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use datalens_health::{HealthGate, HealthReport, HealthThresholds, Verdict};
 use datalens_obs::{labeled, Registry};
 use datalens_table::Table;
 use datalens_tracking::{RunStatus, TrackingError, TrackingStore, EXPERIMENT_JOBS};
@@ -89,6 +90,12 @@ pub struct JobServiceConfig {
     pub event_buffer: usize,
     /// Ring capacity of the service-wide quality-alert feed.
     pub alert_buffer: usize,
+    /// Health-gate thresholds. The gate folds queue depth, per-session
+    /// backlog, failure streaks, stream-lane saturation, and worker
+    /// liveness into the `pass`/`degraded`/`hold` verdict served on
+    /// `GET /health`; at `hold`, [`JobService::submit`] sheds load with
+    /// [`JobError::Overloaded`] before touching the queue lock.
+    pub health: HealthThresholds,
 }
 
 impl Default for JobServiceConfig {
@@ -103,6 +110,7 @@ impl Default for JobServiceConfig {
             profile_mode: datalens_profile::ProfileMode::default(),
             event_buffer: 1024,
             alert_buffer: 256,
+            health: HealthThresholds::default(),
         }
     }
 }
@@ -114,6 +122,7 @@ struct JobMetrics {
     queue_depth: Arc<datalens_obs::Gauge>,
     running: Arc<datalens_obs::Gauge>,
     submitted: Arc<datalens_obs::Counter>,
+    shed: Arc<datalens_obs::Counter>,
     queue_wait: Arc<datalens_obs::Histogram>,
     alerts_emitted: Arc<datalens_obs::Counter>,
 }
@@ -124,6 +133,7 @@ impl JobMetrics {
             queue_depth: registry.gauge("jobs_queue_depth"),
             running: registry.gauge("jobs_running"),
             submitted: registry.counter("jobs_submitted_total"),
+            shed: registry.counter("jobs_shed_total"),
             queue_wait: registry.latency_histogram("jobs_queue_wait_ms"),
             alerts_emitted: registry.counter("alerts_emitted_total"),
             registry,
@@ -151,6 +161,9 @@ struct Inner {
     metrics: Option<JobMetrics>,
     /// Service-wide quality-alert feed (`GET /alerts/events`).
     alerts: Arc<AlertBus>,
+    /// Health rollup: fed by submit/cancel/pop/terminal bookkeeping,
+    /// read by the admission check and `GET /health`.
+    gate: Arc<HealthGate>,
 }
 
 /// The service façade: create sessions, submit jobs, poll, cancel.
@@ -172,6 +185,10 @@ impl JobService {
             None => None,
         };
         let metrics = config.metrics.clone().map(JobMetrics::new);
+        let gate = Arc::new(HealthGate::new(config.health.clone()));
+        if let Some(registry) = &config.metrics {
+            gate.bind_registry(registry);
+        }
         let inner = Arc::new(Inner {
             queues: Mutex::new(SessionQueues::new(config.queue_depth)),
             work_cv: Condvar::new(),
@@ -183,12 +200,22 @@ impl JobService {
             tracking,
             metrics,
             alerts: Arc::new(AlertBus::new(config.alert_buffer)),
+            gate,
             config,
         });
+        {
+            let q = inner.queues.lock();
+            inner.gate.set_queue(q.queued() as u64, q.depth() as u64);
+        }
         let n = inner.config.workers.max(1);
+        inner.gate.set_workers_total(n as u64);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
             let worker_inner = Arc::clone(&inner);
+            // Mark the slot alive *before* the thread runs so a submit
+            // racing startup never sees a not-yet-spawned worker as dead;
+            // the worker's drop guard clears it on exit or unwind.
+            inner.gate.worker_started();
             let spawned = std::thread::Builder::new()
                 .name(format!("datalens-job-worker-{i}"))
                 .spawn(move || worker_loop(&worker_inner));
@@ -197,6 +224,7 @@ impl JobService {
                 Err(e) => {
                     // Unwind the partial pool before surfacing the error
                     // so no worker outlives a service that never existed.
+                    inner.gate.worker_stopped(); // the slot that never spawned
                     inner.stop.store(true, Ordering::SeqCst);
                     inner.work_cv.notify_all();
                     for t in workers {
@@ -206,6 +234,7 @@ impl JobService {
                 }
             }
         }
+        inner.gate.evaluate();
         Ok(JobService {
             inner,
             workers: Mutex::new(workers),
@@ -292,11 +321,25 @@ impl JobService {
 
     // --- jobs ------------------------------------------------------------
 
-    /// Submit a job to a session's queue. Fails fast with
-    /// [`JobError::QueueFull`] when the bounded queue is at capacity.
+    /// Submit a job to a session's queue.
+    ///
+    /// Admission-control order of checks: service stopped → health gate
+    /// (`hold` sheds with [`JobError::Overloaded`] before touching any
+    /// lock) → session exists → bounded queue
+    /// ([`JobError::QueueFull`] at capacity).
     pub fn submit(&self, session_id: u64, spec: JobSpec) -> Result<u64, JobError> {
         if self.inner.stop.load(Ordering::SeqCst) {
             return Err(JobError::Stopped);
+        }
+        // Load shedding: one cached atomic read — the queue lock, the
+        // session registry, and job allocation are all still ahead.
+        if self.inner.gate.verdict() == Verdict::Hold {
+            if let Some(m) = &self.inner.metrics {
+                m.shed.inc();
+            }
+            return Err(JobError::Overloaded {
+                retry_after_secs: self.inner.gate.retry_after_secs(),
+            });
         }
         if !self.inner.sessions.read().contains_key(&session_id) {
             return Err(JobError::UnknownSession(session_id));
@@ -308,14 +351,14 @@ impl JobService {
             spec,
             self.inner.config.event_buffer,
         ));
-        let queued = {
+        {
             let mut q = self.inner.queues.lock();
             q.push(Arc::clone(&job))?;
-            q.queued()
-        };
+            sync_queue_state(&self.inner, &q);
+        }
+        self.inner.gate.evaluate();
         if let Some(m) = &self.inner.metrics {
             m.submitted.inc();
-            m.queue_depth.set(queued as i64);
         }
         self.inner.jobs.write().insert(id, job);
         self.inner.work_cv.notify_one();
@@ -353,13 +396,13 @@ impl JobService {
     pub fn cancel(&self, job_id: u64) -> Result<JobStatus, JobError> {
         let job = self.job(job_id)?;
         job.request_cancel();
-        let (removed, queued) = {
+        let removed = {
             let mut q = self.inner.queues.lock();
-            (q.remove(job.session, job.id), q.queued())
+            let removed = q.remove(job.session, job.id);
+            sync_queue_state(&self.inner, &q);
+            removed
         };
-        if let Some(m) = &self.inner.metrics {
-            m.queue_depth.set(queued as i64);
-        }
+        self.inner.gate.evaluate();
         if removed {
             job.finish(JobState::Cancelled, None);
             self.finish_bookkeeping(&job);
@@ -381,6 +424,25 @@ impl JobService {
     pub fn queue_stats(&self) -> (usize, usize) {
         let q = self.inner.queues.lock();
         (q.queued(), q.depth())
+    }
+
+    // --- health ----------------------------------------------------------
+
+    /// The service's health gate — share it with the HTTP server
+    /// ([`datalens_rest::server::ServerConfig::health_gate`]) so stream
+    /// admission and job admission act on the same verdict.
+    pub fn health_gate(&self) -> Arc<HealthGate> {
+        Arc::clone(&self.inner.gate)
+    }
+
+    /// Evaluate the gate against a fresh queue snapshot — the producer
+    /// side of `GET /health`.
+    pub fn health_report(&self) -> HealthReport {
+        {
+            let q = self.inner.queues.lock();
+            sync_queue_state(&self.inner, &q);
+        }
+        self.inner.gate.evaluate()
     }
 
     // --- event feeds -----------------------------------------------------
@@ -415,6 +477,10 @@ impl JobService {
         if self.inner.stop.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Drain mode: the gate holds (reason `shutdown_in_progress`) so
+        // admission paths shed while the pool winds down.
+        self.inner.gate.set_draining(true);
+        self.inner.gate.evaluate();
         self.inner.work_cv.notify_all();
         // Take the handles out first: holding the `workers` lock across
         // the joins would stall any thread touching the pool until every
@@ -440,23 +506,53 @@ impl Drop for JobService {
 
 // --- worker pool ---------------------------------------------------------
 
+/// Recompute-and-publish the queue-depth outputs (gauge + health-gate
+/// inputs) *while the queue lock is held*, so every publication reflects
+/// one consistent snapshot. Publishing outside the lock from values read
+/// under earlier acquisitions let concurrent submit/pop interleave and
+/// pin a stale depth until the next queue event. Plain atomic stores —
+/// nothing blocks under the lock.
+fn sync_queue_state(inner: &Inner, q: &SessionQueues) {
+    let queued = q.queued();
+    if let Some(m) = &inner.metrics {
+        m.queue_depth.set(queued as i64);
+    }
+    inner.gate.set_queue(queued as u64, q.depth() as u64);
+    inner
+        .gate
+        .set_session_backlog(q.max_session_backlog() as u64);
+}
+
 fn worker_loop(inner: &Inner) {
+    // Paired with the `worker_started` call in `JobService::new`: the
+    // guard marks the slot dead on any exit, including a panic
+    // unwinding out of a job, which flips the gate to `hold`
+    // (`worker_pool_degraded`).
+    struct AliveGuard<'a>(&'a Inner);
+    impl Drop for AliveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.gate.worker_stopped();
+            self.0.gate.evaluate();
+        }
+    }
+    let _alive = AliveGuard(inner);
     loop {
-        let (claimed, queued) = {
+        let claimed = {
             let mut q = inner.queues.lock();
             loop {
                 if inner.stop.load(Ordering::SeqCst) {
                     return;
                 }
                 if let Some(x) = q.pop() {
-                    break (x, q.queued());
+                    sync_queue_state(inner, &q);
+                    break x;
                 }
                 inner.work_cv.wait(&mut q);
             }
         };
+        inner.gate.evaluate();
         let (session_id, job) = claimed;
         if let Some(m) = &inner.metrics {
-            m.queue_depth.set(queued as i64);
             m.queue_wait
                 .observe(job.submitted.elapsed().as_secs_f64() * 1e3);
         }
@@ -708,11 +804,20 @@ fn drain_reports(ctrl: &DashboardController, cursor: &mut usize) -> Vec<StageRep
 /// one state-transition metric and one tracking run per job
 /// (best-effort). Called exactly once per job, at its terminal state.
 fn finish_bookkeeping(inner: &Inner, job: &JobInner) {
-    if let Some(m) = &inner.metrics {
-        let (state, _, _) = job.result();
-        if state.is_terminal() {
+    let (state, _, _) = job.result();
+    if state.is_terminal() {
+        if let Some(m) = &inner.metrics {
             m.record_terminal(state);
         }
+        // Health inputs: failures grow the streak, successes clear it,
+        // cancellations are neutral; every terminal feeds the
+        // drain-rate estimator behind `Retry-After`.
+        inner.gate.record_job_terminal(match state {
+            JobState::Failed => Some(true),
+            JobState::Done => Some(false),
+            _ => None,
+        });
+        inner.gate.evaluate();
     }
     let Some(store) = &inner.tracking else { return };
     let status = job.status();
@@ -844,11 +949,14 @@ mod tests {
         while svc.status(running).unwrap().state == JobState::Queued {
             std::thread::sleep(Duration::from_millis(2));
         }
-        // …fill the queue, then overflow it.
+        // …fill the queue, then overflow it. Filling a depth-1 queue
+        // also trips the health gate (utilisation 1.0 ⇒ hold), so the
+        // overflow is shed by admission control before it can even see
+        // the full queue — both are 429-class backpressure.
         svc.submit(sid, JobSpec::profile()).unwrap();
         assert!(matches!(
             svc.submit(sid, JobSpec::profile()),
-            Err(JobError::QueueFull { depth: 1 })
+            Err(JobError::Overloaded { .. } | JobError::QueueFull { .. })
         ));
         svc.cancel(running).unwrap();
     }
@@ -975,6 +1083,212 @@ mod tests {
         assert!(metrics.counter("alerts_emitted_total").get() > 0);
         drop(sub);
         assert_eq!(svc.alert_subscribers(), 0);
+    }
+
+    /// Terminal events (`result`/`failed`/`cancelled`) in a job's log.
+    fn terminal_events(svc: &JobService, jid: u64) -> Vec<String> {
+        let mut sub = svc.subscribe_job_events(jid).unwrap();
+        let mut terms = Vec::new();
+        loop {
+            match sub.next(Duration::from_millis(100)) {
+                JobFeedItem::Event(e) => {
+                    if matches!(e.event.as_str(), "result" | "failed" | "cancelled") {
+                        terms.push(e.event);
+                    }
+                }
+                JobFeedItem::Idle => {}
+                JobFeedItem::Terminated => break terms,
+            }
+        }
+    }
+
+    #[test]
+    fn queue_depth_gauge_matches_queue_at_quiescence() {
+        // Regression: the gauge used to be `set()` from values read
+        // under three different lock acquisitions; interleavings could
+        // publish a stale depth that never corrected. Hammer
+        // submit/cancel from several threads, then compare the gauge
+        // against `SessionQueues::queued()` once everything settles.
+        let metrics = Arc::new(Registry::new());
+        let svc = Arc::new(
+            JobService::new(JobServiceConfig {
+                workers: 2,
+                queue_depth: 64,
+                metrics: Some(Arc::clone(&metrics)),
+                ..JobServiceConfig::default()
+            })
+            .unwrap(),
+        );
+        let sid = svc.create_session_csv("d.csv", CSV).unwrap();
+        let mut hammers = Vec::new();
+        for t in 0..4 {
+            let svc = Arc::clone(&svc);
+            hammers.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    // Shed/overflow rejections are fine — the point is
+                    // contention on the queue lock, not throughput.
+                    let Ok(jid) = svc.submit(sid, JobSpec::new(vec![JobStep::Sleep { ms: 1 }]))
+                    else {
+                        continue;
+                    };
+                    if (i + t) % 2 == 0 {
+                        let _ = svc.cancel(jid);
+                    }
+                }
+            }));
+        }
+        for h in hammers {
+            h.join().unwrap();
+        }
+        // Quiescence: every surviving job reaches a terminal state.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while svc.list_jobs().iter().any(|j| !j.state.is_terminal()) {
+            assert!(Instant::now() < deadline, "jobs stuck non-terminal");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (queued, _) = svc.queue_stats();
+        assert_eq!(queued, 0, "queue must drain at quiescence");
+        assert_eq!(
+            metrics.gauge("jobs_queue_depth").get(),
+            queued as i64,
+            "gauge diverged from SessionQueues::queued()"
+        );
+    }
+
+    #[test]
+    fn cancel_matrix_queued_running_terminal() {
+        let svc = service(1, 8);
+        let sid = svc.create_session_csv("d.csv", CSV).unwrap();
+
+        // Matrix row 1 — queued: a blocker pins the single worker, so
+        // the victim is cancelled straight out of the queue.
+        let blocker = svc
+            .submit(sid, JobSpec::new(vec![JobStep::Sleep { ms: 5_000 }]))
+            .unwrap();
+        while svc.status(blocker).unwrap().state == JobState::Queued {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let queued_victim = svc.submit(sid, JobSpec::profile()).unwrap();
+        assert_eq!(
+            svc.cancel(queued_victim).unwrap().state,
+            JobState::Cancelled
+        );
+        assert_eq!(terminal_events(&svc, queued_victim), vec!["cancelled"]);
+
+        // Matrix row 2 — running: the blocker is mid-`Sleep`; the
+        // cooperative flag is polled every ≤5ms inside the stage, so
+        // cancellation lands long before the 5s sleep would end.
+        let started = Instant::now();
+        svc.cancel(blocker).unwrap();
+        let status = svc.wait(blocker, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(status.state, JobState::Cancelled);
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "cooperative cancel was not honoured mid-stage: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(terminal_events(&svc, blocker), vec!["cancelled"]);
+
+        // Matrix row 3 — already terminal: cancel is a no-op that must
+        // not overwrite the state or append a second terminal event.
+        let done = svc
+            .submit(sid, JobSpec::new(vec![JobStep::Sleep { ms: 1 }]))
+            .unwrap();
+        assert_eq!(
+            svc.wait(done, Some(Duration::from_secs(10))).unwrap().state,
+            JobState::Done
+        );
+        assert_eq!(svc.cancel(done).unwrap().state, JobState::Done);
+        assert_eq!(terminal_events(&svc, done), vec!["result"]);
+    }
+
+    #[test]
+    fn cancel_racing_worker_pop_lands_exactly_one_terminal_event() {
+        let svc = Arc::new(service(1, 8));
+        let sid = svc.create_session_csv("d.csv", CSV).unwrap();
+        for _ in 0..20 {
+            // A short blocker so the worker's `pop` of the victim races
+            // the cancel below.
+            let blocker = svc
+                .submit(sid, JobSpec::new(vec![JobStep::Sleep { ms: 5 }]))
+                .unwrap();
+            let victim = svc
+                .submit(sid, JobSpec::new(vec![JobStep::Sleep { ms: 1 }]))
+                .unwrap();
+            let canceller = {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    let _ = svc.cancel(victim);
+                })
+            };
+            canceller.join().unwrap();
+            svc.wait(blocker, Some(Duration::from_secs(10))).unwrap();
+            let status = svc.wait(victim, Some(Duration::from_secs(10))).unwrap();
+            // Whoever wins the race, the outcome is a single terminal
+            // state with exactly one terminal event in the log.
+            assert!(
+                matches!(status.state, JobState::Done | JobState::Cancelled),
+                "unexpected state {:?}",
+                status.state
+            );
+            let terms = terminal_events(&svc, victim);
+            assert_eq!(terms.len(), 1, "terminal events: {terms:?}");
+        }
+    }
+
+    #[test]
+    fn health_gate_walks_pass_hold_pass_on_queue_saturation() {
+        let metrics = Arc::new(Registry::new());
+        let svc = JobService::new(JobServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            metrics: Some(Arc::clone(&metrics)),
+            ..JobServiceConfig::default()
+        })
+        .unwrap();
+        let sid = svc.create_session_csv("d.csv", CSV).unwrap();
+        assert_eq!(svc.health_report().verdict, Verdict::Pass);
+
+        // Pin the worker, fill the depth-1 queue ⇒ utilisation 1.0.
+        let blocker = svc
+            .submit(sid, JobSpec::new(vec![JobStep::Sleep { ms: 5_000 }]))
+            .unwrap();
+        while svc.status(blocker).unwrap().state == JobState::Queued {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let filler = svc.submit(sid, JobSpec::profile()).unwrap();
+        let report = svc.health_report();
+        assert_eq!(report.verdict, Verdict::Hold);
+        assert!(report
+            .reasons
+            .iter()
+            .any(|r| r.as_str() == "queue_backpressure_applied"));
+
+        // Admission control sheds before the queue lock…
+        let shed = svc.submit(sid, JobSpec::profile());
+        assert!(matches!(shed, Err(JobError::Overloaded { .. })), "{shed:?}");
+        assert!(metrics.counter("jobs_shed_total").get() > 0);
+        assert_eq!(metrics.gauge("health_verdict").get(), 2);
+
+        // …and draining the queue flips the gate back to pass.
+        svc.cancel(filler).unwrap();
+        svc.cancel(blocker).unwrap();
+        svc.wait(blocker, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(svc.health_report().verdict, Verdict::Pass);
+        assert_eq!(metrics.gauge("health_verdict").get(), 0);
+        assert!(svc.submit(sid, JobSpec::profile()).is_ok());
+    }
+
+    #[test]
+    fn shutdown_holds_the_gate_with_drain_reason() {
+        let svc = service(1, 8);
+        svc.shutdown();
+        let report = svc.health_report();
+        assert_eq!(report.verdict, Verdict::Hold);
+        assert!(report
+            .reasons
+            .iter()
+            .any(|r| r.as_str() == "shutdown_in_progress"));
     }
 
     #[test]

@@ -56,6 +56,12 @@ impl SessionQueues {
         self.active.contains(&session)
     }
 
+    /// Largest per-session backlog among queued jobs — the health
+    /// gate's "one tenant dominating the queue" signal.
+    pub fn max_session_backlog(&self) -> usize {
+        self.pending.values().map(VecDeque::len).max().unwrap_or(0)
+    }
+
     /// Enqueue a job; rejects when the queue is at capacity.
     pub fn push(&mut self, job: Arc<JobInner>) -> Result<(), JobError> {
         if self.queued >= self.depth {
@@ -179,6 +185,29 @@ mod tests {
         // Popping frees capacity.
         q.pop().unwrap();
         q.push(job(3, 3)).unwrap();
+    }
+
+    #[test]
+    fn max_session_backlog_tracks_the_dominating_tenant() {
+        let mut q = SessionQueues::new(8);
+        assert_eq!(q.max_session_backlog(), 0);
+        q.push(job(1, 1)).unwrap();
+        q.push(job(2, 2)).unwrap();
+        q.push(job(3, 2)).unwrap();
+        q.push(job(4, 2)).unwrap();
+        assert_eq!(q.max_session_backlog(), 3);
+        // Claiming session 2's head shrinks its backlog…
+        loop {
+            let (s, _) = q.pop().unwrap();
+            if s == 2 {
+                break;
+            }
+        }
+        assert_eq!(q.max_session_backlog(), 2);
+        // …and cancelling the rest empties it.
+        assert!(q.remove(2, 3));
+        assert!(q.remove(2, 4));
+        assert_eq!(q.max_session_backlog(), q.queued_in(1));
     }
 
     #[test]

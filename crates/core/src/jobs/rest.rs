@@ -17,7 +17,12 @@
 //!   (`plan` → `progress`… → `result`/`cancelled`/`failed`), replayed
 //!   from the start so every subscriber sees identical bytes;
 //! - `GET    /alerts/events`       — live SSE feed of quality alerts
-//!   across all sessions (only alerts published after subscribing).
+//!   across all sessions (only alerts published after subscribing);
+//! - `GET    /health`              — the rollup gate verdict
+//!   (`pass`/`degraded`/`hold`) with machine-readable reason codes and
+//!   per-signal evidence; `200` for `pass`/`degraded`, `503` (with
+//!   `Retry-After`) while the gate holds, so `curl -f /health` doubles
+//!   as a probe.
 //!
 //! Mount the router on a [`datalens_rest::Server`]; it composes with the
 //! synchronous tool bus via [`Router::merge`].
@@ -123,14 +128,23 @@ impl StreamSource for AlertsSse {
     }
 }
 
-fn error_response(e: &JobError) -> Response {
-    let status = match e {
-        JobError::QueueFull { .. } => 429,
-        JobError::UnknownSession(_) | JobError::UnknownJob(_) => 404,
-        JobError::Stopped => 503,
-        JobError::Pipeline(_) => 400,
-    };
-    Response::error(status, &e.to_string())
+/// Map a [`JobError`] to its wire shape. Backpressure rejections (both
+/// a full queue and a gate-shed submit) carry a `Retry-After` header
+/// derived from the service's observed drain rate, so well-behaved
+/// clients have a concrete back-off to honour.
+fn error_response(svc: &JobService, e: &JobError) -> Response {
+    match e {
+        JobError::QueueFull { .. } => Response::error(429, &e.to_string())
+            .with_retry_after(svc.health_gate().retry_after_secs()),
+        JobError::Overloaded { retry_after_secs } => {
+            Response::error(429, &e.to_string()).with_retry_after(*retry_after_secs)
+        }
+        JobError::UnknownSession(_) | JobError::UnknownJob(_) => {
+            Response::error(404, &e.to_string())
+        }
+        JobError::Stopped => Response::error(503, &e.to_string()).with_retry_after(1),
+        JobError::Pipeline(_) => Response::error(400, &e.to_string()),
+    }
 }
 
 fn parse_id(params: &PathParams, key: &str) -> Result<u64, Response> {
@@ -164,7 +178,7 @@ pub fn job_service_router(service: Arc<JobService>) -> Router {
         };
         let id = match created {
             Ok(id) => id,
-            Err(e) => return error_response(&e),
+            Err(e) => return error_response(&svc, &e),
         };
         let session = svc.list_sessions().into_iter().find(|s| s.session_id == id);
         let Some(session) = session else {
@@ -205,7 +219,7 @@ pub fn job_service_router(service: Arc<JobService>) -> Router {
                 resp.status = 202;
                 resp
             }
-            Err(e) => error_response(&e),
+            Err(e) => error_response(&svc, &e),
         }
     });
 
@@ -222,7 +236,7 @@ pub fn job_service_router(service: Arc<JobService>) -> Router {
         };
         match svc.status(id) {
             Ok(status) => Response::json(&status),
-            Err(e) => error_response(&e),
+            Err(e) => error_response(&svc, &e),
         }
     });
 
@@ -247,7 +261,7 @@ pub fn job_service_router(service: Arc<JobService>) -> Router {
                     error,
                 })
             }
-            Err(e) => error_response(&e),
+            Err(e) => error_response(&svc, &e),
         }
     });
 
@@ -259,7 +273,7 @@ pub fn job_service_router(service: Arc<JobService>) -> Router {
         };
         match svc.subscribe_job_events(id) {
             Ok(sub) => Response::stream("text/event-stream", JobEventsSse { sub }),
-            Err(e) => error_response(&e),
+            Err(e) => error_response(&svc, &e),
         }
     });
 
@@ -270,6 +284,17 @@ pub fn job_service_router(service: Arc<JobService>) -> Router {
     });
 
     let svc = Arc::clone(&service);
+    let router = router.route(Method::Get, "/health", move |_, _| {
+        let report = svc.health_report();
+        let mut resp = Response::json(&report.to_json());
+        if report.verdict == datalens_health::Verdict::Hold {
+            resp.status = 503;
+            resp = resp.with_retry_after(report.retry_after_secs);
+        }
+        resp
+    });
+
+    let svc = Arc::clone(&service);
     router.route(Method::Delete, "/jobs/{id}", move |_, params| {
         let id = match parse_id(params, "id") {
             Ok(v) => v,
@@ -277,7 +302,7 @@ pub fn job_service_router(service: Arc<JobService>) -> Router {
         };
         match svc.cancel(id) {
             Ok(status) => Response::json(&status),
-            Err(e) => error_response(&e),
+            Err(e) => error_response(&svc, &e),
         }
     })
 }

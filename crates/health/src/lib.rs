@@ -1,0 +1,813 @@
+//! Health rollup for the DataLens serving stack.
+//!
+//! [`HealthGate`] folds the live signals of the job service and the HTTP
+//! streaming lane — queue depth, per-session backlog, worker failure
+//! streaks, SSE lane saturation, last-job-cycle state — into a single
+//! three-level verdict:
+//!
+//! * `pass` — every signal under its degraded threshold; admit everything.
+//! * `degraded` — at least one signal between its degraded and hold
+//!   thresholds; keep admitting, surface the reasons on `GET /health`.
+//! * `hold` — at least one signal at or past its hold threshold; shed new
+//!   work (429 + `Retry-After`) before it touches any queue lock, and
+//!   refuse new stream subscriptions while existing ones drain.
+//!
+//! Producers (job service, stream lane) update the gate's atomic inputs
+//! and call [`HealthGate::evaluate`]; admission paths read the cached
+//! verdict with [`HealthGate::verdict`] — a single atomic load, so the
+//! shed path stays O(1) and lock-free.
+//!
+//! The verdict lattice and machine-readable reason codes follow the
+//! rollout-gate shape of the rsBot operations runbook: every reason code
+//! maps to one operator action, and every signal carries its evidence
+//! (current value, threshold, window) so the operator never has to guess
+//! which input tripped the gate.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use datalens_obs::{labeled, Counter, Gauge, Registry};
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+
+/// Number of recent job completions the drain-rate estimator remembers.
+const DRAIN_WINDOW: usize = 32;
+
+/// Ceiling for `Retry-After` hints, in seconds.
+const RETRY_AFTER_MAX_SECS: u64 = 60;
+
+/// Rollup verdict, ordered by severity: `Pass < Degraded < Hold`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// All signals nominal.
+    Pass,
+    /// Informational: some signal crossed its degraded threshold.
+    Degraded,
+    /// Shed load: some signal crossed its hold threshold.
+    Hold,
+}
+
+impl Verdict {
+    /// Wire spelling (`pass` / `degraded` / `hold`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Degraded => "degraded",
+            Verdict::Hold => "hold",
+        }
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Verdict::Pass => 0,
+            Verdict::Degraded => 1,
+            Verdict::Hold => 2,
+        }
+    }
+
+    fn from_rank(rank: u8) -> Verdict {
+        match rank {
+            0 => Verdict::Pass,
+            1 => Verdict::Degraded,
+            _ => Verdict::Hold,
+        }
+    }
+}
+
+/// Machine-readable explanation for a non-`pass` signal. Each code maps
+/// to one operator action in the README runbook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReasonCode {
+    /// The job queue is at or past its backpressure thresholds.
+    QueueBackpressureApplied,
+    /// One session's backlog dominates the queue.
+    SessionBacklogged,
+    /// The most recent job cycles failed (streak or last-cycle).
+    RetryableFailuresObserved,
+    /// Fewer workers alive than the pool was configured with.
+    WorkerPoolDegraded,
+    /// The SSE lane is at or near its concurrent-stream cap.
+    StreamLaneSaturated,
+    /// The service is draining for shutdown; nothing new is admitted.
+    ShutdownInProgress,
+}
+
+impl ReasonCode {
+    /// Wire spelling (snake_case).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReasonCode::QueueBackpressureApplied => "queue_backpressure_applied",
+            ReasonCode::SessionBacklogged => "session_backlogged",
+            ReasonCode::RetryableFailuresObserved => "retryable_failures_observed",
+            ReasonCode::WorkerPoolDegraded => "worker_pool_degraded",
+            ReasonCode::StreamLaneSaturated => "stream_lane_saturated",
+            ReasonCode::ShutdownInProgress => "shutdown_in_progress",
+        }
+    }
+}
+
+/// One evaluated signal with its evidence: what was measured, against
+/// which threshold, over which window, and what it contributed to the
+/// rollup.
+#[derive(Debug, Clone)]
+pub struct Signal {
+    /// Metric-style signal name (`jobs_queue_depth`, `sse_streams_active`, …).
+    pub name: &'static str,
+    /// Current value at evaluation time.
+    pub value: f64,
+    /// The threshold this value is judged against. When the signal is
+    /// non-pass this is the boundary that was crossed; when it passes it
+    /// is the nearest (degraded) boundary.
+    pub threshold: f64,
+    /// Observation window the value is computed over.
+    pub window: &'static str,
+    /// This signal's individual verdict.
+    pub verdict: Verdict,
+    /// Reason code, present when `verdict` is not `Pass`.
+    pub reason: Option<ReasonCode>,
+}
+
+impl Signal {
+    fn to_json(&self) -> Value {
+        json!({
+            "name": self.name,
+            "value": self.value,
+            "threshold": self.threshold,
+            "window": self.window,
+            "verdict": self.verdict.as_str(),
+            "reason": match self.reason {
+                Some(r) => Value::Str(r.as_str().to_string()),
+                None => Value::Null,
+            },
+        })
+    }
+}
+
+/// Thresholds for each signal. Ratios are fractions of the configured
+/// capacity (queue depth, stream cap); counts are absolute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthThresholds {
+    /// Queue utilisation (queued / depth) at which the gate degrades.
+    pub queue_degraded_ratio: f64,
+    /// Queue utilisation at which the gate holds and sheds submits.
+    pub queue_hold_ratio: f64,
+    /// Largest single-session backlog as a fraction of queue depth at
+    /// which the gate degrades (one tenant dominating the queue).
+    pub session_backlog_ratio: f64,
+    /// Consecutive failed jobs at which the gate holds.
+    pub failure_streak_hold: u64,
+    /// Stream-lane utilisation at which the gate degrades.
+    pub stream_degraded_ratio: f64,
+    /// Stream-lane utilisation at which the gate holds and refuses new
+    /// subscriptions.
+    pub stream_hold_ratio: f64,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        HealthThresholds {
+            queue_degraded_ratio: 0.5,
+            queue_hold_ratio: 1.0,
+            session_backlog_ratio: 0.5,
+            failure_streak_hold: 5,
+            stream_degraded_ratio: 0.75,
+            stream_hold_ratio: 1.0,
+        }
+    }
+}
+
+/// Result of one [`HealthGate::evaluate`] pass: the folded verdict, the
+/// deduplicated reason codes, and the per-signal evidence.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Folded verdict (max severity across signals).
+    pub verdict: Verdict,
+    /// Deduplicated reason codes from all non-pass signals.
+    pub reasons: Vec<ReasonCode>,
+    /// Evidence rows, one per evaluated signal.
+    pub signals: Vec<Signal>,
+    /// Suggested client back-off, derived from the current drain rate.
+    pub retry_after_secs: u64,
+}
+
+impl HealthReport {
+    /// Wire shape served on `GET /health`.
+    pub fn to_json(&self) -> Value {
+        let mut reasons = Vec::with_capacity(self.reasons.len());
+        for r in &self.reasons {
+            reasons.push(Value::Str(r.as_str().to_string()));
+        }
+        let mut signals = Vec::with_capacity(self.signals.len());
+        for s in &self.signals {
+            signals.push(s.to_json());
+        }
+        json!({
+            "verdict": self.verdict.as_str(),
+            "reasons": Value::Arr(reasons),
+            "signals": Value::Arr(signals),
+            "retry_after_secs": self.retry_after_secs,
+        })
+    }
+}
+
+struct GateMetrics {
+    verdict: Arc<Gauge>,
+    transitions: [Arc<Counter>; 3],
+}
+
+/// Shared health gate. Producers update the atomic inputs and call
+/// [`evaluate`](HealthGate::evaluate); admission paths read the cached
+/// verdict with a single atomic load.
+pub struct HealthGate {
+    thresholds: HealthThresholds,
+    queued: AtomicU64,
+    queue_capacity: AtomicU64,
+    session_backlog_max: AtomicU64,
+    failure_streak: AtomicU64,
+    last_cycle_failed: AtomicBool,
+    cycles_seen: AtomicU64,
+    workers_alive: AtomicU64,
+    workers_total: AtomicU64,
+    streams_active: AtomicU64,
+    streams_capacity: AtomicU64,
+    draining: AtomicBool,
+    cached: AtomicU8,
+    completions: Mutex<std::collections::VecDeque<Instant>>,
+    metrics: Mutex<Option<GateMetrics>>,
+}
+
+impl std::fmt::Debug for HealthGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthGate")
+            .field("verdict", &self.verdict())
+            .field("queued", &self.queued.load(Ordering::SeqCst))
+            .field(
+                "streams_active",
+                &self.streams_active.load(Ordering::SeqCst),
+            )
+            .finish()
+    }
+}
+
+impl Default for HealthGate {
+    fn default() -> Self {
+        HealthGate::new(HealthThresholds::default())
+    }
+}
+
+impl HealthGate {
+    /// Build a gate with the given thresholds. All inputs start at zero
+    /// and the cached verdict at `pass`.
+    pub fn new(thresholds: HealthThresholds) -> HealthGate {
+        HealthGate {
+            thresholds,
+            queued: AtomicU64::new(0),
+            queue_capacity: AtomicU64::new(0),
+            session_backlog_max: AtomicU64::new(0),
+            failure_streak: AtomicU64::new(0),
+            last_cycle_failed: AtomicBool::new(false),
+            cycles_seen: AtomicU64::new(0),
+            workers_alive: AtomicU64::new(0),
+            workers_total: AtomicU64::new(0),
+            streams_active: AtomicU64::new(0),
+            streams_capacity: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            cached: AtomicU8::new(Verdict::Pass.rank()),
+            completions: Mutex::new(std::collections::VecDeque::with_capacity(DRAIN_WINDOW)),
+            metrics: Mutex::new(None),
+        }
+    }
+
+    /// Active thresholds.
+    pub fn thresholds(&self) -> &HealthThresholds {
+        &self.thresholds
+    }
+
+    /// Register the gate's exposition metrics on `registry`:
+    /// `health_verdict` (0 = pass, 1 = degraded, 2 = hold) and one
+    /// `health_transitions_total{to=…}` counter per verdict level.
+    /// Eager registration keeps the dashboard panel showing zeros
+    /// before the first transition.
+    pub fn bind_registry(&self, registry: &Registry) {
+        let metrics = GateMetrics {
+            verdict: registry.gauge("health_verdict"),
+            transitions: [
+                registry.counter(&labeled("health_transitions_total", &[("to", "pass")])),
+                registry.counter(&labeled("health_transitions_total", &[("to", "degraded")])),
+                registry.counter(&labeled("health_transitions_total", &[("to", "hold")])),
+            ],
+        };
+        metrics.verdict.set(self.verdict().rank() as i64);
+        *self.metrics.lock() = Some(metrics);
+    }
+
+    // ── producer inputs ──────────────────────────────────────────────
+
+    /// Publish queue occupancy. Call while the queue lock is held so the
+    /// snapshot is internally consistent (plain atomic stores — nothing
+    /// blocking happens here).
+    pub fn set_queue(&self, queued: u64, capacity: u64) {
+        self.queued.store(queued, Ordering::SeqCst);
+        self.queue_capacity.store(capacity, Ordering::SeqCst);
+    }
+
+    /// Publish the largest single-session backlog.
+    pub fn set_session_backlog(&self, backlog: u64) {
+        self.session_backlog_max.store(backlog, Ordering::SeqCst);
+    }
+
+    /// Publish stream-lane occupancy.
+    pub fn set_streams(&self, active: u64, capacity: u64) {
+        self.streams_active.store(active, Ordering::SeqCst);
+        self.streams_capacity.store(capacity, Ordering::SeqCst);
+    }
+
+    /// Declare the configured worker-pool size.
+    pub fn set_workers_total(&self, total: u64) {
+        self.workers_total.store(total, Ordering::SeqCst);
+    }
+
+    /// A worker thread came up.
+    pub fn worker_started(&self) {
+        self.workers_alive.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A worker thread exited (normally or by unwinding).
+    pub fn worker_stopped(&self) {
+        // Saturating decrement: a stray extra call must not wrap to
+        // u64::MAX and pin the gate at hold forever.
+        let _ = self
+            .workers_alive
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |alive| {
+                Some(alive.saturating_sub(1))
+            });
+    }
+
+    /// Enter drain mode: the gate holds until the process exits.
+    pub fn set_draining(&self, draining: bool) {
+        self.draining.store(draining, Ordering::SeqCst);
+    }
+
+    /// Record one job reaching a terminal state. `failed` drives the
+    /// failure streak (`None` — e.g. a cancellation — leaves the streak
+    /// untouched); every terminal feeds the drain-rate estimator.
+    pub fn record_job_terminal(&self, failed: Option<bool>) {
+        self.cycles_seen.fetch_add(1, Ordering::SeqCst);
+        match failed {
+            Some(true) => {
+                self.failure_streak.fetch_add(1, Ordering::SeqCst);
+                self.last_cycle_failed.store(true, Ordering::SeqCst);
+            }
+            Some(false) => {
+                self.failure_streak.store(0, Ordering::SeqCst);
+                self.last_cycle_failed.store(false, Ordering::SeqCst);
+            }
+            None => {}
+        }
+        let mut window = self.completions.lock();
+        if window.len() == DRAIN_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(Instant::now());
+    }
+
+    // ── admission reads ──────────────────────────────────────────────
+
+    /// Cached verdict from the most recent [`evaluate`](Self::evaluate):
+    /// one atomic load, safe on any hot path.
+    pub fn verdict(&self) -> Verdict {
+        Verdict::from_rank(self.cached.load(Ordering::SeqCst))
+    }
+
+    /// Suggested client back-off in whole seconds, derived from the
+    /// observed drain rate: how long until the current backlog (plus the
+    /// caller's job) has drained. Integer seconds, floor 1, capped at
+    /// 60. Returns the floor when no completions have been observed
+    /// yet.
+    pub fn retry_after_secs(&self) -> u64 {
+        let queued = self.queued.load(Ordering::SeqCst);
+        let window = self.completions.lock();
+        if window.len() < 2 {
+            return 1;
+        }
+        let (first, last) = match (window.front(), window.back()) {
+            (Some(f), Some(l)) => (*f, *l),
+            _ => return 1,
+        };
+        let span = last.duration_since(first).as_secs_f64();
+        if span <= 0.0 {
+            return 1;
+        }
+        let rate = (window.len() - 1) as f64 / span; // jobs per second
+        let secs = ((queued + 1) as f64 / rate).ceil();
+        (secs as u64).clamp(1, RETRY_AFTER_MAX_SECS)
+    }
+
+    // ── evaluation ───────────────────────────────────────────────────
+
+    /// Fold every signal into a fresh verdict, cache it for admission
+    /// reads, update the exposition metrics, and return the full report
+    /// with per-signal evidence.
+    pub fn evaluate(&self) -> HealthReport {
+        let t = &self.thresholds;
+        let mut signals: Vec<Signal> = Vec::with_capacity(7);
+
+        // 1. Queue occupancy → queue_backpressure_applied.
+        let queued = self.queued.load(Ordering::SeqCst) as f64;
+        let capacity = self.queue_capacity.load(Ordering::SeqCst) as f64;
+        signals.push(ratio_signal(
+            "jobs_queue_depth",
+            queued,
+            capacity,
+            t.queue_degraded_ratio,
+            t.queue_hold_ratio,
+            "instantaneous",
+            ReasonCode::QueueBackpressureApplied,
+        ));
+
+        // 2. Per-session backlog → session_backlogged (degraded only:
+        //    one noisy tenant is a fairness concern, not an outage).
+        let backlog = self.session_backlog_max.load(Ordering::SeqCst) as f64;
+        let backlog_threshold = t.session_backlog_ratio * capacity;
+        let backlog_verdict = if capacity > 0.0 && backlog >= backlog_threshold && backlog > 0.0 {
+            Verdict::Degraded
+        } else {
+            Verdict::Pass
+        };
+        signals.push(Signal {
+            name: "jobs_session_backlog_max",
+            value: backlog,
+            threshold: backlog_threshold,
+            window: "instantaneous",
+            verdict: backlog_verdict,
+            reason: non_pass(backlog_verdict, ReasonCode::SessionBacklogged),
+        });
+
+        // 3. Last job cycle → retryable_failures_observed (degraded).
+        let cycles = self.cycles_seen.load(Ordering::SeqCst);
+        let last_failed = cycles > 0 && self.last_cycle_failed.load(Ordering::SeqCst);
+        let last_verdict = if last_failed {
+            Verdict::Degraded
+        } else {
+            Verdict::Pass
+        };
+        signals.push(Signal {
+            name: "jobs_last_cycle_failed",
+            value: if last_failed { 1.0 } else { 0.0 },
+            threshold: 1.0,
+            window: "last_terminal_job",
+            verdict: last_verdict,
+            reason: non_pass(last_verdict, ReasonCode::RetryableFailuresObserved),
+        });
+
+        // 4. Failure streak → retryable_failures_observed (hold).
+        let streak = self.failure_streak.load(Ordering::SeqCst);
+        let streak_verdict = if streak >= t.failure_streak_hold {
+            Verdict::Hold
+        } else {
+            Verdict::Pass
+        };
+        signals.push(Signal {
+            name: "jobs_failure_streak",
+            value: streak as f64,
+            threshold: t.failure_streak_hold as f64,
+            window: "consecutive_terminal_jobs",
+            verdict: streak_verdict,
+            reason: non_pass(streak_verdict, ReasonCode::RetryableFailuresObserved),
+        });
+
+        // 5. Worker pool → worker_pool_degraded (hold: lost workers do
+        //    not come back without a restart).
+        let alive = self.workers_alive.load(Ordering::SeqCst) as f64;
+        let total = self.workers_total.load(Ordering::SeqCst) as f64;
+        let workers_verdict = if total > 0.0 && alive < total {
+            Verdict::Hold
+        } else {
+            Verdict::Pass
+        };
+        signals.push(Signal {
+            name: "jobs_workers_alive",
+            value: alive,
+            threshold: total,
+            window: "instantaneous",
+            verdict: workers_verdict,
+            reason: non_pass(workers_verdict, ReasonCode::WorkerPoolDegraded),
+        });
+
+        // 6. Stream lane → stream_lane_saturated.
+        let streams = self.streams_active.load(Ordering::SeqCst) as f64;
+        let stream_cap = self.streams_capacity.load(Ordering::SeqCst) as f64;
+        signals.push(ratio_signal(
+            "sse_streams_active",
+            streams,
+            stream_cap,
+            t.stream_degraded_ratio,
+            t.stream_hold_ratio,
+            "instantaneous",
+            ReasonCode::StreamLaneSaturated,
+        ));
+
+        // 7. Drain mode → shutdown_in_progress (hold).
+        let draining = self.draining.load(Ordering::SeqCst);
+        let drain_verdict = if draining {
+            Verdict::Hold
+        } else {
+            Verdict::Pass
+        };
+        signals.push(Signal {
+            name: "service_draining",
+            value: if draining { 1.0 } else { 0.0 },
+            threshold: 1.0,
+            window: "instantaneous",
+            verdict: drain_verdict,
+            reason: non_pass(drain_verdict, ReasonCode::ShutdownInProgress),
+        });
+
+        // Fold by max severity and dedupe reason codes in signal order.
+        let mut verdict = Verdict::Pass;
+        let mut reasons: Vec<ReasonCode> = Vec::with_capacity(signals.len());
+        for s in &signals {
+            if s.verdict > verdict {
+                verdict = s.verdict;
+            }
+            if let Some(r) = s.reason {
+                if !reasons.contains(&r) {
+                    reasons.push(r);
+                }
+            }
+        }
+
+        let previous = Verdict::from_rank(self.cached.swap(verdict.rank(), Ordering::SeqCst));
+        if let Some(m) = self.metrics.lock().as_ref() {
+            m.verdict.set(verdict.rank() as i64);
+            if previous != verdict {
+                m.transitions[verdict.rank() as usize].inc();
+            }
+        }
+
+        HealthReport {
+            verdict,
+            reasons,
+            signals,
+            retry_after_secs: self.retry_after_secs(),
+        }
+    }
+}
+
+fn non_pass(verdict: Verdict, reason: ReasonCode) -> Option<ReasonCode> {
+    if verdict == Verdict::Pass {
+        None
+    } else {
+        Some(reason)
+    }
+}
+
+/// Judge a `value / capacity` utilisation against a degraded and a hold
+/// ratio. Zero capacity means the resource is unconfigured: pass.
+fn ratio_signal(
+    name: &'static str,
+    value: f64,
+    capacity: f64,
+    degraded_ratio: f64,
+    hold_ratio: f64,
+    window: &'static str,
+    reason: ReasonCode,
+) -> Signal {
+    let (verdict, threshold) = if capacity <= 0.0 {
+        (Verdict::Pass, degraded_ratio * capacity)
+    } else {
+        let ratio = value / capacity;
+        if ratio >= hold_ratio {
+            (Verdict::Hold, hold_ratio * capacity)
+        } else if ratio >= degraded_ratio {
+            (Verdict::Degraded, degraded_ratio * capacity)
+        } else {
+            (Verdict::Pass, degraded_ratio * capacity)
+        }
+    };
+    Signal {
+        name,
+        value,
+        threshold,
+        window,
+        verdict,
+        reason: non_pass(verdict, reason),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn idle_gate_passes() {
+        let gate = HealthGate::default();
+        let report = gate.evaluate();
+        assert_eq!(report.verdict, Verdict::Pass);
+        assert!(report.reasons.is_empty(), "{:?}", report.reasons);
+        assert_eq!(report.signals.len(), 7);
+        assert!(report.signals.iter().all(|s| s.verdict == Verdict::Pass));
+        assert_eq!(gate.verdict(), Verdict::Pass);
+    }
+
+    #[test]
+    fn queue_saturation_walks_the_lattice_and_recovers() {
+        let gate = HealthGate::default();
+        gate.set_queue(0, 8);
+        assert_eq!(gate.evaluate().verdict, Verdict::Pass);
+
+        gate.set_queue(4, 8); // 0.5 ⇒ degraded
+        let report = gate.evaluate();
+        assert_eq!(report.verdict, Verdict::Degraded);
+        assert_eq!(report.reasons, vec![ReasonCode::QueueBackpressureApplied]);
+
+        gate.set_queue(8, 8); // 1.0 ⇒ hold
+        let report = gate.evaluate();
+        assert_eq!(report.verdict, Verdict::Hold);
+        assert!(report
+            .reasons
+            .contains(&ReasonCode::QueueBackpressureApplied));
+        assert_eq!(gate.verdict(), Verdict::Hold);
+
+        gate.set_queue(0, 8); // drained ⇒ pass again
+        assert_eq!(gate.evaluate().verdict, Verdict::Pass);
+        assert_eq!(gate.verdict(), Verdict::Pass);
+    }
+
+    #[test]
+    fn evidence_rows_carry_value_threshold_window() {
+        let gate = HealthGate::default();
+        gate.set_queue(8, 8);
+        let report = gate.evaluate();
+        let queue = report
+            .signals
+            .iter()
+            .find(|s| s.name == "jobs_queue_depth")
+            .expect("queue signal present");
+        assert_eq!(queue.value, 8.0);
+        assert_eq!(queue.threshold, 8.0); // hold boundary that was crossed
+        assert_eq!(queue.window, "instantaneous");
+        assert_eq!(queue.verdict, Verdict::Hold);
+        assert_eq!(queue.reason, Some(ReasonCode::QueueBackpressureApplied));
+    }
+
+    #[test]
+    fn stream_lane_saturation_holds() {
+        let gate = HealthGate::default();
+        gate.set_streams(3, 4); // 0.75 ⇒ degraded
+        assert_eq!(gate.evaluate().verdict, Verdict::Degraded);
+        gate.set_streams(4, 4); // 1.0 ⇒ hold
+        let report = gate.evaluate();
+        assert_eq!(report.verdict, Verdict::Hold);
+        assert_eq!(report.reasons, vec![ReasonCode::StreamLaneSaturated]);
+        gate.set_streams(0, 4);
+        assert_eq!(gate.evaluate().verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn failure_streak_holds_and_one_success_clears_it() {
+        let gate = HealthGate::default();
+        for _ in 0..4 {
+            gate.record_job_terminal(Some(true));
+        }
+        // Streak 4 < hold 5, but the last cycle failed ⇒ degraded.
+        let report = gate.evaluate();
+        assert_eq!(report.verdict, Verdict::Degraded);
+        assert_eq!(report.reasons, vec![ReasonCode::RetryableFailuresObserved]);
+
+        gate.record_job_terminal(Some(true)); // streak 5 ⇒ hold
+        assert_eq!(gate.evaluate().verdict, Verdict::Hold);
+
+        gate.record_job_terminal(Some(false)); // success resets
+        assert_eq!(gate.evaluate().verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn cancellations_leave_the_streak_untouched() {
+        let gate = HealthGate::default();
+        gate.record_job_terminal(Some(true));
+        gate.record_job_terminal(None); // cancelled: neutral
+        let report = gate.evaluate();
+        assert_eq!(report.verdict, Verdict::Degraded); // last *failure* still recent
+        let streak = report
+            .signals
+            .iter()
+            .find(|s| s.name == "jobs_failure_streak")
+            .expect("streak signal");
+        assert_eq!(streak.value, 1.0);
+    }
+
+    #[test]
+    fn dead_worker_holds_the_gate() {
+        let gate = HealthGate::default();
+        gate.set_workers_total(2);
+        gate.worker_started();
+        gate.worker_started();
+        assert_eq!(gate.evaluate().verdict, Verdict::Pass);
+        gate.worker_stopped();
+        let report = gate.evaluate();
+        assert_eq!(report.verdict, Verdict::Hold);
+        assert_eq!(report.reasons, vec![ReasonCode::WorkerPoolDegraded]);
+    }
+
+    #[test]
+    fn draining_holds_with_shutdown_reason() {
+        let gate = HealthGate::default();
+        gate.set_draining(true);
+        let report = gate.evaluate();
+        assert_eq!(report.verdict, Verdict::Hold);
+        assert_eq!(report.reasons, vec![ReasonCode::ShutdownInProgress]);
+    }
+
+    #[test]
+    fn retry_after_floor_is_one_second() {
+        let gate = HealthGate::default();
+        assert_eq!(gate.retry_after_secs(), 1); // no completions observed
+        gate.record_job_terminal(Some(false));
+        assert_eq!(gate.retry_after_secs(), 1); // single sample: still floor
+    }
+
+    #[test]
+    fn retry_after_tracks_drain_rate_and_caps() {
+        let gate = HealthGate::default();
+        // Two completions 100ms apart ⇒ ~10 jobs/sec.
+        gate.record_job_terminal(Some(false));
+        std::thread::sleep(Duration::from_millis(100));
+        gate.record_job_terminal(Some(false));
+        gate.set_queue(40, 64);
+        let secs = gate.retry_after_secs();
+        // 41 jobs at ~10/sec ≈ 4–6s depending on scheduler jitter.
+        assert!((1..=RETRY_AFTER_MAX_SECS).contains(&secs), "secs = {secs}");
+        assert!(secs >= 2, "expected a drain-rate-derived hint, got {secs}");
+
+        gate.set_queue(1_000_000, 1_000_000);
+        assert_eq!(gate.retry_after_secs(), RETRY_AFTER_MAX_SECS);
+    }
+
+    #[test]
+    fn report_json_shape_is_stable() {
+        let gate = HealthGate::default();
+        gate.set_queue(8, 8);
+        let report = gate.evaluate();
+        let json = report.to_json();
+        assert_eq!(json["verdict"].as_str(), Some("hold"));
+        let reasons = json["reasons"].as_array().expect("reasons array");
+        assert!(reasons
+            .iter()
+            .any(|r| r.as_str() == Some("queue_backpressure_applied")));
+        let signals = json["signals"].as_array().expect("signals array");
+        assert_eq!(signals.len(), 7);
+        assert!(signals.iter().all(|s| {
+            s["name"].as_str().is_some()
+                && s["value"].as_f64().is_some()
+                && s["threshold"].as_f64().is_some()
+                && s["window"].as_str().is_some()
+                && s["verdict"].as_str().is_some()
+        }));
+        assert!(json["retry_after_secs"].as_u64().is_some());
+    }
+
+    #[test]
+    fn verdict_metrics_expose_level_and_transitions() {
+        let registry = Registry::new();
+        let gate = HealthGate::default();
+        gate.bind_registry(&registry);
+        let exported = registry.to_json();
+        assert_eq!(exported["gauges"]["health_verdict"].as_i64(), Some(0));
+
+        gate.set_queue(8, 8);
+        gate.evaluate();
+        let exported = registry.to_json();
+        assert_eq!(exported["gauges"]["health_verdict"].as_i64(), Some(2));
+        assert_eq!(
+            exported["counters"]["health_transitions_total{to=\"hold\"}"].as_u64(),
+            Some(1)
+        );
+
+        gate.evaluate(); // steady state: no new transition
+        let exported = registry.to_json();
+        assert_eq!(
+            exported["counters"]["health_transitions_total{to=\"hold\"}"].as_u64(),
+            Some(1)
+        );
+
+        gate.set_queue(0, 8);
+        gate.evaluate();
+        let exported = registry.to_json();
+        assert_eq!(exported["gauges"]["health_verdict"].as_i64(), Some(0));
+        assert_eq!(
+            exported["counters"]["health_transitions_total{to=\"pass\"}"].as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn worker_stop_without_start_saturates_at_zero() {
+        let gate = HealthGate::default();
+        gate.worker_stopped();
+        gate.set_workers_total(0);
+        assert_eq!(gate.evaluate().verdict, Verdict::Pass);
+    }
+}

@@ -190,6 +190,46 @@ impl Histogram {
             sum: self.sum(),
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the bucket holding the target rank — the usual
+    /// Prometheus-style `histogram_quantile` estimate. Returns 0 when
+    /// the histogram is empty. Observations in the overflow (`+Inf`)
+    /// bucket are attributed to the largest finite bound, so the
+    /// estimate is a lower bound there.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+impl HistogramSnapshot {
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if (cumulative as f64) < rank {
+                continue;
+            }
+            if n == 0 {
+                continue;
+            }
+            let upper = match self.bounds.get(idx) {
+                Some(&b) => b,
+                // Overflow bucket: clamp to the largest finite bound.
+                None => return self.bounds.last().copied().unwrap_or(0.0),
+            };
+            let lower = if idx == 0 { 0.0 } else { self.bounds[idx - 1] };
+            let into = rank - (cumulative - n) as f64;
+            return lower + (upper - lower) * (into / n as f64);
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
 }
 
 /// One registered metric.
@@ -467,6 +507,33 @@ mod tests {
         h.observe(1.0);
         h.observe(2.0);
         assert_eq!(h.snapshot().buckets, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new(&[10.0, 20.0, 40.0]);
+        assert_eq!(h.quantile(0.5), 0.0); // empty histogram
+        for _ in 0..50 {
+            h.observe(5.0); // bucket (0, 10]
+        }
+        for _ in 0..50 {
+            h.observe(15.0); // bucket (10, 20]
+        }
+        // Median sits exactly at the first bucket's upper bound.
+        assert!((h.quantile(0.5) - 10.0).abs() < 1e-9, "{}", h.quantile(0.5));
+        // p99 interpolates inside the second bucket: rank 99 of 100.
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 19.0 && p99 <= 20.0, "{p99}");
+        // Out-of-range q clamps rather than panicking.
+        assert!(h.quantile(2.0) <= 20.0);
+        assert!(h.quantile(-1.0) >= 0.0);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_clamps_to_last_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(100.0); // +Inf bucket
+        assert_eq!(h.quantile(0.5), 2.0);
     }
 
     #[test]

@@ -392,6 +392,14 @@ impl Response {
         r
     }
 
+    /// Attach a `Retry-After` header (whole seconds, floor 1) — the
+    /// back-off contract on load-shedding 429/503 responses.
+    pub fn with_retry_after(mut self, secs: u64) -> Response {
+        self.headers
+            .insert("retry-after".into(), secs.max(1).to_string());
+        self
+    }
+
     /// Parse the response body as JSON.
     pub fn json_body<T: serde::de::DeserializeOwned>(&self) -> Result<T, HttpError> {
         serde_json::from_slice(self.body.bytes())
@@ -546,6 +554,7 @@ fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use datalens_health::{HealthGate, Verdict};
 use datalens_obs::{labeled, Counter, Gauge, Registry};
 
 use crate::http::{
@@ -245,9 +246,19 @@ pub struct ServerConfig {
     /// closes it (guards a worker against a monopolizing client).
     pub max_requests_per_conn: usize,
     /// How long a keep-alive connection may sit idle between requests.
+    ///
+    /// `None` disables keep-alive idling entirely: the server answers
+    /// with `Connection: close` and closes after each response, rather
+    /// than pinning a pool worker on an idle socket for the full
+    /// [`ServerConfig::read_timeout`].
     pub keep_alive_timeout: Option<Duration>,
     /// Metrics registry for per-route and connection instrumentation.
     pub metrics: Option<Arc<Registry>>,
+    /// Health gate for admission control. When set, the streaming lane
+    /// publishes its occupancy to the gate, and while the gate holds,
+    /// new stream subscriptions are refused with `429` + `Retry-After`
+    /// (existing streams keep draining).
+    pub health_gate: Option<Arc<HealthGate>>,
 }
 
 impl Default for ServerConfig {
@@ -264,6 +275,7 @@ impl Default for ServerConfig {
             max_requests_per_conn: 1_000,
             keep_alive_timeout: Some(Duration::from_secs(5)),
             metrics: None,
+            health_gate: None,
         }
     }
 }
@@ -356,11 +368,14 @@ struct StreamLane {
     /// `sse_disconnects_total`) — registered eagerly so the dashboard
     /// renders them as 0 before the first stream opens.
     metrics: Option<(Arc<Gauge>, Arc<Counter>, Arc<Counter>)>,
+    /// Health gate fed with lane occupancy on every acquire/release, so
+    /// `stream_lane_saturated` reflects the live subscription count.
+    gate: Option<Arc<HealthGate>>,
 }
 
 impl StreamLane {
-    fn new(max: usize, registry: Option<&Registry>) -> StreamLane {
-        StreamLane {
+    fn new(max: usize, registry: Option<&Registry>, gate: Option<Arc<HealthGate>>) -> StreamLane {
+        let lane = StreamLane {
             active: AtomicUsize::new(0),
             max: max.max(1),
             stop: AtomicBool::new(false),
@@ -372,6 +387,17 @@ impl StreamLane {
                     m.counter("sse_disconnects_total"),
                 )
             }),
+            gate,
+        };
+        lane.publish_gate();
+        lane
+    }
+
+    /// Push the lane's occupancy into the health gate and re-evaluate.
+    fn publish_gate(&self) {
+        if let Some(gate) = &self.gate {
+            gate.set_streams(self.active.load(Ordering::SeqCst) as u64, self.max as u64);
+            gate.evaluate();
         }
     }
 
@@ -392,6 +418,7 @@ impl StreamLane {
                     if let Some((gauge, _, _)) = &self.metrics {
                         gauge.add(1);
                     }
+                    self.publish_gate();
                     return true;
                 }
                 Err(seen) => current = seen,
@@ -405,6 +432,7 @@ impl StreamLane {
         if let Some((gauge, _, _)) = &self.metrics {
             gauge.sub(1);
         }
+        self.publish_gate();
     }
 
     /// Hand a connection whose stream head is already written to a pump
@@ -541,6 +569,7 @@ impl Server {
         let lane = Arc::new(StreamLane::new(
             config.max_streams,
             config.metrics.as_deref(),
+            config.health_gate.clone(),
         ));
         let router = Arc::new(router);
 
@@ -680,10 +709,12 @@ fn serve_connection(
     loop {
         // The first request gets the full read timeout; between requests
         // the (typically shorter) keep-alive idle timeout applies.
+        // `keep_alive_timeout: None` never reaches a second iteration —
+        // `keep` below forces `Connection: close` after each response.
         let timeout = if served == 0 {
             config.read_timeout
         } else {
-            config.keep_alive_timeout.or(config.read_timeout)
+            config.keep_alive_timeout
         };
         let _ = stream.set_read_timeout(timeout);
         let started = Instant::now();
@@ -694,6 +725,7 @@ fn serve_connection(
                     served += 1;
                     let keep = req.wants_keep_alive()
                         && served < config.max_requests_per_conn
+                        && config.keep_alive_timeout.is_some()
                         && !stop.load(Ordering::SeqCst);
                     let (resp, route) = router.dispatch_traced(&req);
                     record_request(config, &req, route.as_deref(), &resp, started);
@@ -704,7 +736,17 @@ fn serve_connection(
                 Err(HttpError::Io(_)) => break, // timeout / reset mid-read
             };
         if response.body.is_stream() {
-            if lane.try_acquire() {
+            // Admission control: while the health gate holds, the lane
+            // refuses *new* subscriptions so existing streams can drain
+            // — shed before a slot is even attempted.
+            let held = config
+                .health_gate
+                .as_ref()
+                .filter(|g| g.verdict() == Verdict::Hold);
+            if let Some(gate) = held {
+                response = Response::error(429, "service under load: new streams refused")
+                    .with_retry_after(gate.retry_after_secs());
+            } else if lane.try_acquire() {
                 // Hand the connection off to a pump thread and return
                 // this worker to the pool: a long-lived stream must
                 // never occupy a request/response worker slot. The
@@ -731,10 +773,19 @@ fn serve_connection(
                     }
                 }
                 return;
+            } else {
+                // Lane full: fail *this request* but keep the connection
+                // usable — normal traffic must not be collateral damage.
+                // The Retry-After hint comes from the gate's drain-rate
+                // estimate when one is attached (floor 1s otherwise).
+                let retry = config
+                    .health_gate
+                    .as_ref()
+                    .map(|g| g.retry_after_secs())
+                    .unwrap_or(1);
+                response =
+                    Response::error(429, "too many concurrent streams").with_retry_after(retry);
             }
-            // Lane full: fail *this request* but keep the connection
-            // usable — normal traffic must not be collateral damage.
-            response = Response::error(429, "too many concurrent streams");
         }
         // Per-write deadline, scoped to this response. (A blanket
         // accept-time timeout would also cover stream chunks written

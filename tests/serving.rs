@@ -416,10 +416,18 @@ fn held_streams_do_not_starve_request_response_traffic() {
     );
     assert_eq!(service.alert_subscribers(), MAX_STREAMS);
 
-    // One more stream overflows the lane: 429, not a hang.
+    // One more stream overflows the lane: 429, not a hang — and the
+    // rejection tells the client when to come back.
     let overflow = client.sse("/alerts/events").unwrap();
     assert_eq!(overflow.status, 429);
     assert!(!overflow.is_streaming());
+    let retry: u64 = overflow
+        .headers
+        .get("retry-after")
+        .expect("stream-overflow 429 must carry retry-after")
+        .parse()
+        .expect("retry-after must be integer seconds");
+    assert!(retry >= 1);
 
     // Request/response traffic still flows through the worker pool.
     let session = open_session(&client);
@@ -602,6 +610,141 @@ fn alert_feed_streams_profile_alerts_live() {
         seen.push(alert);
     }
     panic!("no high-missing alert on the feed: {seen:?}");
+}
+
+/// Backpressure rejections on the submit path must carry a concrete
+/// back-off: every `429` from `POST /sessions/{id}/jobs` — whether the
+/// bounded queue filled or the health gate shed the request — has an
+/// integer `Retry-After` header derived from the observed drain rate.
+#[test]
+fn submit_backpressure_429_carries_retry_after_over_the_wire() {
+    let registry = Arc::new(Registry::new());
+    let service = Arc::new(
+        JobService::new(JobServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            metrics: Some(Arc::clone(&registry)),
+            ..JobServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let server = Server::start_with(
+        job_service_router(Arc::clone(&service)),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(30));
+    let session = open_session(&client);
+
+    // Pin the single worker and fill the depth-1 queue; keep submitting
+    // until backpressure answers. Long sleeps make the race a non-issue.
+    let spec = serde_json::to_vec(&JobSpec::new(vec![JobStep::Sleep { ms: 5_000 }])).unwrap();
+    let mut accepted = Vec::new();
+    let mut shed = None;
+    for _ in 0..32 {
+        let resp = client
+            .post(&format!("/sessions/{session}/jobs"), spec.clone())
+            .unwrap();
+        match resp.status {
+            202 => {
+                let body: serde_json::Value = resp.json_body().unwrap();
+                accepted.push(body["jobId"].as_u64().unwrap());
+            }
+            429 => {
+                shed = Some(resp);
+                break;
+            }
+            other => panic!("unexpected submit status {other}"),
+        }
+    }
+    let shed = shed.expect("a depth-1 queue must reject within 32 submits");
+    let retry: u64 = shed
+        .headers
+        .get("retry-after")
+        .expect("submit 429 must carry retry-after")
+        .parse()
+        .expect("retry-after must be integer seconds");
+    assert!(retry >= 1, "floor is one second, got {retry}");
+
+    // Unwind: cancel everything so the server tears down fast.
+    for id in accepted {
+        client.delete(&format!("/jobs/{id}")).unwrap();
+    }
+}
+
+/// `GET /health` on an idle service: `200`, verdict `pass`, no reason
+/// codes, and per-signal evidence rows with value/threshold/window.
+#[test]
+fn health_endpoint_reports_pass_with_evidence_when_idle() {
+    let (_service, _registry, server) = start_service(2, ServerConfig::default());
+    let client = Client::new(server.addr());
+
+    let resp = client.get("/health").unwrap();
+    assert_eq!(resp.status, 200);
+    let body: serde_json::Value = resp.json_body().unwrap();
+    assert_eq!(body["verdict"], "pass");
+    assert_eq!(body["reasons"].as_array().unwrap().len(), 0);
+    let signals = body["signals"].as_array().unwrap();
+    assert!(!signals.is_empty());
+    for sig in signals {
+        assert!(sig["name"].as_str().is_some(), "{sig:?}");
+        assert!(sig["value"].as_f64().is_some(), "{sig:?}");
+        assert!(sig["threshold"].as_f64().is_some(), "{sig:?}");
+        assert!(sig["window"].as_str().is_some(), "{sig:?}");
+        assert_eq!(sig["verdict"], "pass", "{sig:?}");
+    }
+    let names: Vec<&str> = signals
+        .iter()
+        .map(|s| s["name"].as_str().unwrap())
+        .collect();
+    assert!(names.contains(&"jobs_queue_depth"));
+    assert!(names.contains(&"jobs_workers_alive"));
+    assert!(names.contains(&"sse_streams_active"));
+}
+
+/// `keep_alive_timeout: None` means close-after-response: a default
+/// HTTP/1.1 request (implicit keep-alive) is answered with
+/// `connection: close` and the socket reaches EOF immediately — the
+/// worker is not pinned for the read-timeout window.
+#[test]
+fn keep_alive_none_closes_after_each_response() {
+    let router = Router::new().route(Method::Get, "/ping", |_req, _params| {
+        Response::new(200, b"pong".to_vec())
+    });
+    let server = Server::start_with(
+        router,
+        ServerConfig {
+            workers: 1,
+            keep_alive_timeout: None,
+            // Long read timeout: before the fix, the worker sat in
+            // read() for this long after answering, wedging the pool.
+            read_timeout: Some(Duration::from_secs(30)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let started = Instant::now();
+    let mut socket = TcpStream::connect(server.addr()).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // No `connection` header: HTTP/1.1 defaults to keep-alive.
+    write!(socket, "GET /ping HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    socket.flush().unwrap();
+    let mut buf = Vec::new();
+    socket.read_to_end(&mut buf).unwrap(); // EOF = server closed
+    let head = String::from_utf8_lossy(&buf).to_lowercase();
+    assert!(head.contains("connection: close"), "{head}");
+    assert!(head.ends_with("pong"));
+
+    // A second client must get through the single worker right away.
+    let client = Client::new(server.addr());
+    assert_eq!(client.get("/ping").unwrap().status, 200);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "worker was pinned after the response"
+    );
 }
 
 /// Old one-request clients that read to EOF still work: a plain

@@ -1,0 +1,405 @@
+//! Chaos soak harness for the health-gated serving path.
+//!
+//! One real server, one adversarial client mix — slow-loris writers,
+//! malformed and oversized requests, mid-job cancellations, and SSE
+//! consumers that never read — driven while the job queue is pushed
+//! into saturation. The harness asserts the gate's full arc over the
+//! wire: `pass` at rest, `hold` (with machine-readable reason codes)
+//! under saturation with shed submits answered fast, and back to
+//! `pass` once the backlog drains — plus the tier-1 invariants: the
+//! queue drains to zero, no stream slots leak, and the worker pool
+//! still completes a fresh job after the storm.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datalens::jobs::rest::{job_service_router, CreateSessionRequest, CreateSessionResponse};
+use datalens::jobs::{JobService, JobServiceConfig, JobSpec, JobStep};
+use datalens_obs::Registry;
+use datalens_rest::{metrics_router, Client, Server, ServerConfig};
+
+const MAX_STREAMS: usize = 2;
+const QUEUE_DEPTH: usize = 4;
+
+/// Small service + tight server limits so every failure mode is
+/// reachable in test time: depth-4 queue, 2-slot stream lane, 1s read
+/// timeout (reaps the loris), 200ms stream write deadline (reaps the
+/// non-reading SSE consumer), 64 KiB body cap (rejects the oversized
+/// upload without buffering it).
+fn start_soak_target() -> (Arc<JobService>, Arc<Registry>, Server) {
+    let registry = Arc::new(Registry::new());
+    let service = Arc::new(
+        JobService::new(JobServiceConfig {
+            workers: 2,
+            queue_depth: QUEUE_DEPTH,
+            metrics: Some(Arc::clone(&registry)),
+            ..JobServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let router =
+        job_service_router(Arc::clone(&service)).merge(metrics_router(Arc::clone(&registry)));
+    let server = Server::start_with(
+        router,
+        ServerConfig {
+            workers: 4,
+            max_streams: MAX_STREAMS,
+            read_timeout: Some(Duration::from_secs(1)),
+            keep_alive_timeout: Some(Duration::from_millis(200)),
+            heartbeat_interval: Some(Duration::from_millis(50)),
+            stream_write_timeout: Some(Duration::from_millis(200)),
+            max_body: 64 * 1024,
+            metrics: Some(Arc::clone(&registry)),
+            health_gate: Some(service.health_gate()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    (service, registry, server)
+}
+
+fn open_session(client: &Client) -> u64 {
+    let resp: CreateSessionResponse = client
+        .post_json(
+            "/sessions",
+            &CreateSessionRequest {
+                file_name: Some("soak.csv".to_string()),
+                csv: Some("a,b\n1,x\n2,y\n,\n".to_string()),
+                ..CreateSessionRequest::default()
+            },
+        )
+        .unwrap();
+    resp.session.session_id
+}
+
+fn health(client: &Client) -> (u16, serde_json::Value) {
+    let resp = client.get("/health").unwrap();
+    let body: serde_json::Value = resp.json_body().unwrap();
+    (resp.status, body)
+}
+
+fn reasons_of(body: &serde_json::Value) -> Vec<String> {
+    body["reasons"]
+        .as_array()
+        .map(|rs| {
+            rs.iter()
+                .filter_map(|r| r.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Poll `/health` until the verdict matches, failing past the deadline.
+fn wait_for_verdict(client: &Client, want: &str, within: Duration) -> serde_json::Value {
+    let deadline = Instant::now() + within;
+    loop {
+        let (_, body) = health(client);
+        if body["verdict"] == want {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "gate never reached {want}: {body:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Pin `session` with one long cooperative job — same-session jobs are
+/// serialised, so no pop can shrink the backlog while it runs — then
+/// fill the bounded queue behind it until the service sheds. Returns
+/// every accepted job id (pinner first) for the later drain.
+fn saturate_queue(client: &Client, session: u64) -> Vec<u64> {
+    let pin = serde_json::to_vec(&JobSpec::new(vec![JobStep::Sleep { ms: 30_000 }])).unwrap();
+    let resp = client
+        .post(&format!("/sessions/{session}/jobs"), pin)
+        .unwrap();
+    assert_eq!(resp.status, 202);
+    let body: serde_json::Value = resp.json_body().unwrap();
+    let pinner = body["jobId"].as_u64().unwrap();
+    // Wait for a worker to claim it: filling before the claim would
+    // let that very pop blip the fill ratio back under the threshold.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status: serde_json::Value = client
+            .get(&format!("/jobs/{pinner}"))
+            .unwrap()
+            .json_body()
+            .unwrap();
+        if status["state"] == "Running" {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pinner never started: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let mut ids = vec![pinner];
+    let filler = serde_json::to_vec(&JobSpec::new(vec![JobStep::Sleep { ms: 1_000 }])).unwrap();
+    for _ in 0..32 {
+        let resp = client
+            .post(&format!("/sessions/{session}/jobs"), filler.clone())
+            .unwrap();
+        match resp.status {
+            202 => {
+                let body: serde_json::Value = resp.json_body().unwrap();
+                ids.push(body["jobId"].as_u64().unwrap());
+            }
+            429 => return ids,
+            other => panic!("unexpected submit status {other}"),
+        }
+    }
+    panic!("queue never saturated after 32 submits");
+}
+
+/// A client that opens a connection, dribbles half a request header,
+/// and stalls. The server's read timeout must reap it; it must never
+/// wedge a worker past that.
+fn slow_loris(addr: std::net::SocketAddr) {
+    let Ok(mut s) = TcpStream::connect(addr) else {
+        return;
+    };
+    let _ = s.write_all(b"POST /sessions HTTP/1.1\r\nhost: t\r\ncontent-le");
+    let _ = s.flush();
+    // Hold the half-written request well past the server's read timeout.
+    std::thread::sleep(Duration::from_millis(1_500));
+    let _ = s.write_all(b"ngth: 5\r\n\r\nhello");
+}
+
+/// An SSE subscriber that sends its request and then never reads a
+/// byte: heartbeats back up in the socket and the stream write
+/// deadline must reap it, freeing the lane slot.
+fn non_reading_sse(addr: std::net::SocketAddr) -> TcpStream {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(s, "GET /alerts/events HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+    s.flush().unwrap();
+    s
+}
+
+#[test]
+fn chaos_soak_walks_pass_hold_pass_with_invariants_intact() {
+    let (_service, registry, server) = start_soak_target();
+    let addr = server.addr();
+    let client = Client::new(addr).with_timeout(Duration::from_secs(30));
+
+    // ── Phase 0: at rest the gate passes. ───────────────────────────
+    let (status, body) = health(&client);
+    assert_eq!(status, 200);
+    assert_eq!(body["verdict"], "pass", "{body:?}");
+    assert!(reasons_of(&body).is_empty());
+
+    let session = open_session(&client);
+
+    // ── Phase 1: chaos mix. ─────────────────────────────────────────
+    // Slow-loris writers, malformed and oversized requests, SSE
+    // consumers that never read, and cancelled jobs — all at once.
+    let mut chaos = Vec::new();
+    for _ in 0..3 {
+        chaos.push(std::thread::spawn(move || slow_loris(addr)));
+    }
+    // One of the two lane slots wedged (50% fill stays under the
+    // stream hold ratio — the queue must be what trips the gate).
+    let wedged_sse: Vec<TcpStream> = (0..1).map(|_| non_reading_sse(addr)).collect();
+
+    // Malformed framing: negative / junk / duplicate content-length.
+    for cl in [
+        "content-length: -2\r\n",
+        "content-length: 9x\r\n",
+        "content-length: 2\r\ncontent-length: 3\r\n",
+    ] {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(
+            s,
+            "POST /sessions HTTP/1.1\r\nhost: t\r\nconnection: close\r\n{cl}\r\n{{}}"
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = String::from_utf8_lossy(&buf);
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    }
+
+    // Oversized: a declared body over the 64 KiB cap is refused with
+    // 413 before the server buffers a byte of it.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(
+            s,
+            "POST /sessions HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+            1024 * 1024
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).unwrap();
+        let head = String::from_utf8_lossy(&buf);
+        assert!(head.starts_with("HTTP/1.1 413"), "{head}");
+    }
+
+    // Mid-job cancellations: submit then immediately cancel.
+    for _ in 0..4 {
+        let spec = serde_json::to_vec(&JobSpec::new(vec![JobStep::Sleep { ms: 200 }])).unwrap();
+        let resp = client
+            .post(&format!("/sessions/{session}/jobs"), spec)
+            .unwrap();
+        if resp.status == 202 {
+            let body: serde_json::Value = resp.json_body().unwrap();
+            let id = body["jobId"].as_u64().unwrap();
+            client.delete(&format!("/jobs/{id}")).unwrap();
+        }
+    }
+
+    // The service keeps answering health probes through the chaos.
+    let (status, _) = health(&client);
+    assert!(status == 200 || status == 503);
+
+    // ── Phase 2: saturate the queue until the gate holds. ───────────
+    // Let the phase-1 leftovers drain first so no imminent worker pop
+    // can blip the verdict mid-assertion…
+    wait_for_verdict(&client, "pass", Duration::from_secs(30));
+
+    // …then pin the session with one long job (same-session jobs are
+    // serialised, so nothing can be popped while it runs) and fill the
+    // depth-4 queue behind it: fill ratio 1.0 ⇒ a *stable* `hold`.
+    let pinned = saturate_queue(&client, session);
+
+    let held = wait_for_verdict(&client, "hold", Duration::from_secs(10));
+    let reasons = reasons_of(&held);
+    assert!(
+        reasons.iter().any(|r| r == "queue_backpressure_applied"),
+        "hold must name the saturated queue: {reasons:?}"
+    );
+    // A holding gate answers /health with 503 + Retry-After, so
+    // `curl -f` and load balancers read it without parsing JSON.
+    let resp = client.get("/health").unwrap();
+    assert_eq!(resp.status, 503);
+    let retry: u64 = resp
+        .headers
+        .get("retry-after")
+        .expect("503 /health carries retry-after")
+        .parse()
+        .unwrap();
+    assert!(retry >= 1);
+
+    // While holding, the stream lane refuses new subscriptions…
+    let refused = client.sse("/alerts/events").unwrap();
+    assert_eq!(refused.status, 429, "gate-held lane must refuse streams");
+    assert!(!refused.is_streaming());
+    assert!(refused.headers.contains_key("retry-after"));
+
+    // …and submits shed fast: time-to-429 over a warm connection must
+    // stay in single-digit milliseconds even at p99, because the shed
+    // happens before the queue lock.
+    let spec = serde_json::to_vec(&JobSpec::new(vec![JobStep::Sleep { ms: 1_000 }])).unwrap();
+    let mut conn = client.connect().unwrap();
+    let mut shed_samples: Vec<Duration> = Vec::with_capacity(64);
+    for _ in 0..64 {
+        let started = Instant::now();
+        let resp = conn
+            .post(&format!("/sessions/{session}/jobs"), spec.clone())
+            .unwrap();
+        let elapsed = started.elapsed();
+        assert_eq!(resp.status, 429, "gate must shed while holding");
+        assert!(resp.headers.contains_key("retry-after"));
+        shed_samples.push(elapsed);
+    }
+    drop(conn);
+    shed_samples.sort();
+    let p50 = shed_samples[shed_samples.len() / 2];
+    let p99 = shed_samples[shed_samples.len() * 99 / 100];
+    assert!(
+        p99 < Duration::from_millis(10),
+        "shed latency p50={p50:?} p99={p99:?}, want p99 < 10ms"
+    );
+
+    // ── Phase 3: drain and recover. ─────────────────────────────────
+    for id in &pinned {
+        client.delete(&format!("/jobs/{id}")).unwrap();
+    }
+    let recovered = wait_for_verdict(&client, "pass", Duration::from_secs(30));
+    assert!(reasons_of(&recovered).is_empty(), "{recovered:?}");
+    let resp = client.get("/health").unwrap();
+    assert_eq!(resp.status, 200, "recovered gate answers 200 again");
+
+    // Tier-1 invariants after the storm.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while registry.gauge("jobs_queue_depth").get() != 0 {
+        assert!(Instant::now() < deadline, "queue never drained to 0");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(wedged_sse);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while registry.gauge("sse_streams_active").get() != 0 {
+        assert!(Instant::now() < deadline, "stream slots leaked");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for t in chaos {
+        t.join().unwrap();
+    }
+
+    // No stuck workers: a fresh job still runs to completion, and a
+    // fresh stream subscription is accepted again.
+    let spec = serde_json::to_vec(&JobSpec::detect(&["mv_detector"])).unwrap();
+    let resp = client
+        .post(&format!("/sessions/{session}/jobs"), spec)
+        .unwrap();
+    assert_eq!(resp.status, 202);
+    let body: serde_json::Value = resp.json_body().unwrap();
+    let job_id = body["jobId"].as_u64().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status: serde_json::Value = client
+            .get(&format!("/jobs/{job_id}"))
+            .unwrap()
+            .json_body()
+            .unwrap();
+        if status["state"] == "Done" {
+            break;
+        }
+        assert!(
+            !matches!(status["state"].as_str(), Some("Failed" | "Cancelled")),
+            "post-storm job failed: {status:?}"
+        );
+        assert!(Instant::now() < deadline, "post-storm job never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stream = client.sse("/alerts/events").unwrap();
+    assert_eq!(stream.status, 200, "lane accepts subscribers again");
+    assert!(stream.is_streaming());
+}
+
+/// The gate transition counters tell the story afterwards: at least
+/// one transition into `hold` and one back into `pass` are recorded on
+/// the shared registry (the dashboard's post-mortem evidence).
+#[test]
+fn gate_transitions_are_counted_on_the_registry() {
+    let (service, registry, server) = start_soak_target();
+    let client = Client::new(server.addr()).with_timeout(Duration::from_secs(30));
+    let session = open_session(&client);
+
+    let pinned = saturate_queue(&client, session);
+    wait_for_verdict(&client, "hold", Duration::from_secs(10));
+    assert_eq!(registry.gauge("health_verdict").get(), 2);
+    for id in &pinned {
+        client.delete(&format!("/jobs/{id}")).unwrap();
+    }
+    wait_for_verdict(&client, "pass", Duration::from_secs(30));
+    assert_eq!(registry.gauge("health_verdict").get(), 0);
+    assert!(
+        registry
+            .counter("health_transitions_total{to=\"hold\"}")
+            .get()
+            >= 1
+    );
+    assert!(
+        registry
+            .counter("health_transitions_total{to=\"pass\"}")
+            .get()
+            >= 1
+    );
+    drop(service);
+}
